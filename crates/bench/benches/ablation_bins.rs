@@ -1,0 +1,116 @@
+//! Ablation (beyond the paper's figures; validates Remark 1): bin-size
+//! sweep for GM-sort and SM spreading.
+//!
+//! The paper hand-tuned bins to 32x32 in 2D and 16x16x2 in 3D. This
+//! harness sweeps power-of-two bin shapes and reports spread time per
+//! point, confirming the chosen defaults are at (or near) the optimum
+//! under the cost model — and showing *why*: small bins inflate the
+//! padded-bin-to-bin ratio (more step-3 atomics), huge bins overflow
+//! shared memory or lose sort locality.
+
+use bench::{ns_per_pt, workload, Csv};
+use cufinufft::bins::{build_subproblems, gpu_bin_sort};
+use cufinufft::sm_shared_bytes;
+use cufinufft::spread::{spread_gm, spread_sm, PtsRef};
+use gpu_sim::Device;
+use nufft_common::workload::PointDist;
+use nufft_common::{Complex, Shape};
+use nufft_kernels::EsKernel;
+
+fn main() {
+    let kernel = EsKernel::with_width(6);
+    let mut csv = Csv::create("ablation_bins.csv", "dim,bin,gm_sort_ns,sm_ns");
+    println!("# Ablation — bin-size sweep (w = 6, f32, rand, rho = 1)\n");
+
+    // 2D on a 2048^2 fine grid
+    let fine = Shape::d2(2048, 2048);
+    let (pts, cs) = workload::<f32>(PointDist::Rand, 2, fine, 1.0, 77);
+    let m = pts.len();
+    let pr = PtsRef {
+        coords: [&pts.coords[0], &pts.coords[1], &pts.coords[2]],
+        dim: 2,
+    };
+    println!("## 2D (fine 2048^2) — paper default 32x32");
+    println!("{:>10} | {:>12} | {:>12} | shared B", "bin", "GM-sort ns", "SM ns");
+    for b in [8usize, 16, 32, 64, 128] {
+        let bins = [b, b, 1];
+        let dev = Device::v100();
+        dev.set_record_timeline(false);
+        let sort = gpu_bin_sort(&dev, &pts, fine, bins);
+        let mut grid = vec![Complex::<f32>::ZERO; fine.total()];
+        let t0 = dev.clock();
+        spread_gm(&dev, "gms", &kernel, fine, &pr, &cs, &sort.perm, &mut grid, 128, 1.0);
+        let t_gms = dev.clock() - t0;
+        let shb = sm_shared_bytes(bins, 2, kernel.w, 8);
+        let t_sm = if shb <= 49_000 {
+            let subs = build_subproblems(&dev, &sort, 1024);
+            let mut g2 = vec![Complex::<f32>::ZERO; fine.total()];
+            let t1 = dev.clock();
+            spread_sm(&dev, &kernel, fine, &pr, &cs, &sort.perm, &sort.layout, &subs, &mut g2);
+            Some(dev.clock() - t1)
+        } else {
+            None
+        };
+        println!(
+            "{:>7}x{:<3}| {:>12.3} | {:>12} | {}",
+            b,
+            b,
+            ns_per_pt(t_gms, m),
+            t_sm.map(|t| format!("{:.3}", ns_per_pt(t, m))).unwrap_or("(infeasible)".into()),
+            shb
+        );
+        csv.row(&format!(
+            "2,{b}x{b},{:.4},{}",
+            ns_per_pt(t_gms, m),
+            t_sm.map(|t| format!("{:.4}", ns_per_pt(t, m))).unwrap_or("nan".into())
+        ));
+    }
+
+    // 3D on a 128^3 fine grid; sweep anisotropic shapes around 16x16x2
+    let fine = Shape::d3(128, 128, 128);
+    let (pts, cs) = workload::<f32>(PointDist::Rand, 3, fine, 1.0, 78);
+    let m = pts.len();
+    let pr = PtsRef {
+        coords: [&pts.coords[0], &pts.coords[1], &pts.coords[2]],
+        dim: 3,
+    };
+    println!("\n## 3D (fine 128^3) — paper default 16x16x2");
+    println!("{:>12} | {:>12} | {:>12} | shared B", "bin", "GM-sort ns", "SM ns");
+    for bins in [[4usize, 4, 4], [8, 8, 2], [8, 8, 8], [16, 16, 2], [16, 16, 4], [32, 32, 2]] {
+        let dev = Device::v100();
+        dev.set_record_timeline(false);
+        let sort = gpu_bin_sort(&dev, &pts, fine, bins);
+        let mut grid = vec![Complex::<f32>::ZERO; fine.total()];
+        let t0 = dev.clock();
+        spread_gm(&dev, "gms", &kernel, fine, &pr, &cs, &sort.perm, &mut grid, 128, 1.0);
+        let t_gms = dev.clock() - t0;
+        let shb = sm_shared_bytes(bins, 3, kernel.w, 8);
+        let t_sm = if shb <= 49_000 {
+            let subs = build_subproblems(&dev, &sort, 1024);
+            let mut g2 = vec![Complex::<f32>::ZERO; fine.total()];
+            let t1 = dev.clock();
+            spread_sm(&dev, &kernel, fine, &pr, &cs, &sort.perm, &sort.layout, &subs, &mut g2);
+            Some(dev.clock() - t1)
+        } else {
+            None
+        };
+        println!(
+            "{:>4}x{:<2}x{:<3} | {:>12.3} | {:>12} | {}",
+            bins[0],
+            bins[1],
+            bins[2],
+            ns_per_pt(t_gms, m),
+            t_sm.map(|t| format!("{:.3}", ns_per_pt(t, m))).unwrap_or("(infeasible)".into()),
+            shb
+        );
+        csv.row(&format!(
+            "3,{}x{}x{},{:.4},{}",
+            bins[0],
+            bins[1],
+            bins[2],
+            ns_per_pt(t_gms, m),
+            t_sm.map(|t| format!("{:.4}", ns_per_pt(t, m))).unwrap_or("nan".into())
+        ));
+    }
+    println!("\n# expectation: defaults 32x32 / 16x16x2 within ~20% of the sweep optimum");
+}

@@ -1,0 +1,71 @@
+//! Ablation: shared-memory interpolation — the design the paper REJECTED.
+//!
+//! Sec. III-B: "Since there is no conflict between threads reading the
+//! same location in memory, this [GM-sort interpolation] is fast; the
+//! benefit of applying an idea like SM to interpolation would be
+//! limited." This harness implements that rejected variant and measures
+//! it against GM-sort, reproducing the design-decision evidence.
+
+use bench::{ns_per_pt, workload, Csv};
+use cufinufft::bins::{build_subproblems, gpu_bin_sort};
+use cufinufft::default_bin_size;
+use cufinufft::interp::{interp_gm, interp_sm};
+use cufinufft::spread::PtsRef;
+use gpu_sim::Device;
+use nufft_common::workload::PointDist;
+use nufft_common::{gen_coeffs, Complex, Shape};
+use nufft_kernels::EsKernel;
+
+fn main() {
+    let kernel = EsKernel::with_width(6);
+    let mut csv = Csv::create("ablation_interp_sm.csv", "dim,dist,n,gm_sort_ns,sm_ns,ratio");
+    println!("# Ablation — shared-memory interpolation (the paper's rejected design)");
+    println!("# w = 6, f32, rho = 1\n");
+    println!(
+        "{:>4} {:>8} {:>6} | {:>12} | {:>12} | ratio",
+        "dim", "dist", "n", "GM-sort ns", "SM ns"
+    );
+    for (dim, sizes) in [(2usize, vec![512usize, 1024, 2048]), (3usize, vec![64usize, 128])] {
+        for dist in [PointDist::Rand, PointDist::Cluster] {
+            let dist_name = if dist == PointDist::Rand { "rand" } else { "cluster" };
+            for &n in &sizes {
+                let fine = if dim == 2 { Shape::d2(n, n) } else { Shape::d3(n, n, n) };
+                let (pts, _) = workload::<f32>(dist, dim, fine, 1.0, 3 + n as u64);
+                let m = pts.len();
+                let grid = gen_coeffs::<f32>(fine.total(), 9);
+                let pr = PtsRef {
+                    coords: [&pts.coords[0], &pts.coords[1], &pts.coords[2]],
+                    dim,
+                };
+                let dev = Device::v100();
+                dev.set_record_timeline(false);
+                let sort = gpu_bin_sort(&dev, &pts, fine, default_bin_size(dim));
+                let subs = build_subproblems(&dev, &sort, 1024);
+                let mut out = vec![Complex::<f32>::ZERO; m];
+                let t0 = dev.clock();
+                interp_gm(&dev, "g", &kernel, fine, &pr, &grid, &sort.perm, &mut out, 128);
+                let t_gm = dev.clock() - t0;
+                let t1 = dev.clock();
+                interp_sm(&dev, &kernel, fine, &pr, &grid, &sort.perm, &sort.layout, &subs, &mut out);
+                let t_sm = dev.clock() - t1;
+                println!(
+                    "{:>4} {:>8} {:>6} | {:>12.3} | {:>12.3} | {:.2}x",
+                    dim,
+                    dist_name,
+                    n,
+                    ns_per_pt(t_gm, m),
+                    ns_per_pt(t_sm, m),
+                    t_gm / t_sm
+                );
+                csv.row(&format!(
+                    "{dim},{dist_name},{n},{:.4},{:.4},{:.3}",
+                    ns_per_pt(t_gm, m),
+                    ns_per_pt(t_sm, m),
+                    t_gm / t_sm
+                ));
+            }
+        }
+    }
+    println!("\n# expectation (paper Sec. III-B): SM interpolation brings little or no");
+    println!("# benefit over GM-sort — reads have no write conflicts to avoid.");
+}

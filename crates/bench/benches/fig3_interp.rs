@@ -1,0 +1,97 @@
+//! Figure 3: interpolation comparison — GM vs GM-sort, "rand", 2D & 3D.
+//!
+//! Execution time per nonuniform point vs fine grid size; "total"
+//! includes the bin-sort precomputation, "interp" excludes it. Unlike
+//! spreading there are no write conflicts, so the sorted variant's
+//! execution time never falls behind GM (the paper's key observation).
+
+use bench::{large_mode, ns_per_pt, workload, Csv};
+use cufinufft::bins::gpu_bin_sort;
+use cufinufft::default_bin_size;
+use cufinufft::interp::interp_gm;
+use cufinufft::spread::PtsRef;
+use gpu_sim::Device;
+use nufft_common::workload::PointDist;
+use nufft_common::{gen_coeffs, Complex, Shape};
+use nufft_kernels::EsKernel;
+
+fn main() {
+    let kernel = EsKernel::with_width(6); // eps = 1e-5 single precision
+    let mut csv = Csv::create(
+        "fig3_interp.csv",
+        "dim,n,M,method,total_ns_per_pt,interp_ns_per_pt",
+    );
+    let sizes_2d: Vec<usize> = if large_mode() {
+        vec![64, 128, 256, 512, 1024, 2048, 4096]
+    } else {
+        vec![64, 128, 256, 512, 1024, 2048]
+    };
+    let sizes_3d: Vec<usize> = if large_mode() {
+        vec![16, 32, 64, 128, 160]
+    } else {
+        vec![16, 32, 64, 128]
+    };
+    println!("# Fig. 3 — interpolation: ns per nonuniform point (total | interp-only)");
+    println!("# single precision, w = 6 (eps = 1e-5), rho = 1, distribution \"rand\"\n");
+    for (dim, sizes) in [(2usize, &sizes_2d), (3usize, &sizes_3d)] {
+        println!("## {dim}D");
+        println!(
+            "{:>6} {:>10} | {:>9} {:>9} | {:>9} {:>9} | speedup",
+            "n", "M", "GM tot", "GM int", "GMs tot", "GMs int"
+        );
+        for &n in sizes {
+            let fine = if dim == 2 {
+                Shape::d2(n, n)
+            } else {
+                Shape::d3(n, n, n)
+            };
+            let (pts, _) = workload::<f32>(PointDist::Rand, dim, fine, 1.0, 17 + n as u64);
+            let m = pts.len();
+            let grid = gen_coeffs::<f32>(fine.total(), 5);
+            let pr = PtsRef {
+                coords: [&pts.coords[0], &pts.coords[1], &pts.coords[2]],
+                dim,
+            };
+            let mut out = vec![Complex::<f32>::ZERO; m];
+            // GM: natural order, no precomputation
+            let dev = Device::v100();
+            dev.set_record_timeline(false);
+            let natural: Vec<u32> = (0..m as u32).collect();
+            let t0 = dev.clock();
+            interp_gm(&dev, "interp_GM", &kernel, fine, &pr, &grid, &natural, &mut out, 128);
+            let gm_int = dev.clock() - t0;
+            // GM-sort: bin-sort then interpolate
+            let dev = Device::v100();
+            dev.set_record_timeline(false);
+            let t0 = dev.clock();
+            let sort = gpu_bin_sort(&dev, &pts, fine, default_bin_size(dim));
+            let t1 = dev.clock();
+            interp_gm(&dev, "interp_GMs", &kernel, fine, &pr, &grid, &sort.perm, &mut out, 128);
+            let gms_int = dev.clock() - t1;
+            let gms_sort = t1 - t0;
+            println!(
+                "{:>6} {:>10} | {:>9.2} {:>9.2} | {:>9.2} {:>9.2} | {:.1}x",
+                n,
+                m,
+                ns_per_pt(gm_int, m),
+                ns_per_pt(gm_int, m),
+                ns_per_pt(gms_sort + gms_int, m),
+                ns_per_pt(gms_int, m),
+                gm_int / gms_int,
+            );
+            csv.row(&format!(
+                "{dim},{n},{m},GM,{:.4},{:.4}",
+                ns_per_pt(gm_int, m),
+                ns_per_pt(gm_int, m)
+            ));
+            csv.row(&format!(
+                "{dim},{n},{m},GM-sort,{:.4},{:.4}",
+                ns_per_pt(gms_sort + gms_int, m),
+                ns_per_pt(gms_int, m)
+            ));
+        }
+        println!();
+    }
+    println!("# paper anchors: GM-sort up to 4.5x (2D) / 12.7x (3D) faster at the");
+    println!("# largest grids; sorted execution never slower than GM (no conflicts).");
+}

@@ -1,0 +1,52 @@
+//! Figure 9: single-node multi-GPU weak scaling on Cori GPU and Summit.
+//!
+//! Wall-clock per M-TIP NUFFT stage vs number of MPI ranks, each rank
+//! with the fixed per-rank problem of Table II (scaled). Expect flat
+//! lines (ideal weak scaling) up to one rank per GPU, then linear
+//! deterioration as ranks share GPUs — the single-queue contention
+//! model of `mtip::cluster`.
+
+use bench::Csv;
+use mtip::{weak_scaling, Node, RankTask};
+
+fn main() {
+    let scale = if bench::large_mode() { 16 } else { 64 };
+    let mut csv = Csv::create(
+        "fig9_scaling.csv",
+        "node,task,ranks,wall_total_s,wall_setup_s,wall_exec_s",
+    );
+    println!("# Fig. 9 — weak scaling (per-rank sizes scaled by 1/{scale})\n");
+    for node in [Node::cori_gpu(), Node::summit()] {
+        for (tname, task) in [
+            ("slicing(t2)", RankTask::slicing(scale)),
+            ("merging(t1)", RankTask::merging(scale)),
+        ] {
+            let max_ranks = node.gpus + 4;
+            let pts = weak_scaling(&node, &task, max_ranks, 31);
+            println!("## {} — {} ({} GPUs/node)", node.name, tname, node.gpus);
+            println!(
+                "{:>6} | {:>12} {:>12} {:>12} | {:>9}",
+                "ranks", "total (s)", "setup (s)", "exec (s)", "vs 1 rank"
+            );
+            let base = pts[0].wall_total;
+            for p in &pts {
+                let marker = if p.ranks == node.gpus { "  <- one rank per GPU" } else { "" };
+                println!(
+                    "{:>6} | {:>12.5} {:>12.5} {:>12.5} | {:>8.2}x{marker}",
+                    p.ranks,
+                    p.wall_total,
+                    p.wall_setup,
+                    p.wall_exec,
+                    p.wall_total / base
+                );
+                csv.row(&format!(
+                    "{},{tname},{},{:.6},{:.6},{:.6}",
+                    node.name, p.ranks, p.wall_total, p.wall_setup, p.wall_exec
+                ));
+            }
+            println!();
+        }
+    }
+    println!("# paper anchors: near-ideal (flat) weak scaling up to #GPUs ranks, then");
+    println!("# rapid deterioration; enabling MPS made no difference on hardware.");
+}

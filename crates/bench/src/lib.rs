@@ -1,0 +1,236 @@
+//! Shared utilities for the paper-reproduction benchmark harnesses.
+//!
+//! Each figure/table of the paper has one `harness = false` bench target
+//! under `benches/`; they print paper-style tables to stdout and write
+//! CSV rows under `results/` at the workspace root. Problem sizes are
+//! scaled down from the paper's (DESIGN.md §2.3) unless `BENCH_LARGE=1`.
+
+use gpu_sim::Device;
+use nufft_common::workload::{gen_points, gen_strengths, PointDist, Points};
+use nufft_common::{Complex, Real, Shape, TransformType};
+use std::fs::File;
+use std::io::Write;
+use std::path::PathBuf;
+
+/// True when the (slower) closer-to-paper problem sizes are requested.
+pub fn large_mode() -> bool {
+    std::env::var("BENCH_LARGE").map(|v| v == "1").unwrap_or(false)
+}
+
+/// Locate the workspace-root `results/` directory.
+pub fn results_dir() -> PathBuf {
+    let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    p.pop();
+    p.pop();
+    p.push("results");
+    std::fs::create_dir_all(&p).expect("create results dir");
+    p
+}
+
+/// A CSV sink under `results/`.
+pub struct Csv {
+    f: File,
+}
+
+impl Csv {
+    pub fn create(name: &str, header: &str) -> Self {
+        let path = results_dir().join(name);
+        let mut f = File::create(&path).expect("create csv");
+        writeln!(f, "{header}").unwrap();
+        Csv { f }
+    }
+
+    pub fn row(&mut self, line: &str) {
+        writeln!(self.f, "{line}").unwrap();
+    }
+}
+
+/// Format seconds-per-point as nanoseconds.
+pub fn ns_per_pt(seconds: f64, m: usize) -> f64 {
+    seconds / m as f64 * 1e9
+}
+
+/// Generate the paper's benchmark inputs for a given fine grid.
+pub fn workload<T: Real>(
+    dist: PointDist,
+    dim: usize,
+    fine: Shape,
+    rho: f64,
+    seed: u64,
+) -> (Points<T>, Vec<Complex<T>>) {
+    let m = ((fine.total() as f64) * rho).round() as usize;
+    let pts = gen_points::<T>(dist, dim, m, fine, seed);
+    let cs = gen_strengths::<T>(m, seed + 1);
+    (pts, cs)
+}
+
+/// Run cuFINUFFT with an explicit spreading method; returns timings and
+/// the outputs for error measurement.
+pub fn run_cufinufft<T: Real>(
+    ttype: TransformType,
+    modes: &[usize],
+    eps: f64,
+    method: cufinufft::Method,
+    pts: &Points<T>,
+    input: &[Complex<T>],
+) -> (cufinufft::GpuStageTimings, Vec<Complex<T>>) {
+    let dev = Device::v100();
+    dev.set_record_timeline(false);
+    let mut opts = cufinufft::GpuOpts::default();
+    opts.method = method;
+    let iflag = if ttype == TransformType::Type1 { -1 } else { 1 };
+    let mut plan =
+        cufinufft::Plan::<T>::new(ttype, modes, iflag, eps, opts, &dev).expect("cufinufft plan");
+    plan.set_pts(pts).expect("set_pts");
+    let n: usize = modes.iter().product();
+    let out_len = match ttype {
+        TransformType::Type1 => n,
+        TransformType::Type2 => pts.len(),
+    };
+    let mut out = vec![Complex::<T>::ZERO; out_len];
+    plan.execute(input, &mut out).expect("execute");
+    (plan.timings(), out)
+}
+
+/// Run the CUNFFT baseline.
+pub fn run_cunfft<T: Real>(
+    ttype: TransformType,
+    modes: &[usize],
+    eps: f64,
+    pts: &Points<T>,
+    input: &[Complex<T>],
+) -> (cufinufft::GpuStageTimings, Vec<Complex<T>>) {
+    let dev = Device::v100();
+    dev.set_record_timeline(false);
+    let iflag = if ttype == TransformType::Type1 { -1 } else { 1 };
+    let mut plan =
+        nufft_baselines::CunfftPlan::<T>::new(ttype, modes, iflag, eps, &dev).expect("cunfft plan");
+    plan.set_pts(pts).expect("set_pts");
+    let n: usize = modes.iter().product();
+    let out_len = match ttype {
+        TransformType::Type1 => n,
+        TransformType::Type2 => pts.len(),
+    };
+    let mut out = vec![Complex::<T>::ZERO; out_len];
+    plan.execute(input, &mut out).expect("execute");
+    (plan.timings(), out)
+}
+
+/// Run the gpuNUFFT baseline.
+pub fn run_gpunufft<T: Real>(
+    ttype: TransformType,
+    modes: &[usize],
+    eps: f64,
+    pts: &Points<T>,
+    input: &[Complex<T>],
+) -> (cufinufft::GpuStageTimings, Vec<Complex<T>>) {
+    let dev = Device::v100();
+    dev.set_record_timeline(false);
+    let iflag = if ttype == TransformType::Type1 { -1 } else { 1 };
+    let mut plan = nufft_baselines::GpunufftPlan::<T>::new(ttype, modes, iflag, eps, &dev)
+        .expect("gpunufft plan");
+    plan.set_pts(pts).expect("set_pts");
+    let n: usize = modes.iter().product();
+    let out_len = match ttype {
+        TransformType::Type1 => n,
+        TransformType::Type2 => pts.len(),
+    };
+    let mut out = vec![Complex::<T>::ZERO; out_len];
+    plan.execute(input, &mut out).expect("execute");
+    (plan.timings(), out)
+}
+
+/// Model the FINUFFT CPU comparator's "exec" and "total" times for a
+/// transform (paper testbed: 2x Xeon E5-2680 v4, 28 threads).
+pub fn finufft_model_times<T: Real>(
+    ttype: TransformType,
+    modes: Shape,
+    eps: f64,
+    m: usize,
+) -> (f64, f64) {
+    let model = finufft_cpu::CpuModel::xeon_e5_2680v4();
+    let prec = if T::IS_DOUBLE {
+        finufft_cpu::CpuPrecision::Double
+    } else {
+        finufft_cpu::CpuPrecision::Single
+    };
+    let kernel =
+        nufft_kernels::EsKernel::for_tolerance(eps, T::IS_DOUBLE).expect("tolerance in range");
+    let fine = modes.map(|_, n| nufft_common::smooth::fine_grid_size(n, 2.0, kernel.w));
+    let exec = match ttype {
+        TransformType::Type1 => model.type1_exec(m, kernel.w, modes, fine, prec),
+        TransformType::Type2 => model.type2_exec(m, kernel.w, modes, fine, prec),
+    };
+    (exec, model.total(exec, m))
+}
+
+/// Compute the true values with the CPU library at high accuracy
+/// (FINUFFT's role as ground truth in the paper's error methodology).
+pub fn ground_truth<T: Real>(
+    ttype: TransformType,
+    modes: &[usize],
+    pts: &Points<T>,
+    input: &[Complex<T>],
+) -> Vec<Complex<f64>> {
+    let iflag = if ttype == TransformType::Type1 { -1 } else { 1 };
+    // eps = 1e-14 ground truth, as in the paper's double-precision runs
+    let mut plan = finufft_cpu::Plan::<f64>::new(
+        ttype,
+        modes,
+        iflag,
+        1e-14,
+        finufft_cpu::Opts::default(),
+    )
+    .expect("truth plan");
+    let pts64 = Points::<f64> {
+        coords: [
+            pts.coords[0].iter().map(|v| v.to_f64()).collect(),
+            pts.coords[1].iter().map(|v| v.to_f64()).collect(),
+            pts.coords[2].iter().map(|v| v.to_f64()).collect(),
+        ],
+        dim: pts.dim,
+    };
+    let input64: Vec<Complex<f64>> = input.iter().map(|z| z.cast()).collect();
+    plan.set_pts(pts64).expect("truth pts");
+    let n: usize = modes.iter().product();
+    let out_len = match ttype {
+        TransformType::Type1 => n,
+        TransformType::Type2 => pts.len(),
+    };
+    let mut out = vec![Complex::<f64>::ZERO; out_len];
+    plan.execute(&input64, &mut out).expect("truth exec");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_density_sizing() {
+        let fine = Shape::d2(64, 64);
+        let (pts, cs) = workload::<f32>(PointDist::Rand, 2, fine, 1.0, 3);
+        assert_eq!(pts.len(), 4096);
+        assert_eq!(cs.len(), 4096);
+    }
+
+    #[test]
+    fn harness_runners_smoke() {
+        let fine = Shape::d2(64, 64);
+        let (pts, cs) = workload::<f32>(PointDist::Rand, 2, fine, 0.5, 4);
+        let (t, out) = run_cufinufft(
+            TransformType::Type1,
+            &[32, 32],
+            1e-4,
+            cufinufft::Method::Sm,
+            &pts,
+            &cs,
+        );
+        assert!(t.exec() > 0.0);
+        let truth = ground_truth(TransformType::Type1, &[32, 32], &pts, &cs);
+        let err = nufft_common::metrics::rel_l2(&out, &truth);
+        assert!(err < 1e-3, "err={err}");
+        let (fe, ft) = finufft_model_times::<f32>(TransformType::Type1, Shape::d2(32, 32), 1e-4, pts.len());
+        assert!(fe > 0.0 && ft > fe);
+    }
+}

@@ -1,0 +1,258 @@
+//! On-device bin sorting and subproblem construction (paper Sec. III-A).
+//!
+//! The real library does this with a handful of small CUDA kernels
+//! (bin-index, histogram, exclusive scan, scatter). Functionally we
+//! compute the same permutation on the host; the device is charged one
+//! bulk pass per kernel with the same byte traffic the CUDA version
+//! would generate.
+
+use gpu_sim::{Device, Precision};
+use nufft_common::real::Real;
+use nufft_common::shape::Shape;
+use nufft_common::workload::Points;
+use nufft_kernels::grid_coord;
+
+/// Bin decomposition of the fine grid.
+#[derive(Copy, Clone, Debug)]
+pub struct BinLayout {
+    pub bin_size: [usize; 3],
+    pub nbins: [usize; 3],
+    pub fine: Shape,
+}
+
+impl BinLayout {
+    pub fn new(fine: Shape, bin_size: [usize; 3]) -> Self {
+        let mut bs = [1usize; 3];
+        let mut nb = [1usize; 3];
+        for i in 0..fine.dim {
+            bs[i] = bin_size[i].max(1).min(fine.n[i]);
+            nb[i] = fine.n[i].div_ceil(bs[i]);
+        }
+        BinLayout {
+            bin_size: bs,
+            nbins: nb,
+            fine,
+        }
+    }
+
+    pub fn total(&self) -> usize {
+        self.nbins[0] * self.nbins[1] * self.nbins[2]
+    }
+
+    /// Fine-grid cell origin `(Delta_1, Delta_2, Delta_3)` of a bin.
+    pub fn origin(&self, bin: usize) -> [usize; 3] {
+        let b0 = bin % self.nbins[0];
+        let r = bin / self.nbins[0];
+        [
+            b0 * self.bin_size[0],
+            (r % self.nbins[1]) * self.bin_size[1],
+            (r / self.nbins[1]) * self.bin_size[2],
+        ]
+    }
+
+    #[inline]
+    pub fn bin_of_cell(&self, cell: [usize; 3]) -> usize {
+        cell[0] / self.bin_size[0]
+            + self.nbins[0]
+                * (cell[1] / self.bin_size[1] + self.nbins[1] * (cell[2] / self.bin_size[2]))
+    }
+}
+
+/// Result of the device bin sort.
+pub struct GpuBinSort {
+    pub layout: BinLayout,
+    /// Points in bin order: `perm[r]` is the original index.
+    pub perm: Vec<u32>,
+    /// CSR-style offsets into `perm`, length `bins + 1`.
+    pub starts: Vec<u32>,
+}
+
+/// One SM spreading subproblem: a slice of `perm` plus its bin.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Subproblem {
+    pub bin: u32,
+    pub start: u32,
+    pub len: u32,
+}
+
+/// Compute a point's fine-grid cell.
+#[inline]
+pub fn cell_of<T: Real>(pts: &Points<T>, j: usize, fine: Shape) -> [usize; 3] {
+    let mut cell = [0usize; 3];
+    for (i, c) in cell.iter_mut().enumerate().take(pts.dim) {
+        let g = grid_coord(pts.coord(i, j).to_f64(), fine.n[i]);
+        *c = (g as usize).min(fine.n[i] - 1);
+    }
+    cell
+}
+
+/// Bin-sort the points "on the device": host-side counting sort, device
+/// charged for the bin-index kernel, histogram, scan and scatter passes.
+pub fn gpu_bin_sort<T: Real>(
+    dev: &Device,
+    pts: &Points<T>,
+    fine: Shape,
+    bin_size: [usize; 3],
+) -> GpuBinSort {
+    let layout = BinLayout::new(fine, bin_size);
+    let nb = layout.total();
+    let m = pts.len();
+    let prec = if T::IS_DOUBLE {
+        Precision::Double
+    } else {
+        Precision::Single
+    };
+    let coord_bytes = m * pts.dim * T::BYTES;
+
+    let mut bin_of = vec![0u32; m];
+    for j in 0..m {
+        bin_of[j] = layout.bin_of_cell(cell_of(pts, j, fine)) as u32;
+    }
+    // kernel 1: compute bin index per point
+    dev.bulk_op("calc_binidx", coord_bytes, m * 4, m as f64 * 12.0, prec);
+
+    let mut counts = vec![0u32; nb + 1];
+    for &b in &bin_of {
+        counts[b as usize + 1] += 1;
+    }
+    // kernel 2: histogram (atomic adds into bin counters)
+    dev.bulk_op("bin_histogram", m * 4, nb * 4, m as f64 * 2.0, prec);
+
+    for b in 0..nb {
+        counts[b + 1] += counts[b];
+    }
+    // kernel 3: exclusive scan over bins
+    dev.bulk_op("bin_scan", nb * 4, nb * 4, nb as f64 * 2.0, prec);
+
+    let starts = counts.clone();
+    let mut cursor = counts;
+    let mut perm = vec![0u32; m];
+    for (j, &b) in bin_of.iter().enumerate() {
+        perm[cursor[b as usize] as usize] = j as u32;
+        cursor[b as usize] += 1;
+    }
+    // kernel 4: scatter point indices into bin order
+    dev.bulk_op("bin_scatter", m * 8, m * 4, m as f64 * 2.0, prec);
+
+    GpuBinSort {
+        layout,
+        perm,
+        starts,
+    }
+}
+
+/// Split bins into subproblems of at most `msub` points each (paper
+/// Sec. III-A Step 1). Charged as one light device pass over the bins.
+pub fn build_subproblems(dev: &Device, sort: &GpuBinSort, msub: usize) -> Vec<Subproblem> {
+    assert!(msub > 0);
+    let mut subs = Vec::new();
+    for bin in 0..sort.layout.total() {
+        let s = sort.starts[bin] as usize;
+        let e = sort.starts[bin + 1] as usize;
+        let mut off = s;
+        while off < e {
+            let len = (e - off).min(msub);
+            subs.push(Subproblem {
+                bin: bin as u32,
+                start: off as u32,
+                len: len as u32,
+            });
+            off += len;
+        }
+    }
+    let nb = sort.layout.total();
+    dev.bulk_op(
+        "build_subprob",
+        nb * 4,
+        subs.len() * 12,
+        nb as f64 * 4.0,
+        Precision::Single,
+    );
+    subs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nufft_common::workload::{gen_points, PointDist};
+
+    #[test]
+    fn sort_is_permutation_and_binned() {
+        let dev = Device::v100();
+        let fine = Shape::d2(128, 128);
+        let pts = gen_points::<f32>(PointDist::Rand, 2, 2000, fine, 3);
+        let s = gpu_bin_sort(&dev, &pts, fine, [32, 32, 1]);
+        let mut seen = vec![false; 2000];
+        for &p in &s.perm {
+            assert!(!seen[p as usize]);
+            seen[p as usize] = true;
+        }
+        assert!(seen.iter().all(|&x| x));
+        // every point's cell lies in its bin
+        for bin in 0..s.layout.total() {
+            let o = s.layout.origin(bin);
+            for r in s.starts[bin] as usize..s.starts[bin + 1] as usize {
+                let cell = cell_of(&pts, s.perm[r] as usize, fine);
+                for i in 0..2 {
+                    assert!(cell[i] >= o[i] && cell[i] < o[i] + s.layout.bin_size[i]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sorting_charges_the_device() {
+        let dev = Device::v100();
+        let fine = Shape::d2(64, 64);
+        let pts = gen_points::<f32>(PointDist::Rand, 2, 1000, fine, 5);
+        let t0 = dev.clock();
+        let _ = gpu_bin_sort(&dev, &pts, fine, [32, 32, 1]);
+        assert!(dev.clock() > t0);
+        let names: Vec<String> = dev.timeline().iter().map(|r| r.name.clone()).collect();
+        for k in ["calc_binidx", "bin_histogram", "bin_scan", "bin_scatter"] {
+            assert!(names.iter().any(|n| n == k), "missing kernel {k}");
+        }
+    }
+
+    #[test]
+    fn subproblems_respect_msub_and_cover_all_points() {
+        let dev = Device::v100();
+        let fine = Shape::d2(256, 256);
+        // clustered: all points land in bin 0 -> must split
+        let pts = gen_points::<f32>(PointDist::Cluster, 2, 5000, fine, 6);
+        let s = gpu_bin_sort(&dev, &pts, fine, [32, 32, 1]);
+        let subs = build_subproblems(&dev, &s, 1024);
+        assert_eq!(subs.len(), 5); // ceil(5000/1024)
+        let total: u32 = subs.iter().map(|s| s.len).sum();
+        assert_eq!(total, 5000);
+        assert!(subs.iter().all(|sp| sp.len <= 1024));
+        assert!(subs.iter().all(|sp| sp.bin == 0));
+    }
+
+    #[test]
+    fn rand_distribution_many_small_subproblems() {
+        let dev = Device::v100();
+        let fine = Shape::d2(256, 256);
+        let pts = gen_points::<f32>(PointDist::Rand, 2, 8192, fine, 7);
+        let s = gpu_bin_sort(&dev, &pts, fine, [32, 32, 1]);
+        let subs = build_subproblems(&dev, &s, 1024);
+        // 8x8 = 64 bins, 8192 points -> ~128/bin, all under the cap
+        assert_eq!(subs.len(), 64);
+        // contiguous, ordered coverage of perm
+        let mut cursor = 0u32;
+        for sp in &subs {
+            assert_eq!(sp.start, cursor);
+            cursor += sp.len;
+        }
+        assert_eq!(cursor, 8192);
+    }
+
+    #[test]
+    fn bin_origin_roundtrip() {
+        let layout = BinLayout::new(Shape::d3(64, 64, 16), [16, 16, 2]);
+        for bin in 0..layout.total() {
+            let o = layout.origin(bin);
+            assert_eq!(layout.bin_of_cell(o), bin);
+        }
+    }
+}

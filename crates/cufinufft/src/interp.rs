@@ -1,0 +1,341 @@
+//! GPU interpolation (type 2 step iii) — paper Sec. III-B.
+//!
+//! One thread per target point, in either user order (**GM**) or
+//! bin-sorted order (**GM-sort**). Reads carry no write conflicts, so the
+//! only effect of sorting is read coalescing; there is no SM variant
+//! (the paper argues its benefit would be limited).
+
+use crate::spread::{footprint, PtsRef, MAX_W};
+use gpu_sim::{Device, LaunchConfig, LaunchReport, Precision};
+use nufft_common::complex::Complex;
+use nufft_common::real::Real;
+use nufft_common::shape::Shape;
+use nufft_kernels::{EsKernel, Kernel1d};
+
+const FLOPS_PER_EVAL: u64 = 30;
+const FLOPS_PER_CELL: u64 = 8;
+
+/// Interpolate the fine grid at the points listed in `order`, writing
+/// `out[j] = value at point j` (original indexing).
+#[allow(clippy::too_many_arguments)]
+pub fn interp_gm<T: Real, K: Kernel1d>(
+    dev: &Device,
+    name: &str,
+    kernel: &K,
+    fine: Shape,
+    pts: &PtsRef<'_, T>,
+    grid: &[Complex<T>],
+    order: &[u32],
+    out: &mut [Complex<T>],
+    threads_per_block: usize,
+) -> LaunchReport {
+    assert_eq!(grid.len(), fine.total());
+    assert_eq!(out.len(), order.len());
+    let cb = std::mem::size_of::<Complex<T>>();
+    let prec = if T::IS_DOUBLE {
+        Precision::Double
+    } else {
+        Precision::Single
+    };
+    let mut k = dev.kernel(name, LaunchConfig::new(prec, threads_per_block));
+    let w = kernel.width();
+    let dim = pts.dim;
+    let [n1, n2, n3] = fine.n;
+    let mut addrs = [0usize; 32];
+    let mut idx = [[0usize; MAX_W]; 3];
+    let mut warp_sectors: Vec<usize> = Vec::new();
+    let sector_bytes = dev.props().sector_bytes;
+    for block in order.chunks(threads_per_block) {
+        let mut b = k.block();
+        for warp in block.chunks(32) {
+            // point coordinate loads
+            for arr in 0..dim {
+                for (l, &j) in warp.iter().enumerate() {
+                    addrs[l] = j as usize * T::BYTES + arr;
+                }
+                b.warp_access(&addrs[..warp.len()]);
+            }
+            b.flops(warp.len() as u64 * (dim * w) as u64 * FLOPS_PER_EVAL);
+            let fps: Vec<_> = warp
+                .iter()
+                .map(|&j| footprint(kernel, fine, pts, j as usize))
+                .collect();
+            let steps = fps[0].wd[0] * fps[0].wd[1] * fps[0].wd[2];
+            // loads are L1-cached within the warp's footprint (unlike
+            // atomics, which bypass L1): count each sector once per warp
+            warp_sectors.clear();
+            for s in 0..steps {
+                let t1 = s % fps[0].wd[0];
+                let r = s / fps[0].wd[0];
+                let (t2, t3) = (r % fps[0].wd[1], r / fps[0].wd[1]);
+                for fp in fps.iter() {
+                    let c1 = (fp.l0[0] + t1 as i64).rem_euclid(n1 as i64) as usize;
+                    let c2 = (fp.l0[1] + t2 as i64).rem_euclid(n2 as i64) as usize;
+                    let c3 = (fp.l0[2] + t3 as i64).rem_euclid(n3 as i64) as usize;
+                    warp_sectors.push((c1 + n1 * (c2 + n2 * c3)) * cb / sector_bytes);
+                }
+                b.flops(fps.len() as u64 * FLOPS_PER_CELL);
+            }
+            warp_sectors.sort_unstable();
+            warp_sectors.dedup();
+            b.l2_sector_count(warp_sectors.len() as u64);
+            // DRAM-side grid reads, row-wise through the line model
+            for fp in fps.iter() {
+                for t3 in 0..fp.wd[2] {
+                    let c3 = (fp.l0[2] + t3 as i64).rem_euclid(n3 as i64) as usize;
+                    for t2 in 0..fp.wd[1] {
+                        let c2 = (fp.l0[1] + t2 as i64).rem_euclid(n2 as i64) as usize;
+                        crate::spread::account_row(&mut b, n1 * (c2 + n2 * c3), fp.l0[0], fp.wd[0], n1, cb, false);
+                    }
+                }
+            }
+            // output writes c[t(j)] — scattered when sorted
+            for (l, &j) in warp.iter().enumerate() {
+                addrs[l] = j as usize * cb;
+            }
+            b.warp_access(&addrs[..warp.len()]);
+            // functional interpolation
+            for (&j, fp) in warp.iter().zip(fps.iter()) {
+                for i in 0..3 {
+                    let n = [n1, n2, n3][i] as i64;
+                    for t in 0..fp.wd[i] {
+                        idx[i][t] = (fp.l0[i] + t as i64).rem_euclid(n) as usize;
+                    }
+                }
+                let mut acc = Complex::<T>::ZERO;
+                for t3 in 0..fp.wd[2] {
+                    for t2 in 0..fp.wd[1] {
+                        let k23 = fp.ker[1][t2] * fp.ker[2][t3];
+                        let base = idx[2][t3] * n1 * n2 + idx[1][t2] * n1;
+                        let mut row = Complex::<T>::ZERO;
+                        for t1 in 0..fp.wd[0] {
+                            row += grid[base + idx[0][t1]].scale(T::from_f64(fp.ker[0][t1]));
+                        }
+                        acc += row.scale(T::from_f64(k23));
+                    }
+                }
+                out[j as usize] = acc;
+            }
+        }
+        b.finish();
+    }
+    dev.launch_end(k)
+}
+
+/// Shared-memory interpolation (the variant the paper chose NOT to ship;
+/// Sec. III-B argues its benefit would be limited because reads carry no
+/// write conflicts). Implemented here as an ablation: each subproblem
+/// block stages its padded bin into shared memory with coalesced global
+/// reads, then its points gather from shared. Compare against
+/// [`interp_gm`] with a bin-sorted order to reproduce the paper's
+/// design-decision evidence.
+#[allow(clippy::too_many_arguments)]
+pub fn interp_sm<T: Real>(
+    dev: &Device,
+    kernel: &EsKernel,
+    fine: Shape,
+    pts: &PtsRef<'_, T>,
+    grid: &[Complex<T>],
+    perm: &[u32],
+    layout: &crate::bins::BinLayout,
+    subproblems: &[crate::bins::Subproblem],
+    out: &mut [Complex<T>],
+) -> LaunchReport {
+    assert_eq!(grid.len(), fine.total());
+    assert_eq!(out.len(), perm.len());
+    let cb = std::mem::size_of::<Complex<T>>();
+    let prec = if T::IS_DOUBLE {
+        Precision::Double
+    } else {
+        Precision::Single
+    };
+    let w = kernel.w;
+    let pad = 2 * w.div_ceil(2);
+    let dim = pts.dim;
+    let mut p = [1usize; 3];
+    for i in 0..dim {
+        p[i] = layout.bin_size[i] + pad;
+    }
+    let padded_cells = p[0] * p[1] * p[2];
+    let shared_bytes = (padded_cells * cb).min(dev.props().shared_mem_per_block);
+    let mut k = dev.kernel("interp_SM", LaunchConfig::new(prec, 256).with_shared(shared_bytes));
+    let [n1, n2, n3] = fine.n;
+    let half = (pad / 2) as i64;
+    let mut addrs = [0usize; 32];
+    let mut idx = [[0usize; MAX_W]; 3];
+    for sp in subproblems {
+        let mut b = k.block();
+        let o = layout.origin(sp.bin as usize);
+        let delta = [
+            o[0] as i64 - half * (dim >= 1) as i64,
+            o[1] as i64 - half * (dim >= 2) as i64,
+            o[2] as i64 - half * (dim >= 3) as i64,
+        ];
+        // stage the padded bin: coalesced global reads + shared writes
+        for i3 in 0..p[2] {
+            let g3 = (delta[2] + i3 as i64).rem_euclid(n3 as i64) as usize;
+            for i2 in 0..p[1] {
+                let g2 = (delta[1] + i2 as i64).rem_euclid(n2 as i64) as usize;
+                let row_base = (g3 * n1 * n2 + g2 * n1) * cb;
+                b.stream_span(row_base, p[0] * cb, false);
+            }
+        }
+        b.shared_ops(padded_cells as u64);
+        let members = &perm[sp.start as usize..(sp.start + sp.len) as usize];
+        for warp in members.chunks(32) {
+            for arr in 0..dim {
+                for (l, &j) in warp.iter().enumerate() {
+                    addrs[l] = j as usize * T::BYTES + arr;
+                }
+                b.warp_access(&addrs[..warp.len()]);
+            }
+            b.flops(warp.len() as u64 * (dim * w) as u64 * 30);
+            for &j in warp {
+                let fp = footprint(kernel, fine, pts, j as usize);
+                // shared-memory gathers for every cell of the footprint
+                b.shared_reads((fp.wd[0] * fp.wd[1] * fp.wd[2]) as u64);
+                b.flops((fp.wd[0] * fp.wd[1] * fp.wd[2]) as u64 * 8);
+                // functional evaluation straight from the global grid
+                for i in 0..3 {
+                    let n = [n1, n2, n3][i] as i64;
+                    for t in 0..fp.wd[i] {
+                        idx[i][t] = (fp.l0[i] + t as i64).rem_euclid(n) as usize;
+                    }
+                }
+                let mut acc = Complex::<T>::ZERO;
+                for t3 in 0..fp.wd[2] {
+                    for t2 in 0..fp.wd[1] {
+                        let k23 = fp.ker[1][t2] * fp.ker[2][t3];
+                        let base = idx[2][t3] * n1 * n2 + idx[1][t2] * n1;
+                        let mut row = Complex::<T>::ZERO;
+                        for t1 in 0..fp.wd[0] {
+                            row += grid[base + idx[0][t1]].scale(T::from_f64(fp.ker[0][t1]));
+                        }
+                        acc += row.scale(T::from_f64(k23));
+                    }
+                }
+                out[j as usize] = acc;
+            }
+            // output writes
+            for (l, &j) in warp.iter().enumerate() {
+                addrs[l] = j as usize * cb;
+            }
+            b.warp_access(&addrs[..warp.len()]);
+        }
+        b.finish();
+    }
+    dev.launch_end(k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bins::gpu_bin_sort;
+    use nufft_common::workload::{gen_points, gen_strengths, PointDist, Points};
+
+    fn pts_ref<T: Real>(p: &Points<T>) -> PtsRef<'_, T> {
+        PtsRef {
+            coords: [&p.coords[0], &p.coords[1], &p.coords[2]],
+            dim: p.dim,
+        }
+    }
+
+    #[test]
+    fn sorted_and_natural_order_agree_exactly() {
+        let dev = Device::v100();
+        let fine = Shape::d2(64, 64);
+        let kernel = EsKernel::with_width(5);
+        let m = 700;
+        let pts = gen_points::<f64>(PointDist::Rand, 2, m, fine, 21);
+        let grid = gen_strengths::<f64>(fine.total(), 22);
+        let natural: Vec<u32> = (0..m as u32).collect();
+        let sort = gpu_bin_sort(&dev, &pts, fine, [32, 32, 1]);
+        let mut a = vec![Complex::<f64>::ZERO; m];
+        let mut b = vec![Complex::<f64>::ZERO; m];
+        interp_gm(&dev, "interp_GM", &kernel, fine, &pts_ref(&pts), &grid, &natural, &mut a, 128);
+        interp_gm(&dev, "interp_GMs", &kernel, fine, &pts_ref(&pts), &grid, &sort.perm, &mut b, 128);
+        // interpolation is read-only per point: results are bit-identical
+        for j in 0..m {
+            assert_eq!(a[j].re, b[j].re);
+            assert_eq!(a[j].im, b[j].im);
+        }
+    }
+
+    #[test]
+    fn interp_is_adjoint_of_spread() {
+        use crate::spread::spread_gm;
+        let dev = Device::v100();
+        let fine = Shape::d2(32, 48);
+        let kernel = EsKernel::with_width(6);
+        let m = 150;
+        let pts = gen_points::<f64>(PointDist::Rand, 2, m, fine, 31);
+        let cs = gen_strengths::<f64>(m, 32);
+        let g = gen_strengths::<f64>(fine.total(), 33);
+        let order: Vec<u32> = (0..m as u32).collect();
+        let mut sp = vec![Complex::<f64>::ZERO; fine.total()];
+        spread_gm(&dev, "s", &kernel, fine, &pts_ref(&pts), &cs, &order, &mut sp, 128, 1.0);
+        let mut it = vec![Complex::<f64>::ZERO; m];
+        interp_gm(&dev, "i", &kernel, fine, &pts_ref(&pts), &g, &order, &mut it, 128);
+        let lhs = nufft_common::metrics::inner(&sp, &g);
+        let rhs = nufft_common::metrics::inner(&cs, &it);
+        assert!((lhs - rhs).abs() < 1e-10 * (1.0 + lhs.abs()));
+    }
+
+    #[test]
+    fn sorting_speeds_up_large_grid_interp() {
+        // same regime as Fig. 3's right-hand side: grid well beyond L2,
+        // density high enough for line reuse among sorted neighbours
+        let dev = Device::v100();
+        let fine = Shape::d2(2048, 2048);
+        let kernel = EsKernel::with_width(6);
+        let m = 500_000;
+        let pts = gen_points::<f32>(PointDist::Rand, 2, m, fine, 41);
+        let grid = vec![Complex::<f32>::ZERO; fine.total()];
+        let natural: Vec<u32> = (0..m as u32).collect();
+        let sort = gpu_bin_sort(&dev, &pts, fine, [32, 32, 1]);
+        let mut a = vec![Complex::<f32>::ZERO; m];
+        let r_gm = interp_gm(&dev, "gm", &kernel, fine, &pts_ref(&pts), &grid, &natural, &mut a, 128);
+        let r_gs = interp_gm(&dev, "gms", &kernel, fine, &pts_ref(&pts), &grid, &sort.perm, &mut a, 128);
+        assert!(
+            r_gs.duration < r_gm.duration / 1.5,
+            "sorted {} vs natural {}",
+            r_gs.duration,
+            r_gm.duration
+        );
+    }
+
+    #[test]
+    fn sm_interp_matches_gm_interp_exactly() {
+        use crate::bins::{build_subproblems, gpu_bin_sort};
+        let dev = Device::v100();
+        let fine = Shape::d2(128, 128);
+        let kernel = EsKernel::with_width(6);
+        let m = 2000;
+        let pts = gen_points::<f64>(PointDist::Rand, 2, m, fine, 61);
+        let grid = gen_strengths::<f64>(fine.total(), 62);
+        let sort = gpu_bin_sort(&dev, &pts, fine, [32, 32, 1]);
+        let subs = build_subproblems(&dev, &sort, 1024);
+        let mut a = vec![Complex::<f64>::ZERO; m];
+        let mut b = vec![Complex::<f64>::ZERO; m];
+        interp_gm(&dev, "g", &kernel, fine, &pts_ref(&pts), &grid, &sort.perm, &mut a, 128);
+        interp_sm(&dev, &kernel, fine, &pts_ref(&pts), &grid, &sort.perm, &sort.layout, &subs, &mut b);
+        for j in 0..m {
+            assert_eq!(a[j].re, b[j].re);
+            assert_eq!(a[j].im, b[j].im);
+        }
+    }
+
+    #[test]
+    fn no_atomics_in_interp() {
+        let dev = Device::v100();
+        let fine = Shape::d2(32, 32);
+        let kernel = EsKernel::with_width(4);
+        let pts = gen_points::<f32>(PointDist::Rand, 2, 100, fine, 51);
+        let grid = vec![Complex::<f32>::ZERO; fine.total()];
+        let order: Vec<u32> = (0..100).collect();
+        let mut out = vec![Complex::<f32>::ZERO; 100];
+        let r = interp_gm(&dev, "i", &kernel, fine, &pts_ref(&pts), &grid, &order, &mut out, 128);
+        assert_eq!(r.global_atomics, 0);
+        assert_eq!(r.atomic_hotspot_count, 0);
+    }
+}

@@ -1,0 +1,43 @@
+//! cuFINUFFT in Rust: the paper's load-balanced GPU nonuniform FFT,
+//! running on the workspace's simulated CUDA-class device.
+//!
+//! Supports type 1 (nonuniform -> uniform) and type 2 (uniform ->
+//! nonuniform) transforms in 2 and 3 dimensions (plus 1D as an
+//! extension), single or double precision, with the paper's three
+//! spreading schemes:
+//!
+//! * [`Method::Gm`] — input-driven global-memory atomics (baseline);
+//! * [`Method::GmSort`] — bin-sorted point order for coalesced access;
+//! * [`Method::Sm`] — shared-memory subproblems capped at `M_sub` points
+//!   (type 1 only; infeasible configurations fall back per Remark 2).
+//!
+//! The interface is the C library's plan lifecycle:
+//!
+//! ```
+//! use cufinufft::{GpuOpts, Plan};
+//! use gpu_sim::Device;
+//! use nufft_common::{gen_points, gen_strengths, Complex, PointDist, Shape, TransformType};
+//!
+//! let device = Device::v100();
+//! let mut plan = Plan::<f32>::new(
+//!     TransformType::Type1, &[64, 64], -1, 1e-5, GpuOpts::default(), &device,
+//! ).unwrap();
+//! let pts = gen_points::<f32>(PointDist::Rand, 2, 1000, plan.fine_grid_shape(), 7);
+//! plan.set_pts(&pts).unwrap();
+//! let c = gen_strengths::<f32>(1000, 8);
+//! let mut f = vec![Complex::<f32>::ZERO; 64 * 64];
+//! plan.execute(&c, &mut f).unwrap();
+//! println!("exec time on simulated V100: {:.3} ms", plan.timings().exec() * 1e3);
+//! ```
+
+pub mod bins;
+pub mod interp;
+pub mod opts;
+pub mod plan;
+pub mod spread;
+pub mod type3;
+
+pub use nufft_common::TransformType;
+pub use opts::{default_bin_size, sm_feasible, sm_shared_bytes, GpuOpts, Method, ModeOrder};
+pub use plan::{GpuStageTimings, Plan};
+pub use type3::GpuType3Plan;

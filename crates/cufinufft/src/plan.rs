@@ -1,0 +1,719 @@
+//! The cuFINUFFT plan: "plan, setpts, execute, destroy" on the simulated
+//! GPU, mirroring `cufinufft_makeplan` / `cufinufft_setpts` /
+//! `cufinufft_execute` / `cufinufft_destroy` (destroy = `Drop`).
+
+use crate::bins::{build_subproblems, gpu_bin_sort, GpuBinSort, Subproblem};
+use crate::interp::interp_gm;
+use crate::opts::{default_bin_size, resolve_spread_method, GpuOpts, Method, ModeOrder};
+use crate::spread::{spread_gm, spread_sm, PtsRef};
+use gpu_sim::{Device, GpuBuffer, Precision};
+use nufft_common::complex::Complex;
+use nufft_common::error::{NufftError, Result};
+use nufft_common::real::Real;
+use nufft_common::shape::{freq_to_bin, freqs, Shape};
+use nufft_common::smooth::fine_grid_size;
+use nufft_common::workload::Points;
+use nufft_common::TransformType;
+use nufft_fft::Direction;
+use nufft_kernels::deconv::correction_rows;
+use nufft_kernels::EsKernel;
+
+/// Simulated-device time spent in each stage (seconds). The aggregates
+/// match the paper's reporting:
+/// * "exec" = spread/interp + FFT + deconvolution (re-usable transform);
+/// * "total" = exec + point preprocessing (sort, subproblem setup);
+/// * "total+mem" = total + allocation + all host-device transfers.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct GpuStageTimings {
+    pub alloc: f64,
+    pub h2d_pts: f64,
+    pub sort: f64,
+    pub h2d_data: f64,
+    pub spread_interp: f64,
+    pub fft: f64,
+    pub deconv: f64,
+    pub d2h: f64,
+}
+
+impl GpuStageTimings {
+    pub fn exec(&self) -> f64 {
+        self.spread_interp + self.fft + self.deconv
+    }
+
+    pub fn total(&self) -> f64 {
+        self.exec() + self.sort
+    }
+
+    pub fn total_mem(&self) -> f64 {
+        self.total() + self.alloc + self.h2d_pts + self.h2d_data + self.d2h
+    }
+}
+
+struct PtsState<T: Real> {
+    bufs: [GpuBuffer<T>; 3],
+    m: usize,
+    dim: usize,
+    /// Bin sort (present for GM-sort and SM; absent for plain GM).
+    sort: Option<GpuBinSort>,
+    /// SM subproblem list (empty unless the SM method is active).
+    subproblems: Vec<Subproblem>,
+}
+
+/// A cuFINUFFT plan bound to a device.
+pub struct Plan<T: Real> {
+    ttype: TransformType,
+    modes: Shape,
+    fine: Shape,
+    iflag: i32,
+    kernel: EsKernel,
+    opts: GpuOpts,
+    bin_size: [usize; 3],
+    /// Resolved spreading method for type 1.
+    spread_method: Method,
+    dev: Device,
+    fft: gpu_fft::GpuFftPlan<T>,
+    corr: [Vec<f64>; 3],
+    d_grid: GpuBuffer<Complex<T>>,
+    d_in: GpuBuffer<Complex<T>>,
+    d_out: GpuBuffer<Complex<T>>,
+    pts: Option<PtsState<T>>,
+    timings: GpuStageTimings,
+}
+
+fn oom(e: gpu_sim::OomError) -> NufftError {
+    NufftError::DeviceOom {
+        requested: e.requested,
+        available: e.available,
+    }
+}
+
+impl<T: Real> Plan<T> {
+    /// Create a plan (cufinufft_makeplan). Fine-grid sizing, kernel
+    /// selection and correction factors follow Sec. II; the spreading
+    /// method is resolved per Sec. III / Remark 2.
+    pub fn new(
+        ttype: TransformType,
+        modes: &[usize],
+        iflag: i32,
+        eps: f64,
+        opts: GpuOpts,
+        dev: &Device,
+    ) -> Result<Self> {
+        if modes.is_empty() || modes.len() > 3 {
+            return Err(NufftError::BadDim(modes.len()));
+        }
+        if modes.iter().any(|&n| n == 0) {
+            return Err(NufftError::BadModes("zero-size mode dimension".into()));
+        }
+        let kernel = if (opts.upsampfac - 2.0).abs() < 1e-12 {
+            EsKernel::for_tolerance(eps, T::IS_DOUBLE)?
+        } else {
+            EsKernel::for_tolerance_sigma(eps, opts.upsampfac, T::IS_DOUBLE)?
+        };
+        let modes = Shape::from_slice(modes);
+        let fine = modes.map(|_, n| fine_grid_size(n, opts.upsampfac, kernel.w));
+        let bin_size = opts.bin_size.unwrap_or_else(|| default_bin_size(modes.dim));
+        let cb = std::mem::size_of::<Complex<T>>();
+        let spread_method = resolve_spread_method(
+            opts.method,
+            bin_size,
+            modes.dim,
+            kernel.w,
+            cb,
+            opts.shared_mem_budget.min(dev.props().shared_mem_per_block),
+        )?;
+        let corr = correction_rows(&kernel, modes, fine);
+        let fft = gpu_fft::GpuFftPlan::new(fine);
+        let t0 = dev.clock();
+        let d_grid = dev.alloc("fine_grid", fine.total()).map_err(oom)?;
+        let d_in = dev.alloc("in", 0).map_err(oom)?;
+        let d_out = dev.alloc("out", 0).map_err(oom)?;
+        let mut timings = GpuStageTimings::default();
+        timings.alloc = dev.clock() - t0;
+        Ok(Plan {
+            ttype,
+            modes,
+            fine,
+            iflag: if iflag >= 0 { 1 } else { -1 },
+            kernel,
+            opts,
+            bin_size,
+            spread_method,
+            dev: dev.clone(),
+            fft,
+            corr,
+            d_grid,
+            d_in,
+            d_out,
+            pts: None,
+            timings,
+        })
+    }
+
+    pub fn modes(&self) -> Shape {
+        self.modes
+    }
+
+    pub fn fine_grid_shape(&self) -> Shape {
+        self.fine
+    }
+
+    pub fn kernel(&self) -> &EsKernel {
+        &self.kernel
+    }
+
+    /// The spreading method actually in use for type-1 transforms.
+    pub fn spread_method(&self) -> Method {
+        self.spread_method
+    }
+
+    pub fn device(&self) -> &Device {
+        &self.dev
+    }
+
+    /// Per-stage simulated timings accumulated by the most recent
+    /// `set_pts` + `execute` pair.
+    pub fn timings(&self) -> GpuStageTimings {
+        self.timings
+    }
+
+    pub fn num_points(&self) -> usize {
+        self.pts.as_ref().map_or(0, |p| p.m)
+    }
+
+    /// Register nonuniform points (cufinufft_setpts): transfer to the
+    /// device, bin-sort, and build SM subproblems if applicable.
+    pub fn set_pts(&mut self, pts: &Points<T>) -> Result<()> {
+        if pts.dim != self.modes.dim {
+            return Err(NufftError::BadDim(pts.dim));
+        }
+        let m = pts.len();
+        for i in 0..pts.dim {
+            if pts.coords[i].len() != m {
+                return Err(NufftError::LengthMismatch {
+                    expected: m,
+                    got: pts.coords[i].len(),
+                });
+            }
+            for (j, &v) in pts.coords[i].iter().enumerate() {
+                if !v.is_finite() {
+                    return Err(NufftError::BadPoint {
+                        index: j,
+                        value: v.to_f64(),
+                    });
+                }
+            }
+        }
+        let t0 = self.dev.clock();
+        let mut bufs = [
+            self.dev.alloc("pts_x", m).map_err(oom)?,
+            self.dev.alloc("pts_y", if pts.dim >= 2 { m } else { 0 }).map_err(oom)?,
+            self.dev.alloc("pts_z", if pts.dim >= 3 { m } else { 0 }).map_err(oom)?,
+        ];
+        let t_alloc = self.dev.clock() - t0;
+        let t1 = self.dev.clock();
+        for i in 0..pts.dim {
+            self.dev.memcpy_htod(&mut bufs[i], &pts.coords[i]);
+        }
+        let t_h2d = self.dev.clock() - t1;
+        let t2 = self.dev.clock();
+        let needs_sort = !(self.ttype == TransformType::Type1 && self.spread_method == Method::Gm)
+            && !(self.ttype == TransformType::Type2 && self.spread_method == Method::Gm);
+        let sort = needs_sort.then(|| gpu_bin_sort(&self.dev, pts, self.fine, self.bin_size));
+        let subproblems = if self.ttype == TransformType::Type1 && self.spread_method == Method::Sm
+        {
+            build_subproblems(&self.dev, sort.as_ref().expect("SM requires sorting"), self.opts.msub)
+        } else {
+            Vec::new()
+        };
+        let t_sort = self.dev.clock() - t2;
+        self.timings.alloc += t_alloc;
+        self.timings.h2d_pts = t_h2d;
+        self.timings.sort = t_sort;
+        self.pts = Some(PtsState {
+            bufs,
+            m,
+            dim: pts.dim,
+            sort,
+            subproblems,
+        });
+        Ok(())
+    }
+
+    fn precision() -> Precision {
+        if T::IS_DOUBLE {
+            Precision::Double
+        } else {
+            Precision::Single
+        }
+    }
+
+    /// Execute the transform (cufinufft_execute). Type 1: `input` = M
+    /// strengths, `output` = N modes; type 2 swaps the roles. Host-device
+    /// transfers of input/output are included and reported separately in
+    /// [`GpuStageTimings`].
+    pub fn execute(&mut self, input: &[Complex<T>], output: &mut [Complex<T>]) -> Result<()> {
+        let state = self.pts.as_ref().ok_or(NufftError::PointsNotSet)?;
+        let m = state.m;
+        let n = self.modes.total();
+        let (want_in, want_out) = match self.ttype {
+            TransformType::Type1 => (m, n),
+            TransformType::Type2 => (n, m),
+        };
+        if input.len() != want_in {
+            return Err(NufftError::LengthMismatch {
+                expected: want_in,
+                got: input.len(),
+            });
+        }
+        if output.len() != want_out {
+            return Err(NufftError::LengthMismatch {
+                expected: want_out,
+                got: output.len(),
+            });
+        }
+        // (re)allocate IO buffers on first use or size change
+        let t0 = self.dev.clock();
+        if self.d_in.len() != want_in {
+            self.d_in = self.dev.alloc("in", want_in).map_err(oom)?;
+        }
+        if self.d_out.len() != want_out {
+            self.d_out = self.dev.alloc("out", want_out).map_err(oom)?;
+        }
+        let alloc_extra = self.dev.clock() - t0;
+        self.timings.alloc += alloc_extra;
+        let t1 = self.dev.clock();
+        self.dev.memcpy_htod(&mut self.d_in, input);
+        self.timings.h2d_data = self.dev.clock() - t1;
+
+        match self.ttype {
+            TransformType::Type1 => self.exec_type1()?,
+            TransformType::Type2 => self.exec_type2()?,
+        }
+
+        let t2 = self.dev.clock();
+        self.dev.memcpy_dtoh(output, &self.d_out);
+        self.timings.d2h = self.dev.clock() - t2;
+        Ok(())
+    }
+
+    /// Execute `n_transf` stacked transforms sharing the same nonuniform
+    /// points (the C API's `ntransf` batching). `input` and `output` hold
+    /// the vectors concatenated; sorting is shared, and per-vector
+    /// spread/FFT/deconvolve stages accumulate into the timing report —
+    /// the amortization the paper's "exec" timing captures.
+    pub fn execute_batch(
+        &mut self,
+        input: &[Complex<T>],
+        output: &mut [Complex<T>],
+        n_transf: usize,
+    ) -> Result<()> {
+        if n_transf == 0 {
+            return Err(NufftError::BadOptions("n_transf must be positive".into()));
+        }
+        let state = self.pts.as_ref().ok_or(NufftError::PointsNotSet)?;
+        let m = state.m;
+        let n = self.modes.total();
+        let (in_per, out_per) = match self.ttype {
+            TransformType::Type1 => (m, n),
+            TransformType::Type2 => (n, m),
+        };
+        if input.len() != in_per * n_transf {
+            return Err(NufftError::LengthMismatch {
+                expected: in_per * n_transf,
+                got: input.len(),
+            });
+        }
+        if output.len() != out_per * n_transf {
+            return Err(NufftError::LengthMismatch {
+                expected: out_per * n_transf,
+                got: output.len(),
+            });
+        }
+        let mut acc = GpuStageTimings::default();
+        acc.alloc = self.timings.alloc;
+        acc.h2d_pts = self.timings.h2d_pts;
+        acc.sort = self.timings.sort;
+        for t in 0..n_transf {
+            self.execute(
+                &input[t * in_per..(t + 1) * in_per],
+                &mut output[t * out_per..(t + 1) * out_per],
+            )?;
+            let lt = self.timings;
+            acc.h2d_data += lt.h2d_data;
+            acc.spread_interp += lt.spread_interp;
+            acc.fft += lt.fft;
+            acc.deconv += lt.deconv;
+            acc.d2h += lt.d2h;
+        }
+        self.timings = acc;
+        Ok(())
+    }
+
+    /// Spread-only entry point (FINUFFT's `spreadinterponly` use case,
+    /// used by particle codes \[13\]\[14\]): spread the strengths onto the
+    /// plan's fine grid and return the grid contents, skipping the FFT
+    /// and deconvolution. The plan must be type 1.
+    pub fn spread_only(&mut self, strengths: &[Complex<T>], grid_out: &mut [Complex<T>]) -> Result<()> {
+        if self.ttype != TransformType::Type1 {
+            return Err(NufftError::BadOptions(
+                "spread_only requires a type 1 plan".into(),
+            ));
+        }
+        let state = self.pts.as_ref().ok_or(NufftError::PointsNotSet)?;
+        if strengths.len() != state.m {
+            return Err(NufftError::LengthMismatch {
+                expected: state.m,
+                got: strengths.len(),
+            });
+        }
+        if grid_out.len() != self.fine.total() {
+            return Err(NufftError::LengthMismatch {
+                expected: self.fine.total(),
+                got: grid_out.len(),
+            });
+        }
+        if self.d_in.len() != state.m {
+            self.d_in = self.dev.alloc("in", state.m).map_err(oom)?;
+        }
+        self.dev.memcpy_htod(&mut self.d_in, strengths);
+        let t0 = self.dev.clock();
+        self.d_grid.as_mut_slice().iter_mut().for_each(|z| *z = Complex::ZERO);
+        let cb = std::mem::size_of::<Complex<T>>();
+        self.dev
+            .bulk_op("memset_grid", 0, self.fine.total() * cb, 0.0, Self::precision());
+        self.run_spread();
+        self.timings.spread_interp = self.dev.clock() - t0;
+        self.dev.memcpy_dtoh(grid_out, &self.d_grid);
+        Ok(())
+    }
+
+    /// Interpolation-only entry point: evaluate the given fine-grid data
+    /// at the plan's points, skipping pre-correction and the FFT. The
+    /// plan must be type 2.
+    pub fn interp_only(&mut self, grid_in: &[Complex<T>], out: &mut [Complex<T>]) -> Result<()> {
+        if self.ttype != TransformType::Type2 {
+            return Err(NufftError::BadOptions(
+                "interp_only requires a type 2 plan".into(),
+            ));
+        }
+        let state = self.pts.as_ref().ok_or(NufftError::PointsNotSet)?;
+        if grid_in.len() != self.fine.total() {
+            return Err(NufftError::LengthMismatch {
+                expected: self.fine.total(),
+                got: grid_in.len(),
+            });
+        }
+        if out.len() != state.m {
+            return Err(NufftError::LengthMismatch {
+                expected: state.m,
+                got: out.len(),
+            });
+        }
+        self.dev.memcpy_htod(&mut self.d_grid, grid_in);
+        if self.d_out.len() != state.m {
+            self.d_out = self.dev.alloc("out", state.m).map_err(oom)?;
+        }
+        let t0 = self.dev.clock();
+        self.run_interp();
+        self.timings.spread_interp = self.dev.clock() - t0;
+        self.dev.memcpy_dtoh(out, &self.d_out);
+        Ok(())
+    }
+
+    /// Batched execution with copy/compute overlap on two streams, the
+    /// real library's batching strategy: the host-device transfer of
+    /// batch `i+1` hides under the kernels of batch `i`. Returns the
+    /// pipelined wall-clock time; numerical results are identical to
+    /// [`Plan::execute_batch`].
+    pub fn execute_batch_pipelined(
+        &mut self,
+        input: &[Complex<T>],
+        output: &mut [Complex<T>],
+        n_transf: usize,
+    ) -> Result<f64> {
+        use gpu_sim::{EngineState, Stream, StreamOp};
+        if n_transf == 0 {
+            return Err(NufftError::BadOptions("n_transf must be positive".into()));
+        }
+        let state = self.pts.as_ref().ok_or(NufftError::PointsNotSet)?;
+        let m = state.m;
+        let n = self.modes.total();
+        let (in_per, out_per) = match self.ttype {
+            TransformType::Type1 => (m, n),
+            TransformType::Type2 => (n, m),
+        };
+        if input.len() != in_per * n_transf || output.len() != out_per * n_transf {
+            return Err(NufftError::LengthMismatch {
+                expected: in_per * n_transf,
+                got: input.len(),
+            });
+        }
+        // snapshot the clock: the batch members run serially below (for
+        // exact numerics and per-stage durations), and the stream model
+        // re-times those durations with copy/compute overlap, all
+        // relative to this base
+        let base = self.dev.clock();
+        let mut engines = EngineState::default();
+        let mut streams = [Stream::new(&self.dev), Stream::new(&self.dev)];
+        for t in 0..n_transf {
+            self.execute(
+                &input[t * in_per..(t + 1) * in_per],
+                &mut output[t * out_per..(t + 1) * out_per],
+            )?;
+            let lt = self.timings;
+            // queue the measured durations on alternating streams
+            let s = &mut streams[t % 2];
+            s.enqueue(&mut engines, StreamOp::TransferH2D, lt.h2d_data);
+            s.enqueue(&mut engines, StreamOp::Compute, lt.exec());
+            s.enqueue(&mut engines, StreamOp::TransferD2H, lt.d2h);
+        }
+        let wall = streams.iter().map(|s| s.head()).fold(base, f64::max) - base;
+        Ok(wall)
+    }
+
+    /// Dispatch the configured spreading method from `d_in` into
+    /// `d_grid` (the grid must already be zeroed and priced).
+    fn run_spread(&mut self) {
+        let state = self.pts.as_ref().expect("points checked");
+        let pr = PtsRef {
+            coords: [
+                state.bufs[0].as_slice(),
+                state.bufs[1].as_slice(),
+                state.bufs[2].as_slice(),
+            ],
+            dim: state.dim,
+        };
+        let strengths = self.d_in.as_slice();
+        let grid = self.d_grid.as_mut_slice();
+        match self.spread_method {
+            Method::Gm => {
+                let natural: Vec<u32> = (0..state.m as u32).collect();
+                spread_gm(
+                    &self.dev,
+                    "spread_GM",
+                    &self.kernel,
+                    self.fine,
+                    &pr,
+                    strengths,
+                    &natural,
+                    grid,
+                    self.opts.threads_per_block,
+                    1.0,
+                );
+            }
+            Method::GmSort => {
+                let sort = state.sort.as_ref().expect("GM-sort requires sorting");
+                spread_gm(
+                    &self.dev,
+                    "spread_GM-sort",
+                    &self.kernel,
+                    self.fine,
+                    &pr,
+                    strengths,
+                    &sort.perm,
+                    grid,
+                    self.opts.threads_per_block,
+                    1.0,
+                );
+            }
+            Method::Sm => {
+                let sort = state.sort.as_ref().expect("SM requires sorting");
+                spread_sm(
+                    &self.dev,
+                    &self.kernel,
+                    self.fine,
+                    &pr,
+                    strengths,
+                    &sort.perm,
+                    &sort.layout,
+                    &state.subproblems,
+                    grid,
+                );
+            }
+            Method::Auto => unreachable!("method resolved at plan time"),
+        }
+    }
+
+    fn exec_type1(&mut self) -> Result<()> {
+        // memset the fine grid
+        let cb = std::mem::size_of::<Complex<T>>();
+        let t0 = self.dev.clock();
+        self.d_grid.as_mut_slice().iter_mut().for_each(|z| *z = Complex::ZERO);
+        self.dev
+            .bulk_op("memset_grid", 0, self.fine.total() * cb, 0.0, Self::precision());
+        self.run_spread();
+        self.timings.spread_interp = self.dev.clock() - t0;
+        // FFT
+        let t1 = self.dev.clock();
+        self.fft
+            .execute(&self.dev, &mut self.d_grid, Direction::from_sign(self.iflag));
+        self.timings.fft = self.dev.clock() - t1;
+        // deconvolve + truncate
+        let t2 = self.dev.clock();
+        deconv_type1(
+            &self.corr,
+            self.modes,
+            self.fine,
+            self.opts.modeord,
+            self.d_grid.as_slice(),
+            self.d_out.as_mut_slice(),
+        );
+        self.dev.bulk_op(
+            "deconvolve",
+            self.modes.total() * cb,
+            self.modes.total() * cb,
+            self.modes.total() as f64 * 8.0,
+            Self::precision(),
+        );
+        self.timings.deconv = self.dev.clock() - t2;
+        Ok(())
+    }
+
+    fn exec_type2(&mut self) -> Result<()> {
+        let cb = std::mem::size_of::<Complex<T>>();
+        // pre-correct + zero-pad
+        let t0 = self.dev.clock();
+        self.d_grid.as_mut_slice().iter_mut().for_each(|z| *z = Complex::ZERO);
+        self.dev
+            .bulk_op("memset_grid", 0, self.fine.total() * cb, 0.0, Self::precision());
+        deconv_type2(
+            &self.corr,
+            self.modes,
+            self.fine,
+            self.opts.modeord,
+            self.d_in.as_slice(),
+            self.d_grid.as_mut_slice(),
+        );
+        self.dev.bulk_op(
+            "precorrect",
+            self.modes.total() * cb,
+            self.modes.total() * cb,
+            self.modes.total() as f64 * 8.0,
+            Self::precision(),
+        );
+        self.timings.deconv = self.dev.clock() - t0;
+        // FFT
+        let t1 = self.dev.clock();
+        self.fft
+            .execute(&self.dev, &mut self.d_grid, Direction::from_sign(self.iflag));
+        self.timings.fft = self.dev.clock() - t1;
+        // interpolate
+        let t2 = self.dev.clock();
+        self.run_interp();
+        self.timings.spread_interp = self.dev.clock() - t2;
+        Ok(())
+    }
+
+    /// Dispatch interpolation from `d_grid` into `d_out`.
+    fn run_interp(&mut self) {
+        let state = self.pts.as_ref().expect("points checked");
+        let pr = PtsRef {
+            coords: [
+                state.bufs[0].as_slice(),
+                state.bufs[1].as_slice(),
+                state.bufs[2].as_slice(),
+            ],
+            dim: state.dim,
+        };
+        let out = self.d_out.as_mut_slice();
+        match (&state.sort, self.spread_method) {
+            (_, Method::Gm) | (None, _) => {
+                let natural: Vec<u32> = (0..state.m as u32).collect();
+                interp_gm(
+                    &self.dev,
+                    "interp_GM",
+                    &self.kernel,
+                    self.fine,
+                    &pr,
+                    self.d_grid.as_slice(),
+                    &natural,
+                    out,
+                    self.opts.threads_per_block,
+                );
+            }
+            (Some(sort), _) => {
+                interp_gm(
+                    &self.dev,
+                    "interp_GM-sort",
+                    &self.kernel,
+                    self.fine,
+                    &pr,
+                    self.d_grid.as_slice(),
+                    &sort.perm,
+                    out,
+                    self.opts.threads_per_block,
+                );
+            }
+        }
+    }
+}
+
+/// Caller-array index of mode `(j1,j2,j3)` (ascending-frequency
+/// enumeration indices) under the plan's mode ordering.
+#[inline]
+fn mode_index(modes: Shape, modeord: ModeOrder, j1: usize, j2: usize, j3: usize) -> usize {
+    match modeord {
+        ModeOrder::Centered => j1 + modes.n[0] * (j2 + modes.n[1] * j3),
+        ModeOrder::Fft => {
+            // j enumerates k = -N/2 + j; FFT order stores k at k mod N
+            let f = |j: usize, n: usize| (j + n - n / 2) % n;
+            f(j1, modes.n[0])
+                + modes.n[0] * (f(j2, modes.n[1]) + modes.n[1] * f(j3, modes.n[2]))
+        }
+    }
+}
+
+/// Type 1 step 3 on device data (host-functional).
+fn deconv_type1<T: Real>(
+    corr: &[Vec<f64>; 3],
+    modes: Shape,
+    fine: Shape,
+    modeord: ModeOrder,
+    grid: &[Complex<T>],
+    out: &mut [Complex<T>],
+) {
+    let k1s: Vec<(usize, f64)> = freqs(modes.n[0])
+        .enumerate()
+        .map(|(j, k)| (freq_to_bin(k, fine.n[0]), corr[0][j]))
+        .collect();
+    for (j3, k3) in freqs(modes.n[2]).enumerate() {
+        let b3 = freq_to_bin(k3, fine.n[2]) * fine.n[0] * fine.n[1];
+        let p3 = corr[2][j3];
+        for (j2, k2) in freqs(modes.n[1]).enumerate() {
+            let b2 = b3 + freq_to_bin(k2, fine.n[1]) * fine.n[0];
+            let p23 = p3 * corr[1][j2];
+            for (j1, (b1, p1)) in k1s.iter().enumerate() {
+                out[mode_index(modes, modeord, j1, j2, j3)] =
+                    grid[b2 + b1].scale(T::from_f64(p1 * p23));
+            }
+        }
+    }
+}
+
+/// Type 2 step 1 on device data (host-functional). `grid` must be zeroed.
+fn deconv_type2<T: Real>(
+    corr: &[Vec<f64>; 3],
+    modes: Shape,
+    fine: Shape,
+    modeord: ModeOrder,
+    input: &[Complex<T>],
+    grid: &mut [Complex<T>],
+) {
+    let k1s: Vec<(usize, f64)> = freqs(modes.n[0])
+        .enumerate()
+        .map(|(j, k)| (freq_to_bin(k, fine.n[0]), corr[0][j]))
+        .collect();
+    for (j3, k3) in freqs(modes.n[2]).enumerate() {
+        let b3 = freq_to_bin(k3, fine.n[2]) * fine.n[0] * fine.n[1];
+        let p3 = corr[2][j3];
+        for (j2, k2) in freqs(modes.n[1]).enumerate() {
+            let b2 = b3 + freq_to_bin(k2, fine.n[1]) * fine.n[0];
+            let p23 = p3 * corr[1][j2];
+            for (j1, (b1, p1)) in k1s.iter().enumerate() {
+                grid[b2 + b1] =
+                    input[mode_index(modes, modeord, j1, j2, j3)].scale(T::from_f64(p1 * p23));
+            }
+        }
+    }
+}

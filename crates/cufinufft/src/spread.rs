@@ -1,0 +1,507 @@
+//! The three GPU spreading schemes of the paper (Sec. III-A): **GM**,
+//! **GM-sort** and **SM**, executed functionally with warp/block-level
+//! cost accounting on the simulated device.
+//!
+//! All three produce identical sums up to floating-point reassociation;
+//! what differs is the *memory behaviour* the device prices:
+//!
+//! * GM: threads in user order — scattered sectors, global atomics whose
+//!   contention explodes for clustered points;
+//! * GM-sort: threads in bin order — neighbouring lanes hit neighbouring
+//!   sectors (coalesced), same atomic contention;
+//! * SM: per-subproblem accumulation in shared memory, one global atomic
+//!   per padded-bin cell at the end, subproblems capped at `M_sub` for
+//!   load balance.
+
+use crate::bins::{BinLayout, Subproblem};
+use gpu_sim::{Device, LaunchConfig, LaunchReport, Precision};
+use nufft_common::complex::Complex;
+use nufft_common::real::Real;
+use nufft_common::shape::Shape;
+use nufft_kernels::{grid_coord, spread_footprint, EsKernel, Kernel1d};
+
+/// Maximum kernel width across all supported kernels (the Gaussian
+/// baseline needs up to 26).
+pub const MAX_W: usize = 32;
+
+/// Borrowed structure-of-arrays view of the device-resident points.
+#[derive(Copy, Clone)]
+pub struct PtsRef<'a, T> {
+    pub coords: [&'a [T]; 3],
+    pub dim: usize,
+}
+
+impl<'a, T: Real> PtsRef<'a, T> {
+    pub fn len(&self) -> usize {
+        self.coords[0].len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.coords[0].is_empty()
+    }
+
+    #[inline(always)]
+    pub fn coord(&self, i: usize, j: usize) -> T {
+        if i < self.dim {
+            self.coords[i][j]
+        } else {
+            T::ZERO
+        }
+    }
+}
+
+pub(crate) struct Footprint {
+    pub l0: [i64; 3],
+    pub wd: [usize; 3],
+    pub ker: [[f64; MAX_W]; 3],
+}
+
+#[inline]
+pub(crate) fn footprint<T: Real, K: Kernel1d>(
+    kernel: &K,
+    fine: Shape,
+    pts: &PtsRef<'_, T>,
+    j: usize,
+) -> Footprint {
+    let w = kernel.width();
+    let mut fp = Footprint {
+        l0: [0; 3],
+        wd: [1; 3],
+        ker: [[1.0; MAX_W]; 3],
+    };
+    for i in 0..pts.dim {
+        let g = grid_coord(pts.coord(i, j).to_f64(), fine.n[i]);
+        let (l0, z0) = spread_footprint(g, w);
+        fp.l0[i] = l0;
+        fp.wd[i] = w;
+        kernel.eval_row(z0, &mut fp.ker[i][..w]);
+    }
+    fp
+}
+
+
+/// Report one kernel-footprint row (contiguous in x, wrapped mod n1) to
+/// the block's DRAM line model. `write` for atomic read-modify-write.
+#[inline]
+pub(crate) fn account_row(
+    b: &mut gpu_sim::BlockCtx<'_>,
+    row_base_cell: usize, // cell index of (0, c2, c3) in the grid
+    l0: i64,
+    w: usize,
+    n1: usize,
+    cb: usize,
+    write: bool,
+) {
+    let start = l0.rem_euclid(n1 as i64) as usize;
+    if start + w <= n1 {
+        b.dram_span((row_base_cell + start) * cb, w * cb, write);
+    } else {
+        let first = n1 - start;
+        b.dram_span((row_base_cell + start) * cb, first * cb, write);
+        b.dram_span(row_base_cell * cb, (w - first) * cb, write);
+    }
+}
+
+fn precision<T: Real>() -> Precision {
+    if T::IS_DOUBLE {
+        Precision::Double
+    } else {
+        Precision::Single
+    }
+}
+
+/// FLOPs charged per kernel evaluation (exp + sqrt + mults on a GPU SFU).
+const FLOPS_PER_EVAL: u64 = 30;
+/// FLOPs per grid-cell update (complex scale + add).
+const FLOPS_PER_CELL: u64 = 8;
+
+/// GM / GM-sort spreading: one thread per nonuniform point, processed in
+/// `order` (user order for GM, bin-sorted for GM-sort). The distinction
+/// is entirely in the coalescing the order produces.
+#[allow(clippy::too_many_arguments)]
+pub fn spread_gm<T: Real, K: Kernel1d>(
+    dev: &Device,
+    name: &str,
+    kernel: &K,
+    fine: Shape,
+    pts: &PtsRef<'_, T>,
+    strengths: &[Complex<T>],
+    order: &[u32],
+    grid: &mut [Complex<T>],
+    threads_per_block: usize,
+    cas_atomic_penalty: f64,
+) -> LaunchReport {
+    assert_eq!(grid.len(), fine.total());
+    let m = order.len();
+    let cb = std::mem::size_of::<Complex<T>>();
+    let prec = precision::<T>();
+    let mut k = dev.kernel(
+        name,
+        LaunchConfig::new(prec, threads_per_block).with_cas_penalty(cas_atomic_penalty),
+    );
+    k.atomic_region(fine.total(), cb);
+    let w = kernel.width();
+    let dim = pts.dim;
+    let [n1, n2, n3] = fine.n;
+    let mut addrs = [0usize; 32];
+    let mut idx = [[0usize; MAX_W]; 3];
+    for block in order.chunks(threads_per_block) {
+        let mut b = k.block();
+        for warp in block.chunks(32) {
+            // point-data loads: one access per array (x, y, z, c)
+            for arr in 0..dim {
+                for (l, &j) in warp.iter().enumerate() {
+                    addrs[l] = j as usize * T::BYTES + arr;
+                }
+                b.warp_access(&addrs[..warp.len()]);
+            }
+            for (l, &j) in warp.iter().enumerate() {
+                addrs[l] = j as usize * cb;
+            }
+            b.warp_access(&addrs[..warp.len()]);
+            b.flops(warp.len() as u64 * (dim * w) as u64 * FLOPS_PER_EVAL);
+
+            // footprints for the warp
+            let fps: Vec<Footprint> = warp
+                .iter()
+                .map(|&j| footprint(kernel, fine, pts, j as usize))
+                .collect();
+            let steps = fps[0].wd[0] * fps[0].wd[1] * fps[0].wd[2];
+            // lockstep loop over the w^d cells: lanes touch their own
+            // cell; L2 coalescing per step, DRAM reuse per footprint row
+            for s in 0..steps {
+                let t1 = s % fps[0].wd[0];
+                let r = s / fps[0].wd[0];
+                let (t2, t3) = (r % fps[0].wd[1], r / fps[0].wd[1]);
+                for (l, fp) in fps.iter().enumerate() {
+                    let c1 = (fp.l0[0] + t1 as i64).rem_euclid(n1 as i64) as usize;
+                    let c2 = (fp.l0[1] + t2 as i64).rem_euclid(n2 as i64) as usize;
+                    let c3 = (fp.l0[2] + t3 as i64).rem_euclid(n3 as i64) as usize;
+                    let cell = c1 + n1 * (c2 + n2 * c3);
+                    addrs[l] = cell * cb;
+                    b.global_atomic(cell); // op cost + contention
+                    b.global_atomic(cell); // two words per complex add
+                }
+                b.l2_access(&addrs[..fps.len()]);
+                b.flops(fps.len() as u64 * FLOPS_PER_CELL);
+            }
+            // DRAM-side traffic: each footprint row filtered through the
+            // L2 line model (this is where sorting pays off)
+            for fp in fps.iter() {
+                for t3 in 0..fp.wd[2] {
+                    let c3 = (fp.l0[2] + t3 as i64).rem_euclid(n3 as i64) as usize;
+                    for t2 in 0..fp.wd[1] {
+                        let c2 = (fp.l0[1] + t2 as i64).rem_euclid(n2 as i64) as usize;
+                        account_row(&mut b, n1 * (c2 + n2 * c3), fp.l0[0], fp.wd[0], n1, cb, true);
+                    }
+                }
+            }
+            // functional update
+            for (&j, fp) in warp.iter().zip(fps.iter()) {
+                let c = strengths[j as usize];
+                for i in 0..3 {
+                    let n = [n1, n2, n3][i] as i64;
+                    for t in 0..fp.wd[i] {
+                        idx[i][t] = (fp.l0[i] + t as i64).rem_euclid(n) as usize;
+                    }
+                }
+                for t3 in 0..fp.wd[2] {
+                    let off3 = idx[2][t3] * n1 * n2;
+                    for t2 in 0..fp.wd[1] {
+                        let c23 = c.scale(T::from_f64(fp.ker[1][t2] * fp.ker[2][t3]));
+                        let base = off3 + idx[1][t2] * n1;
+                        for t1 in 0..fp.wd[0] {
+                            grid[base + idx[0][t1]] += c23.scale(T::from_f64(fp.ker[0][t1]));
+                        }
+                    }
+                }
+            }
+        }
+        b.finish();
+    }
+    let _ = m;
+    dev.launch_end(k)
+}
+
+/// SM spreading (paper Fig. 1): one thread block per subproblem, local
+/// accumulation in a shared-memory padded bin, then one global atomic add
+/// per padded-bin cell.
+#[allow(clippy::too_many_arguments)]
+pub fn spread_sm<T: Real>(
+    dev: &Device,
+    kernel: &EsKernel,
+    fine: Shape,
+    pts: &PtsRef<'_, T>,
+    strengths: &[Complex<T>],
+    perm: &[u32],
+    layout: &BinLayout,
+    subproblems: &[Subproblem],
+    grid: &mut [Complex<T>],
+) -> LaunchReport {
+    assert_eq!(grid.len(), fine.total());
+    let cb = std::mem::size_of::<Complex<T>>();
+    let prec = precision::<T>();
+    let w = kernel.w;
+    let pad = 2 * w.div_ceil(2);
+    let dim = pts.dim;
+    // padded bin extents (eq. 13)
+    let mut p = [1usize; 3];
+    for i in 0..dim {
+        p[i] = layout.bin_size[i] + pad;
+    }
+    let padded_cells = p[0] * p[1] * p[2];
+    let shared_bytes = padded_cells * cb;
+    let mut k = dev.kernel(
+        "spread_SM",
+        LaunchConfig::new(prec, 256).with_shared(shared_bytes.min(dev.props().shared_mem_per_block)),
+    );
+    k.atomic_region(fine.total(), cb);
+    let [n1, n2, n3] = fine.n;
+    let half = (pad / 2) as i64;
+    let mut local = vec![Complex::<T>::ZERO; padded_cells];
+    let mut addrs = [0usize; 32];
+    for sp in subproblems {
+        let mut b = k.block();
+        let o = layout.origin(sp.bin as usize);
+        // shared-memory zero fill
+        b.shared_ops(padded_cells as u64);
+        local.iter_mut().for_each(|z| *z = Complex::ZERO);
+        // offset of the padded bin within the fine grid (can be negative)
+        let delta = [
+            o[0] as i64 - half * (dim >= 1) as i64,
+            o[1] as i64 - half * (dim >= 2) as i64,
+            o[2] as i64 - half * (dim >= 3) as i64,
+        ];
+        let members = &perm[sp.start as usize..(sp.start + sp.len) as usize];
+        for warp in members.chunks(32) {
+            // gather point data (scattered: members are original indices)
+            for arr in 0..dim {
+                for (l, &j) in warp.iter().enumerate() {
+                    addrs[l] = j as usize * T::BYTES + arr;
+                }
+                b.warp_access(&addrs[..warp.len()]);
+            }
+            for (l, &j) in warp.iter().enumerate() {
+                addrs[l] = j as usize * cb;
+            }
+            b.warp_access(&addrs[..warp.len()]);
+            b.flops(warp.len() as u64 * (dim * w) as u64 * FLOPS_PER_EVAL);
+            for &j in warp {
+                let fp = footprint(kernel, fine, pts, j as usize);
+                let c = strengths[j as usize];
+                let b1 = (fp.l0[0] - delta[0]) as usize;
+                let b2 = if dim >= 2 { (fp.l0[1] - delta[1]) as usize } else { 0 };
+                let b3 = if dim >= 3 { (fp.l0[2] - delta[2]) as usize } else { 0 };
+                for t3 in 0..fp.wd[2] {
+                    let off3 = (b3 + t3) * p[0] * p[1];
+                    for t2 in 0..fp.wd[1] {
+                        let c23 = c.scale(T::from_f64(fp.ker[1][t2] * fp.ker[2][t3]));
+                        let base = off3 + (b2 + t2) * p[0] + b1;
+                        for t1 in 0..fp.wd[0] {
+                            let cell = base + t1;
+                            // two shared atomics per cell (re, im words)
+                            b.shared_atomic(cell);
+                            b.shared_atomic(cell);
+                            local[cell] += c23.scale(T::from_f64(fp.ker[0][t1]));
+                        }
+                    }
+                }
+                b.flops((fp.wd[0] * fp.wd[1] * fp.wd[2]) as u64 * FLOPS_PER_CELL);
+            }
+        }
+        // Step 3: atomic add the padded bin back to global memory
+        b.shared_ops(padded_cells as u64); // shared reads
+        for i3 in 0..p[2] {
+            let g3 = ((delta[2] + i3 as i64).rem_euclid(n3 as i64)) as usize;
+            for i2 in 0..p[1] {
+                let g2 = ((delta[1] + i2 as i64).rem_euclid(n2 as i64)) as usize;
+                let row_base = g3 * n1 * n2 + g2 * n1;
+                let lrow = (i3 * p[1] + i2) * p[0];
+                let mut l = 0usize;
+                while l < p[0] {
+                    let lanes = (p[0] - l).min(32);
+                    for (s, slot) in addrs.iter_mut().enumerate().take(lanes) {
+                        let g1 = ((delta[0] + (l + s) as i64).rem_euclid(n1 as i64)) as usize;
+                        *slot = (row_base + g1) * cb;
+                    }
+                    b.l2_access(&addrs[..lanes]);
+                    for s in 0..lanes {
+                        let g1 = ((delta[0] + (l + s) as i64).rem_euclid(n1 as i64)) as usize;
+                        let cell = row_base + g1;
+                        b.global_atomic(cell);
+                        b.global_atomic(cell);
+                        grid[cell] += local[lrow + l + s];
+                    }
+                    l += lanes;
+                }
+                account_row(&mut b, row_base, delta[0], p[0], n1, cb, true);
+            }
+        }
+        b.flops(padded_cells as u64 * 2);
+        b.finish();
+    }
+    dev.launch_end(k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bins::{build_subproblems, gpu_bin_sort};
+    use nufft_common::metrics::rel_l2;
+    use nufft_common::workload::{gen_points, gen_strengths, PointDist, Points};
+
+    fn pts_ref<T: Real>(p: &Points<T>) -> PtsRef<'_, T> {
+        PtsRef {
+            coords: [&p.coords[0], &p.coords[1], &p.coords[2]],
+            dim: p.dim,
+        }
+    }
+
+    /// CPU reference: serial spread in natural order.
+    fn reference(
+        kernel: &EsKernel,
+        fine: Shape,
+        pts: &Points<f64>,
+        cs: &[Complex<f64>],
+    ) -> Vec<Complex<f64>> {
+        let mut out = vec![Complex::<f64>::ZERO; fine.total()];
+        let order: Vec<u32> = (0..pts.len() as u32).collect();
+        let pr = pts_ref(pts);
+        for &j in &order {
+            let fp = footprint(kernel, fine, &pr, j as usize);
+            let [n1, n2, n3] = fine.n;
+            let mut idx = [[0usize; MAX_W]; 3];
+            for i in 0..3 {
+                let n = [n1, n2, n3][i] as i64;
+                for t in 0..fp.wd[i] {
+                    idx[i][t] = (fp.l0[i] + t as i64).rem_euclid(n) as usize;
+                }
+            }
+            let c = cs[j as usize];
+            for t3 in 0..fp.wd[2] {
+                for t2 in 0..fp.wd[1] {
+                    let c23 = c.scale(fp.ker[1][t2] * fp.ker[2][t3]);
+                    let base = idx[2][t3] * n1 * n2 + idx[1][t2] * n1;
+                    for t1 in 0..fp.wd[0] {
+                        out[base + idx[0][t1]] += c23.scale(fp.ker[0][t1]);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn gm_matches_reference_2d() {
+        let dev = Device::v100();
+        let fine = Shape::d2(64, 64);
+        let kernel = EsKernel::with_width(6);
+        let pts = gen_points::<f64>(PointDist::Rand, 2, 500, fine, 1);
+        let cs = gen_strengths::<f64>(500, 2);
+        let order: Vec<u32> = (0..500).collect();
+        let mut grid = vec![Complex::<f64>::ZERO; fine.total()];
+        spread_gm(&dev, "spread_GM", &kernel, fine, &pts_ref(&pts), &cs, &order, &mut grid, 128, 1.0);
+        let want = reference(&kernel, fine, &pts, &cs);
+        assert!(rel_l2(&grid, &want) < 1e-13);
+    }
+
+    #[test]
+    fn gm_sort_same_sums_different_order() {
+        let dev = Device::v100();
+        let fine = Shape::d2(64, 64);
+        let kernel = EsKernel::with_width(4);
+        let pts = gen_points::<f64>(PointDist::Rand, 2, 800, fine, 3);
+        let cs = gen_strengths::<f64>(800, 4);
+        let sort = gpu_bin_sort(&dev, &pts, fine, [32, 32, 1]);
+        let mut grid = vec![Complex::<f64>::ZERO; fine.total()];
+        spread_gm(&dev, "spread_GM-sort", &kernel, fine, &pts_ref(&pts), &cs, &sort.perm, &mut grid, 128, 1.0);
+        let want = reference(&kernel, fine, &pts, &cs);
+        assert!(rel_l2(&grid, &want) < 1e-13);
+    }
+
+    #[test]
+    fn sm_matches_reference_2d() {
+        let dev = Device::v100();
+        let fine = Shape::d2(128, 128);
+        let kernel = EsKernel::with_width(6);
+        let pts = gen_points::<f64>(PointDist::Rand, 2, 3000, fine, 5);
+        let cs = gen_strengths::<f64>(3000, 6);
+        let sort = gpu_bin_sort(&dev, &pts, fine, [32, 32, 1]);
+        let subs = build_subproblems(&dev, &sort, 1024);
+        let mut grid = vec![Complex::<f64>::ZERO; fine.total()];
+        spread_sm(&dev, &kernel, fine, &pts_ref(&pts), &cs, &sort.perm, &sort.layout, &subs, &mut grid);
+        let want = reference(&kernel, fine, &pts, &cs);
+        assert!(rel_l2(&grid, &want) < 1e-13);
+    }
+
+    #[test]
+    fn sm_matches_reference_3d_and_cluster() {
+        let dev = Device::v100();
+        let fine = Shape::d3(32, 32, 32);
+        let kernel = EsKernel::with_width(5);
+        for dist in [PointDist::Rand, PointDist::Cluster] {
+            let pts = gen_points::<f64>(dist, 3, 2000, fine, 7);
+            let cs = gen_strengths::<f64>(2000, 8);
+            let sort = gpu_bin_sort(&dev, &pts, fine, [16, 16, 2]);
+            let subs = build_subproblems(&dev, &sort, 256);
+            let mut grid = vec![Complex::<f64>::ZERO; fine.total()];
+            spread_sm(&dev, &kernel, fine, &pts_ref(&pts), &cs, &sort.perm, &sort.layout, &subs, &mut grid);
+            let want = reference(&kernel, fine, &pts, &cs);
+            assert!(rel_l2(&grid, &want) < 1e-13, "{dist:?}");
+        }
+    }
+
+    #[test]
+    fn gm_sort_prices_faster_than_gm_on_large_rand_grids() {
+        // grid must exceed L2 (the paper's large-grid regime, Fig. 2) and
+        // the density must be high enough that sorted neighbours share
+        // cache lines
+        let dev = Device::v100();
+        let fine = Shape::d2(2048, 2048);
+        let kernel = EsKernel::with_width(6);
+        let m = 500_000;
+        let pts = gen_points::<f32>(PointDist::Rand, 2, m, fine, 9);
+        let cs = gen_strengths::<f32>(m, 10);
+        let natural: Vec<u32> = (0..m as u32).collect();
+        let sort = gpu_bin_sort(&dev, &pts, fine, [32, 32, 1]);
+        let mut g1 = vec![Complex::<f32>::ZERO; fine.total()];
+        let r_gm = spread_gm(&dev, "gm", &kernel, fine, &pts_ref(&pts), &cs, &natural, &mut g1, 128, 1.0);
+        let mut g2 = vec![Complex::<f32>::ZERO; fine.total()];
+        let r_gs = spread_gm(&dev, "gms", &kernel, fine, &pts_ref(&pts), &cs, &sort.perm, &mut g2, 128, 1.0);
+        assert!(
+            r_gs.duration < r_gm.duration / 2.0,
+            "GM-sort {} should beat GM {}",
+            r_gs.duration,
+            r_gm.duration
+        );
+        // and the results agree
+        assert!(rel_l2(&g1, &g2) < 1e-4);
+    }
+
+    #[test]
+    fn sm_crushes_gm_on_clustered_points() {
+        let dev = Device::v100();
+        let fine = Shape::d2(512, 512);
+        let kernel = EsKernel::with_width(6);
+        let m = 50_000;
+        let pts = gen_points::<f32>(PointDist::Cluster, 2, m, fine, 11);
+        let cs = gen_strengths::<f32>(m, 12);
+        let natural: Vec<u32> = (0..m as u32).collect();
+        let mut g1 = vec![Complex::<f32>::ZERO; fine.total()];
+        let r_gm = spread_gm(&dev, "gm", &kernel, fine, &pts_ref(&pts), &cs, &natural, &mut g1, 128, 1.0);
+        let sort = gpu_bin_sort(&dev, &pts, fine, [32, 32, 1]);
+        let subs = build_subproblems(&dev, &sort, 1024);
+        let mut g2 = vec![Complex::<f32>::ZERO; fine.total()];
+        let r_sm = spread_sm(&dev, &kernel, fine, &pts_ref(&pts), &cs, &sort.perm, &sort.layout, &subs, &mut g2);
+        assert!(
+            r_sm.duration < r_gm.duration / 3.0,
+            "SM {} should crush GM {} on clusters",
+            r_sm.duration,
+            r_gm.duration
+        );
+        assert!(rel_l2(&g1, &g2) < 1e-5);
+        // the GM run must show a hot atomic sector
+        assert!(r_gm.atomic_hotspot_count > 10_000);
+        assert!(r_sm.atomic_hotspot_count < r_gm.atomic_hotspot_count / 10);
+    }
+}

@@ -1,0 +1,446 @@
+//! GPU type 3 NUFFT: nonuniform to nonuniform — the paper's future-work
+//! item implemented on the simulated device.
+//!
+//! Same Lee–Greengard structure as `finufft_cpu::type3` (see that module
+//! for the derivation): rescale sources into the periodic box, spread
+//! with the SM/GM-sort machinery, reorder to the centered layout, run an
+//! inner GPU **type 2** at the rescaled target frequencies, divide out
+//! the source kernel's transform. Every stage is priced by the device
+//! model, so type-3 timings compose from the same primitives the paper
+//! benchmarks.
+
+use crate::bins::{build_subproblems, gpu_bin_sort};
+use crate::opts::{default_bin_size, resolve_spread_method, GpuOpts, Method};
+use crate::plan::{GpuStageTimings, Plan};
+use crate::spread::{spread_gm, spread_sm, PtsRef};
+use gpu_sim::{Device, GpuBuffer, Precision};
+use nufft_common::complex::Complex;
+use nufft_common::error::{NufftError, Result};
+use nufft_common::real::Real;
+use nufft_common::shape::Shape;
+use nufft_common::smooth::next_smooth;
+use nufft_common::workload::Points;
+use nufft_common::TransformType;
+use nufft_kernels::EsKernel;
+
+/// A GPU type 3 plan.
+pub struct GpuType3Plan<T: Real> {
+    dim: usize,
+    iflag: i32,
+    eps: f64,
+    kernel: EsKernel,
+    opts: GpuOpts,
+    dev: Device,
+    nf: Shape,
+    spread_method: Method,
+    /// Rescaled sources on the device.
+    d_x: Option<[GpuBuffer<T>; 3]>,
+    xp_host: Option<Points<T>>,
+    inner: Option<Plan<T>>,
+    corr: Vec<f64>,
+    m_sources: usize,
+    n_targets: usize,
+    d_grid: Option<GpuBuffer<Complex<T>>>,
+    timings: GpuStageTimings,
+}
+
+fn oom(e: gpu_sim::OomError) -> NufftError {
+    NufftError::DeviceOom {
+        requested: e.requested,
+        available: e.available,
+    }
+}
+
+impl<T: Real> GpuType3Plan<T> {
+    pub fn new(dim: usize, iflag: i32, eps: f64, opts: GpuOpts, dev: &Device) -> Result<Self> {
+        if !(1..=3).contains(&dim) {
+            return Err(NufftError::BadDim(dim));
+        }
+        let kernel = EsKernel::for_tolerance(eps, T::IS_DOUBLE)?;
+        Ok(GpuType3Plan {
+            dim,
+            iflag: if iflag >= 0 { 1 } else { -1 },
+            eps,
+            kernel,
+            opts,
+            dev: dev.clone(),
+            nf: Shape::from_slice(&vec![1; dim]),
+            spread_method: Method::Auto,
+            d_x: None,
+            xp_host: None,
+            inner: None,
+            corr: Vec::new(),
+            m_sources: 0,
+            n_targets: 0,
+            d_grid: None,
+            timings: GpuStageTimings::default(),
+        })
+    }
+
+    pub fn fine_grid_shape(&self) -> Shape {
+        self.nf
+    }
+
+    pub fn spread_method(&self) -> Method {
+        self.spread_method
+    }
+
+    pub fn timings(&self) -> GpuStageTimings {
+        self.timings
+    }
+
+    /// Register sources `x` and target frequencies `s`.
+    pub fn set_pts(&mut self, x: &Points<T>, s: &Points<T>) -> Result<()> {
+        if x.dim != self.dim || s.dim != self.dim {
+            return Err(NufftError::BadDim(x.dim.max(s.dim)));
+        }
+        let w = self.kernel.w;
+        let sigma = 2.0f64;
+        let mut nfs = vec![0usize; self.dim];
+        let mut gamma = [1.0f64; 3];
+        for i in 0..self.dim {
+            let xw = x.coords[i]
+                .iter()
+                .map(|v| v.to_f64().abs())
+                .fold(0.0f64, f64::max)
+                .max(1e-3);
+            let sw = s.coords[i]
+                .iter()
+                .map(|v| v.to_f64().abs())
+                .fold(0.0f64, f64::max)
+                .max(1e-3);
+            let target =
+                (sigma * 2.0 * xw * sw / std::f64::consts::PI).ceil() as usize + 2 * w;
+            nfs[i] = next_smooth(target.max(2 * w + 2));
+            gamma[i] = nfs[i] as f64 / (2.0 * sigma * sw);
+        }
+        let nf = Shape::from_slice(&nfs);
+        let cb = std::mem::size_of::<Complex<T>>();
+        let bin_size = self.opts.bin_size.unwrap_or_else(|| default_bin_size(self.dim));
+        let spread_method = resolve_spread_method(
+            self.opts.method,
+            bin_size,
+            self.dim,
+            w,
+            cb,
+            self.opts.shared_mem_budget.min(self.dev.props().shared_mem_per_block),
+        )?;
+        // rescaled sources, transferred to the device
+        let m = x.len();
+        let mut xp = Points {
+            coords: [Vec::new(), Vec::new(), Vec::new()],
+            dim: self.dim,
+        };
+        for i in 0..self.dim {
+            xp.coords[i] = x.coords[i]
+                .iter()
+                .map(|&v| T::from_f64(v.to_f64() / gamma[i]))
+                .collect();
+        }
+        let t0 = self.dev.clock();
+        let mut bufs = [
+            self.dev.alloc("t3_x", m).map_err(oom)?,
+            self.dev
+                .alloc("t3_y", if self.dim >= 2 { m } else { 0 })
+                .map_err(oom)?,
+            self.dev
+                .alloc("t3_z", if self.dim >= 3 { m } else { 0 })
+                .map_err(oom)?,
+        ];
+        for i in 0..self.dim {
+            self.dev.memcpy_htod(&mut bufs[i], &xp.coords[i]);
+        }
+        let d_grid = self.dev.alloc("t3_grid", nf.total()).map_err(oom)?;
+        self.timings.alloc = self.dev.clock() - t0;
+        // inner type 2 at tau = gamma h s
+        let mut tau = Points {
+            coords: [Vec::new(), Vec::new(), Vec::new()],
+            dim: self.dim,
+        };
+        for i in 0..self.dim {
+            let h = std::f64::consts::TAU / nf.n[i] as f64;
+            tau.coords[i] = s.coords[i]
+                .iter()
+                .map(|&v| T::from_f64(gamma[i] * h * v.to_f64()))
+                .collect();
+        }
+        let mut inner = Plan::<T>::new(
+            TransformType::Type2,
+            &nfs,
+            self.iflag,
+            self.eps,
+            self.opts.clone(),
+            &self.dev,
+        )?;
+        inner.set_pts(&tau)?;
+        // per-target corrections
+        let n_targets = s.len();
+        let mut corr = vec![1.0f64; n_targets];
+        for i in 0..self.dim {
+            let h = std::f64::consts::TAU / nf.n[i] as f64;
+            let alpha = w as f64 * h / 2.0;
+            for (k, c) in corr.iter_mut().enumerate() {
+                let ft = self.kernel.ft(alpha * gamma[i] * s.coords[i][k].to_f64());
+                if ft.abs() < f64::MIN_POSITIVE {
+                    return Err(NufftError::BadOptions(format!(
+                        "type-3 target {k} outside the resolvable band"
+                    )));
+                }
+                *c *= (2.0 / w as f64) / ft;
+            }
+        }
+        self.timings.sort = inner.timings().sort;
+        self.timings.h2d_pts = inner.timings().h2d_pts;
+        self.nf = nf;
+        self.spread_method = spread_method;
+        self.m_sources = m;
+        self.n_targets = n_targets;
+        self.corr = corr;
+        self.d_x = Some(bufs);
+        self.xp_host = Some(xp);
+        self.inner = Some(inner);
+        self.d_grid = Some(d_grid);
+        Ok(())
+    }
+
+    pub fn execute(&mut self, strengths: &[Complex<T>], out: &mut [Complex<T>]) -> Result<()> {
+        let bufs = self.d_x.as_ref().ok_or(NufftError::PointsNotSet)?;
+        let xp = self.xp_host.as_ref().expect("points set");
+        if strengths.len() != self.m_sources {
+            return Err(NufftError::LengthMismatch {
+                expected: self.m_sources,
+                got: strengths.len(),
+            });
+        }
+        if out.len() != self.n_targets {
+            return Err(NufftError::LengthMismatch {
+                expected: self.n_targets,
+                got: out.len(),
+            });
+        }
+        let prec = if T::IS_DOUBLE {
+            Precision::Double
+        } else {
+            Precision::Single
+        };
+        let nf = self.nf;
+        let cb = std::mem::size_of::<Complex<T>>();
+        // transfer strengths
+        let t0 = self.dev.clock();
+        let mut d_c = self.dev.alloc("t3_c", self.m_sources).map_err(oom)?;
+        self.dev.memcpy_htod(&mut d_c, strengths);
+        self.timings.h2d_data = self.dev.clock() - t0;
+        // spread on the device
+        let t1 = self.dev.clock();
+        let d_grid = self.d_grid.as_mut().expect("points set");
+        d_grid.as_mut_slice().iter_mut().for_each(|z| *z = Complex::ZERO);
+        self.dev
+            .bulk_op("t3_memset", 0, nf.total() * cb, 0.0, prec);
+        let pr = PtsRef {
+            coords: [bufs[0].as_slice(), bufs[1].as_slice(), bufs[2].as_slice()],
+            dim: self.dim,
+        };
+        let bin_size = self.opts.bin_size.unwrap_or_else(|| default_bin_size(self.dim));
+        match self.spread_method {
+            Method::Sm => {
+                let sort = gpu_bin_sort(&self.dev, xp, nf, bin_size);
+                let subs = build_subproblems(&self.dev, &sort, self.opts.msub);
+                spread_sm(
+                    &self.dev,
+                    &self.kernel,
+                    nf,
+                    &pr,
+                    d_c.as_slice(),
+                    &sort.perm,
+                    &sort.layout,
+                    &subs,
+                    d_grid.as_mut_slice(),
+                );
+            }
+            Method::GmSort => {
+                let sort = gpu_bin_sort(&self.dev, xp, nf, bin_size);
+                spread_gm(
+                    &self.dev,
+                    "t3_spread_GMs",
+                    &self.kernel,
+                    nf,
+                    &pr,
+                    d_c.as_slice(),
+                    &sort.perm,
+                    d_grid.as_mut_slice(),
+                    self.opts.threads_per_block,
+                    1.0,
+                );
+            }
+            _ => {
+                let natural: Vec<u32> = (0..self.m_sources as u32).collect();
+                spread_gm(
+                    &self.dev,
+                    "t3_spread_GM",
+                    &self.kernel,
+                    nf,
+                    &pr,
+                    d_c.as_slice(),
+                    &natural,
+                    d_grid.as_mut_slice(),
+                    self.opts.threads_per_block,
+                    1.0,
+                );
+            }
+        }
+        // centered reorder (one device pass over the grid)
+        let grid = d_grid.as_slice();
+        let mut centered = vec![Complex::<T>::ZERO; nf.total()];
+        for l3 in 0..nf.n[2] {
+            let c3 = (l3 + nf.n[2] / 2) % nf.n[2];
+            for l2 in 0..nf.n[1] {
+                let c2 = (l2 + nf.n[1] / 2) % nf.n[1];
+                for l1 in 0..nf.n[0] {
+                    let c1 = (l1 + nf.n[0] / 2) % nf.n[0];
+                    centered[nf.idx(c1, c2, c3)] = grid[nf.idx(l1, l2, l3)];
+                }
+            }
+        }
+        self.dev.bulk_op(
+            "t3_fftshift",
+            nf.total() * cb,
+            nf.total() * cb,
+            0.0,
+            prec,
+        );
+        self.timings.spread_interp = self.dev.clock() - t1;
+        // inner type 2 + correction
+        let inner = self.inner.as_mut().expect("points set");
+        inner.execute(&centered, out)?;
+        let it = inner.timings();
+        self.timings.fft = it.fft;
+        self.timings.deconv = it.deconv;
+        let t2 = self.dev.clock();
+        for (z, &c) in out.iter_mut().zip(self.corr.iter()) {
+            *z = z.scale(T::from_f64(c));
+        }
+        self.dev.bulk_op(
+            "t3_correct",
+            self.n_targets * cb,
+            self.n_targets * cb,
+            self.n_targets as f64 * 2.0,
+            prec,
+        );
+        self.timings.d2h = it.d2h;
+        let _ = t2;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nufft_common::c;
+    use nufft_common::metrics::rel_l2;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn direct(
+        x: &Points<f64>,
+        cs: &[Complex<f64>],
+        s: &Points<f64>,
+        iflag: i32,
+    ) -> Vec<Complex<f64>> {
+        (0..s.len())
+            .map(|k| {
+                let mut acc = Complex::ZERO;
+                for j in 0..x.len() {
+                    let mut phase = 0.0;
+                    for i in 0..x.dim {
+                        phase += s.coord(i, k) * x.coord(i, j);
+                    }
+                    acc += cs[j] * Complex::cis(iflag as f64 * phase);
+                }
+                acc
+            })
+            .collect()
+    }
+
+    fn random_pts(dim: usize, n: usize, hw: f64, seed: u64) -> Points<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut coords = [Vec::new(), Vec::new(), Vec::new()];
+        for coord in coords.iter_mut().take(dim) {
+            *coord = (0..n).map(|_| rng.random_range(-hw..hw)).collect();
+        }
+        Points { coords, dim }
+    }
+
+    #[test]
+    fn gpu_type3_2d_matches_direct() {
+        let eps = 1e-8;
+        let x = random_pts(2, 180, 2.0, 1);
+        let s = random_pts(2, 140, 10.0, 2);
+        let cs: Vec<Complex<f64>> = (0..180).map(|j| c((j as f64).sin(), 0.5)).collect();
+        let dev = Device::v100();
+        let mut plan = GpuType3Plan::<f64>::new(2, 1, eps, GpuOpts::default(), &dev).unwrap();
+        plan.set_pts(&x, &s).unwrap();
+        let mut out = vec![Complex::ZERO; 140];
+        plan.execute(&cs, &mut out).unwrap();
+        let want = direct(&x, &cs, &s, 1);
+        let err = rel_l2(&out, &want);
+        assert!(err < 50.0 * eps, "err={err}");
+        // timings recorded and device clock advanced
+        assert!(plan.timings().spread_interp > 0.0);
+        assert!(plan.timings().fft > 0.0);
+    }
+
+    #[test]
+    fn gpu_type3_agrees_with_cpu_type3() {
+        let eps = 1e-9;
+        let x = random_pts(2, 120, 1.5, 3);
+        let s = random_pts(2, 110, 8.0, 4);
+        let cs: Vec<Complex<f64>> = (0..120).map(|j| c(1.0 / (j + 1) as f64, -0.25)).collect();
+        let dev = Device::v100();
+        let mut gp = GpuType3Plan::<f64>::new(2, -1, eps, GpuOpts::default(), &dev).unwrap();
+        gp.set_pts(&x, &s).unwrap();
+        let mut go = vec![Complex::ZERO; 110];
+        gp.execute(&cs, &mut go).unwrap();
+        let mut cp = finufft_cpu::Type3Plan::<f64>::new(2, -1, eps).unwrap();
+        cp.set_pts(&x, &s, eps).unwrap();
+        let mut co = vec![Complex::ZERO; 110];
+        cp.execute(&cs, &mut co).unwrap();
+        assert!(rel_l2(&go, &co) < 1e-10);
+    }
+
+    #[test]
+    fn gpu_type3_3d_and_reuse() {
+        let eps = 1e-5;
+        let x = random_pts(3, 90, 1.0, 5);
+        let s = random_pts(3, 80, 5.0, 6);
+        let dev = Device::v100();
+        let mut plan = GpuType3Plan::<f32>::new(3, 1, eps, GpuOpts::default(), &dev).unwrap();
+        let x32 = Points::<f32> {
+            coords: [
+                x.coords[0].iter().map(|&v| v as f32).collect(),
+                x.coords[1].iter().map(|&v| v as f32).collect(),
+                x.coords[2].iter().map(|&v| v as f32).collect(),
+            ],
+            dim: 3,
+        };
+        let s32 = Points::<f32> {
+            coords: [
+                s.coords[0].iter().map(|&v| v as f32).collect(),
+                s.coords[1].iter().map(|&v| v as f32).collect(),
+                s.coords[2].iter().map(|&v| v as f32).collect(),
+            ],
+            dim: 3,
+        };
+        plan.set_pts(&x32, &s32).unwrap();
+        for seed in [7u64, 8] {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let cs64: Vec<Complex<f64>> = (0..90)
+                .map(|_| c(rng.random_range(-1.0..1.0), rng.random_range(-1.0..1.0)))
+                .collect();
+            let cs: Vec<Complex<f32>> = cs64.iter().map(|z| z.cast()).collect();
+            let mut out = vec![Complex::<f32>::ZERO; 80];
+            plan.execute(&cs, &mut out).unwrap();
+            let want = direct(&x, &cs64, &s, 1);
+            assert!(rel_l2(&out, &want) < 1e-3, "seed {seed}");
+        }
+    }
+}

@@ -1,0 +1,5 @@
+//! Deconvolution factors — shared implementation lives in
+//! [`nufft_kernels::deconv`]; re-exported here for backward compatibility
+//! within the workspace.
+
+pub use nufft_kernels::deconv::{correction_row, correction_rows};

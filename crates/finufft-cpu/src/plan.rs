@@ -1,0 +1,427 @@
+//! The FINUFFT-style guru plan interface: plan, set points, execute
+//! (repeatedly), drop. Mirrors `finufft_makeplan` / `finufft_setpts` /
+//! `finufft_execute`.
+
+use crate::deconv::correction_rows;
+use crate::sort::{bin_sort, BinSort};
+use crate::spread::{interp, spread};
+use nufft_common::complex::Complex;
+use nufft_common::error::{NufftError, Result};
+use nufft_common::real::Real;
+use nufft_common::shape::{freq_to_bin, freqs, Shape};
+use nufft_common::smooth::fine_grid_size;
+use nufft_common::workload::Points;
+use nufft_fft::{Direction, FftNd};
+use nufft_kernels::{EsKernel, Kernel1d};
+use std::time::Instant;
+
+pub use nufft_common::TransformType;
+
+/// Plan options.
+#[derive(Clone, Debug)]
+pub struct Opts {
+    /// Upsampling factor sigma (the paper fixes 2.0).
+    pub upsampfac: f64,
+    /// Worker threads; 0 = autodetect.
+    pub nthreads: usize,
+    /// Bin size for the point sort.
+    pub bin_size: [usize; 3],
+    /// Disable sorting (points processed in user order).
+    pub sort: bool,
+}
+
+impl Default for Opts {
+    fn default() -> Self {
+        Opts {
+            upsampfac: 2.0,
+            nthreads: 0,
+            bin_size: [16, 16, 4],
+            sort: true,
+        }
+    }
+}
+
+/// Wall-clock stage timings of the last `execute` / `set_pts` calls.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct StageTimings {
+    pub sort: f64,
+    pub spread_interp: f64,
+    pub fft: f64,
+    pub deconv: f64,
+}
+
+/// A reusable CPU NUFFT plan, generic over precision and kernel.
+pub struct Plan<T: Real, K: Kernel1d = EsKernel> {
+    ttype: TransformType,
+    modes: Shape,
+    fine: Shape,
+    iflag: i32,
+    kernel: K,
+    opts: Opts,
+    nthreads: usize,
+    fft: FftNd<T>,
+    corr: [Vec<f64>; 3],
+    pts: Option<Points<T>>,
+    sort: Option<BinSort>,
+    fine_grid: Vec<Complex<T>>,
+    timings: StageTimings,
+}
+
+impl<T: Real> Plan<T, EsKernel> {
+    /// Create a plan with the ES kernel selected from tolerance `eps`
+    /// (paper eq. 6). `iflag` gives the exponential sign (+1 or -1).
+    pub fn new(
+        ttype: TransformType,
+        modes: &[usize],
+        iflag: i32,
+        eps: f64,
+        opts: Opts,
+    ) -> Result<Self> {
+        let kernel = if (opts.upsampfac - 2.0).abs() < 1e-12 {
+            EsKernel::for_tolerance(eps, T::IS_DOUBLE)?
+        } else {
+            EsKernel::for_tolerance_sigma(eps, opts.upsampfac, T::IS_DOUBLE)?
+        };
+        Self::with_kernel(ttype, modes, iflag, kernel, opts)
+    }
+}
+
+impl<T: Real, K: Kernel1d> Plan<T, K> {
+    /// Create a plan with an explicit kernel (used by the baseline
+    /// libraries and by parameter sweeps).
+    pub fn with_kernel(
+        ttype: TransformType,
+        modes: &[usize],
+        iflag: i32,
+        kernel: K,
+        opts: Opts,
+    ) -> Result<Self> {
+        if modes.is_empty() || modes.len() > 3 {
+            return Err(NufftError::BadDim(modes.len()));
+        }
+        if modes.iter().any(|&n| n == 0) {
+            return Err(NufftError::BadModes("zero-size mode dimension".into()));
+        }
+        if opts.upsampfac <= 1.0 {
+            return Err(NufftError::BadOptions(format!(
+                "upsampfac must exceed 1, got {}",
+                opts.upsampfac
+            )));
+        }
+        let modes = Shape::from_slice(modes);
+        let fine = modes.map(|_, n| fine_grid_size(n, opts.upsampfac, kernel.width()));
+        let corr = correction_rows(&kernel, modes, fine);
+        let fft = FftNd::new(fine);
+        let nthreads = if opts.nthreads == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        } else {
+            opts.nthreads
+        };
+        Ok(Plan {
+            ttype,
+            modes,
+            fine,
+            iflag: if iflag >= 0 { 1 } else { -1 },
+            kernel,
+            opts,
+            nthreads,
+            fft,
+            corr,
+            pts: None,
+            sort: None,
+            fine_grid: vec![Complex::ZERO; fine.total()],
+            timings: StageTimings::default(),
+        })
+    }
+
+    pub fn modes(&self) -> Shape {
+        self.modes
+    }
+
+    pub fn fine_grid_shape(&self) -> Shape {
+        self.fine
+    }
+
+    pub fn kernel(&self) -> &K {
+        &self.kernel
+    }
+
+    pub fn timings(&self) -> StageTimings {
+        self.timings
+    }
+
+    pub fn num_points(&self) -> usize {
+        self.pts.as_ref().map_or(0, |p| p.len())
+    }
+
+    /// Register nonuniform points (sorts them once; subsequent `execute`
+    /// calls reuse the ordering — the paper's plan-reuse use case).
+    pub fn set_pts(&mut self, pts: Points<T>) -> Result<()> {
+        if pts.dim != self.modes.dim {
+            return Err(NufftError::BadDim(pts.dim));
+        }
+        for i in 0..pts.dim {
+            for (j, &v) in pts.coords[i].iter().enumerate() {
+                if !v.is_finite() {
+                    return Err(NufftError::BadPoint {
+                        index: j,
+                        value: v.to_f64(),
+                    });
+                }
+            }
+            if pts.coords[i].len() != pts.len() {
+                return Err(NufftError::LengthMismatch {
+                    expected: pts.len(),
+                    got: pts.coords[i].len(),
+                });
+            }
+        }
+        let t0 = Instant::now();
+        self.sort = if self.opts.sort {
+            Some(bin_sort(&pts, self.fine, self.opts.bin_size))
+        } else {
+            None
+        };
+        self.timings.sort = t0.elapsed().as_secs_f64();
+        self.pts = Some(pts);
+        Ok(())
+    }
+
+    /// Run the transform. For type 1, `input` holds M strengths and
+    /// `output` N1*...*Nd coefficients (k1 fastest, ascending frequency);
+    /// for type 2 the roles are swapped.
+    pub fn execute(&mut self, input: &[Complex<T>], output: &mut [Complex<T>]) -> Result<()> {
+        let pts = self.pts.as_ref().ok_or(NufftError::PointsNotSet)?;
+        let m = pts.len();
+        let n = self.modes.total();
+        let (want_in, want_out) = match self.ttype {
+            TransformType::Type1 => (m, n),
+            TransformType::Type2 => (n, m),
+        };
+        if input.len() != want_in {
+            return Err(NufftError::LengthMismatch {
+                expected: want_in,
+                got: input.len(),
+            });
+        }
+        if output.len() != want_out {
+            return Err(NufftError::LengthMismatch {
+                expected: want_out,
+                got: output.len(),
+            });
+        }
+        let dir = Direction::from_sign(self.iflag);
+        let identity: Vec<u32>;
+        let order: &[u32] = match &self.sort {
+            Some(s) => &s.perm,
+            None => {
+                identity = (0..m as u32).collect();
+                &identity
+            }
+        };
+        // move the workhorse grid out so the borrow checker can see that
+        // the plan's metadata stays immutable while it is mutated
+        let mut grid = std::mem::take(&mut self.fine_grid);
+        let mut timings = self.timings;
+        match self.ttype {
+            TransformType::Type1 => {
+                let t0 = Instant::now();
+                grid.iter_mut().for_each(|z| *z = Complex::ZERO);
+                spread(&self.kernel, self.fine, pts, input, order, &mut grid, self.nthreads);
+                timings.spread_interp = t0.elapsed().as_secs_f64();
+                let t1 = Instant::now();
+                self.fft.process(&mut grid, dir);
+                timings.fft = t1.elapsed().as_secs_f64();
+                let t2 = Instant::now();
+                self.deconvolve_out(&grid, output);
+                timings.deconv = t2.elapsed().as_secs_f64();
+            }
+            TransformType::Type2 => {
+                let t0 = Instant::now();
+                grid.iter_mut().for_each(|z| *z = Complex::ZERO);
+                self.precorrect_in(input, &mut grid);
+                timings.deconv = t0.elapsed().as_secs_f64();
+                let t1 = Instant::now();
+                self.fft.process(&mut grid, dir);
+                timings.fft = t1.elapsed().as_secs_f64();
+                let t2 = Instant::now();
+                interp(&self.kernel, self.fine, pts, &grid, output, self.nthreads);
+                timings.spread_interp = t2.elapsed().as_secs_f64();
+            }
+        }
+        self.fine_grid = grid;
+        self.timings = timings;
+        Ok(())
+    }
+
+    /// Type 1 step 3: truncate to the central modes and apply the
+    /// correction factors (eq. 10).
+    fn deconvolve_out(&self, grid: &[Complex<T>], output: &mut [Complex<T>]) {
+        let fine = self.fine;
+        let modes = self.modes;
+        let k1s: Vec<(usize, f64)> = freqs(modes.n[0])
+            .enumerate()
+            .map(|(j, k)| (freq_to_bin(k, fine.n[0]), self.corr[0][j]))
+            .collect();
+        let mut idx = 0usize;
+        for (j3, k3) in freqs(modes.n[2]).enumerate() {
+            let b3 = freq_to_bin(k3, fine.n[2]) * fine.n[0] * fine.n[1];
+            let p3 = self.corr[2][j3];
+            for (j2, k2) in freqs(modes.n[1]).enumerate() {
+                let b2 = b3 + freq_to_bin(k2, fine.n[1]) * fine.n[0];
+                let p23 = p3 * self.corr[1][j2];
+                for (b1, p1) in &k1s {
+                    output[idx] = grid[b2 + b1].scale(T::from_f64(p1 * p23));
+                    idx += 1;
+                }
+            }
+        }
+    }
+
+    /// Type 2 step 1: pre-correct and zero-pad into the fine grid
+    /// (eq. 11). The grid must be zeroed beforehand.
+    fn precorrect_in(&self, input: &[Complex<T>], grid: &mut [Complex<T>]) {
+        let fine = self.fine;
+        let modes = self.modes;
+        let k1s: Vec<(usize, f64)> = freqs(modes.n[0])
+            .enumerate()
+            .map(|(j, k)| (freq_to_bin(k, fine.n[0]), self.corr[0][j]))
+            .collect();
+        let mut idx = 0usize;
+        for (j3, k3) in freqs(modes.n[2]).enumerate() {
+            let b3 = freq_to_bin(k3, fine.n[2]) * fine.n[0] * fine.n[1];
+            let p3 = self.corr[2][j3];
+            for (j2, k2) in freqs(modes.n[1]).enumerate() {
+                let b2 = b3 + freq_to_bin(k2, fine.n[1]) * fine.n[0];
+                let p23 = p3 * self.corr[1][j2];
+                for (b1, p1) in &k1s {
+                    grid[b2 + b1] = input[idx].scale(T::from_f64(p1 * p23));
+                    idx += 1;
+                }
+            }
+        }
+    }
+}
+
+/// One-shot 2D type 1 transform (convenience wrapper).
+pub fn nufft2d1<T: Real>(
+    x: &[T],
+    y: &[T],
+    strengths: &[Complex<T>],
+    iflag: i32,
+    eps: f64,
+    n1: usize,
+    n2: usize,
+) -> Result<Vec<Complex<T>>> {
+    let mut plan = Plan::<T>::new(TransformType::Type1, &[n1, n2], iflag, eps, Opts::default())?;
+    plan.set_pts(Points {
+        coords: [x.to_vec(), y.to_vec(), Vec::new()],
+        dim: 2,
+    })?;
+    let mut out = vec![Complex::ZERO; n1 * n2];
+    plan.execute(strengths, &mut out)?;
+    Ok(out)
+}
+
+/// One-shot 2D type 2 transform.
+pub fn nufft2d2<T: Real>(
+    x: &[T],
+    y: &[T],
+    coeffs: &[Complex<T>],
+    iflag: i32,
+    eps: f64,
+    n1: usize,
+    n2: usize,
+) -> Result<Vec<Complex<T>>> {
+    let mut plan = Plan::<T>::new(TransformType::Type2, &[n1, n2], iflag, eps, Opts::default())?;
+    plan.set_pts(Points {
+        coords: [x.to_vec(), y.to_vec(), Vec::new()],
+        dim: 2,
+    })?;
+    let mut out = vec![Complex::ZERO; x.len()];
+    plan.execute(coeffs, &mut out)?;
+    Ok(out)
+}
+
+/// One-shot 3D type 1 transform.
+#[allow(clippy::too_many_arguments)]
+pub fn nufft3d1<T: Real>(
+    x: &[T],
+    y: &[T],
+    z: &[T],
+    strengths: &[Complex<T>],
+    iflag: i32,
+    eps: f64,
+    n1: usize,
+    n2: usize,
+    n3: usize,
+) -> Result<Vec<Complex<T>>> {
+    let mut plan = Plan::<T>::new(TransformType::Type1, &[n1, n2, n3], iflag, eps, Opts::default())?;
+    plan.set_pts(Points {
+        coords: [x.to_vec(), y.to_vec(), z.to_vec()],
+        dim: 3,
+    })?;
+    let mut out = vec![Complex::ZERO; n1 * n2 * n3];
+    plan.execute(strengths, &mut out)?;
+    Ok(out)
+}
+
+/// One-shot 3D type 2 transform.
+#[allow(clippy::too_many_arguments)]
+pub fn nufft3d2<T: Real>(
+    x: &[T],
+    y: &[T],
+    z: &[T],
+    coeffs: &[Complex<T>],
+    iflag: i32,
+    eps: f64,
+    n1: usize,
+    n2: usize,
+    n3: usize,
+) -> Result<Vec<Complex<T>>> {
+    let mut plan = Plan::<T>::new(TransformType::Type2, &[n1, n2, n3], iflag, eps, Opts::default())?;
+    plan.set_pts(Points {
+        coords: [x.to_vec(), y.to_vec(), z.to_vec()],
+        dim: 3,
+    })?;
+    let mut out = vec![Complex::ZERO; x.len()];
+    plan.execute(coeffs, &mut out)?;
+    Ok(out)
+}
+
+/// One-shot 1D type 1 (a FINUFFT feature the paper lists as cuFINUFFT
+/// future work; provided here for completeness).
+pub fn nufft1d1<T: Real>(
+    x: &[T],
+    strengths: &[Complex<T>],
+    iflag: i32,
+    eps: f64,
+    n1: usize,
+) -> Result<Vec<Complex<T>>> {
+    let mut plan = Plan::<T>::new(TransformType::Type1, &[n1], iflag, eps, Opts::default())?;
+    plan.set_pts(Points {
+        coords: [x.to_vec(), Vec::new(), Vec::new()],
+        dim: 1,
+    })?;
+    let mut out = vec![Complex::ZERO; n1];
+    plan.execute(strengths, &mut out)?;
+    Ok(out)
+}
+
+/// One-shot 1D type 2.
+pub fn nufft1d2<T: Real>(
+    x: &[T],
+    coeffs: &[Complex<T>],
+    iflag: i32,
+    eps: f64,
+    n1: usize,
+) -> Result<Vec<Complex<T>>> {
+    let mut plan = Plan::<T>::new(TransformType::Type2, &[n1], iflag, eps, Opts::default())?;
+    plan.set_pts(Points {
+        coords: [x.to_vec(), Vec::new(), Vec::new()],
+        dim: 1,
+    })?;
+    let mut out = vec![Complex::ZERO; x.len()];
+    plan.execute(coeffs, &mut out)?;
+    Ok(out)
+}

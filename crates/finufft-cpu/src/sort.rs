@@ -1,0 +1,224 @@
+//! Spatial bin sorting of nonuniform points (counting sort on bin index).
+//!
+//! Identical in spirit to the paper's Sec. III-A description: record each
+//! point's bin, histogram, exclusive-scan, then scatter the point indices
+//! in bin order. The returned permutation `t` is such that points
+//! `t(0), t(1), ...` traverse the bins in Cartesian order (x fast).
+
+use nufft_common::real::Real;
+use nufft_common::shape::Shape;
+use nufft_common::workload::Points;
+use nufft_kernels::grid_coord;
+
+/// Bin layout over a fine grid.
+#[derive(Copy, Clone, Debug)]
+pub struct BinGrid {
+    /// Bin extents in fine-grid cells per dimension.
+    pub bin_size: [usize; 3],
+    /// Number of bins per dimension.
+    pub nbins: [usize; 3],
+    pub fine: Shape,
+}
+
+impl BinGrid {
+    pub fn new(fine: Shape, bin_size: [usize; 3]) -> Self {
+        let mut nbins = [1usize; 3];
+        let mut bs = [1usize; 3];
+        for i in 0..fine.dim {
+            bs[i] = bin_size[i].max(1).min(fine.n[i]);
+            nbins[i] = fine.n[i].div_ceil(bs[i]);
+        }
+        BinGrid {
+            bin_size: bs,
+            nbins,
+            fine,
+        }
+    }
+
+    /// Total number of bins.
+    pub fn total(&self) -> usize {
+        self.nbins[0] * self.nbins[1] * self.nbins[2]
+    }
+
+    /// Bin index of a point given its per-dimension fine-grid coordinates
+    /// (rounded down, as in the paper's "inside" definition).
+    #[inline]
+    pub fn bin_of(&self, cell: [usize; 3]) -> usize {
+        let b0 = cell[0] / self.bin_size[0];
+        let b1 = cell[1] / self.bin_size[1];
+        let b2 = cell[2] / self.bin_size[2];
+        b0 + self.nbins[0] * (b1 + self.nbins[1] * b2)
+    }
+
+    /// Fine-grid cell of a nonuniform point.
+    #[inline]
+    pub fn cell_of<T: Real>(&self, pts: &Points<T>, j: usize) -> [usize; 3] {
+        let mut cell = [0usize; 3];
+        for (i, c) in cell.iter_mut().enumerate().take(pts.dim) {
+            let g = grid_coord(pts.coord(i, j).to_f64(), self.fine.n[i]);
+            *c = (g as usize).min(self.fine.n[i] - 1);
+        }
+        cell
+    }
+
+    /// Fine-grid cell range `[lo, hi)` covered by bin `b` in each dim.
+    pub fn bin_bounds(&self, b: usize) -> ([usize; 3], [usize; 3]) {
+        let b0 = b % self.nbins[0];
+        let r = b / self.nbins[0];
+        let (b1, b2) = (r % self.nbins[1], r / self.nbins[1]);
+        let idx = [b0, b1, b2];
+        let mut lo = [0usize; 3];
+        let mut hi = [1usize; 3];
+        for i in 0..3 {
+            lo[i] = idx[i] * self.bin_size[i];
+            hi[i] = ((idx[i] + 1) * self.bin_size[i]).min(self.fine.n[i].max(1));
+        }
+        (lo, hi)
+    }
+}
+
+/// Result of bin-sorting: the permutation plus per-bin offsets.
+#[derive(Clone, Debug)]
+pub struct BinSort {
+    /// `perm[r]` is the index of the r-th point in bin-sorted order.
+    pub perm: Vec<u32>,
+    /// `starts[b]..starts[b+1]` indexes `perm` for bin `b` (len bins+1).
+    pub starts: Vec<u32>,
+    pub grid: BinGrid,
+}
+
+/// Counting sort of the points into bins.
+pub fn bin_sort<T: Real>(pts: &Points<T>, fine: Shape, bin_size: [usize; 3]) -> BinSort {
+    let grid = BinGrid::new(fine, bin_size);
+    let nb = grid.total();
+    let m = pts.len();
+    let mut bin_of = vec![0u32; m];
+    let mut counts = vec![0u32; nb + 1];
+    for j in 0..m {
+        let b = grid.bin_of(grid.cell_of(pts, j)) as u32;
+        bin_of[j] = b;
+        counts[b as usize + 1] += 1;
+    }
+    // exclusive prefix scan
+    for b in 0..nb {
+        counts[b + 1] += counts[b];
+    }
+    let starts = counts.clone();
+    let mut perm = vec![0u32; m];
+    let mut cursor = counts;
+    for (j, &b) in bin_of.iter().enumerate() {
+        let slot = cursor[b as usize];
+        perm[slot as usize] = j as u32;
+        cursor[b as usize] += 1;
+    }
+    BinSort { perm, starts, grid }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nufft_common::workload::{gen_points, PointDist};
+
+    fn mk_points(coords: Vec<Vec<f64>>) -> Points<f64> {
+        let dim = coords.len();
+        let mut arr = [Vec::new(), Vec::new(), Vec::new()];
+        for (i, c) in coords.into_iter().enumerate() {
+            arr[i] = c;
+        }
+        Points { coords: arr, dim }
+    }
+
+    #[test]
+    fn bin_grid_counts() {
+        let g = BinGrid::new(Shape::d2(64, 64), [32, 32, 1]);
+        assert_eq!(g.nbins, [2, 2, 1]);
+        assert_eq!(g.total(), 4);
+        // uneven division rounds up
+        let g = BinGrid::new(Shape::d2(70, 64), [32, 32, 1]);
+        assert_eq!(g.nbins, [3, 2, 1]);
+    }
+
+    #[test]
+    fn bin_bounds_clip_at_grid_edge() {
+        let g = BinGrid::new(Shape::d2(70, 64), [32, 32, 1]);
+        let (lo, hi) = g.bin_bounds(2); // third bin along x
+        assert_eq!(lo[0], 64);
+        assert_eq!(hi[0], 70);
+        assert_eq!(lo[1], 0);
+        assert_eq!(hi[1], 32);
+    }
+
+    #[test]
+    fn sort_is_a_permutation() {
+        let fine = Shape::d2(128, 128);
+        let pts = gen_points::<f64>(PointDist::Rand, 2, 1000, fine, 9);
+        let s = bin_sort(&pts, fine, [32, 32, 1]);
+        let mut seen = vec![false; 1000];
+        for &p in &s.perm {
+            assert!(!seen[p as usize], "duplicate index {p}");
+            seen[p as usize] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn points_land_in_their_bins() {
+        let fine = Shape::d2(128, 128);
+        let pts = gen_points::<f64>(PointDist::Rand, 2, 500, fine, 4);
+        let s = bin_sort(&pts, fine, [32, 32, 1]);
+        for b in 0..s.grid.total() {
+            let (lo, hi) = s.grid.bin_bounds(b);
+            for r in s.starts[b] as usize..s.starts[b + 1] as usize {
+                let j = s.perm[r] as usize;
+                let cell = s.grid.cell_of(&pts, j);
+                for i in 0..2 {
+                    assert!(
+                        cell[i] >= lo[i] && cell[i] < hi[i],
+                        "point {j} cell {cell:?} outside bin {b} [{lo:?},{hi:?})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn clustered_points_fill_one_bin() {
+        let fine = Shape::d2(256, 256);
+        let pts = gen_points::<f64>(PointDist::Cluster, 2, 300, fine, 7);
+        let s = bin_sort(&pts, fine, [32, 32, 1]);
+        // all cluster points are within [0, 8h] -> cells 0..8 -> bin 0
+        assert_eq!(s.starts[1] - s.starts[0], 300);
+    }
+
+    #[test]
+    fn three_dim_sort() {
+        let fine = Shape::d3(32, 32, 32);
+        let pts = gen_points::<f64>(PointDist::Rand, 3, 2000, fine, 13);
+        let s = bin_sort(&pts, fine, [16, 16, 2]);
+        assert_eq!(s.grid.nbins, [2, 2, 16]);
+        assert_eq!(*s.starts.last().unwrap() as usize, 2000);
+        // starts are monotone
+        for w in s.starts.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+    }
+
+    #[test]
+    fn negative_coordinates_fold() {
+        // x = -pi folds to cell n/2
+        let pts = mk_points(vec![vec![-std::f64::consts::PI], vec![0.0]]);
+        let fine = Shape::d2(64, 64);
+        let s = bin_sort(&pts, fine, [32, 32, 1]);
+        let cell = s.grid.cell_of(&pts, 0);
+        assert_eq!(cell[0], 32);
+        assert_eq!(cell[1], 0);
+    }
+
+    #[test]
+    fn empty_points_ok() {
+        let pts = mk_points(vec![vec![], vec![]]);
+        let s = bin_sort(&pts, Shape::d2(32, 32), [16, 16, 1]);
+        assert!(s.perm.is_empty());
+        assert_eq!(*s.starts.last().unwrap(), 0);
+    }
+}

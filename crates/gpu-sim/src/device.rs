@@ -1,0 +1,399 @@
+//! The simulated device: memory, clock, timeline.
+//!
+//! A [`Device`] owns a simulated clock (seconds) that advances when
+//! launches, bulk operations, allocations, or host-device transfers are
+//! priced. Buffers track allocation against the device's memory capacity
+//! so the reproduction can report GPU RAM usage as in Table I.
+
+use crate::kernel::{Breakdown, Kernel, LaunchConfig, LaunchReport};
+use crate::props::{DeviceProps, Precision};
+use parking_lot::Mutex;
+use std::fmt;
+use std::sync::Arc;
+
+/// Category of a timeline record.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    Kernel,
+    Memcpy,
+    Alloc,
+    Bulk,
+}
+
+/// One priced operation on the device timeline.
+#[derive(Clone, Debug)]
+pub struct TimelineRecord {
+    pub name: String,
+    pub kind: OpKind,
+    /// Simulated start time (seconds since device creation).
+    pub start: f64,
+    pub duration: f64,
+    pub breakdown: Breakdown,
+}
+
+#[derive(Default)]
+struct State {
+    clock: f64,
+    mem_used: usize,
+    mem_peak: usize,
+    timeline: Vec<TimelineRecord>,
+    record_timeline: bool,
+}
+
+pub(crate) struct DeviceInner {
+    props: DeviceProps,
+    state: Mutex<State>,
+}
+
+/// Simulated-device out-of-memory error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OomError {
+    pub requested: usize,
+    pub available: usize,
+}
+
+impl fmt::Display for OomError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "simulated device OOM: requested {} B, {} B free",
+            self.requested, self.available
+        )
+    }
+}
+
+impl std::error::Error for OomError {}
+
+/// Handle to a simulated GPU. Cheap to clone (shared state).
+#[derive(Clone)]
+pub struct Device {
+    inner: Arc<DeviceInner>,
+}
+
+impl Device {
+    pub fn new(props: DeviceProps) -> Self {
+        Device {
+            inner: Arc::new(DeviceInner {
+                props,
+                state: Mutex::new(State {
+                    record_timeline: true,
+                    ..State::default()
+                }),
+            }),
+        }
+    }
+
+    /// The paper's benchmark GPU.
+    pub fn v100() -> Self {
+        Self::new(DeviceProps::v100())
+    }
+
+    pub fn props(&self) -> &DeviceProps {
+        &self.inner.props
+    }
+
+    /// Current simulated time in seconds.
+    pub fn clock(&self) -> f64 {
+        self.inner.state.lock().clock
+    }
+
+    /// Bytes currently allocated on the device.
+    pub fn mem_used(&self) -> usize {
+        self.inner.state.lock().mem_used
+    }
+
+    /// High-water mark of allocated bytes (Table I's "RAM" column).
+    pub fn mem_peak(&self) -> usize {
+        self.inner.state.lock().mem_peak
+    }
+
+    /// Reset the peak tracker to the current usage.
+    pub fn reset_mem_peak(&self) {
+        let mut s = self.inner.state.lock();
+        s.mem_peak = s.mem_used;
+    }
+
+    /// Toggle timeline recording (benchmarks disable it to avoid growth).
+    pub fn set_record_timeline(&self, on: bool) {
+        self.inner.state.lock().record_timeline = on;
+    }
+
+    /// Snapshot of all recorded operations.
+    pub fn timeline(&self) -> Vec<TimelineRecord> {
+        self.inner.state.lock().timeline.clone()
+    }
+
+    pub fn clear_timeline(&self) {
+        self.inner.state.lock().timeline.clear();
+    }
+
+    fn push_record(&self, name: String, kind: OpKind, duration: f64, breakdown: Breakdown) -> f64 {
+        let mut s = self.inner.state.lock();
+        let start = s.clock;
+        s.clock += duration;
+        if s.record_timeline {
+            s.timeline.push(TimelineRecord {
+                name,
+                kind,
+                start,
+                duration,
+                breakdown,
+            });
+        }
+        duration
+    }
+
+    /// Allocate a zero-initialized device buffer of `len` elements.
+    pub fn alloc<T: Clone + Default>(&self, name: &str, len: usize) -> Result<GpuBuffer<T>, OomError> {
+        let bytes = len * std::mem::size_of::<T>();
+        {
+            let mut s = self.inner.state.lock();
+            let cap = self.inner.props.global_mem_bytes;
+            if s.mem_used + bytes > cap {
+                return Err(OomError {
+                    requested: bytes,
+                    available: cap - s.mem_used,
+                });
+            }
+            s.mem_used += bytes;
+            s.mem_peak = s.mem_peak.max(s.mem_used);
+        }
+        // cudaMalloc cost: fixed overhead; zero-fill charged as a memset.
+        let t = self.inner.props.t_alloc + bytes as f64 / self.inner.props.dram_bw;
+        self.push_record(format!("alloc:{name}"), OpKind::Alloc, t, Breakdown::default());
+        Ok(GpuBuffer {
+            data: vec![T::default(); len],
+            bytes,
+            dev: Arc::clone(&self.inner),
+        })
+    }
+
+    /// Copy host data into a device buffer (cudaMemcpyHostToDevice).
+    pub fn memcpy_htod<T: Copy>(&self, dst: &mut GpuBuffer<T>, src: &[T]) {
+        assert!(src.len() <= dst.data.len(), "htod copy larger than buffer");
+        dst.data[..src.len()].copy_from_slice(src);
+        let bytes = std::mem::size_of_val(src);
+        let t = self.inner.props.pcie_latency + bytes as f64 / self.inner.props.pcie_bw;
+        self.push_record("memcpy_htod".into(), OpKind::Memcpy, t, Breakdown::default());
+    }
+
+    /// Copy device data back to the host (cudaMemcpyDeviceToHost).
+    pub fn memcpy_dtoh<T: Copy>(&self, dst: &mut [T], src: &GpuBuffer<T>) {
+        assert!(dst.len() <= src.data.len(), "dtoh copy larger than buffer");
+        dst.copy_from_slice(&src.data[..dst.len()]);
+        let bytes = std::mem::size_of_val(dst);
+        let t = self.inner.props.pcie_latency + bytes as f64 / self.inner.props.pcie_bw;
+        self.push_record("memcpy_dtoh".into(), OpKind::Memcpy, t, Breakdown::default());
+    }
+
+    /// Begin a detailed kernel launch (warp-level accounting).
+    pub fn kernel(&self, name: &str, cfg: LaunchConfig) -> Kernel {
+        assert!(
+            cfg.shared_bytes_per_block <= self.inner.props.shared_mem_per_block,
+            "kernel '{name}' requests {} B shared memory; device limit is {} B",
+            cfg.shared_bytes_per_block,
+            self.inner.props.shared_mem_per_block
+        );
+        Kernel::new(name, cfg, self.inner.props.clone())
+    }
+
+    /// Price and record a finished kernel; advances the clock.
+    pub fn launch_end(&self, kernel: Kernel) -> LaunchReport {
+        let report = kernel.price();
+        self.push_record(
+            report.name.clone(),
+            OpKind::Kernel,
+            report.duration,
+            report.breakdown,
+        );
+        report
+    }
+
+    /// Price a data-parallel operation without per-warp detail: `t = max(
+    /// bytes/bw, flops/rate ) + launch overhead`. Used for memsets,
+    /// bin-index computation, scans, permutations, deconvolution, and the
+    /// cuFFT-substitute, whose access patterns are regular.
+    pub fn bulk_op(
+        &self,
+        name: &str,
+        bytes_read: usize,
+        bytes_written: usize,
+        flops: f64,
+        prec: Precision,
+    ) -> f64 {
+        let p = &self.inner.props;
+        let mem = (bytes_read + bytes_written) as f64 / p.dram_bw;
+        let compute = flops / p.flops(prec);
+        let t = mem.max(compute) + p.t_launch;
+        self.push_record(
+            name.into(),
+            OpKind::Bulk,
+            t,
+            Breakdown {
+                dram: mem,
+                compute,
+                overhead: p.t_launch,
+                ..Breakdown::default()
+            },
+        )
+    }
+
+    /// Advance the clock by an externally computed duration (used by the
+    /// multi-rank harness to model queueing).
+    pub fn advance(&self, name: &str, duration: f64) {
+        self.push_record(name.into(), OpKind::Bulk, duration, Breakdown::default());
+    }
+}
+
+/// Device memory: functionally a host `Vec`, accounted against the
+/// simulated device's capacity. Dropping it frees the simulated memory.
+pub struct GpuBuffer<T> {
+    data: Vec<T>,
+    bytes: usize,
+    dev: Arc<DeviceInner>,
+}
+
+impl<T> GpuBuffer<T> {
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+}
+
+impl<T> Drop for GpuBuffer<T> {
+    fn drop(&mut self) {
+        let mut s = self.dev.state.lock();
+        s.mem_used = s.mem_used.saturating_sub(self.bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_advances_with_operations() {
+        let dev = Device::v100();
+        assert_eq!(dev.clock(), 0.0);
+        let t = dev.bulk_op("memset", 0, 1 << 20, 0.0, Precision::Single);
+        assert!(t > 0.0);
+        assert!((dev.clock() - t).abs() < 1e-18);
+    }
+
+    #[test]
+    fn alloc_tracks_memory_and_drop_frees() {
+        let dev = Device::v100();
+        let before = dev.mem_used();
+        {
+            let _buf: GpuBuffer<f32> = dev.alloc("grid", 1 << 20).unwrap();
+            assert_eq!(dev.mem_used(), before + (1 << 22));
+            assert!(dev.mem_peak() >= before + (1 << 22));
+        }
+        assert_eq!(dev.mem_used(), before);
+        // peak survives the free
+        assert!(dev.mem_peak() >= before + (1 << 22));
+    }
+
+    #[test]
+    fn oom_is_reported() {
+        let dev = Device::v100();
+        let cap = dev.props().global_mem_bytes;
+        let err = match dev.alloc::<u8>("huge", cap + 1) {
+            Err(e) => e,
+            Ok(_) => panic!("allocation beyond capacity must fail"),
+        };
+        assert_eq!(err.requested, cap + 1);
+    }
+
+    #[test]
+    fn memcpy_roundtrip_preserves_data() {
+        let dev = Device::v100();
+        let host: Vec<f32> = (0..100).map(|i| i as f32).collect();
+        let mut buf = dev.alloc::<f32>("x", 100).unwrap();
+        dev.memcpy_htod(&mut buf, &host);
+        let mut back = vec![0.0f32; 100];
+        dev.memcpy_dtoh(&mut back, &buf);
+        assert_eq!(host, back);
+        let tl = dev.timeline();
+        assert_eq!(
+            tl.iter().filter(|r| r.kind == OpKind::Memcpy).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn kernel_launch_records_timeline() {
+        let dev = Device::v100();
+        let mut k = dev.kernel("spread", LaunchConfig::new(Precision::Single, 128));
+        let mut b = k.block();
+        b.flops(1000);
+        b.stream_bytes(4096);
+        b.finish();
+        let report = dev.launch_end(k);
+        assert!(report.duration > 0.0);
+        let tl = dev.timeline();
+        let rec = tl.iter().find(|r| r.name == "spread").unwrap();
+        assert_eq!(rec.kind, OpKind::Kernel);
+        assert!((rec.duration - report.duration).abs() < 1e-18);
+    }
+
+    #[test]
+    fn shared_memory_request_validated() {
+        let dev = Device::v100();
+        let too_big =
+            LaunchConfig::new(Precision::Single, 128).with_shared(dev.props().shared_mem_per_block + 1);
+        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            dev.kernel("bad", too_big)
+        }));
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn bigger_transfers_take_longer() {
+        let dev = Device::v100();
+        let t1 = {
+            let mut b = dev.alloc::<f32>("a", 1024).unwrap();
+            let host = vec![0.0f32; 1024];
+            let c0 = dev.clock();
+            dev.memcpy_htod(&mut b, &host);
+            dev.clock() - c0
+        };
+        let t2 = {
+            let mut b = dev.alloc::<f32>("b", 1 << 22).unwrap();
+            let host = vec![0.0f32; 1 << 22];
+            let c0 = dev.clock();
+            dev.memcpy_htod(&mut b, &host);
+            dev.clock() - c0
+        };
+        assert!(t2 > t1 * 10.0);
+    }
+
+    #[test]
+    fn timeline_recording_can_be_disabled() {
+        let dev = Device::v100();
+        dev.set_record_timeline(false);
+        dev.bulk_op("quiet", 1024, 0, 0.0, Precision::Single);
+        assert!(dev.timeline().is_empty());
+        // clock still advances
+        assert!(dev.clock() > 0.0);
+    }
+
+    #[test]
+    fn device_is_cloneable_and_shares_state() {
+        let dev = Device::v100();
+        let dev2 = dev.clone();
+        dev.bulk_op("x", 1 << 20, 0, 0.0, Precision::Single);
+        assert_eq!(dev.clock(), dev2.clock());
+    }
+}

@@ -1,0 +1,600 @@
+//! Kernel launch accounting: coalescing, cache reuse, atomic contention,
+//! shared-memory traffic, and per-block serial cost.
+//!
+//! Kernels execute *functionally* as ordinary Rust code over buffer
+//! slices; while doing so they report their memory behaviour at warp
+//! granularity through [`BlockCtx`]. Traffic is tracked at two levels:
+//!
+//! * **L2 transactions** — each warp-wide access is deduplicated into
+//!   32-byte sectors (hardware coalescing). All sectors pass through L2.
+//! * **DRAM lines** — sector requests are filtered through a
+//!   direct-mapped model of the 6 MB L2 at 128-byte line granularity;
+//!   only misses cost DRAM bandwidth (writes/atomics pay read+writeback).
+//!   This is what makes bin-sorting pay off: sorted points reuse resident
+//!   lines, unsorted points miss on nearly every footprint row.
+//!
+//! Global atomics additionally pay (a) a device-wide op-throughput
+//! ceiling and (b) a same-sector serialization penalty for the hottest
+//! sector — the term that makes clustered input-driven spreading
+//! collapse, exactly as the paper describes.
+//!
+//! At `finish()` the launch is priced as
+//! `max(makespan, L2, DRAM, compute, atomic-ops, hotspot) + overhead`,
+//! where makespan comes from list-scheduling per-block serial costs onto
+//! the SMs (the paper's `M_sub` load-balancing story).
+
+use crate::props::{DeviceProps, Precision};
+use crate::sched::makespan;
+
+/// Launch configuration, the subset of CUDA's `<<<grid, block, shmem>>>`
+/// the cost model needs (grid size is implied by the number of
+/// [`Kernel::block`] calls).
+#[derive(Copy, Clone, Debug)]
+pub struct LaunchConfig {
+    pub precision: Precision,
+    pub threads_per_block: usize,
+    pub shared_bytes_per_block: usize,
+    /// Multiplier on the same-sector atomic serialization cost. 1.0 for
+    /// native hardware atomics; larger for CAS-loop emulated atomics
+    /// (e.g. CUNFFT's double-precision adds), whose retries compound
+    /// under contention.
+    pub cas_atomic_penalty: f64,
+}
+
+impl LaunchConfig {
+    pub fn new(precision: Precision, threads_per_block: usize) -> Self {
+        LaunchConfig {
+            precision,
+            threads_per_block,
+            shared_bytes_per_block: 0,
+            cas_atomic_penalty: 1.0,
+        }
+    }
+
+    pub fn with_shared(mut self, bytes: usize) -> Self {
+        self.shared_bytes_per_block = bytes;
+        self
+    }
+
+    pub fn with_cas_penalty(mut self, penalty: f64) -> Self {
+        self.cas_atomic_penalty = penalty;
+        self
+    }
+}
+
+/// Cost breakdown of one launch (all in seconds).
+#[derive(Copy, Clone, Debug, Default)]
+pub struct Breakdown {
+    pub makespan: f64,
+    /// L2 bandwidth term.
+    pub l2: f64,
+    /// DRAM bandwidth term (line misses).
+    pub dram: f64,
+    pub compute: f64,
+    /// Same-sector atomic serialization (hottest sector).
+    pub atomic_hotspot: f64,
+    /// Device-wide atomic op-throughput term.
+    pub atomic_ops: f64,
+    pub overhead: f64,
+}
+
+/// Result of pricing a launch.
+#[derive(Clone, Debug)]
+pub struct LaunchReport {
+    pub name: String,
+    pub duration: f64,
+    pub breakdown: Breakdown,
+    pub blocks: usize,
+    pub flops: f64,
+    pub l2_bytes: f64,
+    pub dram_bytes: f64,
+    pub global_atomics: u64,
+    pub atomic_hotspot_count: u32,
+}
+
+/// Direct-mapped model of the L2 cache at line granularity.
+struct LineCache {
+    tags: Vec<u64>,
+}
+
+impl LineCache {
+    fn new(props: &DeviceProps) -> Self {
+        let slots = (props.l2_bytes / props.line_bytes).max(1);
+        LineCache {
+            tags: vec![u64::MAX; slots],
+        }
+    }
+
+    /// Touch one line; returns `true` on miss.
+    #[inline(always)]
+    fn touch(&mut self, line_id: u64) -> bool {
+        let slot = (line_id as usize) % self.tags.len();
+        if self.tags[slot] != line_id {
+            self.tags[slot] = line_id;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// An in-flight kernel launch. Create with `Device::kernel`, call
+/// [`Kernel::block`] once per thread block, then price via
+/// `Device::launch_end`.
+pub struct Kernel {
+    pub(crate) name: String,
+    pub(crate) cfg: LaunchConfig,
+    props: DeviceProps,
+    // device-wide accumulators
+    flops: f64,
+    l2_sectors: u64,
+    dram_bytes: f64,
+    atomics: u64,
+    atomic_hist: Vec<u32>,
+    elems_per_sector: usize,
+    block_times: Vec<f64>,
+    cache: LineCache,
+    // per-block shared-memory hotspot tracking (epoch trick: no clearing)
+    shared_epoch: Vec<u32>,
+    shared_count: Vec<u32>,
+    cur_epoch: u32,
+}
+
+impl Kernel {
+    pub(crate) fn new(name: &str, cfg: LaunchConfig, props: DeviceProps) -> Self {
+        let shared_words = cfg.shared_bytes_per_block / 4;
+        let cache = LineCache::new(&props);
+        Kernel {
+            name: name.to_string(),
+            cfg,
+            props,
+            flops: 0.0,
+            l2_sectors: 0,
+            dram_bytes: 0.0,
+            atomics: 0,
+            atomic_hist: Vec::new(),
+            elems_per_sector: 1,
+            block_times: Vec::new(),
+            cache,
+            shared_epoch: vec![0; shared_words],
+            shared_count: vec![0; shared_words],
+            cur_epoch: 0,
+        }
+    }
+
+    /// Declare the buffer that receives global atomics so contention can
+    /// be tracked per 32-byte sector. `elem_bytes` is the size of one
+    /// logical element (e.g. 8 for a complex f32).
+    pub fn atomic_region(&mut self, n_elems: usize, elem_bytes: usize) {
+        self.elems_per_sector = (self.props.sector_bytes / elem_bytes).max(1);
+        let sectors = n_elems / self.elems_per_sector + 1;
+        self.atomic_hist = vec![0u32; sectors];
+    }
+
+    /// Begin accounting for one thread block.
+    pub fn block(&mut self) -> BlockCtx<'_> {
+        self.cur_epoch = self.cur_epoch.wrapping_add(1);
+        if self.cur_epoch == 0 {
+            self.shared_epoch.iter_mut().for_each(|e| *e = 0);
+            self.cur_epoch = 1;
+        }
+        BlockCtx {
+            k: self,
+            flops: 0.0,
+            l2_sectors: 0,
+            dram_bytes: 0.0,
+            atomics: 0,
+            shared_ops: 0,
+            shared_hotspot: 0,
+        }
+    }
+
+    /// Price the launch. Called by `Device::launch_end`.
+    pub(crate) fn price(self) -> LaunchReport {
+        let p = &self.props;
+        let prec = self.cfg.precision;
+        let compute = self.flops / p.flops(prec);
+        let l2_bytes = (self.l2_sectors * p.sector_bytes as u64) as f64;
+        let l2 = l2_bytes / p.l2_bw;
+        let dram = self.dram_bytes / p.dram_bw;
+        let hot = self.atomic_hist.iter().copied().max().unwrap_or(0);
+        let atomic_hotspot =
+            hot as f64 * p.t_global_atomic_same * self.cfg.cas_atomic_penalty;
+        let atomic_ops = self.atomics as f64 / p.l2_atomic_rate;
+        let ms = makespan(&self.block_times, p.sm_count);
+        let overhead = p.t_launch;
+        let duration = ms
+            .max(l2)
+            .max(dram)
+            .max(compute)
+            .max(atomic_hotspot)
+            .max(atomic_ops)
+            + overhead;
+        LaunchReport {
+            name: self.name,
+            duration,
+            breakdown: Breakdown {
+                makespan: ms,
+                l2,
+                dram,
+                compute,
+                atomic_hotspot,
+                atomic_ops,
+                overhead,
+            },
+            blocks: self.block_times.len(),
+            flops: self.flops,
+            l2_bytes,
+            dram_bytes: self.dram_bytes,
+            global_atomics: self.atomics,
+            atomic_hotspot_count: hot,
+        }
+    }
+}
+
+/// Accounting context for one thread block. Obtain via [`Kernel::block`],
+/// report the block's work, then call [`BlockCtx::finish`].
+pub struct BlockCtx<'a> {
+    k: &'a mut Kernel,
+    flops: f64,
+    l2_sectors: u64,
+    dram_bytes: f64,
+    atomics: u64,
+    shared_ops: u64,
+    shared_hotspot: u32,
+}
+
+impl BlockCtx<'_> {
+    /// Report `n` floating-point operations (in the working precision).
+    #[inline]
+    pub fn flops(&mut self, n: u64) {
+        self.flops += n as f64;
+    }
+
+    /// Count distinct 32-byte sectors among up to 32 lane addresses
+    /// (hardware coalescing within one warp instruction).
+    fn dedup_sectors(&self, byte_addrs: &[usize]) -> u64 {
+        debug_assert!(byte_addrs.len() <= 32, "a warp has at most 32 lanes");
+        let sb = self.k.props.sector_bytes;
+        let mut ids = [usize::MAX; 32];
+        let n = byte_addrs.len().min(32);
+        for (slot, &a) in ids.iter_mut().zip(byte_addrs.iter()) {
+            *slot = a / sb;
+        }
+        let ids = &mut ids[..n];
+        ids.sort_unstable();
+        let mut distinct = 0u64;
+        let mut prev = usize::MAX;
+        for &id in ids.iter() {
+            if id != prev {
+                distinct += 1;
+                prev = id;
+            }
+        }
+        distinct
+    }
+
+    /// One warp-wide access whose traffic stays at L2 level; cache reuse
+    /// at DRAM level must be reported separately via [`Self::dram_span`].
+    /// Used for the grid accesses of spread/interp inner loops, whose
+    /// footprint rows are reported to the line cache once per row.
+    pub fn l2_access(&mut self, byte_addrs: &[usize]) {
+        self.l2_sectors += self.dedup_sectors(byte_addrs);
+    }
+
+    /// Directly add `n` L2 sector transactions. Used when the caller has
+    /// already deduplicated a larger access set (e.g. read-only gathers
+    /// filtered through the per-SM L1, which atomics bypass but loads
+    /// enjoy: a warp's whole footprint counts each sector once).
+    #[inline]
+    pub fn l2_sector_count(&mut self, n: u64) {
+        self.l2_sectors += n;
+    }
+
+    /// One warp-wide access including its DRAM-side line traffic (each
+    /// lane's line filtered through the L2 model). Use for scattered
+    /// gathers such as reading point data through a sort permutation.
+    pub fn warp_access(&mut self, byte_addrs: &[usize]) {
+        self.l2_sectors += self.dedup_sectors(byte_addrs);
+        let lb = self.k.props.line_bytes;
+        for &a in byte_addrs {
+            if self.k.cache.touch((a / lb) as u64) {
+                self.dram_bytes += lb as f64;
+            }
+        }
+    }
+
+    /// A contiguous byte span touched by the block (streaming access,
+    /// e.g. coalesced loads of consecutive point data): full L2 traffic
+    /// plus line-cache-filtered DRAM traffic.
+    pub fn stream_span(&mut self, start_byte: usize, len_bytes: usize, write: bool) {
+        let sb = self.k.props.sector_bytes;
+        self.l2_sectors += len_bytes.div_ceil(sb) as u64;
+        self.dram_span(start_byte, len_bytes, write);
+    }
+
+    /// Report a contiguous byte span to the DRAM line cache only (no L2
+    /// traffic; use when the L2-level cost was already counted via
+    /// [`Self::l2_access`]). Writes pay read+writeback on miss.
+    pub fn dram_span(&mut self, start_byte: usize, len_bytes: usize, write: bool) {
+        if len_bytes == 0 {
+            return;
+        }
+        let lb = self.k.props.line_bytes;
+        let first = (start_byte / lb) as u64;
+        let last = ((start_byte + len_bytes - 1) / lb) as u64;
+        let factor = if write { 2.0 } else { 1.0 };
+        for line in first..=last {
+            if self.k.cache.touch(line) {
+                self.dram_bytes += lb as f64 * factor;
+            }
+        }
+    }
+
+    /// Legacy helper: contiguous streaming traffic with no base address
+    /// (assumed compulsory misses).
+    #[inline]
+    pub fn stream_bytes(&mut self, bytes: usize) {
+        let sb = self.k.props.sector_bytes;
+        self.l2_sectors += bytes.div_ceil(sb) as u64;
+        self.dram_bytes += bytes as f64;
+    }
+
+    /// One global atomic op landing on logical element `elem_idx` of the
+    /// declared atomic region. Pays the op-throughput term and feeds the
+    /// per-sector contention histogram. Its memory traffic must be
+    /// reported separately (`l2_access` + `dram_span`).
+    #[inline]
+    pub fn global_atomic(&mut self, elem_idx: usize) {
+        self.atomics += 1;
+        if !self.k.atomic_hist.is_empty() {
+            let s = elem_idx / self.k.elems_per_sector;
+            if let Some(c) = self.k.atomic_hist.get_mut(s) {
+                *c += 1;
+            }
+        }
+    }
+
+    /// One shared-memory atomic add to 4-byte word `word_idx` of this
+    /// block's shared allocation.
+    #[inline]
+    pub fn shared_atomic(&mut self, word_idx: usize) {
+        self.shared_ops += 1;
+        let k = &mut *self.k;
+        if word_idx < k.shared_epoch.len() {
+            if k.shared_epoch[word_idx] != k.cur_epoch {
+                k.shared_epoch[word_idx] = k.cur_epoch;
+                k.shared_count[word_idx] = 1;
+            } else {
+                k.shared_count[word_idx] += 1;
+            }
+            self.shared_hotspot = self.shared_hotspot.max(k.shared_count[word_idx]);
+        }
+    }
+
+    /// Plain (non-atomic) shared-memory operations.
+    #[inline]
+    pub fn shared_ops(&mut self, n: u64) {
+        self.shared_ops += n;
+    }
+
+    /// Shared-memory reads: conflict-free loads sustain ~4x the
+    /// read-modify-write rate.
+    #[inline]
+    pub fn shared_reads(&mut self, n: u64) {
+        self.shared_ops += n / 4;
+    }
+
+    /// Close the block: convert its counters into a serial cost.
+    pub fn finish(self) {
+        let p = &self.k.props;
+        let prec = self.k.cfg.precision;
+        let sm = p.sm_count as f64;
+        let t_compute = self.flops / p.sm_flops(prec);
+        let t_l2 = (self.l2_sectors * p.sector_bytes as u64) as f64 / (p.l2_bw / sm);
+        let t_dram = self.dram_bytes / (p.dram_bw / sm);
+        let t_atomic = self.atomics as f64 / (p.l2_atomic_rate / sm);
+        let t_shared = self.shared_ops as f64 / p.shared_ops_rate_per_sm
+            + self.shared_hotspot as f64 * p.t_shared_atomic_same;
+        let t_block = t_compute.max(t_l2).max(t_dram).max(t_atomic).max(t_shared);
+        self.k.flops += self.flops;
+        self.k.l2_sectors += self.l2_sectors;
+        self.k.dram_bytes += self.dram_bytes;
+        self.k.atomics += self.atomics;
+        self.k.block_times.push(t_block);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk(cfg: LaunchConfig) -> Kernel {
+        Kernel::new("test", cfg, DeviceProps::v100())
+    }
+
+    #[test]
+    fn coalesced_warp_is_few_sectors() {
+        let mut k = mk(LaunchConfig::new(Precision::Single, 128));
+        let mut b = k.block();
+        // 32 lanes reading 32 consecutive f32s: 128 B = 4 sectors
+        let addrs: Vec<usize> = (0..32).map(|i| i * 4).collect();
+        b.l2_access(&addrs);
+        b.finish();
+        assert_eq!(k.l2_sectors, 4);
+    }
+
+    #[test]
+    fn scattered_warp_is_many_sectors() {
+        let mut k = mk(LaunchConfig::new(Precision::Single, 128));
+        let mut b = k.block();
+        let addrs: Vec<usize> = (0..32).map(|i| i * 4096).collect();
+        b.l2_access(&addrs);
+        b.finish();
+        assert_eq!(k.l2_sectors, 32);
+    }
+
+    #[test]
+    fn line_cache_rewards_reuse() {
+        let props = DeviceProps::v100();
+        // repeatedly touching the same small region: only first touch
+        // costs DRAM
+        let mut k = Kernel::new("r", LaunchConfig::new(Precision::Single, 128), props.clone());
+        let mut b = k.block();
+        for _ in 0..100 {
+            b.dram_span(0, 4096, false);
+        }
+        b.finish();
+        assert_eq!(k.dram_bytes, 4096.0f64.div_euclid(128.0) * 128.0);
+        // scattered touches each cost a full line
+        let mut k2 = Kernel::new("s", LaunchConfig::new(Precision::Single, 128), props);
+        let mut b = k2.block();
+        for i in 0..100usize {
+            b.dram_span(i * 1_000_000, 4, false);
+        }
+        b.finish();
+        assert_eq!(k2.dram_bytes, 100.0 * 128.0);
+    }
+
+    #[test]
+    fn writes_pay_read_plus_writeback() {
+        let mut k = mk(LaunchConfig::new(Precision::Single, 128));
+        let mut b = k.block();
+        b.dram_span(0, 128, true);
+        b.finish();
+        assert_eq!(k.dram_bytes, 256.0);
+    }
+
+    #[test]
+    fn atomic_hotspot_tracks_worst_sector() {
+        let mut k = mk(LaunchConfig::new(Precision::Single, 128));
+        k.atomic_region(1024, 8);
+        let mut b = k.block();
+        for _ in 0..100 {
+            b.global_atomic(5);
+        }
+        b.global_atomic(900);
+        b.finish();
+        let r = k.price();
+        assert_eq!(r.global_atomics, 101);
+        assert_eq!(r.atomic_hotspot_count, 100);
+    }
+
+    #[test]
+    fn hotspot_serialization_dominates_when_contended() {
+        let props = DeviceProps::v100();
+        let mut k = Kernel::new("hot", LaunchConfig::new(Precision::Single, 128), props.clone());
+        k.atomic_region(16, 8);
+        let mut b = k.block();
+        let n = 1_000_000u32;
+        for _ in 0..n {
+            b.global_atomic(0);
+        }
+        b.finish();
+        let r = k.price();
+        let expect = n as f64 * props.t_global_atomic_same;
+        assert!(r.breakdown.atomic_hotspot >= expect * 0.99);
+        assert!(r.duration >= expect);
+    }
+
+    #[test]
+    fn cas_penalty_multiplies_contention() {
+        let props = DeviceProps::v100();
+        let run = |penalty: f64| {
+            let cfg = LaunchConfig::new(Precision::Double, 128).with_cas_penalty(penalty);
+            let mut k = Kernel::new("c", cfg, props.clone());
+            k.atomic_region(16, 16);
+            let mut b = k.block();
+            for _ in 0..10_000 {
+                b.global_atomic(0);
+            }
+            b.finish();
+            k.price().breakdown.atomic_hotspot
+        };
+        assert!((run(16.0) / run(1.0) - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shared_atomics_are_much_cheaper_than_global_hotspot() {
+        let props = DeviceProps::v100();
+        let cfg = LaunchConfig::new(Precision::Single, 128).with_shared(4096);
+        let mut kg = Kernel::new("g", LaunchConfig::new(Precision::Single, 128), props.clone());
+        kg.atomic_region(16, 8);
+        let mut bg = kg.block();
+        for _ in 0..100_000 {
+            bg.global_atomic(0);
+        }
+        bg.finish();
+        let mut ks = Kernel::new("s", cfg, props);
+        let mut bs = ks.block();
+        for _ in 0..100_000 {
+            bs.shared_atomic(0);
+        }
+        bs.finish();
+        let tg = kg.price().duration;
+        let ts = ks.price().duration;
+        assert!(ts < tg / 3.0, "shared {ts} vs global {tg}");
+    }
+
+    #[test]
+    fn shared_hotspot_resets_between_blocks() {
+        let cfg = LaunchConfig::new(Precision::Single, 128).with_shared(1024);
+        let mut k = mk(cfg);
+        let mut b1 = k.block();
+        for _ in 0..50 {
+            b1.shared_atomic(3);
+        }
+        assert_eq!(b1.shared_hotspot, 50);
+        b1.finish();
+        let mut b2 = k.block();
+        b2.shared_atomic(3);
+        assert_eq!(b2.shared_hotspot, 1, "epoch must reset per block");
+        b2.finish();
+    }
+
+    #[test]
+    fn load_imbalance_shows_in_makespan() {
+        let props = DeviceProps::v100();
+        let total_flops = 8.0e9_f64;
+        let mut k1 = Kernel::new("lump", LaunchConfig::new(Precision::Single, 128), props.clone());
+        let mut b = k1.block();
+        b.flops(total_flops as u64);
+        b.finish();
+        let t_lump = k1.price().duration;
+        let mut k2 = Kernel::new("split", LaunchConfig::new(Precision::Single, 128), props);
+        for _ in 0..800 {
+            let mut b = k2.block();
+            b.flops((total_flops / 800.0) as u64);
+            b.finish();
+        }
+        let t_split = k2.price().duration;
+        assert!(t_split < t_lump / 10.0, "split {t_split} vs lump {t_lump}");
+    }
+
+    #[test]
+    fn atomic_op_throughput_bounds_uncontended_atomics() {
+        let props = DeviceProps::v100();
+        let mut k = Kernel::new("ops", LaunchConfig::new(Precision::Single, 128), props.clone());
+        k.atomic_region(1 << 20, 8);
+        let mut b = k.block();
+        // spread over many sectors: no hotspot, but op rate still binds
+        for i in 0..1_000_000usize {
+            b.global_atomic(i % (1 << 20));
+        }
+        b.finish();
+        let r = k.price();
+        let expect = 1.0e6 / props.l2_atomic_rate;
+        assert!(r.breakdown.atomic_ops >= expect * 0.99);
+        assert!(r.breakdown.atomic_hotspot < expect);
+    }
+
+    #[test]
+    fn stream_bytes_counts_both_levels() {
+        let mut k = mk(LaunchConfig::new(Precision::Single, 128));
+        let mut b = k.block();
+        b.stream_bytes(33);
+        b.finish();
+        assert_eq!(k.l2_sectors, 2);
+        assert_eq!(k.dram_bytes, 33.0);
+    }
+}

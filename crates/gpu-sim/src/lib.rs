@@ -1,0 +1,37 @@
+//! A functional + performance simulator of a CUDA-class GPU.
+//!
+//! This crate is the substitution for the NVIDIA V100 the paper benchmarks
+//! on (see DESIGN.md §2). Kernels execute *functionally* as host Rust over
+//! buffer slices, while reporting their memory behaviour at warp/block
+//! granularity; the device prices each launch with a model whose terms map
+//! one-to-one onto the effects cuFINUFFT's algorithms are designed around:
+//!
+//! * **coalescing** — warp accesses are deduplicated into 32-byte sectors,
+//!   so scattered access (unsorted GM spreading) costs up to 32x the
+//!   bandwidth of sorted access (GM-sort);
+//! * **atomic contention** — global atomics are histogrammed per sector
+//!   and the hottest sector serializes the launch (why GM collapses on
+//!   clustered points);
+//! * **shared memory** — cheap per-block atomics with a 48 KiB capacity
+//!   limit (why SM wins, and why it is infeasible for 3D double precision
+//!   at large kernel widths — paper Remark 2);
+//! * **load balance** — per-block serial costs are list-scheduled onto SM
+//!   slots, so one overloaded block stretches the makespan (why the
+//!   `M_sub` subproblem cap matters).
+//!
+//! Host-device transfers, allocations, and bulk data-parallel passes are
+//! priced by bandwidth/latency models so the paper's "total" and
+//! "total+mem" timings can be reconstructed.
+
+pub mod device;
+pub mod kernel;
+pub mod props;
+pub mod report;
+pub mod sched;
+pub mod stream;
+
+pub use device::{Device, GpuBuffer, OomError, OpKind, TimelineRecord};
+pub use kernel::{BlockCtx, Breakdown, Kernel, LaunchConfig, LaunchReport};
+pub use props::{DeviceProps, Precision};
+pub use report::{profile_table, summarize, OpSummary};
+pub use stream::{sync_streams, EngineState, Stream, StreamOp};

@@ -1,0 +1,130 @@
+//! nvprof-style summaries of a device timeline.
+//!
+//! The simulator records every priced operation; this module aggregates
+//! them into the familiar per-kernel profile (calls, total time, average,
+//! share) so users can see where a transform's simulated time goes —
+//! e.g. reproducing Table I's observation that spreading is >90% of a 3D
+//! type-1 "exec".
+
+use crate::device::{OpKind, TimelineRecord};
+use std::collections::HashMap;
+use std::fmt::Write;
+
+/// Aggregated statistics for one operation name.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OpSummary {
+    pub name: String,
+    pub kind: OpKind,
+    pub calls: usize,
+    pub total: f64,
+    pub avg: f64,
+    /// Fraction of the profiled span.
+    pub share: f64,
+}
+
+/// Aggregate a timeline into per-name summaries, sorted by total time
+/// (descending).
+pub fn summarize(timeline: &[TimelineRecord]) -> Vec<OpSummary> {
+    let mut agg: HashMap<(String, OpKind), (usize, f64)> = HashMap::new();
+    let mut grand = 0.0f64;
+    for r in timeline {
+        let e = agg.entry((r.name.clone(), r.kind)).or_insert((0, 0.0));
+        e.0 += 1;
+        e.1 += r.duration;
+        grand += r.duration;
+    }
+    let mut out: Vec<OpSummary> = agg
+        .into_iter()
+        .map(|((name, kind), (calls, total))| OpSummary {
+            name,
+            kind,
+            calls,
+            total,
+            avg: total / calls as f64,
+            share: if grand > 0.0 { total / grand } else { 0.0 },
+        })
+        .collect();
+    out.sort_by(|a, b| b.total.partial_cmp(&a.total).unwrap());
+    out
+}
+
+/// Render the summary as an nvprof-like table.
+pub fn profile_table(timeline: &[TimelineRecord]) -> String {
+    let rows = summarize(timeline);
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "{:>7}  {:>9}  {:>10}  {:>10}  {:<8}  name",
+        "share", "calls", "total", "avg", "kind"
+    );
+    for r in &rows {
+        let _ = writeln!(
+            s,
+            "{:>6.1}%  {:>9}  {:>9.3}ms  {:>9.3}us  {:<8}  {}",
+            r.share * 100.0,
+            r.calls,
+            r.total * 1e3,
+            r.avg * 1e6,
+            format!("{:?}", r.kind),
+            r.name
+        );
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::Device;
+    use crate::kernel::LaunchConfig;
+    use crate::props::Precision;
+
+    fn sample_device() -> Device {
+        let dev = Device::v100();
+        for _ in 0..3 {
+            let mut k = dev.kernel("spread", LaunchConfig::new(Precision::Single, 128));
+            let mut b = k.block();
+            b.flops(1_000_000);
+            b.finish();
+            dev.launch_end(k);
+        }
+        dev.bulk_op("cufft", 1 << 20, 1 << 20, 1e6, Precision::Single);
+        dev
+    }
+
+    #[test]
+    fn summary_aggregates_by_name() {
+        let dev = sample_device();
+        let rows = summarize(&dev.timeline());
+        let spread = rows.iter().find(|r| r.name == "spread").unwrap();
+        assert_eq!(spread.calls, 3);
+        assert!((spread.avg * 3.0 - spread.total).abs() < 1e-15);
+        let shares: f64 = rows.iter().map(|r| r.share).sum();
+        assert!((shares - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rows_sorted_by_total() {
+        let dev = sample_device();
+        let rows = summarize(&dev.timeline());
+        for w in rows.windows(2) {
+            assert!(w[0].total >= w[1].total);
+        }
+    }
+
+    #[test]
+    fn table_renders() {
+        let dev = sample_device();
+        let t = profile_table(&dev.timeline());
+        assert!(t.contains("spread"));
+        assert!(t.contains("cufft"));
+        assert!(t.lines().count() >= 3);
+    }
+
+    #[test]
+    fn empty_timeline_is_fine() {
+        let rows = summarize(&[]);
+        assert!(rows.is_empty());
+        assert!(profile_table(&[]).lines().count() == 1);
+    }
+}

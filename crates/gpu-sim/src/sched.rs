@@ -1,0 +1,105 @@
+//! Block-to-SM scheduling: the makespan model.
+//!
+//! A CUDA grid's thread blocks are dispatched to SMs as slots free up. We
+//! model each SM as a serial server and dispatch blocks in submission
+//! order to the earliest-free SM (greedy list scheduling). This is the
+//! component that makes *load balance* visible: one huge block (the
+//! failure mode of uncapped output-driven spreading, fixed by the paper's
+//! `M_sub` cap) stretches the makespan no matter how idle the other SMs
+//! are.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Total-order wrapper for non-NaN f64 so times can live in a heap.
+#[derive(Copy, Clone, PartialEq, PartialOrd)]
+pub(crate) struct Finite(pub f64);
+
+impl Eq for Finite {}
+#[allow(clippy::derive_ord_xor_partial_ord)]
+impl Ord for Finite {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.partial_cmp(other).expect("NaN time in scheduler")
+    }
+}
+
+/// Greedy list-scheduling makespan of `block_times` over `slots` identical
+/// servers, in submission order. Returns 0 for an empty grid.
+pub fn makespan(block_times: &[f64], slots: usize) -> f64 {
+    assert!(slots > 0, "scheduler needs at least one slot");
+    if block_times.is_empty() {
+        return 0.0;
+    }
+    if block_times.len() <= slots {
+        return block_times.iter().cloned().fold(0.0, f64::max);
+    }
+    let mut heap: BinaryHeap<Reverse<Finite>> = BinaryHeap::with_capacity(slots);
+    for _ in 0..slots {
+        heap.push(Reverse(Finite(0.0)));
+    }
+    let mut latest: f64 = 0.0;
+    for &t in block_times {
+        debug_assert!(t >= 0.0 && t.is_finite(), "bad block time {t}");
+        let Reverse(Finite(free_at)) = heap.pop().expect("heap never empty");
+        let done = free_at + t;
+        latest = latest.max(done);
+        heap.push(Reverse(Finite(done)));
+    }
+    latest
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_grid_is_instant() {
+        assert_eq!(makespan(&[], 80), 0.0);
+    }
+
+    #[test]
+    fn fewer_blocks_than_slots_take_the_longest_block() {
+        assert_eq!(makespan(&[1.0, 3.0, 2.0], 4), 3.0);
+    }
+
+    #[test]
+    fn perfectly_balanced_blocks_divide_evenly() {
+        let times = vec![1.0; 160];
+        assert!((makespan(&times, 80) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn one_giant_block_dominates() {
+        // the load-imbalance pathology M_sub exists to prevent
+        let mut times = vec![0.001; 1000];
+        times[0] = 5.0;
+        let ms = makespan(&times, 80);
+        assert!(ms >= 5.0 && ms < 5.1);
+    }
+
+    #[test]
+    fn capped_blocks_beat_uncapped() {
+        // same total work, split 100-ways vs one lump
+        let lump = makespan(&[10.0], 80);
+        let split = makespan(&vec![0.1; 100], 80);
+        assert!(split < lump / 4.0, "split {split} vs lump {lump}");
+    }
+
+    #[test]
+    fn makespan_bounds() {
+        // classic bounds: max(avg load, longest block) <= makespan <= sum
+        let times = [0.5, 1.7, 0.3, 2.2, 0.9, 1.1, 0.4];
+        let slots = 3;
+        let ms = makespan(&times, slots);
+        let total: f64 = times.iter().sum();
+        let lb = (total / slots as f64).max(2.2);
+        assert!(ms + 1e-12 >= lb);
+        assert!(ms <= total + 1e-12);
+    }
+
+    #[test]
+    fn single_slot_serializes() {
+        let times = [1.0, 2.0, 3.0];
+        assert!((makespan(&times, 1) - 6.0).abs() < 1e-12);
+    }
+}

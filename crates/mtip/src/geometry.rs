@@ -1,0 +1,216 @@
+//! Orientations and Ewald-sphere slice geometry (paper Sec. V, Fig. 8).
+//!
+//! Each diffraction image measures the 3D Fourier transform on an Ewald
+//! sphere slice passing through the origin, at an unknown orientation.
+//! A detector pixel at transverse frequency `(qx, qy)` samples the 3D
+//! frequency `(qx, qy, qz)` with `qz = (qx^2 + qy^2) / (2 k0)` (sphere of
+//! radius `k0` through the origin), rotated by the shot's orientation.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A 3D rotation stored as a row-major 3x3 matrix.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct Rotation(pub [[f64; 3]; 3]);
+
+impl Rotation {
+    pub fn identity() -> Self {
+        Rotation([[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]])
+    }
+
+    /// Build from a unit quaternion `(w, x, y, z)`.
+    pub fn from_quaternion(w: f64, x: f64, y: f64, z: f64) -> Self {
+        let n = (w * w + x * x + y * y + z * z).sqrt();
+        let (w, x, y, z) = (w / n, x / n, y / n, z / n);
+        Rotation([
+            [
+                1.0 - 2.0 * (y * y + z * z),
+                2.0 * (x * y - w * z),
+                2.0 * (x * z + w * y),
+            ],
+            [
+                2.0 * (x * y + w * z),
+                1.0 - 2.0 * (x * x + z * z),
+                2.0 * (y * z - w * x),
+            ],
+            [
+                2.0 * (x * z - w * y),
+                2.0 * (y * z + w * x),
+                1.0 - 2.0 * (x * x + y * y),
+            ],
+        ])
+    }
+
+    /// Uniformly random rotation (Shoemake's uniform quaternion method).
+    pub fn random(rng: &mut StdRng) -> Self {
+        let u1: f64 = rng.random_range(0.0..1.0);
+        let u2: f64 = rng.random_range(0.0..std::f64::consts::TAU);
+        let u3: f64 = rng.random_range(0.0..std::f64::consts::TAU);
+        let a = (1.0 - u1).sqrt();
+        let b = u1.sqrt();
+        Self::from_quaternion(a * u2.sin(), a * u2.cos(), b * u3.sin(), b * u3.cos())
+    }
+
+    /// Rotation about one axis by `angle` (testing/perturbation helper).
+    pub fn about_axis(axis: usize, angle: f64) -> Self {
+        let (s, c) = angle.sin_cos();
+        match axis {
+            0 => Rotation([[1.0, 0.0, 0.0], [0.0, c, -s], [0.0, s, c]]),
+            1 => Rotation([[c, 0.0, s], [0.0, 1.0, 0.0], [-s, 0.0, c]]),
+            _ => Rotation([[c, -s, 0.0], [s, c, 0.0], [0.0, 0.0, 1.0]]),
+        }
+    }
+
+    #[inline]
+    pub fn apply(&self, v: [f64; 3]) -> [f64; 3] {
+        let m = &self.0;
+        [
+            m[0][0] * v[0] + m[0][1] * v[1] + m[0][2] * v[2],
+            m[1][0] * v[0] + m[1][1] * v[1] + m[1][2] * v[2],
+            m[2][0] * v[0] + m[2][1] * v[1] + m[2][2] * v[2],
+        ]
+    }
+
+    /// Compose `self * other`.
+    pub fn compose(&self, other: &Rotation) -> Rotation {
+        let (a, b) = (&self.0, &other.0);
+        let mut out = [[0.0; 3]; 3];
+        for (i, row) in out.iter_mut().enumerate() {
+            for (j, cell) in row.iter_mut().enumerate() {
+                *cell = (0..3).map(|k| a[i][k] * b[k][j]).sum();
+            }
+        }
+        Rotation(out)
+    }
+
+    /// Determinant (should be +1 for a proper rotation).
+    pub fn det(&self) -> f64 {
+        let m = &self.0;
+        m[0][0] * (m[1][1] * m[2][2] - m[1][2] * m[2][1])
+            - m[0][1] * (m[1][0] * m[2][2] - m[1][2] * m[2][0])
+            + m[0][2] * (m[1][0] * m[2][1] - m[1][1] * m[2][0])
+    }
+}
+
+/// Ewald-slice sampling parameters.
+#[derive(Copy, Clone, Debug)]
+pub struct SliceGeometry {
+    /// Detector is `n_det x n_det` pixels.
+    pub n_det: usize,
+    /// Maximum transverse frequency sampled (the NUFFT box is
+    /// `[-pi, pi)^3`; keep `q_max` comfortably inside, since the Ewald
+    /// curvature pushes `qz` outward).
+    pub q_max: f64,
+    /// Beam wavenumber `k0` controlling the sphere curvature; large `k0`
+    /// = nearly flat slices.
+    pub k0: f64,
+}
+
+impl SliceGeometry {
+    pub fn points_per_slice(&self) -> usize {
+        self.n_det * self.n_det
+    }
+
+    /// 3D frequencies sampled by one shot at orientation `rot`.
+    pub fn slice_points(&self, rot: &Rotation) -> Vec<[f64; 3]> {
+        let n = self.n_det;
+        let mut out = Vec::with_capacity(n * n);
+        for iy in 0..n {
+            for ix in 0..n {
+                let qx = self.q_max * (2.0 * ix as f64 / (n - 1).max(1) as f64 - 1.0);
+                let qy = self.q_max * (2.0 * iy as f64 / (n - 1).max(1) as f64 - 1.0);
+                let qz = (qx * qx + qy * qy) / (2.0 * self.k0);
+                out.push(rot.apply([qx, qy, qz]));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rotations_are_orthonormal() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..20 {
+            let r = Rotation::random(&mut rng);
+            // det = +1
+            assert!((r.det() - 1.0).abs() < 1e-12);
+            // columns are orthonormal
+            for i in 0..3 {
+                for j in 0..3 {
+                    let dot: f64 = (0..3).map(|k| r.0[k][i] * r.0[k][j]).sum();
+                    let want = if i == j { 1.0 } else { 0.0 };
+                    assert!((dot - want).abs() < 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rotation_preserves_norm() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let r = Rotation::random(&mut rng);
+        let v = [0.3, -1.2, 2.0];
+        let w = r.apply(v);
+        let n0: f64 = v.iter().map(|x| x * x).sum();
+        let n1: f64 = w.iter().map(|x| x * x).sum();
+        assert!((n0 - n1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn compose_matches_sequential_apply() {
+        let a = Rotation::about_axis(0, 0.4);
+        let b = Rotation::about_axis(2, -1.1);
+        let v = [1.0, 2.0, 3.0];
+        let via_compose = a.compose(&b).apply(v);
+        let via_seq = a.apply(b.apply(v));
+        for i in 0..3 {
+            assert!((via_compose[i] - via_seq[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn slice_passes_through_origin_and_curves() {
+        let geom = SliceGeometry {
+            n_det: 33,
+            q_max: 2.0,
+            k0: 10.0,
+        };
+        let pts = geom.slice_points(&Rotation::identity());
+        assert_eq!(pts.len(), 33 * 33);
+        // the central pixel samples q = 0
+        let center = pts[(33 / 2) * 33 + 33 / 2];
+        assert!(center.iter().all(|c| c.abs() < 1e-12));
+        // corner pixels have positive qz (Ewald curvature)
+        assert!(pts[0][2] > 0.0);
+        // all points stay inside the periodic box
+        for p in &pts {
+            for c in p {
+                assert!(c.abs() < std::f64::consts::PI, "{p:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn rotated_slice_is_rotation_of_flat_slice() {
+        let geom = SliceGeometry {
+            n_det: 9,
+            q_max: 1.5,
+            k0: 8.0,
+        };
+        let mut rng = StdRng::seed_from_u64(9);
+        let rot = Rotation::random(&mut rng);
+        let flat = geom.slice_points(&Rotation::identity());
+        let turned = geom.slice_points(&rot);
+        for (f, t) in flat.iter().zip(turned.iter()) {
+            let want = rot.apply(*f);
+            for i in 0..3 {
+                assert!((want[i] - t[i]).abs() < 1e-12);
+            }
+        }
+    }
+}

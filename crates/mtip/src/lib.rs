@@ -1,0 +1,22 @@
+//! M-TIP: 3D single-particle X-ray reconstruction (paper Sec. V),
+//! driven by cuFINUFFT transforms on simulated GPUs.
+//!
+//! * [`density`] — synthetic molecule with analytic Fourier transform
+//!   (the substitution for LCLS diffraction data, DESIGN.md §2);
+//! * [`geometry`] — orientations and Ewald-sphere slice sampling;
+//! * [`recon`] — the four-step M-TIP iteration (slicing, orientation
+//!   matching, merging, phasing);
+//! * [`cluster`] — multi-rank work management and the weak-scaling
+//!   harness behind the paper's Table II and Fig. 9.
+
+pub mod cluster;
+pub mod density;
+pub mod geometry;
+pub mod metrics;
+pub mod recon;
+
+pub use cluster::{weak_scaling, Node, RankTask, RankTiming, ScalingPoint};
+pub use density::Molecule;
+pub use geometry::{Rotation, SliceGeometry};
+pub use metrics::{fourier_shell_correlation, fsc_resolution};
+pub use recon::{reconstruct, MtipConfig, MtipResult, MtipTimings};

@@ -1,0 +1,297 @@
+//! CUNFFT-style GPU NUFFT (Kunis & Kunis 2012), reimplemented on the
+//! simulated device as the paper's input-driven baseline.
+//!
+//! Characteristics modeled from the real library and the paper's
+//! measurements:
+//!
+//! * truncated **Gaussian** kernel ("fast Gaussian gridding",
+//!   `-DCOM_FG_PSI=ON`) — needs roughly twice the ES kernel's width for
+//!   the same accuracy, which is why CUNFFT falls behind as the
+//!   tolerance tightens;
+//! * **unsorted input-driven spreading** (one thread per point, user
+//!   order, global atomics) — the paper's GM scheme; on clustered points
+//!   its atomic traffic "essentially serializes the method" (Sec. III-A),
+//!   observed as a ~200x slowdown in Fig. 6. We model the extra
+//!   serialization of its atomic emulation with a CAS replay penalty
+//!   calibrated to that figure;
+//! * device memory is allocated at init (`cunfft_init`), so the paper
+//!   could not separate "total" from "total+mem" — we therefore report
+//!   only exec/total+mem-style aggregates.
+
+use cufinufft::interp::interp_gm;
+use cufinufft::plan::GpuStageTimings;
+use cufinufft::spread::{spread_gm, PtsRef};
+use gpu_sim::{Device, GpuBuffer, Precision};
+use nufft_common::complex::Complex;
+use nufft_common::error::{NufftError, Result};
+use nufft_common::real::Real;
+use nufft_common::shape::{freq_to_bin, freqs, Shape};
+use nufft_common::smooth::fine_grid_size;
+use nufft_common::workload::Points;
+use nufft_common::TransformType;
+use nufft_fft::Direction;
+use nufft_kernels::deconv::correction_rows;
+use nufft_kernels::GaussianKernel;
+
+/// Replay penalty of CUNFFT's atomic accumulation under same-sector
+/// contention, calibrated to the ~200x clustered-vs-random slowdown of
+/// paper Fig. 6.
+pub const CUNFFT_CAS_PENALTY: f64 = 64.0;
+
+/// A CUNFFT-style plan.
+pub struct CunfftPlan<T: Real> {
+    ttype: TransformType,
+    modes: Shape,
+    fine: Shape,
+    iflag: i32,
+    kernel: GaussianKernel,
+    dev: Device,
+    fft: gpu_fft::GpuFftPlan<T>,
+    corr: [Vec<f64>; 3],
+    d_grid: GpuBuffer<Complex<T>>,
+    d_in: GpuBuffer<Complex<T>>,
+    d_out: GpuBuffer<Complex<T>>,
+    pts: Option<([GpuBuffer<T>; 3], usize, usize)>,
+    timings: GpuStageTimings,
+}
+
+fn oom(e: gpu_sim::OomError) -> NufftError {
+    NufftError::DeviceOom {
+        requested: e.requested,
+        available: e.available,
+    }
+}
+
+impl<T: Real> CunfftPlan<T> {
+    pub fn new(
+        ttype: TransformType,
+        modes: &[usize],
+        iflag: i32,
+        eps: f64,
+        dev: &Device,
+    ) -> Result<Self> {
+        if modes.is_empty() || modes.len() > 3 {
+            return Err(NufftError::BadDim(modes.len()));
+        }
+        let sigma = 2.0;
+        let kernel = GaussianKernel::for_tolerance(eps, sigma);
+        let modes = Shape::from_slice(modes);
+        let fine = modes.map(|_, n| fine_grid_size(n, sigma, kernel.w));
+        let corr = correction_rows(&kernel, modes, fine);
+        let fft = gpu_fft::GpuFftPlan::new(fine);
+        let t0 = dev.clock();
+        let d_grid = dev.alloc("cunfft_grid", fine.total()).map_err(oom)?;
+        let d_in = dev.alloc("cunfft_in", 0).map_err(oom)?;
+        let d_out = dev.alloc("cunfft_out", 0).map_err(oom)?;
+        let mut timings = GpuStageTimings::default();
+        timings.alloc = dev.clock() - t0;
+        Ok(CunfftPlan {
+            ttype,
+            modes,
+            fine,
+            iflag: if iflag >= 0 { 1 } else { -1 },
+            kernel,
+            dev: dev.clone(),
+            fft,
+            corr,
+            d_grid,
+            d_in,
+            d_out,
+            pts: None,
+            timings,
+        })
+    }
+
+    pub fn kernel(&self) -> &GaussianKernel {
+        &self.kernel
+    }
+
+    pub fn timings(&self) -> GpuStageTimings {
+        self.timings
+    }
+
+    pub fn fine_grid_shape(&self) -> Shape {
+        self.fine
+    }
+
+    /// Transfer points to the device. CUNFFT does no sorting.
+    pub fn set_pts(&mut self, pts: &Points<T>) -> Result<()> {
+        if pts.dim != self.modes.dim {
+            return Err(NufftError::BadDim(pts.dim));
+        }
+        let m = pts.len();
+        let t0 = self.dev.clock();
+        let mut bufs = [
+            self.dev.alloc("cunfft_x", m).map_err(oom)?,
+            self.dev
+                .alloc("cunfft_y", if pts.dim >= 2 { m } else { 0 })
+                .map_err(oom)?,
+            self.dev
+                .alloc("cunfft_z", if pts.dim >= 3 { m } else { 0 })
+                .map_err(oom)?,
+        ];
+        let t_alloc = self.dev.clock() - t0;
+        let t1 = self.dev.clock();
+        for i in 0..pts.dim {
+            self.dev.memcpy_htod(&mut bufs[i], &pts.coords[i]);
+        }
+        self.timings.h2d_pts = self.dev.clock() - t1;
+        self.timings.alloc += t_alloc;
+        self.timings.sort = 0.0; // no preprocessing
+        self.pts = Some((bufs, m, pts.dim));
+        Ok(())
+    }
+
+    pub fn execute(&mut self, input: &[Complex<T>], output: &mut [Complex<T>]) -> Result<()> {
+        let (bufs, m, dim) = match &self.pts {
+            Some(s) => (&s.0, s.1, s.2),
+            None => return Err(NufftError::PointsNotSet),
+        };
+        let n = self.modes.total();
+        let (want_in, want_out) = match self.ttype {
+            TransformType::Type1 => (m, n),
+            TransformType::Type2 => (n, m),
+        };
+        if input.len() != want_in || output.len() != want_out {
+            return Err(NufftError::LengthMismatch {
+                expected: want_in,
+                got: input.len(),
+            });
+        }
+        let prec = if T::IS_DOUBLE {
+            Precision::Double
+        } else {
+            Precision::Single
+        };
+        let cb = std::mem::size_of::<Complex<T>>();
+        let t0 = self.dev.clock();
+        if self.d_in.len() != want_in {
+            self.d_in = self.dev.alloc("cunfft_in", want_in).map_err(oom)?;
+        }
+        if self.d_out.len() != want_out {
+            self.d_out = self.dev.alloc("cunfft_out", want_out).map_err(oom)?;
+        }
+        self.timings.alloc += self.dev.clock() - t0;
+        let t1 = self.dev.clock();
+        self.dev.memcpy_htod(&mut self.d_in, input);
+        self.timings.h2d_data = self.dev.clock() - t1;
+        let pr = PtsRef {
+            coords: [bufs[0].as_slice(), bufs[1].as_slice(), bufs[2].as_slice()],
+            dim,
+        };
+        let natural: Vec<u32> = (0..m as u32).collect();
+        let dir = Direction::from_sign(self.iflag);
+        match self.ttype {
+            TransformType::Type1 => {
+                let t = self.dev.clock();
+                self.d_grid
+                    .as_mut_slice()
+                    .iter_mut()
+                    .for_each(|z| *z = Complex::ZERO);
+                self.dev
+                    .bulk_op("cunfft_memset", 0, self.fine.total() * cb, 0.0, prec);
+                spread_gm(
+                    &self.dev,
+                    "cunfft_spread",
+                    &self.kernel,
+                    self.fine,
+                    &pr,
+                    self.d_in.as_slice(),
+                    &natural,
+                    self.d_grid.as_mut_slice(),
+                    256, // THREAD_DIM_X * THREAD_DIM_Y = 16 * 16
+                    CUNFFT_CAS_PENALTY,
+                );
+                self.timings.spread_interp = self.dev.clock() - t;
+                let t = self.dev.clock();
+                self.fft.execute(&self.dev, &mut self.d_grid, dir);
+                self.timings.fft = self.dev.clock() - t;
+                let t = self.dev.clock();
+                deconv_copy(
+                    &self.corr,
+                    self.modes,
+                    self.fine,
+                    self.d_grid.as_slice(),
+                    self.d_out.as_mut_slice(),
+                    false,
+                );
+                self.dev
+                    .bulk_op("cunfft_deconv", n * cb, n * cb, n as f64 * 8.0, prec);
+                self.timings.deconv = self.dev.clock() - t;
+            }
+            TransformType::Type2 => {
+                let t = self.dev.clock();
+                self.d_grid
+                    .as_mut_slice()
+                    .iter_mut()
+                    .for_each(|z| *z = Complex::ZERO);
+                self.dev
+                    .bulk_op("cunfft_memset", 0, self.fine.total() * cb, 0.0, prec);
+                deconv_copy(
+                    &self.corr,
+                    self.modes,
+                    self.fine,
+                    self.d_in.as_slice(),
+                    self.d_grid.as_mut_slice(),
+                    true,
+                );
+                self.dev
+                    .bulk_op("cunfft_precorrect", n * cb, n * cb, n as f64 * 8.0, prec);
+                self.timings.deconv = self.dev.clock() - t;
+                let t = self.dev.clock();
+                self.fft.execute(&self.dev, &mut self.d_grid, dir);
+                self.timings.fft = self.dev.clock() - t;
+                let t = self.dev.clock();
+                interp_gm(
+                    &self.dev,
+                    "cunfft_interp",
+                    &self.kernel,
+                    self.fine,
+                    &pr,
+                    self.d_grid.as_slice(),
+                    &natural,
+                    self.d_out.as_mut_slice(),
+                    256,
+                );
+                self.timings.spread_interp = self.dev.clock() - t;
+            }
+        }
+        let t2 = self.dev.clock();
+        self.dev.memcpy_dtoh(output, &self.d_out);
+        self.timings.d2h = self.dev.clock() - t2;
+        Ok(())
+    }
+}
+
+/// Shared mode<->fine-grid copy with correction factors. `into_grid`
+/// selects the type-2 direction (write into the zero-padded grid).
+pub(crate) fn deconv_copy<T: Real>(
+    corr: &[Vec<f64>; 3],
+    modes: Shape,
+    fine: Shape,
+    src: &[Complex<T>],
+    dst: &mut [Complex<T>],
+    into_grid: bool,
+) {
+    let k1s: Vec<(usize, f64)> = freqs(modes.n[0])
+        .enumerate()
+        .map(|(j, k)| (freq_to_bin(k, fine.n[0]), corr[0][j]))
+        .collect();
+    let mut idx = 0usize;
+    for (j3, k3) in freqs(modes.n[2]).enumerate() {
+        let b3 = freq_to_bin(k3, fine.n[2]) * fine.n[0] * fine.n[1];
+        let p3 = corr[2][j3];
+        for (j2, k2) in freqs(modes.n[1]).enumerate() {
+            let b2 = b3 + freq_to_bin(k2, fine.n[1]) * fine.n[0];
+            let p23 = p3 * corr[1][j2];
+            for (b1, p1) in &k1s {
+                if into_grid {
+                    dst[b2 + b1] = src[idx].scale(T::from_f64(p1 * p23));
+                } else {
+                    dst[idx] = src[b2 + b1].scale(T::from_f64(p1 * p23));
+                }
+                idx += 1;
+            }
+        }
+    }
+}

@@ -1,0 +1,11 @@
+//! GPU NUFFT comparator libraries, reimplemented on the simulated device
+//! so the paper's cross-library benchmarks (Figs. 4-7) can run end to
+//! end: [`cunfft::CunfftPlan`] (input-driven Gaussian gridding, unsorted)
+//! and [`gpunufft::GpunufftPlan`] (output-driven sector gather with a
+//! Kaiser-Bessel lookup-table kernel).
+
+pub mod cunfft;
+pub mod gpunufft;
+
+pub use cunfft::CunfftPlan;
+pub use gpunufft::GpunufftPlan;

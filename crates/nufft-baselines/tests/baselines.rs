@@ -1,0 +1,192 @@
+//! Correctness and behaviour of the comparator libraries.
+
+use gpu_sim::Device;
+use nufft_baselines::{CunfftPlan, GpunufftPlan};
+use nufft_common::metrics::rel_l2;
+use nufft_common::reference::{type1_direct, type2_direct};
+use nufft_common::workload::{gen_coeffs, gen_points, gen_strengths, PointDist};
+use nufft_common::{Complex, Points, Shape, TransformType};
+
+#[test]
+fn cunfft_type1_meets_moderate_tolerances() {
+    for eps in [1e-2, 1e-4, 1e-6] {
+        let dev = Device::v100();
+        let modes = [20usize, 16];
+        let shape = Shape::from_slice(&modes);
+        let mut plan = CunfftPlan::<f64>::new(TransformType::Type1, &modes, -1, eps, &dev).unwrap();
+        let pts: Points<f64> = gen_points(PointDist::Rand, 2, 300, plan.fine_grid_shape(), 1);
+        let cs = gen_strengths::<f64>(300, 2);
+        plan.set_pts(&pts).unwrap();
+        let mut out = vec![Complex::<f64>::ZERO; shape.total()];
+        plan.execute(&cs, &mut out).unwrap();
+        let want = type1_direct(&pts, &cs, shape, -1);
+        let err = rel_l2(&out, &want);
+        assert!(err < 30.0 * eps, "eps={eps}: err={err}");
+    }
+}
+
+#[test]
+fn cunfft_type2_works() {
+    let dev = Device::v100();
+    let modes = [18usize, 22];
+    let shape = Shape::from_slice(&modes);
+    let mut plan = CunfftPlan::<f64>::new(TransformType::Type2, &modes, 1, 1e-5, &dev).unwrap();
+    let pts: Points<f64> = gen_points(PointDist::Rand, 2, 250, plan.fine_grid_shape(), 3);
+    let f = gen_coeffs::<f64>(shape.total(), 4);
+    plan.set_pts(&pts).unwrap();
+    let mut out = vec![Complex::<f64>::ZERO; 250];
+    plan.execute(&f, &mut out).unwrap();
+    let want = type2_direct(&pts, &f, shape, 1);
+    assert!(rel_l2(&out, &want) < 1e-4);
+}
+
+#[test]
+fn cunfft_needs_wider_kernel_than_cufinufft() {
+    let dev = Device::v100();
+    let cn = CunfftPlan::<f32>::new(TransformType::Type1, &[64, 64], -1, 1e-5, &dev).unwrap();
+    let cf = cufinufft::Plan::<f32>::new(
+        TransformType::Type1,
+        &[64, 64],
+        -1,
+        1e-5,
+        cufinufft::GpuOpts::default(),
+        &dev,
+    )
+    .unwrap();
+    assert!(cn.kernel().w > cf.kernel().w);
+}
+
+#[test]
+fn cunfft_collapses_on_clustered_points() {
+    // the paper's Fig. 6: CUNFFT slows ~200x on "cluster" for type 1
+    let dev = Device::v100();
+    let modes = [256usize, 256];
+    let m = 50_000;
+    let run = |dist: PointDist| -> f64 {
+        let mut plan =
+            CunfftPlan::<f32>::new(TransformType::Type1, &modes, -1, 1e-2, &dev).unwrap();
+        let pts: Points<f32> = gen_points(dist, 2, m, plan.fine_grid_shape(), 5);
+        let cs = gen_strengths::<f32>(m, 6);
+        plan.set_pts(&pts).unwrap();
+        let mut out = vec![Complex::<f32>::ZERO; modes[0] * modes[1]];
+        plan.execute(&cs, &mut out).unwrap();
+        plan.timings().exec()
+    };
+    let t_rand = run(PointDist::Rand);
+    let t_cluster = run(PointDist::Cluster);
+    assert!(
+        t_cluster > 30.0 * t_rand,
+        "cluster {t_cluster} should be >30x rand {t_rand}"
+    );
+}
+
+#[test]
+fn gpunufft_type1_accuracy_floor() {
+    // LUT kernel + width cap: fine at 1e-2, saturates by ~1e-4
+    let dev = Device::v100();
+    let modes = [20usize, 20];
+    let shape = Shape::from_slice(&modes);
+    let mut errs = Vec::new();
+    for eps in [1e-2, 1e-8] {
+        let mut plan =
+            GpunufftPlan::<f64>::new(TransformType::Type1, &modes, -1, eps, &dev).unwrap();
+        let pts: Points<f64> = gen_points(PointDist::Rand, 2, 300, plan.fine_grid_shape(), 7);
+        let cs = gen_strengths::<f64>(300, 8);
+        plan.set_pts(&pts).unwrap();
+        let mut out = vec![Complex::<f64>::ZERO; shape.total()];
+        plan.execute(&cs, &mut out).unwrap();
+        let want = type1_direct(&pts, &cs, shape, -1);
+        errs.push(rel_l2(&out, &want));
+    }
+    assert!(errs[0] < 1e-1, "moderate accuracy works: {}", errs[0]);
+    // requesting 1e-8 cannot be honored: floor well above it
+    assert!(errs[1] > 1e-7, "LUT/width floor expected: {}", errs[1]);
+}
+
+#[test]
+fn gpunufft_type2_works() {
+    let dev = Device::v100();
+    let modes = [16usize, 12];
+    let shape = Shape::from_slice(&modes);
+    let mut plan = GpunufftPlan::<f64>::new(TransformType::Type2, &modes, 1, 1e-3, &dev).unwrap();
+    let pts: Points<f64> = gen_points(PointDist::Rand, 2, 200, plan.fine_grid_shape(), 9);
+    let f = gen_coeffs::<f64>(shape.total(), 10);
+    plan.set_pts(&pts).unwrap();
+    let mut out = vec![Complex::<f64>::ZERO; 200];
+    plan.execute(&f, &mut out).unwrap();
+    let want = type2_direct(&pts, &f, shape, 1);
+    assert!(rel_l2(&out, &want) < 1e-2);
+}
+
+#[test]
+fn gpunufft_3d_gather_matches_direct() {
+    let dev = Device::v100();
+    let modes = [8usize, 10, 6];
+    let shape = Shape::from_slice(&modes);
+    let mut plan = GpunufftPlan::<f64>::new(TransformType::Type1, &modes, -1, 1e-3, &dev).unwrap();
+    let pts: Points<f64> = gen_points(PointDist::Rand, 3, 150, plan.fine_grid_shape(), 11);
+    let cs = gen_strengths::<f64>(150, 12);
+    plan.set_pts(&pts).unwrap();
+    let mut out = vec![Complex::<f64>::ZERO; shape.total()];
+    plan.execute(&cs, &mut out).unwrap();
+    let want = type1_direct(&pts, &cs, shape, -1);
+    assert!(rel_l2(&out, &want) < 1e-2, "{}", rel_l2(&out, &want));
+}
+
+#[test]
+fn gpunufft_gather_agrees_with_cufinufft_structurally() {
+    // same transform through the output-driven gather and cuFINUFFT must
+    // agree up to the kernels' differing accuracy (~LUT floor)
+    let dev = Device::v100();
+    let modes = [24usize, 24];
+    let shape = Shape::from_slice(&modes);
+    let mut g = GpunufftPlan::<f64>::new(TransformType::Type1, &modes, -1, 1e-3, &dev).unwrap();
+    let mut c = cufinufft::Plan::<f64>::new(
+        TransformType::Type1,
+        &modes,
+        -1,
+        1e-9,
+        cufinufft::GpuOpts::default(),
+        &dev,
+    )
+    .unwrap();
+    let pts: Points<f64> = gen_points(PointDist::Cluster, 2, 400, g.fine_grid_shape(), 13);
+    let cs = gen_strengths::<f64>(400, 14);
+    g.set_pts(&pts).unwrap();
+    c.set_pts(&pts).unwrap();
+    let mut go = vec![Complex::<f64>::ZERO; shape.total()];
+    let mut co = vec![Complex::<f64>::ZERO; shape.total()];
+    g.execute(&cs, &mut go).unwrap();
+    c.execute(&cs, &mut co).unwrap();
+    assert!(rel_l2(&go, &co) < 1e-2);
+}
+
+#[test]
+fn gpunufft_slower_than_cufinufft_at_matched_settings() {
+    let dev = Device::v100();
+    let modes = [256usize, 256];
+    let m = 100_000;
+    let mut g = GpunufftPlan::<f32>::new(TransformType::Type1, &modes, -1, 1e-2, &dev).unwrap();
+    let pts: Points<f32> = gen_points(PointDist::Rand, 2, m, g.fine_grid_shape(), 15);
+    let cs = gen_strengths::<f32>(m, 16);
+    g.set_pts(&pts).unwrap();
+    let mut out = vec![Complex::<f32>::ZERO; modes[0] * modes[1]];
+    g.execute(&cs, &mut out).unwrap();
+    let t_g = g.timings().exec();
+    let mut c = cufinufft::Plan::<f32>::new(
+        TransformType::Type1,
+        &modes,
+        -1,
+        1e-2,
+        cufinufft::GpuOpts::default(),
+        &dev,
+    )
+    .unwrap();
+    c.set_pts(&pts).unwrap();
+    c.execute(&cs, &mut out).unwrap();
+    let t_c = c.timings().exec();
+    assert!(
+        t_g > 5.0 * t_c,
+        "gpuNUFFT {t_g} should be much slower than cuFINUFFT {t_c}"
+    );
+}

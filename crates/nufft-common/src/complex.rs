@@ -1,0 +1,299 @@
+//! A minimal complex-number type.
+//!
+//! Interleaved `(re, im)` layout matching CUDA's `cuFloatComplex` /
+//! `cuDoubleComplex`, so the device memory model can account bytes exactly
+//! as the real library does.
+
+use crate::real::Real;
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// Complex number over a [`Real`] scalar, stored interleaved.
+#[derive(Copy, Clone, PartialEq, Default)]
+#[repr(C)]
+pub struct Complex<T> {
+    pub re: T,
+    pub im: T,
+}
+
+/// Shorthand constructor.
+#[inline(always)]
+pub fn c<T>(re: T, im: T) -> Complex<T> {
+    Complex { re, im }
+}
+
+impl<T: Real> Complex<T> {
+    pub const ZERO: Self = Complex {
+        re: T::ZERO,
+        im: T::ZERO,
+    };
+    pub const ONE: Self = Complex {
+        re: T::ONE,
+        im: T::ZERO,
+    };
+    pub const I: Self = Complex {
+        re: T::ZERO,
+        im: T::ONE,
+    };
+
+    #[inline(always)]
+    pub fn new(re: T, im: T) -> Self {
+        Complex { re, im }
+    }
+
+    /// `e^{i theta} = cos(theta) + i sin(theta)`.
+    #[inline(always)]
+    pub fn cis(theta: T) -> Self {
+        let (s, c) = theta.sin_cos();
+        Complex { re: c, im: s }
+    }
+
+    #[inline(always)]
+    pub fn conj(self) -> Self {
+        Complex {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    /// Squared modulus `|z|^2`.
+    #[inline(always)]
+    pub fn norm_sqr(self) -> T {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Modulus `|z|`.
+    #[inline(always)]
+    pub fn abs(self) -> T {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Multiply by a real scalar.
+    #[inline(always)]
+    pub fn scale(self, s: T) -> Self {
+        Complex {
+            re: self.re * s,
+            im: self.im * s,
+        }
+    }
+
+    /// Reciprocal `1/z`.
+    #[inline(always)]
+    pub fn recip(self) -> Self {
+        let d = self.norm_sqr();
+        Complex {
+            re: self.re / d,
+            im: -self.im / d,
+        }
+    }
+
+    /// Fused `self + a*b`, the workhorse of spreading/interpolation inner
+    /// loops.
+    #[inline(always)]
+    pub fn fma(self, a: Complex<T>, b: Complex<T>) -> Self {
+        Complex {
+            re: self.re + a.re * b.re - a.im * b.im,
+            im: self.im + a.re * b.im + a.im * b.re,
+        }
+    }
+
+    /// Convert precision (used by tests comparing f32 results against f64
+    /// ground truth).
+    pub fn cast<U: Real>(self) -> Complex<U> {
+        Complex {
+            re: U::from_f64(self.re.to_f64()),
+            im: U::from_f64(self.im.to_f64()),
+        }
+    }
+
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+}
+
+impl<T: Real> Add for Complex<T> {
+    type Output = Self;
+    #[inline(always)]
+    fn add(self, rhs: Self) -> Self {
+        Complex {
+            re: self.re + rhs.re,
+            im: self.im + rhs.im,
+        }
+    }
+}
+
+impl<T: Real> Sub for Complex<T> {
+    type Output = Self;
+    #[inline(always)]
+    fn sub(self, rhs: Self) -> Self {
+        Complex {
+            re: self.re - rhs.re,
+            im: self.im - rhs.im,
+        }
+    }
+}
+
+impl<T: Real> Mul for Complex<T> {
+    type Output = Self;
+    #[inline(always)]
+    fn mul(self, rhs: Self) -> Self {
+        Complex {
+            re: self.re * rhs.re - self.im * rhs.im,
+            im: self.re * rhs.im + self.im * rhs.re,
+        }
+    }
+}
+
+impl<T: Real> Mul<T> for Complex<T> {
+    type Output = Self;
+    #[inline(always)]
+    fn mul(self, rhs: T) -> Self {
+        self.scale(rhs)
+    }
+}
+
+impl<T: Real> Div for Complex<T> {
+    type Output = Self;
+    #[inline(always)]
+    fn div(self, rhs: Self) -> Self {
+        self * rhs.recip()
+    }
+}
+
+impl<T: Real> Neg for Complex<T> {
+    type Output = Self;
+    #[inline(always)]
+    fn neg(self) -> Self {
+        Complex {
+            re: -self.re,
+            im: -self.im,
+        }
+    }
+}
+
+impl<T: Real> AddAssign for Complex<T> {
+    #[inline(always)]
+    fn add_assign(&mut self, rhs: Self) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl<T: Real> SubAssign for Complex<T> {
+    #[inline(always)]
+    fn sub_assign(&mut self, rhs: Self) {
+        self.re -= rhs.re;
+        self.im -= rhs.im;
+    }
+}
+
+impl<T: Real> MulAssign for Complex<T> {
+    #[inline(always)]
+    fn mul_assign(&mut self, rhs: Self) {
+        *self = *self * rhs;
+    }
+}
+
+impl<T: Real> Sum for Complex<T> {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Self::ZERO, |a, b| a + b)
+    }
+}
+
+impl<T: Real> From<T> for Complex<T> {
+    fn from(re: T) -> Self {
+        Complex { re, im: T::ZERO }
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Complex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:?}+{:?}i)", self.re, self.im)
+    }
+}
+
+impl<T: fmt::Display> fmt::Display for Complex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}+{}i)", self.re, self.im)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type C64 = Complex<f64>;
+
+    #[test]
+    fn arithmetic_identities() {
+        let z = c(3.0, -4.0);
+        assert_eq!(z + C64::ZERO, z);
+        assert_eq!(z * C64::ONE, z);
+        assert_eq!(z - z, C64::ZERO);
+        assert_eq!(-z + z, C64::ZERO);
+    }
+
+    #[test]
+    fn multiplication() {
+        // (1+2i)(3+4i) = 3+4i+6i-8 = -5+10i
+        assert_eq!(c(1.0, 2.0) * c(3.0, 4.0), c(-5.0, 10.0));
+    }
+
+    #[test]
+    fn i_squared_is_minus_one() {
+        assert_eq!(C64::I * C64::I, -C64::ONE);
+    }
+
+    #[test]
+    fn division_inverts_multiplication() {
+        let a = c(1.5, -0.5);
+        let b = c(-2.0, 3.0);
+        let q = (a * b) / b;
+        assert!((q - a).abs() < 1e-14);
+    }
+
+    #[test]
+    fn conj_and_norm() {
+        let z = c(3.0, 4.0);
+        assert_eq!(z.norm_sqr(), 25.0);
+        assert_eq!(z.abs(), 5.0);
+        assert_eq!((z * z.conj()).re, 25.0);
+        assert_eq!((z * z.conj()).im, 0.0);
+    }
+
+    #[test]
+    fn cis_unit_circle() {
+        let z = C64::cis(std::f64::consts::FRAC_PI_2);
+        assert!((z - C64::I).abs() < 1e-15);
+        let z = C64::cis(std::f64::consts::PI);
+        assert!((z + C64::ONE).abs() < 1e-15);
+    }
+
+    #[test]
+    fn fma_matches_expanded() {
+        let acc = c(1.0, 1.0);
+        let a = c(2.0, -1.0);
+        let b = c(0.5, 3.0);
+        assert!((acc.fma(a, b) - (acc + a * b)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn cast_roundtrips_small_values() {
+        let z = c(0.5f64, -0.25);
+        let w: Complex<f32> = z.cast();
+        assert_eq!(w, c(0.5f32, -0.25));
+    }
+
+    #[test]
+    fn sum_accumulates() {
+        let total: C64 = (0..4).map(|k| c(k as f64, 1.0)).sum();
+        assert_eq!(total, c(6.0, 4.0));
+    }
+
+    #[test]
+    fn layout_is_interleaved() {
+        assert_eq!(std::mem::size_of::<Complex<f32>>(), 8);
+        assert_eq!(std::mem::size_of::<Complex<f64>>(), 16);
+    }
+}

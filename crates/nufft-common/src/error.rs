@@ -1,0 +1,92 @@
+//! Error type shared by the NUFFT libraries in this workspace, mirroring
+//! the integer error codes of the FINUFFT/cuFINUFFT C API with typed
+//! variants.
+
+use std::fmt;
+
+/// Errors reported by plan construction and execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NufftError {
+    /// Requested tolerance is too small for the working precision
+    /// (FINUFFT `WARN_EPS_TOO_SMALL` made hard here).
+    EpsTooSmall { eps: f64, limit: f64 },
+    /// A mode dimension was zero or exceeds the supported maximum.
+    BadModes(String),
+    /// Number of dimensions outside the supported set.
+    BadDim(usize),
+    /// A nonuniform point coordinate was not finite.
+    BadPoint { index: usize, value: f64 },
+    /// Mismatched array lengths at execute/setpts time.
+    LengthMismatch { expected: usize, got: usize },
+    /// The selected spreading method is unavailable for this configuration
+    /// (e.g. SM in 3D double precision with w > 8; paper Remark 2).
+    MethodUnavailable(String),
+    /// Simulated device out of memory.
+    DeviceOom { requested: usize, available: usize },
+    /// execute() called before set_pts().
+    PointsNotSet,
+    /// Invalid option combination.
+    BadOptions(String),
+}
+
+impl fmt::Display for NufftError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NufftError::EpsTooSmall { eps, limit } => write!(
+                f,
+                "requested tolerance {eps:.3e} below precision limit {limit:.3e}"
+            ),
+            NufftError::BadModes(msg) => write!(f, "invalid mode dimensions: {msg}"),
+            NufftError::BadDim(d) => write!(f, "unsupported dimension: {d}"),
+            NufftError::BadPoint { index, value } => {
+                write!(f, "nonuniform point {index} is not finite: {value}")
+            }
+            NufftError::LengthMismatch { expected, got } => {
+                write!(f, "array length mismatch: expected {expected}, got {got}")
+            }
+            NufftError::MethodUnavailable(msg) => write!(f, "method unavailable: {msg}"),
+            NufftError::DeviceOom {
+                requested,
+                available,
+            } => write!(
+                f,
+                "device out of memory: requested {requested} B, {available} B free"
+            ),
+            NufftError::PointsNotSet => write!(f, "execute() called before set_pts()"),
+            NufftError::BadOptions(msg) => write!(f, "invalid options: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for NufftError {}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, NufftError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = NufftError::EpsTooSmall {
+            eps: 1e-16,
+            limit: 1e-14,
+        };
+        let s = e.to_string();
+        assert!(s.contains("1e-16") || s.contains("1.000e-16"), "{s}");
+        assert!(NufftError::PointsNotSet.to_string().contains("set_pts"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(NufftError::BadDim(4), NufftError::BadDim(4));
+        assert_ne!(NufftError::BadDim(4), NufftError::BadDim(5));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(NufftError::PointsNotSet);
+        assert!(!e.to_string().is_empty());
+    }
+}

@@ -1,0 +1,34 @@
+//! Shared numerics for the cuFINUFFT reproduction.
+//!
+//! This crate holds everything the higher layers agree on: the
+//! [`real::Real`] scalar abstraction (so every transform exists in
+//! f32 and f64), an interleaved [`complex::Complex`] type,
+//! 5-smooth FFT size selection, grid/frequency indexing conventions, the
+//! paper's benchmark workloads ("rand" and "cluster" point distributions),
+//! error metrics, a typed error enum, and naive `O(NM)` reference
+//! transforms used as ground truth by every accuracy test.
+
+pub mod complex;
+pub mod error;
+pub mod metrics;
+pub mod real;
+pub mod reference;
+pub mod shape;
+pub mod smooth;
+pub mod workload;
+
+/// Transform type (paper Sec. I). Shared vocabulary across the CPU and
+/// GPU libraries.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum TransformType {
+    /// Nonuniform to uniform (paper eq. 1).
+    Type1,
+    /// Uniform to nonuniform (paper eq. 3).
+    Type2,
+}
+
+pub use complex::{c, Complex};
+pub use error::{NufftError, Result};
+pub use real::Real;
+pub use shape::{freq_start, freq_to_bin, freqs, Shape};
+pub use workload::{gen_coeffs, gen_points, gen_strengths, points_for_density, PointDist, Points};

@@ -1,0 +1,119 @@
+//! Error metrics used throughout the evaluation.
+//!
+//! The paper reports relative l2 error against a high-accuracy ground truth
+//! (FINUFFT at eps = 1e-14 for double, 6e-8 for single). We compute all
+//! norms in f64 regardless of working precision.
+
+use crate::complex::Complex;
+use crate::real::Real;
+
+/// Relative l2 error `||a - b||_2 / ||b||_2`, with `b` the reference.
+/// Returns 0 when both are zero, infinity when only the reference is zero.
+pub fn rel_l2<T: Real, U: Real>(a: &[Complex<T>], b: &[Complex<U>]) -> f64 {
+    assert_eq!(a.len(), b.len(), "length mismatch in rel_l2");
+    let mut num = 0.0f64;
+    let mut den = 0.0f64;
+    for (x, y) in a.iter().zip(b.iter()) {
+        let dr = x.re.to_f64() - y.re.to_f64();
+        let di = x.im.to_f64() - y.im.to_f64();
+        num += dr * dr + di * di;
+        den += y.re.to_f64() * y.re.to_f64() + y.im.to_f64() * y.im.to_f64();
+    }
+    if den == 0.0 {
+        if num == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        (num / den).sqrt()
+    }
+}
+
+/// Maximum absolute difference (debug aid).
+pub fn max_abs_diff<T: Real, U: Real>(a: &[Complex<T>], b: &[Complex<U>]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b.iter())
+        .map(|(x, y)| {
+            let dr = x.re.to_f64() - y.re.to_f64();
+            let di = x.im.to_f64() - y.im.to_f64();
+            (dr * dr + di * di).sqrt()
+        })
+        .fold(0.0, f64::max)
+}
+
+/// l2 norm of a complex vector, in f64.
+pub fn l2_norm<T: Real>(a: &[Complex<T>]) -> f64 {
+    a.iter()
+        .map(|z| z.re.to_f64().powi(2) + z.im.to_f64().powi(2))
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Complex inner product `<a, b> = sum a_j conj(b_j)` accumulated in f64;
+/// used by the adjointness integration tests.
+pub fn inner<T: Real>(a: &[Complex<T>], b: &[Complex<T>]) -> Complex<f64> {
+    assert_eq!(a.len(), b.len());
+    let mut acc = Complex::<f64>::ZERO;
+    for (x, y) in a.iter().zip(b.iter()) {
+        let x64: Complex<f64> = x.cast();
+        let y64: Complex<f64> = y.cast();
+        acc += x64 * y64.conj();
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::c;
+
+    #[test]
+    fn identical_vectors_have_zero_error() {
+        let a = vec![c(1.0, 2.0), c(-3.0, 0.5)];
+        assert_eq!(rel_l2(&a, &a), 0.0);
+        assert_eq!(max_abs_diff(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn known_error() {
+        let a = vec![c(1.0, 0.0)];
+        let b = vec![c(2.0, 0.0)];
+        assert!((rel_l2(&a, &b) - 0.5).abs() < 1e-15);
+        assert!((max_abs_diff(&a, &b) - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn zero_reference_edge_cases() {
+        let z = vec![Complex::<f64>::ZERO];
+        let a = vec![c(1.0, 0.0)];
+        assert_eq!(rel_l2(&z, &z), 0.0);
+        assert!(rel_l2(&a, &z).is_infinite());
+    }
+
+    #[test]
+    fn mixed_precision_comparison() {
+        let a = vec![c(1.0f32, 0.0)];
+        let b = vec![c(1.0f64, 0.0)];
+        assert_eq!(rel_l2(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn norm_and_inner_consistency() {
+        let a = vec![c(3.0, 0.0), c(0.0, 4.0)];
+        assert!((l2_norm(&a) - 5.0).abs() < 1e-15);
+        let ip = inner(&a, &a);
+        assert!((ip.re - 25.0).abs() < 1e-12);
+        assert!(ip.im.abs() < 1e-12);
+    }
+
+    #[test]
+    fn inner_is_conjugate_symmetric() {
+        let a = vec![c(1.0, 2.0), c(-0.5, 0.25)];
+        let b = vec![c(0.3, -1.0), c(2.0, 2.0)];
+        let ab = inner(&a, &b);
+        let ba = inner(&b, &a);
+        assert!((ab - ba.conj()).abs() < 1e-14);
+    }
+}

@@ -1,0 +1,208 @@
+//! Scalar abstraction over `f32` and `f64`.
+//!
+//! The whole reproduction is generic over the working precision, exactly as
+//! cuFINUFFT ships single- and double-precision builds. Rather than pull in
+//! `num-traits`, we define the minimal surface the NUFFT pipeline needs.
+
+use std::fmt::{Debug, Display};
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A real floating-point scalar (`f32` or `f64`).
+///
+/// All numeric code in the workspace is generic over this trait so every
+/// transform exists in both precisions, mirroring the paper's
+/// single/double-precision comparisons (Figs. 4-7).
+pub trait Real:
+    Copy
+    + Clone
+    + Debug
+    + Display
+    + Default
+    + PartialEq
+    + PartialOrd
+    + Send
+    + Sync
+    + 'static
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+    + DivAssign
+    + Sum
+{
+    const ZERO: Self;
+    const ONE: Self;
+    const TWO: Self;
+    const HALF: Self;
+    const PI: Self;
+    const TAU: Self;
+    /// Machine epsilon of the concrete type.
+    const EPSILON: Self;
+    /// Number of bytes of the concrete type (4 or 8); used by the device
+    /// memory model.
+    const BYTES: usize;
+    /// `true` for `f64`; lets the GPU cost model halve FLOP throughput and
+    /// double memory traffic for double precision, as on a V100.
+    const IS_DOUBLE: bool;
+
+    fn from_f64(x: f64) -> Self;
+    fn to_f64(self) -> f64;
+    fn from_usize(n: usize) -> Self {
+        Self::from_f64(n as f64)
+    }
+
+    fn abs(self) -> Self;
+    fn sqrt(self) -> Self;
+    fn exp(self) -> Self;
+    fn ln(self) -> Self;
+    fn sin(self) -> Self;
+    fn cos(self) -> Self;
+    fn sin_cos(self) -> (Self, Self);
+    fn floor(self) -> Self;
+    fn ceil(self) -> Self;
+    fn round(self) -> Self;
+    fn powi(self, n: i32) -> Self;
+    fn is_finite(self) -> bool;
+    fn max(self, other: Self) -> Self;
+    fn min(self, other: Self) -> Self;
+    /// Fused multiply-add when available.
+    fn mul_add(self, a: Self, b: Self) -> Self;
+}
+
+macro_rules! impl_real {
+    ($t:ty, $bytes:expr, $is_double:expr) => {
+        impl Real for $t {
+            const ZERO: Self = 0.0;
+            const ONE: Self = 1.0;
+            const TWO: Self = 2.0;
+            const HALF: Self = 0.5;
+            const PI: Self = std::f64::consts::PI as $t;
+            const TAU: Self = std::f64::consts::TAU as $t;
+            const EPSILON: Self = <$t>::EPSILON;
+            const BYTES: usize = $bytes;
+            const IS_DOUBLE: bool = $is_double;
+
+            #[inline(always)]
+            fn from_f64(x: f64) -> Self {
+                x as $t
+            }
+            #[inline(always)]
+            fn to_f64(self) -> f64 {
+                self as f64
+            }
+            #[inline(always)]
+            fn abs(self) -> Self {
+                <$t>::abs(self)
+            }
+            #[inline(always)]
+            fn sqrt(self) -> Self {
+                <$t>::sqrt(self)
+            }
+            #[inline(always)]
+            fn exp(self) -> Self {
+                <$t>::exp(self)
+            }
+            #[inline(always)]
+            fn ln(self) -> Self {
+                <$t>::ln(self)
+            }
+            #[inline(always)]
+            fn sin(self) -> Self {
+                <$t>::sin(self)
+            }
+            #[inline(always)]
+            fn cos(self) -> Self {
+                <$t>::cos(self)
+            }
+            #[inline(always)]
+            fn sin_cos(self) -> (Self, Self) {
+                <$t>::sin_cos(self)
+            }
+            #[inline(always)]
+            fn floor(self) -> Self {
+                <$t>::floor(self)
+            }
+            #[inline(always)]
+            fn ceil(self) -> Self {
+                <$t>::ceil(self)
+            }
+            #[inline(always)]
+            fn round(self) -> Self {
+                <$t>::round(self)
+            }
+            #[inline(always)]
+            fn powi(self, n: i32) -> Self {
+                <$t>::powi(self, n)
+            }
+            #[inline(always)]
+            fn is_finite(self) -> bool {
+                <$t>::is_finite(self)
+            }
+            #[inline(always)]
+            fn max(self, other: Self) -> Self {
+                <$t>::max(self, other)
+            }
+            #[inline(always)]
+            fn min(self, other: Self) -> Self {
+                <$t>::min(self, other)
+            }
+            #[inline(always)]
+            fn mul_add(self, a: Self, b: Self) -> Self {
+                <$t>::mul_add(self, a, b)
+            }
+        }
+    };
+}
+
+impl_real!(f32, 4, false);
+impl_real!(f64, 8, true);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn generic_roundtrip<T: Real>() {
+        let x = T::from_f64(1.5);
+        assert_eq!(x.to_f64(), 1.5);
+        assert_eq!(T::from_usize(7).to_f64(), 7.0);
+        assert!((T::PI.to_f64() - std::f64::consts::PI).abs() < 1e-6);
+        assert!((T::TAU.to_f64() - 2.0 * std::f64::consts::PI).abs() < 1e-5);
+    }
+
+    #[test]
+    fn roundtrip_f32() {
+        generic_roundtrip::<f32>();
+    }
+
+    #[test]
+    fn roundtrip_f64() {
+        generic_roundtrip::<f64>();
+    }
+
+    #[test]
+    fn constants_match_type() {
+        assert_eq!(f32::BYTES, 4);
+        assert_eq!(f64::BYTES, 8);
+        assert!(!f32::IS_DOUBLE);
+        assert!(f64::IS_DOUBLE);
+    }
+
+    #[test]
+    fn sin_cos_consistent() {
+        let x = 0.7f64;
+        let (s, c) = Real::sin_cos(x);
+        assert!((s - x.sin()).abs() < 1e-15);
+        assert!((c - x.cos()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn mul_add_matches() {
+        let r: f32 = Real::mul_add(2.0f32, 3.0, 4.0);
+        assert_eq!(r, 10.0);
+    }
+}

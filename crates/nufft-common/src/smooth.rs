@@ -1,0 +1,134 @@
+//! Smooth ("5-smooth") FFT sizes of the form `2^q * 3^p * 5^r`.
+//!
+//! Following FINUFFT/cuFINUFFT, the upsampled fine grid in each dimension is
+//! the smallest 5-smooth integer `>= max(sigma * N, 2w)` so the FFT stays
+//! efficient (Sec. II of the paper).
+
+/// Returns `true` iff `n` has no prime factors other than 2, 3 and 5.
+pub fn is_smooth(mut n: usize) -> bool {
+    if n == 0 {
+        return false;
+    }
+    for p in [2usize, 3, 5] {
+        while n % p == 0 {
+            n /= p;
+        }
+    }
+    n == 1
+}
+
+/// Smallest 5-smooth integer `>= n`. `next_smooth(0)` and `next_smooth(1)`
+/// are both 1.
+pub fn next_smooth(n: usize) -> usize {
+    if n <= 1 {
+        return 1;
+    }
+    let mut m = n;
+    while !is_smooth(m) {
+        m += 1;
+    }
+    m
+}
+
+/// Fine-grid size rule from the paper: smallest 5-smooth integer
+/// `>= max(ceil(sigma*n), 2w)`.
+pub fn fine_grid_size(n: usize, sigma: f64, w: usize) -> usize {
+    let target = ((sigma * n as f64).ceil() as usize).max(2 * w);
+    next_smooth(target)
+}
+
+/// Factorize a 5-smooth number into its (2,3,5) exponents; returns `None`
+/// for non-smooth input.
+pub fn smooth_factor(mut n: usize) -> Option<(u32, u32, u32)> {
+    if n == 0 {
+        return None;
+    }
+    let mut e = [0u32; 3];
+    for (i, p) in [2usize, 3, 5].iter().enumerate() {
+        while n % p == 0 {
+            n /= p;
+            e[i] += 1;
+        }
+    }
+    (n == 1).then_some((e[0], e[1], e[2]))
+}
+
+/// Full prime factorization (small primes by trial division), used by the
+/// mixed-radix FFT planner for arbitrary sizes.
+pub fn factorize(mut n: usize) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut p = 2;
+    while p * p <= n {
+        while n % p == 0 {
+            out.push(p);
+            n /= p;
+        }
+        p += if p == 2 { 1 } else { 2 };
+    }
+    if n > 1 {
+        out.push(n);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoothness_detection() {
+        for n in [1, 2, 3, 4, 5, 6, 8, 9, 10, 12, 15, 16, 720, 1024, 3600] {
+            assert!(is_smooth(n), "{n} should be smooth");
+        }
+        for n in [7, 11, 13, 14, 22, 77, 1022] {
+            assert!(!is_smooth(n), "{n} should not be smooth");
+        }
+        assert!(!is_smooth(0));
+    }
+
+    #[test]
+    fn next_smooth_values() {
+        assert_eq!(next_smooth(0), 1);
+        assert_eq!(next_smooth(1), 1);
+        assert_eq!(next_smooth(7), 8);
+        assert_eq!(next_smooth(11), 12);
+        assert_eq!(next_smooth(13), 15);
+        assert_eq!(next_smooth(17), 18);
+        assert_eq!(next_smooth(1025), 1080);
+        // already smooth stays put
+        assert_eq!(next_smooth(960), 960);
+    }
+
+    #[test]
+    fn fine_grid_respects_kernel_width() {
+        // sigma*N small, 2w dominates
+        assert_eq!(fine_grid_size(4, 2.0, 8), 16);
+        // sigma*N dominates: 2*100=200 -> 200 = 2^3*5^2 is smooth
+        assert_eq!(fine_grid_size(100, 2.0, 4), 200);
+        // non-smooth target rounds up: 2*101=202 -> 216
+        assert_eq!(fine_grid_size(101, 2.0, 4), 216);
+    }
+
+    #[test]
+    fn factor_roundtrip() {
+        for n in [1usize, 2, 6, 30, 360, 2250] {
+            let (a, b, c) = smooth_factor(n).unwrap();
+            assert_eq!(
+                n,
+                2usize.pow(a) * 3usize.pow(b) * 5usize.pow(c),
+                "factoring {n}"
+            );
+        }
+        assert!(smooth_factor(14).is_none());
+        assert!(smooth_factor(0).is_none());
+    }
+
+    #[test]
+    fn general_factorization() {
+        assert_eq!(factorize(1), Vec::<usize>::new());
+        assert_eq!(factorize(2), vec![2]);
+        assert_eq!(factorize(360), vec![2, 2, 2, 3, 3, 5]);
+        assert_eq!(factorize(97), vec![97]);
+        assert_eq!(factorize(91), vec![7, 13]);
+    }
+}

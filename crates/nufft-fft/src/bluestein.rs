@@ -1,0 +1,143 @@
+//! Bluestein chirp-z transform: an `O(n log n)` DFT for arbitrary `n`,
+//! used when `n` contains a prime factor too large for a direct butterfly.
+//!
+//! Identity: `jk = (j^2 + k^2 - (k-j)^2) / 2`, so with chirp
+//! `c_j = e^{-i pi j^2 / n}` the DFT becomes a circular convolution of
+//! `a_j = x_j c_j` with `b_j = conj(c_j)`, carried out by a zero-padded
+//! smooth-size FFT.
+
+use crate::plan1d::{Direction, Fft1d};
+use nufft_common::complex::Complex;
+use nufft_common::real::Real;
+use nufft_common::smooth::next_smooth;
+
+pub struct Bluestein<T> {
+    n: usize,
+    m: usize,
+    /// Forward chirp `c_j = e^{-i pi j^2 / n}`, j in 0..n.
+    chirp: Vec<Complex<T>>,
+    /// FFT of the padded kernel for each direction.
+    bf_fwd: Vec<Complex<T>>,
+    bf_bwd: Vec<Complex<T>>,
+    inner: Fft1d<T>,
+}
+
+impl<T: Real> Bluestein<T> {
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 2);
+        let m = next_smooth(2 * n - 1);
+        // j^2 mod 2n keeps the angle argument exact for huge j.
+        let chirp: Vec<Complex<T>> = (0..n)
+            .map(|j| {
+                let q = (j * j) % (2 * n);
+                let ang = -std::f64::consts::PI * q as f64 / n as f64;
+                Complex::new(T::from_f64(ang.cos()), T::from_f64(ang.sin()))
+            })
+            .collect();
+        let inner = Fft1d::new(m);
+        let build_kernel = |conj: bool| -> Vec<Complex<T>> {
+            let mut b = vec![Complex::ZERO; m];
+            for j in 0..n {
+                let v = if conj { chirp[j].conj() } else { chirp[j] };
+                b[j] = v;
+                if j > 0 {
+                    b[m - j] = v;
+                }
+            }
+            inner.process(&mut b, Direction::Forward);
+            b
+        };
+        // Forward DFT convolves with conj(chirp); backward with chirp.
+        let bf_fwd = build_kernel(true);
+        let bf_bwd = build_kernel(false);
+        Bluestein {
+            n,
+            m,
+            chirp,
+            bf_fwd,
+            bf_bwd,
+            inner,
+        }
+    }
+
+    pub fn process(&self, data: &mut [Complex<T>], dir: Direction) {
+        assert_eq!(data.len(), self.n);
+        let (kernel, chirp_of): (&[Complex<T>], fn(Complex<T>) -> Complex<T>) = match dir {
+            Direction::Forward => (&self.bf_fwd, |z| z),
+            Direction::Backward => (&self.bf_bwd, |z: Complex<T>| z.conj()),
+        };
+        let mut a = vec![Complex::ZERO; self.m];
+        for j in 0..self.n {
+            a[j] = data[j] * chirp_of(self.chirp[j]);
+        }
+        self.inner.process(&mut a, Direction::Forward);
+        for (av, bv) in a.iter_mut().zip(kernel.iter()) {
+            *av = *av * *bv;
+        }
+        self.inner.process(&mut a, Direction::Backward);
+        let scale = T::ONE / T::from_usize(self.m);
+        for k in 0..self.n {
+            data[k] = a[k].scale(scale) * chirp_of(self.chirp[k]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nufft_common::c;
+    use nufft_common::metrics::rel_l2;
+
+    fn dft(x: &[Complex<f64>], sign: i32) -> Vec<Complex<f64>> {
+        let n = x.len();
+        (0..n)
+            .map(|k| {
+                (0..n)
+                    .map(|j| {
+                        let ang =
+                            sign as f64 * std::f64::consts::TAU * (j * k % n) as f64 / n as f64;
+                        x[j] * Complex::cis(ang)
+                    })
+                    .sum()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_dft_on_primes() {
+        for n in [2usize, 3, 7, 37, 41, 113, 499] {
+            let b = Bluestein::<f64>::new(n);
+            let x: Vec<Complex<f64>> =
+                (0..n).map(|j| c((j as f64).sin(), (j as f64).cos())).collect();
+            let mut y = x.clone();
+            b.process(&mut y, Direction::Forward);
+            assert!(rel_l2(&y, &dft(&x, -1)) < 1e-10, "fwd n={n}");
+            let mut z = x.clone();
+            b.process(&mut z, Direction::Backward);
+            assert!(rel_l2(&z, &dft(&x, 1)) < 1e-10, "bwd n={n}");
+        }
+    }
+
+    #[test]
+    fn matches_dft_on_composite_with_large_prime() {
+        // 2 * 53 exercises Bluestein via the plan's factor check path too
+        let n = 106;
+        let b = Bluestein::<f64>::new(n);
+        let x: Vec<Complex<f64>> = (0..n).map(|j| c(1.0 / (j + 1) as f64, 0.25)).collect();
+        let mut y = x.clone();
+        b.process(&mut y, Direction::Forward);
+        assert!(rel_l2(&y, &dft(&x, -1)) < 1e-10);
+    }
+
+    #[test]
+    fn roundtrip_scales_by_n() {
+        let n = 59;
+        let b = Bluestein::<f64>::new(n);
+        let x: Vec<Complex<f64>> = (0..n).map(|j| c(j as f64, -(j as f64))).collect();
+        let mut y = x.clone();
+        b.process(&mut y, Direction::Forward);
+        b.process(&mut y, Direction::Backward);
+        let scaled: Vec<_> = x.iter().map(|z| z.scale(n as f64)).collect();
+        assert!(rel_l2(&y, &scaled) < 1e-10);
+    }
+}

@@ -1,0 +1,15 @@
+//! Mixed-radix complex FFT for the cuFINUFFT reproduction.
+//!
+//! This is the substrate replacing FFTW (CPU side) and the numerical half
+//! of cuFFT (GPU side): a recursive decimation-in-time Cooley-Tukey with
+//! hardcoded radix-2/3/5 butterflies — the only radices that arise for the
+//! 5-smooth fine-grid sizes the NUFFT chooses — plus a generic small-prime
+//! butterfly and a Bluestein chirp-z fallback so arbitrary sizes work too.
+//! Transforms are unscaled in both directions (FFTW/cuFFT convention).
+
+pub mod bluestein;
+pub mod ndfft;
+pub mod plan1d;
+
+pub use ndfft::FftNd;
+pub use plan1d::{Direction, Fft1d};

@@ -1,0 +1,233 @@
+//! Multi-dimensional FFT built from the 1D plan, applied axis by axis.
+//!
+//! Data layout matches the rest of the workspace: `x` (axis 0) fastest,
+//! element `(l1,l2,l3)` at `l1 + n1*(l2 + n2*l3)`. Axis 0 transforms run on
+//! contiguous rows; higher axes gather a strided line into scratch,
+//! transform and scatter back.
+
+use crate::plan1d::{Direction, Fft1d};
+use nufft_common::complex::Complex;
+use nufft_common::real::Real;
+use nufft_common::shape::Shape;
+use std::any::{Any, TypeId};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Global 1D-plan cache keyed by (scalar type, size): planning a 4096^2
+/// transform after a 4096^3 one reuses the same twiddle tables, the way
+/// FFT libraries cache wisdom. Entries are `Arc`s, so the cache only
+/// costs memory while plans are alive plus one table per distinct size.
+fn plan_cache() -> &'static Mutex<HashMap<(TypeId, usize), Arc<dyn Any + Send + Sync>>> {
+    static CACHE: OnceLock<Mutex<HashMap<(TypeId, usize), Arc<dyn Any + Send + Sync>>>> =
+        OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Fetch or build the cached 1D plan for size `n`.
+pub fn cached_plan<T: Real>(n: usize) -> Arc<Fft1d<T>> {
+    let key = (TypeId::of::<T>(), n);
+    let mut cache = plan_cache().lock().expect("plan cache poisoned");
+    if let Some(p) = cache.get(&key) {
+        if let Ok(typed) = Arc::downcast::<Fft1d<T>>(Arc::clone(p)) {
+            return typed;
+        }
+    }
+    let plan = Arc::new(Fft1d::<T>::new(n));
+    cache.insert(key, plan.clone() as Arc<dyn Any + Send + Sync>);
+    plan
+}
+
+/// Reusable N-dimensional (1-3) complex FFT plan.
+pub struct FftNd<T> {
+    shape: Shape,
+    /// One 1D plan per axis; axes of equal size share a plan.
+    axis_plans: Vec<Arc<Fft1d<T>>>,
+}
+
+impl<T: Real> FftNd<T> {
+    pub fn new(shape: Shape) -> Self {
+        let axis_plans: Vec<Arc<Fft1d<T>>> = (0..shape.dim)
+            .map(|i| cached_plan::<T>(shape.n[i]))
+            .collect();
+        FftNd { shape, axis_plans }
+    }
+
+    pub fn shape(&self) -> Shape {
+        self.shape
+    }
+
+    /// Transform `data` (length `shape.total()`) in place.
+    pub fn process(&self, data: &mut [Complex<T>], dir: Direction) {
+        assert_eq!(data.len(), self.shape.total(), "data length != grid size");
+        let max_n = (0..self.shape.dim).map(|i| self.shape.n[i]).max().unwrap();
+        let mut line = vec![Complex::ZERO; max_n];
+        let mut scratch = vec![Complex::ZERO; max_n];
+        for axis in 0..self.shape.dim {
+            self.process_axis(data, axis, dir, &mut line, &mut scratch);
+        }
+    }
+
+    fn process_axis(
+        &self,
+        data: &mut [Complex<T>],
+        axis: usize,
+        dir: Direction,
+        line: &mut [Complex<T>],
+        scratch: &mut [Complex<T>],
+    ) {
+        let n = self.shape.n[axis];
+        if n == 1 {
+            return;
+        }
+        let plan = &self.axis_plans[axis];
+        let strides = self.shape.strides();
+        let stride = strides[axis];
+        let line = &mut line[..n];
+        let scratch = &mut scratch[..n];
+        if axis == 0 {
+            // Contiguous rows.
+            for row in data.chunks_exact_mut(n) {
+                plan.process_with_scratch(row, scratch, dir);
+            }
+            return;
+        }
+        // Enumerate all lines along `axis`: iterate over the other two axes.
+        let (a, b) = match axis {
+            1 => (0usize, 2usize),
+            2 => (0usize, 1usize),
+            _ => unreachable!(),
+        };
+        let (na, nb) = (self.shape.n[a], self.shape.n[b]);
+        let (sa, sb) = (strides[a], strides[b]);
+        for ib in 0..nb {
+            for ia in 0..na {
+                let base = ia * sa + ib * sb;
+                for (k, v) in line.iter_mut().enumerate() {
+                    *v = data[base + k * stride];
+                }
+                plan.process_with_scratch(line, scratch, dir);
+                for (k, v) in line.iter().enumerate() {
+                    data[base + k * stride] = *v;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nufft_common::c;
+    use nufft_common::metrics::rel_l2;
+
+    /// Naive multi-d DFT.
+    fn dft_nd(x: &[Complex<f64>], shape: Shape, sign: i32) -> Vec<Complex<f64>> {
+        let total = shape.total();
+        let mut out = vec![Complex::ZERO; total];
+        for ko in 0..total {
+            let [k1, k2, k3] = shape.coords(ko);
+            let mut acc = Complex::ZERO;
+            for jo in 0..total {
+                let [j1, j2, j3] = shape.coords(jo);
+                let ang = sign as f64
+                    * std::f64::consts::TAU
+                    * (j1 as f64 * k1 as f64 / shape.n[0] as f64
+                        + j2 as f64 * k2 as f64 / shape.n[1] as f64
+                        + j3 as f64 * k3 as f64 / shape.n[2] as f64);
+                acc += x[jo] * Complex::cis(ang);
+            }
+            out[ko] = acc;
+        }
+        out
+    }
+
+    fn signal(total: usize) -> Vec<Complex<f64>> {
+        (0..total)
+            .map(|j| c((j as f64 * 0.37).sin(), (j as f64 * 0.11).cos()))
+            .collect()
+    }
+
+    #[test]
+    fn matches_dft_2d() {
+        for (n1, n2) in [(4, 4), (8, 6), (5, 9), (12, 10)] {
+            let shape = Shape::d2(n1, n2);
+            let x = signal(shape.total());
+            let plan = FftNd::<f64>::new(shape);
+            let mut y = x.clone();
+            plan.process(&mut y, Direction::Forward);
+            let want = dft_nd(&x, shape, -1);
+            assert!(rel_l2(&y, &want) < 1e-11, "2d {n1}x{n2}");
+        }
+    }
+
+    #[test]
+    fn matches_dft_3d() {
+        for (n1, n2, n3) in [(4, 4, 4), (6, 5, 3), (8, 2, 4)] {
+            let shape = Shape::d3(n1, n2, n3);
+            let x = signal(shape.total());
+            let plan = FftNd::<f64>::new(shape);
+            let mut y = x.clone();
+            plan.process(&mut y, Direction::Backward);
+            let want = dft_nd(&x, shape, 1);
+            assert!(rel_l2(&y, &want) < 1e-11, "3d {n1}x{n2}x{n3}");
+        }
+    }
+
+    #[test]
+    fn matches_dft_1d_shape() {
+        let shape = Shape::d1(30);
+        let x = signal(30);
+        let plan = FftNd::<f64>::new(shape);
+        let mut y = x.clone();
+        plan.process(&mut y, Direction::Forward);
+        assert!(rel_l2(&y, &dft_nd(&x, shape, -1)) < 1e-11);
+    }
+
+    #[test]
+    fn roundtrip_scales_by_total() {
+        let shape = Shape::d3(4, 6, 5);
+        let x = signal(shape.total());
+        let plan = FftNd::<f64>::new(shape);
+        let mut y = x.clone();
+        plan.process(&mut y, Direction::Forward);
+        plan.process(&mut y, Direction::Backward);
+        let scaled: Vec<_> = x.iter().map(|z| z.scale(shape.total() as f64)).collect();
+        assert!(rel_l2(&y, &scaled) < 1e-11);
+    }
+
+    #[test]
+    fn separable_impulse() {
+        // delta at origin -> all-ones spectrum
+        let shape = Shape::d2(6, 4);
+        let mut x = vec![Complex::ZERO; shape.total()];
+        x[0] = Complex::ONE;
+        let plan = FftNd::<f64>::new(shape);
+        plan.process(&mut x, Direction::Forward);
+        for z in &x {
+            assert!((*z - Complex::ONE).abs() < 1e-13);
+        }
+    }
+
+    #[test]
+    fn axis_plans_are_shared_for_equal_sizes() {
+        let plan = FftNd::<f32>::new(Shape::d3(16, 16, 16));
+        assert!(Arc::ptr_eq(&plan.axis_plans[0], &plan.axis_plans[1]));
+        assert!(Arc::ptr_eq(&plan.axis_plans[0], &plan.axis_plans[2]));
+    }
+
+    #[test]
+    fn plan_cache_shares_across_instances_and_types() {
+        let a = FftNd::<f64>::new(Shape::d2(48, 48));
+        let b = FftNd::<f64>::new(Shape::d1(48));
+        assert!(Arc::ptr_eq(&a.axis_plans[0], &b.axis_plans[0]));
+        // different scalar types get distinct plans
+        let c = FftNd::<f32>::new(Shape::d1(48));
+        assert_eq!(c.axis_plans[0].len(), 48);
+        // cached plans still compute correctly
+        let mut x = vec![Complex::<f64>::ZERO; 48];
+        x[1] = Complex::ONE;
+        b.process(&mut x, Direction::Forward);
+        let expect = Complex::cis(-std::f64::consts::TAU * 5.0 / 48.0);
+        assert!((x[5] - expect).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,393 @@
+//! One-dimensional complex FFT plan.
+//!
+//! Recursive decimation-in-time mixed-radix Cooley-Tukey with hardcoded
+//! radix-2/3/5 butterflies (the only radices that occur for the 5-smooth
+//! fine-grid sizes the NUFFT uses), a generic small-prime butterfly, and a
+//! Bluestein chirp-z fallback for large prime factors.
+//!
+//! Convention: `Forward` applies `X_k = sum_j x_j e^{-2 pi i j k / n}`,
+//! `Backward` the conjugate exponential. Neither direction scales, matching
+//! FFTW/cuFFT, so `backward(forward(x)) = n * x`.
+
+use crate::bluestein::Bluestein;
+use nufft_common::complex::Complex;
+use nufft_common::real::Real;
+use nufft_common::smooth::factorize;
+
+/// Transform direction (sign of the exponent).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Direction {
+    /// `e^{-2 pi i jk/n}` — the paper's type 1 sign (eq. 9).
+    Forward,
+    /// `e^{+2 pi i jk/n}` — the paper's type 2 sign (eq. 12).
+    Backward,
+}
+
+impl Direction {
+    /// The sign of the exponent: -1 for forward, +1 for backward.
+    #[inline]
+    pub fn sign(self) -> i32 {
+        match self {
+            Direction::Forward => -1,
+            Direction::Backward => 1,
+        }
+    }
+
+    /// Direction whose exponent carries the given sign.
+    pub fn from_sign(sign: i32) -> Self {
+        if sign < 0 {
+            Direction::Forward
+        } else {
+            Direction::Backward
+        }
+    }
+}
+
+/// Largest prime factor handled by the direct generic butterfly; beyond
+/// this a Bluestein plan is used instead.
+const MAX_DIRECT_PRIME: usize = 31;
+
+/// A reusable 1D FFT plan for a fixed size `n`.
+pub struct Fft1d<T> {
+    n: usize,
+    /// Radix sequence, largest first (better locality at the leaves).
+    factors: Vec<usize>,
+    /// Forward twiddle table: `tw[j] = e^{-2 pi i j / n}`, length n.
+    tw: Vec<Complex<T>>,
+    /// Bluestein fallback when n contains a prime factor > MAX_DIRECT_PRIME.
+    bluestein: Option<Box<Bluestein<T>>>,
+}
+
+impl<T: Real> Fft1d<T> {
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1, "FFT size must be positive");
+        let mut factors = factorize(n);
+        // Largest radix first: leaves become small contiguous transforms.
+        factors.sort_unstable_by(|a, b| b.cmp(a));
+        let needs_bluestein = factors.iter().any(|&p| p > MAX_DIRECT_PRIME);
+        let bluestein = needs_bluestein.then(|| Box::new(Bluestein::new(n)));
+        let tw = (0..n)
+            .map(|j| {
+                let ang = -std::f64::consts::TAU * j as f64 / n as f64;
+                Complex::new(T::from_f64(ang.cos()), T::from_f64(ang.sin()))
+            })
+            .collect();
+        Fft1d {
+            n,
+            factors,
+            tw,
+            bluestein,
+        }
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Forward twiddle `e^{-2 pi i j / n}` for `j` taken mod n, conjugated
+    /// for the backward direction.
+    #[inline(always)]
+    fn twiddle(&self, j: usize, dir: Direction) -> Complex<T> {
+        let w = self.tw[j % self.n];
+        match dir {
+            Direction::Forward => w,
+            Direction::Backward => w.conj(),
+        }
+    }
+
+    /// Transform `data` in place, using `scratch` (same length) as work
+    /// space. This is the allocation-free entry point for hot loops.
+    pub fn process_with_scratch(
+        &self,
+        data: &mut [Complex<T>],
+        scratch: &mut [Complex<T>],
+        dir: Direction,
+    ) {
+        assert_eq!(data.len(), self.n, "data length != plan size");
+        assert_eq!(scratch.len(), self.n, "scratch length != plan size");
+        if self.n == 1 {
+            return;
+        }
+        if let Some(b) = &self.bluestein {
+            b.process(data, dir);
+            return;
+        }
+        scratch.copy_from_slice(data);
+        self.rec(scratch, 1, data, self.n, 0, dir);
+    }
+
+    /// Convenience wrapper that allocates its own scratch.
+    pub fn process(&self, data: &mut [Complex<T>], dir: Direction) {
+        let mut scratch = vec![Complex::ZERO; self.n];
+        self.process_with_scratch(data, &mut scratch, dir);
+    }
+
+    /// Recursive DIT step: transform the `n`-point sequence
+    /// `inp[0], inp[stride], inp[2*stride], ...` into `out[0..n]`.
+    fn rec(
+        &self,
+        inp: &[Complex<T>],
+        stride: usize,
+        out: &mut [Complex<T>],
+        n: usize,
+        level: usize,
+        dir: Direction,
+    ) {
+        if n == 1 {
+            out[0] = inp[0];
+            return;
+        }
+        let r = self.factors[level];
+        let m = n / r;
+        // Recurse on the r decimated subsequences.
+        for p in 0..r {
+            self.rec(
+                &inp[p * stride..],
+                stride * r,
+                &mut out[p * m..(p + 1) * m],
+                m,
+                level + 1,
+                dir,
+            );
+        }
+        // Combine: X[k + q m] = sum_p (w_n^{p k} Y_p[k]) w_r^{p q},
+        // where w_n is the twiddle for *this* level's size n.
+        let tw_step = self.n / n; // maps level-local exponent to table index
+        match r {
+            2 => self.combine2(out, m, tw_step, dir),
+            3 => self.combine3(out, m, tw_step, dir),
+            5 => self.combine5(out, m, tw_step, dir),
+            _ => self.combine_generic(out, r, m, tw_step, dir),
+        }
+    }
+
+    #[inline]
+    fn combine2(&self, out: &mut [Complex<T>], m: usize, tw_step: usize, dir: Direction) {
+        for k in 0..m {
+            let a = out[k];
+            let b = out[m + k] * self.twiddle(tw_step * k, dir);
+            out[k] = a + b;
+            out[m + k] = a - b;
+        }
+    }
+
+    #[inline]
+    fn combine3(&self, out: &mut [Complex<T>], m: usize, tw_step: usize, dir: Direction) {
+        // w_3 = e^{-2 pi i /3} = -1/2 - i sqrt(3)/2 (forward)
+        let half = T::HALF;
+        let s3 = T::from_f64(0.866_025_403_784_438_6); // sqrt(3)/2
+        let sgn = match dir {
+            Direction::Forward => T::ONE,
+            Direction::Backward => -T::ONE,
+        };
+        for k in 0..m {
+            let a = out[k];
+            let b = out[m + k] * self.twiddle(tw_step * k, dir);
+            let c = out[2 * m + k] * self.twiddle(tw_step * 2 * k, dir);
+            let t1 = b + c;
+            let t2 = a - t1.scale(half);
+            // i*(b - c)*sqrt(3)/2 with direction sign
+            let d = (b - c).scale(s3 * sgn);
+            let rot = Complex::new(d.im, -d.re); // -i * d (forward)
+            out[k] = a + t1;
+            out[m + k] = t2 + rot;
+            out[2 * m + k] = t2 - rot;
+        }
+    }
+
+    #[inline]
+    fn combine5(&self, out: &mut [Complex<T>], m: usize, tw_step: usize, dir: Direction) {
+        // Classic radix-5 butterfly constants.
+        let c1 = T::from_f64(0.309_016_994_374_947_45); // cos(2pi/5)
+        let c2 = T::from_f64(-0.809_016_994_374_947_5); // cos(4pi/5)
+        let s1 = T::from_f64(0.951_056_516_295_153_5); // sin(2pi/5)
+        let s2 = T::from_f64(0.587_785_252_292_473_1); // sin(4pi/5)
+        let sgn = match dir {
+            Direction::Forward => T::ONE,
+            Direction::Backward => -T::ONE,
+        };
+        for k in 0..m {
+            let x0 = out[k];
+            let x1 = out[m + k] * self.twiddle(tw_step * k, dir);
+            let x2 = out[2 * m + k] * self.twiddle(tw_step * 2 * k, dir);
+            let x3 = out[3 * m + k] * self.twiddle(tw_step * 3 * k, dir);
+            let x4 = out[4 * m + k] * self.twiddle(tw_step * 4 * k, dir);
+            let t1 = x1 + x4;
+            let t2 = x2 + x3;
+            let t3 = x1 - x4;
+            let t4 = x2 - x3;
+            let y1 = x0 + t1.scale(c1) + t2.scale(c2);
+            let y2 = x0 + t1.scale(c2) + t2.scale(c1);
+            // imaginary parts (multiplied by -i for forward)
+            let z1 = t3.scale(s1 * sgn) + t4.scale(s2 * sgn);
+            let z2 = t3.scale(s2 * sgn) - t4.scale(s1 * sgn);
+            let r1 = Complex::new(z1.im, -z1.re);
+            let r2 = Complex::new(z2.im, -z2.re);
+            out[k] = x0 + t1 + t2;
+            out[m + k] = y1 + r1;
+            out[2 * m + k] = y2 + r2;
+            out[3 * m + k] = y2 - r2;
+            out[4 * m + k] = y1 - r1;
+        }
+    }
+
+    /// Naive `O(r^2)` butterfly for other small primes (7, 11, ..., 31).
+    fn combine_generic(
+        &self,
+        out: &mut [Complex<T>],
+        r: usize,
+        m: usize,
+        tw_step: usize,
+        dir: Direction,
+    ) {
+        let n = r * m;
+        let mut tmp = vec![Complex::ZERO; r];
+        for k in 0..m {
+            for p in 0..r {
+                tmp[p] = out[p * m + k] * self.twiddle(tw_step * p * k, dir);
+            }
+            for q in 0..r {
+                let mut acc = Complex::ZERO;
+                for (p, v) in tmp.iter().enumerate() {
+                    // w_r^{pq} = w_n^{m p q}, reduced mod n then scaled to
+                    // the global table via tw_step.
+                    acc += *v * self.twiddle(tw_step * ((m * p * q) % n), dir);
+                }
+                out[q * m + k] = acc;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nufft_common::c;
+    use nufft_common::metrics::rel_l2;
+
+    /// Naive O(n^2) DFT for verification.
+    fn dft(x: &[Complex<f64>], sign: i32) -> Vec<Complex<f64>> {
+        let n = x.len();
+        (0..n)
+            .map(|k| {
+                (0..n)
+                    .map(|j| {
+                        let ang =
+                            sign as f64 * std::f64::consts::TAU * (j * k % n) as f64 / n as f64;
+                        x[j] * Complex::cis(ang)
+                    })
+                    .sum()
+            })
+            .collect()
+    }
+
+    fn random_signal(n: usize, seed: u64) -> Vec<Complex<f64>> {
+        // tiny xorshift so this module needs no rand dependency
+        let mut s = seed.wrapping_mul(2685821657736338717).wrapping_add(1);
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        (0..n).map(|_| c(next(), next())).collect()
+    }
+
+    fn check_size(n: usize) {
+        let plan = Fft1d::<f64>::new(n);
+        let x = random_signal(n, n as u64 + 1);
+        let mut y = x.clone();
+        plan.process(&mut y, Direction::Forward);
+        let want = dft(&x, -1);
+        assert!(
+            rel_l2(&y, &want) < 1e-11,
+            "forward mismatch at n={n}: {}",
+            rel_l2(&y, &want)
+        );
+        let mut z = x.clone();
+        plan.process(&mut z, Direction::Backward);
+        let want_b = dft(&x, 1);
+        assert!(rel_l2(&z, &want_b) < 1e-11, "backward mismatch at n={n}");
+    }
+
+    #[test]
+    fn matches_dft_powers_of_two() {
+        for n in [1, 2, 4, 8, 16, 64, 256] {
+            check_size(n);
+        }
+    }
+
+    #[test]
+    fn matches_dft_smooth_sizes() {
+        for n in [3, 5, 6, 9, 10, 12, 15, 20, 30, 45, 60, 120, 360, 750] {
+            check_size(n);
+        }
+    }
+
+    #[test]
+    fn matches_dft_small_primes() {
+        for n in [7, 11, 13, 21, 22, 31, 77] {
+            check_size(n);
+        }
+    }
+
+    #[test]
+    fn matches_dft_large_primes_via_bluestein() {
+        for n in [37, 97, 101, 211] {
+            check_size(n);
+        }
+    }
+
+    #[test]
+    fn roundtrip_scales_by_n() {
+        for n in [8, 12, 15, 37, 100] {
+            let plan = Fft1d::<f64>::new(n);
+            let x = random_signal(n, 99);
+            let mut y = x.clone();
+            plan.process(&mut y, Direction::Forward);
+            plan.process(&mut y, Direction::Backward);
+            let scaled: Vec<_> = x.iter().map(|z| z.scale(n as f64)).collect();
+            assert!(rel_l2(&y, &scaled) < 1e-12, "roundtrip at n={n}");
+        }
+    }
+
+    #[test]
+    fn impulse_gives_flat_spectrum() {
+        let n = 24;
+        let plan = Fft1d::<f64>::new(n);
+        let mut x = vec![Complex::ZERO; n];
+        x[0] = Complex::ONE;
+        plan.process(&mut x, Direction::Forward);
+        for z in &x {
+            assert!((z.re - 1.0).abs() < 1e-14 && z.im.abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn single_precision_accuracy() {
+        let n = 480;
+        let plan = Fft1d::<f32>::new(n);
+        let x64 = random_signal(n, 5);
+        let mut x32: Vec<Complex<f32>> = x64.iter().map(|z| z.cast()).collect();
+        plan.process(&mut x32, Direction::Forward);
+        let want = dft(&x64, -1);
+        assert!(rel_l2(&x32, &want) < 1e-5);
+    }
+
+    #[test]
+    fn parseval_energy_conservation() {
+        let n = 120;
+        let plan = Fft1d::<f64>::new(n);
+        let x = random_signal(n, 17);
+        let ex: f64 = x.iter().map(|z| z.norm_sqr()).sum();
+        let mut y = x;
+        plan.process(&mut y, Direction::Forward);
+        let ey: f64 = y.iter().map(|z| z.norm_sqr()).sum();
+        assert!(((ey / n as f64) - ex).abs() < 1e-10 * ex);
+    }
+}

@@ -1,0 +1,88 @@
+//! Deconvolution (correction) factors, paper eqs. 10-11.
+//!
+//! The spread/interp steps convolve with the periodized kernel, which
+//! multiplies Fourier coefficients by `psi_hat(k)/h^d`. The correction
+//! divides it out: per dimension `p_i(k) = h_i / psi_hat_i(k) =
+//! (2/w) / phi_hat(alpha_i k)` with `alpha_i = w pi / n_i`, and the full
+//! factor is the tensor product. Factors are real and even in `k`.
+
+use nufft_common::shape::{freq_start, Shape};
+use crate::Kernel1d;
+
+/// Per-dimension correction factors `p_i[j]` for output mode index `j`
+/// (ascending `k = -N/2 + j`).
+pub fn correction_row<K: Kernel1d>(kernel: &K, n_modes: usize, n_fine: usize) -> Vec<f64> {
+    let w = kernel.width() as f64;
+    let alpha = w * std::f64::consts::PI / n_fine as f64;
+    let k0 = freq_start(n_modes);
+    (0..n_modes)
+        .map(|j| {
+            let k = (k0 + j as i64) as f64;
+            let ft = kernel.ft(alpha * k);
+            assert!(
+                ft.abs() > f64::MIN_POSITIVE,
+                "kernel FT vanished at k={k}; upsampling too small for this kernel"
+            );
+            (2.0 / w) / ft
+        })
+        .collect()
+}
+
+/// All per-dimension rows for a mode/fine shape pair. Unused dimensions
+/// get a single factor of 1.
+pub fn correction_rows<K: Kernel1d>(kernel: &K, modes: Shape, fine: Shape) -> [Vec<f64>; 3] {
+    let mut rows = [vec![1.0], vec![1.0], vec![1.0]];
+    for i in 0..modes.dim {
+        rows[i] = correction_row(kernel, modes.n[i], fine.n[i]);
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EsKernel;
+
+    #[test]
+    fn factors_are_even_in_k() {
+        let k = EsKernel::with_width(6);
+        let row = correction_row(&k, 16, 32);
+        // k = -8..7; p(-k) = p(k)
+        for j in 1..8 {
+            let neg = row[8 - j]; // k = -j
+            let pos = row[8 + j]; // k = +j
+            assert!((neg - pos).abs() < 1e-12 * pos.abs(), "j={j}");
+        }
+    }
+
+    #[test]
+    fn factors_grow_towards_high_frequency() {
+        // phi_hat decays, so p = const/phi_hat grows with |k|
+        let k = EsKernel::with_width(8);
+        let row = correction_row(&k, 32, 64);
+        let center = row[16]; // k=0
+        let edge = row[0]; // k=-16
+        assert!(edge > center);
+        // monotone on the positive half
+        for j in 17..31 {
+            assert!(row[j + 1] >= row[j]);
+        }
+    }
+
+    #[test]
+    fn dc_factor_matches_direct_formula() {
+        let k = EsKernel::with_width(5);
+        let row = correction_row(&k, 8, 16);
+        let expect = (2.0 / 5.0) / k.ft(0.0);
+        assert!((row[4] - expect).abs() < 1e-14);
+    }
+
+    #[test]
+    fn rows_cover_dims() {
+        let k = EsKernel::with_width(4);
+        let rows = correction_rows(&k, Shape::d2(8, 10), Shape::d2(16, 20));
+        assert_eq!(rows[0].len(), 8);
+        assert_eq!(rows[1].len(), 10);
+        assert_eq!(rows[2], vec![1.0]);
+    }
+}

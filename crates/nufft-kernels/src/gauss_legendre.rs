@@ -1,0 +1,105 @@
+//! Gauss–Legendre quadrature nodes and weights on `[-1, 1]`.
+//!
+//! Used to evaluate the Fourier transform of the spreading kernel, which
+//! has no convenient closed form for the "exponential of semicircle"
+//! kernel (the deconvolution factors `p_k` of eqs. 10-11 need `phi_hat`).
+//! Nodes are found by Newton iteration on the Legendre polynomial `P_n`,
+//! seeded with the Chebyshev-like asymptotic approximation.
+
+/// Compute `n`-point Gauss–Legendre nodes and weights on `[-1, 1]`.
+pub fn gauss_legendre(n: usize) -> (Vec<f64>, Vec<f64>) {
+    assert!(n >= 1);
+    let mut x = vec![0.0f64; n];
+    let mut w = vec![0.0f64; n];
+    let m = n.div_ceil(2);
+    for i in 0..m {
+        // initial guess (Abramowitz & Stegun 22.16.6 flavor)
+        let mut z = (std::f64::consts::PI * (i as f64 + 0.75) / (n as f64 + 0.5)).cos();
+        let mut dp;
+        loop {
+            // evaluate P_n(z) and P_n'(z) by the three-term recurrence
+            let mut p0 = 1.0f64;
+            let mut p1 = 0.0f64;
+            for j in 0..n {
+                let p2 = p1;
+                p1 = p0;
+                p0 = ((2 * j + 1) as f64 * z * p1 - j as f64 * p2) / (j + 1) as f64;
+            }
+            dp = n as f64 * (z * p0 - p1) / (z * z - 1.0);
+            let dz = p0 / dp;
+            z -= dz;
+            if dz.abs() < 1e-15 {
+                break;
+            }
+        }
+        x[i] = -z;
+        x[n - 1 - i] = z;
+        let wi = 2.0 / ((1.0 - z * z) * dp * dp);
+        w[i] = wi;
+        w[n - 1 - i] = wi;
+    }
+    (x, w)
+}
+
+/// Integrate `f` over `[a, b]` with `n`-point Gauss–Legendre.
+pub fn integrate<F: Fn(f64) -> f64>(f: F, a: f64, b: f64, n: usize) -> f64 {
+    let (x, w) = gauss_legendre(n);
+    let c = 0.5 * (b - a);
+    let d = 0.5 * (b + a);
+    x.iter()
+        .zip(w.iter())
+        .map(|(&xi, &wi)| wi * f(c * xi + d))
+        .sum::<f64>()
+        * c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weights_sum_to_two() {
+        for n in [1, 2, 5, 16, 41, 64] {
+            let (_, w) = gauss_legendre(n);
+            let s: f64 = w.iter().sum();
+            assert!((s - 2.0).abs() < 1e-13, "n={n}: {s}");
+        }
+    }
+
+    #[test]
+    fn nodes_are_symmetric_and_sorted() {
+        let (x, _) = gauss_legendre(10);
+        for i in 0..10 {
+            assert!((x[i] + x[9 - i]).abs() < 1e-14);
+            if i > 0 {
+                assert!(x[i] > x[i - 1]);
+            }
+        }
+    }
+
+    #[test]
+    fn exact_for_polynomials() {
+        // n-point GL is exact through degree 2n-1
+        let n = 6;
+        // integral of x^10 over [-1,1] = 2/11
+        let v = integrate(|x| x.powi(10), -1.0, 1.0, n);
+        assert!((v - 2.0 / 11.0).abs() < 1e-14);
+        // degree 12 > 2*6-1, should NOT be exact
+        let v12 = integrate(|x| x.powi(12), -1.0, 1.0, n);
+        assert!((v12 - 2.0 / 13.0).abs() > 1e-10);
+    }
+
+    #[test]
+    fn integrates_transcendentals() {
+        let v = integrate(f64::cos, 0.0, std::f64::consts::FRAC_PI_2, 30);
+        assert!((v - 1.0).abs() < 1e-14);
+        let v = integrate(f64::exp, 0.0, 1.0, 30);
+        assert!((v - (std::f64::consts::E - 1.0)).abs() < 1e-14);
+    }
+
+    #[test]
+    fn odd_n_includes_origin() {
+        let (x, _) = gauss_legendre(7);
+        assert!(x[3].abs() < 1e-15);
+    }
+}

@@ -1,0 +1,158 @@
+//! Piecewise-polynomial kernel evaluation, FINUFFT's fast path.
+//!
+//! Spreading evaluates the kernel at `w` offsets sharing one fractional
+//! position: with `l_start = ceil(g - w/2)` and `xi = l_start - g` in
+//! `[-w/2, -w/2 + 1)`, the `w` needed values are `phi((xi + t) 2/w)` for
+//! `t = 0..w`. Each is a smooth function of `xi` alone, so FINUFFT fits a
+//! polynomial per output node at plan time and replaces `w` exp+sqrt
+//! calls with `w` fused polynomial evaluations. We fit in the Chebyshev
+//! basis and evaluate with Clenshaw recurrence (numerically stable, same
+//! cost as Horner).
+//!
+//! Near `z = +/-1` the ES kernel has a square-root branch point, but its
+//! magnitude there is `~e^{-beta} ~ eps`, so the fit's absolute error
+//! stays at the kernel's own design tolerance.
+
+use crate::es::EsKernel;
+use crate::Kernel1d;
+
+/// Maximum Chebyshev degree used in a fit.
+const MAX_DEGREE: usize = 24;
+
+/// A kernel with precomputed per-node Chebyshev fits for `eval_row`.
+#[derive(Clone, Debug)]
+pub struct HornerKernel {
+    inner: EsKernel,
+    /// `coeffs[t]` holds the Chebyshev coefficients of node `t`'s value
+    /// as a function of the normalized fractional position `u in [-1,1]`.
+    coeffs: Vec<Vec<f64>>,
+}
+
+impl HornerKernel {
+    /// Fit the given ES kernel. `degree` defaults to `w + 6` (capped),
+    /// which reaches the kernel's own accuracy floor.
+    pub fn fit(inner: EsKernel) -> Self {
+        let w = inner.w;
+        let degree = (w + 6).min(MAX_DEGREE);
+        let n = degree + 1;
+        // Chebyshev nodes and the node-t sample functions
+        let mut coeffs = Vec::with_capacity(w);
+        for t in 0..w {
+            let f = |u: f64| {
+                // xi = -w/2 + (u+1)/2 ; z_t = (u + 1 - w + 2 t) / w
+                let z = (u + 1.0 - w as f64 + 2.0 * t as f64) / w as f64;
+                inner.eval(z)
+            };
+            let mut c = vec![0.0f64; n];
+            for (k, ck) in c.iter_mut().enumerate() {
+                let mut acc = 0.0;
+                for j in 0..n {
+                    let theta = std::f64::consts::PI * (j as f64 + 0.5) / n as f64;
+                    acc += f(theta.cos()) * (k as f64 * theta).cos();
+                }
+                *ck = 2.0 * acc / n as f64;
+            }
+            c[0] *= 0.5;
+            coeffs.push(c);
+        }
+        HornerKernel { inner, coeffs }
+    }
+
+    /// Clenshaw evaluation of one node's fit at `u in [-1, 1]`.
+    #[inline]
+    fn clenshaw(c: &[f64], u: f64) -> f64 {
+        let mut b1 = 0.0f64;
+        let mut b2 = 0.0f64;
+        let two_u = 2.0 * u;
+        for &ck in c.iter().rev() {
+            let b0 = ck + two_u * b1 - b2;
+            b2 = b1;
+            b1 = b0;
+        }
+        b1 - u * b2
+    }
+
+    pub fn inner(&self) -> &EsKernel {
+        &self.inner
+    }
+}
+
+impl Kernel1d for HornerKernel {
+    fn width(&self) -> usize {
+        self.inner.w
+    }
+
+    /// Pointwise evaluation falls back to the exact kernel (used by the
+    /// Fourier-transform/deconvolution path, which is not hot).
+    fn eval(&self, z: f64) -> f64 {
+        self.inner.eval(z)
+    }
+
+    fn ft(&self, xi: f64) -> f64 {
+        self.inner.ft(xi)
+    }
+
+    /// The hot path: all `w` node values from one fractional position via
+    /// the precomputed fits.
+    #[inline]
+    fn eval_row(&self, z0: f64, out: &mut [f64]) {
+        let w = self.inner.w;
+        debug_assert_eq!(out.len(), w);
+        // z0 = 2 xi / w with xi in [-w/2, -w/2 + 1) => u = w z0 + w - 1
+        let u = (w as f64 * z0 + w as f64 - 1.0).clamp(-1.0, 1.0);
+        for (t, o) in out.iter_mut().enumerate() {
+            *o = Self::clenshaw(&self.coeffs[t], u);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spread_footprint;
+
+    #[test]
+    fn fits_match_direct_evaluation_across_widths() {
+        for w in [2usize, 3, 6, 9, 13, 16] {
+            let es = EsKernel::with_width(w);
+            let hk = HornerKernel::fit(es);
+            let tol = (-es.beta).exp().max(1e-13) * 10.0;
+            // sweep fractional positions exactly as spreading produces them
+            for i in 0..200 {
+                let g = 5.0 + i as f64 / 200.0; // grid coordinate in [5, 6)
+                let (_, z0) = spread_footprint(g, w);
+                let mut exact = vec![0.0; w];
+                es.eval_row(z0, &mut exact);
+                let mut fitted = vec![0.0; w];
+                hk.eval_row(z0, &mut fitted);
+                for t in 0..w {
+                    assert!(
+                        (exact[t] - fitted[t]).abs() < tol,
+                        "w={w} i={i} t={t}: {} vs {} (tol {tol:.2e})",
+                        exact[t],
+                        fitted[t]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pointwise_and_ft_delegate_to_exact_kernel() {
+        let es = EsKernel::with_width(7);
+        let hk = HornerKernel::fit(es);
+        assert_eq!(hk.eval(0.3), es.eval(0.3));
+        assert_eq!(hk.ft(2.0), es.ft(2.0));
+        assert_eq!(hk.width(), 7);
+    }
+
+    #[test]
+    fn clenshaw_evaluates_chebyshev_basis() {
+        // coefficients [0,0,1] = T_2(u) = 2u^2 - 1
+        let c = [0.0, 0.0, 1.0];
+        for u in [-1.0, -0.3, 0.0, 0.7, 1.0] {
+            let want = 2.0 * u * u - 1.0;
+            assert!((HornerKernel::clenshaw(&c, u) - want).abs() < 1e-14);
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! Where does a transform's (simulated) GPU time go?
+//!
+//! Runs one 3D type-1 NUFFT and prints an nvprof-style per-kernel
+//! profile of the simulated device timeline — reproducing Table I's
+//! observation that spreading dominates 3D type-1 execution.
+//! Run with: `cargo run --release --example device_profile`
+
+use cufinufft::{GpuOpts, Plan};
+use gpu_sim::Device;
+use nufft_common::workload::{gen_points, gen_strengths, PointDist};
+use nufft_common::{Complex, TransformType};
+
+fn main() {
+    let device = Device::v100();
+    let n = 64usize;
+    let mut plan = Plan::<f32>::new(
+        TransformType::Type1,
+        &[n, n, n],
+        -1,
+        1e-5,
+        GpuOpts::default(),
+        &device,
+    )
+    .unwrap();
+    let m = 2 * n * n * n; // rho ~ 0.25 of the fine grid
+    let pts = gen_points::<f32>(PointDist::Rand, 3, m, plan.fine_grid_shape(), 11);
+    let cs = gen_strengths::<f32>(m, 12);
+    plan.set_pts(&pts).unwrap();
+    let mut out = vec![Complex::<f32>::ZERO; n * n * n];
+    plan.execute(&cs, &mut out).unwrap();
+
+    println!(
+        "3D type 1, N = {n}^3, M = {m}, eps = 1e-5, method {:?}\n",
+        plan.spread_method()
+    );
+    println!("{}", gpu_sim::profile_table(&device.timeline()));
+    let t = plan.timings();
+    println!(
+        "spread fraction of exec: {:.1}% (paper Table I: >90% for 3D type 1)",
+        t.spread_interp / t.exec() * 100.0
+    );
+}

@@ -1,0 +1,81 @@
+//! Quickstart: a 2D type 1 NUFFT on the simulated GPU, with accuracy
+//! verification against the CPU library and a look at the timing report.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use cufinufft::{GpuOpts, Plan};
+use gpu_sim::Device;
+use nufft_common::metrics::rel_l2;
+use nufft_common::workload::{gen_points, gen_strengths, PointDist};
+use nufft_common::{Complex, TransformType};
+
+fn main() {
+    // 1. a simulated V100 (the substitution for real CUDA hardware)
+    let device = Device::v100();
+
+    // 2. plan a 2D type 1 transform: 256x256 output modes, 1e-6 accuracy
+    let n = 256usize;
+    let eps = 1e-6;
+    let mut plan = Plan::<f32>::new(
+        TransformType::Type1,
+        &[n, n],
+        -1, // sign of the exponential (paper eq. 1)
+        eps,
+        GpuOpts::default(),
+        &device,
+    )
+    .expect("plan");
+    println!(
+        "planned {}x{} type 1, kernel width {} ({:?} spreading), fine grid {:?}",
+        n,
+        n,
+        plan.kernel().w,
+        plan.spread_method(),
+        plan.fine_grid_shape().n,
+    );
+
+    // 3. random nonuniform points and strengths
+    let m = 200_000;
+    let pts = gen_points::<f32>(PointDist::Rand, 2, m, plan.fine_grid_shape(), 42);
+    let strengths = gen_strengths::<f32>(m, 43);
+
+    // 4. set points once (sorts them on the device) ...
+    plan.set_pts(&pts).expect("set_pts");
+
+    // 5. ... then execute, re-using the plan for several strength vectors
+    let mut modes = vec![Complex::<f32>::ZERO; n * n];
+    plan.execute(&strengths, &mut modes).expect("execute");
+    let t = plan.timings();
+    println!("\nsimulated V100 timings:");
+    println!("  exec       {:>9.3} ms  (spread {:.3} + fft {:.3} + deconv {:.3})",
+        t.exec() * 1e3, t.spread_interp * 1e3, t.fft * 1e3, t.deconv * 1e3);
+    println!("  total      {:>9.3} ms  (exec + sorting)", t.total() * 1e3);
+    println!("  total+mem  {:>9.3} ms  (incl. alloc + host-device transfers)", t.total_mem() * 1e3);
+    println!("  throughput {:>9.1} Mpts/s (exec)", m as f64 / t.exec() / 1e6);
+
+    // 6. verify against the CPU library at high accuracy
+    let mut cpu_plan = finufft_cpu::Plan::<f64>::new(
+        finufft_cpu::TransformType::Type1,
+        &[n, n],
+        -1,
+        1e-12,
+        finufft_cpu::Opts::default(),
+    )
+    .expect("cpu plan");
+    let pts64 = nufft_common::Points::<f64> {
+        coords: [
+            pts.x().iter().map(|&v| v as f64).collect(),
+            pts.y().iter().map(|&v| v as f64).collect(),
+            Vec::new(),
+        ],
+        dim: 2,
+    };
+    cpu_plan.set_pts(pts64).expect("cpu pts");
+    let strengths64: Vec<Complex<f64>> = strengths.iter().map(|z| z.cast()).collect();
+    let mut truth = vec![Complex::<f64>::ZERO; n * n];
+    cpu_plan.execute(&strengths64, &mut truth).expect("cpu exec");
+    let err = rel_l2(&modes, &truth);
+    println!("\nrelative l2 error vs CPU reference: {err:.3e} (requested {eps:.0e})");
+    assert!(err < 10.0 * eps, "accuracy regression");
+    println!("OK");
+}

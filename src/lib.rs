@@ -1,0 +1,12 @@
+//! Workspace umbrella crate: re-exports the main libraries of the
+//! cuFINUFFT reproduction so examples and integration tests can use a
+//! single dependency.
+pub use cufinufft;
+pub use finufft_cpu;
+pub use gpu_fft;
+pub use gpu_sim;
+pub use mtip;
+pub use nufft_baselines;
+pub use nufft_common;
+pub use nufft_fft;
+pub use nufft_kernels;

@@ -1,0 +1,197 @@
+//! Cross-crate integration: all four libraries computing the same
+//! transform must agree to within their respective accuracies, across
+//! types, dimensions and distributions.
+
+use cufinufft::{GpuOpts, Method};
+use gpu_sim::Device;
+use nufft_common::metrics::rel_l2;
+use nufft_common::workload::{gen_coeffs, gen_points, gen_strengths, PointDist};
+use nufft_common::{Complex, Points, Shape, TransformType};
+
+fn pts64(pts: &Points<f64>) -> Points<f64> {
+    pts.clone()
+}
+
+struct Problem {
+    modes: Vec<usize>,
+    pts: Points<f64>,
+    strengths: Vec<Complex<f64>>,
+    coeffs: Vec<Complex<f64>>,
+}
+
+fn problem(modes: &[usize], m: usize, dist: PointDist, seed: u64) -> Problem {
+    let shape = Shape::from_slice(modes);
+    let fine = shape.map(|_, n| 2 * n);
+    Problem {
+        modes: modes.to_vec(),
+        pts: gen_points(dist, modes.len(), m, fine, seed),
+        strengths: gen_strengths(m, seed + 1),
+        coeffs: gen_coeffs(shape.total(), seed + 2),
+    }
+}
+
+fn cpu_reference(p: &Problem, ttype: TransformType) -> Vec<Complex<f64>> {
+    let iflag = if ttype == TransformType::Type1 { -1 } else { 1 };
+    let mut plan =
+        finufft_cpu::Plan::<f64>::new(ttype, &p.modes, iflag, 1e-12, finufft_cpu::Opts::default())
+            .unwrap();
+    plan.set_pts(pts64(&p.pts)).unwrap();
+    let n: usize = p.modes.iter().product();
+    let (input, out_len) = match ttype {
+        TransformType::Type1 => (&p.strengths, n),
+        TransformType::Type2 => (&p.coeffs, p.pts.len()),
+    };
+    let mut out = vec![Complex::ZERO; out_len];
+    plan.execute(input, &mut out).unwrap();
+    out
+}
+
+#[test]
+fn all_gpu_libraries_agree_with_cpu_2d_type1() {
+    let p = problem(&[28, 24], 600, PointDist::Rand, 1);
+    let truth = cpu_reference(&p, TransformType::Type1);
+    let dev = Device::v100();
+    // cuFINUFFT at 1e-10: near-reference agreement
+    for method in [Method::Gm, Method::GmSort, Method::Sm] {
+        let mut opts = GpuOpts::default();
+        opts.method = method;
+        let mut plan =
+            cufinufft::Plan::<f64>::new(TransformType::Type1, &p.modes, -1, 1e-10, opts, &dev)
+                .unwrap();
+        plan.set_pts(&p.pts).unwrap();
+        let mut out = vec![Complex::ZERO; truth.len()];
+        plan.execute(&p.strengths, &mut out).unwrap();
+        assert!(rel_l2(&out, &truth) < 1e-9, "{method:?}");
+    }
+    // CUNFFT at a moderate tolerance
+    let mut cn =
+        nufft_baselines::CunfftPlan::<f64>::new(TransformType::Type1, &p.modes, -1, 1e-6, &dev)
+            .unwrap();
+    cn.set_pts(&p.pts).unwrap();
+    let mut out = vec![Complex::ZERO; truth.len()];
+    cn.execute(&p.strengths, &mut out).unwrap();
+    assert!(rel_l2(&out, &truth) < 1e-4);
+    // gpuNUFFT within its accuracy floor
+    let mut gp =
+        nufft_baselines::GpunufftPlan::<f64>::new(TransformType::Type1, &p.modes, -1, 1e-3, &dev)
+            .unwrap();
+    gp.set_pts(&p.pts).unwrap();
+    let mut out = vec![Complex::ZERO; truth.len()];
+    gp.execute(&p.strengths, &mut out).unwrap();
+    assert!(rel_l2(&out, &truth) < 3e-2);
+}
+
+#[test]
+fn all_gpu_libraries_agree_with_cpu_3d_type2() {
+    let p = problem(&[10, 12, 8], 350, PointDist::Rand, 2);
+    let truth = cpu_reference(&p, TransformType::Type2);
+    let dev = Device::v100();
+    let mut plan = cufinufft::Plan::<f64>::new(
+        TransformType::Type2,
+        &p.modes,
+        1,
+        1e-10,
+        GpuOpts::default(),
+        &dev,
+    )
+    .unwrap();
+    plan.set_pts(&p.pts).unwrap();
+    let mut out = vec![Complex::ZERO; p.pts.len()];
+    plan.execute(&p.coeffs, &mut out).unwrap();
+    assert!(rel_l2(&out, &truth) < 1e-9);
+    let mut cn =
+        nufft_baselines::CunfftPlan::<f64>::new(TransformType::Type2, &p.modes, 1, 1e-6, &dev)
+            .unwrap();
+    cn.set_pts(&p.pts).unwrap();
+    let mut out = vec![Complex::ZERO; p.pts.len()];
+    cn.execute(&p.coeffs, &mut out).unwrap();
+    assert!(rel_l2(&out, &truth) < 1e-4);
+    let mut gp =
+        nufft_baselines::GpunufftPlan::<f64>::new(TransformType::Type2, &p.modes, 1, 1e-3, &dev)
+            .unwrap();
+    gp.set_pts(&p.pts).unwrap();
+    let mut out = vec![Complex::ZERO; p.pts.len()];
+    gp.execute(&p.coeffs, &mut out).unwrap();
+    assert!(rel_l2(&out, &truth) < 3e-2);
+}
+
+#[test]
+fn clustered_inputs_agree_across_libraries() {
+    let p = problem(&[32, 32], 800, PointDist::Cluster, 3);
+    let truth = cpu_reference(&p, TransformType::Type1);
+    let dev = Device::v100();
+    let mut plan = cufinufft::Plan::<f64>::new(
+        TransformType::Type1,
+        &p.modes,
+        -1,
+        1e-11,
+        GpuOpts::default(),
+        &dev,
+    )
+    .unwrap();
+    plan.set_pts(&p.pts).unwrap();
+    let mut out = vec![Complex::ZERO; truth.len()];
+    plan.execute(&p.strengths, &mut out).unwrap();
+    assert!(rel_l2(&out, &truth) < 1e-9);
+}
+
+#[test]
+fn f32_and_f64_pipelines_consistent() {
+    // the f32 pipeline must agree with f64 up to single round-off
+    let modes = [20usize, 20];
+    let shape = Shape::from_slice(&modes);
+    let fine = shape.map(|_, n| 2 * n);
+    let pts32: Points<f32> = gen_points(PointDist::Rand, 2, 300, fine, 5);
+    let pts: Points<f64> = Points {
+        coords: [
+            pts32.coords[0].iter().map(|&v| v as f64).collect(),
+            pts32.coords[1].iter().map(|&v| v as f64).collect(),
+            Vec::new(),
+        ],
+        dim: 2,
+    };
+    let cs32 = gen_strengths::<f32>(300, 6);
+    let cs: Vec<Complex<f64>> = cs32.iter().map(|z| z.cast()).collect();
+    let dev = Device::v100();
+    let mut p32 = cufinufft::Plan::<f32>::new(
+        TransformType::Type1,
+        &modes,
+        -1,
+        1e-6,
+        GpuOpts::default(),
+        &dev,
+    )
+    .unwrap();
+    let mut p64 = cufinufft::Plan::<f64>::new(
+        TransformType::Type1,
+        &modes,
+        -1,
+        1e-6,
+        GpuOpts::default(),
+        &dev,
+    )
+    .unwrap();
+    p32.set_pts(&pts32).unwrap();
+    p64.set_pts(&pts).unwrap();
+    let mut o32 = vec![Complex::<f32>::ZERO; shape.total()];
+    let mut o64 = vec![Complex::<f64>::ZERO; shape.total()];
+    p32.execute(&cs32, &mut o32).unwrap();
+    p64.execute(&cs, &mut o64).unwrap();
+    assert!(rel_l2(&o32, &o64) < 5e-5);
+}
+
+#[test]
+fn umbrella_crate_reexports_work() {
+    // the workspace umbrella crate exposes everything examples need
+    use cufinufft_repro::{cufinufft as cf, gpu_sim as gs, nufft_common as nc};
+    let dev = gs::Device::v100();
+    let plan = cf::Plan::<f32>::new(
+        nc::TransformType::Type1,
+        &[16, 16],
+        -1,
+        1e-4,
+        cf::GpuOpts::default(),
+        &dev,
+    );
+    assert!(plan.is_ok());
+}

@@ -1,0 +1,206 @@
+//! Property-based tests on the core invariants of the workspace, as
+//! promised in DESIGN.md §6: FFT algebra on arbitrary sizes, NUFFT
+//! tolerance and adjointness for random point sets, bin-sort
+//! permutation validity, method equivalence, periodic wrap handling,
+//! and scheduler bounds.
+
+use cufinufft::{GpuOpts, Method};
+use gpu_sim::Device;
+use nufft_common::metrics::{inner, rel_l2};
+use nufft_common::reference::type1_direct;
+use nufft_common::{c, Complex, Points, Shape, TransformType};
+use nufft_fft::{Direction, Fft1d};
+use proptest::prelude::*;
+
+fn complex_vec(n: usize) -> impl Strategy<Value = Vec<Complex<f64>>> {
+    proptest::collection::vec(
+        (-1.0f64..1.0, -1.0f64..1.0).prop_map(|(r, i)| c(r, i)),
+        n..=n,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// FFT roundtrip scales by n for arbitrary sizes, including primes.
+    #[test]
+    fn fft_roundtrip_any_size(n in 1usize..200, seed in 0u64..1000) {
+        let plan = Fft1d::<f64>::new(n);
+        let mut rng_state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        let mut next = move || {
+            rng_state ^= rng_state << 13;
+            rng_state ^= rng_state >> 7;
+            rng_state ^= rng_state << 17;
+            (rng_state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        let x: Vec<Complex<f64>> = (0..n).map(|_| c(next(), next())).collect();
+        let mut y = x.clone();
+        plan.process(&mut y, Direction::Forward);
+        plan.process(&mut y, Direction::Backward);
+        let scaled: Vec<_> = x.iter().map(|z| z.scale(n as f64)).collect();
+        prop_assert!(rel_l2(&y, &scaled) < 1e-10);
+    }
+
+    /// FFT is linear: F(a x + y) = a F(x) + F(y).
+    #[test]
+    fn fft_linearity(n in 2usize..64, a in -3.0f64..3.0) {
+        let plan = Fft1d::<f64>::new(n);
+        let x: Vec<Complex<f64>> = (0..n).map(|j| c((j as f64).sin(), 0.3 * j as f64)).collect();
+        let y: Vec<Complex<f64>> = (0..n).map(|j| c(1.0 / (j + 1) as f64, -(j as f64).cos())).collect();
+        let mut fx = x.clone();
+        plan.process(&mut fx, Direction::Forward);
+        let mut fy = y.clone();
+        plan.process(&mut fy, Direction::Forward);
+        let mut combo: Vec<Complex<f64>> = x.iter().zip(&y).map(|(u, v)| u.scale(a) + *v).collect();
+        plan.process(&mut combo, Direction::Forward);
+        let want: Vec<Complex<f64>> = fx.iter().zip(&fy).map(|(u, v)| u.scale(a) + *v).collect();
+        prop_assert!(rel_l2(&combo, &want) < 1e-11);
+    }
+
+    /// Parseval: energy is conserved up to the 1/n convention.
+    #[test]
+    fn fft_parseval(n in 2usize..128) {
+        let plan = Fft1d::<f64>::new(n);
+        let x: Vec<Complex<f64>> = (0..n).map(|j| c((1.7 * j as f64).sin(), (0.4 * j as f64).cos())).collect();
+        let ex: f64 = x.iter().map(|z| z.norm_sqr()).sum();
+        let mut y = x;
+        plan.process(&mut y, Direction::Forward);
+        let ey: f64 = y.iter().map(|z| z.norm_sqr()).sum();
+        prop_assert!(((ey / n as f64) - ex).abs() < 1e-9 * ex.max(1.0));
+    }
+
+    /// The GPU type-1 NUFFT meets its requested tolerance for arbitrary
+    /// point positions (including boundary values +/- pi).
+    #[test]
+    fn nufft_tolerance_random_points(
+        xs in proptest::collection::vec(-std::f64::consts::PI..std::f64::consts::PI, 5..40),
+        seed in 0u64..100,
+    ) {
+        let m = xs.len();
+        let ys: Vec<f64> = xs.iter().rev().map(|v| (v * 0.7).sin() * std::f64::consts::PI * 0.999).collect();
+        let pts = Points::<f64> { coords: [xs, ys, Vec::new()], dim: 2 };
+        let cs = nufft_common::gen_strengths::<f64>(m, seed);
+        let modes = [12usize, 14];
+        let shape = Shape::from_slice(&modes);
+        let dev = Device::v100();
+        let mut plan = cufinufft::Plan::<f64>::new(
+            TransformType::Type1, &modes, -1, 1e-9, GpuOpts::default(), &dev,
+        ).unwrap();
+        plan.set_pts(&pts).unwrap();
+        let mut out = vec![Complex::<f64>::ZERO; shape.total()];
+        plan.execute(&cs, &mut out).unwrap();
+        let truth = type1_direct(&pts, &cs, shape, -1);
+        prop_assert!(rel_l2(&out, &truth) < 1e-7, "err {}", rel_l2(&out, &truth));
+    }
+
+    /// All spreading methods produce the same sums (up to fp
+    /// reassociation) on the same inputs.
+    #[test]
+    fn spreading_methods_equivalent(m in 10usize..200, seed in 0u64..50) {
+        let modes = [16usize, 16];
+        let shape = Shape::from_slice(&modes);
+        let fine = shape.map(|_, n| 2 * n);
+        let pts = nufft_common::gen_points::<f64>(nufft_common::PointDist::Rand, 2, m, fine, seed);
+        let cs = nufft_common::gen_strengths::<f64>(m, seed + 1);
+        let dev = Device::v100();
+        let mut outs = Vec::new();
+        for method in [Method::Gm, Method::GmSort, Method::Sm] {
+            let mut opts = GpuOpts::default();
+            opts.method = method;
+            let mut plan = cufinufft::Plan::<f64>::new(
+                TransformType::Type1, &modes, -1, 1e-8, opts, &dev,
+            ).unwrap();
+            plan.set_pts(&pts).unwrap();
+            let mut out = vec![Complex::<f64>::ZERO; shape.total()];
+            plan.execute(&cs, &mut out).unwrap();
+            outs.push(out);
+        }
+        prop_assert!(rel_l2(&outs[0], &outs[1]) < 1e-12);
+        prop_assert!(rel_l2(&outs[0], &outs[2]) < 1e-12);
+    }
+
+    /// Type 1 and type 2 with conjugate signs are adjoint.
+    #[test]
+    fn nufft_adjointness(m in 5usize..80, seed in 0u64..50) {
+        let modes = [10usize, 8];
+        let shape = Shape::from_slice(&modes);
+        let fine = shape.map(|_, n| 2 * n);
+        let pts = nufft_common::gen_points::<f64>(nufft_common::PointDist::Rand, 2, m, fine, seed);
+        let cs = nufft_common::gen_strengths::<f64>(m, seed + 1);
+        let fs = nufft_common::gen_strengths::<f64>(shape.total(), seed + 2);
+        let dev = Device::v100();
+        let mut p1 = cufinufft::Plan::<f64>::new(
+            TransformType::Type1, &modes, -1, 1e-11, GpuOpts::default(), &dev,
+        ).unwrap();
+        let mut p2 = cufinufft::Plan::<f64>::new(
+            TransformType::Type2, &modes, 1, 1e-11, GpuOpts::default(), &dev,
+        ).unwrap();
+        p1.set_pts(&pts).unwrap();
+        p2.set_pts(&pts).unwrap();
+        let mut a = vec![Complex::<f64>::ZERO; shape.total()];
+        p1.execute(&cs, &mut a).unwrap();
+        let mut b = vec![Complex::<f64>::ZERO; m];
+        p2.execute(&fs, &mut b).unwrap();
+        let lhs = inner(&a, &fs);
+        let rhs = inner(&cs, &b);
+        prop_assert!((lhs - rhs).abs() < 1e-8 * (1.0 + lhs.abs()));
+    }
+
+    /// Bin sorting is always a valid permutation with points inside
+    /// their bins, for any bin shape.
+    #[test]
+    fn bin_sort_is_permutation(
+        m in 0usize..500,
+        b1 in 1usize..64,
+        b2 in 1usize..64,
+        seed in 0u64..100,
+    ) {
+        let fine = Shape::d2(128, 96);
+        let pts = nufft_common::gen_points::<f32>(nufft_common::PointDist::Rand, 2, m, fine, seed);
+        let dev = Device::v100();
+        dev.set_record_timeline(false);
+        let s = cufinufft::bins::gpu_bin_sort(&dev, &pts, fine, [b1, b2, 1]);
+        let mut seen = vec![false; m];
+        for &p in &s.perm {
+            prop_assert!(!seen[p as usize]);
+            seen[p as usize] = true;
+        }
+        prop_assert!(seen.iter().all(|&x| x));
+        prop_assert_eq!(*s.starts.last().unwrap() as usize, m);
+    }
+
+    /// The block scheduler never beats the theoretical lower bound and
+    /// never exceeds the serial sum.
+    #[test]
+    fn scheduler_bounds(
+        times in proptest::collection::vec(0.0f64..10.0, 1..200),
+        slots in 1usize..128,
+    ) {
+        let ms = gpu_sim::sched::makespan(&times, slots);
+        let total: f64 = times.iter().sum();
+        let longest = times.iter().cloned().fold(0.0, f64::max);
+        let lb = (total / slots as f64).max(longest);
+        prop_assert!(ms + 1e-9 >= lb);
+        prop_assert!(ms <= total + 1e-9);
+    }
+
+    /// Subproblem decomposition covers every point exactly once and
+    /// respects the cap.
+    #[test]
+    fn subproblems_partition(m in 1usize..3000, msub in 1usize..600, seed in 0u64..50) {
+        let fine = Shape::d2(64, 64);
+        let pts = nufft_common::gen_points::<f32>(nufft_common::PointDist::Cluster, 2, m, fine, seed);
+        let dev = Device::v100();
+        dev.set_record_timeline(false);
+        let s = cufinufft::bins::gpu_bin_sort(&dev, &pts, fine, [32, 32, 1]);
+        let subs = cufinufft::bins::build_subproblems(&dev, &s, msub);
+        let total: u32 = subs.iter().map(|sp| sp.len).sum();
+        prop_assert_eq!(total as usize, m);
+        prop_assert!(subs.iter().all(|sp| sp.len as usize <= msub));
+        let mut cursor = 0u32;
+        for sp in &subs {
+            prop_assert_eq!(sp.start, cursor);
+            cursor += sp.len;
+        }
+    }
+}

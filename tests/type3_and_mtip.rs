@@ -1,0 +1,114 @@
+//! Cross-crate integration: type-3 transforms (CPU vs GPU vs direct) and
+//! the end-to-end M-TIP pipeline.
+
+use gpu_sim::Device;
+use nufft_common::metrics::rel_l2;
+use nufft_common::{Complex, Points};
+use proptest::prelude::*;
+
+fn direct_t3(
+    x: &Points<f64>,
+    cs: &[Complex<f64>],
+    s: &Points<f64>,
+    iflag: i32,
+) -> Vec<Complex<f64>> {
+    (0..s.len())
+        .map(|k| {
+            let mut acc = Complex::ZERO;
+            for j in 0..x.len() {
+                let mut phase = 0.0;
+                for i in 0..x.dim {
+                    phase += s.coord(i, k) * x.coord(i, j);
+                }
+                acc += cs[j] * Complex::cis(iflag as f64 * phase);
+            }
+            acc
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Type 3 meets tolerance for arbitrary source/target scales, and the
+    /// CPU and GPU paths agree closely.
+    #[test]
+    fn type3_tolerance_random_scales(
+        xw in 0.05f64..8.0,
+        sw in 0.5f64..40.0,
+        m in 20usize..80,
+        nt in 20usize..80,
+        seed in 0u64..50,
+    ) {
+        // keep the space-bandwidth product tractable for the test
+        prop_assume!(xw * sw < 60.0);
+        let mut rng_state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut next = move || {
+            rng_state ^= rng_state << 13;
+            rng_state ^= rng_state >> 7;
+            rng_state ^= rng_state << 17;
+            (rng_state >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0
+        };
+        let x = Points::<f64> {
+            coords: [(0..m).map(|_| next() * xw).collect(), (0..m).map(|_| next() * xw).collect(), Vec::new()],
+            dim: 2,
+        };
+        let s = Points::<f64> {
+            coords: [(0..nt).map(|_| next() * sw).collect(), (0..nt).map(|_| next() * sw).collect(), Vec::new()],
+            dim: 2,
+        };
+        let cs: Vec<Complex<f64>> = (0..m).map(|_| Complex::new(next(), next())).collect();
+        let eps = 1e-8;
+        let mut cpu = finufft_cpu::Type3Plan::<f64>::new(2, 1, eps).unwrap();
+        cpu.set_pts(&x, &s, eps).unwrap();
+        let mut out_cpu = vec![Complex::ZERO; nt];
+        cpu.execute(&cs, &mut out_cpu).unwrap();
+        let want = direct_t3(&x, &cs, &s, 1);
+        prop_assert!(rel_l2(&out_cpu, &want) < 1e-6, "cpu err {}", rel_l2(&out_cpu, &want));
+
+        let dev = Device::v100();
+        let mut gpu =
+            cufinufft::GpuType3Plan::<f64>::new(2, 1, eps, cufinufft::GpuOpts::default(), &dev)
+                .unwrap();
+        gpu.set_pts(&x, &s).unwrap();
+        let mut out_gpu = vec![Complex::ZERO; nt];
+        gpu.execute(&cs, &mut out_gpu).unwrap();
+        prop_assert!(rel_l2(&out_gpu, &want) < 1e-6, "gpu err {}", rel_l2(&out_gpu, &want));
+        prop_assert!(rel_l2(&out_gpu, &out_cpu) < 1e-9);
+    }
+}
+
+#[test]
+fn mtip_pipeline_converges_end_to_end() {
+    let cfg = mtip::MtipConfig {
+        n_grid: 20,
+        n_images: 12,
+        n_det: 14,
+        eps: 1e-7,
+        iterations: 6,
+        n_blobs: 4,
+        match_orientations: true,
+        n_decoys: 2,
+        cg_iters: 6,
+        oracle_phases: true,
+        hio_beta: 0.0,
+        tight_support: false,
+        shrink_wrap_every: 3,
+        shrink_wrap_threshold: 0.05,
+        init_truth: false,
+        seed: 99,
+    };
+    let dev = Device::v100();
+    let res = mtip::reconstruct(&cfg, &dev);
+    assert!(
+        *res.errors.last().unwrap() < 0.4,
+        "errors {:?}",
+        res.errors
+    );
+    assert!(*res.orientation_accuracy.last().unwrap() >= 0.75);
+    // resolution: low shells must be recovered
+    let fsc = mtip::fourier_shell_correlation(&res.density, &res.truth, cfg.n_grid);
+    assert!(fsc[1] > 0.8 && fsc[2] > 0.7, "low-shell FSC {fsc:?}");
+    // the whole pipeline ran on the simulated device
+    assert!(res.timings.slicing > 0.0 && res.timings.merging > 0.0);
+}
