@@ -6,7 +6,7 @@
 //! memory footprint, stage times, and achieved accuracy.
 
 use bench::{ground_truth, ns_per_pt, workload, Csv};
-use cufinufft::{GpuOpts, Plan};
+use cufinufft::Plan;
 use gpu_sim::Device;
 use nufft_common::metrics::rel_l2;
 use nufft_common::workload::PointDist;
@@ -29,10 +29,11 @@ fn main() {
         for sigma in [2.0f64, 1.25] {
             let dev = Device::v100();
             dev.set_record_timeline(false);
-            let mut opts = GpuOpts::default();
-            opts.upsampfac = sigma;
-            let mut plan =
-                Plan::<f32>::new(TransformType::Type1, &modes, -1, eps, opts, &dev).unwrap();
+            let mut plan = Plan::<f32>::builder(TransformType::Type1, &modes)
+                .eps(eps)
+                .upsampfac(sigma)
+                .build(&dev)
+                .unwrap();
             let fine = plan.fine_grid_shape();
             let (pts, cs) = workload::<f32>(PointDist::Rand, 2, Shape::d2(2 * n, 2 * n), 1.0, 5);
             let m = pts.len();

@@ -8,7 +8,7 @@
 //! point are size-stable at fixed density.
 
 use bench::{finufft_model_times, large_mode, workload, Csv};
-use cufinufft::{GpuOpts, Method, Plan};
+use cufinufft::{Method, Plan};
 use gpu_sim::Device;
 use nufft_common::workload::PointDist;
 use nufft_common::{Complex, Shape, TransformType};
@@ -21,10 +21,11 @@ fn run_row(n: usize, eps: f64, method: Method) -> (f64, usize, f64, f64) {
     let fine = shape.map(|_, v| 2 * v);
     let (pts, cs) = workload::<f32>(PointDist::Rand, 3, fine, 1.0, 11);
     let m = pts.len();
-    let mut opts = GpuOpts::default();
-    opts.method = method;
-    let mut plan =
-        Plan::<f32>::new(TransformType::Type1, &modes, -1, eps, opts, &dev).expect("plan");
+    let mut plan = Plan::<f32>::builder(TransformType::Type1, &modes)
+        .eps(eps)
+        .method(method)
+        .build(&dev)
+        .expect("plan");
     plan.set_pts(&pts).expect("set_pts");
     let mut out = vec![Complex::<f32>::ZERO; shape.total()];
     plan.execute(&cs, &mut out).expect("execute");
@@ -77,10 +78,11 @@ fn main() {
         let modes = [32usize, 32, 32];
         let fine = Shape::from_slice(&modes).map(|_, v| 2 * v);
         let (pts, _) = workload::<f32>(PointDist::Rand, 3, fine, 1.0, 11);
-        let mut opts = GpuOpts::default();
-        opts.method = Method::Gm;
-        let mut plan =
-            Plan::<f32>::new(TransformType::Type1, &modes, -1, eps, opts, &dev).expect("plan");
+        let mut plan = Plan::<f32>::builder(TransformType::Type1, &modes)
+            .eps(eps)
+            .method(Method::Gm)
+            .build(&dev)
+            .expect("plan");
         plan.set_pts(&pts).expect("set_pts");
         println!(
             "{:>8.0e} {:>5} {:>10} {:>8} | {:>10} {:>9.1}   (RAM reference, no sort arrays)",

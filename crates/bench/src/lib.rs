@@ -7,7 +7,7 @@
 
 use gpu_sim::Device;
 use nufft_common::workload::{gen_points, gen_strengths, PointDist, Points};
-use nufft_common::{Complex, Real, Shape, TransformType};
+use nufft_common::{Complex, NufftPlan, Real, Shape, TransformType};
 use std::fs::File;
 use std::io::Write;
 use std::path::PathBuf;
@@ -64,6 +64,19 @@ pub fn workload<T: Real>(
     (pts, cs)
 }
 
+/// Drive any backend plan through the shared [`NufftPlan`] lifecycle:
+/// bind points, execute one transform, return the output vector.
+pub fn run_plan<T: Real>(
+    plan: &mut dyn NufftPlan<T>,
+    pts: &Points<T>,
+    input: &[Complex<T>],
+) -> Vec<Complex<T>> {
+    plan.set_points(pts).expect("set_points");
+    let mut out = vec![Complex::<T>::ZERO; plan.output_len()];
+    plan.execute(input, &mut out).expect("execute");
+    out
+}
+
 /// Run cuFINUFFT with an explicit spreading method; returns timings and
 /// the outputs for error measurement.
 pub fn run_cufinufft<T: Real>(
@@ -76,20 +89,43 @@ pub fn run_cufinufft<T: Real>(
 ) -> (cufinufft::GpuStageTimings, Vec<Complex<T>>) {
     let dev = Device::v100();
     dev.set_record_timeline(false);
-    let mut opts = cufinufft::GpuOpts::default();
-    opts.method = method;
-    let iflag = if ttype == TransformType::Type1 { -1 } else { 1 };
-    let mut plan =
-        cufinufft::Plan::<T>::new(ttype, modes, iflag, eps, opts, &dev).expect("cufinufft plan");
+    let mut plan = cufinufft::Plan::<T>::builder(ttype, modes)
+        .eps(eps)
+        .method(method)
+        .build(&dev)
+        .expect("cufinufft plan");
+    let out = run_plan(&mut plan, pts, input);
+    (plan.timings(), out)
+}
+
+/// Run cuFINUFFT's stream-pipelined batched path over `b` stacked
+/// strength/coefficient vectors; returns the plan (holding stage and
+/// per-chunk batch timings) plus the stacked outputs.
+pub fn run_cufinufft_batch<T: Real>(
+    ttype: TransformType,
+    modes: &[usize],
+    eps: f64,
+    b: usize,
+    max_batch: usize,
+    pts: &Points<T>,
+    input: &[Complex<T>],
+) -> (cufinufft::Plan<T>, Vec<Complex<T>>) {
+    let dev = Device::v100();
+    dev.set_record_timeline(false);
+    let mut plan = cufinufft::Plan::<T>::builder(ttype, modes)
+        .eps(eps)
+        .ntransf(b)
+        .max_batch(max_batch)
+        .build(&dev)
+        .expect("cufinufft batch plan");
     plan.set_pts(pts).expect("set_pts");
-    let n: usize = modes.iter().product();
-    let out_len = match ttype {
-        TransformType::Type1 => n,
+    let out_per = match ttype {
+        TransformType::Type1 => modes.iter().product(),
         TransformType::Type2 => pts.len(),
     };
-    let mut out = vec![Complex::<T>::ZERO; out_len];
-    plan.execute(input, &mut out).expect("execute");
-    (plan.timings(), out)
+    let mut out = vec![Complex::<T>::ZERO; out_per * b];
+    plan.execute_many(input, &mut out).expect("execute_many");
+    (plan, out)
 }
 
 /// Run the CUNFFT baseline.
@@ -105,14 +141,7 @@ pub fn run_cunfft<T: Real>(
     let iflag = if ttype == TransformType::Type1 { -1 } else { 1 };
     let mut plan =
         nufft_baselines::CunfftPlan::<T>::new(ttype, modes, iflag, eps, &dev).expect("cunfft plan");
-    plan.set_pts(pts).expect("set_pts");
-    let n: usize = modes.iter().product();
-    let out_len = match ttype {
-        TransformType::Type1 => n,
-        TransformType::Type2 => pts.len(),
-    };
-    let mut out = vec![Complex::<T>::ZERO; out_len];
-    plan.execute(input, &mut out).expect("execute");
+    let out = run_plan(&mut plan, pts, input);
     (plan.timings(), out)
 }
 
@@ -129,14 +158,7 @@ pub fn run_gpunufft<T: Real>(
     let iflag = if ttype == TransformType::Type1 { -1 } else { 1 };
     let mut plan = nufft_baselines::GpunufftPlan::<T>::new(ttype, modes, iflag, eps, &dev)
         .expect("gpunufft plan");
-    plan.set_pts(pts).expect("set_pts");
-    let n: usize = modes.iter().product();
-    let out_len = match ttype {
-        TransformType::Type1 => n,
-        TransformType::Type2 => pts.len(),
-    };
-    let mut out = vec![Complex::<T>::ZERO; out_len];
-    plan.execute(input, &mut out).expect("execute");
+    let out = run_plan(&mut plan, pts, input);
     (plan.timings(), out)
 }
 

@@ -5,7 +5,7 @@
 //! only effect of sorting is read coalescing; there is no SM variant
 //! (the paper argues its benefit would be limited).
 
-use crate::spread::{footprint, PtsRef, MAX_W};
+use crate::spread::{footprint, PtsRef, SpreadInputs, MAX_W};
 use gpu_sim::{Device, LaunchConfig, LaunchReport, Precision};
 use nufft_common::complex::Complex;
 use nufft_common::real::Real;
@@ -225,6 +225,47 @@ pub fn interp_sm<T: Real>(
         b.finish();
     }
     dev.launch_end(k)
+}
+
+/// Interpolate `bc` stacked fine grids at the registered points into
+/// `bc` stacked output vectors (the `ntransf` layout; see
+/// [`spread_batch`](crate::spread::spread_batch)). Interpolation has no
+/// SM variant, so the method only decides the point order: bin-sorted
+/// when a sort is available and the method wants it, user order
+/// otherwise.
+pub fn interp_batch<T: Real>(
+    dev: &Device,
+    kernel: &EsKernel,
+    fine: Shape,
+    method: crate::opts::Method,
+    threads_per_block: usize,
+    inputs: &SpreadInputs<'_, T>,
+    bc: usize,
+    grids: &[Complex<T>],
+    out: &mut [Complex<T>],
+) {
+    let m = inputs.pts.len();
+    let nf = fine.total();
+    assert!(grids.len() >= bc * nf && out.len() >= bc * m);
+    let (name, order): (&str, std::borrow::Cow<'_, [u32]>) = match (inputs.sort_perm, method) {
+        (_, crate::opts::Method::Gm) | (None, _) => {
+            ("interp_GM", (0..m as u32).collect::<Vec<u32>>().into())
+        }
+        (Some(perm), _) => ("interp_GM-sort", perm.into()),
+    };
+    for v in 0..bc {
+        interp_gm(
+            dev,
+            name,
+            kernel,
+            fine,
+            &inputs.pts,
+            &grids[v * nf..(v + 1) * nf],
+            &order,
+            &mut out[v * m..(v + 1) * m],
+            threads_per_block,
+        );
+    }
 }
 
 #[cfg(test)]

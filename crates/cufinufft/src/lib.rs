@@ -11,23 +11,39 @@
 //! * [`Method::Sm`] — shared-memory subproblems capped at `M_sub` points
 //!   (type 1 only; infeasible configurations fall back per Remark 2).
 //!
-//! The interface is the C library's plan lifecycle:
+//! The interface is the C library's plan lifecycle, built fluently:
 //!
 //! ```
-//! use cufinufft::{GpuOpts, Plan};
+//! use cufinufft::Plan;
 //! use gpu_sim::Device;
 //! use nufft_common::{gen_points, gen_strengths, Complex, PointDist, Shape, TransformType};
 //!
 //! let device = Device::v100();
-//! let mut plan = Plan::<f32>::new(
-//!     TransformType::Type1, &[64, 64], -1, 1e-5, GpuOpts::default(), &device,
-//! ).unwrap();
+//! let mut plan = Plan::<f32>::builder(TransformType::Type1, &[64, 64])
+//!     .eps(1e-5)
+//!     .iflag(-1)
+//!     .ntransf(4)
+//!     .build(&device)
+//!     .unwrap();
 //! let pts = gen_points::<f32>(PointDist::Rand, 2, 1000, plan.fine_grid_shape(), 7);
 //! plan.set_pts(&pts).unwrap();
+//!
+//! // one transform...
 //! let c = gen_strengths::<f32>(1000, 8);
 //! let mut f = vec![Complex::<f32>::ZERO; 64 * 64];
 //! plan.execute(&c, &mut f).unwrap();
-//! println!("exec time on simulated V100: {:.3} ms", plan.timings().exec() * 1e3);
+//!
+//! // ...or a stacked batch, pipelined on two streams: the sort is
+//! // reused, the FFT runs batched, and transfers hide under compute
+//! let batch = gen_strengths::<f32>(1000 * 4, 9);
+//! let mut out = vec![Complex::<f32>::ZERO; 64 * 64 * 4];
+//! plan.execute_many(&batch, &mut out).unwrap();
+//! let t = plan.timings();
+//! println!(
+//!     "batched exec: {:.3} ms wall, {:.3} ms hidden by overlap",
+//!     t.pipe_wall * 1e3,
+//!     t.overlap_saving() * 1e3,
+//! );
 //! ```
 
 pub mod bins;
@@ -39,5 +55,5 @@ pub mod type3;
 
 pub use nufft_common::TransformType;
 pub use opts::{default_bin_size, sm_feasible, sm_shared_bytes, GpuOpts, Method, ModeOrder};
-pub use plan::{GpuStageTimings, Plan};
+pub use plan::{BatchTimings, ChunkTiming, GpuStageTimings, Plan, PlanBuilder};
 pub use type3::GpuType3Plan;

@@ -47,6 +47,10 @@ pub struct GpuOpts {
     /// Shared-memory budget per block used in the SM feasibility check.
     /// The paper quotes 49 kB (Remark 2 uses 49000).
     pub shared_mem_budget: usize,
+    /// Maximum transforms per pipelined chunk in `execute_many`
+    /// (the C API's `maxbatchsize`); 0 picks a heuristic that yields
+    /// several chunks so transfers can hide under compute.
+    pub max_batch: usize,
 }
 
 impl Default for GpuOpts {
@@ -59,7 +63,34 @@ impl Default for GpuOpts {
             upsampfac: 2.0,
             threads_per_block: 128,
             shared_mem_budget: 49_000,
+            max_batch: 0,
         }
+    }
+}
+
+impl GpuOpts {
+    /// Reject option values that cannot produce a working plan. Called
+    /// by the plan builder before any device work happens, so bad
+    /// options surface as typed errors instead of downstream panics or
+    /// silent misbehaviour.
+    pub fn validate(&self) -> Result<()> {
+        if self.msub == 0 {
+            return Err(NufftError::BadMsub(self.msub));
+        }
+        if !(self.upsampfac > 1.0) {
+            return Err(NufftError::BadUpsampfac(self.upsampfac));
+        }
+        if let Some(b) = self.bin_size {
+            if b.iter().any(|&x| x == 0) {
+                return Err(NufftError::BadBinSize(b));
+            }
+        }
+        if self.threads_per_block == 0 {
+            return Err(NufftError::BadOptions(
+                "threads_per_block must be positive".into(),
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -172,5 +203,53 @@ mod tests {
     fn explicit_gm_passes_through() {
         let m = resolve_spread_method(Method::Gm, [16, 16, 2], 3, 9, 16, 49_000).unwrap();
         assert_eq!(m, Method::Gm);
+    }
+
+    #[test]
+    fn default_opts_validate() {
+        assert!(GpuOpts::default().validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_zero_msub() {
+        let opts = GpuOpts {
+            msub: 0,
+            ..GpuOpts::default()
+        };
+        assert_eq!(opts.validate(), Err(NufftError::BadMsub(0)));
+    }
+
+    #[test]
+    fn validate_rejects_non_upsampling_sigma() {
+        for bad in [1.0, 0.5, 0.0, -2.0, f64::NAN] {
+            let opts = GpuOpts {
+                upsampfac: bad,
+                ..GpuOpts::default()
+            };
+            match opts.validate() {
+                Err(NufftError::BadUpsampfac(s)) => {
+                    assert!(s == bad || (s.is_nan() && bad.is_nan()))
+                }
+                other => panic!("sigma {bad} accepted: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn validate_rejects_zero_bin_entry() {
+        let opts = GpuOpts {
+            bin_size: Some([32, 0, 1]),
+            ..GpuOpts::default()
+        };
+        assert_eq!(opts.validate(), Err(NufftError::BadBinSize([32, 0, 1])));
+    }
+
+    #[test]
+    fn validate_rejects_zero_threads() {
+        let opts = GpuOpts {
+            threads_per_block: 0,
+            ..GpuOpts::default()
+        };
+        assert!(matches!(opts.validate(), Err(NufftError::BadOptions(_))));
     }
 }

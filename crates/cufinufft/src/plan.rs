@@ -3,9 +3,9 @@
 //! `cufinufft_execute` / `cufinufft_destroy` (destroy = `Drop`).
 
 use crate::bins::{build_subproblems, gpu_bin_sort, GpuBinSort, Subproblem};
-use crate::interp::interp_gm;
+use crate::interp::interp_batch;
 use crate::opts::{default_bin_size, resolve_spread_method, GpuOpts, Method, ModeOrder};
-use crate::spread::{spread_gm, spread_sm, PtsRef};
+use crate::spread::{spread_batch, PtsRef, SpreadInputs};
 use gpu_sim::{Device, GpuBuffer, Precision};
 use nufft_common::complex::Complex;
 use nufft_common::error::{NufftError, Result};
@@ -23,6 +23,11 @@ use nufft_kernels::EsKernel;
 /// * "exec" = spread/interp + FFT + deconvolution (re-usable transform);
 /// * "total" = exec + point preprocessing (sort, subproblem setup);
 /// * "total+mem" = total + allocation + all host-device transfers.
+///
+/// Batched executions ([`Plan::execute_many`]) accumulate the per-vector
+/// stages over all transforms and additionally report the pipelined wall
+/// time of the data-movement + compute region (`pipe_wall`), which is
+/// shorter than the serial sum whenever transfers hid under compute.
 #[derive(Copy, Clone, Debug, Default)]
 pub struct GpuStageTimings {
     pub alloc: f64,
@@ -33,6 +38,12 @@ pub struct GpuStageTimings {
     pub fft: f64,
     pub deconv: f64,
     pub d2h: f64,
+    /// Number of transforms covered by the most recent execution (1 for
+    /// a plain `execute`; B for `execute_many`).
+    pub batches: usize,
+    /// Stream-scheduled wall time of the per-vector H2D -> spread/FFT/
+    /// deconv -> D2H region. Zero when the execution was serial.
+    pub pipe_wall: f64,
 }
 
 impl GpuStageTimings {
@@ -44,8 +55,71 @@ impl GpuStageTimings {
         self.exec() + self.sort
     }
 
+    /// Serial cost of the per-vector region: what the same work costs on
+    /// one stream with no overlap.
+    pub fn batch_serial(&self) -> f64 {
+        self.h2d_data + self.exec() + self.d2h
+    }
+
+    /// End-to-end cost including setup, allocation, and host-device
+    /// transfers. For pipelined batches the transfer/compute region is
+    /// priced at its overlapped wall time rather than the serial sum.
     pub fn total_mem(&self) -> f64 {
-        self.total() + self.alloc + self.h2d_pts + self.h2d_data + self.d2h
+        let region = if self.pipe_wall > 0.0 {
+            self.pipe_wall
+        } else {
+            self.batch_serial()
+        };
+        self.sort + self.alloc + self.h2d_pts + region
+    }
+
+    /// Time hidden by transfer/compute overlap in the last execution
+    /// (zero for serial executions).
+    pub fn overlap_saving(&self) -> f64 {
+        if self.pipe_wall > 0.0 {
+            (self.batch_serial() - self.pipe_wall).max(0.0)
+        } else {
+            0.0
+        }
+    }
+
+    /// Average exec-stage time per transform in the batch.
+    pub fn per_transform_exec(&self) -> f64 {
+        self.exec() / self.batches.max(1) as f64
+    }
+}
+
+/// Per-chunk detail of one [`Plan::execute_many`] call. Times are
+/// relative to the start of the pipelined region.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct ChunkTiming {
+    /// Transforms in this chunk.
+    pub ntransf: usize,
+    /// Serial durations of the chunk's three pipeline stages.
+    pub h2d: f64,
+    pub exec: f64,
+    pub d2h: f64,
+    /// Scheduled start of the chunk's H2D (relative seconds).
+    pub start: f64,
+    /// Scheduled completion of the chunk's D2H (relative seconds).
+    pub done: f64,
+}
+
+/// Batch-level report of the most recent [`Plan::execute_many`]:
+/// per-chunk schedules plus the serial-vs-pipelined totals.
+#[derive(Clone, Debug, Default)]
+pub struct BatchTimings {
+    pub chunks: Vec<ChunkTiming>,
+    /// Sum of all stage durations (one-stream cost).
+    pub serial: f64,
+    /// Overlapped wall time of the whole region.
+    pub wall: f64,
+}
+
+impl BatchTimings {
+    /// Time hidden by the two-stream pipeline.
+    pub fn saving(&self) -> f64 {
+        (self.serial - self.wall).max(0.0)
     }
 }
 
@@ -59,6 +133,27 @@ struct PtsState<T: Real> {
     subproblems: Vec<Subproblem>,
 }
 
+impl<T: Real> PtsState<T> {
+    /// Borrowed view handed to the spread/interp dispatchers
+    /// ([`spread_batch`] / [`interp_batch`]), so those can live next to
+    /// the kernels while the plan keeps ownership of the buffers.
+    fn inputs(&self) -> SpreadInputs<'_, T> {
+        SpreadInputs {
+            pts: PtsRef {
+                coords: [
+                    self.bufs[0].as_slice(),
+                    self.bufs[1].as_slice(),
+                    self.bufs[2].as_slice(),
+                ],
+                dim: self.dim,
+            },
+            sort_perm: self.sort.as_ref().map(|s| s.perm.as_slice()),
+            layout: self.sort.as_ref().map(|s| &s.layout),
+            subproblems: &self.subproblems,
+        }
+    }
+}
+
 /// A cuFINUFFT plan bound to a device.
 pub struct Plan<T: Real> {
     ttype: TransformType,
@@ -70,14 +165,23 @@ pub struct Plan<T: Real> {
     bin_size: [usize; 3],
     /// Resolved spreading method for type 1.
     spread_method: Method,
+    /// Declared batch width (builder hint); `execute_many` accepts any
+    /// width, but declaring it up front pre-sizes the batch grid.
+    ntransf: usize,
     dev: Device,
     fft: gpu_fft::GpuFftPlan<T>,
     corr: [Vec<f64>; 3],
     d_grid: GpuBuffer<Complex<T>>,
     d_in: GpuBuffer<Complex<T>>,
     d_out: GpuBuffer<Complex<T>>,
+    /// Chunk-sized staging buffers for `execute_many`, allocated lazily
+    /// (or up front when the builder declares `ntransf > 1`).
+    d_in_batch: Option<GpuBuffer<Complex<T>>>,
+    d_grid_batch: Option<GpuBuffer<Complex<T>>>,
+    d_out_batch: Option<GpuBuffer<Complex<T>>>,
     pts: Option<PtsState<T>>,
     timings: GpuStageTimings,
+    batch: BatchTimings,
 }
 
 fn oom(e: gpu_sim::OomError) -> NufftError {
@@ -87,11 +191,168 @@ fn oom(e: gpu_sim::OomError) -> NufftError {
     }
 }
 
+/// Fluent constructor for [`Plan`]: transform type and mode dimensions
+/// are mandatory, everything else has a sensible default.
+///
+/// ```ignore
+/// let plan = Plan::<f32>::builder(TransformType::Type1, &[64, 64])
+///     .eps(1e-5)
+///     .iflag(-1)
+///     .method(Method::Sm)
+///     .ntransf(8)
+///     .build(&dev)?;
+/// ```
+pub struct PlanBuilder<T: Real> {
+    ttype: TransformType,
+    modes: Vec<usize>,
+    eps: f64,
+    iflag: i32,
+    opts: GpuOpts,
+    ntransf: usize,
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Real> PlanBuilder<T> {
+    fn new(ttype: TransformType, modes: &[usize]) -> Self {
+        PlanBuilder {
+            ttype,
+            modes: modes.to_vec(),
+            eps: 1e-6,
+            // the conventional sign: type 1 accumulates with e^{-ikx},
+            // type 2 evaluates with e^{+ikx}
+            iflag: match ttype {
+                TransformType::Type1 => -1,
+                TransformType::Type2 => 1,
+            },
+            opts: GpuOpts::default(),
+            ntransf: 1,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Requested tolerance (default `1e-6`).
+    pub fn eps(mut self, eps: f64) -> Self {
+        self.eps = eps;
+        self
+    }
+
+    /// Sign of the imaginary unit in the exponential (normalized to ±1).
+    pub fn iflag(mut self, iflag: i32) -> Self {
+        self.iflag = iflag;
+        self
+    }
+
+    /// Replace the whole option block at once.
+    pub fn opts(mut self, opts: GpuOpts) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// Spreading method (default [`Method::Auto`]).
+    pub fn method(mut self, method: Method) -> Self {
+        self.opts.method = method;
+        self
+    }
+
+    /// Output mode ordering (default [`ModeOrder::Centered`]).
+    pub fn modeord(mut self, modeord: ModeOrder) -> Self {
+        self.opts.modeord = modeord;
+        self
+    }
+
+    /// Override the bin size used for sorting and SM subproblems.
+    pub fn bin_size(mut self, bin_size: [usize; 3]) -> Self {
+        self.opts.bin_size = Some(bin_size);
+        self
+    }
+
+    /// Maximum points per SM subproblem.
+    pub fn msub(mut self, msub: usize) -> Self {
+        self.opts.msub = msub;
+        self
+    }
+
+    /// Upsampling factor sigma (default 2.0).
+    pub fn upsampfac(mut self, upsampfac: f64) -> Self {
+        self.opts.upsampfac = upsampfac;
+        self
+    }
+
+    /// Threads per block for GM kernels.
+    pub fn threads_per_block(mut self, threads: usize) -> Self {
+        self.opts.threads_per_block = threads;
+        self
+    }
+
+    /// Shared-memory budget per block (bytes).
+    pub fn shared_mem_budget(mut self, bytes: usize) -> Self {
+        self.opts.shared_mem_budget = bytes;
+        self
+    }
+
+    /// Expected number of stacked transforms per `execute_many` call
+    /// (default 1). Declaring it pre-sizes the batch fine grid.
+    pub fn ntransf(mut self, ntransf: usize) -> Self {
+        self.ntransf = ntransf.max(1);
+        self
+    }
+
+    /// Cap on transforms per pipelined chunk (0 = choose automatically).
+    pub fn max_batch(mut self, max_batch: usize) -> Self {
+        self.opts.max_batch = max_batch;
+        self
+    }
+
+    /// Validate the options and build the plan.
+    pub fn build(self, dev: &Device) -> Result<Plan<T>> {
+        self.opts.validate()?;
+        let mut plan = Plan::build_impl(
+            self.ttype,
+            &self.modes,
+            self.iflag,
+            self.eps,
+            self.opts,
+            dev,
+        )?;
+        plan.ntransf = self.ntransf;
+        if self.ntransf > 1 {
+            // pre-size the batched fine grid so the first execute_many
+            // pays no allocation inside the pipelined region
+            let chunk = plan.chunk_size(self.ntransf);
+            let t0 = dev.clock();
+            plan.d_grid_batch = Some(
+                dev.alloc("fine_grid_batch", plan.fine.total() * chunk)
+                    .map_err(oom)?,
+            );
+            plan.timings.alloc += dev.clock() - t0;
+        }
+        Ok(plan)
+    }
+}
+
 impl<T: Real> Plan<T> {
+    /// Start building a plan; see [`PlanBuilder`].
+    pub fn builder(ttype: TransformType, modes: &[usize]) -> PlanBuilder<T> {
+        PlanBuilder::new(ttype, modes)
+    }
+
+    /// Create a plan from positional arguments.
+    #[deprecated(note = "use `Plan::builder(ttype, modes)...build(dev)` instead")]
+    pub fn new(
+        ttype: TransformType,
+        modes: &[usize],
+        iflag: i32,
+        eps: f64,
+        opts: GpuOpts,
+        dev: &Device,
+    ) -> Result<Self> {
+        Self::build_impl(ttype, modes, iflag, eps, opts, dev)
+    }
+
     /// Create a plan (cufinufft_makeplan). Fine-grid sizing, kernel
     /// selection and correction factors follow Sec. II; the spreading
     /// method is resolved per Sec. III / Remark 2.
-    pub fn new(
+    fn build_impl(
         ttype: TransformType,
         modes: &[usize],
         iflag: i32,
@@ -139,19 +400,40 @@ impl<T: Real> Plan<T> {
             opts,
             bin_size,
             spread_method,
+            ntransf: 1,
             dev: dev.clone(),
             fft,
             corr,
             d_grid,
             d_in,
             d_out,
+            d_in_batch: None,
+            d_grid_batch: None,
+            d_out_batch: None,
             pts: None,
             timings,
+            batch: BatchTimings::default(),
         })
+    }
+
+    /// Transforms per pipelined chunk for a batch of `b`: the explicit
+    /// `max_batch` option if set, else roughly a quarter of the batch so
+    /// the two-stream pipeline has several chunks to overlap.
+    fn chunk_size(&self, b: usize) -> usize {
+        if self.opts.max_batch > 0 {
+            self.opts.max_batch.min(b).max(1)
+        } else {
+            b.div_ceil(4).max(1)
+        }
     }
 
     pub fn modes(&self) -> Shape {
         self.modes
+    }
+
+    /// Which transform this plan computes.
+    pub fn transform_type(&self) -> TransformType {
+        self.ttype
     }
 
     pub fn fine_grid_shape(&self) -> Shape {
@@ -175,6 +457,18 @@ impl<T: Real> Plan<T> {
     /// `set_pts` + `execute` pair.
     pub fn timings(&self) -> GpuStageTimings {
         self.timings
+    }
+
+    /// Per-chunk schedule of the most recent [`Plan::execute_many`]
+    /// (empty before the first batched execution).
+    pub fn batch_timings(&self) -> &BatchTimings {
+        &self.batch
+    }
+
+    /// Batch width declared at build time (1 unless the builder's
+    /// `ntransf` was used).
+    pub fn ntransf(&self) -> usize {
+        self.ntransf
     }
 
     pub fn num_points(&self) -> usize {
@@ -294,6 +588,8 @@ impl<T: Real> Plan<T> {
         let t2 = self.dev.clock();
         self.dev.memcpy_dtoh(output, &self.d_out);
         self.timings.d2h = self.dev.clock() - t2;
+        self.timings.batches = 1;
+        self.timings.pipe_wall = 0.0;
         Ok(())
     }
 
@@ -334,6 +630,7 @@ impl<T: Real> Plan<T> {
         acc.alloc = self.timings.alloc;
         acc.h2d_pts = self.timings.h2d_pts;
         acc.sort = self.timings.sort;
+        acc.batches = n_transf;
         for t in 0..n_transf {
             self.execute(
                 &input[t * in_per..(t + 1) * in_per],
@@ -421,21 +718,54 @@ impl<T: Real> Plan<T> {
         Ok(())
     }
 
-    /// Batched execution with copy/compute overlap on two streams, the
-    /// real library's batching strategy: the host-device transfer of
-    /// batch `i+1` hides under the kernels of batch `i`. Returns the
-    /// pipelined wall-clock time; numerical results are identical to
-    /// [`Plan::execute_batch`].
+    /// Batched execution with copy/compute overlap; superseded by
+    /// [`Plan::execute_many`], which pipelines by default and reports
+    /// its schedule in [`Plan::batch_timings`].
+    #[deprecated(note = "use `execute_many`; batching now pipelines by default")]
     pub fn execute_batch_pipelined(
         &mut self,
         input: &[Complex<T>],
         output: &mut [Complex<T>],
         n_transf: usize,
     ) -> Result<f64> {
-        use gpu_sim::{EngineState, Stream, StreamOp};
         if n_transf == 0 {
             return Err(NufftError::BadOptions("n_transf must be positive".into()));
         }
+        let state = self.pts.as_ref().ok_or(NufftError::PointsNotSet)?;
+        let in_per = match self.ttype {
+            TransformType::Type1 => state.m,
+            TransformType::Type2 => self.modes.total(),
+        };
+        if input.len() != in_per * n_transf {
+            return Err(NufftError::LengthMismatch {
+                expected: in_per * n_transf,
+                got: input.len(),
+            });
+        }
+        self.execute_many(input, output)?;
+        Ok(self.timings.pipe_wall)
+    }
+
+    /// Execute `B` stacked transforms sharing the plan's points, with
+    /// `B` inferred from `input.len()` (the vectors are concatenated:
+    /// `input = [c_0, .., c_{B-1}]`, `output = [f_0, .., f_{B-1}]`).
+    ///
+    /// This is the library's batching strategy (the C API's `ntransf`):
+    /// the point sort and subproblem setup from `set_pts` are reused for
+    /// every vector, spreading/interpolation run per vector into a
+    /// chunk-sized batch grid, the FFT runs batched (`cufftPlanMany`
+    /// style), and each chunk's H2D -> compute -> D2H chain is scheduled
+    /// on one of two streams so the transfers of chunk `i+1` hide under
+    /// the kernels of chunk `i`. Results are bitwise identical to `B`
+    /// sequential [`Plan::execute`] calls; [`Plan::timings`] reports the
+    /// accumulated stages plus the pipelined wall (`pipe_wall`), and
+    /// [`Plan::batch_timings`] the per-chunk schedule.
+    pub fn execute_many(
+        &mut self,
+        input: &[Complex<T>],
+        output: &mut [Complex<T>],
+    ) -> Result<()> {
+        use gpu_sim::{sync_streams, EngineState, Stream};
         let state = self.pts.as_ref().ok_or(NufftError::PointsNotSet)?;
         let m = state.m;
         let n = self.modes.total();
@@ -443,96 +773,252 @@ impl<T: Real> Plan<T> {
             TransformType::Type1 => (m, n),
             TransformType::Type2 => (n, m),
         };
-        if input.len() != in_per * n_transf || output.len() != out_per * n_transf {
+        if in_per == 0 {
+            return Err(NufftError::BadOptions(
+                "execute_many cannot infer the batch size from empty transforms".into(),
+            ));
+        }
+        if input.is_empty() || input.len() % in_per != 0 {
             return Err(NufftError::LengthMismatch {
-                expected: in_per * n_transf,
+                expected: in_per,
                 got: input.len(),
             });
         }
-        // snapshot the clock: the batch members run serially below (for
-        // exact numerics and per-stage durations), and the stream model
-        // re-times those durations with copy/compute overlap, all
-        // relative to this base
+        let b = input.len() / in_per;
+        if output.len() != out_per * b {
+            return Err(NufftError::LengthMismatch {
+                expected: out_per * b,
+                got: output.len(),
+            });
+        }
+
+        // stage buffers sized for one chunk, (re)allocated outside the
+        // pipelined region so the schedule holds only transfers + compute
+        let chunk = self.chunk_size(b);
+        let nf = self.fine.total();
+        let t0 = self.dev.clock();
+        let undersized =
+            |buf: &Option<GpuBuffer<Complex<T>>>, len: usize| buf.as_ref().map_or(true, |g| g.len() < len);
+        if undersized(&self.d_in_batch, in_per * chunk) {
+            self.d_in_batch = Some(self.dev.alloc("in_batch", in_per * chunk).map_err(oom)?);
+        }
+        if undersized(&self.d_grid_batch, nf * chunk) {
+            self.d_grid_batch = Some(self.dev.alloc("fine_grid_batch", nf * chunk).map_err(oom)?);
+        }
+        if undersized(&self.d_out_batch, out_per * chunk) {
+            self.d_out_batch = Some(self.dev.alloc("out_batch", out_per * chunk).map_err(oom)?);
+        }
+        let alloc_extra = self.dev.clock() - t0;
+        let mut bin = self.d_in_batch.take().expect("allocated above");
+        let mut bgrid = self.d_grid_batch.take().expect("allocated above");
+        let mut bout = self.d_out_batch.take().expect("allocated above");
+
+        // compute is priced on the serial device clock (the SM array
+        // serializes across streams anyway) and its measured duration is
+        // queued on the chunk's stream; async copies are queued with
+        // their analytic duration without touching the clock. The final
+        // sync advances the clock to the schedule's end, so the region's
+        // clock delta IS the pipelined wall.
         let base = self.dev.clock();
         let mut engines = EngineState::default();
         let mut streams = [Stream::new(&self.dev), Stream::new(&self.dev)];
-        for t in 0..n_transf {
-            self.execute(
-                &input[t * in_per..(t + 1) * in_per],
-                &mut output[t * out_per..(t + 1) * out_per],
-            )?;
-            let lt = self.timings;
-            // queue the measured durations on alternating streams
-            let s = &mut streams[t % 2];
-            s.enqueue(&mut engines, StreamOp::TransferH2D, lt.h2d_data);
-            s.enqueue(&mut engines, StreamOp::Compute, lt.exec());
-            s.enqueue(&mut engines, StreamOp::TransferD2H, lt.d2h);
+        let mut chunks: Vec<ChunkTiming> = Vec::new();
+        let mut stage = GpuStageTimings::default();
+        let mut off = 0;
+        while off < b {
+            let bc = chunk.min(b - off);
+            let src = &input[off * in_per..(off + bc) * in_per];
+            let h2d_dur = self.dev.transfer_time(std::mem::size_of_val(src));
+            let s = &mut streams[chunks.len() % 2];
+            let h2d_done = s.memcpy_htod(&self.dev, &mut engines, &mut bin, src);
+            let c0 = self.dev.clock();
+            match self.ttype {
+                TransformType::Type1 => {
+                    self.exec_type1_chunk(bc, &bin, &mut bgrid, &mut bout, &mut stage)
+                }
+                TransformType::Type2 => {
+                    self.exec_type2_chunk(bc, &bin, &mut bgrid, &mut bout, &mut stage)
+                }
+            }
+            let t_exec = self.dev.clock() - c0;
+            let s = &mut streams[chunks.len() % 2];
+            s.compute(&mut engines, t_exec);
+            let dst = &mut output[off * out_per..(off + bc) * out_per];
+            let d2h_dur = self.dev.transfer_time(std::mem::size_of_val(dst));
+            let d2h_done = s.memcpy_dtoh(&self.dev, &mut engines, dst, &bout);
+            chunks.push(ChunkTiming {
+                ntransf: bc,
+                h2d: h2d_dur,
+                exec: t_exec,
+                d2h: d2h_dur,
+                start: (h2d_done - h2d_dur) - base,
+                done: d2h_done - base,
+            });
+            stage.h2d_data += h2d_dur;
+            stage.d2h += d2h_dur;
+            off += bc;
         }
-        let wall = streams.iter().map(|s| s.head()).fold(base, f64::max) - base;
-        Ok(wall)
+        let wall = sync_streams(&self.dev, &[&streams[0], &streams[1]]) - base;
+        self.d_in_batch = Some(bin);
+        self.d_grid_batch = Some(bgrid);
+        self.d_out_batch = Some(bout);
+
+        let serial: f64 = chunks.iter().map(|c| c.h2d + c.exec + c.d2h).sum();
+        self.batch = BatchTimings {
+            chunks,
+            serial,
+            wall,
+        };
+        let prev = self.timings;
+        self.timings = GpuStageTimings {
+            alloc: prev.alloc + alloc_extra,
+            h2d_pts: prev.h2d_pts,
+            sort: prev.sort,
+            h2d_data: stage.h2d_data,
+            spread_interp: stage.spread_interp,
+            fft: stage.fft,
+            deconv: stage.deconv,
+            d2h: stage.d2h,
+            batches: b,
+            pipe_wall: wall,
+        };
+        Ok(())
+    }
+
+    /// One chunk of a batched type-1 execution: zero the batch grid,
+    /// spread each vector into its own fine grid, run one batched FFT,
+    /// and deconvolve each vector. Per vector this performs exactly the
+    /// operations of [`Plan::execute`]'s type-1 path, so results are
+    /// bitwise identical.
+    fn exec_type1_chunk(
+        &self,
+        bc: usize,
+        d_in: &GpuBuffer<Complex<T>>,
+        d_grid: &mut GpuBuffer<Complex<T>>,
+        d_out: &mut GpuBuffer<Complex<T>>,
+        stage: &mut GpuStageTimings,
+    ) {
+        let state = self.pts.as_ref().expect("points checked");
+        let cb = std::mem::size_of::<Complex<T>>();
+        let nf = self.fine.total();
+        let m = state.m;
+        let n = self.modes.total();
+        let t0 = self.dev.clock();
+        d_grid.as_mut_slice()[..bc * nf]
+            .iter_mut()
+            .for_each(|z| *z = Complex::ZERO);
+        self.dev
+            .bulk_op("memset_grid_batch", 0, bc * nf * cb, 0.0, Self::precision());
+        spread_batch(
+            &self.dev,
+            &self.kernel,
+            self.fine,
+            self.spread_method,
+            self.opts.threads_per_block,
+            &state.inputs(),
+            bc,
+            &d_in.as_slice()[..bc * m],
+            &mut d_grid.as_mut_slice()[..bc * nf],
+        );
+        stage.spread_interp += self.dev.clock() - t0;
+        let t1 = self.dev.clock();
+        self.fft
+            .execute_many(&self.dev, d_grid, bc, Direction::from_sign(self.iflag));
+        stage.fft += self.dev.clock() - t1;
+        let t2 = self.dev.clock();
+        for v in 0..bc {
+            deconv_type1(
+                &self.corr,
+                self.modes,
+                self.fine,
+                self.opts.modeord,
+                &d_grid.as_slice()[v * nf..(v + 1) * nf],
+                &mut d_out.as_mut_slice()[v * n..(v + 1) * n],
+            );
+        }
+        self.dev.bulk_op(
+            "deconvolve_batch",
+            bc * n * cb,
+            bc * n * cb,
+            (bc * n) as f64 * 8.0,
+            Self::precision(),
+        );
+        stage.deconv += self.dev.clock() - t2;
+    }
+
+    /// One chunk of a batched type-2 execution; see
+    /// [`Plan::exec_type1_chunk`].
+    fn exec_type2_chunk(
+        &self,
+        bc: usize,
+        d_in: &GpuBuffer<Complex<T>>,
+        d_grid: &mut GpuBuffer<Complex<T>>,
+        d_out: &mut GpuBuffer<Complex<T>>,
+        stage: &mut GpuStageTimings,
+    ) {
+        let state = self.pts.as_ref().expect("points checked");
+        let cb = std::mem::size_of::<Complex<T>>();
+        let nf = self.fine.total();
+        let m = state.m;
+        let n = self.modes.total();
+        let t0 = self.dev.clock();
+        d_grid.as_mut_slice()[..bc * nf]
+            .iter_mut()
+            .for_each(|z| *z = Complex::ZERO);
+        self.dev
+            .bulk_op("memset_grid_batch", 0, bc * nf * cb, 0.0, Self::precision());
+        for v in 0..bc {
+            deconv_type2(
+                &self.corr,
+                self.modes,
+                self.fine,
+                self.opts.modeord,
+                &d_in.as_slice()[v * n..(v + 1) * n],
+                &mut d_grid.as_mut_slice()[v * nf..(v + 1) * nf],
+            );
+        }
+        self.dev.bulk_op(
+            "precorrect_batch",
+            bc * n * cb,
+            bc * n * cb,
+            (bc * n) as f64 * 8.0,
+            Self::precision(),
+        );
+        stage.deconv += self.dev.clock() - t0;
+        let t1 = self.dev.clock();
+        self.fft
+            .execute_many(&self.dev, d_grid, bc, Direction::from_sign(self.iflag));
+        stage.fft += self.dev.clock() - t1;
+        let t2 = self.dev.clock();
+        interp_batch(
+            &self.dev,
+            &self.kernel,
+            self.fine,
+            self.spread_method,
+            self.opts.threads_per_block,
+            &state.inputs(),
+            bc,
+            &d_grid.as_slice()[..bc * nf],
+            &mut d_out.as_mut_slice()[..bc * m],
+        );
+        stage.spread_interp += self.dev.clock() - t2;
     }
 
     /// Dispatch the configured spreading method from `d_in` into
     /// `d_grid` (the grid must already be zeroed and priced).
     fn run_spread(&mut self) {
         let state = self.pts.as_ref().expect("points checked");
-        let pr = PtsRef {
-            coords: [
-                state.bufs[0].as_slice(),
-                state.bufs[1].as_slice(),
-                state.bufs[2].as_slice(),
-            ],
-            dim: state.dim,
-        };
-        let strengths = self.d_in.as_slice();
-        let grid = self.d_grid.as_mut_slice();
-        match self.spread_method {
-            Method::Gm => {
-                let natural: Vec<u32> = (0..state.m as u32).collect();
-                spread_gm(
-                    &self.dev,
-                    "spread_GM",
-                    &self.kernel,
-                    self.fine,
-                    &pr,
-                    strengths,
-                    &natural,
-                    grid,
-                    self.opts.threads_per_block,
-                    1.0,
-                );
-            }
-            Method::GmSort => {
-                let sort = state.sort.as_ref().expect("GM-sort requires sorting");
-                spread_gm(
-                    &self.dev,
-                    "spread_GM-sort",
-                    &self.kernel,
-                    self.fine,
-                    &pr,
-                    strengths,
-                    &sort.perm,
-                    grid,
-                    self.opts.threads_per_block,
-                    1.0,
-                );
-            }
-            Method::Sm => {
-                let sort = state.sort.as_ref().expect("SM requires sorting");
-                spread_sm(
-                    &self.dev,
-                    &self.kernel,
-                    self.fine,
-                    &pr,
-                    strengths,
-                    &sort.perm,
-                    &sort.layout,
-                    &state.subproblems,
-                    grid,
-                );
-            }
-            Method::Auto => unreachable!("method resolved at plan time"),
-        }
+        spread_batch(
+            &self.dev,
+            &self.kernel,
+            self.fine,
+            self.spread_method,
+            self.opts.threads_per_block,
+            &state.inputs(),
+            1,
+            self.d_in.as_slice(),
+            self.d_grid.as_mut_slice(),
+        );
     }
 
     fn exec_type1(&mut self) -> Result<()> {
@@ -608,44 +1094,55 @@ impl<T: Real> Plan<T> {
     /// Dispatch interpolation from `d_grid` into `d_out`.
     fn run_interp(&mut self) {
         let state = self.pts.as_ref().expect("points checked");
-        let pr = PtsRef {
-            coords: [
-                state.bufs[0].as_slice(),
-                state.bufs[1].as_slice(),
-                state.bufs[2].as_slice(),
-            ],
-            dim: state.dim,
-        };
-        let out = self.d_out.as_mut_slice();
-        match (&state.sort, self.spread_method) {
-            (_, Method::Gm) | (None, _) => {
-                let natural: Vec<u32> = (0..state.m as u32).collect();
-                interp_gm(
-                    &self.dev,
-                    "interp_GM",
-                    &self.kernel,
-                    self.fine,
-                    &pr,
-                    self.d_grid.as_slice(),
-                    &natural,
-                    out,
-                    self.opts.threads_per_block,
-                );
-            }
-            (Some(sort), _) => {
-                interp_gm(
-                    &self.dev,
-                    "interp_GM-sort",
-                    &self.kernel,
-                    self.fine,
-                    &pr,
-                    self.d_grid.as_slice(),
-                    &sort.perm,
-                    out,
-                    self.opts.threads_per_block,
-                );
-            }
-        }
+        interp_batch(
+            &self.dev,
+            &self.kernel,
+            self.fine,
+            self.spread_method,
+            self.opts.threads_per_block,
+            &state.inputs(),
+            1,
+            self.d_grid.as_slice(),
+            self.d_out.as_mut_slice(),
+        );
+    }
+}
+
+impl<T: Real> nufft_common::NufftPlan<T> for Plan<T> {
+    fn transform_type(&self) -> TransformType {
+        self.ttype
+    }
+
+    fn modes(&self) -> Shape {
+        self.modes
+    }
+
+    fn num_points(&self) -> usize {
+        Plan::num_points(self)
+    }
+
+    fn set_points(&mut self, pts: &Points<T>) -> Result<()> {
+        self.set_pts(pts)
+    }
+
+    fn execute(&mut self, input: &[Complex<T>], output: &mut [Complex<T>]) -> Result<()> {
+        Plan::execute(self, input, output)
+    }
+
+    fn execute_many(&mut self, input: &[Complex<T>], output: &mut [Complex<T>]) -> Result<()> {
+        Plan::execute_many(self, input, output)
+    }
+
+    fn exec_time(&self) -> f64 {
+        self.timings.exec()
+    }
+
+    fn total_time(&self) -> f64 {
+        self.timings.total_mem()
+    }
+
+    fn backend_name(&self) -> &'static str {
+        "cufinufft"
     }
 }
 

@@ -14,6 +14,7 @@
 //!   load balance.
 
 use crate::bins::{BinLayout, Subproblem};
+use crate::opts::Method;
 use gpu_sim::{Device, LaunchConfig, LaunchReport, Precision};
 use nufft_common::complex::Complex;
 use nufft_common::real::Real;
@@ -341,6 +342,98 @@ pub fn spread_sm<T: Real>(
         b.finish();
     }
     dev.launch_end(k)
+}
+
+/// Borrowed view of a plan's registered points plus the sort artifacts
+/// the spreading methods consume. The plan keeps ownership of the
+/// device buffers; batched execution builds one view per chunk and
+/// slices the stacked strength/grid buffers per vector.
+#[derive(Copy, Clone)]
+pub struct SpreadInputs<'a, T> {
+    pub pts: PtsRef<'a, T>,
+    /// Bin-sorted point order (present for GM-sort and SM).
+    pub sort_perm: Option<&'a [u32]>,
+    /// Bin layout backing `sort_perm` (needed by SM).
+    pub layout: Option<&'a BinLayout>,
+    /// SM subproblem list (empty unless the SM method is active).
+    pub subproblems: &'a [Subproblem],
+}
+
+/// Spread `bc` stacked strength vectors into `bc` stacked fine grids
+/// with the given method. Vector `v` occupies `strengths[v*M..]` and
+/// `grids[v*nf..]` (the `ntransf` layout). The point order is resolved
+/// once per call and every vector launches the same kernel as the
+/// single-transform path, so results are bitwise identical to `bc`
+/// separate dispatches.
+#[allow(clippy::too_many_arguments)]
+pub fn spread_batch<T: Real>(
+    dev: &Device,
+    kernel: &EsKernel,
+    fine: Shape,
+    method: Method,
+    threads_per_block: usize,
+    inputs: &SpreadInputs<'_, T>,
+    bc: usize,
+    strengths: &[Complex<T>],
+    grids: &mut [Complex<T>],
+) {
+    let m = inputs.pts.len();
+    let nf = fine.total();
+    assert!(strengths.len() >= bc * m && grids.len() >= bc * nf);
+    match method {
+        Method::Gm => {
+            let natural: Vec<u32> = (0..m as u32).collect();
+            for v in 0..bc {
+                spread_gm(
+                    dev,
+                    "spread_GM",
+                    kernel,
+                    fine,
+                    &inputs.pts,
+                    &strengths[v * m..(v + 1) * m],
+                    &natural,
+                    &mut grids[v * nf..(v + 1) * nf],
+                    threads_per_block,
+                    1.0,
+                );
+            }
+        }
+        Method::GmSort => {
+            let perm = inputs.sort_perm.expect("GM-sort requires sorting");
+            for v in 0..bc {
+                spread_gm(
+                    dev,
+                    "spread_GM-sort",
+                    kernel,
+                    fine,
+                    &inputs.pts,
+                    &strengths[v * m..(v + 1) * m],
+                    perm,
+                    &mut grids[v * nf..(v + 1) * nf],
+                    threads_per_block,
+                    1.0,
+                );
+            }
+        }
+        Method::Sm => {
+            let perm = inputs.sort_perm.expect("SM requires sorting");
+            let layout = inputs.layout.expect("SM requires a bin layout");
+            for v in 0..bc {
+                spread_sm(
+                    dev,
+                    kernel,
+                    fine,
+                    &inputs.pts,
+                    &strengths[v * m..(v + 1) * m],
+                    perm,
+                    layout,
+                    inputs.subproblems,
+                    &mut grids[v * nf..(v + 1) * nf],
+                );
+            }
+        }
+        Method::Auto => unreachable!("method resolved at plan time"),
+    }
 }
 
 #[cfg(test)]

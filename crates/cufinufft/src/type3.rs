@@ -164,14 +164,11 @@ impl<T: Real> GpuType3Plan<T> {
                 .map(|&v| T::from_f64(gamma[i] * h * v.to_f64()))
                 .collect();
         }
-        let mut inner = Plan::<T>::new(
-            TransformType::Type2,
-            &nfs,
-            self.iflag,
-            self.eps,
-            self.opts.clone(),
-            &self.dev,
-        )?;
+        let mut inner = Plan::<T>::builder(TransformType::Type2, &nfs)
+            .iflag(self.iflag)
+            .eps(self.eps)
+            .opts(self.opts.clone())
+            .build(&self.dev)?;
         inner.set_pts(&tau)?;
         // per-target corrections
         let n_targets = s.len();

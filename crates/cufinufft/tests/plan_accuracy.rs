@@ -18,9 +18,11 @@ fn run_t1<T: Real>(
     seed: u64,
 ) -> (Vec<Complex<T>>, Points<T>, Vec<Complex<T>>) {
     let dev = Device::v100();
-    let mut opts = GpuOpts::default();
-    opts.method = method;
-    let mut plan = Plan::<T>::new(TransformType::Type1, modes, -1, eps, opts, &dev).unwrap();
+    let mut plan = Plan::<T>::builder(TransformType::Type1, modes)
+        .eps(eps)
+        .method(method)
+        .build(&dev)
+        .unwrap();
     let pts: Points<T> = gen_points(dist, modes.len(), m, plan.fine_grid_shape(), seed);
     let cs = gen_strengths::<T>(m, seed + 1);
     plan.set_pts(&pts).unwrap();
@@ -79,9 +81,10 @@ fn type2_2d_and_3d_meet_tolerance() {
     for (modes, m) in [(vec![22usize, 18], 350), (vec![8usize, 10, 12], 250)] {
         let dev = Device::v100();
         let shape = Shape::from_slice(&modes);
-        let mut plan =
-            Plan::<f64>::new(TransformType::Type2, &modes, 1, 1e-9, GpuOpts::default(), &dev)
-                .unwrap();
+        let mut plan = Plan::<f64>::builder(TransformType::Type2, &modes)
+            .eps(1e-9)
+            .build(&dev)
+            .unwrap();
         let pts: Points<f64> = gen_points(PointDist::Rand, modes.len(), m, plan.fine_grid_shape(), 40);
         let f = gen_coeffs::<f64>(shape.total(), 41);
         plan.set_pts(&pts).unwrap();
@@ -98,8 +101,10 @@ fn gpu_agrees_with_cpu_library() {
     let modes = [30usize, 26];
     let shape = Shape::from_slice(&modes);
     let dev = Device::v100();
-    let mut gplan =
-        Plan::<f64>::new(TransformType::Type1, &modes, -1, 1e-10, GpuOpts::default(), &dev).unwrap();
+    let mut gplan = Plan::<f64>::builder(TransformType::Type1, &modes)
+        .eps(1e-10)
+        .build(&dev)
+        .unwrap();
     let mut cplan = finufft_cpu::Plan::<f64>::new(
         finufft_cpu::TransformType::Type1,
         &modes,
@@ -133,26 +138,16 @@ fn single_precision_works() {
 fn sm_in_3d_double_high_accuracy_falls_back(){
     // Remark 2: Auto must resolve to GM-sort for 3D f64 at w > 8
     let dev = Device::v100();
-    let plan = Plan::<f64>::new(
-        TransformType::Type1,
-        &[16, 16, 16],
-        -1,
-        1e-9,
-        GpuOpts::default(),
-        &dev,
-    )
-    .unwrap();
+    let plan = Plan::<f64>::builder(TransformType::Type1, &[16, 16, 16])
+        .eps(1e-9)
+        .build(&dev)
+        .unwrap();
     assert_eq!(plan.spread_method(), Method::GmSort);
     // and in 3D single precision SM remains available
-    let plan32 = Plan::<f32>::new(
-        TransformType::Type1,
-        &[16, 16, 16],
-        -1,
-        1e-5,
-        GpuOpts::default(),
-        &dev,
-    )
-    .unwrap();
+    let plan32 = Plan::<f32>::builder(TransformType::Type1, &[16, 16, 16])
+        .eps(1e-5)
+        .build(&dev)
+        .unwrap();
     assert_eq!(plan32.spread_method(), Method::Sm);
 }
 
@@ -160,8 +155,10 @@ fn sm_in_3d_double_high_accuracy_falls_back(){
 fn plan_reuse_accumulates_exec_only() {
     let dev = Device::v100();
     let modes = [64usize, 64];
-    let mut plan =
-        Plan::<f32>::new(TransformType::Type1, &modes, -1, 1e-5, GpuOpts::default(), &dev).unwrap();
+    let mut plan = Plan::<f32>::builder(TransformType::Type1, &modes)
+        .eps(1e-5)
+        .build(&dev)
+        .unwrap();
     let pts: Points<f32> = gen_points(PointDist::Rand, 2, 5000, plan.fine_grid_shape(), 70);
     plan.set_pts(&pts).unwrap();
     let t_sort_first = plan.timings().sort;
@@ -185,9 +182,10 @@ fn device_memory_tracking_reports_plan_footprint() {
     let before = dev.mem_used();
     {
         let modes = [64usize, 64];
-        let mut plan =
-            Plan::<f32>::new(TransformType::Type1, &modes, -1, 1e-5, GpuOpts::default(), &dev)
-                .unwrap();
+        let mut plan = Plan::<f32>::builder(TransformType::Type1, &modes)
+            .eps(1e-5)
+            .build(&dev)
+            .unwrap();
         // fine grid is 128x128 complex f32 = 128 KiB at least
         assert!(dev.mem_used() >= before + 128 * 128 * 8);
         let pts: Points<f32> = gen_points(PointDist::Rand, 2, 10_000, plan.fine_grid_shape(), 80);
@@ -203,8 +201,10 @@ fn error_paths() {
     use nufft_common::NufftError;
     let dev = Device::v100();
     // execute before set_pts
-    let mut plan =
-        Plan::<f32>::new(TransformType::Type1, &[8, 8], -1, 1e-4, GpuOpts::default(), &dev).unwrap();
+    let mut plan = Plan::<f32>::builder(TransformType::Type1, &[8, 8])
+        .eps(1e-4)
+        .build(&dev)
+        .unwrap();
     let mut out = vec![Complex::<f32>::ZERO; 64];
     assert!(matches!(
         plan.execute(&[], &mut out),
@@ -212,19 +212,24 @@ fn error_paths() {
     ));
     // eps below single-precision limit
     assert!(matches!(
-        Plan::<f32>::new(TransformType::Type1, &[8, 8], -1, 1e-9, GpuOpts::default(), &dev),
+        Plan::<f32>::builder(TransformType::Type1, &[8, 8])
+            .eps(1e-9)
+            .build(&dev),
         Err(NufftError::EpsTooSmall { .. })
     ));
     // explicit SM for an infeasible config
-    let mut opts = GpuOpts::default();
-    opts.method = Method::Sm;
     assert!(matches!(
-        Plan::<f64>::new(TransformType::Type1, &[16, 16, 16], -1, 1e-9, opts, &dev),
+        Plan::<f64>::builder(TransformType::Type1, &[16, 16, 16])
+            .eps(1e-9)
+            .method(Method::Sm)
+            .build(&dev),
         Err(NufftError::MethodUnavailable(_))
     ));
     // wrong point dimensionality
-    let mut plan =
-        Plan::<f32>::new(TransformType::Type1, &[8, 8], -1, 1e-4, GpuOpts::default(), &dev).unwrap();
+    let mut plan = Plan::<f32>::builder(TransformType::Type1, &[8, 8])
+        .eps(1e-4)
+        .build(&dev)
+        .unwrap();
     let pts1d = Points::<f32> {
         coords: [vec![0.0], vec![], vec![]],
         dim: 1,
@@ -238,9 +243,11 @@ fn both_iflag_signs() {
     let shape = Shape::from_slice(&modes);
     for iflag in [-1i32, 1] {
         let dev = Device::v100();
-        let mut plan =
-            Plan::<f64>::new(TransformType::Type1, &modes, iflag, 1e-9, GpuOpts::default(), &dev)
-                .unwrap();
+        let mut plan = Plan::<f64>::builder(TransformType::Type1, &modes)
+            .eps(1e-9)
+            .iflag(iflag)
+            .build(&dev)
+            .unwrap();
         let pts: Points<f64> = gen_points(PointDist::Rand, 2, 200, plan.fine_grid_shape(), 90);
         let cs = gen_strengths::<f64>(200, 91);
         plan.set_pts(&pts).unwrap();
@@ -256,8 +263,10 @@ fn batched_execute_matches_sequential() {
     let modes = [18usize, 16];
     let shape = Shape::from_slice(&modes);
     let dev = Device::v100();
-    let mut plan =
-        Plan::<f64>::new(TransformType::Type1, &modes, -1, 1e-9, GpuOpts::default(), &dev).unwrap();
+    let mut plan = Plan::<f64>::builder(TransformType::Type1, &modes)
+        .eps(1e-9)
+        .build(&dev)
+        .unwrap();
     let m = 250;
     let pts: Points<f64> = gen_points(PointDist::Rand, 2, m, plan.fine_grid_shape(), 61);
     plan.set_pts(&pts).unwrap();
@@ -294,8 +303,10 @@ fn one_dimensional_gpu_transforms() {
     let modes = [96usize];
     let shape = Shape::from_slice(&modes);
     let dev = Device::v100();
-    let mut p1 =
-        Plan::<f64>::new(TransformType::Type1, &modes, -1, 1e-10, GpuOpts::default(), &dev).unwrap();
+    let mut p1 = Plan::<f64>::builder(TransformType::Type1, &modes)
+        .eps(1e-10)
+        .build(&dev)
+        .unwrap();
     let pts: Points<f64> = gen_points(PointDist::Rand, 1, 500, p1.fine_grid_shape(), 90);
     let cs = gen_strengths::<f64>(500, 91);
     p1.set_pts(&pts).unwrap();
@@ -304,8 +315,10 @@ fn one_dimensional_gpu_transforms() {
     let want = type1_direct(&pts, &cs, shape, -1);
     assert!(rel_l2(&out, &want) < 1e-9, "{}", rel_l2(&out, &want));
 
-    let mut p2 =
-        Plan::<f64>::new(TransformType::Type2, &modes, 1, 1e-10, GpuOpts::default(), &dev).unwrap();
+    let mut p2 = Plan::<f64>::builder(TransformType::Type2, &modes)
+        .eps(1e-10)
+        .build(&dev)
+        .unwrap();
     p2.set_pts(&pts).unwrap();
     let f = gen_coeffs::<f64>(shape.total(), 92);
     let mut out2 = vec![Complex::<f64>::ZERO; 500];
@@ -321,10 +334,11 @@ fn fft_mode_ordering_is_a_permutation_of_centered() {
     let shape = Shape::from_slice(&modes);
     let dev = Device::v100();
     let run = |ord: ModeOrder| {
-        let mut opts = GpuOpts::default();
-        opts.modeord = ord;
-        let mut plan =
-            Plan::<f64>::new(TransformType::Type1, &modes, -1, 1e-9, opts, &dev).unwrap();
+        let mut plan = Plan::<f64>::builder(TransformType::Type1, &modes)
+            .eps(1e-9)
+            .modeord(ord)
+            .build(&dev)
+            .unwrap();
         let pts: Points<f64> = gen_points(PointDist::Rand, 2, 150, plan.fine_grid_shape(), 95);
         let cs = gen_strengths::<f64>(150, 96);
         plan.set_pts(&pts).unwrap();
@@ -347,9 +361,11 @@ fn fft_mode_ordering_is_a_permutation_of_centered() {
     }
     // and type 2 accepts FFT-ordered input consistently: a transform
     // round trip through fft-ordered coefficients matches direct
-    let mut opts = GpuOpts::default();
-    opts.modeord = ModeOrder::Fft;
-    let mut p2 = Plan::<f64>::new(TransformType::Type2, &modes, 1, 1e-9, opts, &dev).unwrap();
+    let mut p2 = Plan::<f64>::builder(TransformType::Type2, &modes)
+        .eps(1e-9)
+        .modeord(ModeOrder::Fft)
+        .build(&dev)
+        .unwrap();
     let pts: Points<f64> = gen_points(PointDist::Rand, 2, 120, p2.fine_grid_shape(), 97);
     p2.set_pts(&pts).unwrap();
     // build fft-ordered coefficients from a centered reference vector
@@ -372,8 +388,9 @@ fn fft_mode_ordering_is_a_permutation_of_centered() {
 fn degenerate_sizes_are_handled() {
     let dev = Device::v100();
     // a single output mode: f_0 = sum of strengths
-    let mut p =
-        Plan::<f64>::new(TransformType::Type1, &[1, 1], -1, 1e-6, GpuOpts::default(), &dev).unwrap();
+    let mut p = Plan::<f64>::builder(TransformType::Type1, &[1, 1])
+        .build(&dev)
+        .unwrap();
     let pts = Points::<f64> {
         coords: [vec![0.5, -1.0], vec![0.3, 0.7], vec![]],
         dim: 2,
@@ -389,14 +406,16 @@ fn degenerate_sizes_are_handled() {
         coords: [vec![], vec![], vec![]],
         dim: 2,
     };
-    let mut p =
-        Plan::<f64>::new(TransformType::Type1, &[8, 8], -1, 1e-6, GpuOpts::default(), &dev).unwrap();
+    let mut p = Plan::<f64>::builder(TransformType::Type1, &[8, 8])
+        .build(&dev)
+        .unwrap();
     p.set_pts(&empty).unwrap();
     let mut out = vec![Complex::<f64>::ZERO; 64];
     p.execute(&[], &mut out).unwrap();
     assert!(out.iter().all(|z| z.re == 0.0 && z.im == 0.0));
-    let mut p =
-        Plan::<f64>::new(TransformType::Type2, &[8, 8], 1, 1e-6, GpuOpts::default(), &dev).unwrap();
+    let mut p = Plan::<f64>::builder(TransformType::Type2, &[8, 8])
+        .build(&dev)
+        .unwrap();
     p.set_pts(&empty).unwrap();
     let f = vec![Complex::new(1.0, 0.0); 64];
     let mut out2: Vec<Complex<f64>> = vec![];
@@ -407,28 +426,45 @@ fn degenerate_sizes_are_handled() {
 fn pipelined_batches_overlap_transfers() {
     let modes = [128usize, 128];
     let dev = Device::v100();
-    let mut plan =
-        Plan::<f32>::new(TransformType::Type1, &modes, -1, 1e-4, GpuOpts::default(), &dev).unwrap();
+    let n_transf = 6;
+    let mut plan = Plan::<f32>::builder(TransformType::Type1, &modes)
+        .eps(1e-4)
+        .ntransf(n_transf)
+        .build(&dev)
+        .unwrap();
     let m = 40_000;
     let pts: Points<f32> = gen_points(PointDist::Rand, 2, m, plan.fine_grid_shape(), 63);
     plan.set_pts(&pts).unwrap();
-    let n_transf = 6;
     let input: Vec<_> = (0..n_transf)
         .flat_map(|t| gen_strengths::<f32>(m, 80 + t as u64))
         .collect();
     let n: usize = modes.iter().product();
     let mut out = vec![Complex::<f32>::ZERO; n * n_transf];
-    let wall = plan
-        .execute_batch_pipelined(&input, &mut out, n_transf)
-        .unwrap();
-    // serial cost of the same work
+    plan.execute_many(&input, &mut out).unwrap();
     let lt = plan.timings();
-    let serial_per = lt.h2d_data + lt.exec() + lt.d2h;
-    let serial = serial_per * n_transf as f64;
-    assert!(wall < serial * 0.95, "pipelined {wall} vs serial {serial}");
-    // but no faster than the compute-bound floor
-    assert!(wall >= lt.exec() * n_transf as f64 * 0.99);
-    // numerics identical to the plain batch
+    assert_eq!(lt.batches, n_transf);
+    // the pipelined wall beats the serial sum of the same stages...
+    let wall = lt.pipe_wall;
+    let serial = lt.batch_serial();
+    assert!(wall > 0.0 && wall < serial, "pipelined {wall} vs serial {serial}");
+    assert!(lt.overlap_saving() > 0.0);
+    assert!((lt.overlap_saving() - (serial - wall)).abs() < 1e-12);
+    // ...but is no faster than the compute-bound floor (the SM array
+    // serializes across streams)
+    assert!(wall >= lt.exec());
+    // the chunk schedule is reported and consistent
+    let bt = plan.batch_timings();
+    assert!(bt.chunks.len() >= 2, "expected multiple chunks");
+    assert!((bt.wall - wall).abs() < 1e-12);
+    assert!((bt.saving() - lt.overlap_saving()).abs() < 1e-9);
+    assert_eq!(
+        bt.chunks.iter().map(|c| c.ntransf).sum::<usize>(),
+        n_transf
+    );
+    for w in bt.chunks.windows(2) {
+        assert!(w[1].start >= w[0].start, "chunks scheduled in order");
+    }
+    // numerics identical to the plain serial batch
     let mut out2 = vec![Complex::<f32>::ZERO; n * n_transf];
     plan.execute_batch(&input, &mut out2, n_transf).unwrap();
     for (a, b) in out.iter().zip(out2.iter()) {
@@ -438,13 +474,158 @@ fn pipelined_batches_overlap_transfers() {
 }
 
 #[test]
+fn batched_total_mem_beats_sequential_batches() {
+    // the acceptance bar: B=8 on a 128^2 type-1 plan must report a
+    // total+mem strictly below 8x the single-transform total+mem
+    let modes = [128usize, 128];
+    let dev = Device::v100();
+    let m = 30_000;
+    let n: usize = modes.iter().product();
+    let mut single = Plan::<f32>::builder(TransformType::Type1, &modes)
+        .eps(1e-5)
+        .build(&dev)
+        .unwrap();
+    let pts: Points<f32> = gen_points(PointDist::Rand, 2, m, single.fine_grid_shape(), 11);
+    single.set_pts(&pts).unwrap();
+    let cs = gen_strengths::<f32>(m, 12);
+    let mut out1 = vec![Complex::<f32>::ZERO; n];
+    single.execute(&cs, &mut out1).unwrap();
+    let t_single = single.timings().total_mem();
+
+    let b = 8;
+    let mut plan = Plan::<f32>::builder(TransformType::Type1, &modes)
+        .eps(1e-5)
+        .ntransf(b)
+        .build(&dev)
+        .unwrap();
+    plan.set_pts(&pts).unwrap();
+    let input: Vec<_> = (0..b)
+        .flat_map(|t| gen_strengths::<f32>(m, 20 + t as u64))
+        .collect();
+    let mut out = vec![Complex::<f32>::ZERO; n * b];
+    plan.execute_many(&input, &mut out).unwrap();
+    let t_batch = plan.timings().total_mem();
+    assert!(
+        t_batch < t_single * b as f64,
+        "batched total_mem {t_batch} vs {b}x single {}",
+        t_single * b as f64
+    );
+    assert!(plan.timings().overlap_saving() > 0.0);
+}
+
+#[test]
+fn execute_many_infers_and_validates_batch_shape() {
+    use nufft_common::NufftError;
+    let modes = [12usize, 12];
+    let dev = Device::v100();
+    let mut plan = Plan::<f64>::builder(TransformType::Type1, &modes)
+        .build(&dev)
+        .unwrap();
+    let m = 100;
+    let pts: Points<f64> = gen_points(PointDist::Rand, 2, m, plan.fine_grid_shape(), 5);
+    plan.set_pts(&pts).unwrap();
+    let n: usize = modes.iter().product();
+    let input = gen_strengths::<f64>(m * 3, 6);
+    // output sized for the wrong batch width
+    let mut short = vec![Complex::<f64>::ZERO; n * 2];
+    assert!(matches!(
+        plan.execute_many(&input, &mut short),
+        Err(NufftError::LengthMismatch { .. })
+    ));
+    // input not a multiple of the per-transform size
+    let mut out = vec![Complex::<f64>::ZERO; n * 3];
+    assert!(matches!(
+        plan.execute_many(&input[..m * 2 + 1], &mut out),
+        Err(NufftError::LengthMismatch { .. })
+    ));
+    // empty input cannot infer a batch
+    assert!(plan.execute_many(&[], &mut out).is_err());
+    // correct shapes work, and B is inferred as 3
+    plan.execute_many(&input, &mut out).unwrap();
+    assert_eq!(plan.timings().batches, 3);
+}
+
+#[test]
+fn max_batch_option_controls_chunking() {
+    let modes = [32usize, 32];
+    let dev = Device::v100();
+    let b = 5;
+    let mut plan = Plan::<f32>::builder(TransformType::Type1, &modes)
+        .eps(1e-4)
+        .ntransf(b)
+        .max_batch(2)
+        .build(&dev)
+        .unwrap();
+    let m = 2000;
+    let pts: Points<f32> = gen_points(PointDist::Rand, 2, m, plan.fine_grid_shape(), 44);
+    plan.set_pts(&pts).unwrap();
+    let input: Vec<_> = (0..b)
+        .flat_map(|t| gen_strengths::<f32>(m, 50 + t as u64))
+        .collect();
+    let n: usize = modes.iter().product();
+    let mut out = vec![Complex::<f32>::ZERO; n * b];
+    plan.execute_many(&input, &mut out).unwrap();
+    // 5 transforms at max_batch=2 -> chunks of 2, 2, 1
+    let widths: Vec<usize> = plan.batch_timings().chunks.iter().map(|c| c.ntransf).collect();
+    assert_eq!(widths, vec![2, 2, 1]);
+}
+
+#[test]
+fn builder_validates_options() {
+    use nufft_common::NufftError;
+    let dev = Device::v100();
+    assert!(matches!(
+        Plan::<f32>::builder(TransformType::Type1, &[8, 8])
+            .msub(0)
+            .build(&dev),
+        Err(NufftError::BadMsub(0))
+    ));
+    assert!(matches!(
+        Plan::<f32>::builder(TransformType::Type1, &[8, 8])
+            .upsampfac(0.9)
+            .build(&dev),
+        Err(NufftError::BadUpsampfac(_))
+    ));
+    assert!(matches!(
+        Plan::<f32>::builder(TransformType::Type1, &[8, 8])
+            .bin_size([0, 4, 1])
+            .build(&dev),
+        Err(NufftError::BadBinSize(_))
+    ));
+    assert!(matches!(
+        Plan::<f32>::builder(TransformType::Type1, &[8, 8])
+            .threads_per_block(0)
+            .build(&dev),
+        Err(NufftError::BadOptions(_))
+    ));
+}
+
+#[test]
+#[allow(deprecated)]
+fn deprecated_positional_constructor_still_works() {
+    let dev = Device::v100();
+    let plan = Plan::<f32>::new(
+        TransformType::Type1,
+        &[16, 16],
+        -1,
+        1e-4,
+        GpuOpts::default(),
+        &dev,
+    )
+    .unwrap();
+    assert_eq!(plan.modes().total(), 256);
+}
+
+#[test]
 fn spread_and_interp_only_modes() {
     // spread_only produces the raw fine-grid convolution; interp_only is
     // its adjoint — together they satisfy <S c, g> = <c, I g>
     let modes = [20usize, 16];
     let dev = Device::v100();
-    let mut p1 =
-        Plan::<f64>::new(TransformType::Type1, &modes, -1, 1e-8, GpuOpts::default(), &dev).unwrap();
+    let mut p1 = Plan::<f64>::builder(TransformType::Type1, &modes)
+        .eps(1e-8)
+        .build(&dev)
+        .unwrap();
     let m = 200;
     let pts: Points<f64> = gen_points(PointDist::Rand, 2, m, p1.fine_grid_shape(), 31);
     p1.set_pts(&pts).unwrap();
@@ -456,8 +637,10 @@ fn spread_and_interp_only_modes() {
     let total: Complex<f64> = grid.iter().copied().sum();
     assert!(total.abs() > 0.0);
 
-    let mut p2 =
-        Plan::<f64>::new(TransformType::Type2, &modes, 1, 1e-8, GpuOpts::default(), &dev).unwrap();
+    let mut p2 = Plan::<f64>::builder(TransformType::Type2, &modes)
+        .eps(1e-8)
+        .build(&dev)
+        .unwrap();
     p2.set_pts(&pts).unwrap();
     let g = gen_strengths::<f64>(nf, 33);
     let mut vals = vec![Complex::<f64>::ZERO; m];

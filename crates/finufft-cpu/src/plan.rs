@@ -254,6 +254,53 @@ impl<T: Real, K: Kernel1d> Plan<T, K> {
         Ok(())
     }
 
+    /// Execute `B` stacked transforms sharing the registered points,
+    /// with `B` inferred from `input.len()` (vectors concatenated): the
+    /// CPU analogue of cuFINUFFT's `ntransf` batching. The sort and the
+    /// workhorse grid are reused across the batch; stage timings
+    /// accumulate over all vectors.
+    pub fn execute_many(&mut self, input: &[Complex<T>], output: &mut [Complex<T>]) -> Result<()> {
+        let m = self.pts.as_ref().ok_or(NufftError::PointsNotSet)?.len();
+        let n = self.modes.total();
+        let (in_per, out_per) = match self.ttype {
+            TransformType::Type1 => (m, n),
+            TransformType::Type2 => (n, m),
+        };
+        if in_per == 0 {
+            return Err(NufftError::BadOptions(
+                "execute_many cannot infer the batch size from empty transforms".into(),
+            ));
+        }
+        if input.is_empty() || input.len() % in_per != 0 {
+            return Err(NufftError::LengthMismatch {
+                expected: in_per,
+                got: input.len(),
+            });
+        }
+        let b = input.len() / in_per;
+        if output.len() != out_per * b {
+            return Err(NufftError::LengthMismatch {
+                expected: out_per * b,
+                got: output.len(),
+            });
+        }
+        let mut acc = StageTimings {
+            sort: self.timings.sort,
+            ..Default::default()
+        };
+        for t in 0..b {
+            self.execute(
+                &input[t * in_per..(t + 1) * in_per],
+                &mut output[t * out_per..(t + 1) * out_per],
+            )?;
+            acc.spread_interp += self.timings.spread_interp;
+            acc.fft += self.timings.fft;
+            acc.deconv += self.timings.deconv;
+        }
+        self.timings = acc;
+        Ok(())
+    }
+
     /// Type 1 step 3: truncate to the central modes and apply the
     /// correction factors (eq. 10).
     fn deconvolve_out(&self, grid: &[Complex<T>], output: &mut [Complex<T>]) {
@@ -300,6 +347,45 @@ impl<T: Real, K: Kernel1d> Plan<T, K> {
                 }
             }
         }
+    }
+}
+
+impl<T: Real, K: Kernel1d> nufft_common::NufftPlan<T> for Plan<T, K> {
+    fn transform_type(&self) -> TransformType {
+        self.ttype
+    }
+
+    fn modes(&self) -> Shape {
+        self.modes
+    }
+
+    fn num_points(&self) -> usize {
+        Plan::num_points(self)
+    }
+
+    fn set_points(&mut self, pts: &Points<T>) -> Result<()> {
+        // the CPU plan takes ownership of the coordinate arrays
+        self.set_pts(pts.clone())
+    }
+
+    fn execute(&mut self, input: &[Complex<T>], output: &mut [Complex<T>]) -> Result<()> {
+        Plan::execute(self, input, output)
+    }
+
+    fn execute_many(&mut self, input: &[Complex<T>], output: &mut [Complex<T>]) -> Result<()> {
+        Plan::execute_many(self, input, output)
+    }
+
+    fn exec_time(&self) -> f64 {
+        self.timings.spread_interp + self.timings.fft + self.timings.deconv
+    }
+
+    fn total_time(&self) -> f64 {
+        self.timings.sort + self.exec_time()
+    }
+
+    fn backend_name(&self) -> &'static str {
+        "finufft-cpu"
     }
 }
 

@@ -48,20 +48,60 @@ impl<T: Real> GpuFftPlan<T> {
     pub fn execute(&self, dev: &Device, data: &mut GpuBuffer<Complex<T>>, dir: Direction) {
         assert_eq!(data.len(), self.shape.total(), "buffer/plan shape mismatch");
         self.fft.process(data.as_mut_slice(), dir);
-        let n = self.shape.total();
-        let bytes = n * std::mem::size_of::<Complex<T>>();
-        let passes = self.shape.dim;
-        let flops = 5.0 * n as f64 * (n as f64).log2().max(1.0);
         dev.bulk_op(
             match dir {
                 Direction::Forward => "cufft_fwd",
                 Direction::Backward => "cufft_bwd",
             },
-            bytes * passes,
-            bytes * passes,
-            flops,
+            self.pass_bytes(1),
+            self.pass_bytes(1),
+            self.batch_flops(1),
             Self::precision(),
         );
+    }
+
+    /// Execute `ntransf` stacked grids in place (`cufftPlanMany`):
+    /// `data` holds `ntransf` contiguous grids of `shape.total()`
+    /// elements. Each grid's result is bitwise identical to a separate
+    /// [`GpuFftPlan::execute`] call; the cost is one batched launch, so
+    /// per-transform launch overhead amortizes away.
+    pub fn execute_many(
+        &self,
+        dev: &Device,
+        data: &mut GpuBuffer<Complex<T>>,
+        ntransf: usize,
+        dir: Direction,
+    ) {
+        assert!(ntransf > 0, "ntransf must be positive");
+        let n = self.shape.total();
+        // the buffer may be capacity-sized for a larger chunk; only the
+        // first `ntransf` grids are transformed
+        assert!(data.len() >= n * ntransf, "buffer smaller than batch");
+        for grid in data.as_mut_slice()[..n * ntransf].chunks_exact_mut(n) {
+            self.fft.process(grid, dir);
+        }
+        dev.bulk_op(
+            match dir {
+                Direction::Forward => "cufft_many_fwd",
+                Direction::Backward => "cufft_many_bwd",
+            },
+            self.pass_bytes(ntransf),
+            self.pass_bytes(ntransf),
+            self.batch_flops(ntransf),
+            Self::precision(),
+        );
+    }
+
+    /// DRAM traffic of one direction (read or write) across all axis
+    /// passes for `ntransf` grids.
+    fn pass_bytes(&self, ntransf: usize) -> usize {
+        self.shape.total() * std::mem::size_of::<Complex<T>>() * self.shape.dim * ntransf
+    }
+
+    /// 5 N log2 N per grid, the standard cuFFT flop count.
+    fn batch_flops(&self, ntransf: usize) -> f64 {
+        let n = self.shape.total();
+        5.0 * n as f64 * (n as f64).log2().max(1.0) * ntransf as f64
     }
 }
 
@@ -114,6 +154,59 @@ mod tests {
         assert!(t1024 > 3.0 * t512, "should scale ~4x: {t512} vs {t1024}");
         // 1024^2 single C2C on a V100 is some tens of microseconds
         assert!(t1024 > 5e-6 && t1024 < 5e-4, "t1024={t1024}");
+    }
+
+    #[test]
+    fn execute_many_matches_per_grid_execution_bitwise() {
+        let dev = Device::v100();
+        let shape = Shape::d2(12, 10);
+        let n = shape.total();
+        let ntransf = 3;
+        let plan = GpuFftPlan::<f64>::new(shape);
+        let host: Vec<Complex<f64>> = (0..n * ntransf)
+            .map(|j| c((j as f64 * 0.13).sin(), (j as f64 * 0.41).cos()))
+            .collect();
+        let mut batched = dev.alloc::<Complex<f64>>("many", n * ntransf).unwrap();
+        dev.memcpy_htod(&mut batched, &host);
+        plan.execute_many(&dev, &mut batched, ntransf, Direction::Forward);
+        for b in 0..ntransf {
+            let mut single = dev.alloc::<Complex<f64>>("one", n).unwrap();
+            dev.memcpy_htod(&mut single, &host[b * n..(b + 1) * n]);
+            plan.execute(&dev, &mut single, Direction::Forward);
+            // bitwise: the same FftNd runs on the same input either way
+            for (x, y) in batched.as_slice()[b * n..(b + 1) * n]
+                .iter()
+                .zip(single.as_slice())
+            {
+                assert_eq!(x.re.to_bits(), y.re.to_bits());
+                assert_eq!(x.im.to_bits(), y.im.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn batched_fft_amortizes_launch_overhead() {
+        let dev = Device::v100();
+        let shape = Shape::d2(64, 64);
+        let ntransf = 8;
+        let plan = GpuFftPlan::<f32>::new(shape);
+        let mut big = dev
+            .alloc::<Complex<f32>>("many", shape.total() * ntransf)
+            .unwrap();
+        let t0 = dev.clock();
+        plan.execute_many(&dev, &mut big, ntransf, Direction::Forward);
+        let batched = dev.clock() - t0;
+        let mut one = dev.alloc::<Complex<f32>>("one", shape.total()).unwrap();
+        let t1 = dev.clock();
+        plan.execute(&dev, &mut one, Direction::Forward);
+        let single = dev.clock() - t1;
+        assert!(
+            batched < ntransf as f64 * single,
+            "batched {batched} vs {ntransf}x single {single}"
+        );
+        // the gain is exactly the saved launch overheads
+        let saved = ntransf as f64 * single - batched;
+        assert!(saved > 0.0 && saved < ntransf as f64 * 1e-5);
     }
 
     #[test]

@@ -168,6 +168,32 @@ impl Device {
         })
     }
 
+    /// Analytic cost of moving `bytes` across PCIe in either direction,
+    /// without performing or recording anything. Stream-scheduled
+    /// (asynchronous) transfers use this to price copies whose start
+    /// time is decided by the stream scheduler rather than the serial
+    /// clock.
+    pub fn transfer_time(&self, bytes: usize) -> f64 {
+        self.inner.props.pcie_latency + bytes as f64 / self.inner.props.pcie_bw
+    }
+
+    /// Record an operation that was scheduled externally (e.g. on a
+    /// [`crate::stream::Stream`]) at an explicit start time, WITHOUT
+    /// advancing the serial clock — the caller accounts for elapsed time
+    /// via [`crate::stream::sync_streams`].
+    pub fn record_async(&self, name: &str, kind: OpKind, start: f64, duration: f64) {
+        let mut s = self.inner.state.lock();
+        if s.record_timeline {
+            s.timeline.push(TimelineRecord {
+                name: name.into(),
+                kind,
+                start,
+                duration,
+                breakdown: Breakdown::default(),
+            });
+        }
+    }
+
     /// Copy host data into a device buffer (cudaMemcpyHostToDevice).
     pub fn memcpy_htod<T: Copy>(&self, dst: &mut GpuBuffer<T>, src: &[T]) {
         assert!(src.len() <= dst.data.len(), "htod copy larger than buffer");

@@ -33,5 +33,5 @@ pub mod stream;
 pub use device::{Device, GpuBuffer, OomError, OpKind, TimelineRecord};
 pub use kernel::{BlockCtx, Breakdown, Kernel, LaunchConfig, LaunchReport};
 pub use props::{DeviceProps, Precision};
-pub use report::{profile_table, summarize, OpSummary};
+pub use report::{overlap_stats, profile_table, summarize, OpSummary, OverlapStats};
 pub use stream::{sync_streams, EngineState, Stream, StreamOp};

@@ -48,6 +48,53 @@ pub fn summarize(timeline: &[TimelineRecord]) -> Vec<OpSummary> {
     out
 }
 
+/// Serial-vs-wall accounting over a span of timeline records (typically
+/// the records of one batched execution). When operations were scheduled
+/// on overlapping streams, `wall` is shorter than `serial`; the
+/// difference is the pipeline's hidden time.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct OverlapStats {
+    /// Sum of all operation durations (what a one-stream schedule costs).
+    pub serial: f64,
+    /// End-to-end span: latest completion minus earliest start.
+    pub wall: f64,
+}
+
+impl OverlapStats {
+    /// Time hidden by overlap (zero when nothing overlapped).
+    pub fn saving(&self) -> f64 {
+        (self.serial - self.wall).max(0.0)
+    }
+
+    /// Fraction of the serial cost hidden by overlap, in [0, 1).
+    pub fn overlap_fraction(&self) -> f64 {
+        if self.serial > 0.0 {
+            self.saving() / self.serial
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Compute [`OverlapStats`] for a slice of timeline records.
+pub fn overlap_stats(timeline: &[TimelineRecord]) -> OverlapStats {
+    if timeline.is_empty() {
+        return OverlapStats::default();
+    }
+    let mut serial = 0.0f64;
+    let mut first = f64::INFINITY;
+    let mut last = f64::NEG_INFINITY;
+    for r in timeline {
+        serial += r.duration;
+        first = first.min(r.start);
+        last = last.max(r.start + r.duration);
+    }
+    OverlapStats {
+        serial,
+        wall: last - first,
+    }
+}
+
 /// Render the summary as an nvprof-like table.
 pub fn profile_table(timeline: &[TimelineRecord]) -> String {
     let rows = summarize(timeline);
@@ -126,5 +173,28 @@ mod tests {
         let rows = summarize(&[]);
         assert!(rows.is_empty());
         assert!(profile_table(&[]).lines().count() == 1);
+        assert_eq!(overlap_stats(&[]), OverlapStats::default());
+    }
+
+    #[test]
+    fn overlap_stats_detect_hidden_time() {
+        let rec = |start: f64, duration: f64| TimelineRecord {
+            name: "op".into(),
+            kind: OpKind::Memcpy,
+            start,
+            duration,
+            breakdown: Default::default(),
+        };
+        // serial layout: no overlap
+        let s = overlap_stats(&[rec(0.0, 1.0), rec(1.0, 2.0)]);
+        assert!((s.serial - 3.0).abs() < 1e-12);
+        assert!((s.wall - 3.0).abs() < 1e-12);
+        assert_eq!(s.saving(), 0.0);
+        // pipelined layout: second op starts while first runs
+        let p = overlap_stats(&[rec(0.0, 2.0), rec(1.0, 2.0)]);
+        assert!((p.serial - 4.0).abs() < 1e-12);
+        assert!((p.wall - 3.0).abs() < 1e-12);
+        assert!((p.saving() - 1.0).abs() < 1e-12);
+        assert!((p.overlap_fraction() - 0.25).abs() < 1e-12);
     }
 }

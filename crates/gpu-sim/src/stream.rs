@@ -14,7 +14,7 @@
 //! serialized (the conservative choice, and what a saturating kernel
 //! does on real hardware).
 
-use crate::device::Device;
+use crate::device::{Device, GpuBuffer, OpKind};
 
 /// Resource classes that cannot overlap with themselves. The V100 has
 /// two DMA copy engines, one per direction, so H2D and D2H transfers can
@@ -74,6 +74,51 @@ impl Stream {
         }
         self.head = done;
         done
+    }
+
+    /// Asynchronous host-to-device copy (`cudaMemcpyAsync` H2D): the data
+    /// moves immediately (functional simulation), but the cost is queued
+    /// on this stream's upload engine instead of the serial clock. The
+    /// caller makes the elapsed time visible with [`sync_streams`].
+    /// Returns the completion time.
+    pub fn memcpy_htod<T: Copy>(
+        &mut self,
+        dev: &Device,
+        engines: &mut EngineState,
+        dst: &mut GpuBuffer<T>,
+        src: &[T],
+    ) -> f64 {
+        assert!(src.len() <= dst.len(), "htod copy larger than buffer");
+        dst.as_mut_slice()[..src.len()].copy_from_slice(src);
+        let t = dev.transfer_time(std::mem::size_of_val(src));
+        let done = self.enqueue(engines, StreamOp::TransferH2D, t);
+        dev.record_async("memcpy_htod_async", OpKind::Memcpy, done - t, t);
+        done
+    }
+
+    /// Asynchronous device-to-host copy (`cudaMemcpyAsync` D2H); see
+    /// [`Stream::memcpy_htod`].
+    pub fn memcpy_dtoh<T: Copy>(
+        &mut self,
+        dev: &Device,
+        engines: &mut EngineState,
+        dst: &mut [T],
+        src: &GpuBuffer<T>,
+    ) -> f64 {
+        assert!(dst.len() <= src.len(), "dtoh copy larger than buffer");
+        dst.copy_from_slice(&src.as_slice()[..dst.len()]);
+        let t = dev.transfer_time(std::mem::size_of_val(dst));
+        let done = self.enqueue(engines, StreamOp::TransferD2H, t);
+        dev.record_async("memcpy_dtoh_async", OpKind::Memcpy, done - t, t);
+        done
+    }
+
+    /// Queue an already-priced compute span (a kernel or bulk op whose
+    /// duration was measured off the serial clock) so downstream ops on
+    /// this stream wait for it and other streams contend for the SM
+    /// array. Returns the completion time.
+    pub fn compute(&mut self, engines: &mut EngineState, duration: f64) -> f64 {
+        self.enqueue(engines, StreamOp::Compute, duration)
     }
 }
 
@@ -155,6 +200,41 @@ mod tests {
         );
         // and never better than the compute-bound floor
         assert!(pipelined >= n as f64 * t_comp);
+    }
+
+    #[test]
+    fn async_memcpy_moves_data_without_advancing_clock() {
+        let dev = Device::v100();
+        let mut eng = EngineState::default();
+        let host: Vec<f32> = (0..256).map(|i| i as f32).collect();
+        let mut buf = dev.alloc::<f32>("x", 256).unwrap();
+        let mut s = Stream::new(&dev);
+        let c0 = dev.clock();
+        let done = s.memcpy_htod(&dev, &mut eng, &mut buf, &host);
+        assert_eq!(dev.clock(), c0, "async copy must not advance the serial clock");
+        assert!(done > c0);
+        let mut back = vec![0.0f32; 256];
+        s.memcpy_dtoh(&dev, &mut eng, &mut back, &buf);
+        assert_eq!(host, back);
+        sync_streams(&dev, &[&s]);
+        assert!(dev.clock() > c0, "sync exposes the queued transfer time");
+    }
+
+    #[test]
+    fn async_memcpy_costs_match_serial_pricing() {
+        let dev = Device::v100();
+        let bytes = 1 << 20;
+        let host = vec![0u8; bytes];
+        let mut buf = dev.alloc::<u8>("x", bytes).unwrap();
+        let c0 = dev.clock();
+        dev.memcpy_htod(&mut buf, &host);
+        let serial = dev.clock() - c0;
+        assert!((dev.transfer_time(bytes) - serial).abs() < 1e-15);
+        let mut eng = EngineState::default();
+        let mut s = Stream::new(&dev);
+        let t0 = s.head();
+        let done = s.memcpy_htod(&dev, &mut eng, &mut buf, &host);
+        assert!((done - t0 - serial).abs() < 1e-15);
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! linearly, reproducing the deterioration in the paper's Fig. 9.
 
 use crate::geometry::{Rotation, SliceGeometry};
-use cufinufft::{GpuOpts, Plan};
+use cufinufft::Plan;
 use gpu_sim::Device;
 use nufft_common::complex::Complex;
 use nufft_common::workload::Points;
@@ -140,7 +140,10 @@ pub fn run_rank(task: &RankTask, seed: u64) -> RankTiming {
         TransformType::Type1 => 1,
         TransformType::Type2 => -1,
     };
-    let mut plan = Plan::<f64>::new(task.ttype, &[n, n, n], iflag, task.eps, GpuOpts::default(), &dev)
+    let mut plan = Plan::<f64>::builder(task.ttype, &[n, n, n])
+        .iflag(iflag)
+        .eps(task.eps)
+        .build(&dev)
         .expect("rank plan");
     plan.set_pts(&pts).expect("rank set_pts");
     let t_after_setup = plan.timings();

@@ -26,7 +26,7 @@
 
 use crate::density::Molecule;
 use crate::geometry::{Rotation, SliceGeometry};
-use cufinufft::{GpuOpts, Plan};
+use cufinufft::Plan;
 use gpu_sim::Device;
 use nufft_common::complex::Complex;
 use nufft_common::shape::Shape;
@@ -318,10 +318,32 @@ pub fn reconstruct(cfg: &MtipConfig, dev: &Device) -> MtipResult {
     let mut errors = Vec::new();
     let mut orient_acc = Vec::new();
 
-    let mut t2 = Plan::<f64>::new(TransformType::Type2, &[n, n, n], -1, cfg.eps, GpuOpts::default(), dev)
+    let mut t2 = Plan::<f64>::builder(TransformType::Type2, &[n, n, n])
+        .iflag(-1)
+        .eps(cfg.eps)
+        .build(dev)
         .expect("type-2 plan");
-    let mut t1 = Plan::<f64>::new(TransformType::Type1, &[n, n, n], 1, cfg.eps, GpuOpts::default(), dev)
+    // the merge plan declares ntransf = 2: each outer iteration stacks
+    // the data-projection adjoint and the CG seed into one batched call
+    let mut t1 = Plan::<f64>::builder(TransformType::Type1, &[n, n, n])
+        .iflag(1)
+        .eps(cfg.eps)
+        .ntransf(2)
+        .build(dev)
         .expect("type-1 plan");
+    // one reusable plan for candidate scoring (points change per
+    // candidate, so only the allocations and FFT plan are shared)
+    let mut plan_small = if cfg.match_orientations {
+        Some(
+            Plan::<f64>::builder(TransformType::Type2, &[n, n, n])
+                .iflag(-1)
+                .eps(cfg.eps)
+                .build(dev)
+                .expect("candidate plan"),
+        )
+    } else {
+        None
+    };
 
     for _iter in 0..cfg.iterations {
         // assemble current point set
@@ -350,15 +372,7 @@ pub fn reconstruct(cfg: &MtipConfig, dev: &Device) -> MtipResult {
                 for (ci, cand) in cands.iter().enumerate() {
                     let cand_qs = geom.slice_points(cand);
                     let cand_pts = points_from(&cand_qs);
-                    let mut plan_small = Plan::<f64>::new(
-                        TransformType::Type2,
-                        &[n, n, n],
-                        -1,
-                        cfg.eps,
-                        GpuOpts::default(),
-                        dev,
-                    )
-                    .expect("candidate plan");
+                    let plan_small = plan_small.as_mut().expect("candidate plan");
                     plan_small.set_pts(&cand_pts).expect("cand pts");
                     let mut vals = vec![Complex::<f64>::ZERO; m_per];
                     plan_small.execute(&rho, &mut vals).expect("cand slice");
@@ -412,14 +426,20 @@ pub fn reconstruct(cfg: &MtipConfig, dev: &Device) -> MtipResult {
         let t0 = dev.clock();
         let nvox = shape.total();
         let lambda = 1e-3 * m_total as f64 / nvox as f64; // Tikhonov for unsampled modes
-        let mut rhs = vec![Complex::<f64>::ZERO; nvox];
-        t1.execute(&v, &mut rhs).expect("merge rhs");
         let mut x = rho.clone();
         let mut slice_buf = vec![Complex::<f64>::ZERO; m_total];
-        let mut ap = vec![Complex::<f64>::ZERO; nvox];
-        // r = rhs - (A^H A + lambda) x
         t2.execute(&x, &mut slice_buf).expect("cg init t2");
-        t1.execute(&slice_buf, &mut ap).expect("cg init t1");
+        // the data-projection adjoint A^H v and the CG seed A^H A x are
+        // independent type-1 transforms over the same points: stack them
+        // into one pipelined batched call
+        let mut stacked = Vec::with_capacity(2 * m_total);
+        stacked.extend_from_slice(&v);
+        stacked.extend_from_slice(&slice_buf);
+        let mut merged = vec![Complex::<f64>::ZERO; 2 * nvox];
+        t1.execute_many(&stacked, &mut merged).expect("merge adjoints");
+        let rhs = merged[..nvox].to_vec();
+        let mut ap = merged[nvox..].to_vec();
+        // r = rhs - (A^H A + lambda) x
         let mut r: Vec<Complex<f64>> = rhs
             .iter()
             .zip(ap.iter().zip(x.iter()))

@@ -114,6 +114,18 @@ impl<T: Real> CunfftPlan<T> {
         self.fine
     }
 
+    pub fn modes(&self) -> Shape {
+        self.modes
+    }
+
+    pub fn transform_type(&self) -> TransformType {
+        self.ttype
+    }
+
+    pub fn num_points(&self) -> usize {
+        self.pts.as_ref().map_or(0, |p| p.1)
+    }
+
     /// Transfer points to the device. CUNFFT does no sorting.
     pub fn set_pts(&mut self, pts: &Points<T>) -> Result<()> {
         if pts.dim != self.modes.dim {
@@ -260,6 +272,42 @@ impl<T: Real> CunfftPlan<T> {
         self.dev.memcpy_dtoh(output, &self.d_out);
         self.timings.d2h = self.dev.clock() - t2;
         Ok(())
+    }
+}
+
+/// CUNFFT has no native batching; the trait's default `execute_many`
+/// loop applies.
+impl<T: Real> nufft_common::NufftPlan<T> for CunfftPlan<T> {
+    fn transform_type(&self) -> TransformType {
+        self.ttype
+    }
+
+    fn modes(&self) -> Shape {
+        self.modes
+    }
+
+    fn num_points(&self) -> usize {
+        CunfftPlan::num_points(self)
+    }
+
+    fn set_points(&mut self, pts: &Points<T>) -> Result<()> {
+        self.set_pts(pts)
+    }
+
+    fn execute(&mut self, input: &[Complex<T>], output: &mut [Complex<T>]) -> Result<()> {
+        CunfftPlan::execute(self, input, output)
+    }
+
+    fn exec_time(&self) -> f64 {
+        self.timings.exec()
+    }
+
+    fn total_time(&self) -> f64 {
+        self.timings.total_mem()
+    }
+
+    fn backend_name(&self) -> &'static str {
+        "cunfft"
     }
 }
 

@@ -206,6 +206,18 @@ impl<T: Real> GpunufftPlan<T> {
         self.fine
     }
 
+    pub fn modes(&self) -> Shape {
+        self.modes
+    }
+
+    pub fn transform_type(&self) -> TransformType {
+        self.ttype
+    }
+
+    pub fn num_points(&self) -> usize {
+        self.pts_host.as_ref().map_or(0, |p| p.len())
+    }
+
     /// Build the operator: CPU sector sort (uncharged, per the paper's
     /// timing methodology) + transfer of the sorted point arrays.
     pub fn set_pts(&mut self, pts: &Points<T>) -> Result<()> {
@@ -467,6 +479,42 @@ impl<T: Real> GpunufftPlan<T> {
         }
         let _ = n3;
         self.dev.launch_end(k);
+    }
+}
+
+/// gpuNUFFT has no native batching; the trait's default `execute_many`
+/// loop applies.
+impl<T: Real> nufft_common::NufftPlan<T> for GpunufftPlan<T> {
+    fn transform_type(&self) -> TransformType {
+        self.ttype
+    }
+
+    fn modes(&self) -> Shape {
+        self.modes
+    }
+
+    fn num_points(&self) -> usize {
+        GpunufftPlan::num_points(self)
+    }
+
+    fn set_points(&mut self, pts: &Points<T>) -> Result<()> {
+        self.set_pts(pts)
+    }
+
+    fn execute(&mut self, input: &[Complex<T>], output: &mut [Complex<T>]) -> Result<()> {
+        GpunufftPlan::execute(self, input, output)
+    }
+
+    fn exec_time(&self) -> f64 {
+        self.timings.exec()
+    }
+
+    fn total_time(&self) -> f64 {
+        self.timings.total_mem()
+    }
+
+    fn backend_name(&self) -> &'static str {
+        "gpunufft"
     }
 }
 

@@ -44,15 +44,10 @@ fn cunfft_type2_works() {
 fn cunfft_needs_wider_kernel_than_cufinufft() {
     let dev = Device::v100();
     let cn = CunfftPlan::<f32>::new(TransformType::Type1, &[64, 64], -1, 1e-5, &dev).unwrap();
-    let cf = cufinufft::Plan::<f32>::new(
-        TransformType::Type1,
-        &[64, 64],
-        -1,
-        1e-5,
-        cufinufft::GpuOpts::default(),
-        &dev,
-    )
-    .unwrap();
+    let cf = cufinufft::Plan::<f32>::builder(TransformType::Type1, &[64, 64])
+        .eps(1e-5)
+        .build(&dev)
+        .unwrap();
     assert!(cn.kernel().w > cf.kernel().w);
 }
 
@@ -141,15 +136,10 @@ fn gpunufft_gather_agrees_with_cufinufft_structurally() {
     let modes = [24usize, 24];
     let shape = Shape::from_slice(&modes);
     let mut g = GpunufftPlan::<f64>::new(TransformType::Type1, &modes, -1, 1e-3, &dev).unwrap();
-    let mut c = cufinufft::Plan::<f64>::new(
-        TransformType::Type1,
-        &modes,
-        -1,
-        1e-9,
-        cufinufft::GpuOpts::default(),
-        &dev,
-    )
-    .unwrap();
+    let mut c = cufinufft::Plan::<f64>::builder(TransformType::Type1, &modes)
+        .eps(1e-9)
+        .build(&dev)
+        .unwrap();
     let pts: Points<f64> = gen_points(PointDist::Cluster, 2, 400, g.fine_grid_shape(), 13);
     let cs = gen_strengths::<f64>(400, 14);
     g.set_pts(&pts).unwrap();
@@ -173,15 +163,10 @@ fn gpunufft_slower_than_cufinufft_at_matched_settings() {
     let mut out = vec![Complex::<f32>::ZERO; modes[0] * modes[1]];
     g.execute(&cs, &mut out).unwrap();
     let t_g = g.timings().exec();
-    let mut c = cufinufft::Plan::<f32>::new(
-        TransformType::Type1,
-        &modes,
-        -1,
-        1e-2,
-        cufinufft::GpuOpts::default(),
-        &dev,
-    )
-    .unwrap();
+    let mut c = cufinufft::Plan::<f32>::builder(TransformType::Type1, &modes)
+        .eps(1e-2)
+        .build(&dev)
+        .unwrap();
     c.set_pts(&pts).unwrap();
     c.execute(&cs, &mut out).unwrap();
     let t_c = c.timings().exec();

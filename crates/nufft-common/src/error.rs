@@ -27,6 +27,12 @@ pub enum NufftError {
     PointsNotSet,
     /// Invalid option combination.
     BadOptions(String),
+    /// `msub` (max points per SM subproblem) must be positive.
+    BadMsub(usize),
+    /// Upsampling factor sigma must exceed 1.
+    BadUpsampfac(f64),
+    /// A bin-size entry was zero.
+    BadBinSize([usize; 3]),
 }
 
 impl fmt::Display for NufftError {
@@ -54,6 +60,15 @@ impl fmt::Display for NufftError {
             ),
             NufftError::PointsNotSet => write!(f, "execute() called before set_pts()"),
             NufftError::BadOptions(msg) => write!(f, "invalid options: {msg}"),
+            NufftError::BadMsub(m) => {
+                write!(f, "invalid msub {m}: subproblem cap must be positive")
+            }
+            NufftError::BadUpsampfac(s) => {
+                write!(f, "invalid upsampling factor {s}: sigma must exceed 1")
+            }
+            NufftError::BadBinSize(b) => {
+                write!(f, "invalid bin size {b:?}: entries must be positive")
+            }
         }
     }
 }

@@ -11,6 +11,7 @@
 pub mod complex;
 pub mod error;
 pub mod metrics;
+pub mod plan;
 pub mod real;
 pub mod reference;
 pub mod shape;
@@ -29,6 +30,7 @@ pub enum TransformType {
 
 pub use complex::{c, Complex};
 pub use error::{NufftError, Result};
+pub use plan::NufftPlan;
 pub use real::Real;
 pub use shape::{freq_start, freq_to_bin, freqs, Shape};
 pub use workload::{gen_coeffs, gen_points, gen_strengths, points_for_density, PointDist, Points};

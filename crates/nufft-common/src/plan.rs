@@ -1,0 +1,210 @@
+//! Backend-agnostic plan interface.
+//!
+//! Every NUFFT implementation in this workspace — the paper's GPU
+//! library, the CPU reference library, and the two GPU baselines —
+//! follows the same plan lifecycle: construct for a transform type and
+//! mode shape, bind nonuniform points (where sorting happens, reused
+//! across executes), then execute one or many strength/coefficient
+//! vectors. [`NufftPlan`] captures that lifecycle so cross-library
+//! tests and benchmarks can drive any backend through one code path.
+
+use crate::complex::Complex;
+use crate::error::{NufftError, Result};
+use crate::real::Real;
+use crate::shape::Shape;
+use crate::workload::Points;
+use crate::TransformType;
+
+/// Common plan lifecycle implemented by every backend in the workspace.
+///
+/// Lengths are per transform: type 1 consumes `num_points()` strengths
+/// and produces `modes().total()` coefficients; type 2 is the reverse.
+/// [`NufftPlan::execute_many`] accepts `B` stacked vectors and infers
+/// `B` from the input length; the default implementation loops
+/// [`NufftPlan::execute`], while backends with a native batched path
+/// (batched FFT, stream-pipelined transfers) override it.
+pub trait NufftPlan<T: Real> {
+    /// Which transform this plan computes.
+    fn transform_type(&self) -> TransformType;
+
+    /// Requested (non-upsampled) mode shape.
+    fn modes(&self) -> Shape;
+
+    /// Number of nonuniform points bound by the last
+    /// [`NufftPlan::set_points`] call (0 before any).
+    fn num_points(&self) -> usize;
+
+    /// Bind nonuniform points. Point preprocessing (validation,
+    /// bin-sorting, transfers) happens here once and is reused by every
+    /// subsequent execute.
+    fn set_points(&mut self, pts: &Points<T>) -> Result<()>;
+
+    /// Run a single transform.
+    fn execute(&mut self, input: &[Complex<T>], output: &mut [Complex<T>]) -> Result<()>;
+
+    /// Per-transform input length implied by the plan state.
+    fn input_len(&self) -> usize {
+        match self.transform_type() {
+            TransformType::Type1 => self.num_points(),
+            TransformType::Type2 => self.modes().total(),
+        }
+    }
+
+    /// Per-transform output length implied by the plan state.
+    fn output_len(&self) -> usize {
+        match self.transform_type() {
+            TransformType::Type1 => self.modes().total(),
+            TransformType::Type2 => self.num_points(),
+        }
+    }
+
+    /// Run `B` stacked transforms, inferring `B` from `input.len()`.
+    ///
+    /// The default loops [`NufftPlan::execute`] per vector; backends
+    /// with native batching override it. The error contract matches the
+    /// native implementations: a zero per-transform length is
+    /// [`NufftError::BadOptions`], any length inconsistency is
+    /// [`NufftError::LengthMismatch`].
+    fn execute_many(&mut self, input: &[Complex<T>], output: &mut [Complex<T>]) -> Result<()> {
+        let in_per = self.input_len();
+        let out_per = self.output_len();
+        if in_per == 0 {
+            return Err(NufftError::BadOptions(
+                "cannot infer batch size: per-transform input length is zero".into(),
+            ));
+        }
+        if input.is_empty() || input.len() % in_per != 0 {
+            return Err(NufftError::LengthMismatch {
+                expected: in_per,
+                got: input.len(),
+            });
+        }
+        let b = input.len() / in_per;
+        if output.len() != out_per * b {
+            return Err(NufftError::LengthMismatch {
+                expected: out_per * b,
+                got: output.len(),
+            });
+        }
+        for v in 0..b {
+            self.execute(
+                &input[v * in_per..(v + 1) * in_per],
+                &mut output[v * out_per..(v + 1) * out_per],
+            )?;
+        }
+        Ok(())
+    }
+
+    /// Seconds spent in the core transform stages (spread/interp, FFT,
+    /// deconvolve) during the last execute call, as tracked by the
+    /// backend's own timing model.
+    fn exec_time(&self) -> f64;
+
+    /// End-to-end seconds for the last plan lifecycle, including point
+    /// sorting and (for GPU backends) host/device transfers.
+    fn total_time(&self) -> f64;
+
+    /// Short backend name for reports and benchmark labels.
+    fn backend_name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{gen_points, PointDist};
+
+    /// Minimal in-crate backend so the default `execute_many` logic is
+    /// unit-tested without depending on downstream crates.
+    struct CopyPlan {
+        ttype: TransformType,
+        modes: Shape,
+        m: usize,
+        executes: usize,
+    }
+
+    impl NufftPlan<f32> for CopyPlan {
+        fn transform_type(&self) -> TransformType {
+            self.ttype
+        }
+        fn modes(&self) -> Shape {
+            self.modes
+        }
+        fn num_points(&self) -> usize {
+            self.m
+        }
+        fn set_points(&mut self, pts: &Points<f32>) -> Result<()> {
+            self.m = pts.len();
+            Ok(())
+        }
+        fn execute(&mut self, input: &[Complex<f32>], output: &mut [Complex<f32>]) -> Result<()> {
+            self.executes += 1;
+            let n = input.len().min(output.len());
+            output[..n].copy_from_slice(&input[..n]);
+            Ok(())
+        }
+        fn exec_time(&self) -> f64 {
+            0.0
+        }
+        fn total_time(&self) -> f64 {
+            0.0
+        }
+        fn backend_name(&self) -> &'static str {
+            "copy"
+        }
+    }
+
+    fn plan() -> CopyPlan {
+        let mut p = CopyPlan {
+            ttype: TransformType::Type1,
+            modes: Shape::from_slice(&[8, 8]),
+            m: 0,
+            executes: 0,
+        };
+        let pts = gen_points::<f32>(PointDist::Rand, 2, 5, Shape::from_slice(&[16, 16]), 1);
+        p.set_points(&pts).unwrap();
+        p
+    }
+
+    #[test]
+    fn default_execute_many_infers_batch_and_loops() {
+        let mut p = plan();
+        let input = vec![Complex::<f32>::ZERO; 5 * 3];
+        let mut output = vec![Complex::<f32>::ZERO; 64 * 3];
+        p.execute_many(&input, &mut output).unwrap();
+        assert_eq!(p.executes, 3);
+    }
+
+    #[test]
+    fn default_execute_many_rejects_bad_lengths() {
+        let mut p = plan();
+        let mut out = vec![Complex::<f32>::ZERO; 64];
+        // empty input
+        assert!(matches!(
+            p.execute_many(&[], &mut out),
+            Err(NufftError::LengthMismatch { .. })
+        ));
+        // input not a multiple of num_points
+        let input = vec![Complex::<f32>::ZERO; 7];
+        assert!(matches!(
+            p.execute_many(&input, &mut out),
+            Err(NufftError::LengthMismatch { .. })
+        ));
+        // output wrong for inferred batch of 2
+        let input = vec![Complex::<f32>::ZERO; 10];
+        assert!(matches!(
+            p.execute_many(&input, &mut out),
+            Err(NufftError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn per_transform_lengths_follow_transform_type() {
+        let p = plan();
+        assert_eq!(p.input_len(), 5);
+        assert_eq!(p.output_len(), 64);
+        let mut p2 = plan();
+        p2.ttype = TransformType::Type2;
+        assert_eq!(p2.input_len(), 64);
+        assert_eq!(p2.output_len(), 5);
+    }
+}

@@ -5,7 +5,7 @@
 //! observation that spreading dominates 3D type-1 execution.
 //! Run with: `cargo run --release --example device_profile`
 
-use cufinufft::{GpuOpts, Plan};
+use cufinufft::Plan;
 use gpu_sim::Device;
 use nufft_common::workload::{gen_points, gen_strengths, PointDist};
 use nufft_common::{Complex, TransformType};
@@ -13,15 +13,10 @@ use nufft_common::{Complex, TransformType};
 fn main() {
     let device = Device::v100();
     let n = 64usize;
-    let mut plan = Plan::<f32>::new(
-        TransformType::Type1,
-        &[n, n, n],
-        -1,
-        1e-5,
-        GpuOpts::default(),
-        &device,
-    )
-    .unwrap();
+    let mut plan = Plan::<f32>::builder(TransformType::Type1, &[n, n, n])
+        .eps(1e-5)
+        .build(&device)
+        .unwrap();
     let m = 2 * n * n * n; // rho ~ 0.25 of the fine grid
     let pts = gen_points::<f32>(PointDist::Rand, 3, m, plan.fine_grid_shape(), 11);
     let cs = gen_strengths::<f32>(m, 12);

@@ -7,7 +7,7 @@
 //! sorting cost only once. Run with:
 //! `cargo run --release --example method_tour`
 
-use cufinufft::{GpuOpts, Method, Plan};
+use cufinufft::{Method, Plan};
 use gpu_sim::Device;
 use nufft_common::workload::{gen_points, gen_strengths, PointDist};
 use nufft_common::{Complex, TransformType};
@@ -30,10 +30,11 @@ fn main() {
         for method in [Method::Gm, Method::GmSort, Method::Sm] {
             let device = Device::v100();
             device.set_record_timeline(false);
-            let mut opts = GpuOpts::default();
-            opts.method = method;
-            let mut plan =
-                Plan::<f32>::new(TransformType::Type1, &[n, n], -1, eps, opts, &device).unwrap();
+            let mut plan = Plan::<f32>::builder(TransformType::Type1, &[n, n])
+                .eps(eps)
+                .method(method)
+                .build(&device)
+                .unwrap();
             let pts = gen_points::<f32>(dist, 2, m, plan.fine_grid_shape(), 1);
             let cs = gen_strengths::<f32>(m, 2);
             plan.set_pts(&pts).unwrap();
@@ -51,15 +52,10 @@ fn main() {
     println!("## use case the plan/setpts/execute interface exists for)\n");
     let device = Device::v100();
     device.set_record_timeline(false);
-    let mut plan = Plan::<f32>::new(
-        TransformType::Type1,
-        &[n, n],
-        -1,
-        eps,
-        GpuOpts::default(),
-        &device,
-    )
-    .unwrap();
+    let mut plan = Plan::<f32>::builder(TransformType::Type1, &[n, n])
+        .eps(eps)
+        .build(&device)
+        .unwrap();
     let pts = gen_points::<f32>(PointDist::Rand, 2, m, plan.fine_grid_shape(), 3);
     let t0 = device.clock();
     plan.set_pts(&pts).unwrap();

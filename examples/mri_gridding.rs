@@ -7,7 +7,7 @@
 //! single type 1 NUFFT of the ramp-weighted samples. Run with:
 //! `cargo run --release --example mri_gridding`
 
-use cufinufft::{GpuOpts, Plan};
+use cufinufft::Plan;
 use gpu_sim::Device;
 use nufft_common::{Complex, Points, TransformType};
 
@@ -88,15 +88,11 @@ fn main() {
 
     // adjoint NUFFT (type 1) on the simulated GPU
     let device = Device::v100();
-    let mut plan = Plan::<f64>::new(
-        TransformType::Type1,
-        &[n, n],
-        1, // e^{+i k.x}: adjoint of the forward e^{-i k.x}
-        1e-9,
-        GpuOpts::default(),
-        &device,
-    )
-    .expect("plan");
+    let mut plan = Plan::<f64>::builder(TransformType::Type1, &[n, n])
+        .iflag(1) // e^{+i k.x}: adjoint of the forward e^{-i k.x}
+        .eps(1e-9)
+        .build(&device)
+        .expect("plan");
     let pts = Points::<f64> {
         coords: [kx, ky, Vec::new()],
         dim: 2,

@@ -1,9 +1,10 @@
 //! Quickstart: a 2D type 1 NUFFT on the simulated GPU, with accuracy
-//! verification against the CPU library and a look at the timing report.
+//! verification against the CPU library, a look at the timing report,
+//! and a batched many-vector execution.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use cufinufft::{GpuOpts, Plan};
+use cufinufft::Plan;
 use gpu_sim::Device;
 use nufft_common::metrics::rel_l2;
 use nufft_common::workload::{gen_points, gen_strengths, PointDist};
@@ -16,15 +17,11 @@ fn main() {
     // 2. plan a 2D type 1 transform: 256x256 output modes, 1e-6 accuracy
     let n = 256usize;
     let eps = 1e-6;
-    let mut plan = Plan::<f32>::new(
-        TransformType::Type1,
-        &[n, n],
-        -1, // sign of the exponential (paper eq. 1)
-        eps,
-        GpuOpts::default(),
-        &device,
-    )
-    .expect("plan");
+    let mut plan = Plan::<f32>::builder(TransformType::Type1, &[n, n])
+        .eps(eps)
+        .iflag(-1) // sign of the exponential (paper eq. 1)
+        .build(&device)
+        .expect("plan");
     println!(
         "planned {}x{} type 1, kernel width {} ({:?} spreading), fine grid {:?}",
         n,
@@ -53,7 +50,28 @@ fn main() {
     println!("  total+mem  {:>9.3} ms  (incl. alloc + host-device transfers)", t.total_mem() * 1e3);
     println!("  throughput {:>9.1} Mpts/s (exec)", m as f64 / t.exec() / 1e6);
 
-    // 6. verify against the CPU library at high accuracy
+    // 6. many strength vectors at once: the point sort is reused, the
+    // FFTs run batched, and chunk transfers hide under compute on two
+    // simulated streams
+    let b = 8;
+    let stacked: Vec<Complex<f32>> = (0..b)
+        .flat_map(|v| gen_strengths::<f32>(m, 50 + v as u64))
+        .collect();
+    let mut out = vec![Complex::<f32>::ZERO; n * n * b];
+    plan.execute_many(&stacked, &mut out).expect("execute_many");
+    let tb = plan.timings();
+    println!(
+        "\nbatched {b} transforms: {:.3} ms wall ({:.3} ms hidden by overlap, {} chunks)",
+        tb.pipe_wall * 1e3,
+        tb.overlap_saving() * 1e3,
+        plan.batch_timings().chunks.len(),
+    );
+    println!(
+        "  vs {b} sequential executes: {:.3} ms",
+        t.total_mem() * b as f64 * 1e3
+    );
+
+    // 7. verify against the CPU library at high accuracy
     let mut cpu_plan = finufft_cpu::Plan::<f64>::new(
         finufft_cpu::TransformType::Type1,
         &[n, n],

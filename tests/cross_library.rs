@@ -1,16 +1,14 @@
 //! Cross-crate integration: all four libraries computing the same
 //! transform must agree to within their respective accuracies, across
-//! types, dimensions and distributions.
+//! types, dimensions and distributions. Every backend is driven through
+//! the shared [`NufftPlan`] trait so the lifecycle (set points, execute
+//! one or many vectors, read timings) is exercised uniformly.
 
 use cufinufft::{GpuOpts, Method};
 use gpu_sim::Device;
 use nufft_common::metrics::rel_l2;
 use nufft_common::workload::{gen_coeffs, gen_points, gen_strengths, PointDist};
-use nufft_common::{Complex, Points, Shape, TransformType};
-
-fn pts64(pts: &Points<f64>) -> Points<f64> {
-    pts.clone()
-}
+use nufft_common::{Complex, NufftPlan, Points, Shape, TransformType};
 
 struct Problem {
     modes: Vec<usize>,
@@ -30,20 +28,38 @@ fn problem(modes: &[usize], m: usize, dist: PointDist, seed: u64) -> Problem {
     }
 }
 
+/// Drive any backend through the shared trait: bind points, execute one
+/// transform, sanity-check the timing accessors.
+fn run_via_trait(plan: &mut dyn NufftPlan<f64>, p: &Problem) -> Vec<Complex<f64>> {
+    plan.set_points(&p.pts).unwrap();
+    let input = match plan.transform_type() {
+        TransformType::Type1 => &p.strengths,
+        TransformType::Type2 => &p.coeffs,
+    };
+    let mut out = vec![Complex::ZERO; plan.output_len()];
+    plan.execute(input, &mut out).unwrap();
+    assert!(
+        plan.exec_time() > 0.0 && plan.total_time() >= plan.exec_time(),
+        "{} reported non-monotone timings",
+        plan.backend_name()
+    );
+    out
+}
+
 fn cpu_reference(p: &Problem, ttype: TransformType) -> Vec<Complex<f64>> {
     let iflag = if ttype == TransformType::Type1 { -1 } else { 1 };
     let mut plan =
         finufft_cpu::Plan::<f64>::new(ttype, &p.modes, iflag, 1e-12, finufft_cpu::Opts::default())
             .unwrap();
-    plan.set_pts(pts64(&p.pts)).unwrap();
-    let n: usize = p.modes.iter().product();
-    let (input, out_len) = match ttype {
-        TransformType::Type1 => (&p.strengths, n),
-        TransformType::Type2 => (&p.coeffs, p.pts.len()),
-    };
-    let mut out = vec![Complex::ZERO; out_len];
-    plan.execute(input, &mut out).unwrap();
-    out
+    run_via_trait(&mut plan, p)
+}
+
+fn gpu_plan(p: &Problem, ttype: TransformType, eps: f64, opts: GpuOpts, dev: &Device) -> cufinufft::Plan<f64> {
+    cufinufft::Plan::<f64>::builder(ttype, &p.modes)
+        .eps(eps)
+        .opts(opts)
+        .build(dev)
+        .unwrap()
 }
 
 #[test]
@@ -55,29 +71,21 @@ fn all_gpu_libraries_agree_with_cpu_2d_type1() {
     for method in [Method::Gm, Method::GmSort, Method::Sm] {
         let mut opts = GpuOpts::default();
         opts.method = method;
-        let mut plan =
-            cufinufft::Plan::<f64>::new(TransformType::Type1, &p.modes, -1, 1e-10, opts, &dev)
-                .unwrap();
-        plan.set_pts(&p.pts).unwrap();
-        let mut out = vec![Complex::ZERO; truth.len()];
-        plan.execute(&p.strengths, &mut out).unwrap();
+        let mut plan = gpu_plan(&p, TransformType::Type1, 1e-10, opts, &dev);
+        let out = run_via_trait(&mut plan, &p);
         assert!(rel_l2(&out, &truth) < 1e-9, "{method:?}");
     }
     // CUNFFT at a moderate tolerance
     let mut cn =
         nufft_baselines::CunfftPlan::<f64>::new(TransformType::Type1, &p.modes, -1, 1e-6, &dev)
             .unwrap();
-    cn.set_pts(&p.pts).unwrap();
-    let mut out = vec![Complex::ZERO; truth.len()];
-    cn.execute(&p.strengths, &mut out).unwrap();
+    let out = run_via_trait(&mut cn, &p);
     assert!(rel_l2(&out, &truth) < 1e-4);
     // gpuNUFFT within its accuracy floor
     let mut gp =
         nufft_baselines::GpunufftPlan::<f64>::new(TransformType::Type1, &p.modes, -1, 1e-3, &dev)
             .unwrap();
-    gp.set_pts(&p.pts).unwrap();
-    let mut out = vec![Complex::ZERO; truth.len()];
-    gp.execute(&p.strengths, &mut out).unwrap();
+    let out = run_via_trait(&mut gp, &p);
     assert!(rel_l2(&out, &truth) < 3e-2);
 }
 
@@ -86,32 +94,18 @@ fn all_gpu_libraries_agree_with_cpu_3d_type2() {
     let p = problem(&[10, 12, 8], 350, PointDist::Rand, 2);
     let truth = cpu_reference(&p, TransformType::Type2);
     let dev = Device::v100();
-    let mut plan = cufinufft::Plan::<f64>::new(
-        TransformType::Type2,
-        &p.modes,
-        1,
-        1e-10,
-        GpuOpts::default(),
-        &dev,
-    )
-    .unwrap();
-    plan.set_pts(&p.pts).unwrap();
-    let mut out = vec![Complex::ZERO; p.pts.len()];
-    plan.execute(&p.coeffs, &mut out).unwrap();
+    let mut plan = gpu_plan(&p, TransformType::Type2, 1e-10, GpuOpts::default(), &dev);
+    let out = run_via_trait(&mut plan, &p);
     assert!(rel_l2(&out, &truth) < 1e-9);
     let mut cn =
         nufft_baselines::CunfftPlan::<f64>::new(TransformType::Type2, &p.modes, 1, 1e-6, &dev)
             .unwrap();
-    cn.set_pts(&p.pts).unwrap();
-    let mut out = vec![Complex::ZERO; p.pts.len()];
-    cn.execute(&p.coeffs, &mut out).unwrap();
+    let out = run_via_trait(&mut cn, &p);
     assert!(rel_l2(&out, &truth) < 1e-4);
     let mut gp =
         nufft_baselines::GpunufftPlan::<f64>::new(TransformType::Type2, &p.modes, 1, 1e-3, &dev)
             .unwrap();
-    gp.set_pts(&p.pts).unwrap();
-    let mut out = vec![Complex::ZERO; p.pts.len()];
-    gp.execute(&p.coeffs, &mut out).unwrap();
+    let out = run_via_trait(&mut gp, &p);
     assert!(rel_l2(&out, &truth) < 3e-2);
 }
 
@@ -120,19 +114,62 @@ fn clustered_inputs_agree_across_libraries() {
     let p = problem(&[32, 32], 800, PointDist::Cluster, 3);
     let truth = cpu_reference(&p, TransformType::Type1);
     let dev = Device::v100();
-    let mut plan = cufinufft::Plan::<f64>::new(
-        TransformType::Type1,
-        &p.modes,
-        -1,
-        1e-11,
-        GpuOpts::default(),
-        &dev,
-    )
-    .unwrap();
-    plan.set_pts(&p.pts).unwrap();
-    let mut out = vec![Complex::ZERO; truth.len()];
-    plan.execute(&p.strengths, &mut out).unwrap();
+    let mut plan = gpu_plan(&p, TransformType::Type1, 1e-11, GpuOpts::default(), &dev);
+    let out = run_via_trait(&mut plan, &p);
     assert!(rel_l2(&out, &truth) < 1e-9);
+}
+
+/// Every backend's `execute_many` — native batching on cuFINUFFT and
+/// the CPU library, the trait's default loop on the baselines — must
+/// stack B independent transforms exactly like B sequential executes.
+#[test]
+fn trait_execute_many_consistent_on_every_backend() {
+    let p = problem(&[18, 14], 400, PointDist::Rand, 11);
+    let b = 3;
+    let batch: Vec<Complex<f64>> = (0..b)
+        .flat_map(|v| gen_strengths::<f64>(400, 20 + v as u64))
+        .collect();
+    let dev = Device::v100();
+    let mut backends: Vec<Box<dyn NufftPlan<f64>>> = vec![
+        Box::new(gpu_plan(&p, TransformType::Type1, 1e-9, GpuOpts::default(), &dev)),
+        Box::new(
+            finufft_cpu::Plan::<f64>::new(
+                TransformType::Type1,
+                &p.modes,
+                -1,
+                1e-9,
+                finufft_cpu::Opts::default(),
+            )
+            .unwrap(),
+        ),
+        Box::new(
+            nufft_baselines::CunfftPlan::<f64>::new(TransformType::Type1, &p.modes, -1, 1e-6, &dev)
+                .unwrap(),
+        ),
+        Box::new(
+            nufft_baselines::GpunufftPlan::<f64>::new(TransformType::Type1, &p.modes, -1, 1e-3, &dev)
+                .unwrap(),
+        ),
+    ];
+    let n: usize = p.modes.iter().product();
+    for plan in &mut backends {
+        plan.set_points(&p.pts).unwrap();
+        // sequential reference on this same backend
+        let mut seq = vec![Complex::ZERO; n * b];
+        for v in 0..b {
+            let (cs, out) = (
+                &batch[v * 400..(v + 1) * 400],
+                &mut seq[v * n..(v + 1) * n],
+            );
+            plan.execute(cs, out).unwrap();
+        }
+        let mut many = vec![Complex::ZERO; n * b];
+        plan.execute_many(&batch, &mut many).unwrap();
+        for (i, (a, e)) in many.iter().zip(seq.iter()).enumerate() {
+            assert_eq!(a.re, e.re, "{} re at {i}", plan.backend_name());
+            assert_eq!(a.im, e.im, "{} im at {i}", plan.backend_name());
+        }
+    }
 }
 
 #[test]
@@ -153,24 +190,14 @@ fn f32_and_f64_pipelines_consistent() {
     let cs32 = gen_strengths::<f32>(300, 6);
     let cs: Vec<Complex<f64>> = cs32.iter().map(|z| z.cast()).collect();
     let dev = Device::v100();
-    let mut p32 = cufinufft::Plan::<f32>::new(
-        TransformType::Type1,
-        &modes,
-        -1,
-        1e-6,
-        GpuOpts::default(),
-        &dev,
-    )
-    .unwrap();
-    let mut p64 = cufinufft::Plan::<f64>::new(
-        TransformType::Type1,
-        &modes,
-        -1,
-        1e-6,
-        GpuOpts::default(),
-        &dev,
-    )
-    .unwrap();
+    let mut p32 = cufinufft::Plan::<f32>::builder(TransformType::Type1, &modes)
+        .eps(1e-6)
+        .build(&dev)
+        .unwrap();
+    let mut p64 = cufinufft::Plan::<f64>::builder(TransformType::Type1, &modes)
+        .eps(1e-6)
+        .build(&dev)
+        .unwrap();
     p32.set_pts(&pts32).unwrap();
     p64.set_pts(&pts).unwrap();
     let mut o32 = vec![Complex::<f32>::ZERO; shape.total()];
@@ -185,13 +212,8 @@ fn umbrella_crate_reexports_work() {
     // the workspace umbrella crate exposes everything examples need
     use cufinufft_repro::{cufinufft as cf, gpu_sim as gs, nufft_common as nc};
     let dev = gs::Device::v100();
-    let plan = cf::Plan::<f32>::new(
-        nc::TransformType::Type1,
-        &[16, 16],
-        -1,
-        1e-4,
-        cf::GpuOpts::default(),
-        &dev,
-    );
+    let plan = cf::Plan::<f32>::builder(nc::TransformType::Type1, &[16, 16])
+        .eps(1e-4)
+        .build(&dev);
     assert!(plan.is_ok());
 }

@@ -4,7 +4,7 @@
 //! permutation validity, method equivalence, periodic wrap handling,
 //! and scheduler bounds.
 
-use cufinufft::{GpuOpts, Method};
+use cufinufft::Method;
 use gpu_sim::Device;
 use nufft_common::metrics::{inner, rel_l2};
 use nufft_common::reference::type1_direct;
@@ -83,14 +83,53 @@ proptest! {
         let modes = [12usize, 14];
         let shape = Shape::from_slice(&modes);
         let dev = Device::v100();
-        let mut plan = cufinufft::Plan::<f64>::new(
-            TransformType::Type1, &modes, -1, 1e-9, GpuOpts::default(), &dev,
-        ).unwrap();
+        let mut plan = cufinufft::Plan::<f64>::builder(TransformType::Type1, &modes)
+            .eps(1e-9)
+            .build(&dev)
+            .unwrap();
         plan.set_pts(&pts).unwrap();
         let mut out = vec![Complex::<f64>::ZERO; shape.total()];
         plan.execute(&cs, &mut out).unwrap();
         let truth = type1_direct(&pts, &cs, shape, -1);
         prop_assert!(rel_l2(&out, &truth) < 1e-7, "err {}", rel_l2(&out, &truth));
+    }
+
+    /// execute_many over B stacked vectors is bitwise identical to B
+    /// sequential executes: batching and stream pipelining change the
+    /// schedule, never the arithmetic.
+    #[test]
+    fn execute_many_matches_sequential_bitwise(
+        m in 10usize..150,
+        b in 1usize..6,
+        max_batch in 0usize..4,
+        seed in 0u64..50,
+    ) {
+        let modes = [12usize, 10];
+        let shape = Shape::from_slice(&modes);
+        let fine = shape.map(|_, n| 2 * n);
+        let pts = nufft_common::gen_points::<f64>(nufft_common::PointDist::Rand, 2, m, fine, seed);
+        let dev = Device::v100();
+        let mut plan = cufinufft::Plan::<f64>::builder(TransformType::Type1, &modes)
+            .eps(1e-8)
+            .max_batch(max_batch)
+            .build(&dev)
+            .unwrap();
+        plan.set_pts(&pts).unwrap();
+        let n = shape.total();
+        let batch: Vec<Complex<f64>> = (0..b)
+            .flat_map(|v| nufft_common::gen_strengths::<f64>(m, seed + 10 + v as u64))
+            .collect();
+        let mut seq = vec![Complex::<f64>::ZERO; n * b];
+        for v in 0..b {
+            let (cs, out) = (&batch[v * m..(v + 1) * m], &mut seq[v * n..(v + 1) * n]);
+            plan.execute(cs, out).unwrap();
+        }
+        let mut many = vec![Complex::<f64>::ZERO; n * b];
+        plan.execute_many(&batch, &mut many).unwrap();
+        for i in 0..n * b {
+            prop_assert_eq!(many[i].re.to_bits(), seq[i].re.to_bits(), "re at {}", i);
+            prop_assert_eq!(many[i].im.to_bits(), seq[i].im.to_bits(), "im at {}", i);
+        }
     }
 
     /// All spreading methods produce the same sums (up to fp
@@ -105,11 +144,11 @@ proptest! {
         let dev = Device::v100();
         let mut outs = Vec::new();
         for method in [Method::Gm, Method::GmSort, Method::Sm] {
-            let mut opts = GpuOpts::default();
-            opts.method = method;
-            let mut plan = cufinufft::Plan::<f64>::new(
-                TransformType::Type1, &modes, -1, 1e-8, opts, &dev,
-            ).unwrap();
+            let mut plan = cufinufft::Plan::<f64>::builder(TransformType::Type1, &modes)
+                .eps(1e-8)
+                .method(method)
+                .build(&dev)
+                .unwrap();
             plan.set_pts(&pts).unwrap();
             let mut out = vec![Complex::<f64>::ZERO; shape.total()];
             plan.execute(&cs, &mut out).unwrap();
@@ -129,12 +168,14 @@ proptest! {
         let cs = nufft_common::gen_strengths::<f64>(m, seed + 1);
         let fs = nufft_common::gen_strengths::<f64>(shape.total(), seed + 2);
         let dev = Device::v100();
-        let mut p1 = cufinufft::Plan::<f64>::new(
-            TransformType::Type1, &modes, -1, 1e-11, GpuOpts::default(), &dev,
-        ).unwrap();
-        let mut p2 = cufinufft::Plan::<f64>::new(
-            TransformType::Type2, &modes, 1, 1e-11, GpuOpts::default(), &dev,
-        ).unwrap();
+        let mut p1 = cufinufft::Plan::<f64>::builder(TransformType::Type1, &modes)
+            .eps(1e-11)
+            .build(&dev)
+            .unwrap();
+        let mut p2 = cufinufft::Plan::<f64>::builder(TransformType::Type2, &modes)
+            .eps(1e-11)
+            .build(&dev)
+            .unwrap();
         p1.set_pts(&pts).unwrap();
         p2.set_pts(&pts).unwrap();
         let mut a = vec![Complex::<f64>::ZERO; shape.total()];

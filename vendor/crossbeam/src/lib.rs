@@ -1,0 +1,109 @@
+//! Minimal `crossbeam` stand-in for offline builds, backed by
+//! `std::thread::scope` and `std::sync::mpsc`.
+//!
+//! Covers exactly the slice the workspace uses: `crossbeam::scope` with
+//! `Scope::spawn(|_| ...)` / `ScopedJoinHandle::join`, and
+//! `crossbeam::channel::bounded` with cloneable senders and a blocking
+//! receiver iterator. Semantic difference from real crossbeam: a panic
+//! in an unjoined worker propagates as a panic out of `scope` (via
+//! `std::thread::scope`) instead of surfacing as `Err`; every call site
+//! in this workspace immediately `.expect()`s the result, so the
+//! observable behaviour — a panic with a message — is the same.
+
+pub mod channel {
+    pub use std::sync::mpsc::{Receiver, SendError};
+
+    /// Cloneable bounded sender (std's `SyncSender` re-badged).
+    pub type Sender<T> = std::sync::mpsc::SyncSender<T>;
+
+    /// A bounded MPSC channel.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::sync_channel(cap)
+    }
+}
+
+/// A scope token mirroring `crossbeam::thread::Scope`.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+    fn clone(&self) -> Self {
+        Scope { inner: self.inner }
+    }
+}
+impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<'scope, T> ScopedJoinHandle<'scope, T> {
+    pub fn join(self) -> std::thread::Result<T> {
+        self.inner.join()
+    }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a worker; the closure receives the scope (crossbeam passes
+    /// `&Scope` so nested spawns are possible — all call sites here
+    /// ignore it as `|_|`).
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let token = *self;
+        ScopedJoinHandle {
+            inner: self.inner.spawn(move || f(&token)),
+        }
+    }
+}
+
+/// Run `f` with a scope handle; all spawned threads are joined before
+/// this returns. Always `Ok` — worker panics propagate as panics.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scope_spawn_join() {
+        let total = AtomicUsize::new(0);
+        let got = crate::scope(|s| {
+            let hs: Vec<_> = (0..4)
+                .map(|i| s.spawn(move |_| i * 2))
+                .collect();
+            for h in hs {
+                total.fetch_add(h.join().unwrap(), Ordering::Relaxed);
+            }
+            total.load(Ordering::Relaxed)
+        })
+        .unwrap();
+        assert_eq!(got, 12);
+    }
+
+    #[test]
+    fn bounded_channel_fan_in() {
+        let (tx, rx) = crate::channel::bounded::<usize>(2);
+        crate::scope(|s| {
+            for w in 0..3 {
+                let tx = tx.clone();
+                s.spawn(move |_| {
+                    for i in 0..5 {
+                        tx.send(w * 100 + i).unwrap();
+                    }
+                });
+            }
+            drop(tx);
+            assert_eq!(rx.iter().count(), 15);
+        })
+        .unwrap();
+    }
+}

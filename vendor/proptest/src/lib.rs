@@ -1,0 +1,222 @@
+//! Minimal `proptest` stand-in for offline builds.
+//!
+//! Implements the slice of the proptest API this workspace's property
+//! tests use: range/tuple/`prop_map`/`collection::vec` strategies, the
+//! `proptest!` macro with optional `#![proptest_config(..)]`, and the
+//! `prop_assert!`/`prop_assert_eq!`/`prop_assume!` macros.
+//!
+//! Differences from real proptest, by design:
+//! - inputs are drawn from a deterministic xoshiro256** stream seeded
+//!   from the test name, so runs are reproducible without a persistence
+//!   file;
+//! - failing cases are reported with their case index and generated
+//!   values are NOT shrunk (the failure message carries the assertion's
+//!   own diagnostics instead).
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod collection {
+    use crate::strategy::{SizeRange, Strategy, VecStrategy};
+
+    /// `vec(element_strategy, size_range)` — sizes accept `a..b` and
+    /// `a..=b` like upstream.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)+);
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left), stringify!($right), l
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+/// The test-defining macro. Accepts an optional leading
+/// `#![proptest_config(expr)]` followed by `fn name(pat in strategy, ...)
+/// { body }` items (with any outer attributes, e.g. `#[test]` and doc
+/// comments).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!(($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut __rng =
+                $crate::test_runner::TestRng::for_test(stringify!($name));
+            let mut __rejects: u32 = 0;
+            let mut __case: u32 = 0;
+            while __case < __config.cases {
+                $(
+                    let $arg = $crate::strategy::Strategy::generate(
+                        &($strat), &mut __rng,
+                    );
+                )+
+                let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (move || {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                match __outcome {
+                    ::std::result::Result::Ok(()) => { __case += 1; }
+                    ::std::result::Result::Err(
+                        $crate::test_runner::TestCaseError::Reject,
+                    ) => {
+                        __rejects += 1;
+                        if __rejects > __config.max_global_rejects {
+                            panic!(
+                                "proptest {}: too many prop_assume! rejections ({})",
+                                stringify!($name), __rejects
+                            );
+                        }
+                    }
+                    ::std::result::Result::Err(
+                        $crate::test_runner::TestCaseError::Fail(__msg),
+                    ) => {
+                        panic!(
+                            "proptest {} failed at case {}: {}",
+                            stringify!($name), __case, __msg
+                        );
+                    }
+                }
+            }
+        }
+        $crate::__proptest_items!(($cfg) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+
+    #[test]
+    fn ranges_and_vec_strategies_generate_in_bounds() {
+        let mut rng = crate::test_runner::TestRng::for_test("bounds");
+        for _ in 0..200 {
+            let x = (3usize..17).generate(&mut rng);
+            assert!((3..17).contains(&x));
+            let f = (-1.5f64..2.5).generate(&mut rng);
+            assert!((-1.5..2.5).contains(&f));
+            let v = crate::collection::vec(0u64..10, 2..6).generate(&mut rng);
+            assert!(v.len() >= 2 && v.len() < 6);
+            assert!(v.iter().all(|&e| e < 10));
+            let w = crate::collection::vec(0.0f64..1.0, 4..=4).generate(&mut rng);
+            assert_eq!(w.len(), 4);
+        }
+    }
+
+    #[test]
+    fn prop_map_and_tuples_compose() {
+        let mut rng = crate::test_runner::TestRng::for_test("compose");
+        let s = (0.0f64..1.0, 1usize..5).prop_map(|(f, n)| f * n as f64);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!((0.0..5.0).contains(&v));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The macro wires config, strategies, and assertions together.
+        #[test]
+        fn macro_end_to_end(a in 1usize..50, b in 1usize..50) {
+            prop_assume!(a != b);
+            prop_assert!(a + b >= 2, "sum {}", a + b);
+            prop_assert_eq!(a + b, b + a);
+            prop_assert_ne!(a, b);
+        }
+    }
+
+    proptest! {
+        /// Default config path (no inner attribute).
+        #[test]
+        fn macro_default_config(x in 0u32..10) {
+            prop_assert!(x < 10);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failing_property_panics() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+            #[test]
+            fn inner_always_fails(x in 0usize..5) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        inner_always_fails();
+    }
+}
