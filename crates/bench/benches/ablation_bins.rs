@@ -31,7 +31,10 @@ fn main() {
         dim: 2,
     };
     println!("## 2D (fine 2048^2) — paper default 32x32");
-    println!("{:>10} | {:>12} | {:>12} | shared B", "bin", "GM-sort ns", "SM ns");
+    println!(
+        "{:>10} | {:>12} | {:>12} | shared B",
+        "bin", "GM-sort ns", "SM ns"
+    );
     for b in [8usize, 16, 32, 64, 128] {
         let bins = [b, b, 1];
         let dev = Device::v100();
@@ -39,14 +42,26 @@ fn main() {
         let sort = gpu_bin_sort(&dev, &pts, fine, bins);
         let mut grid = vec![Complex::<f32>::ZERO; fine.total()];
         let t0 = dev.clock();
-        spread_gm(&dev, "gms", &kernel, fine, &pr, &cs, &sort.perm, &mut grid, 128, 1.0);
+        spread_gm(
+            &dev, "gms", &kernel, fine, &pr, &cs, &sort.perm, &mut grid, 128, 1.0,
+        );
         let t_gms = dev.clock() - t0;
         let shb = sm_shared_bytes(bins, 2, kernel.w, 8);
         let t_sm = if shb <= 49_000 {
             let subs = build_subproblems(&dev, &sort, 1024);
             let mut g2 = vec![Complex::<f32>::ZERO; fine.total()];
             let t1 = dev.clock();
-            spread_sm(&dev, &kernel, fine, &pr, &cs, &sort.perm, &sort.layout, &subs, &mut g2);
+            spread_sm(
+                &dev,
+                &kernel,
+                fine,
+                &pr,
+                &cs,
+                &sort.perm,
+                &sort.layout,
+                &subs,
+                &mut g2,
+            );
             Some(dev.clock() - t1)
         } else {
             None
@@ -56,13 +71,15 @@ fn main() {
             b,
             b,
             ns_per_pt(t_gms, m),
-            t_sm.map(|t| format!("{:.3}", ns_per_pt(t, m))).unwrap_or("(infeasible)".into()),
+            t_sm.map(|t| format!("{:.3}", ns_per_pt(t, m)))
+                .unwrap_or("(infeasible)".into()),
             shb
         );
         csv.row(&format!(
             "2,{b}x{b},{:.4},{}",
             ns_per_pt(t_gms, m),
-            t_sm.map(|t| format!("{:.4}", ns_per_pt(t, m))).unwrap_or("nan".into())
+            t_sm.map(|t| format!("{:.4}", ns_per_pt(t, m)))
+                .unwrap_or("nan".into())
         ));
     }
 
@@ -75,21 +92,43 @@ fn main() {
         dim: 3,
     };
     println!("\n## 3D (fine 128^3) — paper default 16x16x2");
-    println!("{:>12} | {:>12} | {:>12} | shared B", "bin", "GM-sort ns", "SM ns");
-    for bins in [[4usize, 4, 4], [8, 8, 2], [8, 8, 8], [16, 16, 2], [16, 16, 4], [32, 32, 2]] {
+    println!(
+        "{:>12} | {:>12} | {:>12} | shared B",
+        "bin", "GM-sort ns", "SM ns"
+    );
+    for bins in [
+        [4usize, 4, 4],
+        [8, 8, 2],
+        [8, 8, 8],
+        [16, 16, 2],
+        [16, 16, 4],
+        [32, 32, 2],
+    ] {
         let dev = Device::v100();
         dev.set_record_timeline(false);
         let sort = gpu_bin_sort(&dev, &pts, fine, bins);
         let mut grid = vec![Complex::<f32>::ZERO; fine.total()];
         let t0 = dev.clock();
-        spread_gm(&dev, "gms", &kernel, fine, &pr, &cs, &sort.perm, &mut grid, 128, 1.0);
+        spread_gm(
+            &dev, "gms", &kernel, fine, &pr, &cs, &sort.perm, &mut grid, 128, 1.0,
+        );
         let t_gms = dev.clock() - t0;
         let shb = sm_shared_bytes(bins, 3, kernel.w, 8);
         let t_sm = if shb <= 49_000 {
             let subs = build_subproblems(&dev, &sort, 1024);
             let mut g2 = vec![Complex::<f32>::ZERO; fine.total()];
             let t1 = dev.clock();
-            spread_sm(&dev, &kernel, fine, &pr, &cs, &sort.perm, &sort.layout, &subs, &mut g2);
+            spread_sm(
+                &dev,
+                &kernel,
+                fine,
+                &pr,
+                &cs,
+                &sort.perm,
+                &sort.layout,
+                &subs,
+                &mut g2,
+            );
             Some(dev.clock() - t1)
         } else {
             None
@@ -100,7 +139,8 @@ fn main() {
             bins[1],
             bins[2],
             ns_per_pt(t_gms, m),
-            t_sm.map(|t| format!("{:.3}", ns_per_pt(t, m))).unwrap_or("(infeasible)".into()),
+            t_sm.map(|t| format!("{:.3}", ns_per_pt(t, m)))
+                .unwrap_or("(infeasible)".into()),
             shb
         );
         csv.row(&format!(
@@ -109,7 +149,8 @@ fn main() {
             bins[1],
             bins[2],
             ns_per_pt(t_gms, m),
-            t_sm.map(|t| format!("{:.4}", ns_per_pt(t, m))).unwrap_or("nan".into())
+            t_sm.map(|t| format!("{:.4}", ns_per_pt(t, m)))
+                .unwrap_or("nan".into())
         ));
     }
     println!("\n# expectation: defaults 32x32 / 16x16x2 within ~20% of the sweep optimum");

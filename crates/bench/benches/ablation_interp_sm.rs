@@ -18,18 +18,32 @@ use nufft_kernels::EsKernel;
 
 fn main() {
     let kernel = EsKernel::with_width(6);
-    let mut csv = Csv::create("ablation_interp_sm.csv", "dim,dist,n,gm_sort_ns,sm_ns,ratio");
+    let mut csv = Csv::create(
+        "ablation_interp_sm.csv",
+        "dim,dist,n,gm_sort_ns,sm_ns,ratio",
+    );
     println!("# Ablation — shared-memory interpolation (the paper's rejected design)");
     println!("# w = 6, f32, rho = 1\n");
     println!(
         "{:>4} {:>8} {:>6} | {:>12} | {:>12} | ratio",
         "dim", "dist", "n", "GM-sort ns", "SM ns"
     );
-    for (dim, sizes) in [(2usize, vec![512usize, 1024, 2048]), (3usize, vec![64usize, 128])] {
+    for (dim, sizes) in [
+        (2usize, vec![512usize, 1024, 2048]),
+        (3usize, vec![64usize, 128]),
+    ] {
         for dist in [PointDist::Rand, PointDist::Cluster] {
-            let dist_name = if dist == PointDist::Rand { "rand" } else { "cluster" };
+            let dist_name = if dist == PointDist::Rand {
+                "rand"
+            } else {
+                "cluster"
+            };
             for &n in &sizes {
-                let fine = if dim == 2 { Shape::d2(n, n) } else { Shape::d3(n, n, n) };
+                let fine = if dim == 2 {
+                    Shape::d2(n, n)
+                } else {
+                    Shape::d3(n, n, n)
+                };
                 let (pts, _) = workload::<f32>(dist, dim, fine, 1.0, 3 + n as u64);
                 let m = pts.len();
                 let grid = gen_coeffs::<f32>(fine.total(), 9);
@@ -43,10 +57,22 @@ fn main() {
                 let subs = build_subproblems(&dev, &sort, 1024);
                 let mut out = vec![Complex::<f32>::ZERO; m];
                 let t0 = dev.clock();
-                interp_gm(&dev, "g", &kernel, fine, &pr, &grid, &sort.perm, &mut out, 128);
+                interp_gm(
+                    &dev, "g", &kernel, fine, &pr, &grid, &sort.perm, &mut out, 128,
+                );
                 let t_gm = dev.clock() - t0;
                 let t1 = dev.clock();
-                interp_sm(&dev, &kernel, fine, &pr, &grid, &sort.perm, &sort.layout, &subs, &mut out);
+                interp_sm(
+                    &dev,
+                    &kernel,
+                    fine,
+                    &pr,
+                    &grid,
+                    &sort.perm,
+                    &sort.layout,
+                    &subs,
+                    &mut out,
+                );
                 let t_sm = dev.clock() - t1;
                 println!(
                     "{:>4} {:>8} {:>6} | {:>12.3} | {:>12.3} | {:.2}x",

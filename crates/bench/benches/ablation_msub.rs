@@ -20,7 +20,11 @@ fn main() {
     let mut csv = Csv::create("ablation_msub.csv", "dist,msub,subproblems,spread_ns");
     println!("# Ablation — M_sub sweep, SM spreading, 2D fine 1024^2, w = 6, f32\n");
     for dist in [PointDist::Cluster, PointDist::Rand] {
-        let dist_name = if dist == PointDist::Rand { "rand" } else { "cluster" };
+        let dist_name = if dist == PointDist::Rand {
+            "rand"
+        } else {
+            "cluster"
+        };
         let (pts, cs) = workload::<f32>(dist, 2, fine, 1.0, 55);
         let m = pts.len();
         let pr = PtsRef {
@@ -28,7 +32,10 @@ fn main() {
             dim: 2,
         };
         println!("## \"{dist_name}\" (M = {m})");
-        println!("{:>12} | {:>12} | {:>12}", "M_sub", "subproblems", "spread ns/pt");
+        println!(
+            "{:>12} | {:>12} | {:>12}",
+            "M_sub", "subproblems", "spread ns/pt"
+        );
         for msub in [64usize, 256, 1024, 4096, 16384, usize::MAX] {
             let dev = Device::v100();
             dev.set_record_timeline(false);
@@ -36,11 +43,34 @@ fn main() {
             let subs = build_subproblems(&dev, &sort, msub.min(m.max(1)));
             let mut grid = vec![Complex::<f32>::ZERO; fine.total()];
             let t0 = dev.clock();
-            spread_sm(&dev, &kernel, fine, &pr, &cs, &sort.perm, &sort.layout, &subs, &mut grid);
+            spread_sm(
+                &dev,
+                &kernel,
+                fine,
+                &pr,
+                &cs,
+                &sort.perm,
+                &sort.layout,
+                &subs,
+                &mut grid,
+            );
             let t = dev.clock() - t0;
-            let label = if msub == usize::MAX { "uncapped".into() } else { msub.to_string() };
-            println!("{:>12} | {:>12} | {:>12.3}", label, subs.len(), ns_per_pt(t, m));
-            csv.row(&format!("{dist_name},{label},{},{:.4}", subs.len(), ns_per_pt(t, m)));
+            let label = if msub == usize::MAX {
+                "uncapped".into()
+            } else {
+                msub.to_string()
+            };
+            println!(
+                "{:>12} | {:>12} | {:>12.3}",
+                label,
+                subs.len(),
+                ns_per_pt(t, m)
+            );
+            csv.row(&format!(
+                "{dist_name},{label},{},{:.4}",
+                subs.len(),
+                ns_per_pt(t, m)
+            ));
         }
         println!();
     }

@@ -54,8 +54,15 @@ fn main() {
             let batch: Vec<Complex<f32>> = (0..b)
                 .flat_map(|v| gen_strengths::<f32>(m, 30 + v as u64))
                 .collect();
-            let (bplan, _) =
-                run_cufinufft_batch(TransformType::Type1, &modes, eps, b, max_batch, &pts, &batch);
+            let (bplan, _) = run_cufinufft_batch(
+                TransformType::Type1,
+                &modes,
+                eps,
+                b,
+                max_batch,
+                &pts,
+                &batch,
+            );
             let t = bplan.timings();
             let bt = bplan.batch_timings();
             let batched = t.total_mem();

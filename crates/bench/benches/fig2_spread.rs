@@ -41,20 +41,52 @@ fn run_method(
         "GM" => {
             let natural: Vec<u32> = (0..m as u32).collect();
             let t1 = dev.clock();
-            spread_gm(&dev, "spread_GM", kernel, fine, &pr, cs, &natural, &mut grid, 128, 1.0);
+            spread_gm(
+                &dev,
+                "spread_GM",
+                kernel,
+                fine,
+                &pr,
+                cs,
+                &natural,
+                &mut grid,
+                128,
+                1.0,
+            );
             (0.0, dev.clock() - t1)
         }
         "GM-sort" => {
             let sort = gpu_bin_sort(&dev, pts, fine, bins);
             let t1 = dev.clock();
-            spread_gm(&dev, "spread_GMs", kernel, fine, &pr, cs, &sort.perm, &mut grid, 128, 1.0);
+            spread_gm(
+                &dev,
+                "spread_GMs",
+                kernel,
+                fine,
+                &pr,
+                cs,
+                &sort.perm,
+                &mut grid,
+                128,
+                1.0,
+            );
             (t1 - t0, dev.clock() - t1)
         }
         "SM" => {
             let sort = gpu_bin_sort(&dev, pts, fine, bins);
             let subs = build_subproblems(&dev, &sort, 1024);
             let t1 = dev.clock();
-            spread_sm(&dev, kernel, fine, &pr, cs, &sort.perm, &sort.layout, &subs, &mut grid);
+            spread_sm(
+                &dev,
+                kernel,
+                fine,
+                &pr,
+                cs,
+                &sort.perm,
+                &sort.layout,
+                &subs,
+                &mut grid,
+            );
             (t1 - t0, dev.clock() - t1)
         }
         _ => unreachable!(),
@@ -85,7 +117,11 @@ fn main() {
     println!("# single precision, w = 6 (eps = 1e-5), rho = 1, M_sub = 1024\n");
     for (dim, sizes) in [(2usize, &sizes_2d), (3usize, &sizes_3d)] {
         for dist in [PointDist::Rand, PointDist::Cluster] {
-            let dist_name = if dist == PointDist::Rand { "rand" } else { "cluster" };
+            let dist_name = if dist == PointDist::Rand {
+                "rand"
+            } else {
+                "cluster"
+            };
             println!("## {dim}D, \"{dist_name}\"");
             println!(
                 "{:>6} {:>10} | {:>9} {:>9} | {:>9} {:>9} | {:>9} {:>9} | speedups vs GM",

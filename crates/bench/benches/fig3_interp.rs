@@ -58,7 +58,17 @@ fn main() {
             dev.set_record_timeline(false);
             let natural: Vec<u32> = (0..m as u32).collect();
             let t0 = dev.clock();
-            interp_gm(&dev, "interp_GM", &kernel, fine, &pr, &grid, &natural, &mut out, 128);
+            interp_gm(
+                &dev,
+                "interp_GM",
+                &kernel,
+                fine,
+                &pr,
+                &grid,
+                &natural,
+                &mut out,
+                128,
+            );
             let gm_int = dev.clock() - t0;
             // GM-sort: bin-sort then interpolate
             let dev = Device::v100();
@@ -66,7 +76,17 @@ fn main() {
             let t0 = dev.clock();
             let sort = gpu_bin_sort(&dev, &pts, fine, default_bin_size(dim));
             let t1 = dev.clock();
-            interp_gm(&dev, "interp_GMs", &kernel, fine, &pr, &grid, &sort.perm, &mut out, 128);
+            interp_gm(
+                &dev,
+                "interp_GMs",
+                &kernel,
+                fine,
+                &pr,
+                &grid,
+                &sort.perm,
+                &mut out,
+                128,
+            );
             let gms_int = dev.clock() - t1;
             let gms_sort = t1 - t0;
             println!(

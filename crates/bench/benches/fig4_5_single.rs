@@ -35,11 +35,20 @@ fn main() {
         // slightly per library; use the nominal 2N grid for M)
         let fine = shape.map(|_, v| 2 * v);
         for ttype in [TransformType::Type1, TransformType::Type2] {
-            let tname = if ttype == TransformType::Type1 { "type1" } else { "type2" };
+            let tname = if ttype == TransformType::Type1 {
+                "type1"
+            } else {
+                "type2"
+            };
             println!("\n## {dim}D {tname}  (columns: err | exec | total | total+mem, ns/pt)");
             println!(
                 "{:>8} | {:>44} | {:>44} | {:>30} | {:>30} | {:>22}",
-                "eps", "cuFINUFFT(SM)", "cuFINUFFT(GM-sort)", "CUNFFT", "gpuNUFFT", "FINUFFT(model)"
+                "eps",
+                "cuFINUFFT(SM)",
+                "cuFINUFFT(GM-sort)",
+                "CUNFFT",
+                "gpuNUFFT",
+                "FINUFFT(model)"
             );
             let (pts, cs) = workload::<f32>(PointDist::Rand, dim, fine, 1.0, 99);
             let m = pts.len();
@@ -77,7 +86,11 @@ fn main() {
                         ns_per_pt(t.total(), m),
                         ns_per_pt(t.total_mem(), m)
                     ));
-                    let lib = if method == Method::Sm { "cufinufft_SM" } else { "cufinufft_GMsort" };
+                    let lib = if method == Method::Sm {
+                        "cufinufft_SM"
+                    } else {
+                        "cufinufft_GMsort"
+                    };
                     csv.row(&format!(
                         "{dim},{tname},{eps},{lib},{err:.3e},{:.3},{:.3},{:.3}",
                         ns_per_pt(t.exec(), m),

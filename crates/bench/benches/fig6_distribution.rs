@@ -7,8 +7,8 @@
 //! "cluster"; CUNFFT collapses by ~200x.
 
 use bench::{
-    finufft_model_times, large_mode, ns_per_pt, run_cufinufft, run_cunfft, run_gpunufft,
-    workload, Csv,
+    finufft_model_times, large_mode, ns_per_pt, run_cufinufft, run_cunfft, run_gpunufft, workload,
+    Csv,
 };
 use cufinufft::Method;
 use nufft_common::workload::PointDist;
@@ -28,9 +28,17 @@ fn main() {
     println!("# Fig. 6 — 2D, single precision, eps = 1e-2, rho = 1");
     println!("# exec ns/pt (total+mem in parentheses)\n");
     for ttype in [TransformType::Type1, TransformType::Type2] {
-        let tname = if ttype == TransformType::Type1 { "type1" } else { "type2" };
+        let tname = if ttype == TransformType::Type1 {
+            "type1"
+        } else {
+            "type2"
+        };
         for dist in [PointDist::Rand, PointDist::Cluster] {
-            let dist_name = if dist == PointDist::Rand { "rand" } else { "cluster" };
+            let dist_name = if dist == PointDist::Rand {
+                "rand"
+            } else {
+                "cluster"
+            };
             println!("## {tname}, \"{dist_name}\"");
             println!(
                 "{:>6} | {:>16} | {:>16} | {:>18} | {:>16} | {:>10} | cuF(SM)/FINUFFT",

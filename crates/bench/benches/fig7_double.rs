@@ -7,8 +7,8 @@
 //! (Remark 2) — the harness reports the method actually selected.
 
 use bench::{
-    finufft_model_times, ground_truth, large_mode, ns_per_pt, run_cufinufft, run_cunfft,
-    workload, Csv,
+    finufft_model_times, ground_truth, large_mode, ns_per_pt, run_cufinufft, run_cunfft, workload,
+    Csv,
 };
 use cufinufft::Method;
 use nufft_common::metrics::rel_l2;
@@ -29,7 +29,11 @@ fn main() {
         let shape = Shape::from_slice(&modes);
         let fine = shape.map(|_, v| 2 * v);
         for ttype in [TransformType::Type1, TransformType::Type2] {
-            let tname = if ttype == TransformType::Type1 { "type1" } else { "type2" };
+            let tname = if ttype == TransformType::Type1 {
+                "type1"
+            } else {
+                "type2"
+            };
             println!("## {dim}D {tname}  (err | exec | total | total+mem, ns/pt)");
             println!(
                 "{:>8} | {:>52} | {:>42} | {:>22}",
@@ -47,13 +51,8 @@ fn main() {
                 let w = nufft_kernels::EsKernel::for_tolerance(eps, true)
                     .map(|k| k.w)
                     .unwrap_or(16);
-                let sm_ok = cufinufft::sm_feasible(
-                    cufinufft::default_bin_size(dim),
-                    dim,
-                    w,
-                    16,
-                    49_000,
-                );
+                let sm_ok =
+                    cufinufft::sm_feasible(cufinufft::default_bin_size(dim), dim, w, 16, 49_000);
                 let method = if sm_ok { Method::Sm } else { Method::GmSort };
                 let mname = if sm_ok { "SM" } else { "GM-sort" };
                 let (t, out) = run_cufinufft(ttype, &modes, eps, method, &pts, input);

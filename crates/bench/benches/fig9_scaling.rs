@@ -30,7 +30,11 @@ fn main() {
             );
             let base = pts[0].wall_total;
             for p in &pts {
-                let marker = if p.ranks == node.gpus { "  <- one rank per GPU" } else { "" };
+                let marker = if p.ranks == node.gpus {
+                    "  <- one rank per GPU"
+                } else {
+                    ""
+                };
                 println!(
                     "{:>6} | {:>12.5} {:>12.5} {:>12.5} | {:>8.2}x{marker}",
                     p.ranks,

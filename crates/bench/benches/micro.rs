@@ -4,7 +4,7 @@
 //! efficient, they are not comparable to a V100).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use finufft_cpu::spread::{spread_serial, interp};
+use finufft_cpu::spread::{interp, spread_serial};
 use nufft_common::workload::{gen_points, gen_strengths, PointDist};
 use nufft_common::{Complex, Shape};
 use nufft_fft::{Direction, FftNd};
@@ -36,12 +36,28 @@ fn bench_spread(c: &mut Criterion) {
     c.bench_function("cpu_spread_2d_100k_w6", |b| {
         b.iter(|| {
             grid.iter_mut().for_each(|z| *z = Complex::ZERO);
-            spread_serial(&kernel, fine, &pts, &cs, &order, std::hint::black_box(&mut grid));
+            spread_serial(
+                &kernel,
+                fine,
+                &pts,
+                &cs,
+                &order,
+                std::hint::black_box(&mut grid),
+            );
         })
     });
     let mut out = vec![Complex::<f32>::ZERO; m];
     c.bench_function("cpu_interp_2d_100k_w6", |b| {
-        b.iter(|| interp(&kernel, fine, &pts, &grid, std::hint::black_box(&mut out), 1))
+        b.iter(|| {
+            interp(
+                &kernel,
+                fine,
+                &pts,
+                &grid,
+                std::hint::black_box(&mut out),
+                1,
+            )
+        })
     });
 }
 

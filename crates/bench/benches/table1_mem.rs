@@ -52,7 +52,11 @@ fn main() {
     for eps in [1e-2, 1e-5] {
         for n in [32usize, big_n] {
             for method in [Method::GmSort, Method::Sm] {
-                let mname = if method == Method::Sm { "SM" } else { "GM-sort" };
+                let mname = if method == Method::Sm {
+                    "SM"
+                } else {
+                    "GM-sort"
+                };
                 let (exec, ram, frac, f_exec) = run_row(n, eps, method);
                 let m = 8 * n * n * n; // rho = 1 on the 2N fine grid
                 println!(

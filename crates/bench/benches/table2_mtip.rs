@@ -54,7 +54,12 @@ fn main() {
         let cpu_single = cpu_time(&task, &skylake);
         println!(
             "{:>18} {:>10} {:>14} | {:>10.4} {:>10.4} {:>7.1}x",
-            name, "-", "single-rank", cpu_single, gpu_single, cpu_single / gpu_single
+            name,
+            "-",
+            "single-rank",
+            cpu_single,
+            gpu_single,
+            cpu_single / gpu_single
         );
         csv.row(&format!(
             "{name},-,single-rank,{cpu_single:.5},{gpu_single:.5},{:.2}",

@@ -14,7 +14,9 @@ use std::path::PathBuf;
 
 /// True when the (slower) closer-to-paper problem sizes are requested.
 pub fn large_mode() -> bool {
-    std::env::var("BENCH_LARGE").map(|v| v == "1").unwrap_or(false)
+    std::env::var("BENCH_LARGE")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 /// Locate the workspace-root `results/` directory.
@@ -196,14 +198,9 @@ pub fn ground_truth<T: Real>(
 ) -> Vec<Complex<f64>> {
     let iflag = if ttype == TransformType::Type1 { -1 } else { 1 };
     // eps = 1e-14 ground truth, as in the paper's double-precision runs
-    let mut plan = finufft_cpu::Plan::<f64>::new(
-        ttype,
-        modes,
-        iflag,
-        1e-14,
-        finufft_cpu::Opts::default(),
-    )
-    .expect("truth plan");
+    let mut plan =
+        finufft_cpu::Plan::<f64>::new(ttype, modes, iflag, 1e-14, finufft_cpu::Opts::default())
+            .expect("truth plan");
     let pts64 = Points::<f64> {
         coords: [
             pts.coords[0].iter().map(|v| v.to_f64()).collect(),
@@ -252,7 +249,8 @@ mod tests {
         let truth = ground_truth(TransformType::Type1, &[32, 32], &pts, &cs);
         let err = nufft_common::metrics::rel_l2(&out, &truth);
         assert!(err < 1e-3, "err={err}");
-        let (fe, ft) = finufft_model_times::<f32>(TransformType::Type1, Shape::d2(32, 32), 1e-4, pts.len());
+        let (fe, ft) =
+            finufft_model_times::<f32>(TransformType::Type1, Shape::d2(32, 32), 1e-4, pts.len());
         assert!(fe > 0.0 && ft > fe);
     }
 }

@@ -85,7 +85,15 @@ pub fn interp_gm<T: Real, K: Kernel1d>(
                     let c3 = (fp.l0[2] + t3 as i64).rem_euclid(n3 as i64) as usize;
                     for t2 in 0..fp.wd[1] {
                         let c2 = (fp.l0[1] + t2 as i64).rem_euclid(n2 as i64) as usize;
-                        crate::spread::account_row(&mut b, n1 * (c2 + n2 * c3), fp.l0[0], fp.wd[0], n1, cb, false);
+                        crate::spread::account_row(
+                            &mut b,
+                            n1 * (c2 + n2 * c3),
+                            fp.l0[0],
+                            fp.wd[0],
+                            n1,
+                            cb,
+                            false,
+                        );
                     }
                 }
             }
@@ -158,7 +166,10 @@ pub fn interp_sm<T: Real>(
     }
     let padded_cells = p[0] * p[1] * p[2];
     let shared_bytes = (padded_cells * cb).min(dev.props().shared_mem_per_block);
-    let mut k = dev.kernel("interp_SM", LaunchConfig::new(prec, 256).with_shared(shared_bytes));
+    let mut k = dev.kernel(
+        "interp_SM",
+        LaunchConfig::new(prec, 256).with_shared(shared_bytes),
+    );
     let [n1, n2, n3] = fine.n;
     let half = (pad / 2) as i64;
     let mut addrs = [0usize; 32];
@@ -293,8 +304,28 @@ mod tests {
         let sort = gpu_bin_sort(&dev, &pts, fine, [32, 32, 1]);
         let mut a = vec![Complex::<f64>::ZERO; m];
         let mut b = vec![Complex::<f64>::ZERO; m];
-        interp_gm(&dev, "interp_GM", &kernel, fine, &pts_ref(&pts), &grid, &natural, &mut a, 128);
-        interp_gm(&dev, "interp_GMs", &kernel, fine, &pts_ref(&pts), &grid, &sort.perm, &mut b, 128);
+        interp_gm(
+            &dev,
+            "interp_GM",
+            &kernel,
+            fine,
+            &pts_ref(&pts),
+            &grid,
+            &natural,
+            &mut a,
+            128,
+        );
+        interp_gm(
+            &dev,
+            "interp_GMs",
+            &kernel,
+            fine,
+            &pts_ref(&pts),
+            &grid,
+            &sort.perm,
+            &mut b,
+            128,
+        );
         // interpolation is read-only per point: results are bit-identical
         for j in 0..m {
             assert_eq!(a[j].re, b[j].re);
@@ -314,9 +345,30 @@ mod tests {
         let g = gen_strengths::<f64>(fine.total(), 33);
         let order: Vec<u32> = (0..m as u32).collect();
         let mut sp = vec![Complex::<f64>::ZERO; fine.total()];
-        spread_gm(&dev, "s", &kernel, fine, &pts_ref(&pts), &cs, &order, &mut sp, 128, 1.0);
+        spread_gm(
+            &dev,
+            "s",
+            &kernel,
+            fine,
+            &pts_ref(&pts),
+            &cs,
+            &order,
+            &mut sp,
+            128,
+            1.0,
+        );
         let mut it = vec![Complex::<f64>::ZERO; m];
-        interp_gm(&dev, "i", &kernel, fine, &pts_ref(&pts), &g, &order, &mut it, 128);
+        interp_gm(
+            &dev,
+            "i",
+            &kernel,
+            fine,
+            &pts_ref(&pts),
+            &g,
+            &order,
+            &mut it,
+            128,
+        );
         let lhs = nufft_common::metrics::inner(&sp, &g);
         let rhs = nufft_common::metrics::inner(&cs, &it);
         assert!((lhs - rhs).abs() < 1e-10 * (1.0 + lhs.abs()));
@@ -335,8 +387,28 @@ mod tests {
         let natural: Vec<u32> = (0..m as u32).collect();
         let sort = gpu_bin_sort(&dev, &pts, fine, [32, 32, 1]);
         let mut a = vec![Complex::<f32>::ZERO; m];
-        let r_gm = interp_gm(&dev, "gm", &kernel, fine, &pts_ref(&pts), &grid, &natural, &mut a, 128);
-        let r_gs = interp_gm(&dev, "gms", &kernel, fine, &pts_ref(&pts), &grid, &sort.perm, &mut a, 128);
+        let r_gm = interp_gm(
+            &dev,
+            "gm",
+            &kernel,
+            fine,
+            &pts_ref(&pts),
+            &grid,
+            &natural,
+            &mut a,
+            128,
+        );
+        let r_gs = interp_gm(
+            &dev,
+            "gms",
+            &kernel,
+            fine,
+            &pts_ref(&pts),
+            &grid,
+            &sort.perm,
+            &mut a,
+            128,
+        );
         assert!(
             r_gs.duration < r_gm.duration / 1.5,
             "sorted {} vs natural {}",
@@ -358,8 +430,28 @@ mod tests {
         let subs = build_subproblems(&dev, &sort, 1024);
         let mut a = vec![Complex::<f64>::ZERO; m];
         let mut b = vec![Complex::<f64>::ZERO; m];
-        interp_gm(&dev, "g", &kernel, fine, &pts_ref(&pts), &grid, &sort.perm, &mut a, 128);
-        interp_sm(&dev, &kernel, fine, &pts_ref(&pts), &grid, &sort.perm, &sort.layout, &subs, &mut b);
+        interp_gm(
+            &dev,
+            "g",
+            &kernel,
+            fine,
+            &pts_ref(&pts),
+            &grid,
+            &sort.perm,
+            &mut a,
+            128,
+        );
+        interp_sm(
+            &dev,
+            &kernel,
+            fine,
+            &pts_ref(&pts),
+            &grid,
+            &sort.perm,
+            &sort.layout,
+            &subs,
+            &mut b,
+        );
         for j in 0..m {
             assert_eq!(a[j].re, b[j].re);
             assert_eq!(a[j].im, b[j].im);
@@ -375,7 +467,17 @@ mod tests {
         let grid = vec![Complex::<f32>::ZERO; fine.total()];
         let order: Vec<u32> = (0..100).collect();
         let mut out = vec![Complex::<f32>::ZERO; 100];
-        let r = interp_gm(&dev, "i", &kernel, fine, &pts_ref(&pts), &grid, &order, &mut out, 128);
+        let r = interp_gm(
+            &dev,
+            "i",
+            &kernel,
+            fine,
+            &pts_ref(&pts),
+            &grid,
+            &order,
+            &mut out,
+            128,
+        );
         assert_eq!(r.global_atomics, 0);
         assert_eq!(r.atomic_hotspot_count, 0);
     }

@@ -116,7 +116,13 @@ pub fn sm_shared_bytes(bin: [usize; 3], dim: usize, w: usize, complex_bytes: usi
 
 /// Check whether SM spreading is feasible for this configuration
 /// (paper Remark 2: fails for 3D double precision once w > 8).
-pub fn sm_feasible(bin: [usize; 3], dim: usize, w: usize, complex_bytes: usize, budget: usize) -> bool {
+pub fn sm_feasible(
+    bin: [usize; 3],
+    dim: usize,
+    w: usize,
+    complex_bytes: usize,
+    budget: usize,
+) -> bool {
     sm_shared_bytes(bin, dim, w, complex_bytes) <= budget
 }
 

@@ -501,8 +501,12 @@ impl<T: Real> Plan<T> {
         let t0 = self.dev.clock();
         let mut bufs = [
             self.dev.alloc("pts_x", m).map_err(oom)?,
-            self.dev.alloc("pts_y", if pts.dim >= 2 { m } else { 0 }).map_err(oom)?,
-            self.dev.alloc("pts_z", if pts.dim >= 3 { m } else { 0 }).map_err(oom)?,
+            self.dev
+                .alloc("pts_y", if pts.dim >= 2 { m } else { 0 })
+                .map_err(oom)?,
+            self.dev
+                .alloc("pts_z", if pts.dim >= 3 { m } else { 0 })
+                .map_err(oom)?,
         ];
         let t_alloc = self.dev.clock() - t0;
         let t1 = self.dev.clock();
@@ -516,7 +520,11 @@ impl<T: Real> Plan<T> {
         let sort = needs_sort.then(|| gpu_bin_sort(&self.dev, pts, self.fine, self.bin_size));
         let subproblems = if self.ttype == TransformType::Type1 && self.spread_method == Method::Sm
         {
-            build_subproblems(&self.dev, sort.as_ref().expect("SM requires sorting"), self.opts.msub)
+            build_subproblems(
+                &self.dev,
+                sort.as_ref().expect("SM requires sorting"),
+                self.opts.msub,
+            )
         } else {
             Vec::new()
         };
@@ -651,7 +659,11 @@ impl<T: Real> Plan<T> {
     /// used by particle codes \[13\]\[14\]): spread the strengths onto the
     /// plan's fine grid and return the grid contents, skipping the FFT
     /// and deconvolution. The plan must be type 1.
-    pub fn spread_only(&mut self, strengths: &[Complex<T>], grid_out: &mut [Complex<T>]) -> Result<()> {
+    pub fn spread_only(
+        &mut self,
+        strengths: &[Complex<T>],
+        grid_out: &mut [Complex<T>],
+    ) -> Result<()> {
         if self.ttype != TransformType::Type1 {
             return Err(NufftError::BadOptions(
                 "spread_only requires a type 1 plan".into(),
@@ -675,10 +687,18 @@ impl<T: Real> Plan<T> {
         }
         self.dev.memcpy_htod(&mut self.d_in, strengths);
         let t0 = self.dev.clock();
-        self.d_grid.as_mut_slice().iter_mut().for_each(|z| *z = Complex::ZERO);
+        self.d_grid
+            .as_mut_slice()
+            .iter_mut()
+            .for_each(|z| *z = Complex::ZERO);
         let cb = std::mem::size_of::<Complex<T>>();
-        self.dev
-            .bulk_op("memset_grid", 0, self.fine.total() * cb, 0.0, Self::precision());
+        self.dev.bulk_op(
+            "memset_grid",
+            0,
+            self.fine.total() * cb,
+            0.0,
+            Self::precision(),
+        );
         self.run_spread();
         self.timings.spread_interp = self.dev.clock() - t0;
         self.dev.memcpy_dtoh(grid_out, &self.d_grid);
@@ -760,11 +780,7 @@ impl<T: Real> Plan<T> {
     /// sequential [`Plan::execute`] calls; [`Plan::timings`] reports the
     /// accumulated stages plus the pipelined wall (`pipe_wall`), and
     /// [`Plan::batch_timings`] the per-chunk schedule.
-    pub fn execute_many(
-        &mut self,
-        input: &[Complex<T>],
-        output: &mut [Complex<T>],
-    ) -> Result<()> {
+    pub fn execute_many(&mut self, input: &[Complex<T>], output: &mut [Complex<T>]) -> Result<()> {
         use gpu_sim::{sync_streams, EngineState, Stream};
         let state = self.pts.as_ref().ok_or(NufftError::PointsNotSet)?;
         let m = state.m;
@@ -797,8 +813,9 @@ impl<T: Real> Plan<T> {
         let chunk = self.chunk_size(b);
         let nf = self.fine.total();
         let t0 = self.dev.clock();
-        let undersized =
-            |buf: &Option<GpuBuffer<Complex<T>>>, len: usize| buf.as_ref().map_or(true, |g| g.len() < len);
+        let undersized = |buf: &Option<GpuBuffer<Complex<T>>>, len: usize| {
+            buf.as_ref().map_or(true, |g| g.len() < len)
+        };
         if undersized(&self.d_in_batch, in_per * chunk) {
             self.d_in_batch = Some(self.dev.alloc("in_batch", in_per * chunk).map_err(oom)?);
         }
@@ -1025,15 +1042,26 @@ impl<T: Real> Plan<T> {
         // memset the fine grid
         let cb = std::mem::size_of::<Complex<T>>();
         let t0 = self.dev.clock();
-        self.d_grid.as_mut_slice().iter_mut().for_each(|z| *z = Complex::ZERO);
-        self.dev
-            .bulk_op("memset_grid", 0, self.fine.total() * cb, 0.0, Self::precision());
+        self.d_grid
+            .as_mut_slice()
+            .iter_mut()
+            .for_each(|z| *z = Complex::ZERO);
+        self.dev.bulk_op(
+            "memset_grid",
+            0,
+            self.fine.total() * cb,
+            0.0,
+            Self::precision(),
+        );
         self.run_spread();
         self.timings.spread_interp = self.dev.clock() - t0;
         // FFT
         let t1 = self.dev.clock();
-        self.fft
-            .execute(&self.dev, &mut self.d_grid, Direction::from_sign(self.iflag));
+        self.fft.execute(
+            &self.dev,
+            &mut self.d_grid,
+            Direction::from_sign(self.iflag),
+        );
         self.timings.fft = self.dev.clock() - t1;
         // deconvolve + truncate
         let t2 = self.dev.clock();
@@ -1060,9 +1088,17 @@ impl<T: Real> Plan<T> {
         let cb = std::mem::size_of::<Complex<T>>();
         // pre-correct + zero-pad
         let t0 = self.dev.clock();
-        self.d_grid.as_mut_slice().iter_mut().for_each(|z| *z = Complex::ZERO);
-        self.dev
-            .bulk_op("memset_grid", 0, self.fine.total() * cb, 0.0, Self::precision());
+        self.d_grid
+            .as_mut_slice()
+            .iter_mut()
+            .for_each(|z| *z = Complex::ZERO);
+        self.dev.bulk_op(
+            "memset_grid",
+            0,
+            self.fine.total() * cb,
+            0.0,
+            Self::precision(),
+        );
         deconv_type2(
             &self.corr,
             self.modes,
@@ -1081,8 +1117,11 @@ impl<T: Real> Plan<T> {
         self.timings.deconv = self.dev.clock() - t0;
         // FFT
         let t1 = self.dev.clock();
-        self.fft
-            .execute(&self.dev, &mut self.d_grid, Direction::from_sign(self.iflag));
+        self.fft.execute(
+            &self.dev,
+            &mut self.d_grid,
+            Direction::from_sign(self.iflag),
+        );
         self.timings.fft = self.dev.clock() - t1;
         // interpolate
         let t2 = self.dev.clock();
@@ -1155,8 +1194,7 @@ fn mode_index(modes: Shape, modeord: ModeOrder, j1: usize, j2: usize, j3: usize)
         ModeOrder::Fft => {
             // j enumerates k = -N/2 + j; FFT order stores k at k mod N
             let f = |j: usize, n: usize| (j + n - n / 2) % n;
-            f(j1, modes.n[0])
-                + modes.n[0] * (f(j2, modes.n[1]) + modes.n[1] * f(j3, modes.n[2]))
+            f(j1, modes.n[0]) + modes.n[0] * (f(j2, modes.n[1]) + modes.n[1] * f(j3, modes.n[2]))
         }
     }
 }

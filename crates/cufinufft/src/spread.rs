@@ -80,7 +80,6 @@ pub(crate) fn footprint<T: Real, K: Kernel1d>(
     fp
 }
 
-
 /// Report one kernel-footprint row (contiguous in x, wrapped mod n1) to
 /// the block's DRAM line model. `write` for atomic read-modify-write.
 #[inline]
@@ -193,7 +192,15 @@ pub fn spread_gm<T: Real, K: Kernel1d>(
                     let c3 = (fp.l0[2] + t3 as i64).rem_euclid(n3 as i64) as usize;
                     for t2 in 0..fp.wd[1] {
                         let c2 = (fp.l0[1] + t2 as i64).rem_euclid(n2 as i64) as usize;
-                        account_row(&mut b, n1 * (c2 + n2 * c3), fp.l0[0], fp.wd[0], n1, cb, true);
+                        account_row(
+                            &mut b,
+                            n1 * (c2 + n2 * c3),
+                            fp.l0[0],
+                            fp.wd[0],
+                            n1,
+                            cb,
+                            true,
+                        );
                     }
                 }
             }
@@ -254,7 +261,8 @@ pub fn spread_sm<T: Real>(
     let shared_bytes = padded_cells * cb;
     let mut k = dev.kernel(
         "spread_SM",
-        LaunchConfig::new(prec, 256).with_shared(shared_bytes.min(dev.props().shared_mem_per_block)),
+        LaunchConfig::new(prec, 256)
+            .with_shared(shared_bytes.min(dev.props().shared_mem_per_block)),
     );
     k.atomic_region(fine.total(), cb);
     let [n1, n2, n3] = fine.n;
@@ -291,8 +299,16 @@ pub fn spread_sm<T: Real>(
                 let fp = footprint(kernel, fine, pts, j as usize);
                 let c = strengths[j as usize];
                 let b1 = (fp.l0[0] - delta[0]) as usize;
-                let b2 = if dim >= 2 { (fp.l0[1] - delta[1]) as usize } else { 0 };
-                let b3 = if dim >= 3 { (fp.l0[2] - delta[2]) as usize } else { 0 };
+                let b2 = if dim >= 2 {
+                    (fp.l0[1] - delta[1]) as usize
+                } else {
+                    0
+                };
+                let b3 = if dim >= 3 {
+                    (fp.l0[2] - delta[2]) as usize
+                } else {
+                    0
+                };
                 for t3 in 0..fp.wd[2] {
                     let off3 = (b3 + t3) * p[0] * p[1];
                     for t2 in 0..fp.wd[1] {
@@ -493,7 +509,18 @@ mod tests {
         let cs = gen_strengths::<f64>(500, 2);
         let order: Vec<u32> = (0..500).collect();
         let mut grid = vec![Complex::<f64>::ZERO; fine.total()];
-        spread_gm(&dev, "spread_GM", &kernel, fine, &pts_ref(&pts), &cs, &order, &mut grid, 128, 1.0);
+        spread_gm(
+            &dev,
+            "spread_GM",
+            &kernel,
+            fine,
+            &pts_ref(&pts),
+            &cs,
+            &order,
+            &mut grid,
+            128,
+            1.0,
+        );
         let want = reference(&kernel, fine, &pts, &cs);
         assert!(rel_l2(&grid, &want) < 1e-13);
     }
@@ -507,7 +534,18 @@ mod tests {
         let cs = gen_strengths::<f64>(800, 4);
         let sort = gpu_bin_sort(&dev, &pts, fine, [32, 32, 1]);
         let mut grid = vec![Complex::<f64>::ZERO; fine.total()];
-        spread_gm(&dev, "spread_GM-sort", &kernel, fine, &pts_ref(&pts), &cs, &sort.perm, &mut grid, 128, 1.0);
+        spread_gm(
+            &dev,
+            "spread_GM-sort",
+            &kernel,
+            fine,
+            &pts_ref(&pts),
+            &cs,
+            &sort.perm,
+            &mut grid,
+            128,
+            1.0,
+        );
         let want = reference(&kernel, fine, &pts, &cs);
         assert!(rel_l2(&grid, &want) < 1e-13);
     }
@@ -522,7 +560,17 @@ mod tests {
         let sort = gpu_bin_sort(&dev, &pts, fine, [32, 32, 1]);
         let subs = build_subproblems(&dev, &sort, 1024);
         let mut grid = vec![Complex::<f64>::ZERO; fine.total()];
-        spread_sm(&dev, &kernel, fine, &pts_ref(&pts), &cs, &sort.perm, &sort.layout, &subs, &mut grid);
+        spread_sm(
+            &dev,
+            &kernel,
+            fine,
+            &pts_ref(&pts),
+            &cs,
+            &sort.perm,
+            &sort.layout,
+            &subs,
+            &mut grid,
+        );
         let want = reference(&kernel, fine, &pts, &cs);
         assert!(rel_l2(&grid, &want) < 1e-13);
     }
@@ -538,7 +586,17 @@ mod tests {
             let sort = gpu_bin_sort(&dev, &pts, fine, [16, 16, 2]);
             let subs = build_subproblems(&dev, &sort, 256);
             let mut grid = vec![Complex::<f64>::ZERO; fine.total()];
-            spread_sm(&dev, &kernel, fine, &pts_ref(&pts), &cs, &sort.perm, &sort.layout, &subs, &mut grid);
+            spread_sm(
+                &dev,
+                &kernel,
+                fine,
+                &pts_ref(&pts),
+                &cs,
+                &sort.perm,
+                &sort.layout,
+                &subs,
+                &mut grid,
+            );
             let want = reference(&kernel, fine, &pts, &cs);
             assert!(rel_l2(&grid, &want) < 1e-13, "{dist:?}");
         }
@@ -558,9 +616,31 @@ mod tests {
         let natural: Vec<u32> = (0..m as u32).collect();
         let sort = gpu_bin_sort(&dev, &pts, fine, [32, 32, 1]);
         let mut g1 = vec![Complex::<f32>::ZERO; fine.total()];
-        let r_gm = spread_gm(&dev, "gm", &kernel, fine, &pts_ref(&pts), &cs, &natural, &mut g1, 128, 1.0);
+        let r_gm = spread_gm(
+            &dev,
+            "gm",
+            &kernel,
+            fine,
+            &pts_ref(&pts),
+            &cs,
+            &natural,
+            &mut g1,
+            128,
+            1.0,
+        );
         let mut g2 = vec![Complex::<f32>::ZERO; fine.total()];
-        let r_gs = spread_gm(&dev, "gms", &kernel, fine, &pts_ref(&pts), &cs, &sort.perm, &mut g2, 128, 1.0);
+        let r_gs = spread_gm(
+            &dev,
+            "gms",
+            &kernel,
+            fine,
+            &pts_ref(&pts),
+            &cs,
+            &sort.perm,
+            &mut g2,
+            128,
+            1.0,
+        );
         assert!(
             r_gs.duration < r_gm.duration / 2.0,
             "GM-sort {} should beat GM {}",
@@ -581,11 +661,32 @@ mod tests {
         let cs = gen_strengths::<f32>(m, 12);
         let natural: Vec<u32> = (0..m as u32).collect();
         let mut g1 = vec![Complex::<f32>::ZERO; fine.total()];
-        let r_gm = spread_gm(&dev, "gm", &kernel, fine, &pts_ref(&pts), &cs, &natural, &mut g1, 128, 1.0);
+        let r_gm = spread_gm(
+            &dev,
+            "gm",
+            &kernel,
+            fine,
+            &pts_ref(&pts),
+            &cs,
+            &natural,
+            &mut g1,
+            128,
+            1.0,
+        );
         let sort = gpu_bin_sort(&dev, &pts, fine, [32, 32, 1]);
         let subs = build_subproblems(&dev, &sort, 1024);
         let mut g2 = vec![Complex::<f32>::ZERO; fine.total()];
-        let r_sm = spread_sm(&dev, &kernel, fine, &pts_ref(&pts), &cs, &sort.perm, &sort.layout, &subs, &mut g2);
+        let r_sm = spread_sm(
+            &dev,
+            &kernel,
+            fine,
+            &pts_ref(&pts),
+            &cs,
+            &sort.perm,
+            &sort.layout,
+            &subs,
+            &mut g2,
+        );
         assert!(
             r_sm.duration < r_gm.duration / 3.0,
             "SM {} should crush GM {} on clusters",

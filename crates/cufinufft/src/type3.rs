@@ -109,21 +109,25 @@ impl<T: Real> GpuType3Plan<T> {
                 .map(|v| v.to_f64().abs())
                 .fold(0.0f64, f64::max)
                 .max(1e-3);
-            let target =
-                (sigma * 2.0 * xw * sw / std::f64::consts::PI).ceil() as usize + 2 * w;
+            let target = (sigma * 2.0 * xw * sw / std::f64::consts::PI).ceil() as usize + 2 * w;
             nfs[i] = next_smooth(target.max(2 * w + 2));
             gamma[i] = nfs[i] as f64 / (2.0 * sigma * sw);
         }
         let nf = Shape::from_slice(&nfs);
         let cb = std::mem::size_of::<Complex<T>>();
-        let bin_size = self.opts.bin_size.unwrap_or_else(|| default_bin_size(self.dim));
+        let bin_size = self
+            .opts
+            .bin_size
+            .unwrap_or_else(|| default_bin_size(self.dim));
         let spread_method = resolve_spread_method(
             self.opts.method,
             bin_size,
             self.dim,
             w,
             cb,
-            self.opts.shared_mem_budget.min(self.dev.props().shared_mem_per_block),
+            self.opts
+                .shared_mem_budget
+                .min(self.dev.props().shared_mem_per_block),
         )?;
         // rescaled sources, transferred to the device
         let m = x.len();
@@ -230,14 +234,19 @@ impl<T: Real> GpuType3Plan<T> {
         // spread on the device
         let t1 = self.dev.clock();
         let d_grid = self.d_grid.as_mut().expect("points set");
-        d_grid.as_mut_slice().iter_mut().for_each(|z| *z = Complex::ZERO);
-        self.dev
-            .bulk_op("t3_memset", 0, nf.total() * cb, 0.0, prec);
+        d_grid
+            .as_mut_slice()
+            .iter_mut()
+            .for_each(|z| *z = Complex::ZERO);
+        self.dev.bulk_op("t3_memset", 0, nf.total() * cb, 0.0, prec);
         let pr = PtsRef {
             coords: [bufs[0].as_slice(), bufs[1].as_slice(), bufs[2].as_slice()],
             dim: self.dim,
         };
-        let bin_size = self.opts.bin_size.unwrap_or_else(|| default_bin_size(self.dim));
+        let bin_size = self
+            .opts
+            .bin_size
+            .unwrap_or_else(|| default_bin_size(self.dim));
         match self.spread_method {
             Method::Sm => {
                 let sort = gpu_bin_sort(&self.dev, xp, nf, bin_size);
@@ -298,13 +307,8 @@ impl<T: Real> GpuType3Plan<T> {
                 }
             }
         }
-        self.dev.bulk_op(
-            "t3_fftshift",
-            nf.total() * cb,
-            nf.total() * cb,
-            0.0,
-            prec,
-        );
+        self.dev
+            .bulk_op("t3_fftshift", nf.total() * cb, nf.total() * cb, 0.0, prec);
         self.timings.spread_interp = self.dev.clock() - t1;
         // inner type 2 + correction
         let inner = self.inner.as_mut().expect("points set");

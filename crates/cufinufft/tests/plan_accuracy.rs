@@ -85,7 +85,8 @@ fn type2_2d_and_3d_meet_tolerance() {
             .eps(1e-9)
             .build(&dev)
             .unwrap();
-        let pts: Points<f64> = gen_points(PointDist::Rand, modes.len(), m, plan.fine_grid_shape(), 40);
+        let pts: Points<f64> =
+            gen_points(PointDist::Rand, modes.len(), m, plan.fine_grid_shape(), 40);
         let f = gen_coeffs::<f64>(shape.total(), 41);
         plan.set_pts(&pts).unwrap();
         let mut out = vec![Complex::<f64>::ZERO; m];
@@ -135,7 +136,7 @@ fn single_precision_works() {
 }
 
 #[test]
-fn sm_in_3d_double_high_accuracy_falls_back(){
+fn sm_in_3d_double_high_accuracy_falls_back() {
     // Remark 2: Auto must resolve to GM-sort for 3D f64 at w > 8
     let dev = Device::v100();
     let plan = Plan::<f64>::builder(TransformType::Type1, &[16, 16, 16])
@@ -281,9 +282,13 @@ fn batched_execute_matches_sequential() {
     assert!(t_batch.exec() > 0.0);
     for t in 0..n_transf {
         let mut single = vec![Complex::<f64>::ZERO; shape.total()];
-        plan.execute(&input[t * m..(t + 1) * m], &mut single).unwrap();
+        plan.execute(&input[t * m..(t + 1) * m], &mut single)
+            .unwrap();
         assert!(
-            rel_l2(&batched[t * shape.total()..(t + 1) * shape.total()], &single) < 1e-14,
+            rel_l2(
+                &batched[t * shape.total()..(t + 1) * shape.total()],
+                &single
+            ) < 1e-14,
             "batch member {t}"
         );
     }
@@ -446,7 +451,10 @@ fn pipelined_batches_overlap_transfers() {
     // the pipelined wall beats the serial sum of the same stages...
     let wall = lt.pipe_wall;
     let serial = lt.batch_serial();
-    assert!(wall > 0.0 && wall < serial, "pipelined {wall} vs serial {serial}");
+    assert!(
+        wall > 0.0 && wall < serial,
+        "pipelined {wall} vs serial {serial}"
+    );
     assert!(lt.overlap_saving() > 0.0);
     assert!((lt.overlap_saving() - (serial - wall)).abs() < 1e-12);
     // ...but is no faster than the compute-bound floor (the SM array
@@ -457,10 +465,7 @@ fn pipelined_batches_overlap_transfers() {
     assert!(bt.chunks.len() >= 2, "expected multiple chunks");
     assert!((bt.wall - wall).abs() < 1e-12);
     assert!((bt.saving() - lt.overlap_saving()).abs() < 1e-9);
-    assert_eq!(
-        bt.chunks.iter().map(|c| c.ntransf).sum::<usize>(),
-        n_transf
-    );
+    assert_eq!(bt.chunks.iter().map(|c| c.ntransf).sum::<usize>(), n_transf);
     for w in bt.chunks.windows(2) {
         assert!(w[1].start >= w[0].start, "chunks scheduled in order");
     }
@@ -566,7 +571,12 @@ fn max_batch_option_controls_chunking() {
     let mut out = vec![Complex::<f32>::ZERO; n * b];
     plan.execute_many(&input, &mut out).unwrap();
     // 5 transforms at max_batch=2 -> chunks of 2, 2, 1
-    let widths: Vec<usize> = plan.batch_timings().chunks.iter().map(|c| c.ntransf).collect();
+    let widths: Vec<usize> = plan
+        .batch_timings()
+        .chunks
+        .iter()
+        .map(|c| c.ntransf)
+        .collect();
     assert_eq!(widths, vec![2, 2, 1]);
 }
 

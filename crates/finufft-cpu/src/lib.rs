@@ -15,12 +15,12 @@ pub mod deconv;
 pub mod model;
 pub mod plan;
 pub mod sort;
-pub mod type3;
 pub mod spread;
+pub mod type3;
 
 pub use model::{CpuModel, CpuPrecision};
-pub use type3::{nufft1d3, nufft2d3, Type3Plan};
 pub use plan::{
     nufft1d1, nufft1d2, nufft2d1, nufft2d2, nufft3d1, nufft3d2, Opts, Plan, StageTimings,
     TransformType,
 };
+pub use type3::{nufft1d3, nufft2d3, Type3Plan};

@@ -130,7 +130,8 @@ impl CpuModel {
     pub fn deconv_time(&self, modes: Shape, prec: CpuPrecision) -> f64 {
         let n = modes.total() as f64;
         let (_, sb) = Self::prec_scale(prec);
-        self.cycles_to_secs(n * 6.0).max(n * 8.0 * sb * 2.0 / self.mem_bw)
+        self.cycles_to_secs(n * 6.0)
+            .max(n * 8.0 * sb * 2.0 / self.mem_bw)
     }
 
     /// Bin-sort time (the `set_pts` stage).
@@ -140,14 +141,28 @@ impl CpuModel {
     }
 
     /// "exec" time of a type 1 transform (points already sorted).
-    pub fn type1_exec(&self, m: usize, w: usize, modes: Shape, fine: Shape, prec: CpuPrecision) -> f64 {
+    pub fn type1_exec(
+        &self,
+        m: usize,
+        w: usize,
+        modes: Shape,
+        fine: Shape,
+        prec: CpuPrecision,
+    ) -> f64 {
         self.spread_time(m, w, modes.dim, prec)
             + self.fft_time(fine, prec)
             + self.deconv_time(modes, prec)
     }
 
     /// "exec" time of a type 2 transform.
-    pub fn type2_exec(&self, m: usize, w: usize, modes: Shape, fine: Shape, prec: CpuPrecision) -> f64 {
+    pub fn type2_exec(
+        &self,
+        m: usize,
+        w: usize,
+        modes: Shape,
+        fine: Shape,
+        prec: CpuPrecision,
+    ) -> f64 {
         self.interp_time(m, w, modes.dim, prec)
             + self.fft_time(fine, prec)
             + self.deconv_time(modes, prec)
@@ -180,7 +195,13 @@ mod tests {
         // Table II anchor: 3D double w=13 on 40-thread Skylake lands near
         // the paper's ~49 ns/pt (1.62 s for two transforms of 1.64e7 pts)
         let sky = CpuModel::skylake_40t();
-        let t13 = sky.type1_exec(16_400_000, 13, Shape::d3(81, 81, 81), Shape::d3(162, 162, 162), CpuPrecision::Double);
+        let t13 = sky.type1_exec(
+            16_400_000,
+            13,
+            Shape::d3(81, 81, 81),
+            Shape::d3(162, 162, 162),
+            CpuPrecision::Double,
+        );
         assert!(t13 > 0.3 && t13 < 2.5, "w=13 f64: {t13}");
     }
 

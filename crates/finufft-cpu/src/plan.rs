@@ -113,7 +113,9 @@ impl<T: Real, K: Kernel1d> Plan<T, K> {
         let corr = correction_rows(&kernel, modes, fine);
         let fft = FftNd::new(fine);
         let nthreads = if opts.nthreads == 0 {
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
         } else {
             opts.nthreads
         };
@@ -227,7 +229,15 @@ impl<T: Real, K: Kernel1d> Plan<T, K> {
             TransformType::Type1 => {
                 let t0 = Instant::now();
                 grid.iter_mut().for_each(|z| *z = Complex::ZERO);
-                spread(&self.kernel, self.fine, pts, input, order, &mut grid, self.nthreads);
+                spread(
+                    &self.kernel,
+                    self.fine,
+                    pts,
+                    input,
+                    order,
+                    &mut grid,
+                    self.nthreads,
+                );
                 timings.spread_interp = t0.elapsed().as_secs_f64();
                 let t1 = Instant::now();
                 self.fft.process(&mut grid, dir);
@@ -442,7 +452,13 @@ pub fn nufft3d1<T: Real>(
     n2: usize,
     n3: usize,
 ) -> Result<Vec<Complex<T>>> {
-    let mut plan = Plan::<T>::new(TransformType::Type1, &[n1, n2, n3], iflag, eps, Opts::default())?;
+    let mut plan = Plan::<T>::new(
+        TransformType::Type1,
+        &[n1, n2, n3],
+        iflag,
+        eps,
+        Opts::default(),
+    )?;
     plan.set_pts(Points {
         coords: [x.to_vec(), y.to_vec(), z.to_vec()],
         dim: 3,
@@ -465,7 +481,13 @@ pub fn nufft3d2<T: Real>(
     n2: usize,
     n3: usize,
 ) -> Result<Vec<Complex<T>>> {
-    let mut plan = Plan::<T>::new(TransformType::Type2, &[n1, n2, n3], iflag, eps, Opts::default())?;
+    let mut plan = Plan::<T>::new(
+        TransformType::Type2,
+        &[n1, n2, n3],
+        iflag,
+        eps,
+        Opts::default(),
+    )?;
     plan.set_pts(Points {
         coords: [x.to_vec(), y.to_vec(), z.to_vec()],
         dim: 3,

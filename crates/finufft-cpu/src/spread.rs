@@ -231,16 +231,14 @@ pub fn spread<T: Real, K: Kernel1d>(
             let tx = tx.clone();
             let next = &next;
             let chunks = &chunks;
-            s.spawn(move |_| {
-                loop {
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if i >= chunks.len() {
-                        break;
-                    }
-                    let sub = spread_subproblem(kernel, fine, pts, strengths, chunks[i]);
-                    if tx.send(sub).is_err() {
-                        break;
-                    }
+            s.spawn(move |_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= chunks.len() {
+                    break;
+                }
+                let sub = spread_subproblem(kernel, fine, pts, strengths, chunks[i]);
+                if tx.send(sub).is_err() {
+                    break;
                 }
             });
         }
@@ -368,7 +366,12 @@ mod tests {
             row.iter().sum()
         };
         let expect = 50.0 * typical * typical;
-        assert!((total.re / expect - 1.0).abs() < 0.2, "{} vs {}", total.re, expect);
+        assert!(
+            (total.re / expect - 1.0).abs() < 0.2,
+            "{} vs {}",
+            total.re,
+            expect
+        );
         assert!(total.im.abs() < 1e-10);
     }
 
@@ -434,7 +437,10 @@ mod tests {
         // spread uses conj-free real weights, so <Sc, g> = <c, S^T g>
         let lhs = nufft_common::metrics::inner(&sp, &g);
         let rhs = nufft_common::metrics::inner(&cs, &it);
-        assert!((lhs - rhs).abs() < 1e-11 * (1.0 + lhs.abs()), "{lhs:?} vs {rhs:?}");
+        assert!(
+            (lhs - rhs).abs() < 1e-11 * (1.0 + lhs.abs()),
+            "{lhs:?} vs {rhs:?}"
+        );
     }
 
     #[test]

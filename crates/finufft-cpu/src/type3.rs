@@ -116,8 +116,8 @@ impl<T: Real> Type3Plan<T> {
         let mut nfs = vec![0usize; self.dim];
         let mut gamma = [1.0f64; 3];
         for i in 0..self.dim {
-            let target = (sigma * 2.0 * xw[i] * sw[i] / std::f64::consts::PI).ceil() as usize
-                + 2 * w;
+            let target =
+                (sigma * 2.0 * xw[i] * sw[i] / std::f64::consts::PI).ceil() as usize + 2 * w;
             nfs[i] = next_smooth(target.max(2 * w + 2));
             gamma[i] = nfs[i] as f64 / (2.0 * sigma * sw[i]);
             // ensure x'/gamma stays at least w/2 cells from the boundary
@@ -152,7 +152,8 @@ impl<T: Real> Type3Plan<T> {
                 .map(|&v| T::from_f64(gamma[i] * h * v.to_f64()))
                 .collect();
         }
-        let mut inner = Plan::<T>::new(TransformType::Type2, &nfs, self.iflag, eps, Opts::default())?;
+        let mut inner =
+            Plan::<T>::new(TransformType::Type2, &nfs, self.iflag, eps, Opts::default())?;
         inner.set_pts(tau)?;
         // per-target kernel corrections
         let n_targets = s.len();
@@ -316,7 +317,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut coords = [Vec::new(), Vec::new(), Vec::new()];
         for coord in coords.iter_mut().take(dim) {
-            *coord = (0..n).map(|_| rng.random_range(-half_width..half_width)).collect();
+            *coord = (0..n)
+                .map(|_| rng.random_range(-half_width..half_width))
+                .collect();
         }
         Points { coords, dim }
     }

@@ -12,7 +12,8 @@ use nufft_common::{Complex, Points, Real, Shape};
 fn t1_error<T: Real>(modes: &[usize], m: usize, eps: f64, iflag: i32, seed: u64) -> f64 {
     let dim = modes.len();
     let shape = Shape::from_slice(modes);
-    let mut plan = Plan::<T>::new(TransformType::Type1, modes, iflag, eps, Opts::default()).unwrap();
+    let mut plan =
+        Plan::<T>::new(TransformType::Type1, modes, iflag, eps, Opts::default()).unwrap();
     let pts: Points<T> = gen_points(PointDist::Rand, dim, m, plan.fine_grid_shape(), seed);
     let cs = gen_strengths::<T>(m, seed + 1);
     plan.set_pts(pts.clone()).unwrap();
@@ -25,7 +26,8 @@ fn t1_error<T: Real>(modes: &[usize], m: usize, eps: f64, iflag: i32, seed: u64)
 fn t2_error<T: Real>(modes: &[usize], m: usize, eps: f64, iflag: i32, seed: u64) -> f64 {
     let dim = modes.len();
     let shape = Shape::from_slice(modes);
-    let mut plan = Plan::<T>::new(TransformType::Type2, modes, iflag, eps, Opts::default()).unwrap();
+    let mut plan =
+        Plan::<T>::new(TransformType::Type2, modes, iflag, eps, Opts::default()).unwrap();
     let pts: Points<T> = gen_points(PointDist::Rand, dim, m, plan.fine_grid_shape(), seed);
     let f = gen_coeffs::<T>(shape.total(), seed + 2);
     plan.set_pts(pts.clone()).unwrap();
@@ -141,7 +143,8 @@ fn type1_and_type2_are_adjoint() {
     let modes = [14usize, 18];
     let shape = Shape::from_slice(&modes);
     let m = 120;
-    let mut p1 = Plan::<f64>::new(TransformType::Type1, &modes, -1, 1e-12, Opts::default()).unwrap();
+    let mut p1 =
+        Plan::<f64>::new(TransformType::Type1, &modes, -1, 1e-12, Opts::default()).unwrap();
     let mut p2 = Plan::<f64>::new(TransformType::Type2, &modes, 1, 1e-12, Opts::default()).unwrap();
     let pts: Points<f64> = gen_points(PointDist::Rand, 2, m, p1.fine_grid_shape(), 77);
     p1.set_pts(pts.clone()).unwrap();
@@ -154,7 +157,10 @@ fn type1_and_type2_are_adjoint() {
     p2.execute(&fs, &mut t2).unwrap();
     let lhs = nufft_common::metrics::inner(&t1, &fs);
     let rhs = nufft_common::metrics::inner(&cs, &t2);
-    assert!((lhs - rhs).abs() < 1e-9 * (1.0 + lhs.abs()), "{lhs:?} vs {rhs:?}");
+    assert!(
+        (lhs - rhs).abs() < 1e-9 * (1.0 + lhs.abs()),
+        "{lhs:?} vs {rhs:?}"
+    );
 }
 
 #[test]
@@ -297,5 +303,9 @@ fn horner_kernel_plan_matches_direct_eval_plan() {
     let direct = mk_out(false);
     let horner = mk_out(true);
     // fits reach the kernel's own accuracy floor (~e^{-beta})
-    assert!(rel_l2(&horner, &direct) < 1e-8, "{}", rel_l2(&horner, &direct));
+    assert!(
+        rel_l2(&horner, &direct) < 1e-8,
+        "{}",
+        rel_l2(&horner, &direct)
+    );
 }

@@ -144,7 +144,11 @@ impl Device {
     }
 
     /// Allocate a zero-initialized device buffer of `len` elements.
-    pub fn alloc<T: Clone + Default>(&self, name: &str, len: usize) -> Result<GpuBuffer<T>, OomError> {
+    pub fn alloc<T: Clone + Default>(
+        &self,
+        name: &str,
+        len: usize,
+    ) -> Result<GpuBuffer<T>, OomError> {
         let bytes = len * std::mem::size_of::<T>();
         {
             let mut s = self.inner.state.lock();
@@ -160,7 +164,12 @@ impl Device {
         }
         // cudaMalloc cost: fixed overhead; zero-fill charged as a memset.
         let t = self.inner.props.t_alloc + bytes as f64 / self.inner.props.dram_bw;
-        self.push_record(format!("alloc:{name}"), OpKind::Alloc, t, Breakdown::default());
+        self.push_record(
+            format!("alloc:{name}"),
+            OpKind::Alloc,
+            t,
+            Breakdown::default(),
+        );
         Ok(GpuBuffer {
             data: vec![T::default(); len],
             bytes,
@@ -200,7 +209,12 @@ impl Device {
         dst.data[..src.len()].copy_from_slice(src);
         let bytes = std::mem::size_of_val(src);
         let t = self.inner.props.pcie_latency + bytes as f64 / self.inner.props.pcie_bw;
-        self.push_record("memcpy_htod".into(), OpKind::Memcpy, t, Breakdown::default());
+        self.push_record(
+            "memcpy_htod".into(),
+            OpKind::Memcpy,
+            t,
+            Breakdown::default(),
+        );
     }
 
     /// Copy device data back to the host (cudaMemcpyDeviceToHost).
@@ -209,7 +223,12 @@ impl Device {
         dst.copy_from_slice(&src.data[..dst.len()]);
         let bytes = std::mem::size_of_val(dst);
         let t = self.inner.props.pcie_latency + bytes as f64 / self.inner.props.pcie_bw;
-        self.push_record("memcpy_dtoh".into(), OpKind::Memcpy, t, Breakdown::default());
+        self.push_record(
+            "memcpy_dtoh".into(),
+            OpKind::Memcpy,
+            t,
+            Breakdown::default(),
+        );
     }
 
     /// Begin a detailed kernel launch (warp-level accounting).
@@ -352,10 +371,7 @@ mod tests {
         dev.memcpy_dtoh(&mut back, &buf);
         assert_eq!(host, back);
         let tl = dev.timeline();
-        assert_eq!(
-            tl.iter().filter(|r| r.kind == OpKind::Memcpy).count(),
-            2
-        );
+        assert_eq!(tl.iter().filter(|r| r.kind == OpKind::Memcpy).count(), 2);
     }
 
     #[test]
@@ -377,11 +393,10 @@ mod tests {
     #[test]
     fn shared_memory_request_validated() {
         let dev = Device::v100();
-        let too_big =
-            LaunchConfig::new(Precision::Single, 128).with_shared(dev.props().shared_mem_per_block + 1);
-        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            dev.kernel("bad", too_big)
-        }));
+        let too_big = LaunchConfig::new(Precision::Single, 128)
+            .with_shared(dev.props().shared_mem_per_block + 1);
+        let res =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| dev.kernel("bad", too_big)));
         assert!(res.is_err());
     }
 

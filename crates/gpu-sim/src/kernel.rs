@@ -198,8 +198,7 @@ impl Kernel {
         let l2 = l2_bytes / p.l2_bw;
         let dram = self.dram_bytes / p.dram_bw;
         let hot = self.atomic_hist.iter().copied().max().unwrap_or(0);
-        let atomic_hotspot =
-            hot as f64 * p.t_global_atomic_same * self.cfg.cas_atomic_penalty;
+        let atomic_hotspot = hot as f64 * p.t_global_atomic_same * self.cfg.cas_atomic_penalty;
         let atomic_ops = self.atomics as f64 / p.l2_atomic_rate;
         let ms = makespan(&self.block_times, p.sm_count);
         let overhead = p.t_launch;
@@ -439,7 +438,11 @@ mod tests {
         let props = DeviceProps::v100();
         // repeatedly touching the same small region: only first touch
         // costs DRAM
-        let mut k = Kernel::new("r", LaunchConfig::new(Precision::Single, 128), props.clone());
+        let mut k = Kernel::new(
+            "r",
+            LaunchConfig::new(Precision::Single, 128),
+            props.clone(),
+        );
         let mut b = k.block();
         for _ in 0..100 {
             b.dram_span(0, 4096, false);
@@ -483,7 +486,11 @@ mod tests {
     #[test]
     fn hotspot_serialization_dominates_when_contended() {
         let props = DeviceProps::v100();
-        let mut k = Kernel::new("hot", LaunchConfig::new(Precision::Single, 128), props.clone());
+        let mut k = Kernel::new(
+            "hot",
+            LaunchConfig::new(Precision::Single, 128),
+            props.clone(),
+        );
         k.atomic_region(16, 8);
         let mut b = k.block();
         let n = 1_000_000u32;
@@ -518,7 +525,11 @@ mod tests {
     fn shared_atomics_are_much_cheaper_than_global_hotspot() {
         let props = DeviceProps::v100();
         let cfg = LaunchConfig::new(Precision::Single, 128).with_shared(4096);
-        let mut kg = Kernel::new("g", LaunchConfig::new(Precision::Single, 128), props.clone());
+        let mut kg = Kernel::new(
+            "g",
+            LaunchConfig::new(Precision::Single, 128),
+            props.clone(),
+        );
         kg.atomic_region(16, 8);
         let mut bg = kg.block();
         for _ in 0..100_000 {
@@ -556,7 +567,11 @@ mod tests {
     fn load_imbalance_shows_in_makespan() {
         let props = DeviceProps::v100();
         let total_flops = 8.0e9_f64;
-        let mut k1 = Kernel::new("lump", LaunchConfig::new(Precision::Single, 128), props.clone());
+        let mut k1 = Kernel::new(
+            "lump",
+            LaunchConfig::new(Precision::Single, 128),
+            props.clone(),
+        );
         let mut b = k1.block();
         b.flops(total_flops as u64);
         b.finish();
@@ -574,7 +589,11 @@ mod tests {
     #[test]
     fn atomic_op_throughput_bounds_uncontended_atomics() {
         let props = DeviceProps::v100();
-        let mut k = Kernel::new("ops", LaunchConfig::new(Precision::Single, 128), props.clone());
+        let mut k = Kernel::new(
+            "ops",
+            LaunchConfig::new(Precision::Single, 128),
+            props.clone(),
+        );
         k.atomic_region(1 << 20, 8);
         let mut b = k.block();
         // spread over many sectors: no hotspot, but op rate still binds

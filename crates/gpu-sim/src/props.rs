@@ -177,10 +177,10 @@ mod tests {
         let p = DeviceProps::v100();
         assert!(p.flops(Precision::Single) > p.flops(Precision::Double));
         assert!(p.flops(Precision::Single) < p.flops_f32);
-        assert!((p.sm_flops(Precision::Single) * p.sm_count as f64
-            - p.flops(Precision::Single))
-        .abs()
-            < 1.0);
+        assert!(
+            (p.sm_flops(Precision::Single) * p.sm_count as f64 - p.flops(Precision::Single)).abs()
+                < 1.0
+        );
     }
 
     #[test]

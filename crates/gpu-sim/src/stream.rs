@@ -126,10 +126,7 @@ impl Stream {
 /// stream heads (relative to the clock at stream creation, whichever is
 /// later), mirroring `cudaDeviceSynchronize`.
 pub fn sync_streams(dev: &Device, streams: &[&Stream]) -> f64 {
-    let latest = streams
-        .iter()
-        .map(|s| s.head())
-        .fold(dev.clock(), f64::max);
+    let latest = streams.iter().map(|s| s.head()).fold(dev.clock(), f64::max);
     let advance = latest - dev.clock();
     if advance > 0.0 {
         dev.advance("stream_sync", advance);
@@ -211,7 +208,11 @@ mod tests {
         let mut s = Stream::new(&dev);
         let c0 = dev.clock();
         let done = s.memcpy_htod(&dev, &mut eng, &mut buf, &host);
-        assert_eq!(dev.clock(), c0, "async copy must not advance the serial clock");
+        assert_eq!(
+            dev.clock(),
+            c0,
+            "async copy must not advance the serial clock"
+        );
         assert!(done > c0);
         let mut back = vec![0.0f32; 256];
         s.memcpy_dtoh(&dev, &mut eng, &mut back, &buf);

@@ -132,10 +132,7 @@ pub fn run_rank(task: &RankTask, seed: u64) -> RankTiming {
             coords[2].push(q[2]);
         }
     }
-    let pts = Points {
-        coords,
-        dim: 3,
-    };
+    let pts = Points { coords, dim: 3 };
     let iflag = match task.ttype {
         TransformType::Type1 => 1,
         TransformType::Type2 => -1,
@@ -187,7 +184,12 @@ pub struct ScalingPoint {
 /// scaling points for every rank count are then assembled from the
 /// single-queue contention model (ranks are independent, so the r-rank
 /// configuration uses the first r rank timings).
-pub fn weak_scaling(node: &Node, task: &RankTask, max_ranks: usize, seed: u64) -> Vec<ScalingPoint> {
+pub fn weak_scaling(
+    node: &Node,
+    task: &RankTask,
+    max_ranks: usize,
+    seed: u64,
+) -> Vec<ScalingPoint> {
     // ranks run statistically identical problems (same sizes, different
     // random orientations), so a handful of distinct simulations
     // suffices; reuse them cyclically for large rank counts

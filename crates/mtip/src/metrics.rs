@@ -18,9 +18,8 @@ pub fn fourier_shell_correlation(a: &[f64], b: &[f64], n: usize) -> Vec<f64> {
     let shape = Shape::d3(n, n, n);
     assert_eq!(a.len(), shape.total());
     assert_eq!(b.len(), shape.total());
-    let to_c = |v: &[f64]| -> Vec<Complex<f64>> {
-        v.iter().map(|&x| Complex::new(x, 0.0)).collect()
-    };
+    let to_c =
+        |v: &[f64]| -> Vec<Complex<f64>> { v.iter().map(|&x| Complex::new(x, 0.0)).collect() };
     let fft = FftNd::<f64>::new(shape);
     let mut fa = to_c(a);
     let mut fb = to_c(b);

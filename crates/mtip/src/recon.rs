@@ -146,7 +146,11 @@ fn lattice_scale(n: usize) -> f64 {
 
 fn points_from(qs: &[[f64; 3]]) -> Points<f64> {
     let m = qs.len();
-    let mut coords = [Vec::with_capacity(m), Vec::with_capacity(m), Vec::with_capacity(m)];
+    let mut coords = [
+        Vec::with_capacity(m),
+        Vec::with_capacity(m),
+        Vec::with_capacity(m),
+    ];
     for q in qs {
         coords[0].push(q[0]);
         coords[1].push(q[1]);
@@ -169,7 +173,10 @@ fn measure_complex(mol: &Molecule, qs: &[[f64; 3]], n: usize) -> Vec<Complex<f64
 
 /// Measured slice magnitudes (what a detector records).
 fn measure(mol: &Molecule, qs: &[[f64; 3]], n: usize) -> Vec<f64> {
-    measure_complex(mol, qs, n).iter().map(|z| z.abs()).collect()
+    measure_complex(mol, qs, n)
+        .iter()
+        .map(|z| z.abs())
+        .collect()
 }
 
 /// Pearson-like correlation of two magnitude vectors.
@@ -267,7 +274,9 @@ pub fn reconstruct(cfg: &MtipConfig, dev: &Device) -> MtipResult {
     };
 
     // true orientations + measured data
-    let true_rots: Vec<Rotation> = (0..cfg.n_images).map(|_| Rotation::random(&mut rng)).collect();
+    let true_rots: Vec<Rotation> = (0..cfg.n_images)
+        .map(|_| Rotation::random(&mut rng))
+        .collect();
     let measured: Vec<Vec<f64>> = true_rots
         .iter()
         .map(|r| measure(&mol, &geom.slice_points(r), n))
@@ -436,7 +445,8 @@ pub fn reconstruct(cfg: &MtipConfig, dev: &Device) -> MtipResult {
         stacked.extend_from_slice(&v);
         stacked.extend_from_slice(&slice_buf);
         let mut merged = vec![Complex::<f64>::ZERO; 2 * nvox];
-        t1.execute_many(&stacked, &mut merged).expect("merge adjoints");
+        t1.execute_many(&stacked, &mut merged)
+            .expect("merge adjoints");
         let rhs = merged[..nvox].to_vec();
         let mut ap = merged[nvox..].to_vec();
         // r = rhs - (A^H A + lambda) x
@@ -456,7 +466,11 @@ pub fn reconstruct(cfg: &MtipConfig, dev: &Device) -> MtipResult {
             for (a, b) in ap.iter_mut().zip(p.iter()) {
                 *a += b.scale(lambda);
             }
-            let pap: f64 = p.iter().zip(ap.iter()).map(|(a, b)| (*a * b.conj()).re).sum();
+            let pap: f64 = p
+                .iter()
+                .zip(ap.iter())
+                .map(|(a, b)| (*a * b.conj()).re)
+                .sum();
             if pap <= 0.0 {
                 break;
             }

@@ -250,7 +250,11 @@ impl<T: Real> GpunufftPlan<T> {
     }
 
     pub fn execute(&mut self, input: &[Complex<T>], output: &mut [Complex<T>]) -> Result<()> {
-        let m = self.pts_host.as_ref().map(|p| p.len()).ok_or(NufftError::PointsNotSet)?;
+        let m = self
+            .pts_host
+            .as_ref()
+            .map(|p| p.len())
+            .ok_or(NufftError::PointsNotSet)?;
         let n = self.modes.total();
         let (want_in, want_out) = match self.ttype {
             TransformType::Type1 => (m, n),
@@ -380,9 +384,10 @@ impl<T: Real> GpunufftPlan<T> {
         let strengths = self.d_in.as_slice();
         let grid = self.d_grid.as_mut_slice();
         let cells_per_sector = SECTOR_WIDTH.pow(dim as u32);
-        let mut k = self
-            .dev
-            .kernel("gpunufft_adjoint", LaunchConfig::new(prec, cells_per_sector.min(512)));
+        let mut k = self.dev.kernel(
+            "gpunufft_adjoint",
+            LaunchConfig::new(prec, cells_per_sector.min(512)),
+        );
         k.atomic_region(fine.total(), cb);
         let nsec = sort.nsec;
         let total_sectors = nsec[0] * nsec[1] * nsec[2];
@@ -418,8 +423,9 @@ impl<T: Real> GpunufftPlan<T> {
             // candidate list: all points of the 3^d sector neighbourhood
             let mut candidates: Vec<u32> = Vec::new();
             for nb in neighbors(sec) {
-                candidates
-                    .extend_from_slice(&sort.perm[sort.starts[nb] as usize..sort.starts[nb + 1] as usize]);
+                candidates.extend_from_slice(
+                    &sort.perm[sort.starts[nb] as usize..sort.starts[nb + 1] as usize],
+                );
             }
             if candidates.is_empty() {
                 continue;

@@ -13,13 +13,22 @@ pub struct Shape {
 
 impl Shape {
     pub fn d1(n1: usize) -> Self {
-        Shape { n: [n1, 1, 1], dim: 1 }
+        Shape {
+            n: [n1, 1, 1],
+            dim: 1,
+        }
     }
     pub fn d2(n1: usize, n2: usize) -> Self {
-        Shape { n: [n1, n2, 1], dim: 2 }
+        Shape {
+            n: [n1, n2, 1],
+            dim: 2,
+        }
     }
     pub fn d3(n1: usize, n2: usize, n3: usize) -> Self {
-        Shape { n: [n1, n2, n3], dim: 3 }
+        Shape {
+            n: [n1, n2, n3],
+            dim: 3,
+        }
     }
 
     /// Build from a slice of 1-3 extents.

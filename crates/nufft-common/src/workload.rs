@@ -61,7 +61,13 @@ impl<T: Real> Points<T> {
 ///
 /// `fine` is the upsampled fine-grid shape; it only matters for
 /// [`PointDist::Cluster`], whose box size is `8 h_i` (paper Sec. IV).
-pub fn gen_points<T: Real>(dist: PointDist, dim: usize, m: usize, fine: Shape, seed: u64) -> Points<T> {
+pub fn gen_points<T: Real>(
+    dist: PointDist,
+    dim: usize,
+    m: usize,
+    fine: Shape,
+    seed: u64,
+) -> Points<T> {
     assert!((1..=3).contains(&dim));
     let mut rng = StdRng::seed_from_u64(seed);
     let mut coords = [Vec::new(), Vec::new(), Vec::new()];

@@ -107,8 +107,9 @@ mod tests {
     fn matches_dft_on_primes() {
         for n in [2usize, 3, 7, 37, 41, 113, 499] {
             let b = Bluestein::<f64>::new(n);
-            let x: Vec<Complex<f64>> =
-                (0..n).map(|j| c((j as f64).sin(), (j as f64).cos())).collect();
+            let x: Vec<Complex<f64>> = (0..n)
+                .map(|j| c((j as f64).sin(), (j as f64).cos()))
+                .collect();
             let mut y = x.clone();
             b.process(&mut y, Direction::Forward);
             assert!(rel_l2(&y, &dft(&x, -1)) < 1e-10, "fwd n={n}");

@@ -6,8 +6,8 @@
 //! (2/w) / phi_hat(alpha_i k)` with `alpha_i = w pi / n_i`, and the full
 //! factor is the tensor product. Factors are real and even in `k`.
 
-use nufft_common::shape::{freq_start, Shape};
 use crate::Kernel1d;
+use nufft_common::shape::{freq_start, Shape};
 
 /// Per-dimension correction factors `p_i[j]` for output mode index `j`
 /// (ascending `k = -N/2 + j`).

@@ -48,7 +48,10 @@ impl EsKernel {
 
     /// Build directly from a width (used by parameter sweeps).
     pub fn with_width(w: usize) -> Self {
-        assert!((2..=MAX_WIDTH).contains(&w), "kernel width {w} out of range");
+        assert!(
+            (2..=MAX_WIDTH).contains(&w),
+            "kernel width {w} out of range"
+        );
         EsKernel {
             w,
             beta: 2.30 * w as f64,
@@ -70,8 +73,8 @@ impl EsKernel {
             return Err(NufftError::EpsTooSmall { eps, limit });
         }
         let gamma = 0.97;
-        let digits_per_w = gamma * std::f64::consts::PI * (1.0 - 1.0 / (2.0 * sigma))
-            / std::f64::consts::LN_10;
+        let digits_per_w =
+            gamma * std::f64::consts::PI * (1.0 - 1.0 / (2.0 * sigma)) / std::f64::consts::LN_10;
         let digits = (1.0 / eps).log10();
         let w = ((digits / digits_per_w).ceil() as usize + 1).clamp(2, MAX_WIDTH);
         let beta = gamma * std::f64::consts::PI * w as f64 * (1.0 - 1.0 / (2.0 * sigma));

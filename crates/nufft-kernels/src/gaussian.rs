@@ -108,10 +108,9 @@ mod tests {
         let s = 2.0 / k.w as f64;
         for xi in [0.0, 1.0, 3.0] {
             let xi_u = xi * s;
-            let analytic = s * (std::f64::consts::PI * k.b).sqrt()
-                * (-k.b * xi_u * xi_u / 4.0).exp()
-                / s; // ft in z-variable: integral dz = du * s ... careful
-            // direct check instead: quadrature at much higher order
+            let analytic =
+                s * (std::f64::consts::PI * k.b).sqrt() * (-k.b * xi_u * xi_u / 4.0).exp() / s; // ft in z-variable: integral dz = du * s ... careful
+                                                                                                // direct check instead: quadrature at much higher order
             let brute =
                 crate::gauss_legendre::integrate(|z| k.eval(z) * (xi * z).cos(), -1.0, 1.0, 300);
             assert!((k.ft(xi) - brute).abs() < 1e-12);

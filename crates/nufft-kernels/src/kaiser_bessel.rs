@@ -43,7 +43,10 @@ pub fn bessel_i0(x: f64) -> f64 {
 
 impl KaiserBesselKernel {
     pub fn with_width(w: usize, sigma: f64) -> Self {
-        assert!((2..=MAX_WIDTH).contains(&w), "KB width {w} out of gpuNUFFT range");
+        assert!(
+            (2..=MAX_WIDTH).contains(&w),
+            "KB width {w} out of gpuNUFFT range"
+        );
         let wf = w as f64;
         let arg = (wf / sigma * (sigma - 0.5)).powi(2) - 0.8;
         let beta = std::f64::consts::PI * arg.max(0.1).sqrt();

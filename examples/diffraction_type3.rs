@@ -53,9 +53,7 @@ fn main() {
     let device = Device::v100();
     let mut plan = GpuType3Plan::<f64>::new(2, -1, 1e-8, GpuOpts::default(), &device).unwrap();
     plan.set_pts(&sources, &targets).unwrap();
-    println!(
-        "type 3: {m} scattered emitters -> {n_obs} scattered observation angles"
-    );
+    println!("type 3: {m} scattered emitters -> {n_obs} scattered observation angles");
     println!(
         "internal fine grid {:?}, spreading via {:?}",
         plan.fine_grid_shape().n,
@@ -95,10 +93,17 @@ fn main() {
         .fold(0.0f64, f64::max);
     let ramp = [' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
     for b in 0..bins {
-        let v = if cnt[b] > 0 { acc[b] / cnt[b] as f64 / peak } else { 0.0 };
+        let v = if cnt[b] > 0 {
+            acc[b] / cnt[b] as f64 / peak
+        } else {
+            0.0
+        };
         let bar: String = (0..(v * 40.0) as usize).map(|_| '#').collect();
         let c = ramp[((v * 9.0) as usize).min(9)];
-        println!("{:>6.2} |{bar}{c}", smin + (b as f64 + 0.5) * (smax - smin) / bins as f64);
+        println!(
+            "{:>6.2} |{bar}{c}",
+            smin + (b as f64 + 0.5) * (smax - smin) / bins as f64
+        );
     }
     // fringe period in s-space is 2 pi / slit_sep ~ 1.047
     let expected_period = std::f64::consts::TAU / slit_sep;
@@ -109,7 +114,9 @@ fn main() {
     let lag = (expected_period / per_bin).round() as usize;
     let mean = acc.iter().sum::<f64>() / bins as f64;
     let var: f64 = acc.iter().map(|a| (a - mean).powi(2)).sum();
-    let cov: f64 = (0..bins - lag).map(|b| (acc[b] - mean) * (acc[b + lag] - mean)).sum();
+    let cov: f64 = (0..bins - lag)
+        .map(|b| (acc[b] - mean) * (acc[b + lag] - mean))
+        .sum();
     let ac = cov / var;
     println!("autocorrelation at one fringe period: {ac:.3} (strong positive = fringes)");
     assert!(ac > 0.3, "double-slit fringes should be periodic");

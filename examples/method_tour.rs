@@ -25,7 +25,11 @@ fn main() {
     for dist in [PointDist::Rand, PointDist::Cluster] {
         let mut row = format!(
             "{:>9} |",
-            if dist == PointDist::Rand { "rand" } else { "cluster" }
+            if dist == PointDist::Rand {
+                "rand"
+            } else {
+                "cluster"
+            }
         );
         for method in [Method::Gm, Method::GmSort, Method::Sm] {
             let device = Device::v100();
@@ -68,7 +72,10 @@ fn main() {
         exec_sum += plan.timings().exec();
     }
     println!("one-time setup (transfer + sort): {:>8.3} ms", setup * 1e3);
-    println!("20 executes:                      {:>8.3} ms total", exec_sum * 1e3);
+    println!(
+        "20 executes:                      {:>8.3} ms total",
+        exec_sum * 1e3
+    );
     println!(
         "amortized:                        {:>8.3} ms per transform (vs {:.3} ms if re-sorting every time)",
         exec_sum / 20.0 * 1e3,

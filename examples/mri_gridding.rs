@@ -43,7 +43,8 @@ impl Phantom {
     fn fourier(&self, kx: f64, ky: f64) -> Complex<f64> {
         let mut acc = Complex::ZERO;
         for (c, s, a) in &self.blobs {
-            let mag = a * std::f64::consts::TAU * s * s * (-(s * s) * (kx * kx + ky * ky) / 2.0).exp();
+            let mag =
+                a * std::f64::consts::TAU * s * s * (-(s * s) * (kx * kx + ky * ky) / 2.0).exp();
             acc += Complex::cis(-(kx * c[0] + ky * c[1])).scale(mag);
         }
         acc

@@ -44,11 +44,22 @@ fn main() {
     plan.execute(&strengths, &mut modes).expect("execute");
     let t = plan.timings();
     println!("\nsimulated V100 timings:");
-    println!("  exec       {:>9.3} ms  (spread {:.3} + fft {:.3} + deconv {:.3})",
-        t.exec() * 1e3, t.spread_interp * 1e3, t.fft * 1e3, t.deconv * 1e3);
+    println!(
+        "  exec       {:>9.3} ms  (spread {:.3} + fft {:.3} + deconv {:.3})",
+        t.exec() * 1e3,
+        t.spread_interp * 1e3,
+        t.fft * 1e3,
+        t.deconv * 1e3
+    );
     println!("  total      {:>9.3} ms  (exec + sorting)", t.total() * 1e3);
-    println!("  total+mem  {:>9.3} ms  (incl. alloc + host-device transfers)", t.total_mem() * 1e3);
-    println!("  throughput {:>9.1} Mpts/s (exec)", m as f64 / t.exec() / 1e6);
+    println!(
+        "  total+mem  {:>9.3} ms  (incl. alloc + host-device transfers)",
+        t.total_mem() * 1e3
+    );
+    println!(
+        "  throughput {:>9.1} Mpts/s (exec)",
+        m as f64 / t.exec() / 1e6
+    );
 
     // 6. many strength vectors at once: the point sort is reused, the
     // FFTs run batched, and chunk transfers hide under compute on two
@@ -91,7 +102,9 @@ fn main() {
     cpu_plan.set_pts(pts64).expect("cpu pts");
     let strengths64: Vec<Complex<f64>> = strengths.iter().map(|z| z.cast()).collect();
     let mut truth = vec![Complex::<f64>::ZERO; n * n];
-    cpu_plan.execute(&strengths64, &mut truth).expect("cpu exec");
+    cpu_plan
+        .execute(&strengths64, &mut truth)
+        .expect("cpu exec");
     let err = rel_l2(&modes, &truth);
     println!("\nrelative l2 error vs CPU reference: {err:.3e} (requested {eps:.0e})");
     assert!(err < 10.0 * eps, "accuracy regression");

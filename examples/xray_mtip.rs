@@ -39,7 +39,12 @@ fn main() {
     let device = Device::v100();
     let res = reconstruct(&cfg, &device);
     println!("\niter | density err | orientation accuracy");
-    for (i, (e, a)) in res.errors.iter().zip(res.orientation_accuracy.iter()).enumerate() {
+    for (i, (e, a)) in res
+        .errors
+        .iter()
+        .zip(res.orientation_accuracy.iter())
+        .enumerate()
+    {
         println!("{:>4} | {:>11.4} | {:>6.0}%", i, e, a * 100.0);
     }
     let t = res.timings;
@@ -57,9 +62,15 @@ fn main() {
 
     // resolution assessment: Fourier shell correlation vs ground truth
     let fsc = mtip::fourier_shell_correlation(&res.density, &res.truth, cfg.n_grid);
-    println!("
-FSC vs ground truth (shell: correlation):");
-    let line: Vec<String> = fsc.iter().enumerate().map(|(r, c)| format!("{r}:{c:.2}")).collect();
+    println!(
+        "
+FSC vs ground truth (shell: correlation):"
+    );
+    let line: Vec<String> = fsc
+        .iter()
+        .enumerate()
+        .map(|(r, c)| format!("{r}:{c:.2}"))
+        .collect();
     println!("  {}", line.join("  "));
     match mtip::fsc_resolution(&fsc, 0.5) {
         Some(shell) => println!("FSC=0.5 resolution: shell {shell} of {}", fsc.len() - 1),
@@ -73,8 +84,18 @@ FSC vs ground truth (shell: correlation):");
     let base = pts[0].wall_total;
     println!("ranks | wall (s)  | vs 1 rank");
     for p in &pts {
-        let marker = if p.ranks == node.gpus { "  <- one rank per GPU" } else { "" };
-        println!("{:>5} | {:>9.5} | {:>7.2}x{}", p.ranks, p.wall_total, p.wall_total / base, marker);
+        let marker = if p.ranks == node.gpus {
+            "  <- one rank per GPU"
+        } else {
+            ""
+        };
+        println!(
+            "{:>5} | {:>9.5} | {:>7.2}x{}",
+            p.ranks,
+            p.wall_total,
+            p.wall_total / base,
+            marker
+        );
     }
     println!("OK");
 }

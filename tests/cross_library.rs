@@ -54,7 +54,13 @@ fn cpu_reference(p: &Problem, ttype: TransformType) -> Vec<Complex<f64>> {
     run_via_trait(&mut plan, p)
 }
 
-fn gpu_plan(p: &Problem, ttype: TransformType, eps: f64, opts: GpuOpts, dev: &Device) -> cufinufft::Plan<f64> {
+fn gpu_plan(
+    p: &Problem,
+    ttype: TransformType,
+    eps: f64,
+    opts: GpuOpts,
+    dev: &Device,
+) -> cufinufft::Plan<f64> {
     cufinufft::Plan::<f64>::builder(ttype, &p.modes)
         .eps(eps)
         .opts(opts)
@@ -131,7 +137,13 @@ fn trait_execute_many_consistent_on_every_backend() {
         .collect();
     let dev = Device::v100();
     let mut backends: Vec<Box<dyn NufftPlan<f64>>> = vec![
-        Box::new(gpu_plan(&p, TransformType::Type1, 1e-9, GpuOpts::default(), &dev)),
+        Box::new(gpu_plan(
+            &p,
+            TransformType::Type1,
+            1e-9,
+            GpuOpts::default(),
+            &dev,
+        )),
         Box::new(
             finufft_cpu::Plan::<f64>::new(
                 TransformType::Type1,
@@ -147,8 +159,14 @@ fn trait_execute_many_consistent_on_every_backend() {
                 .unwrap(),
         ),
         Box::new(
-            nufft_baselines::GpunufftPlan::<f64>::new(TransformType::Type1, &p.modes, -1, 1e-3, &dev)
-                .unwrap(),
+            nufft_baselines::GpunufftPlan::<f64>::new(
+                TransformType::Type1,
+                &p.modes,
+                -1,
+                1e-3,
+                &dev,
+            )
+            .unwrap(),
         ),
     ];
     let n: usize = p.modes.iter().product();
@@ -157,10 +175,7 @@ fn trait_execute_many_consistent_on_every_backend() {
         // sequential reference on this same backend
         let mut seq = vec![Complex::ZERO; n * b];
         for v in 0..b {
-            let (cs, out) = (
-                &batch[v * 400..(v + 1) * 400],
-                &mut seq[v * n..(v + 1) * n],
-            );
+            let (cs, out) = (&batch[v * 400..(v + 1) * 400], &mut seq[v * n..(v + 1) * n]);
             plan.execute(cs, out).unwrap();
         }
         let mut many = vec![Complex::ZERO; n * b];

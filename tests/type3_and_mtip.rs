@@ -100,11 +100,7 @@ fn mtip_pipeline_converges_end_to_end() {
     };
     let dev = Device::v100();
     let res = mtip::reconstruct(&cfg, &dev);
-    assert!(
-        *res.errors.last().unwrap() < 0.4,
-        "errors {:?}",
-        res.errors
-    );
+    assert!(*res.errors.last().unwrap() < 0.4, "errors {:?}", res.errors);
     assert!(*res.orientation_accuracy.last().unwrap() >= 0.75);
     // resolution: low shells must be recovered
     let fsc = mtip::fourier_shell_correlation(&res.density, &res.truth, cfg.n_grid);

@@ -77,9 +77,7 @@ mod tests {
     fn scope_spawn_join() {
         let total = AtomicUsize::new(0);
         let got = crate::scope(|s| {
-            let hs: Vec<_> = (0..4)
-                .map(|i| s.spawn(move |_| i * 2))
-                .collect();
+            let hs: Vec<_> = (0..4).map(|i| s.spawn(move |_| i * 2)).collect();
             for h in hs {
                 total.fetch_add(h.join().unwrap(), Ordering::Relaxed);
             }
