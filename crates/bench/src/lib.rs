@@ -8,15 +8,45 @@
 use gpu_sim::Device;
 use nufft_common::workload::{gen_points, gen_strengths, PointDist, Points};
 use nufft_common::{Complex, NufftPlan, Real, Shape, TransformType};
+use nufft_trace::Trace;
 use std::fs::File;
 use std::io::Write;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// True when the (slower) closer-to-paper problem sizes are requested.
 pub fn large_mode() -> bool {
     std::env::var("BENCH_LARGE")
         .map(|v| v == "1")
         .unwrap_or(false)
+}
+
+/// True when `BENCH_TRACE=1` asks each bench row to dump a Chrome trace.
+pub fn trace_mode() -> bool {
+    std::env::var("BENCH_TRACE")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+}
+
+static TRACE_ROW: AtomicUsize = AtomicUsize::new(0);
+
+/// Start a per-row trace session when [`trace_mode`] is on. Pair with
+/// [`finish_trace`] after the run to write `results/traces/<tag>-NNN.trace.json`.
+pub fn start_trace() -> Option<Trace> {
+    trace_mode().then(Trace::new)
+}
+
+/// Export a trace started by [`start_trace`] as Chrome trace-event JSON
+/// under `results/traces/`; returns the written path.
+pub fn finish_trace(trace: Option<Trace>, tag: &str) -> Option<PathBuf> {
+    let trace = trace?;
+    let row = TRACE_ROW.fetch_add(1, Ordering::Relaxed);
+    let mut dir = results_dir();
+    dir.push("traces");
+    std::fs::create_dir_all(&dir).expect("create traces dir");
+    let path = dir.join(format!("{tag}-{row:03}.trace.json"));
+    std::fs::write(&path, trace.report().chrome_json()).expect("write trace");
+    Some(path)
 }
 
 /// Locate the workspace-root `results/` directory.
@@ -91,13 +121,18 @@ pub fn run_cufinufft<T: Real>(
 ) -> (cufinufft::GpuStageTimings, Vec<Complex<T>>) {
     let dev = Device::v100();
     dev.set_record_timeline(false);
-    let mut plan = cufinufft::Plan::<T>::builder(ttype, modes)
+    let trace = start_trace();
+    let mut builder = cufinufft::Plan::<T>::builder(ttype, modes)
         .eps(eps)
-        .method(method)
-        .build(&dev)
-        .expect("cufinufft plan");
+        .method(method);
+    if let Some(t) = &trace {
+        builder = builder.tracing(t);
+    }
+    let mut plan = builder.build(&dev).expect("cufinufft plan");
     let out = run_plan(&mut plan, pts, input);
-    (plan.timings(), out)
+    let timings = plan.timings();
+    finish_trace(trace, &format!("cufinufft-{ttype:?}-{method:?}"));
+    (timings, out)
 }
 
 /// Run cuFINUFFT's stream-pipelined batched path over `b` stacked
@@ -114,12 +149,15 @@ pub fn run_cufinufft_batch<T: Real>(
 ) -> (cufinufft::Plan<T>, Vec<Complex<T>>) {
     let dev = Device::v100();
     dev.set_record_timeline(false);
-    let mut plan = cufinufft::Plan::<T>::builder(ttype, modes)
+    let trace = start_trace();
+    let mut builder = cufinufft::Plan::<T>::builder(ttype, modes)
         .eps(eps)
         .ntransf(b)
-        .max_batch(max_batch)
-        .build(&dev)
-        .expect("cufinufft batch plan");
+        .max_batch(max_batch);
+    if let Some(t) = &trace {
+        builder = builder.tracing(t);
+    }
+    let mut plan = builder.build(&dev).expect("cufinufft batch plan");
     plan.set_pts(pts).expect("set_pts");
     let out_per = match ttype {
         TransformType::Type1 => modes.iter().product(),
@@ -127,6 +165,7 @@ pub fn run_cufinufft_batch<T: Real>(
     };
     let mut out = vec![Complex::<T>::ZERO; out_per * b];
     plan.execute_many(input, &mut out).expect("execute_many");
+    finish_trace(trace, &format!("cufinufft-batch-{ttype:?}"));
     (plan, out)
 }
 
@@ -231,6 +270,20 @@ mod tests {
         let (pts, cs) = workload::<f32>(PointDist::Rand, 2, fine, 1.0, 3);
         assert_eq!(pts.len(), 4096);
         assert_eq!(cs.len(), 4096);
+    }
+
+    #[test]
+    fn finish_trace_writes_parseable_chrome_json() {
+        let trace = Trace::new();
+        {
+            let _on = trace.activate();
+            let _s = trace.span("bench.row");
+        }
+        let path = finish_trace(Some(trace), "unit").expect("path");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let doc = nufft_trace::json::Json::parse(&text).expect("valid json");
+        assert!(doc.get("traceEvents").and_then(|v| v.as_array()).is_some());
+        std::fs::remove_file(path).ok();
     }
 
     #[test]

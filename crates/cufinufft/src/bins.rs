@@ -105,8 +105,8 @@ pub fn gpu_bin_sort<T: Real>(
     let coord_bytes = m * pts.dim * T::BYTES;
 
     let mut bin_of = vec![0u32; m];
-    for j in 0..m {
-        bin_of[j] = layout.bin_of_cell(cell_of(pts, j, fine)) as u32;
+    for (j, b) in bin_of.iter_mut().enumerate() {
+        *b = layout.bin_of_cell(cell_of(pts, j, fine)) as u32;
     }
     // kernel 1: compute bin index per point
     dev.bulk_op("calc_binidx", coord_bytes, m * 4, m as f64 * 12.0, prec);
@@ -134,10 +134,43 @@ pub fn gpu_bin_sort<T: Real>(
     // kernel 4: scatter point indices into bin order
     dev.bulk_op("bin_scatter", m * 8, m * 4, m as f64 * 2.0, prec);
 
+    if let Some(trace) = dev.trace() {
+        record_bin_stats(&trace, &starts, nb, m);
+    }
+
     GpuBinSort {
         layout,
         perm,
         starts,
+    }
+}
+
+/// Publish per-bin load-balance counters: the bin occupancy histogram
+/// (power-of-two buckets) and the max/mean imbalance ratio. These are
+/// the trace-level counterpart of paper Fig. 6's uniform-vs-clustered
+/// comparison — a clustered distribution shifts the histogram mass into
+/// the high buckets and blows up `bins.imbalance`, while the SM scheme's
+/// `M_sub` cap keeps the execution time flat.
+fn record_bin_stats(trace: &gpu_sim::Trace, starts: &[u32], nb: usize, m: usize) {
+    trace.counter("bins.total").add(nb as i64);
+    trace.counter("bins.points").add(m as i64);
+    let mut max_count = 0u32;
+    for b in 0..nb {
+        let c = starts[b + 1] - starts[b];
+        max_count = max_count.max(c);
+        if c == 0 {
+            trace.counter("bins.hist.empty").inc();
+        } else {
+            trace.counter("bins.nonempty").inc();
+            // bucket k counts bins holding (2^(k-1), 2^k] points
+            let bucket = u32::BITS - (c - 1).leading_zeros();
+            trace.counter(&format!("bins.hist.p2_{bucket:02}")).inc();
+        }
+    }
+    trace.gauge("bins.max_points").max(max_count as f64);
+    if nb > 0 && m > 0 {
+        let mean = m as f64 / nb as f64;
+        trace.gauge("bins.imbalance").max(max_count as f64 / mean);
     }
 }
 
@@ -168,6 +201,15 @@ pub fn build_subproblems(dev: &Device, sort: &GpuBinSort, msub: usize) -> Vec<Su
         nb as f64 * 4.0,
         Precision::Single,
     );
+    if let Some(trace) = dev.trace() {
+        trace.counter("subprob.count").add(subs.len() as i64);
+        // idle slots: points of padding a full-width launch would waste
+        // (each subproblem is scheduled as if it held `msub` points)
+        let idle: i64 = subs.iter().map(|sp| msub as i64 - sp.len as i64).sum();
+        trace.counter("subprob.idle_slots").add(idle);
+        let max_len = subs.iter().map(|sp| sp.len).max().unwrap_or(0);
+        trace.gauge("subprob.max_len").max(max_len as f64);
+    }
     subs
 }
 

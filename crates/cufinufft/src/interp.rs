@@ -106,8 +106,8 @@ pub fn interp_gm<T: Real, K: Kernel1d>(
             for (&j, fp) in warp.iter().zip(fps.iter()) {
                 for i in 0..3 {
                     let n = [n1, n2, n3][i] as i64;
-                    for t in 0..fp.wd[i] {
-                        idx[i][t] = (fp.l0[i] + t as i64).rem_euclid(n) as usize;
+                    for (t, slot) in idx[i][..fp.wd[i]].iter_mut().enumerate() {
+                        *slot = (fp.l0[i] + t as i64).rem_euclid(n) as usize;
                     }
                 }
                 let mut acc = Complex::<T>::ZERO;
@@ -161,8 +161,8 @@ pub fn interp_sm<T: Real>(
     let pad = 2 * w.div_ceil(2);
     let dim = pts.dim;
     let mut p = [1usize; 3];
-    for i in 0..dim {
-        p[i] = layout.bin_size[i] + pad;
+    for (pi, &bs) in p.iter_mut().zip(&layout.bin_size).take(dim) {
+        *pi = bs + pad;
     }
     let padded_cells = p[0] * p[1] * p[2];
     let shared_bytes = (padded_cells * cb).min(dev.props().shared_mem_per_block);
@@ -209,8 +209,8 @@ pub fn interp_sm<T: Real>(
                 // functional evaluation straight from the global grid
                 for i in 0..3 {
                     let n = [n1, n2, n3][i] as i64;
-                    for t in 0..fp.wd[i] {
-                        idx[i][t] = (fp.l0[i] + t as i64).rem_euclid(n) as usize;
+                    for (t, slot) in idx[i][..fp.wd[i]].iter_mut().enumerate() {
+                        *slot = (fp.l0[i] + t as i64).rem_euclid(n) as usize;
                     }
                 }
                 let mut acc = Complex::<T>::ZERO;
@@ -244,6 +244,7 @@ pub fn interp_sm<T: Real>(
 /// SM variant, so the method only decides the point order: bin-sorted
 /// when a sort is available and the method wants it, user order
 /// otherwise.
+#[allow(clippy::too_many_arguments)]
 pub fn interp_batch<T: Real>(
     dev: &Device,
     kernel: &EsKernel,
@@ -258,6 +259,13 @@ pub fn interp_batch<T: Real>(
     let m = inputs.pts.len();
     let nf = fine.total();
     assert!(grids.len() >= bc * nf && out.len() >= bc * m);
+    let _span = nufft_trace::span!(
+        "interp",
+        dim = inputs.pts.dim,
+        method = format!("{method:?}"),
+        m = m,
+        bc = bc,
+    );
     let (name, order): (&str, std::borrow::Cow<'_, [u32]>) = match (inputs.sort_perm, method) {
         (_, crate::opts::Method::Gm) | (None, _) => {
             ("interp_GM", (0..m as u32).collect::<Vec<u32>>().into())

@@ -1,5 +1,6 @@
 //! Options and spreading-method selection, mirroring `cufinufft_opts`.
 
+use gpu_sim::Trace;
 use nufft_common::error::{NufftError, Result};
 
 /// Spreading / interpolation method (paper Sec. III).
@@ -51,6 +52,11 @@ pub struct GpuOpts {
     /// (the C API's `maxbatchsize`); 0 picks a heuristic that yields
     /// several chunks so transfers can hide under compute.
     pub max_batch: usize,
+    /// Tracing session the plan records into (see `nufft-trace`). When
+    /// set, the plan attaches it to the device, opens host spans around
+    /// build/setpts/execute, records stage-level device spans, and
+    /// publishes load-balance counters. `None` disables all of it.
+    pub trace: Option<Trace>,
 }
 
 impl Default for GpuOpts {
@@ -64,11 +70,18 @@ impl Default for GpuOpts {
             threads_per_block: 128,
             shared_mem_budget: 49_000,
             max_batch: 0,
+            trace: None,
         }
     }
 }
 
 impl GpuOpts {
+    /// Enable tracing into `trace` (builder-style).
+    pub fn with_tracing(mut self, trace: &Trace) -> Self {
+        self.trace = Some(trace.clone());
+        self
+    }
+
     /// Reject option values that cannot produce a working plan. Called
     /// by the plan builder before any device work happens, so bad
     /// options surface as typed errors instead of downstream panics or
@@ -77,11 +90,11 @@ impl GpuOpts {
         if self.msub == 0 {
             return Err(NufftError::BadMsub(self.msub));
         }
-        if !(self.upsampfac > 1.0) {
+        if self.upsampfac <= 1.0 || self.upsampfac.is_nan() {
             return Err(NufftError::BadUpsampfac(self.upsampfac));
         }
         if let Some(b) = self.bin_size {
-            if b.iter().any(|&x| x == 0) {
+            if b.contains(&0) {
                 return Err(NufftError::BadBinSize(b));
             }
         }

@@ -6,7 +6,7 @@ use crate::bins::{build_subproblems, gpu_bin_sort, GpuBinSort, Subproblem};
 use crate::interp::interp_batch;
 use crate::opts::{default_bin_size, resolve_spread_method, GpuOpts, Method, ModeOrder};
 use crate::spread::{spread_batch, PtsRef, SpreadInputs};
-use gpu_sim::{Device, GpuBuffer, Precision};
+use gpu_sim::{Device, GpuBuffer, Lane, Precision, Trace, TraceReport};
 use nufft_common::complex::Complex;
 use nufft_common::error::{NufftError, Result};
 use nufft_common::real::Real;
@@ -303,6 +303,13 @@ impl<T: Real> PlanBuilder<T> {
         self
     }
 
+    /// Record plan lifecycle spans, device events, and load-balance
+    /// counters into `trace` (see [`Plan::trace_report`]).
+    pub fn tracing(mut self, trace: &Trace) -> Self {
+        self.opts.trace = Some(trace.clone());
+        self
+    }
+
     /// Validate the options and build the plan.
     pub fn build(self, dev: &Device) -> Result<Plan<T>> {
         self.opts.validate()?;
@@ -336,7 +343,8 @@ impl<T: Real> Plan<T> {
         PlanBuilder::new(ttype, modes)
     }
 
-    /// Create a plan from positional arguments.
+    /// Create a plan from positional arguments. A thin shim over
+    /// [`Plan::builder`] — both constructors share one build path.
     #[deprecated(note = "use `Plan::builder(ttype, modes)...build(dev)` instead")]
     pub fn new(
         ttype: TransformType,
@@ -346,7 +354,11 @@ impl<T: Real> Plan<T> {
         opts: GpuOpts,
         dev: &Device,
     ) -> Result<Self> {
-        Self::build_impl(ttype, modes, iflag, eps, opts, dev)
+        Self::builder(ttype, modes)
+            .iflag(iflag)
+            .eps(eps)
+            .opts(opts)
+            .build(dev)
     }
 
     /// Create a plan (cufinufft_makeplan). Fine-grid sizing, kernel
@@ -360,10 +372,25 @@ impl<T: Real> Plan<T> {
         opts: GpuOpts,
         dev: &Device,
     ) -> Result<Self> {
+        let trace = opts.trace.clone();
+        if let Some(t) = &trace {
+            dev.attach_trace(t);
+        }
+        let _on = trace.as_ref().map(|t| t.activate());
+        let _span = trace.as_ref().map(|t| {
+            t.span_with(
+                "plan.build",
+                &[
+                    ("ttype", format!("{ttype:?}")),
+                    ("dim", modes.len().to_string()),
+                    ("eps", format!("{eps:e}")),
+                ],
+            )
+        });
         if modes.is_empty() || modes.len() > 3 {
             return Err(NufftError::BadDim(modes.len()));
         }
-        if modes.iter().any(|&n| n == 0) {
+        if modes.contains(&0) {
             return Err(NufftError::BadModes("zero-size mode dimension".into()));
         }
         let kernel = if (opts.upsampfac - 2.0).abs() < 1e-12 {
@@ -389,8 +416,10 @@ impl<T: Real> Plan<T> {
         let d_grid = dev.alloc("fine_grid", fine.total()).map_err(oom)?;
         let d_in = dev.alloc("in", 0).map_err(oom)?;
         let d_out = dev.alloc("out", 0).map_err(oom)?;
-        let mut timings = GpuStageTimings::default();
-        timings.alloc = dev.clock() - t0;
+        let timings = GpuStageTimings {
+            alloc: dev.clock() - t0,
+            ..Default::default()
+        };
         Ok(Plan {
             ttype,
             modes,
@@ -471,6 +500,29 @@ impl<T: Real> Plan<T> {
         self.ntransf
     }
 
+    /// Snapshot of the plan's tracing session: lifecycle spans, device
+    /// timeline events, and load-balance counters. `None` when the plan
+    /// was built without [`PlanBuilder::tracing`] /
+    /// [`GpuOpts::with_tracing`].
+    pub fn trace_report(&self) -> Option<TraceReport> {
+        self.opts.trace.as_ref().map(|t| t.report())
+    }
+
+    /// Record a stage-level span (simulated clock, plan lane) covering
+    /// `start`..now.
+    fn stage_span(&self, name: &str, start: f64) {
+        if let Some(t) = &self.opts.trace {
+            t.device_span(
+                Lane::Plan,
+                name,
+                "stage",
+                start,
+                self.dev.clock() - start,
+                &[],
+            );
+        }
+    }
+
     pub fn num_points(&self) -> usize {
         self.pts.as_ref().map_or(0, |p| p.m)
     }
@@ -498,6 +550,14 @@ impl<T: Real> Plan<T> {
                 }
             }
         }
+        let trace = self.opts.trace.clone();
+        let _on = trace.as_ref().map(|t| t.activate());
+        let _span = trace.as_ref().map(|t| {
+            t.span_with(
+                "plan.setpts",
+                &[("m", m.to_string()), ("dim", pts.dim.to_string())],
+            )
+        });
         let t0 = self.dev.clock();
         let mut bufs = [
             self.dev.alloc("pts_x", m).map_err(oom)?,
@@ -510,13 +570,14 @@ impl<T: Real> Plan<T> {
         ];
         let t_alloc = self.dev.clock() - t0;
         let t1 = self.dev.clock();
-        for i in 0..pts.dim {
-            self.dev.memcpy_htod(&mut bufs[i], &pts.coords[i]);
+        for (buf, coords) in bufs.iter_mut().zip(&pts.coords).take(pts.dim) {
+            self.dev.memcpy_htod(buf, coords);
         }
         let t_h2d = self.dev.clock() - t1;
         let t2 = self.dev.clock();
-        let needs_sort = !(self.ttype == TransformType::Type1 && self.spread_method == Method::Gm)
-            && !(self.ttype == TransformType::Type2 && self.spread_method == Method::Gm);
+        // GM works in user point order for both transform types; every
+        // other method wants the bin sort
+        let needs_sort = self.spread_method != Method::Gm;
         let sort = needs_sort.then(|| gpu_bin_sort(&self.dev, pts, self.fine, self.bin_size));
         let subproblems = if self.ttype == TransformType::Type1 && self.spread_method == Method::Sm
         {
@@ -529,6 +590,9 @@ impl<T: Real> Plan<T> {
             Vec::new()
         };
         let t_sort = self.dev.clock() - t2;
+        if t_sort > 0.0 {
+            self.stage_span("stage.sort", t2);
+        }
         self.timings.alloc += t_alloc;
         self.timings.h2d_pts = t_h2d;
         self.timings.sort = t_sort;
@@ -574,6 +638,17 @@ impl<T: Real> Plan<T> {
                 got: output.len(),
             });
         }
+        let trace = self.opts.trace.clone();
+        let _on = trace.as_ref().map(|t| t.activate());
+        let _span = trace.as_ref().map(|t| {
+            t.span_with(
+                "plan.execute",
+                &[
+                    ("ttype", format!("{:?}", self.ttype)),
+                    ("method", format!("{:?}", self.spread_method)),
+                ],
+            )
+        });
         // (re)allocate IO buffers on first use or size change
         let t0 = self.dev.clock();
         if self.d_in.len() != want_in {
@@ -634,11 +709,13 @@ impl<T: Real> Plan<T> {
                 got: output.len(),
             });
         }
-        let mut acc = GpuStageTimings::default();
-        acc.alloc = self.timings.alloc;
-        acc.h2d_pts = self.timings.h2d_pts;
-        acc.sort = self.timings.sort;
-        acc.batches = n_transf;
+        let mut acc = GpuStageTimings {
+            alloc: self.timings.alloc,
+            h2d_pts: self.timings.h2d_pts,
+            sort: self.timings.sort,
+            batches: n_transf,
+            ..Default::default()
+        };
         for t in 0..n_transf {
             self.execute(
                 &input[t * in_per..(t + 1) * in_per],
@@ -794,7 +871,7 @@ impl<T: Real> Plan<T> {
                 "execute_many cannot infer the batch size from empty transforms".into(),
             ));
         }
-        if input.is_empty() || input.len() % in_per != 0 {
+        if input.is_empty() || !input.len().is_multiple_of(in_per) {
             return Err(NufftError::LengthMismatch {
                 expected: in_per,
                 got: input.len(),
@@ -807,6 +884,14 @@ impl<T: Real> Plan<T> {
                 got: output.len(),
             });
         }
+        let trace = self.opts.trace.clone();
+        let _on = trace.as_ref().map(|t| t.activate());
+        let _span = trace.as_ref().map(|t| {
+            t.span_with(
+                "plan.execute_many",
+                &[("b", b.to_string()), ("ttype", format!("{:?}", self.ttype))],
+            )
+        });
 
         // stage buffers sized for one chunk, (re)allocated outside the
         // pipelined region so the schedule holds only transfers + compute
@@ -814,7 +899,7 @@ impl<T: Real> Plan<T> {
         let nf = self.fine.total();
         let t0 = self.dev.clock();
         let undersized = |buf: &Option<GpuBuffer<Complex<T>>>, len: usize| {
-            buf.as_ref().map_or(true, |g| g.len() < len)
+            buf.as_ref().is_none_or(|g| g.len() < len)
         };
         if undersized(&self.d_in_batch, in_per * chunk) {
             self.d_in_batch = Some(self.dev.alloc("in_batch", in_per * chunk).map_err(oom)?);
@@ -938,10 +1023,12 @@ impl<T: Real> Plan<T> {
             &mut d_grid.as_mut_slice()[..bc * nf],
         );
         stage.spread_interp += self.dev.clock() - t0;
+        self.stage_span("stage.spread", t0);
         let t1 = self.dev.clock();
         self.fft
             .execute_many(&self.dev, d_grid, bc, Direction::from_sign(self.iflag));
         stage.fft += self.dev.clock() - t1;
+        self.stage_span("stage.fft", t1);
         let t2 = self.dev.clock();
         for v in 0..bc {
             deconv_type1(
@@ -961,6 +1048,7 @@ impl<T: Real> Plan<T> {
             Self::precision(),
         );
         stage.deconv += self.dev.clock() - t2;
+        self.stage_span("stage.deconv", t2);
     }
 
     /// One chunk of a batched type-2 execution; see
@@ -1002,10 +1090,12 @@ impl<T: Real> Plan<T> {
             Self::precision(),
         );
         stage.deconv += self.dev.clock() - t0;
+        self.stage_span("stage.deconv", t0);
         let t1 = self.dev.clock();
         self.fft
             .execute_many(&self.dev, d_grid, bc, Direction::from_sign(self.iflag));
         stage.fft += self.dev.clock() - t1;
+        self.stage_span("stage.fft", t1);
         let t2 = self.dev.clock();
         interp_batch(
             &self.dev,
@@ -1019,6 +1109,7 @@ impl<T: Real> Plan<T> {
             &mut d_out.as_mut_slice()[..bc * m],
         );
         stage.spread_interp += self.dev.clock() - t2;
+        self.stage_span("stage.interp", t2);
     }
 
     /// Dispatch the configured spreading method from `d_in` into
@@ -1055,6 +1146,7 @@ impl<T: Real> Plan<T> {
         );
         self.run_spread();
         self.timings.spread_interp = self.dev.clock() - t0;
+        self.stage_span("stage.spread", t0);
         // FFT
         let t1 = self.dev.clock();
         self.fft.execute(
@@ -1063,6 +1155,7 @@ impl<T: Real> Plan<T> {
             Direction::from_sign(self.iflag),
         );
         self.timings.fft = self.dev.clock() - t1;
+        self.stage_span("stage.fft", t1);
         // deconvolve + truncate
         let t2 = self.dev.clock();
         deconv_type1(
@@ -1081,6 +1174,7 @@ impl<T: Real> Plan<T> {
             Self::precision(),
         );
         self.timings.deconv = self.dev.clock() - t2;
+        self.stage_span("stage.deconv", t2);
         Ok(())
     }
 
@@ -1115,6 +1209,7 @@ impl<T: Real> Plan<T> {
             Self::precision(),
         );
         self.timings.deconv = self.dev.clock() - t0;
+        self.stage_span("stage.deconv", t0);
         // FFT
         let t1 = self.dev.clock();
         self.fft.execute(
@@ -1123,10 +1218,12 @@ impl<T: Real> Plan<T> {
             Direction::from_sign(self.iflag),
         );
         self.timings.fft = self.dev.clock() - t1;
+        self.stage_span("stage.fft", t1);
         // interpolate
         let t2 = self.dev.clock();
         self.run_interp();
         self.timings.spread_interp = self.dev.clock() - t2;
+        self.stage_span("stage.interp", t2);
         Ok(())
     }
 

@@ -209,8 +209,8 @@ pub fn spread_gm<T: Real, K: Kernel1d>(
                 let c = strengths[j as usize];
                 for i in 0..3 {
                     let n = [n1, n2, n3][i] as i64;
-                    for t in 0..fp.wd[i] {
-                        idx[i][t] = (fp.l0[i] + t as i64).rem_euclid(n) as usize;
+                    for (t, slot) in idx[i][..fp.wd[i]].iter_mut().enumerate() {
+                        *slot = (fp.l0[i] + t as i64).rem_euclid(n) as usize;
                     }
                 }
                 for t3 in 0..fp.wd[2] {
@@ -254,8 +254,8 @@ pub fn spread_sm<T: Real>(
     let dim = pts.dim;
     // padded bin extents (eq. 13)
     let mut p = [1usize; 3];
-    for i in 0..dim {
-        p[i] = layout.bin_size[i] + pad;
+    for (pi, &bs) in p.iter_mut().zip(&layout.bin_size).take(dim) {
+        *pi = bs + pad;
     }
     let padded_cells = p[0] * p[1] * p[2];
     let shared_bytes = padded_cells * cb;
@@ -396,6 +396,14 @@ pub fn spread_batch<T: Real>(
     let m = inputs.pts.len();
     let nf = fine.total();
     assert!(strengths.len() >= bc * m && grids.len() >= bc * nf);
+    let _span = nufft_trace::span!(
+        "spread",
+        dim = inputs.pts.dim,
+        method = format!("{method:?}"),
+        m = m,
+        bc = bc,
+        subproblems = inputs.subproblems.len(),
+    );
     match method {
         Method::Gm => {
             let natural: Vec<u32> = (0..m as u32).collect();
@@ -482,8 +490,8 @@ mod tests {
             let mut idx = [[0usize; MAX_W]; 3];
             for i in 0..3 {
                 let n = [n1, n2, n3][i] as i64;
-                for t in 0..fp.wd[i] {
-                    idx[i][t] = (fp.l0[i] + t as i64).rem_euclid(n) as usize;
+                for (t, slot) in idx[i][..fp.wd[i]].iter_mut().enumerate() {
+                    *slot = (fp.l0[i] + t as i64).rem_euclid(n) as usize;
                 }
             }
             let c = cs[j as usize];

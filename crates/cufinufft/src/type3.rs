@@ -135,8 +135,8 @@ impl<T: Real> GpuType3Plan<T> {
             coords: [Vec::new(), Vec::new(), Vec::new()],
             dim: self.dim,
         };
-        for i in 0..self.dim {
-            xp.coords[i] = x.coords[i]
+        for (i, xc) in xp.coords.iter_mut().enumerate().take(self.dim) {
+            *xc = x.coords[i]
                 .iter()
                 .map(|&v| T::from_f64(v.to_f64() / gamma[i]))
                 .collect();
@@ -151,8 +151,8 @@ impl<T: Real> GpuType3Plan<T> {
                 .alloc("t3_z", if self.dim >= 3 { m } else { 0 })
                 .map_err(oom)?,
         ];
-        for i in 0..self.dim {
-            self.dev.memcpy_htod(&mut bufs[i], &xp.coords[i]);
+        for (buf, coords) in bufs.iter_mut().zip(&xp.coords).take(self.dim) {
+            self.dev.memcpy_htod(buf, coords);
         }
         let d_grid = self.dev.alloc("t3_grid", nf.total()).map_err(oom)?;
         self.timings.alloc = self.dev.clock() - t0;
@@ -161,9 +161,9 @@ impl<T: Real> GpuType3Plan<T> {
             coords: [Vec::new(), Vec::new(), Vec::new()],
             dim: self.dim,
         };
-        for i in 0..self.dim {
+        for (i, tc) in tau.coords.iter_mut().enumerate().take(self.dim) {
             let h = std::f64::consts::TAU / nf.n[i] as f64;
-            tau.coords[i] = s.coords[i]
+            *tc = s.coords[i]
                 .iter()
                 .map(|&v| T::from_f64(gamma[i] * h * v.to_f64()))
                 .collect();
@@ -177,11 +177,11 @@ impl<T: Real> GpuType3Plan<T> {
         // per-target corrections
         let n_targets = s.len();
         let mut corr = vec![1.0f64; n_targets];
-        for i in 0..self.dim {
+        for (i, &g) in gamma.iter().enumerate().take(self.dim) {
             let h = std::f64::consts::TAU / nf.n[i] as f64;
             let alpha = w as f64 * h / 2.0;
             for (k, c) in corr.iter_mut().enumerate() {
-                let ft = self.kernel.ft(alpha * gamma[i] * s.coords[i][k].to_f64());
+                let ft = self.kernel.ft(alpha * g * s.coords[i][k].to_f64());
                 if ft.abs() < f64::MIN_POSITIVE {
                     return Err(NufftError::BadOptions(format!(
                         "type-3 target {k} outside the resolvable band"
@@ -350,12 +350,12 @@ mod tests {
         (0..s.len())
             .map(|k| {
                 let mut acc = Complex::ZERO;
-                for j in 0..x.len() {
+                for (j, &c) in cs.iter().enumerate().take(x.len()) {
                     let mut phase = 0.0;
                     for i in 0..x.dim {
                         phase += s.coord(i, k) * x.coord(i, j);
                     }
-                    acc += cs[j] * Complex::cis(iflag as f64 * phase);
+                    acc += c * Complex::cis(iflag as f64 * phase);
                 }
                 acc
             })

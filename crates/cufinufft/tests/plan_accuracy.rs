@@ -665,3 +665,41 @@ fn spread_and_interp_only_modes() {
     assert!(p1.interp_only(&g, &mut vals).is_err());
     assert!(p2.spread_only(&cs, &mut grid).is_err());
 }
+
+#[test]
+#[allow(deprecated)]
+fn deprecated_plan_new_matches_builder_exactly() {
+    // Plan::new is a shim over the builder; the two construction paths
+    // must produce bitwise-identical transforms for identical inputs.
+    let modes = [18usize, 14];
+    let opts = GpuOpts {
+        method: Method::GmSort,
+        ..Default::default()
+    };
+    let run = |via_new: bool| -> (Vec<Complex<f64>>, Shape) {
+        let dev = Device::v100();
+        let mut plan = if via_new {
+            Plan::<f64>::new(TransformType::Type1, &modes, 1, 1e-7, opts.clone(), &dev).unwrap()
+        } else {
+            Plan::<f64>::builder(TransformType::Type1, &modes)
+                .iflag(1)
+                .eps(1e-7)
+                .opts(opts.clone())
+                .build(&dev)
+                .unwrap()
+        };
+        let pts: Points<f64> = gen_points(PointDist::Rand, 2, 350, plan.fine_grid_shape(), 71);
+        let cs = gen_strengths::<f64>(350, 72);
+        plan.set_pts(&pts).unwrap();
+        let mut out = vec![Complex::<f64>::ZERO; modes.iter().product()];
+        plan.execute(&cs, &mut out).unwrap();
+        (out, plan.fine_grid_shape())
+    };
+    let (out_new, fine_new) = run(true);
+    let (out_builder, fine_builder) = run(false);
+    assert_eq!(fine_new, fine_builder);
+    for (x, y) in out_new.iter().zip(&out_builder) {
+        assert_eq!(x.re.to_bits(), y.re.to_bits());
+        assert_eq!(x.im.to_bits(), y.im.to_bits());
+    }
+}

@@ -99,7 +99,7 @@ impl<T: Real, K: Kernel1d> Plan<T, K> {
         if modes.is_empty() || modes.len() > 3 {
             return Err(NufftError::BadDim(modes.len()));
         }
-        if modes.iter().any(|&n| n == 0) {
+        if modes.contains(&0) {
             return Err(NufftError::BadModes("zero-size mode dimension".into()));
         }
         if opts.upsampfac <= 1.0 {
@@ -281,7 +281,7 @@ impl<T: Real, K: Kernel1d> Plan<T, K> {
                 "execute_many cannot infer the batch size from empty transforms".into(),
             ));
         }
-        if input.is_empty() || input.len() % in_per != 0 {
+        if input.is_empty() || !input.len().is_multiple_of(in_per) {
             return Err(NufftError::LengthMismatch {
                 expected: in_per,
                 got: input.len(),

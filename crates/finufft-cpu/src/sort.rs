@@ -94,9 +94,9 @@ pub fn bin_sort<T: Real>(pts: &Points<T>, fine: Shape, bin_size: [usize; 3]) -> 
     let m = pts.len();
     let mut bin_of = vec![0u32; m];
     let mut counts = vec![0u32; nb + 1];
-    for j in 0..m {
+    for (j, bo) in bin_of.iter_mut().enumerate().take(m) {
         let b = grid.bin_of(grid.cell_of(pts, j)) as u32;
-        bin_of[j] = b;
+        *bo = b;
         counts[b as usize + 1] += 1;
     }
     // exclusive prefix scan

@@ -66,8 +66,8 @@ pub fn spread_serial<T: Real, K: Kernel1d>(
         let fp = footprint(kernel, fine, pts, j);
         for i in 0..3 {
             let n = [n1, n2, n3][i] as i64;
-            for t in 0..fp.wd[i] {
-                idx[i][t] = (fp.l0[i] + t as i64).rem_euclid(n) as usize;
+            for (t, slot) in idx[i][..fp.wd[i]].iter_mut().enumerate() {
+                *slot = (fp.l0[i] + t as i64).rem_euclid(n) as usize;
             }
         }
         let c = strengths[j];
@@ -102,8 +102,8 @@ fn interp_range<T: Real, K: Kernel1d>(
         let fp = footprint(kernel, fine, pts, j);
         for i in 0..3 {
             let n = [n1, n2, n3][i] as i64;
-            for t in 0..fp.wd[i] {
-                idx[i][t] = (fp.l0[i] + t as i64).rem_euclid(n) as usize;
+            for (t, slot) in idx[i][..fp.wd[i]].iter_mut().enumerate() {
+                *slot = (fp.l0[i] + t as i64).rem_euclid(n) as usize;
             }
         }
         let mut acc = Complex::<T>::ZERO;

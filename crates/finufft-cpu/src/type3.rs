@@ -50,12 +50,12 @@ pub struct Type3Plan<T: Real> {
 /// Half-widths `X_i = max_j |x_ji|`, floored to avoid degenerate scales.
 fn half_width<T: Real>(pts: &Points<T>, dim: usize) -> [f64; 3] {
     let mut out = [1.0f64; 3];
-    for i in 0..dim {
-        let w = pts.coords[i]
+    for (oi, coords) in out.iter_mut().zip(&pts.coords).take(dim) {
+        let w = coords
             .iter()
             .map(|v| v.to_f64().abs())
             .fold(0.0f64, f64::max);
-        out[i] = w.max(1e-3);
+        *oi = w.max(1e-3);
     }
     out
 }
@@ -134,8 +134,8 @@ impl<T: Real> Type3Plan<T> {
             coords: [Vec::new(), Vec::new(), Vec::new()],
             dim: self.dim,
         };
-        for i in 0..self.dim {
-            xp.coords[i] = x.coords[i]
+        for (i, xc) in xp.coords.iter_mut().enumerate().take(self.dim) {
+            *xc = x.coords[i]
                 .iter()
                 .map(|&v| T::from_f64(v.to_f64() / gamma[i]))
                 .collect();
@@ -145,9 +145,9 @@ impl<T: Real> Type3Plan<T> {
             coords: [Vec::new(), Vec::new(), Vec::new()],
             dim: self.dim,
         };
-        for i in 0..self.dim {
+        for (i, tc) in tau.coords.iter_mut().enumerate().take(self.dim) {
             let h = std::f64::consts::TAU / nf.n[i] as f64;
-            tau.coords[i] = s.coords[i]
+            *tc = s.coords[i]
                 .iter()
                 .map(|&v| T::from_f64(gamma[i] * h * v.to_f64()))
                 .collect();
@@ -158,11 +158,11 @@ impl<T: Real> Type3Plan<T> {
         // per-target kernel corrections
         let n_targets = s.len();
         let mut corr = vec![1.0f64; n_targets];
-        for i in 0..self.dim {
+        for (i, &g) in gamma.iter().enumerate().take(self.dim) {
             let h = std::f64::consts::TAU / nf.n[i] as f64;
             let alpha = w as f64 * h / 2.0;
             for (k, c) in corr.iter_mut().enumerate() {
-                let xi = alpha * gamma[i] * s.coords[i][k].to_f64();
+                let xi = alpha * g * s.coords[i][k].to_f64();
                 let ft = self.kernel.ft(xi);
                 if ft.abs() < f64::MIN_POSITIVE {
                     return Err(NufftError::BadOptions(format!(

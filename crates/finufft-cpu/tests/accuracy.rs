@@ -168,8 +168,10 @@ fn unsorted_option_gives_same_answer() {
     let modes = [22usize, 26];
     let shape = Shape::from_slice(&modes);
     let mk = |sort: bool| {
-        let mut opts = Opts::default();
-        opts.sort = sort;
+        let opts = Opts {
+            sort,
+            ..Default::default()
+        };
         let mut plan = Plan::<f64>::new(TransformType::Type1, &modes, -1, 1e-11, opts).unwrap();
         let pts: Points<f64> = gen_points(PointDist::Rand, 2, 500, plan.fine_grid_shape(), 55);
         let cs = gen_strengths::<f64>(500, 56);
@@ -243,8 +245,10 @@ fn low_upsampling_sigma_meets_tolerance() {
     let modes = [24usize, 20];
     let shape = Shape::from_slice(&modes);
     for eps in [1e-3, 1e-6, 1e-9] {
-        let mut opts = Opts::default();
-        opts.upsampfac = 1.25;
+        let opts = Opts {
+            upsampfac: 1.25,
+            ..Default::default()
+        };
         let mut plan = Plan::<f64>::new(TransformType::Type1, &modes, -1, eps, opts).unwrap();
         // the fine grid is much smaller than 2N
         assert!(plan.fine_grid_shape().n[0] < 2 * modes[0]);

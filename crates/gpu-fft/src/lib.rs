@@ -44,9 +44,21 @@ impl<T: Real> GpuFftPlan<T> {
         }
     }
 
+    /// Count an FFT dispatch in the device's trace session, if attached.
+    fn trace_dispatch(&self, dev: &Device, ntransf: usize) {
+        if let Some(trace) = dev.trace() {
+            trace.counter("fft.dispatches").inc();
+            trace.counter("fft.transforms").add(ntransf as i64);
+            trace
+                .counter("fft.grid_points")
+                .add((self.shape.total() * ntransf) as i64);
+        }
+    }
+
     /// Execute in place on a device buffer, charging the device clock.
     pub fn execute(&self, dev: &Device, data: &mut GpuBuffer<Complex<T>>, dir: Direction) {
         assert_eq!(data.len(), self.shape.total(), "buffer/plan shape mismatch");
+        self.trace_dispatch(dev, 1);
         self.fft.process(data.as_mut_slice(), dir);
         dev.bulk_op(
             match dir {
@@ -73,6 +85,7 @@ impl<T: Real> GpuFftPlan<T> {
         dir: Direction,
     ) {
         assert!(ntransf > 0, "ntransf must be positive");
+        self.trace_dispatch(dev, ntransf);
         let n = self.shape.total();
         // the buffer may be capacity-sized for a larger chunk; only the
         // first `ntransf` grids are transformed

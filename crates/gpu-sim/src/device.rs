@@ -7,6 +7,7 @@
 
 use crate::kernel::{Breakdown, Kernel, LaunchConfig, LaunchReport};
 use crate::props::{DeviceProps, Precision};
+use nufft_trace::{Lane, Trace};
 use parking_lot::Mutex;
 use std::fmt;
 use std::sync::Arc;
@@ -38,6 +39,32 @@ struct State {
     mem_peak: usize,
     timeline: Vec<TimelineRecord>,
     record_timeline: bool,
+    trace: Option<Trace>,
+}
+
+/// Which trace lane a priced operation lands on. Transfers are split by
+/// direction (matching the two copy engines) by inspecting the name.
+fn lane_for(kind: OpKind, name: &str) -> Lane {
+    match kind {
+        OpKind::Kernel | OpKind::Bulk => Lane::Compute,
+        OpKind::Alloc => Lane::Alloc,
+        OpKind::Memcpy => {
+            if name.contains("dtoh") {
+                Lane::D2h
+            } else {
+                Lane::H2d
+            }
+        }
+    }
+}
+
+fn cat_for(kind: OpKind) -> &'static str {
+    match kind {
+        OpKind::Kernel => "kernel",
+        OpKind::Bulk => "bulk",
+        OpKind::Memcpy => "memcpy",
+        OpKind::Alloc => "alloc",
+    }
 }
 
 pub(crate) struct DeviceInner {
@@ -127,18 +154,50 @@ impl Device {
         self.inner.state.lock().timeline.clear();
     }
 
+    /// The trace session events are mirrored into, if any.
+    pub fn trace(&self) -> Option<Trace> {
+        self.inner.state.lock().trace.clone()
+    }
+
+    /// Mirror every priced operation into `trace` as a device-lane span
+    /// (kernels/bulk ops on the compute lane, transfers split H2D/D2H,
+    /// allocations on their own lane). Works independently of
+    /// [`Device::set_record_timeline`], so benchmarks can trace with the
+    /// timeline off.
+    pub fn attach_trace(&self, trace: &Trace) {
+        self.inner.state.lock().trace = Some(trace.clone());
+    }
+
+    pub fn detach_trace(&self) {
+        self.inner.state.lock().trace = None;
+    }
+
     fn push_record(&self, name: String, kind: OpKind, duration: f64, breakdown: Breakdown) -> f64 {
-        let mut s = self.inner.state.lock();
-        let start = s.clock;
-        s.clock += duration;
-        if s.record_timeline {
-            s.timeline.push(TimelineRecord {
-                name,
-                kind,
+        let trace = {
+            let mut s = self.inner.state.lock();
+            let start = s.clock;
+            s.clock += duration;
+            let trace = s.trace.clone().map(|t| (t, start));
+            if s.record_timeline {
+                s.timeline.push(TimelineRecord {
+                    name: name.clone(),
+                    kind,
+                    start,
+                    duration,
+                    breakdown,
+                });
+            }
+            trace
+        };
+        if let Some((trace, start)) = trace {
+            trace.device_span(
+                lane_for(kind, &name),
+                &name,
+                cat_for(kind),
                 start,
                 duration,
-                breakdown,
-            });
+                &[],
+            );
         }
         duration
     }
@@ -191,15 +250,28 @@ impl Device {
     /// advancing the serial clock — the caller accounts for elapsed time
     /// via [`crate::stream::sync_streams`].
     pub fn record_async(&self, name: &str, kind: OpKind, start: f64, duration: f64) {
-        let mut s = self.inner.state.lock();
-        if s.record_timeline {
-            s.timeline.push(TimelineRecord {
-                name: name.into(),
-                kind,
+        let trace = {
+            let mut s = self.inner.state.lock();
+            if s.record_timeline {
+                s.timeline.push(TimelineRecord {
+                    name: name.into(),
+                    kind,
+                    start,
+                    duration,
+                    breakdown: Breakdown::default(),
+                });
+            }
+            s.trace.clone()
+        };
+        if let Some(trace) = trace {
+            trace.device_span(
+                lane_for(kind, name),
+                name,
+                cat_for(kind),
                 start,
                 duration,
-                breakdown: Breakdown::default(),
-            });
+                &[],
+            );
         }
     }
 
@@ -245,6 +317,18 @@ impl Device {
     /// Price and record a finished kernel; advances the clock.
     pub fn launch_end(&self, kernel: Kernel) -> LaunchReport {
         let report = kernel.price();
+        if let Some(trace) = self.trace() {
+            trace.counter("gpu.kernel_launches").inc();
+            trace.counter("gpu.blocks").add(report.blocks as i64);
+            trace
+                .counter("gpu.global_atomics")
+                .add(report.global_atomics as i64);
+            trace
+                .gauge("gpu.atomic_hotspot_max")
+                .max(report.atomic_hotspot_count as f64);
+            let occupancy = (report.blocks as f64 / self.inner.props.sm_count as f64).min(1.0);
+            trace.gauge("gpu.occupancy_peak").max(occupancy);
+        }
         self.push_record(
             report.name.clone(),
             OpKind::Kernel,

@@ -35,3 +35,6 @@ pub use kernel::{BlockCtx, Breakdown, Kernel, LaunchConfig, LaunchReport};
 pub use props::{DeviceProps, Precision};
 pub use report::{overlap_stats, profile_table, summarize, OpSummary, OverlapStats};
 pub use stream::{sync_streams, EngineState, Stream, StreamOp};
+// Re-export the tracing session type so downstream crates can attach a
+// trace to a `Device` without naming `nufft-trace` directly.
+pub use nufft_trace::{Lane, Trace, TraceReport};

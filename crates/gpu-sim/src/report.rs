@@ -44,7 +44,9 @@ pub fn summarize(timeline: &[TimelineRecord]) -> Vec<OpSummary> {
             share: if grand > 0.0 { total / grand } else { 0.0 },
         })
         .collect();
-    out.sort_by(|a, b| b.total.partial_cmp(&a.total).unwrap());
+    // total_cmp: totals of 0.0 (zero-duration records) or NaN must not
+    // panic the profiler the way partial_cmp().unwrap() would.
+    out.sort_by(|a, b| b.total.total_cmp(&a.total));
     out
 }
 
@@ -174,6 +176,60 @@ mod tests {
         assert!(rows.is_empty());
         assert!(profile_table(&[]).lines().count() == 1);
         assert_eq!(overlap_stats(&[]), OverlapStats::default());
+    }
+
+    #[test]
+    fn zero_duration_records_do_not_panic_summarize() {
+        let rec = |name: &str| TimelineRecord {
+            name: name.into(),
+            kind: OpKind::Bulk,
+            start: 0.0,
+            duration: 0.0,
+            breakdown: Default::default(),
+        };
+        // all-zero totals: grand total is 0, shares must be 0, sort must
+        // not panic (regression test for partial_cmp().unwrap())
+        let rows = summarize(&[rec("a"), rec("b"), rec("a")]);
+        assert_eq!(rows.len(), 2);
+        for r in &rows {
+            assert_eq!(r.total, 0.0);
+            assert_eq!(r.share, 0.0);
+        }
+        let a = rows.iter().find(|r| r.name == "a").unwrap();
+        assert_eq!(a.calls, 2);
+    }
+
+    #[test]
+    fn overlap_stats_single_record() {
+        let one = [TimelineRecord {
+            name: "solo".into(),
+            kind: OpKind::Kernel,
+            start: 5.0,
+            duration: 2.0,
+            breakdown: Default::default(),
+        }];
+        let s = overlap_stats(&one);
+        assert!((s.serial - 2.0).abs() < 1e-12);
+        assert!((s.wall - 2.0).abs() < 1e-12);
+        assert_eq!(s.saving(), 0.0);
+        assert_eq!(s.overlap_fraction(), 0.0);
+    }
+
+    #[test]
+    fn overlap_stats_fully_overlapping_streams() {
+        let rec = |start: f64, duration: f64| TimelineRecord {
+            name: "op".into(),
+            kind: OpKind::Memcpy,
+            start,
+            duration,
+            breakdown: Default::default(),
+        };
+        // two streams issuing identical, fully concurrent work
+        let s = overlap_stats(&[rec(0.0, 2.0), rec(0.0, 2.0)]);
+        assert!((s.serial - 4.0).abs() < 1e-12);
+        assert!((s.wall - 2.0).abs() < 1e-12);
+        assert!((s.saving() - 2.0).abs() < 1e-12);
+        assert!((s.overlap_fraction() - 0.5).abs() < 1e-12);
     }
 
     #[test]

@@ -74,7 +74,7 @@ mod tests {
         let mut times = vec![0.001; 1000];
         times[0] = 5.0;
         let ms = makespan(&times, 80);
-        assert!(ms >= 5.0 && ms < 5.1);
+        assert!((5.0..5.1).contains(&ms));
     }
 
     #[test]

@@ -229,7 +229,14 @@ fn gaussian_blur(v: &[f64], n: usize, sigma: f64) -> Vec<f64> {
 }
 
 /// Run a full M-TIP reconstruction on the given simulated device.
+///
+/// When a trace session is attached to `dev` (see `Device::attach_trace`),
+/// the loop records per-iteration spans around the four M-TIP steps so a
+/// Chrome trace shows slicing/matching/merging/phasing nested under each
+/// iteration.
 pub fn reconstruct(cfg: &MtipConfig, dev: &Device) -> MtipResult {
+    let trace = dev.trace();
+    let _on = trace.as_ref().map(|t| t.activate());
     let n = cfg.n_grid;
     let shape = Shape::d3(n, n, n);
     let mol = Molecule::random(cfg.n_blobs, cfg.seed);
@@ -355,6 +362,7 @@ pub fn reconstruct(cfg: &MtipConfig, dev: &Device) -> MtipResult {
     };
 
     for _iter in 0..cfg.iterations {
+        let _iter_span = nufft_trace::span!("mtip.iteration", iter = _iter);
         // assemble current point set
         let qs: Vec<[f64; 3]> = est
             .iter()
@@ -369,13 +377,20 @@ pub fn reconstruct(cfg: &MtipConfig, dev: &Device) -> MtipResult {
 
         // step i: slicing
         let t0 = dev.clock();
+        let slice_span = nufft_trace::span!("mtip.slicing", m = m_total);
         let mut sliced = vec![Complex::<f64>::ZERO; m_total];
         t2.execute(&rho, &mut sliced).expect("slicing");
+        drop(slice_span);
         timings.slicing += dev.clock() - t0;
 
         // step ii: orientation matching over the candidate sets
         if cfg.match_orientations {
             let t0 = dev.clock();
+            let _match_span = nufft_trace::span!(
+                "mtip.matching",
+                images = cfg.n_images,
+                decoys = cfg.n_decoys
+            );
             for (i, cands) in candidates.iter().enumerate() {
                 let mut best = (f64::NEG_INFINITY, est[i]);
                 for (ci, cand) in cands.iter().enumerate() {
@@ -433,6 +448,7 @@ pub fn reconstruct(cfg: &MtipConfig, dev: &Device) -> MtipResult {
 
         // step iii: merging — warm-started CG on A^H A x = A^H v
         let t0 = dev.clock();
+        let merge_span = nufft_trace::span!("mtip.merging", cg_iters = cfg.cg_iters);
         let nvox = shape.total();
         let lambda = 1e-3 * m_total as f64 / nvox as f64; // Tikhonov for unsampled modes
         let mut x = rho.clone();
@@ -486,8 +502,10 @@ pub fn reconstruct(cfg: &MtipConfig, dev: &Device) -> MtipResult {
                 p[i] = r[i] + p[i].scale(beta);
             }
         }
+        drop(merge_span);
         timings.merging += dev.clock() - t0;
 
+        let phase_span = nufft_trace::span!("mtip.phasing", beta = cfg.hio_beta);
         // step iv: phasing — hybrid input-output: voxels satisfying the
         // constraints take the merged value; violating voxels get the
         // feedback update rho - beta x (beta = 0 reduces to plain error
@@ -511,6 +529,7 @@ pub fn reconstruct(cfg: &MtipConfig, dev: &Device) -> MtipResult {
             *dst = Complex::new(val, 0.0);
         }
         timings.phasing_host += th.elapsed().as_secs_f64();
+        drop(phase_span);
 
         // shrink-wrap: refine the support from the smoothed estimate
         if cfg.shrink_wrap_every > 0 && (_iter + 1) % cfg.shrink_wrap_every == 0 {

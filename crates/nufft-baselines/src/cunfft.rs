@@ -83,8 +83,10 @@ impl<T: Real> CunfftPlan<T> {
         let d_grid = dev.alloc("cunfft_grid", fine.total()).map_err(oom)?;
         let d_in = dev.alloc("cunfft_in", 0).map_err(oom)?;
         let d_out = dev.alloc("cunfft_out", 0).map_err(oom)?;
-        let mut timings = GpuStageTimings::default();
-        timings.alloc = dev.clock() - t0;
+        let timings = GpuStageTimings {
+            alloc: dev.clock() - t0,
+            ..Default::default()
+        };
         Ok(CunfftPlan {
             ttype,
             modes,
@@ -144,8 +146,8 @@ impl<T: Real> CunfftPlan<T> {
         ];
         let t_alloc = self.dev.clock() - t0;
         let t1 = self.dev.clock();
-        for i in 0..pts.dim {
-            self.dev.memcpy_htod(&mut bufs[i], &pts.coords[i]);
+        for (buf, coords) in bufs.iter_mut().zip(&pts.coords).take(pts.dim) {
+            self.dev.memcpy_htod(buf, coords);
         }
         self.timings.h2d_pts = self.dev.clock() - t1;
         self.timings.alloc += t_alloc;

@@ -87,16 +87,16 @@ struct SectorSort {
 
 fn sector_sort<T: Real>(pts: &Points<T>, fine: Shape) -> SectorSort {
     let mut nsec = [1usize; 3];
-    for i in 0..fine.dim {
-        nsec[i] = fine.n[i].div_ceil(SECTOR_WIDTH);
+    for (ns, &n) in nsec.iter_mut().zip(&fine.n).take(fine.dim) {
+        *ns = n.div_ceil(SECTOR_WIDTH);
     }
     let total = nsec[0] * nsec[1] * nsec[2];
     let m = pts.len();
     let sector_of = |j: usize| -> usize {
         let mut s = [0usize; 3];
-        for i in 0..pts.dim {
+        for (i, si) in s.iter_mut().enumerate().take(pts.dim) {
             let g = grid_coord(pts.coord(i, j).to_f64(), fine.n[i]);
-            s[i] = ((g as usize).min(fine.n[i] - 1)) / SECTOR_WIDTH;
+            *si = ((g as usize).min(fine.n[i] - 1)) / SECTOR_WIDTH;
         }
         s[0] + nsec[0] * (s[1] + nsec[1] * s[2])
     };
@@ -173,8 +173,10 @@ impl<T: Real> GpunufftPlan<T> {
         let d_grid = dev.alloc("gpunufft_grid", fine.total()).map_err(oom)?;
         let d_in = dev.alloc("gpunufft_in", 0).map_err(oom)?;
         let d_out = dev.alloc("gpunufft_out", 0).map_err(oom)?;
-        let mut timings = GpuStageTimings::default();
-        timings.alloc = dev.clock() - t0;
+        let timings = GpuStageTimings {
+            alloc: dev.clock() - t0,
+            ..Default::default()
+        };
         Ok(GpunufftPlan {
             ttype,
             modes,
@@ -236,8 +238,8 @@ impl<T: Real> GpunufftPlan<T> {
                 .alloc("gpunufft_z", if pts.dim >= 3 { m } else { 0 })
                 .map_err(oom)?,
         ];
-        for i in 0..pts.dim {
-            self.dev.memcpy_htod(&mut bufs[i], &pts.coords[i]);
+        for (buf, coords) in bufs.iter_mut().zip(&pts.coords).take(pts.dim) {
+            self.dev.memcpy_htod(buf, coords);
         }
         // the paper excludes operator construction from total+mem; track
         // the transfer under h2d but zero the sort stage

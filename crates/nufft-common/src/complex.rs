@@ -156,6 +156,7 @@ impl<T: Real> Mul<T> for Complex<T> {
 impl<T: Real> Div for Complex<T> {
     type Output = Self;
     #[inline(always)]
+    #[allow(clippy::suspicious_arithmetic_impl)] // z/w computed as z * w^-1
     fn div(self, rhs: Self) -> Self {
         self * rhs.recip()
     }

@@ -8,7 +8,17 @@ use crate::complex::Complex;
 use crate::real::Real;
 
 /// Relative l2 error `||a - b||_2 / ||b||_2`, with `b` the reference.
-/// Returns 0 when both are zero, infinity when only the reference is zero.
+///
+/// Conventions for degenerate references:
+/// - both vectors all-zero (0/0): returns `0.0` — a zero estimate of a
+///   zero reference is exact, not undefined;
+/// - only the reference all-zero (x/0, x > 0): returns
+///   [`f64::INFINITY`] — no finite relative scale exists;
+/// - any NaN in either vector propagates: the result is NaN, never a
+///   misleading finite error.
+///
+/// Norms accumulate in f64 regardless of the working precisions `T`
+/// and `U`, which may differ (e.g. f32 output vs f64 ground truth).
 pub fn rel_l2<T: Real, U: Real>(a: &[Complex<T>], b: &[Complex<U>]) -> f64 {
     assert_eq!(a.len(), b.len(), "length mismatch in rel_l2");
     let mut num = 0.0f64;
@@ -22,6 +32,8 @@ pub fn rel_l2<T: Real, U: Real>(a: &[Complex<T>], b: &[Complex<U>]) -> f64 {
     if den == 0.0 {
         if num == 0.0 {
             0.0
+        } else if num.is_nan() {
+            f64::NAN
         } else {
             f64::INFINITY
         }
@@ -30,7 +42,9 @@ pub fn rel_l2<T: Real, U: Real>(a: &[Complex<T>], b: &[Complex<U>]) -> f64 {
     }
 }
 
-/// Maximum absolute difference (debug aid).
+/// Maximum absolute difference (debug aid). Empty inputs give `0.0`;
+/// a NaN in either vector propagates to a NaN result (`f64::max` alone
+/// would silently drop it).
 pub fn max_abs_diff<T: Real, U: Real>(a: &[Complex<T>], b: &[Complex<U>]) -> f64 {
     assert_eq!(a.len(), b.len());
     a.iter()
@@ -40,7 +54,13 @@ pub fn max_abs_diff<T: Real, U: Real>(a: &[Complex<T>], b: &[Complex<U>]) -> f64
             let di = x.im.to_f64() - y.im.to_f64();
             (dr * dr + di * di).sqrt()
         })
-        .fold(0.0, f64::max)
+        .fold(0.0, |m, d| {
+            if m.is_nan() || d.is_nan() {
+                f64::NAN
+            } else {
+                m.max(d)
+            }
+        })
 }
 
 /// l2 norm of a complex vector, in f64.
@@ -97,6 +117,42 @@ mod tests {
         let a = vec![c(1.0f32, 0.0)];
         let b = vec![c(1.0f64, 0.0)];
         assert_eq!(rel_l2(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn mixed_precision_sees_f32_rounding() {
+        // 0.1 is not representable in f32; both metrics should report
+        // the representation error against the f64 reference, in f64.
+        let a = vec![c(0.1f32, 0.0)];
+        let b = vec![c(0.1f64, 0.0)];
+        let expected = (0.1f32 as f64 - 0.1f64).abs();
+        assert!((max_abs_diff(&a, &b) - expected).abs() < 1e-18);
+        assert!((rel_l2(&a, &b) - expected / 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nan_inputs_propagate() {
+        let nan = vec![c(f64::NAN, 0.0)];
+        let one = vec![c(1.0f64, 0.0)];
+        let zero = vec![Complex::<f64>::ZERO];
+        assert!(rel_l2(&nan, &one).is_nan());
+        assert!(rel_l2(&one, &nan).is_nan());
+        // NaN beats the zero-reference infinity convention
+        assert!(rel_l2(&nan, &zero).is_nan());
+        assert!(max_abs_diff(&nan, &one).is_nan());
+        assert!(max_abs_diff(&one, &nan).is_nan());
+        // ...even when a later finite entry would win a plain f64::max
+        let tail = vec![c(f64::NAN, 0.0), c(2.0, 0.0)];
+        let refv = vec![c(0.0f64, 0.0), c(0.0, 0.0)];
+        assert!(max_abs_diff(&tail, &refv).is_nan());
+    }
+
+    #[test]
+    fn empty_vectors_are_exact() {
+        let a: Vec<Complex<f64>> = vec![];
+        let b: Vec<Complex<f64>> = vec![];
+        assert_eq!(rel_l2(&a, &b), 0.0);
+        assert_eq!(max_abs_diff(&a, &b), 0.0);
     }
 
     #[test]

@@ -73,7 +73,7 @@ pub trait NufftPlan<T: Real> {
                 "cannot infer batch size: per-transform input length is zero".into(),
             ));
         }
-        if input.is_empty() || input.len() % in_per != 0 {
+        if input.is_empty() || !input.len().is_multiple_of(in_per) {
             return Err(NufftError::LengthMismatch {
                 expected: in_per,
                 got: input.len(),

@@ -185,6 +185,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)] // asserting the consts is the point
     fn constants_match_type() {
         assert_eq!(f32::BYTES, 4);
         assert_eq!(f64::BYTES, 8);

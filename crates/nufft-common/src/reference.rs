@@ -27,11 +27,11 @@ pub fn type1_direct<T: Real>(
     let k1s: Vec<i64> = freqs(modes.n[0]).collect();
     let k2s: Vec<i64> = freqs(modes.n[1]).collect();
     let k3s: Vec<i64> = freqs(modes.n[2]).collect();
-    for j in 0..pts.len() {
+    for (j, sj) in strengths.iter().enumerate().take(pts.len()) {
         let x = pts.coord(0, j).to_f64();
         let y = pts.coord(1, j).to_f64();
         let z = pts.coord(2, j).to_f64();
-        let cj: Complex<f64> = strengths[j].cast();
+        let cj: Complex<f64> = sj.cast();
         let mut idx = 0usize;
         for &k3 in &k3s {
             for &k2 in &k2s {

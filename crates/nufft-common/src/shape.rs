@@ -74,8 +74,8 @@ impl Shape {
     /// Apply a per-dimension map, keeping `dim`.
     pub fn map<F: FnMut(usize, usize) -> usize>(&self, mut f: F) -> Shape {
         let mut n = [1usize; 3];
-        for i in 0..self.dim {
-            n[i] = f(i, self.n[i]);
+        for (i, ni) in n.iter_mut().enumerate().take(self.dim) {
+            *ni = f(i, self.n[i]);
         }
         Shape { n, dim: self.dim }
     }

@@ -10,7 +10,7 @@ pub fn is_smooth(mut n: usize) -> bool {
         return false;
     }
     for p in [2usize, 3, 5] {
-        while n % p == 0 {
+        while n.is_multiple_of(p) {
             n /= p;
         }
     }
@@ -45,7 +45,7 @@ pub fn smooth_factor(mut n: usize) -> Option<(u32, u32, u32)> {
     }
     let mut e = [0u32; 3];
     for (i, p) in [2usize, 3, 5].iter().enumerate() {
-        while n % p == 0 {
+        while n.is_multiple_of(*p) {
             n /= p;
             e[i] += 1;
         }
@@ -59,7 +59,7 @@ pub fn factorize(mut n: usize) -> Vec<usize> {
     let mut out = Vec::new();
     let mut p = 2;
     while p * p <= n {
-        while n % p == 0 {
+        while n.is_multiple_of(p) {
             out.push(p);
             n /= p;
         }

@@ -60,6 +60,7 @@ impl<T: Real> Bluestein<T> {
         }
     }
 
+    #[allow(clippy::type_complexity)] // (kernel slice, chirp map) pair is local plumbing
     pub fn process(&self, data: &mut [Complex<T>], dir: Direction) {
         assert_eq!(data.len(), self.n);
         let (kernel, chirp_of): (&[Complex<T>], fn(Complex<T>) -> Complex<T>) = match dir {
@@ -72,7 +73,7 @@ impl<T: Real> Bluestein<T> {
         }
         self.inner.process(&mut a, Direction::Forward);
         for (av, bv) in a.iter_mut().zip(kernel.iter()) {
-            *av = *av * *bv;
+            *av *= *bv;
         }
         self.inner.process(&mut a, Direction::Backward);
         let scale = T::ONE / T::from_usize(self.m);

@@ -17,9 +17,10 @@ use std::sync::{Arc, Mutex, OnceLock};
 /// transform after a 4096^3 one reuses the same twiddle tables, the way
 /// FFT libraries cache wisdom. Entries are `Arc`s, so the cache only
 /// costs memory while plans are alive plus one table per distinct size.
-fn plan_cache() -> &'static Mutex<HashMap<(TypeId, usize), Arc<dyn Any + Send + Sync>>> {
-    static CACHE: OnceLock<Mutex<HashMap<(TypeId, usize), Arc<dyn Any + Send + Sync>>>> =
-        OnceLock::new();
+type PlanCache = Mutex<HashMap<(TypeId, usize), Arc<dyn Any + Send + Sync>>>;
+
+fn plan_cache() -> &'static PlanCache {
+    static CACHE: OnceLock<PlanCache> = OnceLock::new();
     CACHE.get_or_init(|| Mutex::new(HashMap::new()))
 }
 
@@ -124,19 +125,19 @@ mod tests {
     fn dft_nd(x: &[Complex<f64>], shape: Shape, sign: i32) -> Vec<Complex<f64>> {
         let total = shape.total();
         let mut out = vec![Complex::ZERO; total];
-        for ko in 0..total {
+        for (ko, o) in out.iter_mut().enumerate() {
             let [k1, k2, k3] = shape.coords(ko);
             let mut acc = Complex::ZERO;
-            for jo in 0..total {
+            for (jo, &xj) in x.iter().enumerate() {
                 let [j1, j2, j3] = shape.coords(jo);
                 let ang = sign as f64
                     * std::f64::consts::TAU
                     * (j1 as f64 * k1 as f64 / shape.n[0] as f64
                         + j2 as f64 * k2 as f64 / shape.n[1] as f64
                         + j3 as f64 * k3 as f64 / shape.n[2] as f64);
-                acc += x[jo] * Complex::cis(ang);
+                acc += xj * Complex::cis(ang);
             }
-            out[ko] = acc;
+            *o = acc;
         }
         out
     }

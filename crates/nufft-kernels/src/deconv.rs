@@ -32,8 +32,8 @@ pub fn correction_row<K: Kernel1d>(kernel: &K, n_modes: usize, n_fine: usize) ->
 /// get a single factor of 1.
 pub fn correction_rows<K: Kernel1d>(kernel: &K, modes: Shape, fine: Shape) -> [Vec<f64>; 3] {
     let mut rows = [vec![1.0], vec![1.0], vec![1.0]];
-    for i in 0..modes.dim {
-        rows[i] = correction_row(kernel, modes.n[i], fine.n[i]);
+    for (i, row) in rows.iter_mut().enumerate().take(modes.dim) {
+        *row = correction_row(kernel, modes.n[i], fine.n[i]);
     }
     rows
 }

@@ -38,7 +38,7 @@ impl EsKernel {
     /// by `is_double`). Errors when `eps` is below the precision limit.
     pub fn for_tolerance(eps: f64, is_double: bool) -> Result<Self> {
         let limit = eps_limit(is_double);
-        if !(eps >= limit) {
+        if eps < limit || eps.is_nan() {
             return Err(NufftError::EpsTooSmall { eps, limit });
         }
         let digits = (1.0 / eps).log10().ceil();
@@ -69,7 +69,7 @@ impl EsKernel {
     pub fn for_tolerance_sigma(eps: f64, sigma: f64, is_double: bool) -> Result<Self> {
         assert!(sigma > 1.0, "upsampling factor must exceed 1");
         let limit = eps_limit(is_double);
-        if !(eps >= limit) {
+        if eps < limit || eps.is_nan() {
             return Err(NufftError::EpsTooSmall { eps, limit });
         }
         let gamma = 0.97;

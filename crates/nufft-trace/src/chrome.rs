@@ -1,0 +1,205 @@
+//! Chrome trace-event JSON exporter.
+//!
+//! Produces the "JSON Array Format with metadata" flavour accepted by
+//! `chrome://tracing` and Perfetto: a top-level object with a
+//! `traceEvents` array of complete (`"ph": "X"`) events plus metadata
+//! (`"ph": "M"`) events naming the processes and lanes. Two process
+//! groups are emitted:
+//!
+//! * pid 1 — **host**: wall-clock spans from the [`crate::span!`] macro;
+//! * pid 2 — **sim-gpu**: simulated-device time, one thread row per
+//!   [`crate::Lane`] (plan stages, compute, H2D, D2H, alloc).
+//!
+//! Counter and gauge snapshots ride along under the non-standard
+//! `counters` / `gauges` keys, which trace viewers ignore but tests and
+//! scripts can read back with [`crate::json`].
+
+use crate::{Lane, TraceEvent, TraceReport, Track};
+use std::fmt::Write;
+
+const HOST_PID: u32 = 1;
+const GPU_PID: u32 = 2;
+
+fn lane_tid(lane: Lane) -> u32 {
+    match lane {
+        Lane::Plan => 1,
+        Lane::Compute => 2,
+        Lane::H2d => 3,
+        Lane::D2h => 4,
+        Lane::Alloc => 5,
+    }
+}
+
+/// Escape a string for inclusion in a JSON string literal.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Format a finite f64 for JSON (no NaN/Inf — clamped to 0).
+fn num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+fn meta_event(pid: u32, tid: u32, name: &str, kind: &str) -> String {
+    format!(
+        "{{\"name\":\"{kind}\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\
+         \"args\":{{\"name\":\"{}\"}}}}",
+        escape(name)
+    )
+}
+
+fn complete_event(ev: &TraceEvent) -> String {
+    let (pid, tid) = match ev.track {
+        Track::Host => (HOST_PID, 1),
+        Track::Device(lane) => (GPU_PID, lane_tid(lane)),
+    };
+    let mut args = format!("\"id\":{},\"parent\":{}", ev.id, ev.parent);
+    for (k, v) in &ev.args {
+        let _ = write!(args, ",\"{}\":\"{}\"", escape(k), escape(v));
+    }
+    format!(
+        "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"pid\":{pid},\"tid\":{tid},\
+         \"ts\":{},\"dur\":{},\"args\":{{{args}}}}}",
+        escape(&ev.name),
+        escape(&ev.cat),
+        num(ev.ts_us),
+        num(ev.dur_us),
+    )
+}
+
+/// Render a report as Chrome trace-event JSON.
+pub fn chrome_json(report: &TraceReport) -> String {
+    let mut parts: Vec<String> = Vec::with_capacity(report.events.len() + 8);
+    parts.push(meta_event(HOST_PID, 0, "host", "process_name"));
+    parts.push(meta_event(HOST_PID, 1, "host spans", "thread_name"));
+    parts.push(meta_event(GPU_PID, 0, "sim-gpu", "process_name"));
+    for lane in [Lane::Plan, Lane::Compute, Lane::H2d, Lane::D2h, Lane::Alloc] {
+        parts.push(meta_event(
+            GPU_PID,
+            lane_tid(lane),
+            lane.label(),
+            "thread_name",
+        ));
+    }
+    parts.extend(report.events.iter().map(complete_event));
+
+    let mut counters = String::new();
+    for (i, (k, v)) in report.counters.iter().enumerate() {
+        if i > 0 {
+            counters.push(',');
+        }
+        let _ = write!(counters, "\"{}\":{v}", escape(k));
+    }
+    let mut gauges = String::new();
+    for (i, (k, v)) in report.gauges.iter().enumerate() {
+        if i > 0 {
+            gauges.push(',');
+        }
+        let _ = write!(gauges, "\"{}\":{}", escape(k), num(*v));
+    }
+
+    format!(
+        "{{\"displayTimeUnit\":\"ms\",\"traceEvents\":[{}],\
+         \"counters\":{{{counters}}},\"gauges\":{{{gauges}}}}}",
+        parts.join(",")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::Json;
+    use crate::Trace;
+
+    fn sample_report() -> TraceReport {
+        let trace = Trace::new();
+        let _on = trace.activate();
+        {
+            let _s = trace.span_with("host \"work\"", &[("m", "100".to_string())]);
+        }
+        trace.device_span(Lane::Compute, "spread_SM", "kernel", 0.0, 3e-3, &[]);
+        trace.device_span(Lane::H2d, "memcpy_htod", "memcpy", 1e-3, 5e-4, &[]);
+        trace.counter("bins.nonempty").add(42);
+        trace.gauge("gpu.occupancy").set(0.5);
+        trace.report()
+    }
+
+    #[test]
+    fn export_parses_back_as_json() {
+        let json = chrome_json(&sample_report());
+        let doc = Json::parse(&json).expect("valid JSON");
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        // 8 metadata events + 3 recorded
+        assert_eq!(events.len(), 11);
+        for ev in events {
+            let ph = ev.get("ph").unwrap().as_str().unwrap();
+            assert!(ph == "X" || ph == "M");
+            assert!(ev.get("pid").unwrap().as_f64().is_some());
+        }
+        let x: Vec<&Json> = events
+            .iter()
+            .filter(|e| e.get("ph").unwrap().as_str() == Some("X"))
+            .collect();
+        assert_eq!(x.len(), 3);
+        // durations are microseconds
+        let spread = x
+            .iter()
+            .find(|e| e.get("name").unwrap().as_str() == Some("spread_SM"))
+            .unwrap();
+        assert_eq!(spread.get("dur").unwrap().as_f64(), Some(3000.0));
+        assert_eq!(
+            doc.get("counters")
+                .unwrap()
+                .get("bins.nonempty")
+                .unwrap()
+                .as_f64(),
+            Some(42.0)
+        );
+        assert_eq!(
+            doc.get("gauges")
+                .unwrap()
+                .get("gpu.occupancy")
+                .unwrap()
+                .as_f64(),
+            Some(0.5)
+        );
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let json = chrome_json(&sample_report());
+        assert!(json.contains("host \\\"work\\\""));
+        let doc = Json::parse(&json).expect("escapes must keep the JSON valid");
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        assert!(events
+            .iter()
+            .any(|e| e.get("name").unwrap().as_str() == Some("host \"work\"")));
+    }
+
+    #[test]
+    fn lanes_map_to_distinct_tids() {
+        let lanes = [Lane::Plan, Lane::Compute, Lane::H2d, Lane::D2h, Lane::Alloc];
+        let mut tids: Vec<u32> = lanes.iter().map(|&l| lane_tid(l)).collect();
+        tids.sort_unstable();
+        tids.dedup();
+        assert_eq!(tids.len(), lanes.len());
+    }
+}

@@ -1,0 +1,605 @@
+//! Lightweight, zero-dependency tracing for the NUFFT stack.
+//!
+//! The paper's headline claims are *observability claims* — spreading
+//! dominates a 3D type-1 exec (Table I), the SM scheme's subproblem cap
+//! makes throughput insensitive to point distribution (Fig. 6). This
+//! crate is the instrumentation that turns those claims into measurable
+//! artifacts: the counterpart of what nvprof/NSight give cuFINUFFT users
+//! on real hardware.
+//!
+//! Model:
+//!
+//! * A [`Trace`] is a cheap-to-clone session handle (shared `Arc`
+//!   state). Code records into it through three channels:
+//!   * **host spans** — RAII guards ([`Trace::span`] or the [`span!`]
+//!     macro) timed with the host monotonic clock, nested via a
+//!     per-thread span stack (each event carries its parent id);
+//!   * **device events/spans** — explicit-timestamp events in
+//!     *simulated* seconds, one [`Lane`] per device engine (compute,
+//!     H2D, D2H, alloc) plus a `Plan` lane for stage-level spans;
+//!   * **counters and gauges** — named atomics for load-balance
+//!     statistics (bin histograms, subproblem counts, atomic-contention
+//!     and occupancy readings).
+//! * Completed events are buffered in a per-thread buffer and drained
+//!   into the session's global sink when the thread's span stack
+//!   empties, when the buffer fills, or at export.
+//! * Exporters: Chrome trace-event JSON ([`TraceReport::chrome_json`],
+//!   loadable in Perfetto / `chrome://tracing`, with the simulated GPU
+//!   lanes and the host track as separate rows) and a Prometheus-style
+//!   text dump ([`TraceReport::prometheus`]).
+//!
+//! Tracing is strictly opt-in: with no active trace, [`span!`] is a
+//! no-op and nothing allocates.
+
+pub mod chrome;
+pub mod json;
+pub mod prom;
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, Weak};
+use std::time::Instant;
+
+/// Which simulated-device engine an event occupies; rendered as one
+/// timeline row ("lane") per variant in the Chrome export.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Lane {
+    /// Plan-level stage spans (build / setpts / execute / spread / fft).
+    Plan,
+    /// Kernel launches and bulk data-parallel passes (the SM array).
+    Compute,
+    /// Host-to-device transfers (upload copy engine).
+    H2d,
+    /// Device-to-host transfers (download copy engine).
+    D2h,
+    /// Simulated allocations.
+    Alloc,
+}
+
+impl Lane {
+    pub fn label(self) -> &'static str {
+        match self {
+            Lane::Plan => "plan stages",
+            Lane::Compute => "gpu compute",
+            Lane::H2d => "gpu h2d",
+            Lane::D2h => "gpu d2h",
+            Lane::Alloc => "gpu alloc",
+        }
+    }
+}
+
+/// Track an event belongs to: the host wall-clock timeline or one lane
+/// of the simulated device timeline.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Track {
+    Host,
+    Device(Lane),
+}
+
+/// One completed span or instantaneous event.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceEvent {
+    /// Unique id within the trace (1-based; 0 means "no parent").
+    pub id: u64,
+    /// Id of the enclosing span at record time (0 for roots).
+    pub parent: u64,
+    pub name: String,
+    /// Category string (e.g. "kernel", "memcpy", "stage", "host").
+    pub cat: String,
+    pub track: Track,
+    /// Start in microseconds: host-us since trace creation for
+    /// [`Track::Host`], simulated-us since device creation for
+    /// [`Track::Device`].
+    pub ts_us: f64,
+    pub dur_us: f64,
+    /// Free-form key/value annotations (dim, method, M, ...).
+    pub args: Vec<(String, String)>,
+}
+
+#[derive(Default)]
+struct Sink {
+    events: Vec<TraceEvent>,
+}
+
+struct Inner {
+    t0: Instant,
+    next_id: AtomicU64,
+    sink: Mutex<Sink>,
+    counters: Mutex<BTreeMap<String, Arc<AtomicI64>>>,
+    gauges: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+}
+
+/// A tracing session. Clones share the same sink.
+#[derive(Clone)]
+pub struct Trace {
+    inner: Arc<Inner>,
+}
+
+impl std::fmt::Debug for Trace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Trace")
+            .field("events", &self.inner.sink.lock().unwrap().events.len())
+            .finish()
+    }
+}
+
+impl Default for Trace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Per-thread state: the active-trace stack (for [`span!`] /
+/// [`Trace::current`]), the open-span stack (parent ids), and the
+/// pending-event buffer drained into the owning trace's sink.
+struct ThreadState {
+    active: Vec<Trace>,
+    open_spans: Vec<u64>,
+    buf: Vec<(Weak<Inner>, TraceEvent)>,
+}
+
+thread_local! {
+    static TLS: RefCell<ThreadState> = const { RefCell::new(ThreadState {
+        active: Vec::new(),
+        open_spans: Vec::new(),
+        buf: Vec::new(),
+    }) };
+}
+
+/// Buffered events per thread before a forced drain into the sink.
+const BUF_FLUSH_LEN: usize = 128;
+
+fn flush_thread_buffer() {
+    TLS.with(|tls| {
+        let mut tls = tls.borrow_mut();
+        for (weak, ev) in tls.buf.drain(..) {
+            if let Some(inner) = weak.upgrade() {
+                inner.sink.lock().unwrap().events.push(ev);
+            }
+        }
+    });
+}
+
+impl Trace {
+    pub fn new() -> Self {
+        Trace {
+            inner: Arc::new(Inner {
+                t0: Instant::now(),
+                next_id: AtomicU64::new(1),
+                sink: Mutex::new(Sink::default()),
+                counters: Mutex::new(BTreeMap::new()),
+                gauges: Mutex::new(BTreeMap::new()),
+            }),
+        }
+    }
+
+    /// The innermost trace activated on this thread, if any.
+    pub fn current() -> Option<Trace> {
+        TLS.with(|tls| tls.borrow().active.last().cloned())
+    }
+
+    /// Make this trace the thread's current one for the guard's
+    /// lifetime, so [`span!`] and [`Trace::current`] find it.
+    pub fn activate(&self) -> ActiveGuard {
+        TLS.with(|tls| tls.borrow_mut().active.push(self.clone()));
+        ActiveGuard { _priv: () }
+    }
+
+    /// True when `other` shares this trace's sink.
+    pub fn same_session(&self, other: &Trace) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+
+    fn next_id(&self) -> u64 {
+        self.inner.next_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    fn parent_of_new_event() -> u64 {
+        TLS.with(|tls| tls.borrow().open_spans.last().copied().unwrap_or(0))
+    }
+
+    /// Queue a completed event in the thread buffer; drain to the sink
+    /// when the buffer fills or the thread's span stack is empty.
+    fn push_event(&self, ev: TraceEvent) {
+        let drain = TLS.with(|tls| {
+            let mut tls = tls.borrow_mut();
+            tls.buf.push((Arc::downgrade(&self.inner), ev));
+            tls.buf.len() >= BUF_FLUSH_LEN || tls.open_spans.is_empty()
+        });
+        if drain {
+            flush_thread_buffer();
+        }
+    }
+
+    /// Start a host-timed span; ends (and records) when the guard drops.
+    pub fn span(&self, name: &str) -> Span {
+        self.span_with(name, &[])
+    }
+
+    /// [`Trace::span`] with key/value annotations.
+    pub fn span_with(&self, name: &str, args: &[(&str, String)]) -> Span {
+        let id = self.next_id();
+        let parent = Self::parent_of_new_event();
+        TLS.with(|tls| tls.borrow_mut().open_spans.push(id));
+        Span {
+            trace: self.clone(),
+            id,
+            parent,
+            name: name.to_string(),
+            args: args
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.clone()))
+                .collect(),
+            start: Instant::now(),
+        }
+    }
+
+    /// Record a span on a simulated-device lane with explicit simulated
+    /// start/duration (seconds). The parent is the thread's innermost
+    /// open host span, so device work stays attributable.
+    pub fn device_span(
+        &self,
+        lane: Lane,
+        name: &str,
+        cat: &str,
+        start_s: f64,
+        dur_s: f64,
+        args: &[(&str, String)],
+    ) {
+        let ev = TraceEvent {
+            id: self.next_id(),
+            parent: Self::parent_of_new_event(),
+            name: name.to_string(),
+            cat: cat.to_string(),
+            track: Track::Device(lane),
+            ts_us: start_s * 1e6,
+            dur_us: dur_s * 1e6,
+            args: args
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.clone()))
+                .collect(),
+        };
+        self.push_event(ev);
+    }
+
+    /// Monotonically increasing counter, created on first use.
+    pub fn counter(&self, name: &str) -> Counter {
+        let cell = {
+            let mut map = self.inner.counters.lock().unwrap();
+            Arc::clone(map.entry(name.to_string()).or_default())
+        };
+        Counter { cell }
+    }
+
+    /// Last-value / max gauge, created on first use (f64-valued).
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let cell = {
+            let mut map = self.inner.gauges.lock().unwrap();
+            Arc::clone(
+                map.entry(name.to_string())
+                    .or_insert_with(|| Arc::new(AtomicU64::new(0f64.to_bits()))),
+            )
+        };
+        Gauge { cell }
+    }
+
+    /// Snapshot the session (drains this thread's buffer first).
+    pub fn report(&self) -> TraceReport {
+        flush_thread_buffer();
+        let events = self.inner.sink.lock().unwrap().events.clone();
+        let counters = self
+            .inner
+            .counters
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+            .collect();
+        let gauges = self
+            .inner
+            .gauges
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| (k.clone(), f64::from_bits(v.load(Ordering::Relaxed))))
+            .collect();
+        TraceReport {
+            events,
+            counters,
+            gauges,
+        }
+    }
+}
+
+/// Keeps a trace on the thread's active stack; see [`Trace::activate`].
+pub struct ActiveGuard {
+    _priv: (),
+}
+
+impl Drop for ActiveGuard {
+    fn drop(&mut self) {
+        TLS.with(|tls| {
+            tls.borrow_mut().active.pop();
+        });
+        flush_thread_buffer();
+    }
+}
+
+/// RAII host span; records a [`TraceEvent`] when dropped.
+pub struct Span {
+    trace: Trace,
+    id: u64,
+    parent: u64,
+    name: String,
+    args: Vec<(String, String)>,
+    start: Instant,
+}
+
+impl Span {
+    /// Attach an annotation after creation.
+    pub fn arg(&mut self, key: &str, value: impl std::fmt::Display) {
+        self.args.push((key.to_string(), value.to_string()));
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        TLS.with(|tls| {
+            let mut tls = tls.borrow_mut();
+            if let Some(pos) = tls.open_spans.iter().rposition(|&s| s == self.id) {
+                tls.open_spans.remove(pos);
+            }
+        });
+        let ts_us = self.start.duration_since(self.trace.inner.t0).as_secs_f64() * 1e6;
+        let dur_us = self.start.elapsed().as_secs_f64() * 1e6;
+        let ev = TraceEvent {
+            id: self.id,
+            parent: self.parent,
+            name: std::mem::take(&mut self.name),
+            cat: "host".to_string(),
+            track: Track::Host,
+            ts_us,
+            dur_us,
+            args: std::mem::take(&mut self.args),
+        };
+        self.trace.push_event(ev);
+    }
+}
+
+/// Open a host span on the thread's current trace (no-op without one).
+///
+/// ```
+/// use nufft_trace::{span, Trace};
+/// let trace = Trace::new();
+/// let _on = trace.activate();
+/// {
+///     let _s = span!("spread", dim = 3, method = "Sm");
+///     // ... traced work ...
+/// }
+/// assert_eq!(trace.report().events.len(), 1);
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::Trace::current().map(|t| t.span($name))
+    };
+    ($name:expr, $($key:ident = $value:expr),+ $(,)?) => {
+        $crate::Trace::current().map(|t| {
+            t.span_with($name, &[$((stringify!($key), format!("{}", $value))),+])
+        })
+    };
+}
+
+/// Handle to a named atomic counter.
+#[derive(Clone)]
+pub struct Counter {
+    cell: Arc<AtomicI64>,
+}
+
+impl Counter {
+    pub fn add(&self, v: i64) {
+        self.cell.fetch_add(v, Ordering::Relaxed);
+    }
+
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    pub fn get(&self) -> i64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// Handle to a named f64 gauge (atomic bit-cast storage).
+#[derive(Clone)]
+pub struct Gauge {
+    cell: Arc<AtomicU64>,
+}
+
+impl Gauge {
+    pub fn set(&self, v: f64) {
+        self.cell.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Raise the gauge to `v` if larger (compare-and-swap loop).
+    pub fn max(&self, v: f64) {
+        let mut cur = self.cell.load(Ordering::Relaxed);
+        loop {
+            if f64::from_bits(cur) >= v {
+                return;
+            }
+            match self.cell.compare_exchange_weak(
+                cur,
+                v.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.cell.load(Ordering::Relaxed))
+    }
+}
+
+/// Immutable snapshot of a [`Trace`]: events plus counter/gauge values.
+#[derive(Clone, Debug)]
+pub struct TraceReport {
+    pub events: Vec<TraceEvent>,
+    pub counters: BTreeMap<String, i64>,
+    pub gauges: BTreeMap<String, f64>,
+}
+
+impl TraceReport {
+    /// Chrome trace-event JSON (see [`chrome`]).
+    pub fn chrome_json(&self) -> String {
+        chrome::chrome_json(self)
+    }
+
+    /// Prometheus-style text dump (see [`prom`]).
+    pub fn prometheus(&self) -> String {
+        prom::prometheus(self)
+    }
+
+    /// Total busy time (seconds) per event name on the simulated GPU
+    /// engine lanes (compute + transfers; the `Plan` stage lane is
+    /// excluded to avoid double counting), sorted descending.
+    pub fn device_busy_by_name(&self) -> Vec<(String, f64)> {
+        let mut agg: BTreeMap<&str, f64> = BTreeMap::new();
+        for ev in &self.events {
+            match ev.track {
+                Track::Device(Lane::Plan) | Track::Host => continue,
+                Track::Device(_) => {
+                    *agg.entry(ev.name.as_str()).or_default() += ev.dur_us * 1e-6;
+                }
+            }
+        }
+        let mut out: Vec<(String, f64)> =
+            agg.into_iter().map(|(k, v)| (k.to_string(), v)).collect();
+        out.sort_by(|a, b| b.1.total_cmp(&a.1));
+        out
+    }
+
+    /// Total duration (seconds) of device-lane spans whose name matches
+    /// `name` exactly (e.g. the plan's `"stage.spread"` stage spans).
+    pub fn device_span_total(&self, name: &str) -> f64 {
+        self.events
+            .iter()
+            .filter(|ev| matches!(ev.track, Track::Device(_)) && ev.name == name)
+            .map(|ev| ev.dur_us * 1e-6)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_and_record_parents() {
+        let trace = Trace::new();
+        let _on = trace.activate();
+        {
+            let _outer = span!("outer", layer = "test");
+            let _inner = span!("inner");
+        }
+        let report = trace.report();
+        assert_eq!(report.events.len(), 2);
+        // inner drops first, so it is recorded first
+        let inner = &report.events[0];
+        let outer = &report.events[1];
+        assert_eq!(inner.name, "inner");
+        assert_eq!(outer.name, "outer");
+        assert_eq!(inner.parent, outer.id);
+        assert_eq!(outer.parent, 0);
+        assert_eq!(outer.args, vec![("layer".to_string(), "test".to_string())]);
+    }
+
+    #[test]
+    fn span_macro_is_noop_without_active_trace() {
+        let s = span!("orphan");
+        assert!(s.is_none());
+    }
+
+    #[test]
+    fn device_spans_carry_simulated_time() {
+        let trace = Trace::new();
+        trace.device_span(
+            Lane::Compute,
+            "spread_SM",
+            "kernel",
+            1.5e-3,
+            2.5e-3,
+            &[("blocks", "64".to_string())],
+        );
+        let report = trace.report();
+        let ev = &report.events[0];
+        assert_eq!(ev.track, Track::Device(Lane::Compute));
+        assert!((ev.ts_us - 1500.0).abs() < 1e-9);
+        assert!((ev.dur_us - 2500.0).abs() < 1e-9);
+        let busy = report.device_busy_by_name();
+        assert_eq!(busy[0].0, "spread_SM");
+        assert!((busy[0].1 - 2.5e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn device_span_nests_under_open_host_span() {
+        let trace = Trace::new();
+        let _on = trace.activate();
+        let outer = trace.span("host-stage");
+        trace.device_span(Lane::Compute, "kernel", "kernel", 0.0, 1.0, &[]);
+        let outer_id = outer.id;
+        drop(outer);
+        let report = trace.report();
+        let dev = report.events.iter().find(|e| e.name == "kernel").unwrap();
+        assert_eq!(dev.parent, outer_id);
+    }
+
+    #[test]
+    fn counters_and_gauges_accumulate() {
+        let trace = Trace::new();
+        trace.counter("bins.points").add(100);
+        trace.counter("bins.points").add(23);
+        trace.gauge("imbalance").max(2.0);
+        trace.gauge("imbalance").max(1.0); // lower: ignored
+        let r = trace.report();
+        assert_eq!(r.counters["bins.points"], 123);
+        assert_eq!(r.gauges["imbalance"], 2.0);
+    }
+
+    #[test]
+    fn clones_share_one_sink() {
+        let trace = Trace::new();
+        let clone = trace.clone();
+        assert!(trace.same_session(&clone));
+        clone.device_span(Lane::Alloc, "alloc:x", "alloc", 0.0, 1e-6, &[]);
+        assert_eq!(trace.report().events.len(), 1);
+    }
+
+    #[test]
+    fn thread_buffer_drains_at_flush_threshold() {
+        let trace = Trace::new();
+        let _on = trace.activate();
+        // hold a span open so pushes don't auto-drain on empty stack
+        let _outer = trace.span("outer");
+        for i in 0..(BUF_FLUSH_LEN + 10) {
+            trace.device_span(Lane::Compute, &format!("k{i}"), "kernel", 0.0, 1.0, &[]);
+        }
+        // the threshold drain must have moved at least one batch already
+        assert!(trace.inner.sink.lock().unwrap().events.len() >= BUF_FLUSH_LEN);
+    }
+
+    #[test]
+    fn report_snapshot_is_stable() {
+        let trace = Trace::new();
+        trace.device_span(Lane::Compute, "a", "kernel", 0.0, 1.0, &[]);
+        let r1 = trace.report();
+        trace.device_span(Lane::Compute, "b", "kernel", 1.0, 1.0, &[]);
+        assert_eq!(r1.events.len(), 1);
+        assert_eq!(trace.report().events.len(), 2);
+    }
+}

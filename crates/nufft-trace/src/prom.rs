@@ -1,0 +1,73 @@
+//! Prometheus-style text exporter.
+//!
+//! Renders the counter and gauge snapshots of a [`TraceReport`] in the
+//! Prometheus exposition text format (`# TYPE` lines followed by
+//! `name value` samples). Metric names are sanitised to the
+//! `[a-zA-Z_][a-zA-Z0-9_]*` charset — dots and dashes become
+//! underscores — so `bins.nonempty` exports as `bins_nonempty`.
+
+use crate::TraceReport;
+use std::fmt::Write;
+
+/// Sanitise a metric name for the Prometheus text format.
+pub fn sanitize(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphabetic() || c == '_' || (i > 0 && c.is_ascii_digit());
+        out.push(if ok { c } else { '_' });
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Render counters and gauges as Prometheus exposition text.
+pub fn prometheus(report: &TraceReport) -> String {
+    let mut out = String::new();
+    for (name, value) in &report.counters {
+        let name = sanitize(name);
+        let _ = writeln!(out, "# TYPE {name} counter");
+        let _ = writeln!(out, "{name} {value}");
+    }
+    for (name, value) in &report.gauges {
+        let name = sanitize(name);
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        if value.is_finite() {
+            let _ = writeln!(out, "{name} {value}");
+        } else {
+            let _ = writeln!(out, "{name} NaN");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Trace;
+
+    #[test]
+    fn sanitizes_names() {
+        assert_eq!(sanitize("bins.nonempty"), "bins_nonempty");
+        assert_eq!(sanitize("gpu-sim/occupancy"), "gpu_sim_occupancy");
+        assert_eq!(sanitize("9lives"), "_lives");
+        assert_eq!(sanitize("x9"), "x9");
+    }
+
+    #[test]
+    fn renders_counters_and_gauges() {
+        let trace = Trace::new();
+        trace.counter("bins.total").add(64);
+        trace.gauge("bins.imbalance").set(2.5);
+        let text = prometheus(&trace.report());
+        assert!(text.contains("# TYPE bins_total counter\nbins_total 64\n"));
+        assert!(text.contains("# TYPE bins_imbalance gauge\nbins_imbalance 2.5\n"));
+    }
+
+    #[test]
+    fn empty_report_renders_empty() {
+        let trace = Trace::new();
+        assert_eq!(prometheus(&trace.report()), "");
+    }
+}

@@ -1,0 +1,34 @@
+//! Export a Chrome/Perfetto trace of one 3D type-1 SM transform.
+//!
+//! Runs the same workload as `device_profile`, but with the
+//! `nufft-trace` session attached: host-side plan spans, per-stage
+//! device spans, simulated-GPU kernel/memcpy lanes, and the
+//! load-balance counters all land in `device_trace.trace.json`, which
+//! loads directly into `chrome://tracing` or https://ui.perfetto.dev.
+//! Run with: `cargo run --release --example device_trace`
+
+use cufinufft_repro::traced_type1_3d;
+use nufft_common::workload::PointDist;
+
+fn main() {
+    let report = traced_type1_3d(64, PointDist::Rand, 11);
+
+    let path = "device_trace.trace.json";
+    std::fs::write(path, report.chrome_json()).expect("write trace");
+    println!("wrote {path} ({} events)", report.events.len());
+
+    println!("\nsimulated GPU time by kernel:");
+    for (name, total) in report.device_busy_by_name().into_iter().take(8) {
+        println!("  {name:<24} {:>10.3} ms", total * 1e3);
+    }
+
+    println!("\nstage totals (device clock):");
+    for stage in ["stage.sort", "stage.spread", "stage.fft", "stage.deconv"] {
+        println!(
+            "  {stage:<24} {:>10.3} ms",
+            report.device_span_total(stage) * 1e3
+        );
+    }
+
+    println!("\ncounters / gauges:\n{}", report.prometheus());
+}

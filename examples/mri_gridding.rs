@@ -114,12 +114,12 @@ fn main() {
     let mut dot = 0.0;
     let mut nrm = 0.0;
     let mut ref2 = 0.0;
-    for i in 0..n * n {
+    for (i, px) in img.iter().enumerate().take(n * n) {
         let (ix, iy) = (i % n, i / n);
         let x = -std::f64::consts::PI + ix as f64 * h;
         let y = -std::f64::consts::PI + iy as f64 * h;
         let truth = phantom.image(x, y);
-        let rec = img[i].re;
+        let rec = px.re;
         dot += rec * truth;
         nrm += rec * rec;
         ref2 += truth * truth;

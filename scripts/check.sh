@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Pre-merge gate: formatting, lints (deny warnings), and the test suite.
+# Run from anywhere inside the repository.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check"
+cargo fmt --check
+
+echo "== cargo clippy --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo test -q"
+cargo test -q
+
+echo "All checks passed."

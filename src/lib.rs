@@ -10,3 +10,31 @@ pub use nufft_baselines;
 pub use nufft_common;
 pub use nufft_fft;
 pub use nufft_kernels;
+pub use nufft_trace;
+
+use nufft_common::workload::{gen_points, gen_strengths, PointDist};
+use nufft_common::{Complex, TransformType};
+use nufft_trace::{Trace, TraceReport};
+
+/// Run one traced 3D type-1 SM-method transform on a fresh simulated
+/// V100 and return the trace report. Shared by the `device_trace`
+/// example and the workspace acceptance test so both see the same
+/// workload (`N = n^3` modes, `M = 2 n^3` points drawn from `dist`).
+pub fn traced_type1_3d(n: usize, dist: PointDist, seed: u64) -> TraceReport {
+    let device = gpu_sim::Device::v100();
+    let trace = Trace::new();
+    let _on = trace.activate();
+    let mut plan = cufinufft::Plan::<f32>::builder(TransformType::Type1, &[n, n, n])
+        .eps(1e-5)
+        .method(cufinufft::Method::Sm)
+        .tracing(&trace)
+        .build(&device)
+        .unwrap();
+    let m = 2 * n * n * n;
+    let pts = gen_points::<f32>(dist, 3, m, plan.fine_grid_shape(), seed);
+    let cs = gen_strengths::<f32>(m, seed + 1);
+    plan.set_pts(&pts).unwrap();
+    let mut out = vec![Complex::<f32>::ZERO; n * n * n];
+    plan.execute(&cs, &mut out).unwrap();
+    plan.trace_report().expect("plan was built with tracing")
+}

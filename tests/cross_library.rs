@@ -75,8 +75,10 @@ fn all_gpu_libraries_agree_with_cpu_2d_type1() {
     let dev = Device::v100();
     // cuFINUFFT at 1e-10: near-reference agreement
     for method in [Method::Gm, Method::GmSort, Method::Sm] {
-        let mut opts = GpuOpts::default();
-        opts.method = method;
+        let opts = GpuOpts {
+            method,
+            ..Default::default()
+        };
         let mut plan = gpu_plan(&p, TransformType::Type1, 1e-10, opts, &dev);
         let out = run_via_trait(&mut plan, &p);
         assert!(rel_l2(&out, &truth) < 1e-9, "{method:?}");

@@ -12,6 +12,7 @@ use nufft_common::{c, Complex, Points, Shape, TransformType};
 use nufft_fft::{Direction, Fft1d};
 use proptest::prelude::*;
 
+#[allow(dead_code)] // kept as a building block for future strategies
 fn complex_vec(n: usize) -> impl Strategy<Value = Vec<Complex<f64>>> {
     proptest::collection::vec(
         (-1.0f64..1.0, -1.0f64..1.0).prop_map(|(r, i)| c(r, i)),

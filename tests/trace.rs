@@ -1,0 +1,134 @@
+//! Acceptance tests for the tracing layer: a traced 3D type-1 SM run
+//! must export a valid Chrome trace-event JSON from which the paper's
+//! Table I (spread dominates exec) and Fig. 6 (SM insensitive to point
+//! distribution) observations can be read back without consulting the
+//! library's own timing structs.
+
+use cufinufft_repro::traced_type1_3d;
+use nufft_common::workload::PointDist;
+use nufft_trace::json::Json;
+use std::collections::BTreeMap;
+
+const N: usize = 32;
+
+/// Sum `dur` (µs) of complete events with the given pid/tid predicate,
+/// keyed by event name.
+fn sum_durs(doc: &Json, keep: impl Fn(f64, f64) -> bool) -> BTreeMap<String, f64> {
+    let mut out = BTreeMap::new();
+    let events = doc
+        .get("traceEvents")
+        .and_then(|v| v.as_array())
+        .expect("traceEvents array");
+    for ev in events {
+        if ev.get("ph").and_then(|v| v.as_str()) != Some("X") {
+            continue;
+        }
+        let pid = ev.get("pid").and_then(|v| v.as_f64()).unwrap_or(0.0);
+        let tid = ev.get("tid").and_then(|v| v.as_f64()).unwrap_or(0.0);
+        if !keep(pid, tid) {
+            continue;
+        }
+        let name = ev.get("name").and_then(|v| v.as_str()).unwrap().to_string();
+        let dur = ev.get("dur").and_then(|v| v.as_f64()).unwrap_or(0.0);
+        *out.entry(name).or_insert(0.0) += dur;
+    }
+    out
+}
+
+/// Per-stage device time (µs) read off the GPU process's plan lane
+/// (pid 2, tid 1 in the chrome export).
+fn stage_totals(doc: &Json) -> BTreeMap<String, f64> {
+    sum_durs(doc, |pid, tid| pid == 2.0 && tid == 1.0)
+}
+
+/// The `bins.hist.*` counters from the export's top-level counters map.
+fn bin_histogram(doc: &Json) -> BTreeMap<String, f64> {
+    doc.get("counters")
+        .and_then(|v| v.as_object())
+        .expect("counters object")
+        .iter()
+        .filter(|(k, _)| k.starts_with("bins.hist."))
+        .map(|(k, v)| (k.clone(), v.as_f64().unwrap()))
+        .collect()
+}
+
+fn exec_wall_us(stages: &BTreeMap<String, f64>) -> f64 {
+    // exec = spread + fft + deconvolve; stage.sort belongs to setpts
+    stages.get("stage.spread").copied().unwrap_or(0.0)
+        + stages.get("stage.fft").copied().unwrap_or(0.0)
+        + stages.get("stage.deconv").copied().unwrap_or(0.0)
+}
+
+#[test]
+fn chrome_export_parses_and_spread_dominates_gpu_time() {
+    let report = traced_type1_3d(N, PointDist::Rand, 11);
+    let text = report.chrome_json();
+    let doc = Json::parse(&text).expect("exporter emits valid JSON");
+
+    // kernel/memcpy lanes: everything on the GPU process except the
+    // plan-stage lane is real simulated device work
+    let busy = sum_durs(&doc, |pid, tid| pid == 2.0 && tid != 1.0);
+    assert!(!busy.is_empty(), "no device events in trace");
+    let (top_name, top_dur) = busy
+        .iter()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(k, v)| (k.clone(), *v))
+        .unwrap();
+    assert!(
+        top_name.starts_with("spread"),
+        "largest simulated-GPU consumer should be the spreader, got {top_name} ({top_dur} us): {busy:?}"
+    );
+
+    // same conclusion from the stage lane (Table I)
+    let stages = stage_totals(&doc);
+    let spread = stages["stage.spread"];
+    for (name, dur) in &stages {
+        if name != "stage.spread" {
+            assert!(
+                spread > *dur,
+                "stage.spread ({spread} us) should dominate {name} ({dur} us)"
+            );
+        }
+    }
+
+    // host process carries the plan lifecycle spans
+    let host = sum_durs(&doc, |pid, _| pid == 1.0);
+    assert!(host.contains_key("plan.build"));
+    assert!(host.contains_key("plan.setpts"));
+    assert!(host.contains_key("plan.execute"));
+    assert!(host.contains_key("spread"));
+}
+
+#[test]
+fn histogram_differs_but_sm_exec_is_distribution_insensitive() {
+    let uniform = traced_type1_3d(N, PointDist::Rand, 21);
+    let clustered = traced_type1_3d(N, PointDist::Cluster, 21);
+    let doc_u = Json::parse(&uniform.chrome_json()).unwrap();
+    let doc_c = Json::parse(&clustered.chrome_json()).unwrap();
+
+    // load-balance counters see the clustering...
+    let hist_u = bin_histogram(&doc_u);
+    let hist_c = bin_histogram(&doc_c);
+    assert!(!hist_u.is_empty() && !hist_c.is_empty());
+    assert_ne!(
+        hist_u, hist_c,
+        "uniform and clustered runs should populate the bin histogram differently"
+    );
+    // ...and the clustered run leaves most bins empty
+    let empty_u = hist_u.get("bins.hist.empty").copied().unwrap_or(0.0);
+    let empty_c = hist_c.get("bins.hist.empty").copied().unwrap_or(0.0);
+    assert!(
+        empty_c > empty_u,
+        "clustered run should have more empty bins ({empty_c} vs {empty_u})"
+    );
+
+    // ...but SM exec wall time barely moves (Fig. 6)
+    let wall_u = exec_wall_us(&stage_totals(&doc_u));
+    let wall_c = exec_wall_us(&stage_totals(&doc_c));
+    assert!(wall_u > 0.0 && wall_c > 0.0);
+    let ratio = (wall_u / wall_c).max(wall_c / wall_u);
+    assert!(
+        ratio <= 1.25,
+        "SM exec wall should be distribution-insensitive: uniform {wall_u} us, clustered {wall_c} us (ratio {ratio:.3})"
+    );
+}

@@ -15,12 +15,12 @@ fn direct_t3(
     (0..s.len())
         .map(|k| {
             let mut acc = Complex::ZERO;
-            for j in 0..x.len() {
+            for (j, &cj) in cs.iter().enumerate().take(x.len()) {
                 let mut phase = 0.0;
                 for i in 0..x.dim {
                     phase += s.coord(i, k) * x.coord(i, j);
                 }
-                acc += cs[j] * Complex::cis(iflag as f64 * phase);
+                acc += cj * Complex::cis(iflag as f64 * phase);
             }
             acc
         })

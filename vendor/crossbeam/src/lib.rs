@@ -29,7 +29,7 @@ pub struct Scope<'scope, 'env: 'scope> {
 
 impl<'scope, 'env> Clone for Scope<'scope, 'env> {
     fn clone(&self) -> Self {
-        Scope { inner: self.inner }
+        *self
     }
 }
 impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
