@@ -44,7 +44,8 @@ fn main() {
         let t0 = dev.clock();
         spread_gm(
             &dev, "gms", &kernel, fine, &pr, &cs, &sort.perm, &mut grid, 128, 1.0,
-        );
+        )
+        .unwrap();
         let t_gms = dev.clock() - t0;
         let shb = sm_shared_bytes(bins, 2, kernel.w, 8);
         let t_sm = if shb <= 49_000 {
@@ -61,7 +62,8 @@ fn main() {
                 &sort.layout,
                 &subs,
                 &mut g2,
-            );
+            )
+            .unwrap();
             Some(dev.clock() - t1)
         } else {
             None
@@ -111,7 +113,8 @@ fn main() {
         let t0 = dev.clock();
         spread_gm(
             &dev, "gms", &kernel, fine, &pr, &cs, &sort.perm, &mut grid, 128, 1.0,
-        );
+        )
+        .unwrap();
         let t_gms = dev.clock() - t0;
         let shb = sm_shared_bytes(bins, 3, kernel.w, 8);
         let t_sm = if shb <= 49_000 {
@@ -128,7 +131,8 @@ fn main() {
                 &sort.layout,
                 &subs,
                 &mut g2,
-            );
+            )
+            .unwrap();
             Some(dev.clock() - t1)
         } else {
             None

@@ -59,7 +59,8 @@ fn main() {
                 let t0 = dev.clock();
                 interp_gm(
                     &dev, "g", &kernel, fine, &pr, &grid, &sort.perm, &mut out, 128,
-                );
+                )
+                .unwrap();
                 let t_gm = dev.clock() - t0;
                 let t1 = dev.clock();
                 interp_sm(
@@ -72,7 +73,8 @@ fn main() {
                     &sort.layout,
                     &subs,
                     &mut out,
-                );
+                )
+                .unwrap();
                 let t_sm = dev.clock() - t1;
                 println!(
                     "{:>4} {:>8} {:>6} | {:>12.3} | {:>12.3} | {:.2}x",

@@ -53,7 +53,8 @@ fn main() {
                 &sort.layout,
                 &subs,
                 &mut grid,
-            );
+            )
+            .unwrap();
             let t = dev.clock() - t0;
             let label = if msub == usize::MAX {
                 "uncapped".into()

@@ -52,7 +52,8 @@ fn run_method(
                 &mut grid,
                 128,
                 1.0,
-            );
+            )
+            .unwrap();
             (0.0, dev.clock() - t1)
         }
         "GM-sort" => {
@@ -69,7 +70,8 @@ fn run_method(
                 &mut grid,
                 128,
                 1.0,
-            );
+            )
+            .unwrap();
             (t1 - t0, dev.clock() - t1)
         }
         "SM" => {
@@ -86,7 +88,8 @@ fn run_method(
                 &sort.layout,
                 &subs,
                 &mut grid,
-            );
+            )
+            .unwrap();
             (t1 - t0, dev.clock() - t1)
         }
         _ => unreachable!(),

@@ -68,7 +68,8 @@ fn main() {
                 &natural,
                 &mut out,
                 128,
-            );
+            )
+            .unwrap();
             let gm_int = dev.clock() - t0;
             // GM-sort: bin-sort then interpolate
             let dev = Device::v100();
@@ -86,7 +87,8 @@ fn main() {
                 &sort.perm,
                 &mut out,
                 128,
-            );
+            )
+            .unwrap();
             let gms_int = dev.clock() - t1;
             let gms_sort = t1 - t0;
             println!(

@@ -6,7 +6,7 @@
 //! (the paper argues its benefit would be limited).
 
 use crate::spread::{footprint, PtsRef, SpreadInputs, MAX_W};
-use gpu_sim::{Device, LaunchConfig, LaunchReport, Precision};
+use gpu_sim::{Device, DeviceFault, LaunchConfig, LaunchReport, Precision};
 use nufft_common::complex::Complex;
 use nufft_common::real::Real;
 use nufft_common::shape::Shape;
@@ -28,7 +28,7 @@ pub fn interp_gm<T: Real, K: Kernel1d>(
     order: &[u32],
     out: &mut [Complex<T>],
     threads_per_block: usize,
-) -> LaunchReport {
+) -> Result<LaunchReport, DeviceFault> {
     assert_eq!(grid.len(), fine.total());
     assert_eq!(out.len(), order.len());
     let cb = std::mem::size_of::<Complex<T>>();
@@ -37,7 +37,7 @@ pub fn interp_gm<T: Real, K: Kernel1d>(
     } else {
         Precision::Single
     };
-    let mut k = dev.kernel(name, LaunchConfig::new(prec, threads_per_block));
+    let mut k = dev.kernel(name, LaunchConfig::new(prec, threads_per_block))?;
     let w = kernel.width();
     let dim = pts.dim;
     let [n1, n2, n3] = fine.n;
@@ -127,7 +127,7 @@ pub fn interp_gm<T: Real, K: Kernel1d>(
         }
         b.finish();
     }
-    dev.launch_end(k)
+    Ok(dev.launch_end(k))
 }
 
 /// Shared-memory interpolation (the variant the paper chose NOT to ship;
@@ -148,7 +148,7 @@ pub fn interp_sm<T: Real>(
     layout: &crate::bins::BinLayout,
     subproblems: &[crate::bins::Subproblem],
     out: &mut [Complex<T>],
-) -> LaunchReport {
+) -> Result<LaunchReport, DeviceFault> {
     assert_eq!(grid.len(), fine.total());
     assert_eq!(out.len(), perm.len());
     let cb = std::mem::size_of::<Complex<T>>();
@@ -169,7 +169,7 @@ pub fn interp_sm<T: Real>(
     let mut k = dev.kernel(
         "interp_SM",
         LaunchConfig::new(prec, 256).with_shared(shared_bytes),
-    );
+    )?;
     let [n1, n2, n3] = fine.n;
     let half = (pad / 2) as i64;
     let mut addrs = [0usize; 32];
@@ -235,7 +235,7 @@ pub fn interp_sm<T: Real>(
         }
         b.finish();
     }
-    dev.launch_end(k)
+    Ok(dev.launch_end(k))
 }
 
 /// Interpolate `bc` stacked fine grids at the registered points into
@@ -255,7 +255,7 @@ pub fn interp_batch<T: Real>(
     bc: usize,
     grids: &[Complex<T>],
     out: &mut [Complex<T>],
-) {
+) -> Result<(), DeviceFault> {
     let m = inputs.pts.len();
     let nf = fine.total();
     assert!(grids.len() >= bc * nf && out.len() >= bc * m);
@@ -283,8 +283,9 @@ pub fn interp_batch<T: Real>(
             &order,
             &mut out[v * m..(v + 1) * m],
             threads_per_block,
-        );
+        )?;
     }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -322,7 +323,8 @@ mod tests {
             &natural,
             &mut a,
             128,
-        );
+        )
+        .unwrap();
         interp_gm(
             &dev,
             "interp_GMs",
@@ -333,7 +335,8 @@ mod tests {
             &sort.perm,
             &mut b,
             128,
-        );
+        )
+        .unwrap();
         // interpolation is read-only per point: results are bit-identical
         for j in 0..m {
             assert_eq!(a[j].re, b[j].re);
@@ -364,7 +367,8 @@ mod tests {
             &mut sp,
             128,
             1.0,
-        );
+        )
+        .unwrap();
         let mut it = vec![Complex::<f64>::ZERO; m];
         interp_gm(
             &dev,
@@ -376,7 +380,8 @@ mod tests {
             &order,
             &mut it,
             128,
-        );
+        )
+        .unwrap();
         let lhs = nufft_common::metrics::inner(&sp, &g);
         let rhs = nufft_common::metrics::inner(&cs, &it);
         assert!((lhs - rhs).abs() < 1e-10 * (1.0 + lhs.abs()));
@@ -405,7 +410,8 @@ mod tests {
             &natural,
             &mut a,
             128,
-        );
+        )
+        .unwrap();
         let r_gs = interp_gm(
             &dev,
             "gms",
@@ -416,7 +422,8 @@ mod tests {
             &sort.perm,
             &mut a,
             128,
-        );
+        )
+        .unwrap();
         assert!(
             r_gs.duration < r_gm.duration / 1.5,
             "sorted {} vs natural {}",
@@ -448,7 +455,8 @@ mod tests {
             &sort.perm,
             &mut a,
             128,
-        );
+        )
+        .unwrap();
         interp_sm(
             &dev,
             &kernel,
@@ -459,7 +467,8 @@ mod tests {
             &sort.layout,
             &subs,
             &mut b,
-        );
+        )
+        .unwrap();
         for j in 0..m {
             assert_eq!(a[j].re, b[j].re);
             assert_eq!(a[j].im, b[j].im);
@@ -485,7 +494,8 @@ mod tests {
             &order,
             &mut out,
             128,
-        );
+        )
+        .unwrap();
         assert_eq!(r.global_atomics, 0);
         assert_eq!(r.atomic_hotspot_count, 0);
     }

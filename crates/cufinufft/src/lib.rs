@@ -50,10 +50,12 @@ pub mod bins;
 pub mod interp;
 pub mod opts;
 pub mod plan;
+pub mod recovery;
 pub mod spread;
 pub mod type3;
 
 pub use nufft_common::TransformType;
 pub use opts::{default_bin_size, sm_feasible, sm_shared_bytes, GpuOpts, Method, ModeOrder};
 pub use plan::{BatchTimings, ChunkTiming, GpuStageTimings, Plan, PlanBuilder};
+pub use recovery::{RecoveryPolicy, RecoveryReport};
 pub use type3::GpuType3Plan;

@@ -1,5 +1,6 @@
 //! Options and spreading-method selection, mirroring `cufinufft_opts`.
 
+use crate::recovery::RecoveryPolicy;
 use gpu_sim::Trace;
 use nufft_common::error::{NufftError, Result};
 
@@ -57,6 +58,12 @@ pub struct GpuOpts {
     /// build/setpts/execute, records stage-level device spans, and
     /// publishes load-balance counters. `None` disables all of it.
     pub trace: Option<Trace>,
+    /// Fault-recovery behavior: bounded retry of transient device
+    /// faults, OOM-driven chunk shrinking in `execute_many`, and
+    /// (opt-in) SM-to-GM-sort method fallback. See
+    /// [`RecoveryPolicy`]; `RecoveryPolicy::none()` restores
+    /// fail-fast semantics.
+    pub recovery: RecoveryPolicy,
 }
 
 impl Default for GpuOpts {
@@ -71,6 +78,7 @@ impl Default for GpuOpts {
             shared_mem_budget: 49_000,
             max_batch: 0,
             trace: None,
+            recovery: RecoveryPolicy::default(),
         }
     }
 }
@@ -103,6 +111,12 @@ impl GpuOpts {
                 "threads_per_block must be positive".into(),
             ));
         }
+        if self.shared_mem_budget == 0 {
+            return Err(NufftError::BadOptions(
+                "shared_mem_budget must be positive".into(),
+            ));
+        }
+        self.recovery.validate()?;
         Ok(())
     }
 }
@@ -267,6 +281,27 @@ mod tests {
     fn validate_rejects_zero_threads() {
         let opts = GpuOpts {
             threads_per_block: 0,
+            ..GpuOpts::default()
+        };
+        assert!(matches!(opts.validate(), Err(NufftError::BadOptions(_))));
+    }
+
+    #[test]
+    fn validate_rejects_zero_shared_mem_budget() {
+        let opts = GpuOpts {
+            shared_mem_budget: 0,
+            ..GpuOpts::default()
+        };
+        assert!(matches!(opts.validate(), Err(NufftError::BadOptions(_))));
+    }
+
+    #[test]
+    fn validate_rejects_bad_recovery_backoff() {
+        let opts = GpuOpts {
+            recovery: RecoveryPolicy {
+                backoff: f64::NAN,
+                ..RecoveryPolicy::default()
+            },
             ..GpuOpts::default()
         };
         assert!(matches!(opts.validate(), Err(NufftError::BadOptions(_))));

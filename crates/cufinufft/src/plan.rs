@@ -5,6 +5,7 @@
 use crate::bins::{build_subproblems, gpu_bin_sort, GpuBinSort, Subproblem};
 use crate::interp::interp_batch;
 use crate::opts::{default_bin_size, resolve_spread_method, GpuOpts, Method, ModeOrder};
+use crate::recovery::{with_retry, RecoveryReport};
 use crate::spread::{spread_batch, PtsRef, SpreadInputs};
 use gpu_sim::{Device, GpuBuffer, Lane, Precision, Trace, TraceReport};
 use nufft_common::complex::Complex;
@@ -182,13 +183,10 @@ pub struct Plan<T: Real> {
     pts: Option<PtsState<T>>,
     timings: GpuStageTimings,
     batch: BatchTimings,
-}
-
-fn oom(e: gpu_sim::OomError) -> NufftError {
-    NufftError::DeviceOom {
-        requested: e.requested,
-        available: e.available,
-    }
+    recovery: RecoveryReport,
+    /// Sticky chunk-size override installed by OOM-driven shrinking, so
+    /// later batches skip the doomed allocation sizes.
+    shrunk_chunk: Option<usize>,
 }
 
 /// Fluent constructor for [`Plan`]: transform type and mode dimensions
@@ -310,6 +308,15 @@ impl<T: Real> PlanBuilder<T> {
         self
     }
 
+    /// Fault-recovery policy: bounded retry of transient device faults,
+    /// OOM-driven chunk shrinking, and opt-in SM method fallback (see
+    /// [`crate::RecoveryPolicy`]; `RecoveryPolicy::none()` restores
+    /// fail-fast behavior).
+    pub fn recovery(mut self, policy: crate::RecoveryPolicy) -> Self {
+        self.opts.recovery = policy;
+        self
+    }
+
     /// Validate the options and build the plan.
     pub fn build(self, dev: &Device) -> Result<Plan<T>> {
         self.opts.validate()?;
@@ -326,11 +333,31 @@ impl<T: Real> PlanBuilder<T> {
             // pre-size the batched fine grid so the first execute_many
             // pays no allocation inside the pipelined region
             let chunk = plan.chunk_size(self.ntransf);
+            let policy = plan.opts.recovery;
+            let trace = plan.opts.trace.clone();
+            let nf = plan.fine.total();
             let t0 = dev.clock();
-            plan.d_grid_batch = Some(
-                dev.alloc("fine_grid_batch", plan.fine.total() * chunk)
-                    .map_err(oom)?,
+            let mut rec = std::mem::take(&mut plan.recovery);
+            let res = with_retry(
+                dev,
+                &policy,
+                trace.as_ref(),
+                &mut rec,
+                "alloc:fine_grid_batch",
+                || dev.alloc("fine_grid_batch", nf * chunk),
             );
+            plan.recovery = rec;
+            match res {
+                Ok(buf) => plan.d_grid_batch = Some(buf),
+                // leave the batch grid unallocated: execute_many's
+                // shrink loop will find a chunk size that fits
+                Err(NufftError::DeviceOom { .. }) if policy.min_chunk > 0 => {
+                    plan.recovery
+                        .events
+                        .push("pre-size OOM: deferring batch grid to execute_many".into());
+                }
+                Err(e) => return Err(e),
+            }
             plan.timings.alloc += dev.clock() - t0;
         }
         Ok(plan)
@@ -402,20 +429,58 @@ impl<T: Real> Plan<T> {
         let fine = modes.map(|_, n| fine_grid_size(n, opts.upsampfac, kernel.w));
         let bin_size = opts.bin_size.unwrap_or_else(|| default_bin_size(modes.dim));
         let cb = std::mem::size_of::<Complex<T>>();
-        let spread_method = resolve_spread_method(
+        let mut recovery = RecoveryReport::default();
+        let spread_method = match resolve_spread_method(
             opts.method,
             bin_size,
             modes.dim,
             kernel.w,
             cb,
             opts.shared_mem_budget.min(dev.props().shared_mem_per_block),
-        )?;
+        ) {
+            Ok(m) => m,
+            Err(e @ NufftError::MethodUnavailable(_)) if opts.recovery.allow_method_fallback => {
+                // the policy prefers a working plan over the requested
+                // method: degrade to GM-sort, the method Auto would use
+                recovery.method_fallbacks += 1;
+                recovery
+                    .events
+                    .push(format!("method fallback to GM-sort: {e}"));
+                if let Some(t) = &trace {
+                    t.counter("recovery.fallbacks").inc();
+                }
+                Method::GmSort
+            }
+            Err(e) => return Err(e),
+        };
         let corr = correction_rows(&kernel, modes, fine);
         let fft = gpu_fft::GpuFftPlan::new(fine);
+        let policy = opts.recovery;
         let t0 = dev.clock();
-        let d_grid = dev.alloc("fine_grid", fine.total()).map_err(oom)?;
-        let d_in = dev.alloc("in", 0).map_err(oom)?;
-        let d_out = dev.alloc("out", 0).map_err(oom)?;
+        let d_grid = with_retry(
+            dev,
+            &policy,
+            trace.as_ref(),
+            &mut recovery,
+            "alloc:fine_grid",
+            || dev.alloc("fine_grid", fine.total()),
+        )?;
+        let d_in = with_retry(
+            dev,
+            &policy,
+            trace.as_ref(),
+            &mut recovery,
+            "alloc:in",
+            || dev.alloc("in", 0),
+        )?;
+        let d_out = with_retry(
+            dev,
+            &policy,
+            trace.as_ref(),
+            &mut recovery,
+            "alloc:out",
+            || dev.alloc("out", 0),
+        )?;
         let timings = GpuStageTimings {
             alloc: dev.clock() - t0,
             ..Default::default()
@@ -442,6 +507,8 @@ impl<T: Real> Plan<T> {
             pts: None,
             timings,
             batch: BatchTimings::default(),
+            recovery,
+            shrunk_chunk: None,
         })
     }
 
@@ -508,6 +575,13 @@ impl<T: Real> Plan<T> {
         self.opts.trace.as_ref().map(|t| t.report())
     }
 
+    /// What the recovery layer did over this plan's lifetime so far:
+    /// method fallbacks, retries, OOM-driven chunk shrinks, and a
+    /// human-readable event log (see [`RecoveryReport`]).
+    pub fn recovery_report(&self) -> &RecoveryReport {
+        &self.recovery
+    }
+
     /// Record a stage-level span (simulated clock, plan lane) covering
     /// `start`..now.
     fn stage_span(&self, name: &str, start: f64) {
@@ -530,6 +604,13 @@ impl<T: Real> Plan<T> {
     /// Register nonuniform points (cufinufft_setpts): transfer to the
     /// device, bin-sort, and build SM subproblems if applicable.
     pub fn set_pts(&mut self, pts: &Points<T>) -> Result<()> {
+        let mut rec = std::mem::take(&mut self.recovery);
+        let r = self.set_pts_impl(pts, &mut rec);
+        self.recovery = rec;
+        r
+    }
+
+    fn set_pts_impl(&mut self, pts: &Points<T>, rec: &mut RecoveryReport) -> Result<()> {
         if pts.dim != self.modes.dim {
             return Err(NufftError::BadDim(pts.dim));
         }
@@ -558,20 +639,28 @@ impl<T: Real> Plan<T> {
                 &[("m", m.to_string()), ("dim", pts.dim.to_string())],
             )
         });
+        let dev = self.dev.clone();
+        let policy = self.opts.recovery;
         let t0 = self.dev.clock();
+        let my = if pts.dim >= 2 { m } else { 0 };
+        let mz = if pts.dim >= 3 { m } else { 0 };
         let mut bufs = [
-            self.dev.alloc("pts_x", m).map_err(oom)?,
-            self.dev
-                .alloc("pts_y", if pts.dim >= 2 { m } else { 0 })
-                .map_err(oom)?,
-            self.dev
-                .alloc("pts_z", if pts.dim >= 3 { m } else { 0 })
-                .map_err(oom)?,
+            with_retry(&dev, &policy, trace.as_ref(), rec, "alloc:pts_x", || {
+                dev.alloc("pts_x", m)
+            })?,
+            with_retry(&dev, &policy, trace.as_ref(), rec, "alloc:pts_y", || {
+                dev.alloc("pts_y", my)
+            })?,
+            with_retry(&dev, &policy, trace.as_ref(), rec, "alloc:pts_z", || {
+                dev.alloc("pts_z", mz)
+            })?,
         ];
         let t_alloc = self.dev.clock() - t0;
         let t1 = self.dev.clock();
         for (buf, coords) in bufs.iter_mut().zip(&pts.coords).take(pts.dim) {
-            self.dev.memcpy_htod(buf, coords);
+            with_retry(&dev, &policy, trace.as_ref(), rec, "h2d:pts", || {
+                dev.memcpy_htod(buf, coords)
+            })?;
         }
         let t_h2d = self.dev.clock() - t1;
         let t2 = self.dev.clock();
@@ -619,6 +708,18 @@ impl<T: Real> Plan<T> {
     /// transfers of input/output are included and reported separately in
     /// [`GpuStageTimings`].
     pub fn execute(&mut self, input: &[Complex<T>], output: &mut [Complex<T>]) -> Result<()> {
+        let mut rec = std::mem::take(&mut self.recovery);
+        let r = self.execute_impl(input, output, &mut rec);
+        self.recovery = rec;
+        r
+    }
+
+    fn execute_impl(
+        &mut self,
+        input: &[Complex<T>],
+        output: &mut [Complex<T>],
+        rec: &mut RecoveryReport,
+    ) -> Result<()> {
         let state = self.pts.as_ref().ok_or(NufftError::PointsNotSet)?;
         let m = state.m;
         let n = self.modes.total();
@@ -650,26 +751,46 @@ impl<T: Real> Plan<T> {
             )
         });
         // (re)allocate IO buffers on first use or size change
+        let dev = self.dev.clone();
+        let policy = self.opts.recovery;
         let t0 = self.dev.clock();
         if self.d_in.len() != want_in {
-            self.d_in = self.dev.alloc("in", want_in).map_err(oom)?;
+            self.d_in = with_retry(&dev, &policy, trace.as_ref(), rec, "alloc:in", || {
+                dev.alloc("in", want_in)
+            })?;
         }
         if self.d_out.len() != want_out {
-            self.d_out = self.dev.alloc("out", want_out).map_err(oom)?;
+            self.d_out = with_retry(&dev, &policy, trace.as_ref(), rec, "alloc:out", || {
+                dev.alloc("out", want_out)
+            })?;
         }
         let alloc_extra = self.dev.clock() - t0;
         self.timings.alloc += alloc_extra;
         let t1 = self.dev.clock();
-        self.dev.memcpy_htod(&mut self.d_in, input);
+        with_retry(&dev, &policy, trace.as_ref(), rec, "h2d:in", || {
+            self.dev.memcpy_htod(&mut self.d_in, input)
+        })?;
         self.timings.h2d_data = self.dev.clock() - t1;
 
+        // the exec stages zero the fine grid before touching it, so a
+        // launch fault mid-transform can be retried wholesale
         match self.ttype {
-            TransformType::Type1 => self.exec_type1()?,
-            TransformType::Type2 => self.exec_type2()?,
+            TransformType::Type1 => {
+                with_retry(&dev, &policy, trace.as_ref(), rec, "exec:type1", || {
+                    self.exec_type1()
+                })?
+            }
+            TransformType::Type2 => {
+                with_retry(&dev, &policy, trace.as_ref(), rec, "exec:type2", || {
+                    self.exec_type2()
+                })?
+            }
         }
 
         let t2 = self.dev.clock();
-        self.dev.memcpy_dtoh(output, &self.d_out);
+        with_retry(&dev, &policy, trace.as_ref(), rec, "d2h:out", || {
+            self.dev.memcpy_dtoh(output, &self.d_out)
+        })?;
         self.timings.d2h = self.dev.clock() - t2;
         self.timings.batches = 1;
         self.timings.pipe_wall = 0.0;
@@ -741,6 +862,18 @@ impl<T: Real> Plan<T> {
         strengths: &[Complex<T>],
         grid_out: &mut [Complex<T>],
     ) -> Result<()> {
+        let mut rec = std::mem::take(&mut self.recovery);
+        let r = self.spread_only_impl(strengths, grid_out, &mut rec);
+        self.recovery = rec;
+        r
+    }
+
+    fn spread_only_impl(
+        &mut self,
+        strengths: &[Complex<T>],
+        grid_out: &mut [Complex<T>],
+        rec: &mut RecoveryReport,
+    ) -> Result<()> {
         if self.ttype != TransformType::Type1 {
             return Err(NufftError::BadOptions(
                 "spread_only requires a type 1 plan".into(),
@@ -759,26 +892,36 @@ impl<T: Real> Plan<T> {
                 got: grid_out.len(),
             });
         }
-        if self.d_in.len() != state.m {
-            self.d_in = self.dev.alloc("in", state.m).map_err(oom)?;
+        let m = state.m;
+        let dev = self.dev.clone();
+        let policy = self.opts.recovery;
+        let trace = self.opts.trace.clone();
+        if self.d_in.len() != m {
+            self.d_in = with_retry(&dev, &policy, trace.as_ref(), rec, "alloc:in", || {
+                dev.alloc("in", m)
+            })?;
         }
-        self.dev.memcpy_htod(&mut self.d_in, strengths);
+        with_retry(&dev, &policy, trace.as_ref(), rec, "h2d:in", || {
+            self.dev.memcpy_htod(&mut self.d_in, strengths)
+        })?;
         let t0 = self.dev.clock();
-        self.d_grid
-            .as_mut_slice()
-            .iter_mut()
-            .for_each(|z| *z = Complex::ZERO);
         let cb = std::mem::size_of::<Complex<T>>();
-        self.dev.bulk_op(
-            "memset_grid",
-            0,
-            self.fine.total() * cb,
-            0.0,
-            Self::precision(),
-        );
-        self.run_spread();
+        let nf = self.fine.total();
+        with_retry(&dev, &policy, trace.as_ref(), rec, "spread", || {
+            // re-zero inside the retry body so a launch fault can be
+            // retried without double-accumulating
+            self.d_grid
+                .as_mut_slice()
+                .iter_mut()
+                .for_each(|z| *z = Complex::ZERO);
+            self.dev
+                .bulk_op("memset_grid", 0, nf * cb, 0.0, Self::precision());
+            self.run_spread()
+        })?;
         self.timings.spread_interp = self.dev.clock() - t0;
-        self.dev.memcpy_dtoh(grid_out, &self.d_grid);
+        with_retry(&dev, &policy, trace.as_ref(), rec, "d2h:grid", || {
+            self.dev.memcpy_dtoh(grid_out, &self.d_grid)
+        })?;
         Ok(())
     }
 
@@ -786,6 +929,18 @@ impl<T: Real> Plan<T> {
     /// at the plan's points, skipping pre-correction and the FFT. The
     /// plan must be type 2.
     pub fn interp_only(&mut self, grid_in: &[Complex<T>], out: &mut [Complex<T>]) -> Result<()> {
+        let mut rec = std::mem::take(&mut self.recovery);
+        let r = self.interp_only_impl(grid_in, out, &mut rec);
+        self.recovery = rec;
+        r
+    }
+
+    fn interp_only_impl(
+        &mut self,
+        grid_in: &[Complex<T>],
+        out: &mut [Complex<T>],
+        rec: &mut RecoveryReport,
+    ) -> Result<()> {
         if self.ttype != TransformType::Type2 {
             return Err(NufftError::BadOptions(
                 "interp_only requires a type 2 plan".into(),
@@ -804,14 +959,26 @@ impl<T: Real> Plan<T> {
                 got: out.len(),
             });
         }
-        self.dev.memcpy_htod(&mut self.d_grid, grid_in);
-        if self.d_out.len() != state.m {
-            self.d_out = self.dev.alloc("out", state.m).map_err(oom)?;
+        let m = state.m;
+        let dev = self.dev.clone();
+        let policy = self.opts.recovery;
+        let trace = self.opts.trace.clone();
+        with_retry(&dev, &policy, trace.as_ref(), rec, "h2d:grid", || {
+            self.dev.memcpy_htod(&mut self.d_grid, grid_in)
+        })?;
+        if self.d_out.len() != m {
+            self.d_out = with_retry(&dev, &policy, trace.as_ref(), rec, "alloc:out", || {
+                dev.alloc("out", m)
+            })?;
         }
         let t0 = self.dev.clock();
-        self.run_interp();
+        with_retry(&dev, &policy, trace.as_ref(), rec, "interp", || {
+            self.run_interp()
+        })?;
         self.timings.spread_interp = self.dev.clock() - t0;
-        self.dev.memcpy_dtoh(out, &self.d_out);
+        with_retry(&dev, &policy, trace.as_ref(), rec, "d2h:out", || {
+            self.dev.memcpy_dtoh(out, &self.d_out)
+        })?;
         Ok(())
     }
 
@@ -858,7 +1025,18 @@ impl<T: Real> Plan<T> {
     /// accumulated stages plus the pipelined wall (`pipe_wall`), and
     /// [`Plan::batch_timings`] the per-chunk schedule.
     pub fn execute_many(&mut self, input: &[Complex<T>], output: &mut [Complex<T>]) -> Result<()> {
-        use gpu_sim::{sync_streams, EngineState, Stream};
+        let mut rec = std::mem::take(&mut self.recovery);
+        let r = self.execute_many_impl(input, output, &mut rec);
+        self.recovery = rec;
+        r
+    }
+
+    fn execute_many_impl(
+        &mut self,
+        input: &[Complex<T>],
+        output: &mut [Complex<T>],
+        rec: &mut RecoveryReport,
+    ) -> Result<()> {
         let state = self.pts.as_ref().ok_or(NufftError::PointsNotSet)?;
         let m = state.m;
         let n = self.modes.total();
@@ -894,76 +1072,51 @@ impl<T: Real> Plan<T> {
         });
 
         // stage buffers sized for one chunk, (re)allocated outside the
-        // pipelined region so the schedule holds only transfers + compute
-        let chunk = self.chunk_size(b);
+        // pipelined region so the schedule holds only transfers + compute.
+        // A device OOM here halves the chunk (dropping the failed
+        // buffers first) until it fits or `min_chunk` is reached; the
+        // shrunk size sticks for later batches.
+        let policy = self.opts.recovery;
+        let mut chunk = self.chunk_size(b);
+        if let Some(c) = self.shrunk_chunk {
+            chunk = chunk.min(c).max(1);
+        }
         let nf = self.fine.total();
         let t0 = self.dev.clock();
-        let undersized = |buf: &Option<GpuBuffer<Complex<T>>>, len: usize| {
-            buf.as_ref().is_none_or(|g| g.len() < len)
-        };
-        if undersized(&self.d_in_batch, in_per * chunk) {
-            self.d_in_batch = Some(self.dev.alloc("in_batch", in_per * chunk).map_err(oom)?);
-        }
-        if undersized(&self.d_grid_batch, nf * chunk) {
-            self.d_grid_batch = Some(self.dev.alloc("fine_grid_batch", nf * chunk).map_err(oom)?);
-        }
-        if undersized(&self.d_out_batch, out_per * chunk) {
-            self.d_out_batch = Some(self.dev.alloc("out_batch", out_per * chunk).map_err(oom)?);
+        loop {
+            match self.alloc_staging(chunk, in_per, out_per, nf, rec) {
+                Ok(()) => break,
+                Err(NufftError::DeviceOom { .. })
+                    if policy.min_chunk > 0 && chunk > policy.min_chunk =>
+                {
+                    self.d_in_batch = None;
+                    self.d_grid_batch = None;
+                    self.d_out_batch = None;
+                    chunk = (chunk / 2).max(policy.min_chunk);
+                    self.shrunk_chunk = Some(chunk);
+                    rec.chunk_shrinks += 1;
+                    rec.final_chunk = Some(chunk);
+                    rec.events
+                        .push(format!("device OOM: batch chunk shrunk to {chunk}"));
+                    if let Some(t) = &trace {
+                        t.counter("recovery.chunk_shrinks").inc();
+                    }
+                }
+                Err(e) => return Err(e),
+            }
         }
         let alloc_extra = self.dev.clock() - t0;
         let mut bin = self.d_in_batch.take().expect("allocated above");
         let mut bgrid = self.d_grid_batch.take().expect("allocated above");
         let mut bout = self.d_out_batch.take().expect("allocated above");
 
-        // compute is priced on the serial device clock (the SM array
-        // serializes across streams anyway) and its measured duration is
-        // queued on the chunk's stream; async copies are queued with
-        // their analytic duration without touching the clock. The final
-        // sync advances the clock to the schedule's end, so the region's
-        // clock delta IS the pipelined wall.
-        let base = self.dev.clock();
-        let mut engines = EngineState::default();
-        let mut streams = [Stream::new(&self.dev), Stream::new(&self.dev)];
-        let mut chunks: Vec<ChunkTiming> = Vec::new();
-        let mut stage = GpuStageTimings::default();
-        let mut off = 0;
-        while off < b {
-            let bc = chunk.min(b - off);
-            let src = &input[off * in_per..(off + bc) * in_per];
-            let h2d_dur = self.dev.transfer_time(std::mem::size_of_val(src));
-            let s = &mut streams[chunks.len() % 2];
-            let h2d_done = s.memcpy_htod(&self.dev, &mut engines, &mut bin, src);
-            let c0 = self.dev.clock();
-            match self.ttype {
-                TransformType::Type1 => {
-                    self.exec_type1_chunk(bc, &bin, &mut bgrid, &mut bout, &mut stage)
-                }
-                TransformType::Type2 => {
-                    self.exec_type2_chunk(bc, &bin, &mut bgrid, &mut bout, &mut stage)
-                }
-            }
-            let t_exec = self.dev.clock() - c0;
-            let s = &mut streams[chunks.len() % 2];
-            s.compute(&mut engines, t_exec);
-            let dst = &mut output[off * out_per..(off + bc) * out_per];
-            let d2h_dur = self.dev.transfer_time(std::mem::size_of_val(dst));
-            let d2h_done = s.memcpy_dtoh(&self.dev, &mut engines, dst, &bout);
-            chunks.push(ChunkTiming {
-                ntransf: bc,
-                h2d: h2d_dur,
-                exec: t_exec,
-                d2h: d2h_dur,
-                start: (h2d_done - h2d_dur) - base,
-                done: d2h_done - base,
-            });
-            stage.h2d_data += h2d_dur;
-            stage.d2h += d2h_dur;
-            off += bc;
-        }
-        let wall = sync_streams(&self.dev, &[&streams[0], &streams[1]]) - base;
+        let region = self.run_pipeline(
+            input, output, b, chunk, in_per, out_per, &mut bin, &mut bgrid, &mut bout, rec,
+        );
         self.d_in_batch = Some(bin);
         self.d_grid_batch = Some(bgrid);
         self.d_out_batch = Some(bout);
+        let (wall, chunks, stage) = region?;
 
         let serial: f64 = chunks.iter().map(|c| c.h2d + c.exec + c.d2h).sum();
         self.batch = BatchTimings {
@@ -987,6 +1140,131 @@ impl<T: Real> Plan<T> {
         Ok(())
     }
 
+    /// (Re)allocate the chunk-sized staging buffers, retrying transient
+    /// alloc faults; a persistent OOM propagates as `DeviceOom` for the
+    /// caller's shrink loop.
+    fn alloc_staging(
+        &mut self,
+        chunk: usize,
+        in_per: usize,
+        out_per: usize,
+        nf: usize,
+        rec: &mut RecoveryReport,
+    ) -> Result<()> {
+        let dev = self.dev.clone();
+        let policy = self.opts.recovery;
+        let trace = self.opts.trace.clone();
+        let undersized = |buf: &Option<GpuBuffer<Complex<T>>>, len: usize| {
+            buf.as_ref().is_none_or(|g| g.len() < len)
+        };
+        if undersized(&self.d_in_batch, in_per * chunk) {
+            self.d_in_batch = Some(with_retry(
+                &dev,
+                &policy,
+                trace.as_ref(),
+                rec,
+                "alloc:in_batch",
+                || dev.alloc("in_batch", in_per * chunk),
+            )?);
+        }
+        if undersized(&self.d_grid_batch, nf * chunk) {
+            self.d_grid_batch = Some(with_retry(
+                &dev,
+                &policy,
+                trace.as_ref(),
+                rec,
+                "alloc:fine_grid_batch",
+                || dev.alloc("fine_grid_batch", nf * chunk),
+            )?);
+        }
+        if undersized(&self.d_out_batch, out_per * chunk) {
+            self.d_out_batch = Some(with_retry(
+                &dev,
+                &policy,
+                trace.as_ref(),
+                rec,
+                "alloc:out_batch",
+                || dev.alloc("out_batch", out_per * chunk),
+            )?);
+        }
+        Ok(())
+    }
+
+    /// The pipelined transfer/compute region of `execute_many`. Compute
+    /// is priced on the serial device clock (the SM array serializes
+    /// across streams anyway) and its measured duration is queued on the
+    /// chunk's stream; async copies are queued with their analytic
+    /// duration without touching the clock. The final sync advances the
+    /// clock to the schedule's end, so the region's clock delta IS the
+    /// pipelined wall. Chunk bodies re-zero their grid slice first, so a
+    /// launch fault retries the whole chunk without double-accumulation.
+    #[allow(clippy::too_many_arguments)]
+    fn run_pipeline(
+        &self,
+        input: &[Complex<T>],
+        output: &mut [Complex<T>],
+        b: usize,
+        chunk: usize,
+        in_per: usize,
+        out_per: usize,
+        bin: &mut GpuBuffer<Complex<T>>,
+        bgrid: &mut GpuBuffer<Complex<T>>,
+        bout: &mut GpuBuffer<Complex<T>>,
+        rec: &mut RecoveryReport,
+    ) -> Result<(f64, Vec<ChunkTiming>, GpuStageTimings)> {
+        use gpu_sim::{sync_streams, EngineState, Stream};
+        let dev = self.dev.clone();
+        let policy = self.opts.recovery;
+        let trace = self.opts.trace.clone();
+        let base = self.dev.clock();
+        let mut engines = EngineState::default();
+        let mut streams = [Stream::new(&self.dev), Stream::new(&self.dev)];
+        let mut chunks: Vec<ChunkTiming> = Vec::new();
+        let mut stage = GpuStageTimings::default();
+        let mut off = 0;
+        while off < b {
+            let bc = chunk.min(b - off);
+            let src = &input[off * in_per..(off + bc) * in_per];
+            let h2d_dur = self.dev.transfer_time(std::mem::size_of_val(src));
+            let si = chunks.len() % 2;
+            let h2d_done = with_retry(&dev, &policy, trace.as_ref(), rec, "h2d:chunk", || {
+                streams[si].memcpy_htod(&self.dev, &mut engines, bin, src)
+            })?;
+            let c0 = self.dev.clock();
+            with_retry(
+                &dev,
+                &policy,
+                trace.as_ref(),
+                rec,
+                "exec:chunk",
+                || match self.ttype {
+                    TransformType::Type1 => self.exec_type1_chunk(bc, bin, bgrid, bout, &mut stage),
+                    TransformType::Type2 => self.exec_type2_chunk(bc, bin, bgrid, bout, &mut stage),
+                },
+            )?;
+            let t_exec = self.dev.clock() - c0;
+            streams[si].compute(&mut engines, t_exec);
+            let dst = &mut output[off * out_per..(off + bc) * out_per];
+            let d2h_dur = self.dev.transfer_time(std::mem::size_of_val(dst));
+            let d2h_done = with_retry(&dev, &policy, trace.as_ref(), rec, "d2h:chunk", || {
+                streams[si].memcpy_dtoh(&self.dev, &mut engines, dst, bout)
+            })?;
+            chunks.push(ChunkTiming {
+                ntransf: bc,
+                h2d: h2d_dur,
+                exec: t_exec,
+                d2h: d2h_dur,
+                start: (h2d_done - h2d_dur) - base,
+                done: d2h_done - base,
+            });
+            stage.h2d_data += h2d_dur;
+            stage.d2h += d2h_dur;
+            off += bc;
+        }
+        let wall = sync_streams(&self.dev, &[&streams[0], &streams[1]]) - base;
+        Ok((wall, chunks, stage))
+    }
+
     /// One chunk of a batched type-1 execution: zero the batch grid,
     /// spread each vector into its own fine grid, run one batched FFT,
     /// and deconvolve each vector. Per vector this performs exactly the
@@ -999,7 +1277,7 @@ impl<T: Real> Plan<T> {
         d_grid: &mut GpuBuffer<Complex<T>>,
         d_out: &mut GpuBuffer<Complex<T>>,
         stage: &mut GpuStageTimings,
-    ) {
+    ) -> std::result::Result<(), gpu_sim::DeviceFault> {
         let state = self.pts.as_ref().expect("points checked");
         let cb = std::mem::size_of::<Complex<T>>();
         let nf = self.fine.total();
@@ -1021,7 +1299,7 @@ impl<T: Real> Plan<T> {
             bc,
             &d_in.as_slice()[..bc * m],
             &mut d_grid.as_mut_slice()[..bc * nf],
-        );
+        )?;
         stage.spread_interp += self.dev.clock() - t0;
         self.stage_span("stage.spread", t0);
         let t1 = self.dev.clock();
@@ -1049,6 +1327,7 @@ impl<T: Real> Plan<T> {
         );
         stage.deconv += self.dev.clock() - t2;
         self.stage_span("stage.deconv", t2);
+        Ok(())
     }
 
     /// One chunk of a batched type-2 execution; see
@@ -1060,7 +1339,7 @@ impl<T: Real> Plan<T> {
         d_grid: &mut GpuBuffer<Complex<T>>,
         d_out: &mut GpuBuffer<Complex<T>>,
         stage: &mut GpuStageTimings,
-    ) {
+    ) -> std::result::Result<(), gpu_sim::DeviceFault> {
         let state = self.pts.as_ref().expect("points checked");
         let cb = std::mem::size_of::<Complex<T>>();
         let nf = self.fine.total();
@@ -1107,14 +1386,15 @@ impl<T: Real> Plan<T> {
             bc,
             &d_grid.as_slice()[..bc * nf],
             &mut d_out.as_mut_slice()[..bc * m],
-        );
+        )?;
         stage.spread_interp += self.dev.clock() - t2;
         self.stage_span("stage.interp", t2);
+        Ok(())
     }
 
     /// Dispatch the configured spreading method from `d_in` into
     /// `d_grid` (the grid must already be zeroed and priced).
-    fn run_spread(&mut self) {
+    fn run_spread(&mut self) -> std::result::Result<(), gpu_sim::DeviceFault> {
         let state = self.pts.as_ref().expect("points checked");
         spread_batch(
             &self.dev,
@@ -1126,10 +1406,10 @@ impl<T: Real> Plan<T> {
             1,
             self.d_in.as_slice(),
             self.d_grid.as_mut_slice(),
-        );
+        )
     }
 
-    fn exec_type1(&mut self) -> Result<()> {
+    fn exec_type1(&mut self) -> std::result::Result<(), gpu_sim::DeviceFault> {
         // memset the fine grid
         let cb = std::mem::size_of::<Complex<T>>();
         let t0 = self.dev.clock();
@@ -1144,7 +1424,7 @@ impl<T: Real> Plan<T> {
             0.0,
             Self::precision(),
         );
-        self.run_spread();
+        self.run_spread()?;
         self.timings.spread_interp = self.dev.clock() - t0;
         self.stage_span("stage.spread", t0);
         // FFT
@@ -1178,7 +1458,7 @@ impl<T: Real> Plan<T> {
         Ok(())
     }
 
-    fn exec_type2(&mut self) -> Result<()> {
+    fn exec_type2(&mut self) -> std::result::Result<(), gpu_sim::DeviceFault> {
         let cb = std::mem::size_of::<Complex<T>>();
         // pre-correct + zero-pad
         let t0 = self.dev.clock();
@@ -1221,14 +1501,14 @@ impl<T: Real> Plan<T> {
         self.stage_span("stage.fft", t1);
         // interpolate
         let t2 = self.dev.clock();
-        self.run_interp();
+        self.run_interp()?;
         self.timings.spread_interp = self.dev.clock() - t2;
         self.stage_span("stage.interp", t2);
         Ok(())
     }
 
     /// Dispatch interpolation from `d_grid` into `d_out`.
-    fn run_interp(&mut self) {
+    fn run_interp(&mut self) -> std::result::Result<(), gpu_sim::DeviceFault> {
         let state = self.pts.as_ref().expect("points checked");
         interp_batch(
             &self.dev,
@@ -1240,7 +1520,7 @@ impl<T: Real> Plan<T> {
             1,
             self.d_grid.as_slice(),
             self.d_out.as_mut_slice(),
-        );
+        )
     }
 }
 

@@ -15,7 +15,7 @@
 
 use crate::bins::{BinLayout, Subproblem};
 use crate::opts::Method;
-use gpu_sim::{Device, LaunchConfig, LaunchReport, Precision};
+use gpu_sim::{Device, DeviceFault, LaunchConfig, LaunchReport, Precision};
 use nufft_common::complex::Complex;
 use nufft_common::real::Real;
 use nufft_common::shape::Shape;
@@ -130,7 +130,7 @@ pub fn spread_gm<T: Real, K: Kernel1d>(
     grid: &mut [Complex<T>],
     threads_per_block: usize,
     cas_atomic_penalty: f64,
-) -> LaunchReport {
+) -> Result<LaunchReport, DeviceFault> {
     assert_eq!(grid.len(), fine.total());
     let m = order.len();
     let cb = std::mem::size_of::<Complex<T>>();
@@ -138,7 +138,7 @@ pub fn spread_gm<T: Real, K: Kernel1d>(
     let mut k = dev.kernel(
         name,
         LaunchConfig::new(prec, threads_per_block).with_cas_penalty(cas_atomic_penalty),
-    );
+    )?;
     k.atomic_region(fine.total(), cb);
     let w = kernel.width();
     let dim = pts.dim;
@@ -228,7 +228,7 @@ pub fn spread_gm<T: Real, K: Kernel1d>(
         b.finish();
     }
     let _ = m;
-    dev.launch_end(k)
+    Ok(dev.launch_end(k))
 }
 
 /// SM spreading (paper Fig. 1): one thread block per subproblem, local
@@ -245,7 +245,7 @@ pub fn spread_sm<T: Real>(
     layout: &BinLayout,
     subproblems: &[Subproblem],
     grid: &mut [Complex<T>],
-) -> LaunchReport {
+) -> Result<LaunchReport, DeviceFault> {
     assert_eq!(grid.len(), fine.total());
     let cb = std::mem::size_of::<Complex<T>>();
     let prec = precision::<T>();
@@ -263,7 +263,7 @@ pub fn spread_sm<T: Real>(
         "spread_SM",
         LaunchConfig::new(prec, 256)
             .with_shared(shared_bytes.min(dev.props().shared_mem_per_block)),
-    );
+    )?;
     k.atomic_region(fine.total(), cb);
     let [n1, n2, n3] = fine.n;
     let half = (pad / 2) as i64;
@@ -357,7 +357,7 @@ pub fn spread_sm<T: Real>(
         b.flops(padded_cells as u64 * 2);
         b.finish();
     }
-    dev.launch_end(k)
+    Ok(dev.launch_end(k))
 }
 
 /// Borrowed view of a plan's registered points plus the sort artifacts
@@ -392,7 +392,7 @@ pub fn spread_batch<T: Real>(
     bc: usize,
     strengths: &[Complex<T>],
     grids: &mut [Complex<T>],
-) {
+) -> Result<(), DeviceFault> {
     let m = inputs.pts.len();
     let nf = fine.total();
     assert!(strengths.len() >= bc * m && grids.len() >= bc * nf);
@@ -419,7 +419,7 @@ pub fn spread_batch<T: Real>(
                     &mut grids[v * nf..(v + 1) * nf],
                     threads_per_block,
                     1.0,
-                );
+                )?;
             }
         }
         Method::GmSort => {
@@ -436,7 +436,7 @@ pub fn spread_batch<T: Real>(
                     &mut grids[v * nf..(v + 1) * nf],
                     threads_per_block,
                     1.0,
-                );
+                )?;
             }
         }
         Method::Sm => {
@@ -453,11 +453,12 @@ pub fn spread_batch<T: Real>(
                     layout,
                     inputs.subproblems,
                     &mut grids[v * nf..(v + 1) * nf],
-                );
+                )?;
             }
         }
         Method::Auto => unreachable!("method resolved at plan time"),
     }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -528,7 +529,8 @@ mod tests {
             &mut grid,
             128,
             1.0,
-        );
+        )
+        .unwrap();
         let want = reference(&kernel, fine, &pts, &cs);
         assert!(rel_l2(&grid, &want) < 1e-13);
     }
@@ -553,7 +555,8 @@ mod tests {
             &mut grid,
             128,
             1.0,
-        );
+        )
+        .unwrap();
         let want = reference(&kernel, fine, &pts, &cs);
         assert!(rel_l2(&grid, &want) < 1e-13);
     }
@@ -578,7 +581,8 @@ mod tests {
             &sort.layout,
             &subs,
             &mut grid,
-        );
+        )
+        .unwrap();
         let want = reference(&kernel, fine, &pts, &cs);
         assert!(rel_l2(&grid, &want) < 1e-13);
     }
@@ -604,7 +608,8 @@ mod tests {
                 &sort.layout,
                 &subs,
                 &mut grid,
-            );
+            )
+            .unwrap();
             let want = reference(&kernel, fine, &pts, &cs);
             assert!(rel_l2(&grid, &want) < 1e-13, "{dist:?}");
         }
@@ -635,7 +640,8 @@ mod tests {
             &mut g1,
             128,
             1.0,
-        );
+        )
+        .unwrap();
         let mut g2 = vec![Complex::<f32>::ZERO; fine.total()];
         let r_gs = spread_gm(
             &dev,
@@ -648,7 +654,8 @@ mod tests {
             &mut g2,
             128,
             1.0,
-        );
+        )
+        .unwrap();
         assert!(
             r_gs.duration < r_gm.duration / 2.0,
             "GM-sort {} should beat GM {}",
@@ -680,7 +687,8 @@ mod tests {
             &mut g1,
             128,
             1.0,
-        );
+        )
+        .unwrap();
         let sort = gpu_bin_sort(&dev, &pts, fine, [32, 32, 1]);
         let subs = build_subproblems(&dev, &sort, 1024);
         let mut g2 = vec![Complex::<f32>::ZERO; fine.total()];
@@ -694,7 +702,8 @@ mod tests {
             &sort.layout,
             &subs,
             &mut g2,
-        );
+        )
+        .unwrap();
         assert!(
             r_sm.duration < r_gm.duration / 3.0,
             "SM {} should crush GM {} on clusters",

@@ -12,6 +12,7 @@
 use crate::bins::{build_subproblems, gpu_bin_sort};
 use crate::opts::{default_bin_size, resolve_spread_method, GpuOpts, Method};
 use crate::plan::{GpuStageTimings, Plan};
+use crate::recovery::{with_retry, RecoveryReport};
 use crate::spread::{spread_gm, spread_sm, PtsRef};
 use gpu_sim::{Device, GpuBuffer, Precision};
 use nufft_common::complex::Complex;
@@ -42,13 +43,7 @@ pub struct GpuType3Plan<T: Real> {
     n_targets: usize,
     d_grid: Option<GpuBuffer<Complex<T>>>,
     timings: GpuStageTimings,
-}
-
-fn oom(e: gpu_sim::OomError) -> NufftError {
-    NufftError::DeviceOom {
-        requested: e.requested,
-        available: e.available,
-    }
+    recovery: RecoveryReport,
 }
 
 impl<T: Real> GpuType3Plan<T> {
@@ -74,6 +69,7 @@ impl<T: Real> GpuType3Plan<T> {
             n_targets: 0,
             d_grid: None,
             timings: GpuStageTimings::default(),
+            recovery: RecoveryReport::default(),
         })
     }
 
@@ -89,10 +85,36 @@ impl<T: Real> GpuType3Plan<T> {
         self.timings
     }
 
+    /// Recovery actions taken by this plan's own stages (the inner
+    /// type-2 plan keeps its own report).
+    pub fn recovery_report(&self) -> &RecoveryReport {
+        &self.recovery
+    }
+
     /// Register sources `x` and target frequencies `s`.
     pub fn set_pts(&mut self, x: &Points<T>, s: &Points<T>) -> Result<()> {
         if x.dim != self.dim || s.dim != self.dim {
             return Err(NufftError::BadDim(x.dim.max(s.dim)));
+        }
+        // a non-finite source or target frequency would silently poison
+        // the box rescaling below
+        for i in 0..self.dim {
+            for (j, &v) in x.coords[i].iter().enumerate() {
+                if !v.is_finite() {
+                    return Err(NufftError::BadPoint {
+                        index: j,
+                        value: v.to_f64(),
+                    });
+                }
+            }
+            for (k, &v) in s.coords[i].iter().enumerate() {
+                if !v.is_finite() {
+                    return Err(NufftError::BadPoint {
+                        index: k,
+                        value: v.to_f64(),
+                    });
+                }
+            }
         }
         let w = self.kernel.w;
         let sigma = 2.0f64;
@@ -119,7 +141,7 @@ impl<T: Real> GpuType3Plan<T> {
             .opts
             .bin_size
             .unwrap_or_else(|| default_bin_size(self.dim));
-        let spread_method = resolve_spread_method(
+        let spread_method = match resolve_spread_method(
             self.opts.method,
             bin_size,
             self.dim,
@@ -128,7 +150,22 @@ impl<T: Real> GpuType3Plan<T> {
             self.opts
                 .shared_mem_budget
                 .min(self.dev.props().shared_mem_per_block),
-        )?;
+        ) {
+            Ok(m) => m,
+            Err(e @ NufftError::MethodUnavailable(_))
+                if self.opts.recovery.allow_method_fallback =>
+            {
+                self.recovery.method_fallbacks += 1;
+                self.recovery
+                    .events
+                    .push(format!("method fallback to GM-sort: {e}"));
+                if let Some(t) = &self.opts.trace {
+                    t.counter("recovery.fallbacks").inc();
+                }
+                Method::GmSort
+            }
+            Err(e) => return Err(e),
+        };
         // rescaled sources, transferred to the device
         let m = x.len();
         let mut xp = Points {
@@ -141,21 +178,33 @@ impl<T: Real> GpuType3Plan<T> {
                 .map(|&v| T::from_f64(v.to_f64() / gamma[i]))
                 .collect();
         }
-        let t0 = self.dev.clock();
+        let dev = self.dev.clone();
+        let policy = self.opts.recovery;
+        let trace = self.opts.trace.clone();
+        let rec = &mut self.recovery;
+        let t0 = dev.clock();
+        let my = if self.dim >= 2 { m } else { 0 };
+        let mz = if self.dim >= 3 { m } else { 0 };
         let mut bufs = [
-            self.dev.alloc("t3_x", m).map_err(oom)?,
-            self.dev
-                .alloc("t3_y", if self.dim >= 2 { m } else { 0 })
-                .map_err(oom)?,
-            self.dev
-                .alloc("t3_z", if self.dim >= 3 { m } else { 0 })
-                .map_err(oom)?,
+            with_retry(&dev, &policy, trace.as_ref(), rec, "alloc:t3_x", || {
+                dev.alloc("t3_x", m)
+            })?,
+            with_retry(&dev, &policy, trace.as_ref(), rec, "alloc:t3_y", || {
+                dev.alloc("t3_y", my)
+            })?,
+            with_retry(&dev, &policy, trace.as_ref(), rec, "alloc:t3_z", || {
+                dev.alloc("t3_z", mz)
+            })?,
         ];
         for (buf, coords) in bufs.iter_mut().zip(&xp.coords).take(self.dim) {
-            self.dev.memcpy_htod(buf, coords);
+            with_retry(&dev, &policy, trace.as_ref(), rec, "h2d:t3_pts", || {
+                dev.memcpy_htod(buf, coords)
+            })?;
         }
-        let d_grid = self.dev.alloc("t3_grid", nf.total()).map_err(oom)?;
-        self.timings.alloc = self.dev.clock() - t0;
+        let d_grid = with_retry(&dev, &policy, trace.as_ref(), rec, "alloc:t3_grid", || {
+            dev.alloc("t3_grid", nf.total())
+        })?;
+        self.timings.alloc = dev.clock() - t0;
         // inner type 2 at tau = gamma h s
         let mut tau = Points {
             coords: [Vec::new(), Vec::new(), Vec::new()],
@@ -227,9 +276,27 @@ impl<T: Real> GpuType3Plan<T> {
         let nf = self.nf;
         let cb = std::mem::size_of::<Complex<T>>();
         // transfer strengths
+        let dev = self.dev.clone();
+        let policy = self.opts.recovery;
+        let trace = self.opts.trace.clone();
+        let msrc = self.m_sources;
         let t0 = self.dev.clock();
-        let mut d_c = self.dev.alloc("t3_c", self.m_sources).map_err(oom)?;
-        self.dev.memcpy_htod(&mut d_c, strengths);
+        let mut d_c = with_retry(
+            &dev,
+            &policy,
+            trace.as_ref(),
+            &mut self.recovery,
+            "alloc:t3_c",
+            || dev.alloc("t3_c", msrc),
+        )?;
+        with_retry(
+            &dev,
+            &policy,
+            trace.as_ref(),
+            &mut self.recovery,
+            "h2d:t3_c",
+            || dev.memcpy_htod(&mut d_c, strengths),
+        )?;
         self.timings.h2d_data = self.dev.clock() - t0;
         // spread on the device
         let t1 = self.dev.clock();
@@ -251,47 +318,74 @@ impl<T: Real> GpuType3Plan<T> {
             Method::Sm => {
                 let sort = gpu_bin_sort(&self.dev, xp, nf, bin_size);
                 let subs = build_subproblems(&self.dev, &sort, self.opts.msub);
-                spread_sm(
-                    &self.dev,
-                    &self.kernel,
-                    nf,
-                    &pr,
-                    d_c.as_slice(),
-                    &sort.perm,
-                    &sort.layout,
-                    &subs,
-                    d_grid.as_mut_slice(),
-                );
+                with_retry(
+                    &dev,
+                    &policy,
+                    trace.as_ref(),
+                    &mut self.recovery,
+                    "t3:spread_SM",
+                    || {
+                        spread_sm(
+                            &dev,
+                            &self.kernel,
+                            nf,
+                            &pr,
+                            d_c.as_slice(),
+                            &sort.perm,
+                            &sort.layout,
+                            &subs,
+                            d_grid.as_mut_slice(),
+                        )
+                    },
+                )?;
             }
             Method::GmSort => {
                 let sort = gpu_bin_sort(&self.dev, xp, nf, bin_size);
-                spread_gm(
-                    &self.dev,
-                    "t3_spread_GMs",
-                    &self.kernel,
-                    nf,
-                    &pr,
-                    d_c.as_slice(),
-                    &sort.perm,
-                    d_grid.as_mut_slice(),
-                    self.opts.threads_per_block,
-                    1.0,
-                );
+                with_retry(
+                    &dev,
+                    &policy,
+                    trace.as_ref(),
+                    &mut self.recovery,
+                    "t3:spread_GMs",
+                    || {
+                        spread_gm(
+                            &dev,
+                            "t3_spread_GMs",
+                            &self.kernel,
+                            nf,
+                            &pr,
+                            d_c.as_slice(),
+                            &sort.perm,
+                            d_grid.as_mut_slice(),
+                            self.opts.threads_per_block,
+                            1.0,
+                        )
+                    },
+                )?;
             }
             _ => {
                 let natural: Vec<u32> = (0..self.m_sources as u32).collect();
-                spread_gm(
-                    &self.dev,
-                    "t3_spread_GM",
-                    &self.kernel,
-                    nf,
-                    &pr,
-                    d_c.as_slice(),
-                    &natural,
-                    d_grid.as_mut_slice(),
-                    self.opts.threads_per_block,
-                    1.0,
-                );
+                with_retry(
+                    &dev,
+                    &policy,
+                    trace.as_ref(),
+                    &mut self.recovery,
+                    "t3:spread_GM",
+                    || {
+                        spread_gm(
+                            &dev,
+                            "t3_spread_GM",
+                            &self.kernel,
+                            nf,
+                            &pr,
+                            d_c.as_slice(),
+                            &natural,
+                            d_grid.as_mut_slice(),
+                            self.opts.threads_per_block,
+                            1.0,
+                        )
+                    },
+                )?;
             }
         }
         // centered reorder (one device pass over the grid)

@@ -298,23 +298,23 @@ mod tests {
     ) -> Vec<Complex<f64>> {
         let w = kernel.w as f64;
         let mut out = vec![Complex::<f64>::ZERO; fine.total()];
-        for li in 0..fine.total() {
+        for (li, o) in out.iter_mut().enumerate() {
             let [l1, l2, l3] = fine.coords(li);
             let ls = [l1 as f64, l2 as f64, l3 as f64];
-            for j in 0..pts.len() {
+            for (j, c) in strengths.iter().enumerate().take(pts.len()) {
                 let mut v = 1.0;
-                for i in 0..pts.dim {
+                for (i, l) in ls.iter().enumerate().take(pts.dim) {
                     let n = fine.n[i] as f64;
                     let h = std::f64::consts::TAU / n;
                     // periodized: closest image
-                    let mut d = (ls[i] * h - pts.coord(i, j)).rem_euclid(std::f64::consts::TAU);
+                    let mut d = (l * h - pts.coord(i, j)).rem_euclid(std::f64::consts::TAU);
                     if d > std::f64::consts::PI {
                         d -= std::f64::consts::TAU;
                     }
                     // kernel coordinate: alpha = w*h/2
                     v *= kernel.eval(d / (w * h / 2.0));
                 }
-                out[li] += strengths[j].scale(v);
+                *o += c.scale(v);
             }
         }
         out

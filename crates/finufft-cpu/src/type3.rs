@@ -301,12 +301,12 @@ mod tests {
         (0..s.len())
             .map(|k| {
                 let mut acc = Complex::ZERO;
-                for j in 0..x.len() {
+                for (j, c) in cs.iter().enumerate().take(x.len()) {
                     let mut phase = 0.0;
                     for i in 0..x.dim {
                         phase += s.coord(i, k) * x.coord(i, j);
                     }
-                    acc += cs[j] * Complex::cis(iflag as f64 * phase);
+                    acc += *c * Complex::cis(iflag as f64 * phase);
                 }
                 acc
             })

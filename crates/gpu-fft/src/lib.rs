@@ -133,7 +133,7 @@ mod tests {
             .map(|j| c((j as f64 * 0.3).sin(), (j as f64 * 0.7).cos()))
             .collect();
         let mut buf = dev.alloc::<Complex<f64>>("fft", shape.total()).unwrap();
-        dev.memcpy_htod(&mut buf, &host);
+        dev.memcpy_htod(&mut buf, &host).unwrap();
         plan.execute(&dev, &mut buf, Direction::Forward);
         let mut want = host.clone();
         FftNd::<f64>::new(shape).process(&mut want, Direction::Forward);
@@ -180,11 +180,12 @@ mod tests {
             .map(|j| c((j as f64 * 0.13).sin(), (j as f64 * 0.41).cos()))
             .collect();
         let mut batched = dev.alloc::<Complex<f64>>("many", n * ntransf).unwrap();
-        dev.memcpy_htod(&mut batched, &host);
+        dev.memcpy_htod(&mut batched, &host).unwrap();
         plan.execute_many(&dev, &mut batched, ntransf, Direction::Forward);
         for b in 0..ntransf {
             let mut single = dev.alloc::<Complex<f64>>("one", n).unwrap();
-            dev.memcpy_htod(&mut single, &host[b * n..(b + 1) * n]);
+            dev.memcpy_htod(&mut single, &host[b * n..(b + 1) * n])
+                .unwrap();
             plan.execute(&dev, &mut single, Direction::Forward);
             // bitwise: the same FftNd runs on the same input either way
             for (x, y) in batched.as_slice()[b * n..(b + 1) * n]

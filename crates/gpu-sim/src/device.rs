@@ -5,11 +5,11 @@
 //! priced. Buffers track allocation against the device's memory capacity
 //! so the reproduction can report GPU RAM usage as in Table I.
 
+use crate::faults::{DeviceFault, FaultKind, FaultPlan, FaultSite, FaultState, Injection};
 use crate::kernel::{Breakdown, Kernel, LaunchConfig, LaunchReport};
 use crate::props::{DeviceProps, Precision};
 use nufft_trace::{Lane, Trace};
 use parking_lot::Mutex;
-use std::fmt;
 use std::sync::Arc;
 
 /// Category of a timeline record.
@@ -40,6 +40,7 @@ struct State {
     timeline: Vec<TimelineRecord>,
     record_timeline: bool,
     trace: Option<Trace>,
+    faults: Option<FaultState>,
 }
 
 /// Which trace lane a priced operation lands on. Transfers are split by
@@ -71,25 +72,6 @@ pub(crate) struct DeviceInner {
     props: DeviceProps,
     state: Mutex<State>,
 }
-
-/// Simulated-device out-of-memory error.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct OomError {
-    pub requested: usize,
-    pub available: usize,
-}
-
-impl fmt::Display for OomError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "simulated device OOM: requested {} B, {} B free",
-            self.requested, self.available
-        )
-    }
-}
-
-impl std::error::Error for OomError {}
 
 /// Handle to a simulated GPU. Cheap to clone (shared state).
 #[derive(Clone)]
@@ -172,6 +154,81 @@ impl Device {
         self.inner.state.lock().trace = None;
     }
 
+    /// Attach a [`FaultPlan`]: subsequent allocations, transfers, and
+    /// kernel launches consult it and may fail or stall. Replaces any
+    /// previously attached plan (the old rule state is discarded).
+    pub fn inject_faults(&self, plan: FaultPlan) {
+        self.inner.state.lock().faults = Some(FaultState::new(plan));
+    }
+
+    /// Detach the fault plan; the device behaves nominally again.
+    pub fn clear_faults(&self) {
+        self.inner.state.lock().faults = None;
+    }
+
+    /// Number of faults (failures and stalls) injected so far by the
+    /// attached plan.
+    pub fn faults_injected(&self) -> u64 {
+        self.inner
+            .state
+            .lock()
+            .faults
+            .as_ref()
+            .map_or(0, |f| f.injected)
+    }
+
+    /// Consult the attached fault plan for one operation and mirror any
+    /// injection into the trace session (counter + zero-width event on
+    /// the lane the faulting op would have used).
+    fn consult_faults(&self, site: FaultSite, name: &str) -> Injection {
+        let (inj, trace, start) = {
+            let mut s = self.inner.state.lock();
+            let inj = match s.faults.as_mut() {
+                Some(f) => f.check(site, name),
+                None => Injection::None,
+            };
+            (inj, s.trace.clone(), s.clock)
+        };
+        if !matches!(inj, Injection::None) {
+            self.note_fault(
+                trace.as_ref(),
+                site,
+                name,
+                matches!(inj, Injection::Stall(_)),
+                start,
+            );
+        }
+        inj
+    }
+
+    /// Record one injected fault into the trace session, if attached.
+    fn note_fault(
+        &self,
+        trace: Option<&Trace>,
+        site: FaultSite,
+        name: &str,
+        stall: bool,
+        start: f64,
+    ) {
+        let Some(trace) = trace else { return };
+        trace.counter("gpu.faults.injected").inc();
+        if stall {
+            trace.counter("gpu.faults.stalls").inc();
+        }
+        let lane = match site {
+            FaultSite::Alloc => Lane::Alloc,
+            FaultSite::Kernel => Lane::Compute,
+            FaultSite::Memcpy => {
+                if name.contains("dtoh") {
+                    Lane::D2h
+                } else {
+                    Lane::H2d
+                }
+            }
+        };
+        trace.device_span(lane, &format!("fault:{name}"), "fault", start, 0.0, &[]);
+    }
+
     fn push_record(&self, name: String, kind: OpKind, duration: f64, breakdown: Breakdown) -> f64 {
         let trace = {
             let mut s = self.inner.state.lock();
@@ -202,33 +259,76 @@ impl Device {
         duration
     }
 
+    /// Usable capacity in bytes: the physical card, further capped by an
+    /// attached fault plan's `mem_cap` (modelling other tenants on the
+    /// device).
+    pub fn mem_capacity(&self) -> usize {
+        let s = self.inner.state.lock();
+        let cap = self.inner.props.global_mem_bytes;
+        match s.faults.as_ref().and_then(|f| f.mem_cap()) {
+            Some(injected) => cap.min(injected),
+            None => cap,
+        }
+    }
+
     /// Allocate a zero-initialized device buffer of `len` elements.
+    /// Fails with a typed [`DeviceFault`] when capacity (physical or
+    /// fault-injected) is exhausted, or when a `fail_alloc_nth` rule
+    /// fires.
     pub fn alloc<T: Clone + Default>(
         &self,
         name: &str,
         len: usize,
-    ) -> Result<GpuBuffer<T>, OomError> {
+    ) -> Result<GpuBuffer<T>, DeviceFault> {
         let bytes = len * std::mem::size_of::<T>();
+        let opname = format!("alloc:{name}");
+        let oom = |available: usize, transient: bool| DeviceFault {
+            op: opname.clone(),
+            kind: FaultKind::Oom {
+                requested: bytes,
+                available,
+            },
+            transient,
+        };
+        match self.consult_faults(FaultSite::Alloc, &opname) {
+            Injection::Fail { transient } => {
+                let available = self.mem_capacity().saturating_sub(self.mem_used());
+                return Err(oom(available, transient));
+            }
+            Injection::Stall(s) => self.advance("fault.stall", s),
+            Injection::None => {}
+        }
         {
             let mut s = self.inner.state.lock();
             let cap = self.inner.props.global_mem_bytes;
+            let cap = match s.faults.as_ref().and_then(|f| f.mem_cap()) {
+                Some(injected) => cap.min(injected),
+                None => cap,
+            };
             if s.mem_used + bytes > cap {
-                return Err(OomError {
-                    requested: bytes,
-                    available: cap - s.mem_used,
-                });
+                let available = cap.saturating_sub(s.mem_used);
+                drop(s);
+                // a capacity OOM while a plan is attached is still an
+                // injected condition worth seeing in the trace
+                let trace = self.trace();
+                let attached = self.inner.state.lock().faults.is_some();
+                if attached {
+                    self.note_fault(
+                        trace.as_ref(),
+                        FaultSite::Alloc,
+                        &opname,
+                        false,
+                        self.clock(),
+                    );
+                }
+                return Err(oom(available, false));
             }
             s.mem_used += bytes;
             s.mem_peak = s.mem_peak.max(s.mem_used);
         }
         // cudaMalloc cost: fixed overhead; zero-fill charged as a memset.
         let t = self.inner.props.t_alloc + bytes as f64 / self.inner.props.dram_bw;
-        self.push_record(
-            format!("alloc:{name}"),
-            OpKind::Alloc,
-            t,
-            Breakdown::default(),
-        );
+        self.push_record(opname, OpKind::Alloc, t, Breakdown::default());
         Ok(GpuBuffer {
             data: vec![T::default(); len],
             bytes,
@@ -275,43 +375,86 @@ impl Device {
         }
     }
 
+    /// Check the fault plan for a memcpy op named `name`; returns the
+    /// extra stall seconds to charge, or the fault. A failed copy leaves
+    /// the destination untouched.
+    pub(crate) fn memcpy_fault(&self, name: &str, transient_op: &str) -> Result<f64, DeviceFault> {
+        match self.consult_faults(FaultSite::Memcpy, name) {
+            Injection::Fail { transient } => Err(DeviceFault {
+                op: transient_op.to_string(),
+                kind: FaultKind::Memcpy,
+                transient,
+            }),
+            Injection::Stall(s) => Ok(s),
+            Injection::None => Ok(0.0),
+        }
+    }
+
     /// Copy host data into a device buffer (cudaMemcpyHostToDevice).
-    pub fn memcpy_htod<T: Copy>(&self, dst: &mut GpuBuffer<T>, src: &[T]) {
+    /// An injected fault fails the copy before any data moves.
+    pub fn memcpy_htod<T: Copy>(
+        &self,
+        dst: &mut GpuBuffer<T>,
+        src: &[T],
+    ) -> Result<(), DeviceFault> {
         assert!(src.len() <= dst.data.len(), "htod copy larger than buffer");
+        let stall = self.memcpy_fault("memcpy_htod", "memcpy_htod")?;
         dst.data[..src.len()].copy_from_slice(src);
         let bytes = std::mem::size_of_val(src);
         let t = self.inner.props.pcie_latency + bytes as f64 / self.inner.props.pcie_bw;
         self.push_record(
             "memcpy_htod".into(),
             OpKind::Memcpy,
-            t,
+            t + stall,
             Breakdown::default(),
         );
+        Ok(())
     }
 
     /// Copy device data back to the host (cudaMemcpyDeviceToHost).
-    pub fn memcpy_dtoh<T: Copy>(&self, dst: &mut [T], src: &GpuBuffer<T>) {
+    /// An injected fault fails the copy before any data moves.
+    pub fn memcpy_dtoh<T: Copy>(
+        &self,
+        dst: &mut [T],
+        src: &GpuBuffer<T>,
+    ) -> Result<(), DeviceFault> {
         assert!(dst.len() <= src.data.len(), "dtoh copy larger than buffer");
+        let stall = self.memcpy_fault("memcpy_dtoh", "memcpy_dtoh")?;
         dst.copy_from_slice(&src.data[..dst.len()]);
         let bytes = std::mem::size_of_val(dst);
         let t = self.inner.props.pcie_latency + bytes as f64 / self.inner.props.pcie_bw;
         self.push_record(
             "memcpy_dtoh".into(),
             OpKind::Memcpy,
-            t,
+            t + stall,
             Breakdown::default(),
         );
+        Ok(())
     }
 
-    /// Begin a detailed kernel launch (warp-level accounting).
-    pub fn kernel(&self, name: &str, cfg: LaunchConfig) -> Kernel {
+    /// Begin a detailed kernel launch (warp-level accounting). An
+    /// injected launch fault fires here — before any functional work —
+    /// mirroring `cudaLaunchKernel` failure semantics, so a retry after
+    /// an error observes unmodified device memory.
+    pub fn kernel(&self, name: &str, cfg: LaunchConfig) -> Result<Kernel, DeviceFault> {
         assert!(
             cfg.shared_bytes_per_block <= self.inner.props.shared_mem_per_block,
             "kernel '{name}' requests {} B shared memory; device limit is {} B",
             cfg.shared_bytes_per_block,
             self.inner.props.shared_mem_per_block
         );
-        Kernel::new(name, cfg, self.inner.props.clone())
+        match self.consult_faults(FaultSite::Kernel, name) {
+            Injection::Fail { transient } => Err(DeviceFault {
+                op: name.to_string(),
+                kind: FaultKind::KernelLaunch,
+                transient,
+            }),
+            Injection::Stall(s) => {
+                self.advance("fault.stall", s);
+                Ok(Kernel::new(name, cfg, self.inner.props.clone()))
+            }
+            Injection::None => Ok(Kernel::new(name, cfg, self.inner.props.clone())),
+        }
     }
 
     /// Price and record a finished kernel; advances the clock.
@@ -400,6 +543,15 @@ impl<T> GpuBuffer<T> {
     }
 }
 
+impl<T> std::fmt::Debug for GpuBuffer<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GpuBuffer")
+            .field("len", &self.data.len())
+            .field("bytes", &self.bytes)
+            .finish_non_exhaustive()
+    }
+}
+
 impl<T> Drop for GpuBuffer<T> {
     fn drop(&mut self) {
         let mut s = self.dev.state.lock();
@@ -410,6 +562,7 @@ impl<T> Drop for GpuBuffer<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faults::FaultMode;
 
     #[test]
     fn clock_advances_with_operations() {
@@ -442,7 +595,11 @@ mod tests {
             Err(e) => e,
             Ok(_) => panic!("allocation beyond capacity must fail"),
         };
-        assert_eq!(err.requested, cap + 1);
+        assert!(!err.transient, "capacity OOM is not retryable");
+        match err.kind {
+            FaultKind::Oom { requested, .. } => assert_eq!(requested, cap + 1),
+            other => panic!("expected OOM kind, got {other:?}"),
+        }
     }
 
     #[test]
@@ -450,9 +607,9 @@ mod tests {
         let dev = Device::v100();
         let host: Vec<f32> = (0..100).map(|i| i as f32).collect();
         let mut buf = dev.alloc::<f32>("x", 100).unwrap();
-        dev.memcpy_htod(&mut buf, &host);
+        dev.memcpy_htod(&mut buf, &host).unwrap();
         let mut back = vec![0.0f32; 100];
-        dev.memcpy_dtoh(&mut back, &buf);
+        dev.memcpy_dtoh(&mut back, &buf).unwrap();
         assert_eq!(host, back);
         let tl = dev.timeline();
         assert_eq!(tl.iter().filter(|r| r.kind == OpKind::Memcpy).count(), 2);
@@ -461,7 +618,9 @@ mod tests {
     #[test]
     fn kernel_launch_records_timeline() {
         let dev = Device::v100();
-        let mut k = dev.kernel("spread", LaunchConfig::new(Precision::Single, 128));
+        let mut k = dev
+            .kernel("spread", LaunchConfig::new(Precision::Single, 128))
+            .unwrap();
         let mut b = k.block();
         b.flops(1000);
         b.stream_bytes(4096);
@@ -491,17 +650,103 @@ mod tests {
             let mut b = dev.alloc::<f32>("a", 1024).unwrap();
             let host = vec![0.0f32; 1024];
             let c0 = dev.clock();
-            dev.memcpy_htod(&mut b, &host);
+            dev.memcpy_htod(&mut b, &host).unwrap();
             dev.clock() - c0
         };
         let t2 = {
             let mut b = dev.alloc::<f32>("b", 1 << 22).unwrap();
             let host = vec![0.0f32; 1 << 22];
             let c0 = dev.clock();
-            dev.memcpy_htod(&mut b, &host);
+            dev.memcpy_htod(&mut b, &host).unwrap();
             dev.clock() - c0
         };
         assert!(t2 > t1 * 10.0);
+    }
+
+    #[test]
+    fn mem_cap_injects_persistent_oom() {
+        let dev = Device::v100();
+        dev.inject_faults(crate::faults::FaultPlan::new(0).mem_cap(1 << 20));
+        assert_eq!(dev.mem_capacity(), 1 << 20);
+        let err = dev.alloc::<u8>("big", (1 << 20) + 1).unwrap_err();
+        assert!(err.is_oom() && !err.transient);
+        // under the cap still works, and clearing restores full capacity
+        assert!(dev.alloc::<u8>("small", 1 << 10).is_ok());
+        dev.clear_faults();
+        assert_eq!(dev.mem_capacity(), dev.props().global_mem_bytes);
+        assert!(dev.alloc::<u8>("big", (1 << 20) + 1).is_ok());
+    }
+
+    #[test]
+    fn nth_alloc_fault_fires_once_then_allows_retry() {
+        let dev = Device::v100();
+        dev.inject_faults(crate::faults::FaultPlan::new(0).fail_alloc_nth(2, FaultMode::Once));
+        assert!(dev.alloc::<f32>("a", 16).is_ok());
+        let err = dev.alloc::<f32>("b", 16).unwrap_err();
+        assert!(err.is_oom() && err.transient);
+        assert!(err.op.contains("alloc:b"), "op names the site: {}", err.op);
+        assert!(dev.alloc::<f32>("b", 16).is_ok(), "retry succeeds");
+        assert_eq!(dev.faults_injected(), 1);
+    }
+
+    #[test]
+    fn transient_memcpy_fault_leaves_destination_untouched() {
+        let dev = Device::v100();
+        let mut buf = dev.alloc::<f32>("x", 4).unwrap();
+        dev.inject_faults(crate::faults::FaultPlan::new(0).fail_memcpy("htod", FaultMode::Once));
+        let host = [1.0f32, 2.0, 3.0, 4.0];
+        let err = dev.memcpy_htod(&mut buf, &host).unwrap_err();
+        assert_eq!(err.kind, FaultKind::Memcpy);
+        assert!(err.transient);
+        assert_eq!(buf.as_slice(), &[0.0; 4], "failed copy moved no data");
+        dev.memcpy_htod(&mut buf, &host).unwrap();
+        assert_eq!(buf.as_slice(), &host);
+    }
+
+    #[test]
+    fn kernel_launch_fault_fires_before_work() {
+        let dev = Device::v100();
+        dev.inject_faults(
+            crate::faults::FaultPlan::new(0).fail_kernel("spread", FaultMode::Always),
+        );
+        let cfg = LaunchConfig::new(Precision::Single, 128);
+        let err = dev.kernel("spread_SM", cfg).unwrap_err();
+        assert_eq!(err.kind, FaultKind::KernelLaunch);
+        assert!(!err.transient);
+        // non-matching kernels still launch
+        let cfg = LaunchConfig::new(Precision::Single, 128);
+        assert!(dev.kernel("interp_GM", cfg).is_ok());
+    }
+
+    #[test]
+    fn stalled_memcpy_succeeds_but_takes_longer() {
+        let dev = Device::v100();
+        let host = vec![0.0f32; 1024];
+        let mut a = dev.alloc::<f32>("a", 1024).unwrap();
+        let c0 = dev.clock();
+        dev.memcpy_htod(&mut a, &host).unwrap();
+        let nominal = dev.clock() - c0;
+        dev.inject_faults(crate::faults::FaultPlan::new(0).stall_memcpy("htod", 0.5));
+        let c1 = dev.clock();
+        dev.memcpy_htod(&mut a, &host).unwrap();
+        let stalled = dev.clock() - c1;
+        assert!(
+            (stalled - nominal - 0.5).abs() < 1e-9,
+            "stall adds exactly the injected duration: {stalled} vs {nominal}"
+        );
+    }
+
+    #[test]
+    fn fault_events_mirrored_into_trace() {
+        let dev = Device::v100();
+        let trace = Trace::new();
+        dev.attach_trace(&trace);
+        dev.inject_faults(crate::faults::FaultPlan::new(0).fail_alloc_nth(1, FaultMode::Once));
+        assert!(dev.alloc::<f32>("a", 16).is_err());
+        let report = trace.report();
+        assert_eq!(report.counters.get("gpu.faults.injected"), Some(&1));
+        let json = report.chrome_json();
+        assert!(json.contains("fault:alloc:a"), "fault event in export");
     }
 
     #[test]

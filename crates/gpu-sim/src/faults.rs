@@ -1,0 +1,385 @@
+//! Deterministic fault injection for the simulated device.
+//!
+//! A [`FaultPlan`] attached to a [`crate::Device`] makes the simulator
+//! misbehave in controlled, reproducible ways so the NUFFT layers above
+//! can prove their recovery paths: capacity can be capped below the
+//! physical card, a chosen allocation can fail, memcpys and kernel
+//! launches can fail transiently (once, then succeed on retry) or
+//! permanently, and transfers can stall for a simulated duration.
+//!
+//! Determinism: rules fire on exact occurrence counts, and the optional
+//! probabilistic mode draws from a seeded xorshift generator owned by
+//! the plan, so a given `(FaultPlan, workload)` pair always injects the
+//! same faults at the same operations. Every injected fault is recorded
+//! as a `fault`-category event in the attached `nufft-trace` session
+//! (plus the `gpu.faults.injected` / `gpu.faults.stalls` counters), so
+//! chaos runs are visible in the Chrome trace export.
+
+use std::fmt;
+
+/// How often an armed fault rule fires.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum FaultMode {
+    /// Fire on the first matching operation, then disarm — the fault is
+    /// *transient*: a retry of the same operation succeeds.
+    Once,
+    /// Fire on every matching operation (a persistent hardware fault);
+    /// bounded retry must eventually give up.
+    Always,
+}
+
+/// Which class of device operation a rule targets.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum FaultSite {
+    /// `Device::alloc`.
+    Alloc,
+    /// Host-device transfers, serial or stream-scheduled.
+    Memcpy,
+    /// Detailed kernel launches (`Device::kernel`).
+    Kernel,
+}
+
+/// What went wrong, as reported by the failing operation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FaultKind {
+    /// Allocation failed: capacity exhausted (possibly via an injected
+    /// cap) or an injected Nth-allocation failure.
+    Oom { requested: usize, available: usize },
+    /// A host-device transfer faulted.
+    Memcpy,
+    /// A kernel launch faulted before any work ran.
+    KernelLaunch,
+}
+
+/// Typed error surfaced by the device's alloc/memcpy/launch paths.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DeviceFault {
+    /// Name of the failing operation (allocation label, `memcpy_htod`,
+    /// kernel name, ...).
+    pub op: String,
+    pub kind: FaultKind,
+    /// Whether retrying the same operation may succeed. `true` for
+    /// injected one-shot faults; `false` for genuine capacity OOM (a
+    /// retry cannot conjure memory — the caller must shed load instead).
+    pub transient: bool,
+}
+
+impl DeviceFault {
+    pub fn is_oom(&self) -> bool {
+        matches!(self.kind, FaultKind::Oom { .. })
+    }
+}
+
+impl fmt::Display for DeviceFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let t = if self.transient {
+            "transient"
+        } else {
+            "persistent"
+        };
+        match &self.kind {
+            FaultKind::Oom {
+                requested,
+                available,
+            } => write!(
+                f,
+                "{t} device OOM in '{}': requested {requested} B, {available} B free",
+                self.op
+            ),
+            FaultKind::Memcpy => write!(f, "{t} memcpy fault in '{}'", self.op),
+            FaultKind::KernelLaunch => write!(f, "{t} launch fault in kernel '{}'", self.op),
+        }
+    }
+}
+
+impl std::error::Error for DeviceFault {}
+
+/// One injection rule; see the [`FaultPlan`] builder methods.
+#[derive(Clone, Debug)]
+struct FaultRule {
+    site: FaultSite,
+    /// Substring match on the operation name (empty = match all).
+    matcher: String,
+    /// Skip this many matching operations before firing (so
+    /// `fail_alloc_nth(3, ..)` fails exactly the 3rd allocation).
+    skip: u64,
+    mode: FaultMode,
+    /// Fire with this probability per matching occurrence (drawn from
+    /// the plan's seeded generator); 1.0 = deterministic.
+    probability: f64,
+    /// When set, the rule stalls the operation by this many simulated
+    /// seconds instead of failing it.
+    stall: Option<f64>,
+}
+
+/// A seeded, deterministic schedule of injected faults. Build with the
+/// fluent methods, then attach via `Device::inject_faults`.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    seed: u64,
+    mem_cap: Option<usize>,
+    rules: Vec<FaultRule>,
+}
+
+impl FaultPlan {
+    /// A plan with no rules; `seed` drives any probabilistic rules.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            mem_cap: None,
+            rules: Vec::new(),
+        }
+    }
+
+    /// Cap usable device memory below the physical capacity; every
+    /// allocation that would exceed the cap fails with a (persistent)
+    /// OOM, modelling concurrent plans squatting on the card.
+    pub fn mem_cap(mut self, bytes: usize) -> Self {
+        self.mem_cap = Some(bytes);
+        self
+    }
+
+    /// Fail the `nth` allocation (1-based across all allocations).
+    /// `FaultMode::Once` makes it a one-shot glitch — the retry (which
+    /// is allocation `nth + 1`) succeeds; `Always` fails allocation
+    /// `nth` and every later one.
+    pub fn fail_alloc_nth(mut self, nth: u64, mode: FaultMode) -> Self {
+        self.rules.push(FaultRule {
+            site: FaultSite::Alloc,
+            matcher: String::new(),
+            skip: nth.saturating_sub(1),
+            mode,
+            probability: 1.0,
+            stall: None,
+        });
+        self
+    }
+
+    /// Fail memcpys whose name contains `name` (`"htod"`, `"dtoh"`, or
+    /// `""` for any direction).
+    pub fn fail_memcpy(mut self, name: &str, mode: FaultMode) -> Self {
+        self.rules.push(FaultRule {
+            site: FaultSite::Memcpy,
+            matcher: name.to_string(),
+            skip: 0,
+            mode,
+            probability: 1.0,
+            stall: None,
+        });
+        self
+    }
+
+    /// Fail kernel launches whose name contains `name` at launch time,
+    /// before any functional work runs (the `cudaLaunchKernel` error
+    /// model: a failed launch leaves device memory untouched).
+    pub fn fail_kernel(mut self, name: &str, mode: FaultMode) -> Self {
+        self.rules.push(FaultRule {
+            site: FaultSite::Kernel,
+            matcher: name.to_string(),
+            skip: 0,
+            mode,
+            probability: 1.0,
+            stall: None,
+        });
+        self
+    }
+
+    /// Fail matching memcpys with probability `p` per occurrence, drawn
+    /// deterministically from the plan's seed.
+    pub fn fail_memcpy_with_probability(mut self, name: &str, p: f64, mode: FaultMode) -> Self {
+        self.rules.push(FaultRule {
+            site: FaultSite::Memcpy,
+            matcher: name.to_string(),
+            skip: 0,
+            mode,
+            probability: p.clamp(0.0, 1.0),
+            stall: None,
+        });
+        self
+    }
+
+    /// Stall the first memcpy whose name contains `name` by `seconds`
+    /// of simulated time (a congested copy engine). The operation still
+    /// succeeds; only the schedule stretches.
+    pub fn stall_memcpy(mut self, name: &str, seconds: f64) -> Self {
+        self.rules.push(FaultRule {
+            site: FaultSite::Memcpy,
+            matcher: name.to_string(),
+            skip: 0,
+            mode: FaultMode::Once,
+            probability: 1.0,
+            stall: Some(seconds.max(0.0)),
+        });
+        self
+    }
+}
+
+/// What the device should do for one operation, as decided by
+/// [`FaultState::check`].
+#[derive(Debug, PartialEq)]
+pub(crate) enum Injection {
+    /// Proceed normally.
+    None,
+    /// Fail the operation (`transient` = retry may succeed).
+    Fail { transient: bool },
+    /// Let the operation succeed but stretch it by this many seconds.
+    Stall(f64),
+}
+
+/// Mutable per-device runtime state of an attached [`FaultPlan`].
+#[derive(Debug)]
+pub(crate) struct FaultState {
+    plan: FaultPlan,
+    /// Matching-operation counters per rule.
+    seen: Vec<u64>,
+    /// Whether each rule has already fired (for `Once` disarming).
+    fired: Vec<bool>,
+    /// xorshift64 state for probabilistic rules.
+    rng: u64,
+    /// Total faults injected so far (stalls included).
+    pub injected: u64,
+}
+
+impl FaultState {
+    pub(crate) fn new(plan: FaultPlan) -> Self {
+        let n = plan.rules.len();
+        let rng = plan.seed | 0x9E37_79B9_7F4A_7C15;
+        FaultState {
+            plan,
+            seen: vec![0; n],
+            fired: vec![false; n],
+            rng,
+            injected: 0,
+        }
+    }
+
+    pub(crate) fn mem_cap(&self) -> Option<usize> {
+        self.plan.mem_cap
+    }
+
+    fn next_unit(&mut self) -> f64 {
+        // xorshift64: deterministic, cheap, good enough for fault dice
+        let mut x = self.rng;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng = x;
+        (x >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Consult the rules for one operation at `site` named `name`.
+    pub(crate) fn check(&mut self, site: FaultSite, name: &str) -> Injection {
+        for i in 0..self.plan.rules.len() {
+            let rule = &self.plan.rules[i];
+            if rule.site != site || !name.contains(rule.matcher.as_str()) {
+                continue;
+            }
+            if rule.mode == FaultMode::Once && self.fired[i] {
+                continue;
+            }
+            let seen = self.seen[i];
+            self.seen[i] += 1;
+            if seen < rule.skip {
+                continue;
+            }
+            if self.plan.rules[i].probability < 1.0 {
+                let p = self.plan.rules[i].probability;
+                if self.next_unit() >= p {
+                    continue;
+                }
+            }
+            self.fired[i] = true;
+            self.injected += 1;
+            let rule = &self.plan.rules[i];
+            return match rule.stall {
+                Some(s) => Injection::Stall(s),
+                None => Injection::Fail {
+                    transient: rule.mode == FaultMode::Once,
+                },
+            };
+        }
+        Injection::None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn once_rule_fires_once_then_disarms() {
+        let plan = FaultPlan::new(1).fail_memcpy("htod", FaultMode::Once);
+        let mut st = FaultState::new(plan);
+        assert_eq!(
+            st.check(FaultSite::Memcpy, "memcpy_htod"),
+            Injection::Fail { transient: true }
+        );
+        assert_eq!(st.check(FaultSite::Memcpy, "memcpy_htod"), Injection::None);
+        assert_eq!(st.injected, 1);
+    }
+
+    #[test]
+    fn always_rule_keeps_firing() {
+        let plan = FaultPlan::new(1).fail_kernel("spread", FaultMode::Always);
+        let mut st = FaultState::new(plan);
+        for _ in 0..3 {
+            assert_eq!(
+                st.check(FaultSite::Kernel, "spread_SM"),
+                Injection::Fail { transient: false }
+            );
+        }
+        assert_eq!(st.check(FaultSite::Kernel, "interp_GM"), Injection::None);
+    }
+
+    #[test]
+    fn nth_alloc_skips_earlier_allocs() {
+        let plan = FaultPlan::new(1).fail_alloc_nth(3, FaultMode::Once);
+        let mut st = FaultState::new(plan);
+        assert_eq!(st.check(FaultSite::Alloc, "alloc:a"), Injection::None);
+        assert_eq!(st.check(FaultSite::Alloc, "alloc:b"), Injection::None);
+        assert_eq!(
+            st.check(FaultSite::Alloc, "alloc:c"),
+            Injection::Fail { transient: true }
+        );
+        // the retry is the 4th allocation: succeeds
+        assert_eq!(st.check(FaultSite::Alloc, "alloc:c"), Injection::None);
+    }
+
+    #[test]
+    fn stall_rule_stretches_instead_of_failing() {
+        let plan = FaultPlan::new(1).stall_memcpy("dtoh", 0.25);
+        let mut st = FaultState::new(plan);
+        assert_eq!(
+            st.check(FaultSite::Memcpy, "memcpy_dtoh"),
+            Injection::Stall(0.25)
+        );
+        assert_eq!(st.check(FaultSite::Memcpy, "memcpy_dtoh"), Injection::None);
+    }
+
+    #[test]
+    fn probabilistic_rule_is_seed_deterministic() {
+        let run = |seed: u64| -> Vec<bool> {
+            let plan =
+                FaultPlan::new(seed).fail_memcpy_with_probability("", 0.5, FaultMode::Always);
+            let mut st = FaultState::new(plan);
+            (0..32)
+                .map(|_| st.check(FaultSite::Memcpy, "memcpy_htod") != Injection::None)
+                .collect()
+        };
+        assert_eq!(run(7), run(7), "same seed, same schedule");
+        assert_ne!(run(7), run(8), "different seed, different schedule");
+        let fired = run(7).iter().filter(|&&b| b).count();
+        assert!(fired > 4 && fired < 28, "p=0.5 should fire sometimes");
+    }
+
+    #[test]
+    fn display_names_the_fault() {
+        let f = DeviceFault {
+            op: "spread_SM".into(),
+            kind: FaultKind::KernelLaunch,
+            transient: true,
+        };
+        let s = f.to_string();
+        assert!(s.contains("spread_SM") && s.contains("transient"), "{s}");
+    }
+}

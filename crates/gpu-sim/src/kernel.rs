@@ -140,6 +140,15 @@ pub struct Kernel {
     cur_epoch: u32,
 }
 
+impl std::fmt::Debug for Kernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Kernel")
+            .field("name", &self.name)
+            .field("blocks", &self.block_times.len())
+            .finish_non_exhaustive()
+    }
+}
+
 impl Kernel {
     pub(crate) fn new(name: &str, cfg: LaunchConfig, props: DeviceProps) -> Self {
         let shared_words = cfg.shared_bytes_per_block / 4;

@@ -24,13 +24,15 @@
 //! "total+mem" timings can be reconstructed.
 
 pub mod device;
+pub mod faults;
 pub mod kernel;
 pub mod props;
 pub mod report;
 pub mod sched;
 pub mod stream;
 
-pub use device::{Device, GpuBuffer, OomError, OpKind, TimelineRecord};
+pub use device::{Device, GpuBuffer, OpKind, TimelineRecord};
+pub use faults::{DeviceFault, FaultKind, FaultMode, FaultPlan, FaultSite};
 pub use kernel::{BlockCtx, Breakdown, Kernel, LaunchConfig, LaunchReport};
 pub use props::{DeviceProps, Precision};
 pub use report::{overlap_stats, profile_table, summarize, OpSummary, OverlapStats};

@@ -131,7 +131,9 @@ mod tests {
     fn sample_device() -> Device {
         let dev = Device::v100();
         for _ in 0..3 {
-            let mut k = dev.kernel("spread", LaunchConfig::new(Precision::Single, 128));
+            let mut k = dev
+                .kernel("spread", LaunchConfig::new(Precision::Single, 128))
+                .unwrap();
             let mut b = k.block();
             b.flops(1_000_000);
             b.finish();

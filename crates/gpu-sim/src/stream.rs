@@ -15,6 +15,7 @@
 //! does on real hardware).
 
 use crate::device::{Device, GpuBuffer, OpKind};
+use crate::faults::DeviceFault;
 
 /// Resource classes that cannot overlap with themselves. The V100 has
 /// two DMA copy engines, one per direction, so H2D and D2H transfers can
@@ -80,20 +81,23 @@ impl Stream {
     /// moves immediately (functional simulation), but the cost is queued
     /// on this stream's upload engine instead of the serial clock. The
     /// caller makes the elapsed time visible with [`sync_streams`].
-    /// Returns the completion time.
+    /// Returns the completion time. An injected fault fails the copy
+    /// before data moves or engine time is reserved; an injected stall
+    /// stretches the queued transfer.
     pub fn memcpy_htod<T: Copy>(
         &mut self,
         dev: &Device,
         engines: &mut EngineState,
         dst: &mut GpuBuffer<T>,
         src: &[T],
-    ) -> f64 {
+    ) -> Result<f64, DeviceFault> {
         assert!(src.len() <= dst.len(), "htod copy larger than buffer");
+        let stall = dev.memcpy_fault("memcpy_htod_async", "memcpy_htod_async")?;
         dst.as_mut_slice()[..src.len()].copy_from_slice(src);
-        let t = dev.transfer_time(std::mem::size_of_val(src));
+        let t = dev.transfer_time(std::mem::size_of_val(src)) + stall;
         let done = self.enqueue(engines, StreamOp::TransferH2D, t);
         dev.record_async("memcpy_htod_async", OpKind::Memcpy, done - t, t);
-        done
+        Ok(done)
     }
 
     /// Asynchronous device-to-host copy (`cudaMemcpyAsync` D2H); see
@@ -104,13 +108,14 @@ impl Stream {
         engines: &mut EngineState,
         dst: &mut [T],
         src: &GpuBuffer<T>,
-    ) -> f64 {
+    ) -> Result<f64, DeviceFault> {
         assert!(dst.len() <= src.len(), "dtoh copy larger than buffer");
+        let stall = dev.memcpy_fault("memcpy_dtoh_async", "memcpy_dtoh_async")?;
         dst.copy_from_slice(&src.as_slice()[..dst.len()]);
-        let t = dev.transfer_time(std::mem::size_of_val(dst));
+        let t = dev.transfer_time(std::mem::size_of_val(dst)) + stall;
         let done = self.enqueue(engines, StreamOp::TransferD2H, t);
         dev.record_async("memcpy_dtoh_async", OpKind::Memcpy, done - t, t);
-        done
+        Ok(done)
     }
 
     /// Queue an already-priced compute span (a kernel or bulk op whose
@@ -207,7 +212,7 @@ mod tests {
         let mut buf = dev.alloc::<f32>("x", 256).unwrap();
         let mut s = Stream::new(&dev);
         let c0 = dev.clock();
-        let done = s.memcpy_htod(&dev, &mut eng, &mut buf, &host);
+        let done = s.memcpy_htod(&dev, &mut eng, &mut buf, &host).unwrap();
         assert_eq!(
             dev.clock(),
             c0,
@@ -215,7 +220,7 @@ mod tests {
         );
         assert!(done > c0);
         let mut back = vec![0.0f32; 256];
-        s.memcpy_dtoh(&dev, &mut eng, &mut back, &buf);
+        s.memcpy_dtoh(&dev, &mut eng, &mut back, &buf).unwrap();
         assert_eq!(host, back);
         sync_streams(&dev, &[&s]);
         assert!(dev.clock() > c0, "sync exposes the queued transfer time");
@@ -228,13 +233,13 @@ mod tests {
         let host = vec![0u8; bytes];
         let mut buf = dev.alloc::<u8>("x", bytes).unwrap();
         let c0 = dev.clock();
-        dev.memcpy_htod(&mut buf, &host);
+        dev.memcpy_htod(&mut buf, &host).unwrap();
         let serial = dev.clock() - c0;
         assert!((dev.transfer_time(bytes) - serial).abs() < 1e-15);
         let mut eng = EngineState::default();
         let mut s = Stream::new(&dev);
         let t0 = s.head();
-        let done = s.memcpy_htod(&dev, &mut eng, &mut buf, &host);
+        let done = s.memcpy_htod(&dev, &mut eng, &mut buf, &host).unwrap();
         assert!((done - t0 - serial).abs() < 1e-15);
     }
 

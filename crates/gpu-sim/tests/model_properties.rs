@@ -16,7 +16,7 @@ proptest! {
         let run = |kb: usize| {
             let dev = Device::v100();
             dev.set_record_timeline(false);
-            let mut k = dev.kernel("t", LaunchConfig::new(Precision::Single, 128));
+            let mut k = dev.kernel("t", LaunchConfig::new(Precision::Single, 128)).unwrap();
             let mut blk = k.block();
             blk.stream_bytes(kb * 1024);
             blk.finish();
@@ -32,7 +32,7 @@ proptest! {
         let run = |n: u32| {
             let dev = Device::v100();
             dev.set_record_timeline(false);
-            let mut k = dev.kernel("t", LaunchConfig::new(Precision::Single, 128));
+            let mut k = dev.kernel("t", LaunchConfig::new(Precision::Single, 128)).unwrap();
             k.atomic_region(64, 8);
             let mut blk = k.block();
             for _ in 0..n {
@@ -51,7 +51,7 @@ proptest! {
         let run = |nblocks: usize| {
             let dev = Device::v100();
             dev.set_record_timeline(false);
-            let mut k = dev.kernel("t", LaunchConfig::new(Precision::Single, 128));
+            let mut k = dev.kernel("t", LaunchConfig::new(Precision::Single, 128)).unwrap();
             for _ in 0..nblocks {
                 let mut blk = k.block();
                 blk.flops(total_flops / nblocks as u64);
@@ -69,7 +69,7 @@ proptest! {
     fn dram_traffic_bounded(spans in proptest::collection::vec((0usize..1_000_000, 1usize..4096), 1..100)) {
         let dev = Device::v100();
         dev.set_record_timeline(false);
-        let mut k = dev.kernel("t", LaunchConfig::new(Precision::Single, 128));
+        let mut k = dev.kernel("t", LaunchConfig::new(Precision::Single, 128)).unwrap();
         let mut blk = k.block();
         let line = dev.props().line_bytes;
         let mut raw_lines = 0u64;
@@ -114,7 +114,7 @@ proptest! {
         let run = |props: DeviceProps| {
             let dev = Device::new(props);
             dev.set_record_timeline(false);
-            let mut k = dev.kernel("t", LaunchConfig::new(Precision::Single, 128));
+            let mut k = dev.kernel("t", LaunchConfig::new(Precision::Single, 128)).unwrap();
             let mut blk = k.block();
             blk.stream_bytes(kb * 1024);
             blk.flops(kb as u64 * 5000);
@@ -130,7 +130,7 @@ proptest! {
         let run = |p: Precision| {
             let dev = Device::v100();
             dev.set_record_timeline(false);
-            let mut k = dev.kernel("t", LaunchConfig::new(p, 128));
+            let mut k = dev.kernel("t", LaunchConfig::new(p, 128)).unwrap();
             let mut blk = k.block();
             blk.flops(flops);
             blk.finish();

@@ -16,6 +16,7 @@ pub mod metrics;
 pub mod recon;
 
 pub use cluster::{weak_scaling, Node, RankTask, RankTiming, ScalingPoint};
+pub use cufinufft::RecoveryPolicy;
 pub use density::Molecule;
 pub use geometry::{Rotation, SliceGeometry};
 pub use metrics::{fourier_shell_correlation, fsc_resolution};

@@ -26,9 +26,10 @@
 
 use crate::density::Molecule;
 use crate::geometry::{Rotation, SliceGeometry};
-use cufinufft::Plan;
+use cufinufft::{Plan, RecoveryPolicy};
 use gpu_sim::Device;
 use nufft_common::complex::Complex;
+use nufft_common::error::Result;
 use nufft_common::shape::Shape;
 use nufft_common::workload::Points;
 use nufft_common::TransformType;
@@ -84,6 +85,12 @@ pub struct MtipConfig {
     /// the restart/shrink-wrap machinery of the production code and is
     /// out of scope here (see DESIGN.md §2).
     pub init_truth: bool,
+    /// Fault-recovery policy for every NUFFT plan in the loop: bounded
+    /// retry of transient device faults, OOM-driven chunk shrinking in
+    /// the batched merge, and (opt-in) SM-to-GM-sort fallback. A
+    /// mid-iteration fault that recovery cannot absorb surfaces as a
+    /// typed error from [`reconstruct`] instead of a panic.
+    pub recovery: RecoveryPolicy,
     pub seed: u64,
 }
 
@@ -105,6 +112,7 @@ impl Default for MtipConfig {
             shrink_wrap_every: 0,
             shrink_wrap_threshold: 0.1,
             init_truth: false,
+            recovery: RecoveryPolicy::default(),
             seed: 1,
         }
     }
@@ -234,7 +242,7 @@ fn gaussian_blur(v: &[f64], n: usize, sigma: f64) -> Vec<f64> {
 /// the loop records per-iteration spans around the four M-TIP steps so a
 /// Chrome trace shows slicing/matching/merging/phasing nested under each
 /// iteration.
-pub fn reconstruct(cfg: &MtipConfig, dev: &Device) -> MtipResult {
+pub fn reconstruct(cfg: &MtipConfig, dev: &Device) -> Result<MtipResult> {
     let trace = dev.trace();
     let _on = trace.as_ref().map(|t| t.activate());
     let n = cfg.n_grid;
@@ -337,16 +345,16 @@ pub fn reconstruct(cfg: &MtipConfig, dev: &Device) -> MtipResult {
     let mut t2 = Plan::<f64>::builder(TransformType::Type2, &[n, n, n])
         .iflag(-1)
         .eps(cfg.eps)
-        .build(dev)
-        .expect("type-2 plan");
+        .recovery(cfg.recovery)
+        .build(dev)?;
     // the merge plan declares ntransf = 2: each outer iteration stacks
     // the data-projection adjoint and the CG seed into one batched call
     let mut t1 = Plan::<f64>::builder(TransformType::Type1, &[n, n, n])
         .iflag(1)
         .eps(cfg.eps)
         .ntransf(2)
-        .build(dev)
-        .expect("type-1 plan");
+        .recovery(cfg.recovery)
+        .build(dev)?;
     // one reusable plan for candidate scoring (points change per
     // candidate, so only the allocations and FFT plan are shared)
     let mut plan_small = if cfg.match_orientations {
@@ -354,8 +362,8 @@ pub fn reconstruct(cfg: &MtipConfig, dev: &Device) -> MtipResult {
             Plan::<f64>::builder(TransformType::Type2, &[n, n, n])
                 .iflag(-1)
                 .eps(cfg.eps)
-                .build(dev)
-                .expect("candidate plan"),
+                .recovery(cfg.recovery)
+                .build(dev)?,
         )
     } else {
         None
@@ -371,15 +379,15 @@ pub fn reconstruct(cfg: &MtipConfig, dev: &Device) -> MtipResult {
             .collect();
         let pts = points_from(&qs);
         let t0 = dev.clock();
-        t2.set_pts(&pts).expect("set_pts t2");
-        t1.set_pts(&pts).expect("set_pts t1");
+        t2.set_pts(&pts)?;
+        t1.set_pts(&pts)?;
         timings.setpts += dev.clock() - t0;
 
         // step i: slicing
         let t0 = dev.clock();
         let slice_span = nufft_trace::span!("mtip.slicing", m = m_total);
         let mut sliced = vec![Complex::<f64>::ZERO; m_total];
-        t2.execute(&rho, &mut sliced).expect("slicing");
+        t2.execute(&rho, &mut sliced)?;
         drop(slice_span);
         timings.slicing += dev.clock() - t0;
 
@@ -397,9 +405,9 @@ pub fn reconstruct(cfg: &MtipConfig, dev: &Device) -> MtipResult {
                     let cand_qs = geom.slice_points(cand);
                     let cand_pts = points_from(&cand_qs);
                     let plan_small = plan_small.as_mut().expect("candidate plan");
-                    plan_small.set_pts(&cand_pts).expect("cand pts");
+                    plan_small.set_pts(&cand_pts)?;
                     let mut vals = vec![Complex::<f64>::ZERO; m_per];
-                    plan_small.execute(&rho, &mut vals).expect("cand slice");
+                    plan_small.execute(&rho, &mut vals)?;
                     let mags: Vec<f64> = vals.iter().map(|z| z.abs()).collect();
                     let score = correlation(&mags, &measured[i]);
                     if score > best.0 {
@@ -417,11 +425,11 @@ pub fn reconstruct(cfg: &MtipConfig, dev: &Device) -> MtipResult {
                 .collect();
             let pts = points_from(&qs);
             let t0 = dev.clock();
-            t2.set_pts(&pts).expect("re-set t2");
-            t1.set_pts(&pts).expect("re-set t1");
+            t2.set_pts(&pts)?;
+            t1.set_pts(&pts)?;
             timings.setpts += dev.clock() - t0;
             let t0 = dev.clock();
-            t2.execute(&rho, &mut sliced).expect("re-slice");
+            t2.execute(&rho, &mut sliced)?;
             timings.slicing += dev.clock() - t0;
         }
 
@@ -453,7 +461,7 @@ pub fn reconstruct(cfg: &MtipConfig, dev: &Device) -> MtipResult {
         let lambda = 1e-3 * m_total as f64 / nvox as f64; // Tikhonov for unsampled modes
         let mut x = rho.clone();
         let mut slice_buf = vec![Complex::<f64>::ZERO; m_total];
-        t2.execute(&x, &mut slice_buf).expect("cg init t2");
+        t2.execute(&x, &mut slice_buf)?;
         // the data-projection adjoint A^H v and the CG seed A^H A x are
         // independent type-1 transforms over the same points: stack them
         // into one pipelined batched call
@@ -461,8 +469,7 @@ pub fn reconstruct(cfg: &MtipConfig, dev: &Device) -> MtipResult {
         stacked.extend_from_slice(&v);
         stacked.extend_from_slice(&slice_buf);
         let mut merged = vec![Complex::<f64>::ZERO; 2 * nvox];
-        t1.execute_many(&stacked, &mut merged)
-            .expect("merge adjoints");
+        t1.execute_many(&stacked, &mut merged)?;
         let rhs = merged[..nvox].to_vec();
         let mut ap = merged[nvox..].to_vec();
         // r = rhs - (A^H A + lambda) x
@@ -477,8 +484,8 @@ pub fn reconstruct(cfg: &MtipConfig, dev: &Device) -> MtipResult {
             if rs <= 1e-300 {
                 break;
             }
-            t2.execute(&p, &mut slice_buf).expect("cg t2");
-            t1.execute(&slice_buf, &mut ap).expect("cg t1");
+            t2.execute(&p, &mut slice_buf)?;
+            t1.execute(&slice_buf, &mut ap)?;
             for (a, b) in ap.iter_mut().zip(p.iter()) {
                 *a += b.scale(lambda);
             }
@@ -579,14 +586,14 @@ pub fn reconstruct(cfg: &MtipConfig, dev: &Device) -> MtipResult {
         orient_acc.push(acc);
     }
 
-    MtipResult {
+    Ok(MtipResult {
         errors,
         orientation_accuracy: orient_acc,
         timings,
         m_points: m_total,
         density: rho.iter().map(|z| z.re).collect(),
         truth,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -622,10 +629,11 @@ mod tests {
             shrink_wrap_every: 0,
             shrink_wrap_threshold: 0.1,
             init_truth: false,
+            recovery: RecoveryPolicy::default(),
             seed: 7,
         };
         let dev = Device::v100();
-        let res = reconstruct(&cfg, &dev);
+        let res = reconstruct(&cfg, &dev).unwrap();
         assert_eq!(res.errors.len(), 6);
         let first = res.errors[0];
         let last = *res.errors.last().unwrap();
@@ -661,10 +669,11 @@ mod tests {
             shrink_wrap_every: 0,
             shrink_wrap_threshold: 0.1,
             init_truth: true,
+            recovery: RecoveryPolicy::default(),
             seed: 17,
         };
         let dev = Device::v100();
-        let res = reconstruct(&cfg, &dev);
+        let res = reconstruct(&cfg, &dev).unwrap();
         assert!(
             *res.errors.last().unwrap() < 0.01,
             "truth should be a fixed point: {:?}",
@@ -693,10 +702,11 @@ mod tests {
             shrink_wrap_every: 2,
             shrink_wrap_threshold: 0.05,
             init_truth: true,
+            recovery: RecoveryPolicy::default(),
             seed: 19,
         };
         let dev = Device::v100();
-        let res = reconstruct(&cfg, &dev);
+        let res = reconstruct(&cfg, &dev).unwrap();
         assert!(
             *res.errors.last().unwrap() < 0.05,
             "shrink-wrap should hold the fixed point: {:?}",
@@ -722,10 +732,11 @@ mod tests {
             shrink_wrap_every: 0,
             shrink_wrap_threshold: 0.1,
             init_truth: false,
+            recovery: RecoveryPolicy::default(),
             seed: 13,
         };
         let dev = Device::v100();
-        let res = reconstruct(&cfg, &dev);
+        let res = reconstruct(&cfg, &dev).unwrap();
         let final_acc = *res.orientation_accuracy.last().unwrap();
         assert!(
             final_acc >= 0.8,

@@ -55,10 +55,21 @@ pub struct CunfftPlan<T: Real> {
     timings: GpuStageTimings,
 }
 
-fn oom(e: gpu_sim::OomError) -> NufftError {
-    NufftError::DeviceOom {
-        requested: e.requested,
-        available: e.available,
+/// Map a device fault to the library error space. The baselines carry
+/// no retry machinery: any fault surfaces immediately as a typed error.
+pub(crate) fn dev_err(f: gpu_sim::DeviceFault) -> NufftError {
+    match f.kind {
+        gpu_sim::FaultKind::Oom {
+            requested,
+            available,
+        } => NufftError::DeviceOom {
+            requested,
+            available,
+        },
+        _ => NufftError::DeviceFault {
+            op: f.op,
+            attempts: 1,
+        },
     }
 }
 
@@ -80,9 +91,9 @@ impl<T: Real> CunfftPlan<T> {
         let corr = correction_rows(&kernel, modes, fine);
         let fft = gpu_fft::GpuFftPlan::new(fine);
         let t0 = dev.clock();
-        let d_grid = dev.alloc("cunfft_grid", fine.total()).map_err(oom)?;
-        let d_in = dev.alloc("cunfft_in", 0).map_err(oom)?;
-        let d_out = dev.alloc("cunfft_out", 0).map_err(oom)?;
+        let d_grid = dev.alloc("cunfft_grid", fine.total()).map_err(dev_err)?;
+        let d_in = dev.alloc("cunfft_in", 0).map_err(dev_err)?;
+        let d_out = dev.alloc("cunfft_out", 0).map_err(dev_err)?;
         let timings = GpuStageTimings {
             alloc: dev.clock() - t0,
             ..Default::default()
@@ -136,18 +147,18 @@ impl<T: Real> CunfftPlan<T> {
         let m = pts.len();
         let t0 = self.dev.clock();
         let mut bufs = [
-            self.dev.alloc("cunfft_x", m).map_err(oom)?,
+            self.dev.alloc("cunfft_x", m).map_err(dev_err)?,
             self.dev
                 .alloc("cunfft_y", if pts.dim >= 2 { m } else { 0 })
-                .map_err(oom)?,
+                .map_err(dev_err)?,
             self.dev
                 .alloc("cunfft_z", if pts.dim >= 3 { m } else { 0 })
-                .map_err(oom)?,
+                .map_err(dev_err)?,
         ];
         let t_alloc = self.dev.clock() - t0;
         let t1 = self.dev.clock();
         for (buf, coords) in bufs.iter_mut().zip(&pts.coords).take(pts.dim) {
-            self.dev.memcpy_htod(buf, coords);
+            self.dev.memcpy_htod(buf, coords).map_err(dev_err)?;
         }
         self.timings.h2d_pts = self.dev.clock() - t1;
         self.timings.alloc += t_alloc;
@@ -180,14 +191,16 @@ impl<T: Real> CunfftPlan<T> {
         let cb = std::mem::size_of::<Complex<T>>();
         let t0 = self.dev.clock();
         if self.d_in.len() != want_in {
-            self.d_in = self.dev.alloc("cunfft_in", want_in).map_err(oom)?;
+            self.d_in = self.dev.alloc("cunfft_in", want_in).map_err(dev_err)?;
         }
         if self.d_out.len() != want_out {
-            self.d_out = self.dev.alloc("cunfft_out", want_out).map_err(oom)?;
+            self.d_out = self.dev.alloc("cunfft_out", want_out).map_err(dev_err)?;
         }
         self.timings.alloc += self.dev.clock() - t0;
         let t1 = self.dev.clock();
-        self.dev.memcpy_htod(&mut self.d_in, input);
+        self.dev
+            .memcpy_htod(&mut self.d_in, input)
+            .map_err(dev_err)?;
         self.timings.h2d_data = self.dev.clock() - t1;
         let pr = PtsRef {
             coords: [bufs[0].as_slice(), bufs[1].as_slice(), bufs[2].as_slice()],
@@ -215,7 +228,8 @@ impl<T: Real> CunfftPlan<T> {
                     self.d_grid.as_mut_slice(),
                     256, // THREAD_DIM_X * THREAD_DIM_Y = 16 * 16
                     CUNFFT_CAS_PENALTY,
-                );
+                )
+                .map_err(dev_err)?;
                 self.timings.spread_interp = self.dev.clock() - t;
                 let t = self.dev.clock();
                 self.fft.execute(&self.dev, &mut self.d_grid, dir);
@@ -266,12 +280,13 @@ impl<T: Real> CunfftPlan<T> {
                     &natural,
                     self.d_out.as_mut_slice(),
                     256,
-                );
+                )
+                .map_err(dev_err)?;
                 self.timings.spread_interp = self.dev.clock() - t;
             }
         }
         let t2 = self.dev.clock();
-        self.dev.memcpy_dtoh(output, &self.d_out);
+        self.dev.memcpy_dtoh(output, &self.d_out).map_err(dev_err)?;
         self.timings.d2h = self.dev.clock() - t2;
         Ok(())
     }

@@ -140,12 +140,7 @@ pub struct GpunufftPlan<T: Real> {
     timings: GpuStageTimings,
 }
 
-fn oom(e: gpu_sim::OomError) -> NufftError {
-    NufftError::DeviceOom {
-        requested: e.requested,
-        available: e.available,
-    }
-}
+use crate::cunfft::dev_err;
 
 impl<T: Real> GpunufftPlan<T> {
     pub fn new(
@@ -170,9 +165,9 @@ impl<T: Real> GpunufftPlan<T> {
         let corr = correction_rows(&kernel, modes, fine);
         let fft = gpu_fft::GpuFftPlan::new(fine);
         let t0 = dev.clock();
-        let d_grid = dev.alloc("gpunufft_grid", fine.total()).map_err(oom)?;
-        let d_in = dev.alloc("gpunufft_in", 0).map_err(oom)?;
-        let d_out = dev.alloc("gpunufft_out", 0).map_err(oom)?;
+        let d_grid = dev.alloc("gpunufft_grid", fine.total()).map_err(dev_err)?;
+        let d_in = dev.alloc("gpunufft_in", 0).map_err(dev_err)?;
+        let d_out = dev.alloc("gpunufft_out", 0).map_err(dev_err)?;
         let timings = GpuStageTimings {
             alloc: dev.clock() - t0,
             ..Default::default()
@@ -230,16 +225,16 @@ impl<T: Real> GpunufftPlan<T> {
         let sort = sector_sort(pts, self.fine);
         let t0 = self.dev.clock();
         let mut bufs = [
-            self.dev.alloc("gpunufft_x", m).map_err(oom)?,
+            self.dev.alloc("gpunufft_x", m).map_err(dev_err)?,
             self.dev
                 .alloc("gpunufft_y", if pts.dim >= 2 { m } else { 0 })
-                .map_err(oom)?,
+                .map_err(dev_err)?,
             self.dev
                 .alloc("gpunufft_z", if pts.dim >= 3 { m } else { 0 })
-                .map_err(oom)?,
+                .map_err(dev_err)?,
         ];
         for (buf, coords) in bufs.iter_mut().zip(&pts.coords).take(pts.dim) {
-            self.dev.memcpy_htod(buf, coords);
+            self.dev.memcpy_htod(buf, coords).map_err(dev_err)?;
         }
         // the paper excludes operator construction from total+mem; track
         // the transfer under h2d but zero the sort stage
@@ -276,14 +271,16 @@ impl<T: Real> GpunufftPlan<T> {
         let cb = std::mem::size_of::<Complex<T>>();
         let t0 = self.dev.clock();
         if self.d_in.len() != want_in {
-            self.d_in = self.dev.alloc("gpunufft_in", want_in).map_err(oom)?;
+            self.d_in = self.dev.alloc("gpunufft_in", want_in).map_err(dev_err)?;
         }
         if self.d_out.len() != want_out {
-            self.d_out = self.dev.alloc("gpunufft_out", want_out).map_err(oom)?;
+            self.d_out = self.dev.alloc("gpunufft_out", want_out).map_err(dev_err)?;
         }
         self.timings.alloc += self.dev.clock() - t0;
         let t1 = self.dev.clock();
-        self.dev.memcpy_htod(&mut self.d_in, input);
+        self.dev
+            .memcpy_htod(&mut self.d_in, input)
+            .map_err(dev_err)?;
         self.timings.h2d_data = self.dev.clock() - t1;
         let dir = Direction::from_sign(self.iflag);
         match self.ttype {
@@ -295,7 +292,7 @@ impl<T: Real> GpunufftPlan<T> {
                     .for_each(|z| *z = Complex::ZERO);
                 self.dev
                     .bulk_op("gpunufft_memset", 0, self.fine.total() * cb, 0.0, prec);
-                self.gather_gridding();
+                self.gather_gridding().map_err(dev_err)?;
                 self.timings.spread_interp = self.dev.clock() - t;
                 let t = self.dev.clock();
                 self.fft.execute(&self.dev, &mut self.d_grid, dir);
@@ -352,7 +349,8 @@ impl<T: Real> GpunufftPlan<T> {
                     &sort.perm,
                     self.d_out.as_mut_slice(),
                     SECTOR_WIDTH * SECTOR_WIDTH,
-                );
+                )
+                .map_err(dev_err)?;
                 // per-pair distance computation + LUT fetches without
                 // tensor-product factorization (same inefficiency as the
                 // adjoint path), on top of the generic gather cost
@@ -364,14 +362,14 @@ impl<T: Real> GpunufftPlan<T> {
             }
         }
         let t2 = self.dev.clock();
-        self.dev.memcpy_dtoh(output, &self.d_out);
+        self.dev.memcpy_dtoh(output, &self.d_out).map_err(dev_err)?;
         self.timings.d2h = self.dev.clock() - t2;
         Ok(())
     }
 
     /// Output-driven adjoint gridding: one block per (sector, candidate
     /// chunk); each of the sector's cells checks every candidate point.
-    fn gather_gridding(&mut self) {
+    fn gather_gridding(&mut self) -> std::result::Result<(), gpu_sim::DeviceFault> {
         let pts = self.pts_host.as_ref().expect("points set");
         let sort = self.sort.as_ref().expect("points set");
         let fine = self.fine;
@@ -389,7 +387,7 @@ impl<T: Real> GpunufftPlan<T> {
         let mut k = self.dev.kernel(
             "gpunufft_adjoint",
             LaunchConfig::new(prec, cells_per_sector.min(512)),
-        );
+        )?;
         k.atomic_region(fine.total(), cb);
         let nsec = sort.nsec;
         let total_sectors = nsec[0] * nsec[1] * nsec[2];
@@ -487,6 +485,7 @@ impl<T: Real> GpunufftPlan<T> {
         }
         let _ = n3;
         self.dev.launch_end(k);
+        Ok(())
     }
 }
 

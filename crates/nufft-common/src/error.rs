@@ -23,6 +23,9 @@ pub enum NufftError {
     MethodUnavailable(String),
     /// Simulated device out of memory.
     DeviceOom { requested: usize, available: usize },
+    /// A device operation (transfer or kernel launch) faulted and
+    /// bounded retry did not recover it.
+    DeviceFault { op: String, attempts: u32 },
     /// execute() called before set_pts().
     PointsNotSet,
     /// Invalid option combination.
@@ -58,6 +61,9 @@ impl fmt::Display for NufftError {
                 f,
                 "device out of memory: requested {requested} B, {available} B free"
             ),
+            NufftError::DeviceFault { op, attempts } => {
+                write!(f, "device fault in '{op}' after {attempts} attempt(s)")
+            }
             NufftError::PointsNotSet => write!(f, "execute() called before set_pts()"),
             NufftError::BadOptions(msg) => write!(f, "invalid options: {msg}"),
             NufftError::BadMsub(m) => {

@@ -105,17 +105,11 @@ mod tests {
         // analytic transform sqrt(pi b) e^{-b xi_u^2 / 4} converted to the
         // z variable (u = z w/2 => scale xi by 2/w, result scales by 2/w).
         let k = GaussianKernel::with_width(16, 2.0);
-        let s = 2.0 / k.w as f64;
         for xi in [0.0, 1.0, 3.0] {
-            let xi_u = xi * s;
-            let analytic =
-                s * (std::f64::consts::PI * k.b).sqrt() * (-k.b * xi_u * xi_u / 4.0).exp() / s; // ft in z-variable: integral dz = du * s ... careful
-                                                                                                // direct check instead: quadrature at much higher order
+            // direct check: quadrature at much higher order than ft() uses
             let brute =
                 crate::gauss_legendre::integrate(|z| k.eval(z) * (xi * z).cos(), -1.0, 1.0, 300);
             assert!((k.ft(xi) - brute).abs() < 1e-12);
-            // analytic should be within truncation error of brute
-            assert!((analytic * s - brute).abs() / brute < 0.2 || true);
         }
     }
 

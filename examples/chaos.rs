@@ -1,0 +1,171 @@
+//! Chaos tour: run the same transform under every injectable fault
+//! class and show what the recovery layer does with each.
+//!
+//! The simulated device misbehaves on cue (`gpu_sim::FaultPlan`); the
+//! plan's `RecoveryPolicy` retries transient faults with backoff,
+//! shrinks `execute_many` chunks on OOM, and falls back from an
+//! infeasible SM request to GM-sort. Each scenario prints the outcome
+//! plus the plan's `RecoveryReport`, and the last one exports a Chrome
+//! trace in which the injected faults and recovery counters are
+//! visible. Run with: `cargo run --release --example chaos`
+
+use cufinufft::{GpuOpts, Method, Plan, RecoveryPolicy};
+use gpu_sim::{Device, FaultMode, FaultPlan};
+use nufft_common::workload::{gen_points, gen_strengths, PointDist};
+use nufft_common::{Complex, TransformType};
+use nufft_trace::Trace;
+
+const N: usize = 64;
+const M: usize = 20_000;
+const B: usize = 8;
+
+/// Build + set_pts + execute_many under the given options; print the
+/// outcome and the recovery report.
+fn run(label: &str, dev: &Device, opts: GpuOpts) {
+    print!("{label:<44}");
+    let mut plan = match Plan::<f32>::builder(TransformType::Type1, &[N, N])
+        .eps(1e-5)
+        .ntransf(B)
+        .opts(opts)
+        .build(dev)
+    {
+        Ok(p) => p,
+        Err(e) => {
+            println!("build failed: {e}");
+            return;
+        }
+    };
+    let pts = gen_points::<f32>(PointDist::Rand, 2, M, plan.fine_grid_shape(), 7);
+    if let Err(e) = plan.set_pts(&pts) {
+        println!("set_pts failed: {e}");
+        return;
+    }
+    let batch = gen_strengths::<f32>(M * B, 9);
+    let mut out = vec![Complex::<f32>::ZERO; N * N * B];
+    match plan.execute_many(&batch, &mut out) {
+        Ok(()) => println!("ok"),
+        Err(e) => println!("typed error: {e}"),
+    }
+    let rep = plan.recovery_report();
+    if rep.is_clean() {
+        println!("    report: clean");
+    } else {
+        println!(
+            "    report: {} retries, {} recovered, {} unrecovered, {} fallbacks, {} shrinks{}",
+            rep.retries,
+            rep.recovered,
+            rep.unrecovered,
+            rep.method_fallbacks,
+            rep.chunk_shrinks,
+            rep.final_chunk
+                .map(|c| format!(" (final chunk {c})"))
+                .unwrap_or_default(),
+        );
+        for e in &rep.events {
+            println!("      - {e}");
+        }
+    }
+}
+
+fn recovering() -> GpuOpts {
+    GpuOpts {
+        recovery: RecoveryPolicy::default(),
+        ..GpuOpts::default()
+    }
+}
+
+fn main() {
+    println!("chaos tour: {N}x{N} type 1, M = {M}, batch of {B}\n");
+
+    let dev = Device::v100();
+    run("fault-free baseline", &dev, recovering());
+
+    let dev = Device::v100();
+    dev.inject_faults(FaultPlan::new(1).fail_memcpy("htod", FaultMode::Once));
+    run("transient H2D glitch (retried)", &dev, recovering());
+
+    let dev = Device::v100();
+    dev.inject_faults(FaultPlan::new(2).fail_kernel("spread", FaultMode::Once));
+    run("transient launch fault (retried)", &dev, recovering());
+
+    let dev = Device::v100();
+    dev.inject_faults(FaultPlan::new(3).fail_kernel("spread", FaultMode::Always));
+    run(
+        "persistent launch fault (bounded give-up)",
+        &dev,
+        recovering(),
+    );
+
+    let dev = Device::v100();
+    dev.inject_faults(FaultPlan::new(4).fail_alloc_nth(5, FaultMode::Once));
+    run("one-shot OOM at allocation 5 (retried)", &dev, recovering());
+
+    // cap memory so the full batch staging cannot fit: the plan halves
+    // its chunk size until it does
+    let dev = Device::v100();
+    dev.inject_faults(FaultPlan::new(5).mem_cap(2_000_000));
+    run(
+        "capacity cap (chunks shrink)",
+        &dev,
+        GpuOpts {
+            max_batch: B,
+            ..recovering()
+        },
+    );
+
+    // explicit SM with an impossible budget: fallback policy downgrades
+    // to GM-sort instead of refusing the plan
+    let dev = Device::v100();
+    run(
+        "SM over budget, fallback allowed",
+        &dev,
+        GpuOpts {
+            method: Method::Sm,
+            shared_mem_budget: 64,
+            recovery: RecoveryPolicy {
+                allow_method_fallback: true,
+                ..RecoveryPolicy::default()
+            },
+            ..GpuOpts::default()
+        },
+    );
+
+    let dev = Device::v100();
+    run(
+        "SM over budget, fail-fast policy",
+        &dev,
+        GpuOpts {
+            method: Method::Sm,
+            shared_mem_budget: 64,
+            recovery: RecoveryPolicy::none(),
+            ..GpuOpts::default()
+        },
+    );
+
+    // traced run: injected faults and recovery actions land in the
+    // Chrome export next to the kernels they disrupted
+    let dev = Device::v100();
+    dev.inject_faults(
+        FaultPlan::new(6)
+            .fail_memcpy("htod", FaultMode::Once)
+            .stall_memcpy("dtoh", 0.001),
+    );
+    let trace = Trace::new();
+    let _on = trace.activate();
+    run(
+        "traced run (faults visible in export)",
+        &dev,
+        GpuOpts::default().with_tracing(&trace),
+    );
+    let report = trace.report();
+    let path = "chaos.trace.json";
+    std::fs::write(path, report.chrome_json()).expect("write trace");
+    println!("\nwrote {path}; fault/recovery counters:");
+    for (name, v) in report
+        .counters
+        .iter()
+        .filter(|(k, _)| k.starts_with("gpu.faults") || k.starts_with("recovery"))
+    {
+        println!("  {name:<28} {v}");
+    }
+}

@@ -27,6 +27,7 @@ fn main() {
         shrink_wrap_every: 0,
         shrink_wrap_threshold: 0.1,
         init_truth: false,
+        recovery: mtip::RecoveryPolicy::default(),
         seed: 2024,
     };
     println!(
@@ -37,7 +38,7 @@ fn main() {
         cfg.n_grid
     );
     let device = Device::v100();
-    let res = reconstruct(&cfg, &device);
+    let res = reconstruct(&cfg, &device).expect("reconstruction failed");
     println!("\niter | density err | orientation accuracy");
     for (i, (e, a)) in res
         .errors

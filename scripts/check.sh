@@ -13,4 +13,12 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test -q"
 cargo test -q
 
+echo "== cargo test -q --test fault_injection (chaos suite)"
+cargo test -q --test fault_injection
+
+if [[ "${CHAOS:-0}" != "0" ]]; then
+  echo "== CHAOS=1 randomized probabilistic-fault sweep"
+  CHAOS=1 cargo test -q --test fault_injection chaos_randomized -- --nocapture
+fi
+
 echo "All checks passed."

@@ -1,0 +1,554 @@
+//! Chaos suite: every fault class the simulator can inject, driven
+//! through the public plan APIs. The acceptance bar (ISSUE 3): for each
+//! fault class, `Plan::execute` / `Plan::execute_many` and
+//! `mtip::reconstruct` either complete with results matching the
+//! fault-free run or return a typed error naming the fault — and never
+//! panic. Recovery actions must be visible in both the
+//! `recovery_report()` and the Chrome trace export.
+
+use cufinufft::{GpuOpts, Method, Plan, RecoveryPolicy};
+use gpu_sim::{Device, FaultMode, FaultPlan, OpKind};
+use nufft_common::metrics::rel_l2;
+use nufft_common::workload::{gen_points, gen_strengths, PointDist};
+use nufft_common::{Complex, NufftError, Points, TransformType};
+use nufft_trace::Trace;
+
+const N: usize = 32;
+const M: usize = 600;
+const NTRANSF: usize = 4;
+
+/// Single-transform and batched outputs of one lifecycle run.
+type Outputs = (Vec<Complex<f32>>, Vec<Complex<f32>>);
+
+/// Full plan lifecycle (build, set_pts, execute, execute_many) on the
+/// given device; returns the single-transform and batched outputs.
+fn lifecycle(
+    dev: &Device,
+    policy: RecoveryPolicy,
+    trace: Option<&Trace>,
+) -> Result<Outputs, NufftError> {
+    let mut b = Plan::<f32>::builder(TransformType::Type1, &[N, N])
+        .eps(1e-5)
+        .ntransf(NTRANSF)
+        .recovery(policy);
+    if let Some(t) = trace {
+        b = b.tracing(t);
+    }
+    let mut plan = b.build(dev)?;
+    let pts = gen_points::<f32>(PointDist::Rand, 2, M, plan.fine_grid_shape(), 7);
+    plan.set_pts(&pts)?;
+    let c = gen_strengths::<f32>(M, 8);
+    let mut f = vec![Complex::<f32>::ZERO; N * N];
+    plan.execute(&c, &mut f)?;
+    let batch = gen_strengths::<f32>(M * NTRANSF, 9);
+    let mut out = vec![Complex::<f32>::ZERO; N * N * NTRANSF];
+    plan.execute_many(&batch, &mut out)?;
+    Ok((f, out))
+}
+
+fn baseline() -> Outputs {
+    lifecycle(&Device::v100(), RecoveryPolicy::none(), None).expect("fault-free run")
+}
+
+fn assert_matches_baseline(got: &Outputs) {
+    let want = baseline();
+    assert!(
+        rel_l2(&got.0, &want.0) < 1e-12,
+        "single-transform result diverged from fault-free run"
+    );
+    assert!(
+        rel_l2(&got.1, &want.1) < 1e-12,
+        "batched result diverged from fault-free run"
+    );
+}
+
+// ---------------------------------------------------------------------
+// transient faults: bounded retry must absorb them bit-exactly
+// ---------------------------------------------------------------------
+
+#[test]
+fn transient_memcpy_fault_is_retried_and_result_is_exact() {
+    let dev = Device::v100();
+    dev.inject_faults(FaultPlan::new(1).fail_memcpy("htod", FaultMode::Once));
+    let got = lifecycle(&dev, RecoveryPolicy::default(), None).expect("retry should recover");
+    assert_matches_baseline(&got);
+    assert_eq!(dev.faults_injected(), 1);
+}
+
+#[test]
+fn transient_kernel_fault_is_retried_and_result_is_exact() {
+    let dev = Device::v100();
+    dev.inject_faults(FaultPlan::new(2).fail_kernel("spread", FaultMode::Once));
+    let got = lifecycle(&dev, RecoveryPolicy::default(), None).expect("retry should recover");
+    assert_matches_baseline(&got);
+}
+
+#[test]
+fn transient_dtoh_fault_is_retried_and_result_is_exact() {
+    let dev = Device::v100();
+    dev.inject_faults(FaultPlan::new(3).fail_memcpy("dtoh", FaultMode::Once));
+    let got = lifecycle(&dev, RecoveryPolicy::default(), None).expect("retry should recover");
+    assert_matches_baseline(&got);
+}
+
+#[test]
+fn fail_fast_policy_surfaces_transient_fault_as_typed_error() {
+    let dev = Device::v100();
+    dev.inject_faults(FaultPlan::new(4).fail_memcpy("htod", FaultMode::Once));
+    match lifecycle(&dev, RecoveryPolicy::none(), None) {
+        Err(NufftError::DeviceFault { op, attempts }) => {
+            assert!(op.contains("h2d") || op.contains("htod"), "op was {op}");
+            assert_eq!(attempts, 1);
+        }
+        other => panic!("expected DeviceFault, got {other:?}"),
+    }
+}
+
+// ---------------------------------------------------------------------
+// persistent faults: bounded retry must give up with a typed error
+// ---------------------------------------------------------------------
+
+#[test]
+fn persistent_kernel_fault_exhausts_retries_into_typed_error() {
+    let dev = Device::v100();
+    dev.inject_faults(FaultPlan::new(5).fail_kernel("spread", FaultMode::Always));
+    match lifecycle(&dev, RecoveryPolicy::default(), None) {
+        Err(NufftError::DeviceFault { op, .. }) => {
+            assert!(op.contains("spread") || op.contains("exec"), "op was {op}");
+        }
+        other => panic!("expected DeviceFault, got {other:?}"),
+    }
+}
+
+#[test]
+fn persistent_memcpy_fault_names_the_operation() {
+    let dev = Device::v100();
+    dev.inject_faults(FaultPlan::new(6).fail_memcpy("", FaultMode::Always));
+    let err = lifecycle(&dev, RecoveryPolicy::default(), None).unwrap_err();
+    assert!(matches!(err, NufftError::DeviceFault { .. }), "{err:?}");
+}
+
+// ---------------------------------------------------------------------
+// OOM: every distinct allocation call site in the plan lifecycle
+// ---------------------------------------------------------------------
+
+/// Count the allocations a fault-free lifecycle performs, so the sweep
+/// below provably covers every alloc call site in plan.rs.
+fn alloc_count() -> usize {
+    let dev = Device::v100();
+    lifecycle(&dev, RecoveryPolicy::none(), None).expect("fault-free run");
+    dev.timeline()
+        .iter()
+        .filter(|r| matches!(r.kind, OpKind::Alloc))
+        .count()
+}
+
+#[test]
+fn oom_sweep_over_every_alloc_site_never_panics() {
+    let total = alloc_count();
+    assert!(total >= 8, "lifecycle should allocate; saw {total}");
+    for nth in 1..=(total as u64 + 1) {
+        // persistent OOM from allocation `nth` on, no recovery: every
+        // call must return Ok or a typed error — never panic
+        let dev = Device::v100();
+        dev.inject_faults(FaultPlan::new(10 + nth).fail_alloc_nth(nth, FaultMode::Always));
+        match lifecycle(&dev, RecoveryPolicy::none(), None) {
+            Ok(got) => assert_matches_baseline(&got),
+            Err(NufftError::DeviceOom { .. }) | Err(NufftError::DeviceFault { .. }) => {}
+            Err(other) => panic!("alloc {nth}: unexpected error class {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn transient_oom_sweep_recovers_at_every_alloc_site() {
+    let total = alloc_count();
+    for nth in 1..=(total as u64) {
+        // one-shot OOM at allocation `nth`, default recovery: the retry
+        // must absorb it and results must match the fault-free run
+        let dev = Device::v100();
+        dev.inject_faults(FaultPlan::new(20 + nth).fail_alloc_nth(nth, FaultMode::Once));
+        let got = lifecycle(&dev, RecoveryPolicy::default(), None)
+            .unwrap_or_else(|e| panic!("alloc {nth}: retry should recover, got {e:?}"));
+        assert_matches_baseline(&got);
+    }
+}
+
+/// Batched run with an explicit `max_batch` chunk size; returns the
+/// output and the device's peak memory footprint.
+fn batched_run(dev: &Device, max_batch: usize) -> (Vec<Complex<f32>>, usize) {
+    const B: usize = 8;
+    let opts = GpuOpts {
+        max_batch,
+        recovery: RecoveryPolicy::default(),
+        ..GpuOpts::default()
+    };
+    let mut plan = Plan::<f32>::builder(TransformType::Type1, &[N, N])
+        .eps(1e-5)
+        .ntransf(B)
+        .opts(opts)
+        .build(dev)
+        .expect("plan build");
+    let pts = gen_points::<f32>(PointDist::Rand, 2, M, plan.fine_grid_shape(), 7);
+    plan.set_pts(&pts).unwrap();
+    let batch = gen_strengths::<f32>(M * B, 9);
+    let mut out = vec![Complex::<f32>::ZERO; N * N * B];
+    plan.execute_many(&batch, &mut out).expect("batched exec");
+    assert_eq!(plan.recovery_report().chunk_shrinks, 0);
+    (out, dev.mem_peak())
+}
+
+#[test]
+fn capacity_oom_shrinks_batch_chunks_and_completes() {
+    // calibrate a cap between the peak footprint of a chunk-4 run and a
+    // chunk-8 run: the capped device cannot stage 8 transforms at once
+    // but can stage 4, so one halving must absorb the OOM
+    let (want, peak8) = batched_run(&Device::v100(), 8);
+    let (_, peak4) = batched_run(&Device::v100(), 4);
+    assert!(peak4 < peak8, "smaller chunks must use less memory");
+    let cap = (peak4 + peak8) / 2;
+
+    const B: usize = 8;
+    let dev = Device::v100();
+    dev.inject_faults(FaultPlan::new(30).mem_cap(cap));
+    let opts = GpuOpts {
+        max_batch: 8,
+        recovery: RecoveryPolicy::default(),
+        ..GpuOpts::default()
+    };
+    let mut plan = Plan::<f32>::builder(TransformType::Type1, &[N, N])
+        .eps(1e-5)
+        .ntransf(B)
+        .opts(opts)
+        .build(&dev)
+        .expect("plan should build under the cap");
+    let pts = gen_points::<f32>(PointDist::Rand, 2, M, plan.fine_grid_shape(), 7);
+    plan.set_pts(&pts).unwrap();
+    let batch = gen_strengths::<f32>(M * B, 9);
+    let mut out = vec![Complex::<f32>::ZERO; N * N * B];
+    plan.execute_many(&batch, &mut out)
+        .expect("chunk shrinking should absorb the capacity cap");
+    let rep = plan.recovery_report();
+    assert!(
+        rep.chunk_shrinks > 0,
+        "expected at least one chunk shrink: {rep:?}"
+    );
+    let final_chunk = rep.final_chunk.expect("shrink records the chunk");
+    assert!((1..8).contains(&final_chunk), "final chunk {final_chunk}");
+    assert!(rel_l2(&out, &want) < 1e-12, "shrunk run diverged");
+}
+
+#[test]
+fn capacity_oom_without_shrinking_is_typed_error() {
+    let dev = Device::v100();
+    dev.inject_faults(FaultPlan::new(31).mem_cap(1024));
+    let err = lifecycle(&dev, RecoveryPolicy::none(), None).unwrap_err();
+    assert!(matches!(err, NufftError::DeviceOom { .. }), "{err:?}");
+}
+
+// ---------------------------------------------------------------------
+// method fallback
+// ---------------------------------------------------------------------
+
+#[test]
+fn infeasible_sm_falls_back_to_gm_sort_when_allowed() {
+    let dev = Device::v100();
+    let opts = GpuOpts {
+        method: Method::Sm,
+        shared_mem_budget: 64, // far below any subproblem footprint
+        recovery: RecoveryPolicy {
+            allow_method_fallback: true,
+            ..RecoveryPolicy::default()
+        },
+        ..GpuOpts::default()
+    };
+    let mut plan = Plan::<f32>::builder(TransformType::Type1, &[N, N])
+        .eps(1e-5)
+        .opts(opts)
+        .build(&dev)
+        .expect("fallback should keep the plan viable");
+    assert_eq!(plan.recovery_report().method_fallbacks, 1);
+    let pts = gen_points::<f32>(PointDist::Rand, 2, M, plan.fine_grid_shape(), 7);
+    plan.set_pts(&pts).unwrap();
+    let c = gen_strengths::<f32>(M, 8);
+    let mut f = vec![Complex::<f32>::ZERO; N * N];
+    plan.execute(&c, &mut f).unwrap();
+
+    // must equal an explicit GM-sort run
+    let dev2 = Device::v100();
+    let mut gm = Plan::<f32>::builder(TransformType::Type1, &[N, N])
+        .eps(1e-5)
+        .method(Method::GmSort)
+        .build(&dev2)
+        .unwrap();
+    gm.set_pts(&pts).unwrap();
+    let mut fg = vec![Complex::<f32>::ZERO; N * N];
+    gm.execute(&c, &mut fg).unwrap();
+    assert!(rel_l2(&f, &fg) < 1e-12);
+}
+
+#[test]
+fn infeasible_sm_still_fails_loudly_without_fallback() {
+    let dev = Device::v100();
+    let opts = GpuOpts {
+        method: Method::Sm,
+        shared_mem_budget: 64,
+        ..GpuOpts::default()
+    };
+    match Plan::<f32>::builder(TransformType::Type1, &[N, N])
+        .eps(1e-5)
+        .opts(opts)
+        .build(&dev)
+    {
+        Err(NufftError::MethodUnavailable(_)) => {}
+        Err(other) => panic!("expected MethodUnavailable, got {other:?}"),
+        Ok(_) => panic!("infeasible SM must not build without fallback"),
+    }
+}
+
+// ---------------------------------------------------------------------
+// stalls: schedule stretches, results do not
+// ---------------------------------------------------------------------
+
+#[test]
+fn stalled_memcpy_succeeds_and_charges_simulated_time() {
+    let clean = Device::v100();
+    lifecycle(&clean, RecoveryPolicy::none(), None).expect("fault-free run");
+    let t_clean = clean.clock();
+
+    let dev = Device::v100();
+    dev.inject_faults(FaultPlan::new(40).stall_memcpy("htod", 0.25));
+    let got = lifecycle(&dev, RecoveryPolicy::none(), None).expect("a stall is not a failure");
+    assert_matches_baseline(&got);
+    assert!(
+        dev.clock() >= t_clean + 0.249,
+        "stall should stretch the schedule: {} vs {}",
+        dev.clock(),
+        t_clean
+    );
+}
+
+// ---------------------------------------------------------------------
+// observability: recovery shows up in the report and the Chrome trace
+// ---------------------------------------------------------------------
+
+#[test]
+fn recovery_is_visible_in_report_and_chrome_trace() {
+    let dev = Device::v100();
+    dev.inject_faults(FaultPlan::new(50).fail_memcpy("htod", FaultMode::Once));
+    let trace = Trace::new();
+    let _on = trace.activate();
+
+    let mut plan = Plan::<f32>::builder(TransformType::Type1, &[N, N])
+        .eps(1e-5)
+        .recovery(RecoveryPolicy::default())
+        .tracing(&trace)
+        .build(&dev)
+        .unwrap();
+    let pts = gen_points::<f32>(PointDist::Rand, 2, M, plan.fine_grid_shape(), 7);
+    plan.set_pts(&pts).unwrap();
+    let c = gen_strengths::<f32>(M, 8);
+    let mut f = vec![Complex::<f32>::ZERO; N * N];
+    plan.execute(&c, &mut f).unwrap();
+
+    let rep = plan.recovery_report();
+    assert!(rep.retries >= 1, "report should count the retry: {rep:?}");
+    assert_eq!(rep.recovered, 1, "{rep:?}");
+    assert_eq!(rep.unrecovered, 0, "{rep:?}");
+    assert!(
+        rep.events.iter().any(|e| e.contains("h2d:pts")),
+        "events should name the faulted op: {:?}",
+        rep.events
+    );
+
+    let report = plan.trace_report().expect("tracing was enabled");
+    assert!(
+        *report.counters.get("gpu.faults.injected").unwrap_or(&0) >= 1,
+        "device should count injected faults: {:?}",
+        report.counters
+    );
+    assert!(
+        *report.counters.get("recovery.retries").unwrap_or(&0) >= 1,
+        "recovery layer should count retries: {:?}",
+        report.counters
+    );
+    assert!(
+        *report.counters.get("recovery.recovered").unwrap_or(&0) >= 1,
+        "{:?}",
+        report.counters
+    );
+    let chrome = report.chrome_json();
+    assert!(
+        chrome.contains("fault:"),
+        "fault events should appear in the Chrome export"
+    );
+}
+
+// ---------------------------------------------------------------------
+// type 3 and M-TIP under faults
+// ---------------------------------------------------------------------
+
+fn t3_points(dim: usize, n: usize, hw: f64, seed: u64) -> Points<f64> {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut coords = [Vec::new(), Vec::new(), Vec::new()];
+    for coord in coords.iter_mut().take(dim) {
+        *coord = (0..n).map(|_| rng.random_range(-hw..hw)).collect();
+    }
+    Points { coords, dim }
+}
+
+#[test]
+fn type3_transient_kernel_fault_recovers() {
+    let x = t3_points(2, 150, 2.0, 1);
+    let s = t3_points(2, 120, 8.0, 2);
+    let cs: Vec<Complex<f64>> = (0..150)
+        .map(|j| Complex::new((j as f64).cos(), 0.2))
+        .collect();
+
+    let run = |dev: &Device| -> Result<Vec<Complex<f64>>, NufftError> {
+        let mut plan = cufinufft::GpuType3Plan::<f64>::new(2, 1, 1e-8, GpuOpts::default(), dev)?;
+        plan.set_pts(&x, &s)?;
+        let mut out = vec![Complex::ZERO; 120];
+        plan.execute(&cs, &mut out)?;
+        Ok(out)
+    };
+
+    let want = run(&Device::v100()).expect("fault-free type 3");
+    let dev = Device::v100();
+    dev.inject_faults(FaultPlan::new(60).fail_kernel("spread", FaultMode::Once));
+    let got = run(&dev).expect("type-3 retry should recover");
+    assert!(rel_l2(&got, &want) < 1e-12);
+}
+
+#[test]
+fn type3_rejects_nonfinite_source_and_target_points() {
+    let dev = Device::v100();
+    let mut plan =
+        cufinufft::GpuType3Plan::<f64>::new(2, 1, 1e-8, GpuOpts::default(), &dev).unwrap();
+
+    let mut x = t3_points(2, 40, 2.0, 3);
+    let s = t3_points(2, 30, 8.0, 4);
+    x.coords[0][5] = f64::NAN;
+    match plan.set_pts(&x, &s) {
+        Err(NufftError::BadPoint { index: 5, .. }) => {}
+        other => panic!("expected BadPoint for source, got {other:?}"),
+    }
+
+    let x = t3_points(2, 40, 2.0, 3);
+    let mut s = t3_points(2, 30, 8.0, 4);
+    s.coords[1][7] = f64::INFINITY;
+    match plan.set_pts(&x, &s) {
+        Err(NufftError::BadPoint { index: 7, .. }) => {}
+        other => panic!("expected BadPoint for target frequency, got {other:?}"),
+    }
+}
+
+fn tiny_mtip(recovery: RecoveryPolicy) -> mtip::MtipConfig {
+    mtip::MtipConfig {
+        n_grid: 12,
+        n_images: 4,
+        n_det: 8,
+        eps: 1e-6,
+        iterations: 2,
+        n_blobs: 3,
+        match_orientations: false,
+        n_decoys: 0,
+        cg_iters: 2,
+        oracle_phases: true,
+        hio_beta: 0.0,
+        tight_support: false,
+        shrink_wrap_every: 0,
+        shrink_wrap_threshold: 0.1,
+        init_truth: false,
+        recovery,
+        seed: 5,
+    }
+}
+
+#[test]
+fn mtip_survives_transient_midloop_faults() {
+    let clean = mtip::reconstruct(&tiny_mtip(RecoveryPolicy::default()), &Device::v100())
+        .expect("fault-free reconstruction");
+
+    let dev = Device::v100();
+    // one-shot faults landing mid-iteration: an alloc OOM and an htod
+    // glitch; bounded retry must absorb both
+    dev.inject_faults(
+        FaultPlan::new(70)
+            .fail_alloc_nth(12, FaultMode::Once)
+            .fail_memcpy("htod", FaultMode::Once),
+    );
+    let res = mtip::reconstruct(&tiny_mtip(RecoveryPolicy::default()), &dev)
+        .expect("recovery should absorb transient faults");
+    assert_eq!(res.errors.len(), clean.errors.len());
+    for (a, b) in res.errors.iter().zip(clean.errors.iter()) {
+        assert!((a - b).abs() < 1e-12, "iteration errors diverged");
+    }
+}
+
+#[test]
+fn mtip_returns_typed_error_on_persistent_fault() {
+    let dev = Device::v100();
+    dev.inject_faults(FaultPlan::new(71).fail_kernel("", FaultMode::Always));
+    match mtip::reconstruct(&tiny_mtip(RecoveryPolicy::none()), &dev) {
+        Err(NufftError::DeviceFault { .. }) | Err(NufftError::DeviceOom { .. }) => {}
+        other => panic!("expected a typed device error, got {other:?}"),
+    }
+}
+
+// ---------------------------------------------------------------------
+// CHAOS=1: randomized probabilistic sweep (scripts/check.sh opt-in)
+// ---------------------------------------------------------------------
+
+/// Randomized fault storms, opt-in via `CHAOS=1` (wired into
+/// `scripts/check.sh`). Each seed draws a different mix of probabilistic
+/// transient faults — and occasionally a persistent one — against the
+/// full plan lifecycle. Transient-only storms must recover bit-exactly;
+/// storms with a persistent fault may instead surface a typed device
+/// error. No seed may panic or silently corrupt the output.
+#[test]
+fn chaos_randomized_probabilistic_sweep() {
+    if std::env::var("CHAOS").is_err() {
+        eprintln!("chaos sweep skipped; run with CHAOS=1 to enable");
+        return;
+    }
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    let want = baseline();
+    for seed in 0..64u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut faults = FaultPlan::new(seed).fail_memcpy_with_probability(
+            "",
+            rng.random_range(0.05..0.5),
+            FaultMode::Once,
+        );
+        if rng.random_bool(0.4) {
+            faults = faults.fail_alloc_nth(rng.random_range(1u64..16), FaultMode::Once);
+        }
+        if rng.random_bool(0.4) {
+            let kernels = ["spread", "interp", "deconv", "fft"];
+            faults = faults.fail_kernel(kernels[rng.random_range(0usize..4)], FaultMode::Once);
+        }
+        let persistent = rng.random_bool(0.2);
+        if persistent {
+            faults = faults.fail_memcpy("dtoh", FaultMode::Always);
+        }
+
+        let dev = Device::v100();
+        dev.inject_faults(faults);
+        match lifecycle(&dev, RecoveryPolicy::default(), None) {
+            Ok(got) => {
+                assert!(
+                    rel_l2(&got.0, &want.0) < 1e-12 && rel_l2(&got.1, &want.1) < 1e-12,
+                    "seed {seed}: recovered run diverged from fault-free baseline"
+                );
+            }
+            Err(NufftError::DeviceFault { .. }) | Err(NufftError::DeviceOom { .. })
+                if persistent => {}
+            Err(other) => panic!("seed {seed}: unexpected failure {other:?}"),
+        }
+    }
+}

@@ -96,10 +96,11 @@ fn mtip_pipeline_converges_end_to_end() {
         shrink_wrap_every: 3,
         shrink_wrap_threshold: 0.05,
         init_truth: false,
+        recovery: mtip::RecoveryPolicy::default(),
         seed: 99,
     };
     let dev = Device::v100();
-    let res = mtip::reconstruct(&cfg, &dev);
+    let res = mtip::reconstruct(&cfg, &dev).unwrap();
     assert!(*res.errors.last().unwrap() < 0.4, "errors {:?}", res.errors);
     assert!(*res.orientation_accuracy.last().unwrap() >= 0.75);
     // resolution: low shells must be recovered

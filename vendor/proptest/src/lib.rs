@@ -211,6 +211,9 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "failed at case")]
+    // the macro expands to a nested #[test] fn, which is fine here: the
+    // outer test invokes it directly
+    #[allow(unnameable_test_items)]
     fn failing_property_panics() {
         proptest! {
             #![proptest_config(ProptestConfig::with_cases(4))]
