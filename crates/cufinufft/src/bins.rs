@@ -81,6 +81,11 @@ pub fn cell_of<T: Real>(pts: &Points<T>, j: usize, fine: Shape) -> [usize; 3] {
     let mut cell = [0usize; 3];
     for (i, c) in cell.iter_mut().enumerate().take(pts.dim) {
         let g = grid_coord(pts.coord(i, j).to_f64(), fine.n[i]);
+        // `grid_coord` guarantees g in [0, n); the `min` is belt and
+        // braces for the boundary-pinned cases (x = ±π exactly, x just
+        // below 0 whose fold rounds to 2π) where g lands on n - ulp and
+        // truncation must still produce the last cell, never n.
+        debug_assert!(g >= 0.0 && g < fine.n[i] as f64, "fold escaped [0,n): {g}");
         *c = (g as usize).min(fine.n[i] - 1);
     }
     cell

@@ -3,6 +3,7 @@
 use crate::recovery::RecoveryPolicy;
 use gpu_sim::Trace;
 use nufft_common::error::{NufftError, Result};
+use nufft_common::smooth::FineSizing;
 
 /// Spreading / interpolation method (paper Sec. III).
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -44,6 +45,10 @@ pub struct GpuOpts {
     pub msub: usize,
     /// Upsampling factor sigma.
     pub upsampfac: f64,
+    /// Fine-grid sizing policy: round up to a 5-smooth FFT size (paper
+    /// rule, the default) or keep `max(ceil(sigma*n), 2w)` exactly so
+    /// prime sizes exercise the Bluestein FFT path (conformance use).
+    pub fine_sizing: FineSizing,
     /// Threads per block for the GM kernels.
     pub threads_per_block: usize,
     /// Shared-memory budget per block used in the SM feasibility check.
@@ -74,6 +79,7 @@ impl Default for GpuOpts {
             bin_size: None,
             msub: 1024,
             upsampfac: 2.0,
+            fine_sizing: FineSizing::default(),
             threads_per_block: 128,
             shared_mem_budget: 49_000,
             max_batch: 0,

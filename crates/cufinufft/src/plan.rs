@@ -12,7 +12,7 @@ use nufft_common::complex::Complex;
 use nufft_common::error::{NufftError, Result};
 use nufft_common::real::Real;
 use nufft_common::shape::{freq_to_bin, freqs, Shape};
-use nufft_common::smooth::fine_grid_size;
+use nufft_common::smooth::{fine_grid_size_with, FineSizing};
 use nufft_common::workload::Points;
 use nufft_common::TransformType;
 use nufft_fft::Direction;
@@ -276,6 +276,15 @@ impl<T: Real> PlanBuilder<T> {
         self
     }
 
+    /// Fine-grid sizing policy (default [`FineSizing::Smooth`], the
+    /// paper's 5-smooth rounding). [`FineSizing::Exact`] keeps
+    /// `max(ceil(sigma*n), 2w)` exactly, routing prime sizes through the
+    /// Bluestein FFT; the conformance harness uses this.
+    pub fn fine_sizing(mut self, sizing: FineSizing) -> Self {
+        self.opts.fine_sizing = sizing;
+        self
+    }
+
     /// Threads per block for GM kernels.
     pub fn threads_per_block(mut self, threads: usize) -> Self {
         self.opts.threads_per_block = threads;
@@ -426,7 +435,8 @@ impl<T: Real> Plan<T> {
             EsKernel::for_tolerance_sigma(eps, opts.upsampfac, T::IS_DOUBLE)?
         };
         let modes = Shape::from_slice(modes);
-        let fine = modes.map(|_, n| fine_grid_size(n, opts.upsampfac, kernel.w));
+        let fine =
+            modes.map(|_, n| fine_grid_size_with(n, opts.upsampfac, kernel.w, opts.fine_sizing));
         let bin_size = opts.bin_size.unwrap_or_else(|| default_bin_size(modes.dim));
         let cb = std::mem::size_of::<Complex<T>>();
         let mut recovery = RecoveryReport::default();

@@ -309,6 +309,18 @@ pub fn spread_sm<T: Real>(
                 } else {
                     0
                 };
+                // In-range invariant for boundary-pinned points: the
+                // point's cell lies inside this subproblem's bin, so its
+                // w-wide footprint fits the padded extent. This is what
+                // the fold guard in `grid_coord` protects — a point
+                // folded to g = n would land one cell past the pad.
+                debug_assert!(
+                    b1 + fp.wd[0] <= p[0]
+                        && (dim < 2 || b2 + fp.wd[1] <= p[1])
+                        && (dim < 3 || b3 + fp.wd[2] <= p[2]),
+                    "SM footprint escapes padded bin: point {j} local \
+                     ({b1},{b2},{b3}) + w{w} > padded {p:?}"
+                );
                 for t3 in 0..fp.wd[2] {
                     let off3 = (b3 + t3) * p[0] * p[1];
                     for t2 in 0..fp.wd[1] {

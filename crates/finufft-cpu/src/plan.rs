@@ -9,7 +9,7 @@ use nufft_common::complex::Complex;
 use nufft_common::error::{NufftError, Result};
 use nufft_common::real::Real;
 use nufft_common::shape::{freq_to_bin, freqs, Shape};
-use nufft_common::smooth::fine_grid_size;
+use nufft_common::smooth::{fine_grid_size_with, FineSizing};
 use nufft_common::workload::Points;
 use nufft_fft::{Direction, FftNd};
 use nufft_kernels::{EsKernel, Kernel1d};
@@ -28,6 +28,10 @@ pub struct Opts {
     pub bin_size: [usize; 3],
     /// Disable sorting (points processed in user order).
     pub sort: bool,
+    /// Fine-grid sizing policy: 5-smooth rounding (default) or exact
+    /// `max(ceil(sigma*n), 2w)`, which lets prime sizes reach the
+    /// Bluestein FFT path (used by the conformance harness).
+    pub fine_sizing: FineSizing,
 }
 
 impl Default for Opts {
@@ -37,6 +41,7 @@ impl Default for Opts {
             nthreads: 0,
             bin_size: [16, 16, 4],
             sort: true,
+            fine_sizing: FineSizing::default(),
         }
     }
 }
@@ -109,7 +114,8 @@ impl<T: Real, K: Kernel1d> Plan<T, K> {
             )));
         }
         let modes = Shape::from_slice(modes);
-        let fine = modes.map(|_, n| fine_grid_size(n, opts.upsampfac, kernel.width()));
+        let fine = modes
+            .map(|_, n| fine_grid_size_with(n, opts.upsampfac, kernel.width(), opts.fine_sizing));
         let corr = correction_rows(&kernel, modes, fine);
         let fft = FftNd::new(fine);
         let nthreads = if opts.nthreads == 0 {

@@ -30,11 +30,37 @@ pub fn next_smooth(n: usize) -> usize {
     m
 }
 
+/// Policy for choosing the upsampled fine-grid size from the mode count.
+///
+/// The paper's rule rounds up to a 5-smooth size so the fine-grid FFT
+/// stays on the fast mixed-radix path. [`FineSizing::Exact`] skips the
+/// rounding and uses `max(ceil(sigma*n), 2w)` as-is, which for prime `n`
+/// (with integer sigma) leaves a large prime factor in the fine grid and
+/// therefore routes the FFT through the Bluestein chirp-z fallback. The
+/// conformance harness uses this to exercise Bluestein through the full
+/// plan pipeline; production plans should keep the default.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
+pub enum FineSizing {
+    /// Round the target up to the next 5-smooth integer (paper rule).
+    #[default]
+    Smooth,
+    /// Use `max(ceil(sigma*n), 2w)` exactly, whatever its factorization.
+    Exact,
+}
+
 /// Fine-grid size rule from the paper: smallest 5-smooth integer
 /// `>= max(ceil(sigma*n), 2w)`.
 pub fn fine_grid_size(n: usize, sigma: f64, w: usize) -> usize {
+    fine_grid_size_with(n, sigma, w, FineSizing::Smooth)
+}
+
+/// Fine-grid size under an explicit [`FineSizing`] policy.
+pub fn fine_grid_size_with(n: usize, sigma: f64, w: usize, sizing: FineSizing) -> usize {
     let target = ((sigma * n as f64).ceil() as usize).max(2 * w);
-    next_smooth(target)
+    match sizing {
+        FineSizing::Smooth => next_smooth(target),
+        FineSizing::Exact => target,
+    }
 }
 
 /// Factorize a 5-smooth number into its (2,3,5) exponents; returns `None`
@@ -107,6 +133,16 @@ mod tests {
         assert_eq!(fine_grid_size(100, 2.0, 4), 200);
         // non-smooth target rounds up: 2*101=202 -> 216
         assert_eq!(fine_grid_size(101, 2.0, 4), 216);
+    }
+
+    #[test]
+    fn exact_sizing_keeps_prime_factors() {
+        // prime modes with sigma=2: fine = 2n keeps the prime factor, so
+        // the FFT goes through Bluestein; the smooth policy rounds away
+        assert_eq!(fine_grid_size_with(101, 2.0, 4, FineSizing::Exact), 202);
+        assert_eq!(fine_grid_size_with(101, 2.0, 4, FineSizing::Smooth), 216);
+        // the 2w floor still applies under Exact
+        assert_eq!(fine_grid_size_with(4, 2.0, 8, FineSizing::Exact), 16);
     }
 
     #[test]

@@ -1,0 +1,510 @@
+//! Accuracy conformance harness (DESIGN.md §5g).
+//!
+//! The paper's central accuracy claim is that the ES kernel chosen from
+//! eq. (6) delivers the requested tolerance `eps` uniformly across
+//! transform types, dimensions, precisions, and spreading methods. This
+//! crate sweeps that full matrix —
+//! {type1, type2} × {2D, 3D} × {f32, f64} × {GM, GM-sort, SM} ×
+//! tolerances (clipped to the precision floor) × point distributions
+//! {uniform, clustered} × grid families {powers of two, odd composites,
+//! primes via the Bluestein FFT path, non-square} — and checks each
+//! cell's observed `rel_l2` against the direct `O(N*M)` NUDFT oracle
+//! ([`nufft_common::reference`]), asserting it lands inside a calibrated
+//! multiple of the requested tolerance (see [`envelope`]).
+//!
+//! Results are emitted as a machine-readable table under
+//! `results/conformance.json` and fed into `nufft-trace` counters
+//! (`conformance.cells`, `conformance.pass`, `conformance.fail`,
+//! `conformance.skip`, plus a `conformance.max_ratio` gauge).
+//!
+//! Two tiers: [`Tier::Quick`] (uniform points, power-of-two + prime
+//! grids — the default in CI) and [`Tier::Full`] (everything, run via
+//! `CONFORMANCE=full scripts/check.sh`).
+
+use cufinufft::opts::Method;
+use cufinufft::plan::Plan as GpuPlan;
+use gpu_sim::Device;
+use nufft_common::complex::Complex;
+use nufft_common::error::NufftError;
+use nufft_common::metrics::rel_l2;
+use nufft_common::real::Real;
+use nufft_common::reference::{type1_direct, type2_direct};
+use nufft_common::shape::Shape;
+use nufft_common::smooth::FineSizing;
+use nufft_common::workload::{gen_coeffs, gen_points, gen_strengths, PointDist};
+use nufft_common::TransformType;
+use nufft_trace::Trace;
+
+pub mod report;
+
+pub use report::Report;
+
+/// How much of the matrix to run.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Tier {
+    /// Uniform points, {powers of two, prime} grid families, the core
+    /// tolerance ladder. Runs in seconds; the CI default.
+    Quick,
+    /// Everything: clustered points, odd-composite and non-square grids,
+    /// square prime grids, and a denser tolerance ladder.
+    Full,
+}
+
+impl Tier {
+    /// Reads the `CONFORMANCE` environment variable (`full` selects
+    /// [`Tier::Full`], anything else / unset selects [`Tier::Quick`]).
+    pub fn from_env() -> Tier {
+        match std::env::var("CONFORMANCE") {
+            Ok(v) if v.eq_ignore_ascii_case("full") => Tier::Full,
+            _ => Tier::Quick,
+        }
+    }
+
+    pub fn label(self) -> &'static str {
+        match self {
+            Tier::Quick => "quick",
+            Tier::Full => "full",
+        }
+    }
+}
+
+/// Which library executes the transform in a cell.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Backend {
+    /// The simulated-GPU cuFINUFFT plan with an explicit spread method.
+    Gpu(Method),
+    /// The CPU FINUFFT-style plan (its own spread/sort pipeline).
+    Cpu,
+}
+
+impl Backend {
+    pub fn label(self) -> String {
+        match self {
+            Backend::Gpu(Method::Gm) => "gm".into(),
+            Backend::Gpu(Method::GmSort) => "gmsort".into(),
+            Backend::Gpu(Method::Sm) => "sm".into(),
+            Backend::Gpu(Method::Auto) => "auto".into(),
+            Backend::Cpu => "cpu".into(),
+        }
+    }
+}
+
+/// Mode-size family of a cell; the concrete sizes keep the direct
+/// oracle affordable while still exercising the intended FFT path.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum GridFamily {
+    /// Power-of-two sizes: the all-radix-2 fine-FFT path.
+    PowTwo,
+    /// Odd composite sizes (3- and 5-smooth): odd-parity mode indexing
+    /// and radix-3/5 butterflies.
+    OddComposite,
+    /// Prime mode sizes under [`FineSizing::Exact`], so the fine grid
+    /// keeps a prime factor > 31 and the FFT runs through the Bluestein
+    /// chirp-z fallback.
+    Prime,
+    /// Unequal per-axis sizes (mixed parity), catching axis-order and
+    /// stride bugs that square grids mask.
+    NonSquare,
+    /// Square prime grids (every axis through Bluestein) — the most
+    /// expensive family, full tier only.
+    PrimeSquare,
+}
+
+impl GridFamily {
+    pub fn label(self) -> &'static str {
+        match self {
+            GridFamily::PowTwo => "pow2",
+            GridFamily::OddComposite => "oddcomp",
+            GridFamily::Prime => "prime",
+            GridFamily::NonSquare => "nonsquare",
+            GridFamily::PrimeSquare => "primesq",
+        }
+    }
+
+    /// Mode sizes for a `dim`-dimensional cell.
+    pub fn modes(self, dim: usize) -> Vec<usize> {
+        match (self, dim) {
+            (GridFamily::PowTwo, 2) => vec![32, 32],
+            (GridFamily::PowTwo, _) => vec![16, 16, 16],
+            (GridFamily::OddComposite, 2) => vec![27, 45],
+            (GridFamily::OddComposite, _) => vec![15, 15, 9],
+            // 37 is the smallest prime whose doubled fine size (74 = 2*37)
+            // exceeds the mixed-radix butterfly limit (31), forcing the
+            // Bluestein path along that axis; the other axes stay small so
+            // the O(N*M) oracle stays cheap.
+            (GridFamily::Prime, 2) => vec![37, 16],
+            (GridFamily::Prime, _) => vec![37, 8, 8],
+            (GridFamily::NonSquare, 2) => vec![32, 20],
+            (GridFamily::NonSquare, _) => vec![16, 12, 10],
+            (GridFamily::PrimeSquare, 2) => vec![37, 37],
+            (GridFamily::PrimeSquare, _) => vec![37, 37, 37],
+        }
+    }
+
+    /// Prime families must keep their prime factors in the fine grid.
+    pub fn fine_sizing(self) -> FineSizing {
+        match self {
+            GridFamily::Prime | GridFamily::PrimeSquare => FineSizing::Exact,
+            _ => FineSizing::Smooth,
+        }
+    }
+}
+
+/// One point of the conformance matrix.
+#[derive(Clone, Debug)]
+pub struct Cell {
+    pub ttype: TransformType,
+    pub dim: usize,
+    /// `true` = f64 working precision, `false` = f32.
+    pub double: bool,
+    pub backend: Backend,
+    pub eps: f64,
+    pub dist: PointDist,
+    pub family: GridFamily,
+}
+
+impl Cell {
+    /// Stable human-readable name, also the JSON `name` field.
+    pub fn name(&self) -> String {
+        format!(
+            "{}-{}d-{}-{}-{}-{}-eps{:.0e}",
+            match self.ttype {
+                TransformType::Type1 => "t1",
+                TransformType::Type2 => "t2",
+            },
+            self.dim,
+            if self.double { "f64" } else { "f32" },
+            self.backend.label(),
+            self.family.label(),
+            match self.dist {
+                PointDist::Rand => "rand",
+                PointDist::Cluster => "cluster",
+            },
+            self.eps,
+        )
+    }
+
+    /// Deterministic per-cell seed so every cell sees distinct but
+    /// reproducible points/strengths.
+    fn seed(&self) -> u64 {
+        // FNV-1a over the cell name: stable across runs and platforms.
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in self.name().bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        h | 1
+    }
+}
+
+/// What happened when a cell ran.
+#[derive(Clone, Debug)]
+pub enum Outcome {
+    /// Observed error within the envelope.
+    Pass,
+    /// Observed error above the envelope.
+    Fail,
+    /// Cell not runnable on this configuration, with the reason. The only
+    /// expected reason is the SM shared-memory feasibility limit
+    /// (paper Remark 2): a padded 3D bin of `(16+pad)(16+pad)(2+pad)`
+    /// complex doubles exceeds the 49 kB budget for w >= 5, i.e. for all
+    /// f64 tolerances below ~1e-3, so those (3D, f64, SM) cells cannot
+    /// exist on the real hardware either. They are recorded as skipped —
+    /// not silently dropped — so the JSON table shows the hole.
+    Skip(String),
+}
+
+/// One evaluated cell.
+#[derive(Clone, Debug)]
+pub struct CellResult {
+    pub cell: Cell,
+    pub modes: Vec<usize>,
+    /// Number of nonuniform points.
+    pub m: usize,
+    /// Observed relative l2 error against the direct NUDFT (None when
+    /// skipped).
+    pub rel_l2: Option<f64>,
+    /// Envelope bound the error was checked against.
+    pub envelope: f64,
+    pub outcome: Outcome,
+}
+
+impl CellResult {
+    /// `rel_l2 / envelope`; 0 for skipped cells.
+    pub fn ratio(&self) -> f64 {
+        self.rel_l2.map_or(0.0, |e| e / self.envelope)
+    }
+}
+
+/// Calibrated error envelope: the observed `rel_l2` of a conforming
+/// implementation must satisfy `rel_l2 <= envelope(eps, double)`.
+///
+/// Calibration (this workspace, uniform + clustered points, all methods
+/// and grid families): the observed error tracks the requested tolerance
+/// within a small factor — ratios `rel_l2 / eps` stay below ~2.5 down to
+/// the precision floor, where round-off takes over (~1e-13 for f64,
+/// ~4e-7 for f32 — the f32 floor is dominated by rounding the inputs and
+/// outputs themselves). The envelope allows 6x headroom over the
+/// requested tolerance plus the round-off floor, so a regression has to
+/// roughly triple the error before a cell trips, while a lost accuracy
+/// digit (the bug class this harness exists for) trips immediately.
+pub fn envelope(eps: f64, double: bool) -> f64 {
+    let floor = if double { 2e-13 } else { 6e-7 };
+    6.0 * eps + floor
+}
+
+/// Tolerance ladder for a precision, clipped to the precision floor
+/// (requests below it are a plan-time error by design; see
+/// `EsKernel::for_tolerance`).
+pub fn tolerance_ladder(double: bool, tier: Tier) -> Vec<f64> {
+    match (double, tier) {
+        (true, Tier::Quick) => vec![1e-2, 1e-5, 1e-8, 1e-11, 1e-14],
+        (true, Tier::Full) => vec![
+            1e-2, 1e-3, 1e-4, 1e-5, 1e-6, 1e-7, 1e-8, 1e-9, 1e-10, 1e-11, 1e-12, 1e-13, 1e-14,
+        ],
+        (false, Tier::Quick) => vec![1e-2, 1e-4, 1e-6, 1e-7],
+        (false, Tier::Full) => vec![1e-2, 1e-3, 1e-4, 1e-5, 1e-6, 1e-7],
+    }
+}
+
+/// Grid families included in a tier.
+pub fn families(tier: Tier) -> Vec<GridFamily> {
+    match tier {
+        Tier::Quick => vec![GridFamily::PowTwo, GridFamily::Prime],
+        Tier::Full => vec![
+            GridFamily::PowTwo,
+            GridFamily::OddComposite,
+            GridFamily::Prime,
+            GridFamily::NonSquare,
+            GridFamily::PrimeSquare,
+        ],
+    }
+}
+
+/// Point distributions included in a tier.
+pub fn distributions(tier: Tier) -> Vec<PointDist> {
+    match tier {
+        Tier::Quick => vec![PointDist::Rand],
+        Tier::Full => vec![PointDist::Rand, PointDist::Cluster],
+    }
+}
+
+/// Number of nonuniform points per cell: enough to hit every bin class
+/// (partial bins, wrap-around) while keeping the O(N*M) oracle cheap.
+pub const POINTS_PER_CELL: usize = 220;
+
+/// Enumerate the GPU cells of a tier: every
+/// (type × dim × precision × method) combination crossed with the tier's
+/// tolerance ladder, distributions, and grid families.
+pub fn gpu_cells(tier: Tier) -> Vec<Cell> {
+    let mut cells = Vec::new();
+    for ttype in [TransformType::Type1, TransformType::Type2] {
+        for dim in [2usize, 3] {
+            for double in [true, false] {
+                for method in [Method::Gm, Method::GmSort, Method::Sm] {
+                    for &eps in &tolerance_ladder(double, tier) {
+                        for dist in distributions(tier) {
+                            for family in families(tier) {
+                                cells.push(Cell {
+                                    ttype,
+                                    dim,
+                                    double,
+                                    backend: Backend::Gpu(method),
+                                    eps,
+                                    dist,
+                                    family,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    cells
+}
+
+/// Enumerate the CPU-backend cells (the reference pipeline shares the
+/// kernel and deconvolution math, so it must meet the same envelope).
+pub fn cpu_cells(tier: Tier) -> Vec<Cell> {
+    let mut cells = Vec::new();
+    for ttype in [TransformType::Type1, TransformType::Type2] {
+        for dim in [2usize, 3] {
+            for double in [true, false] {
+                for &eps in &tolerance_ladder(double, tier) {
+                    for dist in distributions(tier) {
+                        for family in families(tier) {
+                            cells.push(Cell {
+                                ttype,
+                                dim,
+                                double,
+                                backend: Backend::Cpu,
+                                eps,
+                                dist,
+                                family,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+    cells
+}
+
+/// Run one cell: build the plan, execute on generated points, compare
+/// against the direct NUDFT oracle, and judge against the envelope.
+pub fn run_cell(cell: &Cell, dev: &Device, trace: Option<&Trace>) -> CellResult {
+    if cell.double {
+        run_cell_t::<f64>(cell, dev, trace)
+    } else {
+        run_cell_t::<f32>(cell, dev, trace)
+    }
+}
+
+fn run_cell_t<T: Real>(cell: &Cell, dev: &Device, trace: Option<&Trace>) -> CellResult {
+    let modes_v = cell.family.modes(cell.dim);
+    let modes = Shape::from_slice(&modes_v);
+    let m = POINTS_PER_CELL;
+    let seed = cell.seed();
+    let pts = gen_points::<T>(cell.dist, cell.dim, m, modes, seed);
+    let env = envelope(cell.eps, cell.double);
+    let skip = |reason: String| CellResult {
+        cell: cell.clone(),
+        modes: modes_v.clone(),
+        m,
+        rel_l2: None,
+        envelope: env,
+        outcome: Outcome::Skip(reason),
+    };
+
+    let err = match cell.backend {
+        Backend::Gpu(method) => {
+            let iflag = match cell.ttype {
+                TransformType::Type1 => -1,
+                _ => 1,
+            };
+            let mut builder = GpuPlan::<T>::builder(cell.ttype, &modes_v)
+                .eps(cell.eps)
+                .iflag(iflag)
+                .method(method)
+                .fine_sizing(cell.family.fine_sizing());
+            if let Some(t) = trace {
+                builder = builder.tracing(t);
+            }
+            let mut plan = match builder.build(dev) {
+                Ok(p) => p,
+                // SM shared-memory infeasibility (Remark 2) is a
+                // documented capability hole, not a conformance failure:
+                // the padded 3D bin does not fit in 49 kB for wide
+                // kernels, on real hardware or here. Everything else is
+                // a genuine failure.
+                Err(e @ NufftError::MethodUnavailable(_)) => return skip(e.to_string()),
+                Err(e) => panic!("cell {}: plan build failed: {e}", cell.name()),
+            };
+            plan.set_pts(&pts).unwrap();
+            match cell.ttype {
+                TransformType::Type1 => {
+                    let cs = gen_strengths::<T>(m, seed ^ 0x5f5f);
+                    let mut out = vec![Complex::<T>::ZERO; modes.total()];
+                    plan.execute(&cs, &mut out).unwrap();
+                    let want = type1_direct(&pts, &cs, modes, iflag);
+                    let got: Vec<Complex<f64>> = out.iter().map(|z| z.cast()).collect();
+                    rel_l2(&got, &want)
+                }
+                _ => {
+                    let fk = gen_coeffs::<T>(modes.total(), seed ^ 0xa5a5);
+                    let mut out = vec![Complex::<T>::ZERO; m];
+                    plan.execute(&fk, &mut out).unwrap();
+                    let want = type2_direct(&pts, &fk, modes, iflag);
+                    let got: Vec<Complex<f64>> = out.iter().map(|z| z.cast()).collect();
+                    rel_l2(&got, &want)
+                }
+            }
+        }
+        Backend::Cpu => {
+            let iflag = match cell.ttype {
+                TransformType::Type1 => -1,
+                _ => 1,
+            };
+            let opts = finufft_cpu::plan::Opts {
+                nthreads: 1,
+                fine_sizing: cell.family.fine_sizing(),
+                ..Default::default()
+            };
+            let mut plan =
+                finufft_cpu::plan::Plan::<T>::new(cell.ttype, &modes_v, iflag, cell.eps, opts)
+                    .unwrap();
+            plan.set_pts(pts.clone()).unwrap();
+            match cell.ttype {
+                TransformType::Type1 => {
+                    let cs = gen_strengths::<T>(m, seed ^ 0x5f5f);
+                    let mut out = vec![Complex::<T>::ZERO; modes.total()];
+                    plan.execute(&cs, &mut out).unwrap();
+                    let want = type1_direct(&pts, &cs, modes, iflag);
+                    let got: Vec<Complex<f64>> = out.iter().map(|z| z.cast()).collect();
+                    rel_l2(&got, &want)
+                }
+                _ => {
+                    let fk = gen_coeffs::<T>(modes.total(), seed ^ 0xa5a5);
+                    let mut out = vec![Complex::<T>::ZERO; m];
+                    plan.execute(&fk, &mut out).unwrap();
+                    let want = type2_direct(&pts, &fk, modes, iflag);
+                    let got: Vec<Complex<f64>> = out.iter().map(|z| z.cast()).collect();
+                    rel_l2(&got, &want)
+                }
+            }
+        }
+    };
+
+    let outcome = if err <= env {
+        Outcome::Pass
+    } else {
+        Outcome::Fail
+    };
+    CellResult {
+        cell: cell.clone(),
+        modes: modes_v,
+        m,
+        rel_l2: Some(err),
+        envelope: env,
+        outcome,
+    }
+}
+
+/// Run a set of cells, feeding trace counters as it goes.
+pub fn run_cells(cells: &[Cell], trace: Option<&Trace>) -> Vec<CellResult> {
+    let dev = Device::v100();
+    let mut out = Vec::with_capacity(cells.len());
+    for cell in cells {
+        let r = run_cell(cell, &dev, trace);
+        if let Some(t) = trace {
+            t.counter("conformance.cells").inc();
+            match r.outcome {
+                Outcome::Pass => t.counter("conformance.pass").inc(),
+                Outcome::Fail => t.counter("conformance.fail").inc(),
+                Outcome::Skip(_) => t.counter("conformance.skip").inc(),
+            }
+            t.gauge("conformance.max_ratio").max(r.ratio());
+        }
+        out.push(r);
+    }
+    out
+}
+
+/// Run the whole matrix (GPU + CPU backends) for a tier.
+pub fn run_matrix(tier: Tier, trace: Option<&Trace>) -> Report {
+    let mut cells = gpu_cells(tier);
+    cells.extend(cpu_cells(tier));
+    let results = run_cells(&cells, trace);
+    Report::new(tier, results)
+}
+
+/// `results/conformance.json` at the workspace root, regardless of the
+/// test binary's working directory.
+pub fn results_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../results/conformance.json")
+        .components()
+        .collect()
+}

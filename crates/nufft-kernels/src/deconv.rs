@@ -5,6 +5,21 @@
 //! divides it out: per dimension `p_i(k) = h_i / psi_hat_i(k) =
 //! (2/w) / phi_hat(alpha_i k)` with `alpha_i = w pi / n_i`, and the full
 //! factor is the tensor product. Factors are real and even in `k`.
+//!
+//! # Parity audit (even-size Nyquist, odd/even symmetry)
+//!
+//! The mode range is `k = freq_start(N) + j` for `j = 0..N`, i.e.
+//! `-N/2 .. N/2-1` for even `N` and `-(N-1)/2 .. (N-1)/2` for odd `N`.
+//! For even `N` the range is *asymmetric*: the Nyquist mode `k = -N/2`
+//! at output index `j = 0` has no positive partner, so the evenness of
+//! `phi_hat` only pairs indices `1..N-1` (`row[N/2 - k]` with
+//! `row[N/2 + k]`) and `row[0]` stands alone — any symmetry-exploiting
+//! rewrite must compute it explicitly, not mirror it. For odd `N` every
+//! mode pairs up and index `(N-1)/2` is DC. Both cases are exercised
+//! end-to-end by `tests/parity.rs`, which round-trips single pure modes
+//! (including the even-size Nyquist) through type 2 then type 1 against
+//! the direct NUDFT oracle in 2D and 3D; the unit tests below pin the
+//! per-row indexing.
 
 use crate::Kernel1d;
 use nufft_common::shape::{freq_start, Shape};
@@ -53,6 +68,35 @@ mod tests {
             let pos = row[8 + j]; // k = +j
             assert!((neg - pos).abs() < 1e-12 * pos.abs(), "j={j}");
         }
+    }
+
+    #[test]
+    fn even_size_nyquist_is_unpaired_and_largest() {
+        // even N: row[0] is k = -N/2, the one mode with no +k partner.
+        // It must match an explicit evaluation at alpha*(-N/2) and exceed
+        // every paired factor (phi_hat decays monotonically).
+        let k = EsKernel::with_width(6);
+        let n = 16usize;
+        let row = correction_row(&k, n, 2 * n);
+        let alpha = 6.0 * std::f64::consts::PI / (2 * n) as f64;
+        let expect = (2.0 / 6.0) / k.ft(alpha * -(n as f64 / 2.0));
+        assert!((row[0] - expect).abs() < 1e-13 * expect.abs());
+        assert!(row.iter().skip(1).all(|&p| p < row[0]));
+    }
+
+    #[test]
+    fn odd_size_is_fully_paired() {
+        // odd N: k = -(N-1)/2 .. (N-1)/2, DC at index (N-1)/2, and the
+        // two extreme modes +-(N-1)/2 are partners with equal factors.
+        let k = EsKernel::with_width(5);
+        let n = 15usize;
+        let row = correction_row(&k, n, 30);
+        let dc = n / 2;
+        for j in 1..=dc {
+            let d = (row[dc - j] - row[dc + j]).abs();
+            assert!(d < 1e-12 * row[dc + j].abs(), "j={j}");
+        }
+        assert!((row[0] - row[n - 1]).abs() < 1e-12 * row[0].abs());
     }
 
     #[test]

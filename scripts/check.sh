@@ -16,6 +16,20 @@ cargo test -q
 echo "== cargo test -q --test fault_injection (chaos suite)"
 cargo test -q --test fault_injection
 
+# Accuracy conformance matrix vs the direct-NUDFT oracle (DESIGN.md §5g).
+# Quick tier (288 cells) by default; CONFORMANCE=full runs the whole
+# 3040-cell sweep (clustered points, odd-composite/non-square/prime
+# grids, denser tolerance ladder) — ~2 min in release.
+if [[ "${CONFORMANCE:-quick}" == "full" ]]; then
+  echo "== CONFORMANCE=full conformance matrix (release)"
+  CONFORMANCE=full cargo test -q --release -p nufft-conformance --test conformance \
+    emit_conformance_json -- --nocapture
+else
+  echo "== conformance matrix, quick tier (release)"
+  cargo test -q --release -p nufft-conformance --test conformance \
+    emit_conformance_json -- --nocapture
+fi
+
 if [[ "${CHAOS:-0}" != "0" ]]; then
   echo "== CHAOS=1 randomized probabilistic-fault sweep"
   CHAOS=1 cargo test -q --test fault_injection chaos_randomized -- --nocapture

@@ -1,0 +1,204 @@
+//! Regression tests for periodic folding of nonuniform points pinned
+//! exactly to the domain boundary (±π), the fold seam (0, -ulp, 2π-ulp),
+//! and bin boundaries (multiples of the bin size in fine-grid cells).
+//!
+//! The hazards these guard: `x.rem_euclid(2π)` can round to exactly `2π`
+//! for `x` just below zero, which without the fold guard in
+//! `nufft_kernels::grid_coord` lands the point at fine-grid coordinate
+//! `g = n` — the GM path would then write out of the wrapped range and
+//! the SM path would index one cell past its padded bin. Points exactly
+//! on bin boundaries must land in exactly one bin (no double-counted
+//! weight), and their kernel footprints must wrap correctly at the grid
+//! edge. Each test pins every point to such a value and checks the
+//! result against the direct NUDFT oracle under the same conformance
+//! envelope as randomly placed points — a folding bug shows up as a
+//! catastrophic error (the point's whole weight misplaced), not a
+//! subtle one.
+
+use cufinufft::opts::Method;
+use cufinufft::plan::Plan;
+use gpu_sim::Device;
+use nufft_common::complex::Complex;
+use nufft_common::metrics::rel_l2;
+use nufft_common::real::Real;
+use nufft_common::reference::{type1_direct, type2_direct};
+use nufft_common::shape::Shape;
+use nufft_common::workload::{gen_coeffs, gen_strengths, Points};
+use nufft_common::TransformType;
+use nufft_conformance::envelope;
+
+/// `m` points cycled over values pinned to the domain boundary, the fold
+/// seam, and bin boundaries of a fine grid with `fine_n` cells per axis
+/// (default bins are 32 fine cells wide in 2D).
+fn pinned_points<T: Real>(dim: usize, m: usize, fine_n: usize) -> Points<T> {
+    let pi = std::f64::consts::PI;
+    let tau = std::f64::consts::TAU;
+    let h = tau / fine_n as f64;
+    let vals = [
+        -pi,                              // domain boundary (folds to fine cell n/2)
+        pi,                               // same physical point, approached from above
+        0.0,                              // fold seam
+        -1e-17,                           // rem_euclid rounds this fold to exactly 2pi
+        pi - 1e-15,                       // one ulp inside the boundary
+        32.0 * h - pi,                    // exactly on a bin boundary
+        64.0 * h - pi,                    // exactly on a bin boundary
+        96.0 * h - pi,                    // exactly on a bin boundary
+        h * 0.5 - pi,                     // half-cell offset (footprint straddles seam)
+        (fine_n as f64) * h - pi - 1e-13, // just below the wrap point
+    ];
+    let mut coords = [Vec::new(), Vec::new(), Vec::new()];
+    for (i, coord) in coords.iter_mut().enumerate().take(dim) {
+        // offset the cycle per axis so points are not all on the diagonal
+        *coord = (0..m)
+            .map(|j| T::from_f64(vals[(j + i * 3) % vals.len()]))
+            .collect();
+    }
+    Points { coords, dim }
+}
+
+fn check_type1<T: Real>(dim: usize, modes_n: usize, eps: f64, method: Method) {
+    let dev = Device::v100();
+    let modes_v = vec![modes_n; dim];
+    let mut plan = Plan::<T>::builder(TransformType::Type1, &modes_v)
+        .eps(eps)
+        .iflag(-1)
+        .method(method)
+        .build(&dev)
+        .unwrap();
+    let fine_n = plan.fine_grid_shape().n[0];
+    let pts = pinned_points::<T>(dim, 200, fine_n);
+    let cs = gen_strengths::<T>(pts.len(), 7);
+    plan.set_pts(&pts).unwrap();
+    let modes = Shape::from_slice(&modes_v);
+    let mut out = vec![Complex::<T>::ZERO; modes.total()];
+    plan.execute(&cs, &mut out).unwrap();
+    let want = type1_direct(&pts, &cs, modes, -1);
+    let got: Vec<Complex<f64>> = out.iter().map(|z| z.cast()).collect();
+    let err = rel_l2(&got, &want);
+    let env = envelope(eps, T::IS_DOUBLE);
+    assert!(
+        err <= env,
+        "type1 {dim}D {method:?} eps={eps:.0e} boundary-pinned: rel_l2 {err:.3e} > {env:.3e}"
+    );
+}
+
+fn check_type2<T: Real>(dim: usize, modes_n: usize, eps: f64, method: Method) {
+    let dev = Device::v100();
+    let modes_v = vec![modes_n; dim];
+    let mut plan = Plan::<T>::builder(TransformType::Type2, &modes_v)
+        .eps(eps)
+        .iflag(1)
+        .method(method)
+        .build(&dev)
+        .unwrap();
+    let fine_n = plan.fine_grid_shape().n[0];
+    let pts = pinned_points::<T>(dim, 200, fine_n);
+    plan.set_pts(&pts).unwrap();
+    let modes = Shape::from_slice(&modes_v);
+    let fk = gen_coeffs::<T>(modes.total(), 9);
+    let mut out = vec![Complex::<T>::ZERO; pts.len()];
+    plan.execute(&fk, &mut out).unwrap();
+    let want = type2_direct(&pts, &fk, modes, 1);
+    let got: Vec<Complex<f64>> = out.iter().map(|z| z.cast()).collect();
+    let err = rel_l2(&got, &want);
+    let env = envelope(eps, T::IS_DOUBLE);
+    assert!(
+        err <= env,
+        "type2 {dim}D {method:?} eps={eps:.0e} boundary-pinned: rel_l2 {err:.3e} > {env:.3e}"
+    );
+}
+
+#[test]
+fn boundary_pinned_type1_all_methods_f64() {
+    for method in [Method::Gm, Method::GmSort, Method::Sm] {
+        check_type1::<f64>(2, 64, 1e-9, method);
+    }
+    // 3D SM for f64 is shared-memory infeasible beyond w=4 (Remark 2),
+    // so the 3D sweep uses a coarse tolerance for SM
+    check_type1::<f64>(3, 16, 1e-9, Method::Gm);
+    check_type1::<f64>(3, 16, 1e-9, Method::GmSort);
+    check_type1::<f64>(3, 16, 1e-2, Method::Sm);
+}
+
+#[test]
+fn boundary_pinned_type1_all_methods_f32() {
+    for method in [Method::Gm, Method::GmSort, Method::Sm] {
+        check_type1::<f32>(2, 64, 1e-5, method);
+        check_type1::<f32>(3, 16, 1e-5, method);
+    }
+}
+
+#[test]
+fn boundary_pinned_type2_both_precisions() {
+    for dim in [2usize, 3] {
+        let n = if dim == 2 { 64 } else { 16 };
+        check_type2::<f64>(dim, n, 1e-9, Method::GmSort);
+        check_type2::<f64>(dim, n, 1e-9, Method::Gm);
+        check_type2::<f32>(dim, n, 1e-5, Method::GmSort);
+    }
+}
+
+/// The fold seam specifically: `x = -ulp` folds (by `rem_euclid`
+/// rounding) to exactly `2π`, i.e. fine coordinate `g = n`. The guard
+/// must land it at `g = 0`; the f64 oracle sees the same `x` and agrees
+/// up to the envelope. Pre-guard code panicked or misplaced the point's
+/// whole weight here.
+#[test]
+fn fold_seam_negative_ulp() {
+    let dev = Device::v100();
+    for method in [Method::Gm, Method::GmSort, Method::Sm] {
+        let mut plan = Plan::<f64>::builder(TransformType::Type1, &[32, 32])
+            .eps(1e-9)
+            .iflag(-1)
+            .method(method)
+            .build(&dev)
+            .unwrap();
+        let pts = Points::<f64> {
+            coords: [
+                vec![-1e-17, -1e-300, 0.0],
+                vec![0.0, -1e-17, -1e-17],
+                Vec::new(),
+            ],
+            dim: 2,
+        };
+        let cs = gen_strengths::<f64>(3, 3);
+        plan.set_pts(&pts).unwrap();
+        let modes = Shape::d2(32, 32);
+        let mut out = vec![Complex::<f64>::ZERO; modes.total()];
+        plan.execute(&cs, &mut out).unwrap();
+        let want = type1_direct(&pts, &cs, modes, -1);
+        let got: Vec<Complex<f64>> = out.iter().map(|z| z.cast()).collect();
+        let err = rel_l2(&got, &want);
+        assert!(err <= envelope(1e-9, true), "{method:?}: {err:.3e}");
+    }
+}
+
+/// CPU reference pipeline handles the same pinned points.
+#[test]
+fn boundary_pinned_cpu_plan() {
+    for dim in [2usize, 3] {
+        let n = if dim == 2 { 64 } else { 16 };
+        let opts = finufft_cpu::plan::Opts {
+            nthreads: 1,
+            ..Default::default()
+        };
+        let mut plan = finufft_cpu::plan::Plan::<f64>::new(
+            TransformType::Type1,
+            &vec![n; dim],
+            -1,
+            1e-9,
+            opts,
+        )
+        .unwrap();
+        let pts = pinned_points::<f64>(dim, 200, 2 * n);
+        let cs = gen_strengths::<f64>(pts.len(), 7);
+        plan.set_pts(pts.clone()).unwrap();
+        let modes = Shape::from_slice(&vec![n; dim]);
+        let mut out = vec![Complex::<f64>::ZERO; modes.total()];
+        plan.execute(&cs, &mut out).unwrap();
+        let want = type1_direct(&pts, &cs, modes, -1);
+        let got: Vec<Complex<f64>> = out.iter().map(|z| z.cast()).collect();
+        let err = rel_l2(&got, &want);
+        assert!(err <= envelope(1e-9, true), "cpu {dim}D: {err:.3e}");
+    }
+}
