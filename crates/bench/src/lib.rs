@@ -5,6 +5,8 @@
 //! CSV rows under `results/` at the workspace root. Problem sizes are
 //! scaled down from the paper's (DESIGN.md §2.3) unless `BENCH_LARGE=1`.
 
+#![forbid(unsafe_code)]
+
 use gpu_sim::Device;
 use nufft_common::workload::{gen_points, gen_strengths, PointDist, Points};
 use nufft_common::{Complex, NufftPlan, Real, Shape, TransformType};

@@ -6,7 +6,7 @@
 //! bulk pass per kernel with the same byte traffic the CUDA version
 //! would generate.
 
-use gpu_sim::{Device, Precision};
+use gpu_sim::{Contract, Device, KernelTrace, Precision, Scope};
 use nufft_common::real::Real;
 use nufft_common::shape::Shape;
 use nufft_common::workload::Points;
@@ -142,12 +142,99 @@ pub fn gpu_bin_sort<T: Real>(
     if let Some(trace) = dev.trace() {
         record_bin_stats(&trace, &starts, nb, m);
     }
+    if dev.hazard_checking() {
+        trace_bin_sort_passes(dev, &bin_of, &starts, nb, pts.dim);
+    }
 
     GpuBinSort {
         layout,
         perm,
         starts,
     }
+}
+
+/// Replay the four bin-sort passes through the access tracer. The passes
+/// run as `bulk_op`s (host loops pricing device traffic), so unlike the
+/// spread/interp kernels there is no per-block execution to instrument
+/// in place; instead we reconstruct the access pattern each CUDA kernel
+/// would issue — one thread per point, 256 threads per block — and
+/// submit it with an explicit [`Contract`].
+fn trace_bin_sort_passes(dev: &Device, bin_of: &[u32], starts: &[u32], nb: usize, dim: usize) {
+    let m = bin_of.len();
+    let tid = |j: usize| ((j / 256) as u32, (j % 256) as u32);
+
+    // kernel 1: bin_of[j] = bin(points[j]) — pure map, no atomics
+    let mut t = KernelTrace::new("calc_binidx");
+    let pts_buf = t.buffer("points", Scope::Global, 8);
+    let bin_buf = t.buffer("bin_of", Scope::Global, 4);
+    for j in 0..m {
+        let (b, l) = tid(j);
+        for arr in 0..dim {
+            t.read(pts_buf, b, l, (j * 4 + arr) as u64);
+        }
+        t.write(bin_buf, b, l, j as u64);
+    }
+    dev.submit_access_trace(
+        t,
+        Contract {
+            global_atomics: Some(0),
+            ..Contract::default()
+        },
+    );
+
+    // kernel 2: histogram — one global atomic per point on its bin counter
+    let mut t = KernelTrace::new("bin_histogram");
+    let bin_buf = t.buffer("bin_of", Scope::Global, 4);
+    let cnt_buf = t.buffer("bin_counts", Scope::Global, 4);
+    for (j, &bin) in bin_of.iter().enumerate() {
+        let (b, l) = tid(j);
+        t.read(bin_buf, b, l, j as u64);
+        t.atomic(cnt_buf, b, l, bin as u64);
+    }
+    dev.submit_access_trace(
+        t,
+        Contract {
+            global_atomics: Some(m as u64),
+            ..Contract::default()
+        },
+    );
+
+    // kernel 3: exclusive scan — single-threaded reference shape
+    let mut t = KernelTrace::new("bin_scan");
+    let cnt_buf = t.buffer("bin_counts", Scope::Global, 4);
+    for b in 0..nb {
+        t.read(cnt_buf, 0, 0, b as u64);
+        t.write(cnt_buf, 0, 0, b as u64 + 1);
+    }
+    dev.submit_access_trace(
+        t,
+        Contract {
+            global_atomics: Some(0),
+            ..Contract::default()
+        },
+    );
+
+    // kernel 4: scatter — atomic cursor bump per point, unique perm slot
+    let mut t = KernelTrace::new("bin_scatter");
+    let bin_buf = t.buffer("bin_of", Scope::Global, 4);
+    let cur_buf = t.buffer("bin_cursor", Scope::Global, 4);
+    let perm_buf = t.buffer("perm", Scope::Global, 4);
+    let mut cursor: Vec<u32> = starts[..nb].to_vec();
+    for (j, &bin) in bin_of.iter().enumerate() {
+        let (b, l) = tid(j);
+        t.read(bin_buf, b, l, j as u64);
+        t.atomic(cur_buf, b, l, bin as u64);
+        let slot = cursor[bin as usize];
+        cursor[bin as usize] += 1;
+        t.write(perm_buf, b, l, slot as u64);
+    }
+    dev.submit_access_trace(
+        t,
+        Contract {
+            global_atomics: Some(m as u64),
+            ..Contract::default()
+        },
+    );
 }
 
 /// Publish per-bin load-balance counters: the bin occupancy histogram

@@ -6,7 +6,7 @@
 //! (the paper argues its benefit would be limited).
 
 use crate::spread::{footprint, PtsRef, SpreadInputs, MAX_W};
-use gpu_sim::{Device, DeviceFault, LaunchConfig, LaunchReport, Precision};
+use gpu_sim::{Device, DeviceFault, LaunchConfig, LaunchReport, Precision, Scope};
 use nufft_common::complex::Complex;
 use nufft_common::real::Real;
 use nufft_common::shape::Shape;
@@ -38,6 +38,12 @@ pub fn interp_gm<T: Real, K: Kernel1d>(
         Precision::Single
     };
     let mut k = dev.kernel(name, LaunchConfig::new(prec, threads_per_block))?;
+    // traced buffers (no-ops unless the device is in hazard mode): the
+    // grid is only read, each out[j] is written by exactly one thread
+    let traced = k.access_traced();
+    let tb_pts = k.trace_buffer("points", Scope::Global, T::BYTES);
+    let tb_grid = k.trace_buffer("fine_grid", Scope::Global, cb / 2);
+    let tb_out = k.trace_buffer("out", Scope::Global, cb / 2);
     let w = kernel.width();
     let dim = pts.dim;
     let [n1, n2, n3] = fine.n;
@@ -47,11 +53,13 @@ pub fn interp_gm<T: Real, K: Kernel1d>(
     let sector_bytes = dev.props().sector_bytes;
     for block in order.chunks(threads_per_block) {
         let mut b = k.block();
-        for warp in block.chunks(32) {
+        for (wi, warp) in block.chunks(32).enumerate() {
+            let lane0 = (wi * 32) as u32;
             // point coordinate loads
             for arr in 0..dim {
                 for (l, &j) in warp.iter().enumerate() {
                     addrs[l] = j as usize * T::BYTES + arr;
+                    b.trace_read(tb_pts, lane0 + l as u32, (j as u64) * 4 + arr as u64);
                 }
                 b.warp_access(&addrs[..warp.len()]);
             }
@@ -103,7 +111,8 @@ pub fn interp_gm<T: Real, K: Kernel1d>(
             }
             b.warp_access(&addrs[..warp.len()]);
             // functional interpolation
-            for (&j, fp) in warp.iter().zip(fps.iter()) {
+            for (l, (&j, fp)) in warp.iter().zip(fps.iter()).enumerate() {
+                let lane = lane0 + l as u32;
                 for i in 0..3 {
                     let n = [n1, n2, n3][i] as i64;
                     for (t, slot) in idx[i][..fp.wd[i]].iter_mut().enumerate() {
@@ -118,11 +127,18 @@ pub fn interp_gm<T: Real, K: Kernel1d>(
                         let mut row = Complex::<T>::ZERO;
                         for t1 in 0..fp.wd[0] {
                             row += grid[base + idx[0][t1]].scale(T::from_f64(fp.ker[0][t1]));
+                            if traced {
+                                let cell = (base + idx[0][t1]) as u64;
+                                b.trace_read(tb_grid, lane, 2 * cell);
+                                b.trace_read(tb_grid, lane, 2 * cell + 1);
+                            }
                         }
                         acc += row.scale(T::from_f64(k23));
                     }
                 }
                 out[j as usize] = acc;
+                b.trace_write(tb_out, lane, 2 * j as u64);
+                b.trace_write(tb_out, lane, 2 * j as u64 + 1);
             }
         }
         b.finish();

@@ -46,6 +46,8 @@
 //! );
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod bins;
 pub mod interp;
 pub mod opts;

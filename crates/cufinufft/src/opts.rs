@@ -1,7 +1,7 @@
 //! Options and spreading-method selection, mirroring `cufinufft_opts`.
 
 use crate::recovery::RecoveryPolicy;
-use gpu_sim::Trace;
+use gpu_sim::{HazardMode, Trace};
 use nufft_common::error::{NufftError, Result};
 use nufft_common::smooth::FineSizing;
 
@@ -69,6 +69,14 @@ pub struct GpuOpts {
     /// [`RecoveryPolicy`]; `RecoveryPolicy::none()` restores
     /// fail-fast semantics.
     pub recovery: RecoveryPolicy,
+    /// Race / access-contract checking (see `gpu_sim::hazard`). Under
+    /// `HazardMode::Check` every instrumented kernel launch records a
+    /// shadow access trace, the device runs the happens-before checker
+    /// over it, and findings accumulate on the plan
+    /// ([`Plan::hazard_findings`](crate::plan::Plan::hazard_findings)).
+    /// Off by default: tracing every access is far slower than the
+    /// pure performance model.
+    pub hazard: HazardMode,
 }
 
 impl Default for GpuOpts {
@@ -85,6 +93,7 @@ impl Default for GpuOpts {
             max_batch: 0,
             trace: None,
             recovery: RecoveryPolicy::default(),
+            hazard: HazardMode::default(),
         }
     }
 }
@@ -93,6 +102,12 @@ impl GpuOpts {
     /// Enable tracing into `trace` (builder-style).
     pub fn with_tracing(mut self, trace: &Trace) -> Self {
         self.trace = Some(trace.clone());
+        self
+    }
+
+    /// Enable race / access-contract checking (builder-style).
+    pub fn with_hazard_checking(mut self) -> Self {
+        self.hazard = HazardMode::Check;
         self
     }
 

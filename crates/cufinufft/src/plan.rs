@@ -7,7 +7,7 @@ use crate::interp::interp_batch;
 use crate::opts::{default_bin_size, resolve_spread_method, GpuOpts, Method, ModeOrder};
 use crate::recovery::{with_retry, RecoveryReport};
 use crate::spread::{spread_batch, PtsRef, SpreadInputs};
-use gpu_sim::{Device, GpuBuffer, Lane, Precision, Trace, TraceReport};
+use gpu_sim::{Device, GpuBuffer, HazardMode, HazardReport, Lane, Precision, Trace, TraceReport};
 use nufft_common::complex::Complex;
 use nufft_common::error::{NufftError, Result};
 use nufft_common::real::Real;
@@ -326,6 +326,16 @@ impl<T: Real> PlanBuilder<T> {
         self
     }
 
+    /// Race / access-contract checking mode (default
+    /// [`HazardMode::Off`]). Under [`HazardMode::Check`] every
+    /// instrumented kernel launched by this plan records a shadow
+    /// access trace and the device's happens-before checker runs over
+    /// it; collect the findings with [`Plan::hazard_findings`].
+    pub fn hazard(mut self, mode: HazardMode) -> Self {
+        self.opts.hazard = mode;
+        self
+    }
+
     /// Validate the options and build the plan.
     pub fn build(self, dev: &Device) -> Result<Plan<T>> {
         self.opts.validate()?;
@@ -412,6 +422,7 @@ impl<T: Real> Plan<T> {
         if let Some(t) = &trace {
             dev.attach_trace(t);
         }
+        dev.set_hazard_mode(opts.hazard);
         let _on = trace.as_ref().map(|t| t.activate());
         let _span = trace.as_ref().map(|t| {
             t.span_with(
@@ -590,6 +601,15 @@ impl<T: Real> Plan<T> {
     /// human-readable event log (see [`RecoveryReport`]).
     pub fn recovery_report(&self) -> &RecoveryReport {
         &self.recovery
+    }
+
+    /// Everything the race / contract checker has found on this plan's
+    /// device so far: one [`gpu_sim::KernelHazardReport`] per checked
+    /// launch. Empty (and vacuously clean) unless the plan was built
+    /// with [`PlanBuilder::hazard`]`(HazardMode::Check)` /
+    /// [`GpuOpts::with_hazard_checking`].
+    pub fn hazard_findings(&self) -> HazardReport {
+        self.dev.hazard_findings()
     }
 
     /// Record a stage-level span (simulated clock, plan lane) covering

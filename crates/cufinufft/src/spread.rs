@@ -15,7 +15,7 @@
 
 use crate::bins::{BinLayout, Subproblem};
 use crate::opts::Method;
-use gpu_sim::{Device, DeviceFault, LaunchConfig, LaunchReport, Precision};
+use gpu_sim::{Device, DeviceFault, LaunchConfig, LaunchReport, Precision, Scope};
 use nufft_common::complex::Complex;
 use nufft_common::real::Real;
 use nufft_common::shape::Shape;
@@ -131,6 +131,69 @@ pub fn spread_gm<T: Real, K: Kernel1d>(
     threads_per_block: usize,
     cas_atomic_penalty: f64,
 ) -> Result<LaunchReport, DeviceFault> {
+    spread_gm_impl(
+        dev,
+        name,
+        kernel,
+        fine,
+        pts,
+        strengths,
+        order,
+        grid,
+        threads_per_block,
+        cas_atomic_penalty,
+        false,
+    )
+}
+
+/// Deliberately broken GM spread that updates the fine grid with plain
+/// (non-atomic) writes — the "fast because it races" bug the hazard
+/// checker exists to catch. The serial simulation still produces correct
+/// sums, which is exactly why the race would go unnoticed without the
+/// checker. Test-only: used as the negative control proving the detector
+/// is not vacuously green.
+#[doc(hidden)]
+#[allow(clippy::too_many_arguments)]
+pub fn spread_gm_racy<T: Real, K: Kernel1d>(
+    dev: &Device,
+    name: &str,
+    kernel: &K,
+    fine: Shape,
+    pts: &PtsRef<'_, T>,
+    strengths: &[Complex<T>],
+    order: &[u32],
+    grid: &mut [Complex<T>],
+    threads_per_block: usize,
+) -> Result<LaunchReport, DeviceFault> {
+    spread_gm_impl(
+        dev,
+        name,
+        kernel,
+        fine,
+        pts,
+        strengths,
+        order,
+        grid,
+        threads_per_block,
+        1.0,
+        true,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn spread_gm_impl<T: Real, K: Kernel1d>(
+    dev: &Device,
+    name: &str,
+    kernel: &K,
+    fine: Shape,
+    pts: &PtsRef<'_, T>,
+    strengths: &[Complex<T>],
+    order: &[u32],
+    grid: &mut [Complex<T>],
+    threads_per_block: usize,
+    cas_atomic_penalty: f64,
+    racy: bool,
+) -> Result<LaunchReport, DeviceFault> {
     assert_eq!(grid.len(), fine.total());
     let m = order.len();
     let cb = std::mem::size_of::<Complex<T>>();
@@ -140,6 +203,12 @@ pub fn spread_gm<T: Real, K: Kernel1d>(
         LaunchConfig::new(prec, threads_per_block).with_cas_penalty(cas_atomic_penalty),
     )?;
     k.atomic_region(fine.total(), cb);
+    // named buffers for the shadow-memory access trace (no-ops when the
+    // device is not in hazard mode); the grid is traced per real word so
+    // counts line up with the two-atomics-per-complex-add accounting
+    let tb_pts = k.trace_buffer("points", Scope::Global, T::BYTES);
+    let tb_str = k.trace_buffer("strengths", Scope::Global, cb);
+    let tb_grid = k.trace_buffer("fine_grid", Scope::Global, cb / 2);
     let w = kernel.width();
     let dim = pts.dim;
     let [n1, n2, n3] = fine.n;
@@ -147,16 +216,19 @@ pub fn spread_gm<T: Real, K: Kernel1d>(
     let mut idx = [[0usize; MAX_W]; 3];
     for block in order.chunks(threads_per_block) {
         let mut b = k.block();
-        for warp in block.chunks(32) {
-            // point-data loads: one access per array (x, y, z, c)
+        for (wi, warp) in block.chunks(32).enumerate() {
+            let lane0 = (wi * 32) as u32; // thread id of this warp's lane 0
+                                          // point-data loads: one access per array (x, y, z, c)
             for arr in 0..dim {
                 for (l, &j) in warp.iter().enumerate() {
                     addrs[l] = j as usize * T::BYTES + arr;
+                    b.trace_read(tb_pts, lane0 + l as u32, (j as u64) * 4 + arr as u64);
                 }
                 b.warp_access(&addrs[..warp.len()]);
             }
             for (l, &j) in warp.iter().enumerate() {
                 addrs[l] = j as usize * cb;
+                b.trace_read(tb_str, lane0 + l as u32, j as u64);
             }
             b.warp_access(&addrs[..warp.len()]);
             b.flops(warp.len() as u64 * (dim * w) as u64 * FLOPS_PER_EVAL);
@@ -179,8 +251,18 @@ pub fn spread_gm<T: Real, K: Kernel1d>(
                     let c3 = (fp.l0[2] + t3 as i64).rem_euclid(n3 as i64) as usize;
                     let cell = c1 + n1 * (c2 + n2 * c3);
                     addrs[l] = cell * cb;
-                    b.global_atomic(cell); // op cost + contention
-                    b.global_atomic(cell); // two words per complex add
+                    let lane = lane0 + l as u32;
+                    if racy {
+                        // the bug under test: plain read-modify-write of
+                        // a grid word other threads also update
+                        b.trace_write(tb_grid, lane, 2 * cell as u64);
+                        b.trace_write(tb_grid, lane, 2 * cell as u64 + 1);
+                    } else {
+                        b.global_atomic(cell); // op cost + contention
+                        b.global_atomic(cell); // two words per complex add
+                        b.trace_atomic(tb_grid, lane, 2 * cell as u64);
+                        b.trace_atomic(tb_grid, lane, 2 * cell as u64 + 1);
+                    }
                 }
                 b.l2_access(&addrs[..fps.len()]);
                 b.flops(fps.len() as u64 * FLOPS_PER_CELL);
@@ -265,6 +347,14 @@ pub fn spread_sm<T: Real>(
             .with_shared(shared_bytes.min(dev.props().shared_mem_per_block)),
     )?;
     k.atomic_region(fine.total(), cb);
+    // traced buffers (no-ops unless the device is in hazard mode); the
+    // shared bin and the fine grid are traced per real word
+    let traced = k.access_traced();
+    let tb_pts = k.trace_buffer("points", Scope::Global, T::BYTES);
+    let tb_str = k.trace_buffer("strengths", Scope::Global, cb);
+    let tb_bin = k.trace_buffer("sm_bin", Scope::Shared, cb / 2);
+    let tb_grid = k.trace_buffer("fine_grid", Scope::Global, cb / 2);
+    let tpb = 256u32; // threads per block, for trace thread ids
     let [n1, n2, n3] = fine.n;
     let half = (pad / 2) as i64;
     let mut local = vec![Complex::<T>::ZERO; padded_cells];
@@ -272,9 +362,16 @@ pub fn spread_sm<T: Real>(
     for sp in subproblems {
         let mut b = k.block();
         let o = layout.origin(sp.bin as usize);
-        // shared-memory zero fill
+        // shared-memory zero fill (grid-stride over the padded bin), then
+        // a __syncthreads before any thread accumulates into the bin
         b.shared_ops(padded_cells as u64);
         local.iter_mut().for_each(|z| *z = Complex::ZERO);
+        if traced {
+            for word in 0..2 * padded_cells as u64 {
+                b.trace_write(tb_bin, (word % tpb as u64) as u32, word);
+            }
+            b.barrier();
+        }
         // offset of the padded bin within the fine grid (can be negative)
         let delta = [
             o[0] as i64 - half * (dim >= 1) as i64,
@@ -282,20 +379,28 @@ pub fn spread_sm<T: Real>(
             o[2] as i64 - half * (dim >= 3) as i64,
         ];
         let members = &perm[sp.start as usize..(sp.start + sp.len) as usize];
-        for warp in members.chunks(32) {
-            // gather point data (scattered: members are original indices)
+        for (wi, warp) in members.chunks(32).enumerate() {
+            let lane0 = (wi as u32 * 32) % tpb; // thread id of lane 0
+                                                // gather point data (scattered: members are original indices)
             for arr in 0..dim {
                 for (l, &j) in warp.iter().enumerate() {
                     addrs[l] = j as usize * T::BYTES + arr;
+                    b.trace_read(
+                        tb_pts,
+                        (lane0 + l as u32) % tpb,
+                        (j as u64) * 4 + arr as u64,
+                    );
                 }
                 b.warp_access(&addrs[..warp.len()]);
             }
             for (l, &j) in warp.iter().enumerate() {
                 addrs[l] = j as usize * cb;
+                b.trace_read(tb_str, (lane0 + l as u32) % tpb, j as u64);
             }
             b.warp_access(&addrs[..warp.len()]);
             b.flops(warp.len() as u64 * (dim * w) as u64 * FLOPS_PER_EVAL);
-            for &j in warp {
+            for (l, &j) in warp.iter().enumerate() {
+                let thread = (lane0 + l as u32) % tpb;
                 let fp = footprint(kernel, fine, pts, j as usize);
                 let c = strengths[j as usize];
                 let b1 = (fp.l0[0] - delta[0]) as usize;
@@ -331,6 +436,8 @@ pub fn spread_sm<T: Real>(
                             // two shared atomics per cell (re, im words)
                             b.shared_atomic(cell);
                             b.shared_atomic(cell);
+                            b.trace_atomic(tb_bin, thread, 2 * cell as u64);
+                            b.trace_atomic(tb_bin, thread, 2 * cell as u64 + 1);
                             local[cell] += c23.scale(T::from_f64(fp.ker[0][t1]));
                         }
                     }
@@ -338,7 +445,11 @@ pub fn spread_sm<T: Real>(
                 b.flops((fp.wd[0] * fp.wd[1] * fp.wd[2]) as u64 * FLOPS_PER_CELL);
             }
         }
-        // Step 3: atomic add the padded bin back to global memory
+        // Step 3: __syncthreads, then atomic add the padded bin back to
+        // global memory (each thread reads its own shared words)
+        if traced {
+            b.barrier();
+        }
         b.shared_ops(padded_cells as u64); // shared reads
         for i3 in 0..p[2] {
             let g3 = ((delta[2] + i3 as i64).rem_euclid(n3 as i64)) as usize;
@@ -359,6 +470,14 @@ pub fn spread_sm<T: Real>(
                         let cell = row_base + g1;
                         b.global_atomic(cell);
                         b.global_atomic(cell);
+                        if traced {
+                            let lcell = lrow + l + s;
+                            let thread = (lcell % tpb as usize) as u32;
+                            b.trace_read(tb_bin, thread, 2 * lcell as u64);
+                            b.trace_read(tb_bin, thread, 2 * lcell as u64 + 1);
+                            b.trace_atomic(tb_grid, thread, 2 * cell as u64);
+                            b.trace_atomic(tb_grid, thread, 2 * cell as u64 + 1);
+                        }
                         grid[cell] += local[lrow + l + s];
                     }
                     l += lanes;

@@ -11,6 +11,8 @@
 //! operations on the paper's Xeon testbeds so benchmarks can compare
 //! against the GPU cost model on one timing basis.
 
+#![forbid(unsafe_code)]
+
 pub mod deconv;
 pub mod model;
 pub mod plan;

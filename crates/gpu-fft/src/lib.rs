@@ -8,6 +8,8 @@
 //! (a 4096^2 C2C single-precision FFT prices at ~0.9 ms; cuFFT measures
 //! ~0.8-1.2 ms).
 
+#![forbid(unsafe_code)]
+
 use gpu_sim::{Device, GpuBuffer, Precision};
 use nufft_common::complex::Complex;
 use nufft_common::real::Real;

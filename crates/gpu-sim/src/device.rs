@@ -5,9 +5,12 @@
 //! priced. Buffers track allocation against the device's memory capacity
 //! so the reproduction can report GPU RAM usage as in Table I.
 
+use crate::access::{Contract, HazardMode, KernelTrace};
 use crate::faults::{DeviceFault, FaultKind, FaultPlan, FaultSite, FaultState, Injection};
+use crate::hazard;
 use crate::kernel::{Breakdown, Kernel, LaunchConfig, LaunchReport};
 use crate::props::{DeviceProps, Precision};
+use nufft_common::hazard::{HazardReport, KernelHazardReport};
 use nufft_trace::{Lane, Trace};
 use parking_lot::Mutex;
 use std::sync::Arc;
@@ -41,6 +44,8 @@ struct State {
     record_timeline: bool,
     trace: Option<Trace>,
     faults: Option<FaultState>,
+    hazard_mode: HazardMode,
+    hazard: Vec<KernelHazardReport>,
 }
 
 /// Which trace lane a priced operation lands on. Transfers are split by
@@ -152,6 +157,53 @@ impl Device {
 
     pub fn detach_trace(&self) {
         self.inner.state.lock().trace = None;
+    }
+
+    /// Select whether instrumented launches are access-traced and
+    /// race/contract-checked. Under [`HazardMode::Check`] every kernel
+    /// created by [`Device::kernel`] carries a shadow-memory trace and
+    /// its findings accumulate on the device (see
+    /// [`Device::hazard_findings`]).
+    pub fn set_hazard_mode(&self, mode: HazardMode) {
+        self.inner.state.lock().hazard_mode = mode;
+    }
+
+    pub fn hazard_mode(&self) -> HazardMode {
+        self.inner.state.lock().hazard_mode
+    }
+
+    /// Convenience: is the device currently checking for hazards?
+    pub fn hazard_checking(&self) -> bool {
+        self.hazard_mode() == HazardMode::Check
+    }
+
+    /// All hazard/contract findings accumulated since creation (or the
+    /// last [`Device::clear_hazard_findings`]), one entry per checked
+    /// launch in launch order.
+    pub fn hazard_findings(&self) -> HazardReport {
+        HazardReport {
+            kernels: self.inner.state.lock().hazard.clone(),
+        }
+    }
+
+    pub fn clear_hazard_findings(&self) {
+        self.inner.state.lock().hazard.clear();
+    }
+
+    /// Run the checker on a completed trace and accumulate the findings,
+    /// mirroring hazard counters into an attached trace session. Used by
+    /// `launch_end` for instrumented kernels and directly by bulk-pass
+    /// instrumentation (which has no [`Kernel`] object).
+    pub fn submit_access_trace(&self, trace: KernelTrace, contract: Contract) {
+        let report = hazard::check(&trace, &contract);
+        if let Some(t) = self.trace() {
+            t.counter("hazard.kernels_checked").inc();
+            t.counter("hazard.accesses").add(report.accesses as i64);
+            t.counter("hazard.races").add(report.hazards_total as i64);
+            t.counter("hazard.contract_violations")
+                .add(report.violations.len() as i64);
+        }
+        self.inner.state.lock().hazard.push(report);
     }
 
     /// Attach a [`FaultPlan`]: subsequent allocations, transfers, and
@@ -443,6 +495,13 @@ impl Device {
             cfg.shared_bytes_per_block,
             self.inner.props.shared_mem_per_block
         );
+        let mk = || {
+            let mut k = Kernel::new(name, cfg, self.inner.props.clone());
+            if self.hazard_checking() {
+                k.enable_access_trace();
+            }
+            k
+        };
         match self.consult_faults(FaultSite::Kernel, name) {
             Injection::Fail { transient } => Err(DeviceFault {
                 op: name.to_string(),
@@ -451,15 +510,21 @@ impl Device {
             }),
             Injection::Stall(s) => {
                 self.advance("fault.stall", s);
-                Ok(Kernel::new(name, cfg, self.inner.props.clone()))
+                Ok(mk())
             }
-            Injection::None => Ok(Kernel::new(name, cfg, self.inner.props.clone())),
+            Injection::None => Ok(mk()),
         }
     }
 
-    /// Price and record a finished kernel; advances the clock.
+    /// Price and record a finished kernel; advances the clock. When the
+    /// launch carries an access trace (hazard mode), the happens-before
+    /// and contract checker runs here and its findings accumulate on the
+    /// device.
     pub fn launch_end(&self, kernel: Kernel) -> LaunchReport {
-        let report = kernel.price();
+        let (report, traced) = kernel.price();
+        if let Some((access, contract)) = traced {
+            self.submit_access_trace(access, contract);
+        }
         if let Some(trace) = self.trace() {
             trace.counter("gpu.kernel_launches").inc();
             trace.counter("gpu.blocks").add(report.blocks as i64);

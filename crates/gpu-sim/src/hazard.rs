@@ -1,0 +1,421 @@
+//! Happens-before race checker and kernel access-contract checker.
+//!
+//! Consumes the [`KernelTrace`] a launch produced under
+//! [`crate::access::HazardMode::Check`] and reports:
+//!
+//! * **intra-block hazards** — two threads of one block touch the same
+//!   element in the same sync epoch (no `barrier()` between them) with
+//!   at least one non-atomic write involved;
+//! * **inter-block hazards** — two different blocks touch the same
+//!   element of a *global* buffer and the pair is not mediated by
+//!   atomics. Blocks of one launch have no ordering primitive in the
+//!   CUDA model, so epochs are irrelevant across blocks;
+//! * **contract violations** — the traced behavior disagrees with what
+//!   the launch declared to the performance model (atomic counts,
+//!   shared-memory footprint), i.e. the cost model has drifted from the
+//!   functional code.
+//!
+//! The conflict rule is the classic race-detection matrix: Read/Read and
+//! Atomic/Atomic pairs are safe, every other combination conflicts.
+//! Detection is exact (no sampling): for each (buffer, element) the
+//! checker keeps, per access kind, up to two representative accesses
+//! with distinct thread (or block) ids — enough to decide whether *any*
+//! conflicting pair from distinct threads exists, in O(records) time.
+
+use crate::access::{AccessRecord, Contract, KernelTrace, Scope};
+use nufft_common::hazard::{AccessKind, AccessSite, ContractViolation, Hazard, KernelHazardReport};
+use std::collections::HashMap;
+
+/// At most this many hazards are materialized per kernel report;
+/// `hazards_total` still counts every one.
+pub const MAX_REPORTED_HAZARDS: usize = 16;
+
+#[inline]
+fn kind_idx(k: AccessKind) -> usize {
+    match k {
+        AccessKind::Read => 0,
+        AccessKind::Write => 1,
+        AccessKind::Atomic => 2,
+    }
+}
+
+#[inline]
+fn conflicts(a: AccessKind, b: AccessKind) -> bool {
+    // read/read and atomic/atomic commute; everything else conflicts
+    !((a == AccessKind::Read && b == AccessKind::Read)
+        || (a == AccessKind::Atomic && b == AccessKind::Atomic))
+}
+
+/// Per access kind, up to two representatives with distinct ids (thread
+/// ids for intra-block analysis, block ids for inter-block). Two are
+/// sufficient: a conflicting pair with distinct ids exists iff one can
+/// be assembled from representatives, since a third distinct id can
+/// always be swapped for one of the stored two.
+#[derive(Default)]
+struct Reps {
+    by_kind: [[Option<(AccessRecord, u32)>; 2]; 3],
+}
+
+impl Reps {
+    /// `id` is the discriminating dimension of the analysis: the thread
+    /// id for intra-block checks, the block id for inter-block checks.
+    fn push(&mut self, r: AccessRecord, id: u32) {
+        let slot = &mut self.by_kind[kind_idx(r.kind)];
+        match slot[0] {
+            None => slot[0] = Some((r, id)),
+            Some((_, id0)) => {
+                if id0 != id && slot[1].is_none() {
+                    slot[1] = Some((r, id));
+                }
+            }
+        }
+    }
+
+    /// First conflicting pair with distinct ids, if any.
+    fn find_conflict(&self) -> Option<(AccessRecord, AccessRecord)> {
+        for (i, &ka) in KINDS.iter().enumerate() {
+            for (j, &kb) in KINDS.iter().enumerate().skip(i) {
+                if !conflicts(ka, kb) {
+                    continue;
+                }
+                for a in self.by_kind[i].iter().flatten() {
+                    for b in self.by_kind[j].iter().flatten() {
+                        if a.1 != b.1 {
+                            return Some((a.0, b.0));
+                        }
+                    }
+                }
+            }
+        }
+        None
+    }
+}
+
+const KINDS: [AccessKind; 3] = [AccessKind::Read, AccessKind::Write, AccessKind::Atomic];
+
+fn site(r: &AccessRecord) -> AccessSite {
+    AccessSite {
+        block: r.block,
+        thread: r.thread,
+        epoch: r.epoch,
+        kind: r.kind,
+    }
+}
+
+/// Run the happens-before and contract analysis on one launch trace.
+pub fn check(trace: &KernelTrace, contract: &Contract) -> KernelHazardReport {
+    let mut report = KernelHazardReport {
+        kernel: trace.name().to_string(),
+        accesses: trace.records.len() as u64,
+        ..Default::default()
+    };
+    report.blocks = trace.records.iter().map(|r| r.block + 1).max().unwrap_or(0);
+
+    // Group accesses by (buffer, element).
+    let mut by_elem: HashMap<(u16, u64), Vec<&AccessRecord>> = HashMap::new();
+    for r in &trace.records {
+        by_elem.entry((r.buf, r.elem)).or_default().push(r);
+    }
+
+    let push_hazard = |report: &mut KernelHazardReport,
+                       buf: u16,
+                       elem: u64,
+                       pair: (AccessRecord, AccessRecord),
+                       intra: bool| {
+        report.hazards_total += 1;
+        if report.hazards.len() < MAX_REPORTED_HAZARDS {
+            report.hazards.push(Hazard {
+                buffer: trace.buffers[buf as usize].name.clone(),
+                elem,
+                first: site(&pair.0),
+                second: site(&pair.1),
+                intra_block: intra,
+            });
+        }
+    };
+
+    let mut keys: Vec<(u16, u64)> = by_elem.keys().copied().collect();
+    keys.sort_unstable(); // deterministic reporting order
+    for key in keys {
+        let (buf, elem) = key;
+        let recs = &by_elem[&key];
+        let scope = trace.buffers[buf as usize].scope;
+
+        // Intra-block: conflicts between distinct threads of one block
+        // within one sync epoch.
+        let mut per_epoch: HashMap<(u32, u32), Reps> = HashMap::new();
+        for &r in recs {
+            per_epoch
+                .entry((r.block, r.epoch))
+                .or_default()
+                .push(*r, r.thread);
+        }
+        let mut epochs: Vec<(u32, u32)> = per_epoch.keys().copied().collect();
+        epochs.sort_unstable();
+        for e in epochs {
+            if let Some(pair) = per_epoch[&e].find_conflict() {
+                push_hazard(&mut report, buf, elem, pair, true);
+            }
+        }
+
+        // Inter-block: conflicts between distinct blocks on global
+        // buffers, regardless of epoch (no cross-block barrier exists).
+        if scope == Scope::Global {
+            let mut reps = Reps::default();
+            for &r in recs {
+                reps.push(*r, r.block);
+            }
+            if let Some(pair) = reps.find_conflict() {
+                push_hazard(&mut report, buf, elem, pair, false);
+            }
+        }
+    }
+
+    // Contract cross-validation: trace vs. performance-model declaration.
+    let mut observed_global_atomics = 0u64;
+    let mut observed_shared_atomics = 0u64;
+    let mut shared_max_elem: HashMap<u16, u64> = HashMap::new();
+    for r in &trace.records {
+        let scope = trace.buffers[r.buf as usize].scope;
+        if r.kind == AccessKind::Atomic {
+            match scope {
+                Scope::Global => observed_global_atomics += 1,
+                Scope::Shared => observed_shared_atomics += 1,
+            }
+        }
+        if scope == Scope::Shared {
+            let m = shared_max_elem.entry(r.buf).or_insert(0);
+            *m = (*m).max(r.elem);
+        }
+    }
+    if let Some(declared) = contract.global_atomics {
+        if declared != observed_global_atomics {
+            report
+                .violations
+                .push(ContractViolation::GlobalAtomicCount {
+                    declared,
+                    observed: observed_global_atomics,
+                });
+        }
+    }
+    if let Some(declared) = contract.shared_atomics {
+        if declared != observed_shared_atomics {
+            report
+                .violations
+                .push(ContractViolation::SharedAtomicCount {
+                    declared,
+                    observed: observed_shared_atomics,
+                });
+        }
+    }
+    if let Some(declared_bytes) = contract.shared_bytes {
+        let observed_bytes: usize = shared_max_elem
+            .iter()
+            .map(|(&buf, &max_elem)| {
+                (max_elem as usize + 1) * trace.buffers[buf as usize].elem_bytes
+            })
+            .sum();
+        if observed_bytes > declared_bytes {
+            report.violations.push(ContractViolation::SharedFootprint {
+                declared_bytes,
+                observed_bytes,
+            });
+        }
+    }
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::Scope;
+
+    fn trace() -> KernelTrace {
+        KernelTrace::new("t")
+    }
+
+    #[test]
+    fn unsynchronized_writes_same_block_are_flagged() {
+        let mut t = trace();
+        let b = t.buffer("g", Scope::Global, 4);
+        t.write(b, 0, 0, 10);
+        t.write(b, 0, 1, 10);
+        let r = check(&t, &Contract::default());
+        assert_eq!(r.hazards_total, 1);
+        let h = &r.hazards[0];
+        assert!(h.intra_block);
+        assert_eq!(h.buffer, "g");
+        assert_eq!(h.elem, 10);
+        assert_ne!(h.first.thread, h.second.thread);
+    }
+
+    #[test]
+    fn barrier_separates_writers() {
+        let mut t = trace();
+        let b = t.buffer("s", Scope::Shared, 4);
+        t.write(b, 0, 0, 10);
+        t.barrier(0);
+        t.write(b, 0, 1, 10);
+        let r = check(&t, &Contract::default());
+        assert!(r.is_clean(), "{r}");
+    }
+
+    #[test]
+    fn same_thread_never_races_with_itself() {
+        let mut t = trace();
+        let b = t.buffer("g", Scope::Global, 4);
+        t.read(b, 0, 3, 5);
+        t.write(b, 0, 3, 5);
+        t.atomic(b, 0, 3, 5);
+        let r = check(&t, &Contract::default());
+        assert_eq!(r.hazards_total, 0);
+    }
+
+    #[test]
+    fn read_write_conflict_is_flagged() {
+        let mut t = trace();
+        let b = t.buffer("g", Scope::Global, 4);
+        t.read(b, 0, 0, 2);
+        t.write(b, 0, 1, 2);
+        let r = check(&t, &Contract::default());
+        assert_eq!(r.hazards_total, 1);
+    }
+
+    #[test]
+    fn atomics_do_not_conflict_with_atomics() {
+        let mut t = trace();
+        let b = t.buffer("g", Scope::Global, 4);
+        for thread in 0..32 {
+            t.atomic(b, 0, thread, 0);
+        }
+        for block in 1..8 {
+            t.atomic(b, block, 0, 0);
+        }
+        let r = check(&t, &Contract::default());
+        assert!(r.is_clean(), "{r}");
+    }
+
+    #[test]
+    fn atomic_vs_plain_write_conflicts() {
+        let mut t = trace();
+        let b = t.buffer("g", Scope::Global, 4);
+        t.atomic(b, 0, 0, 9);
+        t.write(b, 0, 1, 9);
+        let r = check(&t, &Contract::default());
+        assert_eq!(r.hazards_total, 1);
+    }
+
+    #[test]
+    fn inter_block_write_write_on_global_is_flagged() {
+        let mut t = trace();
+        let b = t.buffer("g", Scope::Global, 4);
+        // same thread id, different blocks; epochs differ (irrelevant
+        // across blocks: there is no inter-block barrier)
+        t.write(b, 0, 0, 4);
+        t.barrier(1);
+        t.write(b, 1, 0, 4);
+        let r = check(&t, &Contract::default());
+        assert_eq!(r.hazards_total, 1);
+        assert!(!r.hazards[0].intra_block);
+        assert_ne!(r.hazards[0].first.block, r.hazards[0].second.block);
+    }
+
+    #[test]
+    fn shared_buffers_skip_inter_block_analysis() {
+        // each block owns its shared allocation: same element id in two
+        // blocks is two different physical locations
+        let mut t = trace();
+        let b = t.buffer("s", Scope::Shared, 4);
+        t.write(b, 0, 0, 4);
+        t.write(b, 1, 0, 4);
+        let r = check(&t, &Contract::default());
+        assert!(r.is_clean(), "{r}");
+    }
+
+    #[test]
+    fn reads_from_many_threads_and_blocks_are_clean() {
+        let mut t = trace();
+        let b = t.buffer("g", Scope::Global, 4);
+        for block in 0..4 {
+            for thread in 0..8 {
+                t.read(b, block, thread, 0);
+            }
+        }
+        assert!(check(&t, &Contract::default()).is_clean());
+    }
+
+    #[test]
+    fn hazard_count_exceeding_cap_still_counted() {
+        let mut t = trace();
+        let b = t.buffer("g", Scope::Global, 4);
+        for e in 0..100u64 {
+            t.write(b, 0, 0, e);
+            t.write(b, 0, 1, e);
+        }
+        let r = check(&t, &Contract::default());
+        assert_eq!(r.hazards_total, 100);
+        assert_eq!(r.hazards.len(), MAX_REPORTED_HAZARDS);
+    }
+
+    #[test]
+    fn atomic_count_drift_is_a_violation() {
+        let mut t = trace();
+        let g = t.buffer("g", Scope::Global, 4);
+        let s = t.buffer("s", Scope::Shared, 4);
+        t.atomic(g, 0, 0, 0);
+        t.atomic(g, 0, 0, 1);
+        t.atomic(s, 0, 0, 0);
+        let c = Contract {
+            global_atomics: Some(5), // model charged 5, trace saw 2
+            shared_atomics: Some(1), // matches
+            shared_bytes: None,
+        };
+        let r = check(&t, &c);
+        assert_eq!(
+            r.violations,
+            vec![ContractViolation::GlobalAtomicCount {
+                declared: 5,
+                observed: 2
+            }]
+        );
+    }
+
+    #[test]
+    fn shared_footprint_overflow_is_a_violation() {
+        let mut t = trace();
+        let s = t.buffer("s", Scope::Shared, 8);
+        t.atomic(s, 0, 0, 99); // touches word 99 -> 100 elems * 8 B
+        let c = Contract {
+            shared_bytes: Some(256),
+            shared_atomics: Some(1),
+            ..Default::default()
+        };
+        let r = check(&t, &c);
+        assert_eq!(
+            r.violations,
+            vec![ContractViolation::SharedFootprint {
+                declared_bytes: 256,
+                observed_bytes: 800
+            }]
+        );
+        // within budget: clean
+        let c = Contract {
+            shared_bytes: Some(800),
+            shared_atomics: Some(1),
+            ..Default::default()
+        };
+        assert!(check(&t, &c).is_clean());
+    }
+
+    #[test]
+    fn conflict_matrix_matches_spec() {
+        use AccessKind::*;
+        assert!(!conflicts(Read, Read));
+        assert!(!conflicts(Atomic, Atomic));
+        assert!(conflicts(Read, Write));
+        assert!(conflicts(Write, Write));
+        assert!(conflicts(Write, Atomic));
+        assert!(conflicts(Read, Atomic));
+    }
+}

@@ -23,6 +23,7 @@
 //! where makespan comes from list-scheduling per-block serial costs onto
 //! the SMs (the paper's `M_sub` load-balancing story).
 
+use crate::access::{BufId, Contract, KernelTrace, Scope};
 use crate::props::{DeviceProps, Precision};
 use crate::sched::makespan;
 
@@ -89,7 +90,9 @@ pub struct LaunchReport {
     pub l2_bytes: f64,
     pub dram_bytes: f64,
     pub global_atomics: u64,
-    pub atomic_hotspot_count: u32,
+    /// Atomic ops landing on the hottest 32-byte sector. `u64` so
+    /// huge-M runs (billions of adds into one sector) cannot wrap.
+    pub atomic_hotspot_count: u64,
 }
 
 /// Direct-mapped model of the L2 cache at line granularity.
@@ -130,14 +133,17 @@ pub struct Kernel {
     l2_sectors: u64,
     dram_bytes: f64,
     atomics: u64,
-    atomic_hist: Vec<u32>,
+    shared_atomics: u64,
+    atomic_hist: Vec<u64>,
     elems_per_sector: usize,
     block_times: Vec<f64>,
     cache: LineCache,
     // per-block shared-memory hotspot tracking (epoch trick: no clearing)
     shared_epoch: Vec<u32>,
-    shared_count: Vec<u32>,
+    shared_count: Vec<u64>,
     cur_epoch: u32,
+    // shadow-memory access trace, present under HazardMode::Check
+    access: Option<KernelTrace>,
 }
 
 impl std::fmt::Debug for Kernel {
@@ -161,6 +167,7 @@ impl Kernel {
             l2_sectors: 0,
             dram_bytes: 0.0,
             atomics: 0,
+            shared_atomics: 0,
             atomic_hist: Vec::new(),
             elems_per_sector: 1,
             block_times: Vec::new(),
@@ -168,6 +175,30 @@ impl Kernel {
             shared_epoch: vec![0; shared_words],
             shared_count: vec![0; shared_words],
             cur_epoch: 0,
+            access: None,
+        }
+    }
+
+    /// Attach a shadow-memory access trace to this launch (done by the
+    /// device under [`crate::access::HazardMode::Check`]). Instrumented
+    /// kernels then log accesses through the `BlockCtx::trace_*` hooks.
+    pub fn enable_access_trace(&mut self) {
+        self.access = Some(KernelTrace::new(&self.name));
+    }
+
+    /// Whether this launch carries an access trace. Instrumentation
+    /// sites can use this to skip building address streams when off.
+    pub fn access_traced(&self) -> bool {
+        self.access.is_some()
+    }
+
+    /// Register a named buffer for access tracing. Returns a handle the
+    /// `BlockCtx::trace_*` hooks take; a no-op placeholder when tracing
+    /// is off.
+    pub fn trace_buffer(&mut self, name: &str, scope: Scope, elem_bytes: usize) -> BufId {
+        match &mut self.access {
+            Some(t) => t.buffer(name, scope, elem_bytes),
+            None => BufId(u16::MAX),
         }
     }
 
@@ -177,7 +208,7 @@ impl Kernel {
     pub fn atomic_region(&mut self, n_elems: usize, elem_bytes: usize) {
         self.elems_per_sector = (self.props.sector_bytes / elem_bytes).max(1);
         let sectors = n_elems / self.elems_per_sector + 1;
-        self.atomic_hist = vec![0u32; sectors];
+        self.atomic_hist = vec![0u64; sectors];
     }
 
     /// Begin accounting for one thread block.
@@ -187,19 +218,25 @@ impl Kernel {
             self.shared_epoch.iter_mut().for_each(|e| *e = 0);
             self.cur_epoch = 1;
         }
+        let block_id = self.block_times.len() as u32;
         BlockCtx {
+            block_id,
             k: self,
             flops: 0.0,
             l2_sectors: 0,
             dram_bytes: 0.0,
             atomics: 0,
+            shared_atomics: 0,
             shared_ops: 0,
             shared_hotspot: 0,
         }
     }
 
-    /// Price the launch. Called by `Device::launch_end`.
-    pub(crate) fn price(self) -> LaunchReport {
+    /// Price the launch. Called by `Device::launch_end`. When an access
+    /// trace is attached, returns it alongside the launch's declared
+    /// contract (atomic counts from the perf accumulators, shared bytes
+    /// from the launch config) for the hazard checker.
+    pub(crate) fn price(self) -> (LaunchReport, Option<(KernelTrace, Contract)>) {
         let p = &self.props;
         let prec = self.cfg.precision;
         let compute = self.flops / p.flops(prec);
@@ -218,7 +255,15 @@ impl Kernel {
             .max(atomic_hotspot)
             .max(atomic_ops)
             + overhead;
-        LaunchReport {
+        let traced = self.access.map(|t| {
+            let contract = Contract {
+                global_atomics: Some(self.atomics),
+                shared_atomics: Some(self.shared_atomics),
+                shared_bytes: Some(self.cfg.shared_bytes_per_block),
+            };
+            (t, contract)
+        });
+        let report = LaunchReport {
             name: self.name,
             duration,
             breakdown: Breakdown {
@@ -236,7 +281,8 @@ impl Kernel {
             dram_bytes: self.dram_bytes,
             global_atomics: self.atomics,
             atomic_hotspot_count: hot,
-        }
+        };
+        (report, traced)
     }
 }
 
@@ -244,12 +290,16 @@ impl Kernel {
 /// report the block's work, then call [`BlockCtx::finish`].
 pub struct BlockCtx<'a> {
     k: &'a mut Kernel,
+    /// Sequential id of this block within the launch (used as the block
+    /// coordinate of traced accesses).
+    block_id: u32,
     flops: f64,
     l2_sectors: u64,
     dram_bytes: f64,
     atomics: u64,
+    shared_atomics: u64,
     shared_ops: u64,
-    shared_hotspot: u32,
+    shared_hotspot: u64,
 }
 
 impl BlockCtx<'_> {
@@ -354,11 +404,20 @@ impl BlockCtx<'_> {
     /// reported separately (`l2_access` + `dram_span`).
     #[inline]
     pub fn global_atomic(&mut self, elem_idx: usize) {
-        self.atomics += 1;
+        self.global_atomic_n(elem_idx, 1);
+    }
+
+    /// `n` global atomic ops landing on the same logical element. Bulk
+    /// form so synthetic huge-count tests (and batched accounting) need
+    /// not loop per op; counters are `u64` throughout, so multi-billion
+    /// tallies do not wrap.
+    #[inline]
+    pub fn global_atomic_n(&mut self, elem_idx: usize, n: u64) {
+        self.atomics += n;
         if !self.k.atomic_hist.is_empty() {
             let s = elem_idx / self.k.elems_per_sector;
             if let Some(c) = self.k.atomic_hist.get_mut(s) {
-                *c += 1;
+                *c += n;
             }
         }
     }
@@ -368,6 +427,7 @@ impl BlockCtx<'_> {
     #[inline]
     pub fn shared_atomic(&mut self, word_idx: usize) {
         self.shared_ops += 1;
+        self.shared_atomics += 1;
         let k = &mut *self.k;
         if word_idx < k.shared_epoch.len() {
             if k.shared_epoch[word_idx] != k.cur_epoch {
@@ -393,6 +453,48 @@ impl BlockCtx<'_> {
         self.shared_ops += n / 4;
     }
 
+    /// Log a traced read on `buf` by `thread` of this block. No-op when
+    /// the launch carries no access trace.
+    #[inline]
+    pub fn trace_read(&mut self, buf: BufId, thread: u32, elem: u64) {
+        if let Some(t) = &mut self.k.access {
+            t.read(buf, self.block_id, thread, elem);
+        }
+    }
+
+    /// Log a traced plain write on `buf` by `thread` of this block.
+    #[inline]
+    pub fn trace_write(&mut self, buf: BufId, thread: u32, elem: u64) {
+        if let Some(t) = &mut self.k.access {
+            t.write(buf, self.block_id, thread, elem);
+        }
+    }
+
+    /// Log a traced atomic on `buf` by `thread` of this block.
+    #[inline]
+    pub fn trace_atomic(&mut self, buf: BufId, thread: u32, elem: u64) {
+        if let Some(t) = &mut self.k.access {
+            t.atomic(buf, self.block_id, thread, elem);
+        }
+    }
+
+    /// Model `__syncthreads` for this block: orders all accesses logged
+    /// before it against all logged after it. (Pure synchronization; no
+    /// cost is charged, matching a contention-free barrier.)
+    #[inline]
+    pub fn barrier(&mut self) {
+        if let Some(t) = &mut self.k.access {
+            t.barrier(self.block_id);
+        }
+    }
+
+    /// Whether this launch carries an access trace (see
+    /// [`Kernel::access_traced`]).
+    #[inline]
+    pub fn access_traced(&self) -> bool {
+        self.k.access.is_some()
+    }
+
     /// Close the block: convert its counters into a serial cost.
     pub fn finish(self) {
         let p = &self.k.props;
@@ -409,6 +511,7 @@ impl BlockCtx<'_> {
         self.k.l2_sectors += self.l2_sectors;
         self.k.dram_bytes += self.dram_bytes;
         self.k.atomics += self.atomics;
+        self.k.shared_atomics += self.shared_atomics;
         self.k.block_times.push(t_block);
     }
 }
@@ -487,7 +590,7 @@ mod tests {
         }
         b.global_atomic(900);
         b.finish();
-        let r = k.price();
+        let r = k.price().0;
         assert_eq!(r.global_atomics, 101);
         assert_eq!(r.atomic_hotspot_count, 100);
     }
@@ -507,7 +610,7 @@ mod tests {
             b.global_atomic(0);
         }
         b.finish();
-        let r = k.price();
+        let r = k.price().0;
         let expect = n as f64 * props.t_global_atomic_same;
         assert!(r.breakdown.atomic_hotspot >= expect * 0.99);
         assert!(r.duration >= expect);
@@ -525,7 +628,7 @@ mod tests {
                 b.global_atomic(0);
             }
             b.finish();
-            k.price().breakdown.atomic_hotspot
+            k.price().0.breakdown.atomic_hotspot
         };
         assert!((run(16.0) / run(1.0) - 16.0).abs() < 1e-9);
     }
@@ -551,8 +654,8 @@ mod tests {
             bs.shared_atomic(0);
         }
         bs.finish();
-        let tg = kg.price().duration;
-        let ts = ks.price().duration;
+        let tg = kg.price().0.duration;
+        let ts = ks.price().0.duration;
         assert!(ts < tg / 3.0, "shared {ts} vs global {tg}");
     }
 
@@ -584,14 +687,14 @@ mod tests {
         let mut b = k1.block();
         b.flops(total_flops as u64);
         b.finish();
-        let t_lump = k1.price().duration;
+        let t_lump = k1.price().0.duration;
         let mut k2 = Kernel::new("split", LaunchConfig::new(Precision::Single, 128), props);
         for _ in 0..800 {
             let mut b = k2.block();
             b.flops((total_flops / 800.0) as u64);
             b.finish();
         }
-        let t_split = k2.price().duration;
+        let t_split = k2.price().0.duration;
         assert!(t_split < t_lump / 10.0, "split {t_split} vs lump {t_lump}");
     }
 
@@ -610,10 +713,65 @@ mod tests {
             b.global_atomic(i % (1 << 20));
         }
         b.finish();
-        let r = k.price();
+        let r = k.price().0;
         let expect = 1.0e6 / props.l2_atomic_rate;
         assert!(r.breakdown.atomic_ops >= expect * 0.99);
         assert!(r.breakdown.atomic_hotspot < expect);
+    }
+
+    #[test]
+    fn hotspot_counter_survives_u32_overflow() {
+        // Regression: `atomic_hotspot_count` (and the per-sector tallies
+        // feeding it) were u32 and would wrap on huge-M runs. Feed > 2^32
+        // ops into one sector via the bulk form and check the exact count
+        // comes back out.
+        let mut k = mk(LaunchConfig::new(Precision::Single, 128));
+        k.atomic_region(16, 8);
+        let huge = (u32::MAX as u64) + 5;
+        let mut b = k.block();
+        b.global_atomic_n(0, huge);
+        b.finish();
+        let r = k.price().0;
+        assert_eq!(r.global_atomics, huge);
+        assert_eq!(r.atomic_hotspot_count, huge, "tally must not wrap");
+    }
+
+    #[test]
+    fn access_trace_captures_contract_and_records() {
+        use crate::access::Scope;
+        let mut k = mk(LaunchConfig::new(Precision::Single, 128).with_shared(1024));
+        k.enable_access_trace();
+        k.atomic_region(64, 8);
+        let grid = k.trace_buffer("grid", Scope::Global, 4);
+        let tile = k.trace_buffer("tile", Scope::Shared, 4);
+        let mut b = k.block();
+        b.global_atomic(3);
+        b.trace_atomic(grid, 0, 3);
+        b.shared_atomic(7);
+        b.trace_atomic(tile, 1, 7);
+        b.barrier();
+        b.trace_read(tile, 2, 7);
+        b.finish();
+        let (_, traced) = k.price();
+        let (trace, contract) = traced.expect("trace attached");
+        assert_eq!(trace.len(), 3);
+        assert_eq!(contract.global_atomics, Some(1));
+        assert_eq!(contract.shared_atomics, Some(1));
+        assert_eq!(contract.shared_bytes, Some(1024));
+    }
+
+    #[test]
+    fn trace_hooks_are_noops_when_disabled() {
+        use crate::access::Scope;
+        let mut k = mk(LaunchConfig::new(Precision::Single, 128));
+        assert!(!k.access_traced());
+        let buf = k.trace_buffer("grid", Scope::Global, 4);
+        let mut b = k.block();
+        b.trace_write(buf, 0, 0);
+        b.barrier();
+        b.finish();
+        let (_, traced) = k.price();
+        assert!(traced.is_none());
     }
 
     #[test]

@@ -23,14 +23,19 @@
 //! priced by bandwidth/latency models so the paper's "total" and
 //! "total+mem" timings can be reconstructed.
 
+#![forbid(unsafe_code)]
+
+pub mod access;
 pub mod device;
 pub mod faults;
+pub mod hazard;
 pub mod kernel;
 pub mod props;
 pub mod report;
 pub mod sched;
 pub mod stream;
 
+pub use access::{BufId, Contract, HazardMode, KernelTrace, Scope};
 pub use device::{Device, GpuBuffer, OpKind, TimelineRecord};
 pub use faults::{DeviceFault, FaultKind, FaultMode, FaultPlan, FaultSite};
 pub use kernel::{BlockCtx, Breakdown, Kernel, LaunchConfig, LaunchReport};
@@ -38,5 +43,9 @@ pub use props::{DeviceProps, Precision};
 pub use report::{overlap_stats, profile_table, summarize, OpSummary, OverlapStats};
 pub use stream::{sync_streams, EngineState, Stream, StreamOp};
 // Re-export the tracing session type so downstream crates can attach a
-// trace to a `Device` without naming `nufft-trace` directly.
+// trace to a `Device` without naming `nufft-trace` directly, and the
+// typed hazard-report vocabulary from `nufft-common` likewise.
+pub use nufft_common::hazard::{
+    AccessKind, AccessSite, ContractViolation, Hazard, HazardReport, KernelHazardReport,
+};
 pub use nufft_trace::{Lane, Trace, TraceReport};

@@ -102,4 +102,55 @@ mod tests {
         let times = [1.0, 2.0, 3.0];
         assert!((makespan(&times, 1) - 6.0).abs() < 1e-12);
     }
+
+    #[test]
+    fn zero_blocks_is_instant_for_any_slot_count() {
+        for slots in [1, 2, 80, 1000] {
+            assert_eq!(makespan(&[], slots), 0.0);
+        }
+    }
+
+    #[test]
+    fn blocks_equal_to_slot_count_fill_one_wave() {
+        // exactly one wave: every block gets its own SM, the longest wins
+        let times: Vec<f64> = (1..=80).map(|i| i as f64 * 0.01).collect();
+        assert!((makespan(&times, 80) - 0.80).abs() < 1e-12);
+    }
+
+    #[test]
+    fn one_block_past_a_full_wave_starts_a_second_wave() {
+        // 81 equal blocks on 80 slots: the straggler waits a full wave
+        let times = vec![1.0; 81];
+        assert!((makespan(&times, 80) - 2.0).abs() < 1e-12);
+        // and it queues behind the *earliest-free* slot: with one short
+        // block in wave 1, the straggler lands there instead
+        let mut uneven = vec![1.0; 81];
+        uneven[7] = 0.25;
+        assert!((makespan(&uneven, 80) - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_block_with_occupancy_limiting_shared_memory() {
+        // a lone block that consumes the whole per-SM shared memory can
+        // occupy only one SM; its serial cost IS the makespan, and no
+        // amount of idle SMs helps
+        use crate::props::DeviceProps;
+        use crate::{Kernel, LaunchConfig, Precision};
+        let props = DeviceProps::v100();
+        let shared = props.shared_mem_per_block;
+        let mut k = Kernel::new(
+            "lone_block",
+            LaunchConfig::new(Precision::Single, 256).with_shared(shared),
+            props,
+        );
+        let mut b = k.block();
+        b.shared_ops(1_000_000);
+        b.finish();
+        let (r, _) = k.price();
+        assert_eq!(r.blocks, 1);
+        assert!(r.breakdown.makespan > 0.0);
+        // one serial server: duration is bounded below by the block time
+        assert!(r.duration >= r.breakdown.makespan);
+        assert!((r.breakdown.makespan - makespan(&[r.breakdown.makespan], 80)).abs() < 1e-15);
+    }
 }

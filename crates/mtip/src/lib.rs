@@ -9,6 +9,8 @@
 //! * [`cluster`] — multi-rank work management and the weak-scaling
 //!   harness behind the paper's Table II and Fig. 9.
 
+#![forbid(unsafe_code)]
+
 pub mod cluster;
 pub mod density;
 pub mod geometry;

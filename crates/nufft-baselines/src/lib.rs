@@ -4,6 +4,8 @@
 //! and [`gpunufft::GpunufftPlan`] (output-driven sector gather with a
 //! Kaiser-Bessel lookup-table kernel).
 
+#![forbid(unsafe_code)]
+
 pub mod cunfft;
 pub mod gpunufft;
 

@@ -1,0 +1,273 @@
+//! Typed reports produced by the simulated-GPU hazard analysis
+//! (`gpu-sim`'s access tracer + happens-before checker).
+//!
+//! The types live here, below `gpu-sim`, so every layer of the stack —
+//! the simulator that detects hazards, the cuFINUFFT plan that exposes
+//! them, and the tests that gate on them — shares one vocabulary
+//! without depending on the simulator's internals.
+//!
+//! Terminology follows the ThreadSanitizer happens-before family of
+//! dynamic race detectors: two memory accesses *conflict* when they
+//! touch the same element of the same buffer from different threads (or
+//! thread blocks) and are not both reads and not both atomics. A
+//! conflict is a **hazard** when no synchronization orders the two
+//! accesses — for threads of one block, a `barrier()`
+//! (`__syncthreads`) between them; for different blocks of one launch,
+//! nothing short of atomics can order them.
+
+use std::fmt;
+
+/// How a traced access touched memory.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// Plain load.
+    Read,
+    /// Plain (non-atomic) store or read-modify-write.
+    Write,
+    /// Atomic read-modify-write (e.g. `atomicAdd`).
+    Atomic,
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccessKind::Read => write!(f, "read"),
+            AccessKind::Write => write!(f, "write"),
+            AccessKind::Atomic => write!(f, "atomic"),
+        }
+    }
+}
+
+/// One side of a detected conflict: where in the launch the access came
+/// from. `epoch` counts barriers the block has executed before the
+/// access (the block-local sync epoch).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct AccessSite {
+    pub block: u32,
+    pub thread: u32,
+    pub epoch: u32,
+    pub kind: AccessKind,
+}
+
+impl fmt::Display for AccessSite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} by block {} thread {} (epoch {})",
+            self.kind, self.block, self.thread, self.epoch
+        )
+    }
+}
+
+/// One detected data race: two unsynchronized conflicting accesses to
+/// the same element of a named buffer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Hazard {
+    /// Name the kernel registered the buffer under.
+    pub buffer: String,
+    /// Element index within the buffer (tracer granularity, typically
+    /// one real word so the two words of a complex add stay distinct).
+    pub elem: u64,
+    pub first: AccessSite,
+    pub second: AccessSite,
+    /// `true` for a same-block conflict (missing barrier), `false` for
+    /// an inter-block conflict on a global buffer (missing atomic).
+    pub intra_block: bool,
+}
+
+impl fmt::Display for Hazard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let scope = if self.intra_block {
+            "intra-block"
+        } else {
+            "inter-block"
+        };
+        write!(
+            f,
+            "{scope} hazard on '{}'[{}]: {} vs {}",
+            self.buffer, self.elem, self.first, self.second
+        )
+    }
+}
+
+/// A mismatch between what a kernel *declared* to the performance model
+/// and what its traced memory behavior *observed* — the drift the
+/// contract checker exists to catch (a cost model charging for atomics
+/// the functional code no longer performs, or vice versa).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ContractViolation {
+    /// Global atomics charged to the cost model vs. atomics traced on
+    /// global buffers.
+    GlobalAtomicCount { declared: u64, observed: u64 },
+    /// Shared-memory atomics charged vs. traced on shared buffers.
+    SharedAtomicCount { declared: u64, observed: u64 },
+    /// The traced shared-memory high-water footprint exceeds the bytes
+    /// declared in the launch configuration.
+    SharedFootprint {
+        declared_bytes: usize,
+        observed_bytes: usize,
+    },
+}
+
+impl fmt::Display for ContractViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ContractViolation::GlobalAtomicCount { declared, observed } => write!(
+                f,
+                "global atomic count drift: cost model charged {declared}, trace observed {observed}"
+            ),
+            ContractViolation::SharedAtomicCount { declared, observed } => write!(
+                f,
+                "shared atomic count drift: cost model charged {declared}, trace observed {observed}"
+            ),
+            ContractViolation::SharedFootprint {
+                declared_bytes,
+                observed_bytes,
+            } => write!(
+                f,
+                "shared footprint overflow: declared {declared_bytes} B, trace touched {observed_bytes} B"
+            ),
+        }
+    }
+}
+
+/// Analysis result for one kernel launch.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct KernelHazardReport {
+    pub kernel: String,
+    /// Thread blocks the launch traced.
+    pub blocks: u32,
+    /// Total access records analyzed.
+    pub accesses: u64,
+    /// Detected hazards, capped at a reporting limit; `hazards_total`
+    /// keeps the uncapped count.
+    pub hazards: Vec<Hazard>,
+    pub hazards_total: u64,
+    pub violations: Vec<ContractViolation>,
+}
+
+impl KernelHazardReport {
+    pub fn is_clean(&self) -> bool {
+        self.hazards_total == 0 && self.violations.is_empty()
+    }
+}
+
+impl fmt::Display for KernelHazardReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} accesses over {} blocks, {} hazard(s), {} contract violation(s)",
+            self.kernel,
+            self.accesses,
+            self.blocks,
+            self.hazards_total,
+            self.violations.len()
+        )?;
+        for h in &self.hazards {
+            write!(f, "\n  {h}")?;
+        }
+        for v in &self.violations {
+            write!(f, "\n  {v}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Aggregate of every kernel checked while hazard mode was active.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct HazardReport {
+    pub kernels: Vec<KernelHazardReport>,
+}
+
+impl HazardReport {
+    pub fn is_clean(&self) -> bool {
+        self.kernels.iter().all(|k| k.is_clean())
+    }
+
+    pub fn total_hazards(&self) -> u64 {
+        self.kernels.iter().map(|k| k.hazards_total).sum()
+    }
+
+    pub fn total_violations(&self) -> usize {
+        self.kernels.iter().map(|k| k.violations.len()).sum()
+    }
+
+    /// Reports for launches of the given kernel name.
+    pub fn for_kernel<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a KernelHazardReport> {
+        self.kernels.iter().filter(move |k| k.kernel == name)
+    }
+}
+
+impl fmt::Display for HazardReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "hazard report: {} kernel launch(es), {} hazard(s), {} contract violation(s)",
+            self.kernels.len(),
+            self.total_hazards(),
+            self.total_violations()
+        )?;
+        for k in &self.kernels {
+            writeln!(f, "{k}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn site(block: u32, thread: u32, kind: AccessKind) -> AccessSite {
+        AccessSite {
+            block,
+            thread,
+            epoch: 0,
+            kind,
+        }
+    }
+
+    #[test]
+    fn hazard_display_names_buffer_and_sites() {
+        let h = Hazard {
+            buffer: "fine_grid".into(),
+            elem: 42,
+            first: site(0, 1, AccessKind::Write),
+            second: site(0, 2, AccessKind::Write),
+            intra_block: true,
+        };
+        let s = h.to_string();
+        assert!(s.contains("fine_grid"), "{s}");
+        assert!(s.contains("42"), "{s}");
+        assert!(s.contains("thread 1") && s.contains("thread 2"), "{s}");
+        assert!(s.contains("intra-block"), "{s}");
+    }
+
+    #[test]
+    fn report_cleanliness() {
+        let mut r = HazardReport::default();
+        r.kernels.push(KernelHazardReport {
+            kernel: "spread_GM".into(),
+            ..Default::default()
+        });
+        assert!(r.is_clean());
+        r.kernels[0].hazards_total = 3;
+        assert!(!r.is_clean());
+        assert_eq!(r.total_hazards(), 3);
+    }
+
+    #[test]
+    fn violation_display_shows_counts() {
+        let v = ContractViolation::GlobalAtomicCount {
+            declared: 10,
+            observed: 4,
+        };
+        let s = v.to_string();
+        assert!(s.contains("10") && s.contains('4'), "{s}");
+        let v = ContractViolation::SharedFootprint {
+            declared_bytes: 100,
+            observed_bytes: 200,
+        };
+        assert!(v.to_string().contains("overflow"));
+    }
+}

@@ -8,8 +8,11 @@
 //! error metrics, a typed error enum, and naive `O(NM)` reference
 //! transforms used as ground truth by every accuracy test.
 
+#![forbid(unsafe_code)]
+
 pub mod complex;
 pub mod error;
+pub mod hazard;
 pub mod metrics;
 pub mod plan;
 pub mod real;
@@ -30,6 +33,9 @@ pub enum TransformType {
 
 pub use complex::{c, Complex};
 pub use error::{NufftError, Result};
+pub use hazard::{
+    AccessKind, AccessSite, ContractViolation, Hazard, HazardReport, KernelHazardReport,
+};
 pub use plan::NufftPlan;
 pub use real::Real;
 pub use shape::{freq_start, freq_to_bin, freqs, Shape};

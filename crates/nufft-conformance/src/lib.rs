@@ -21,6 +21,8 @@
 //! grids — the default in CI) and [`Tier::Full`] (everything, run via
 //! `CONFORMANCE=full scripts/check.sh`).
 
+#![forbid(unsafe_code)]
+
 use cufinufft::opts::Method;
 use cufinufft::plan::Plan as GpuPlan;
 use gpu_sim::Device;

@@ -7,6 +7,8 @@
 //! butterfly and a Bluestein chirp-z fallback so arbitrary sizes work too.
 //! Transforms are unscaled in both directions (FFTW/cuFFT convention).
 
+#![forbid(unsafe_code)]
+
 pub mod bluestein;
 pub mod ndfft;
 pub mod plan1d;

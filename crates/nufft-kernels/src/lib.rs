@@ -7,6 +7,8 @@
 //! [`Kernel1d`] interface: evaluation on the rescaled support `[-1, 1]`
 //! and the Fourier transform needed for deconvolution.
 
+#![forbid(unsafe_code)]
+
 pub mod deconv;
 pub mod es;
 pub mod gauss_legendre;

@@ -31,6 +31,8 @@
 //! Tracing is strictly opt-in: with no active trace, [`span!`] is a
 //! no-op and nothing allocates.
 
+#![forbid(unsafe_code)]
+
 pub mod chrome;
 pub mod json;
 pub mod prom;

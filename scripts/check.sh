@@ -10,11 +10,25 @@ cargo fmt --check
 echo "== cargo clippy --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== cargo doc --no-deps (deny warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
 echo "== cargo test -q"
 cargo test -q
 
 echo "== cargo test -q --test fault_injection (chaos suite)"
 cargo test -q --test fault_injection
+
+# Race / access-contract checking (DESIGN.md §5h): every shipped
+# spread/interp/bin kernel must trace clean, the deliberately racy
+# variant must be flagged. HAZARD=full widens to 3D and f64.
+if [[ "${HAZARD:-quick}" == "full" ]]; then
+  echo "== HAZARD=full race-detector suite (3D + f64 sweep)"
+  HAZARD=full cargo test -q --test hazard
+else
+  echo "== race-detector suite (quick tier; HAZARD=full for the sweep)"
+  cargo test -q --test hazard
+fi
 
 # Accuracy conformance matrix vs the direct-NUDFT oracle (DESIGN.md §5g).
 # Quick tier (288 cells) by default; CONFORMANCE=full runs the whole

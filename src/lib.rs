@@ -1,6 +1,8 @@
 //! Workspace umbrella crate: re-exports the main libraries of the
 //! cuFINUFFT reproduction so examples and integration tests can use a
 //! single dependency.
+
+#![forbid(unsafe_code)]
 pub use cufinufft;
 pub use finufft_cpu;
 pub use gpu_fft;

@@ -1,0 +1,313 @@
+//! Acceptance tests for the simulated-GPU race detector and kernel
+//! access-contract checker (DESIGN.md §5h). Two halves:
+//!
+//! * **positive**: with `HazardMode::Check` on, every shipped spread /
+//!   interp / bin-sort kernel must report zero hazards and zero
+//!   contract violations across the {GM, GM-sort, SM} x {uniform,
+//!   clustered} matrix — the paper's atomic-update and barrier
+//!   discipline, checked rather than assumed;
+//! * **negative**: a deliberately broken spread variant that updates
+//!   the fine grid with plain writes must be flagged, with the finding
+//!   attributed to the right buffer and a genuinely concurrent access
+//!   pair. A detector that can't fail is not evidence.
+//!
+//! The default run covers 2D f32. `HAZARD=full` widens the sweep to 3D
+//! and f64 (see `scripts/check.sh`).
+
+use cufinufft::spread::{spread_gm_racy, PtsRef};
+use cufinufft::{Method, Plan, TransformType};
+use gpu_sim::{AccessKind, Device, HazardMode, HazardReport};
+use nufft_common::real::Real;
+use nufft_common::workload::{gen_points, gen_strengths, PointDist, Points};
+use nufft_common::Complex;
+use nufft_kernels::EsKernel;
+use nufft_trace::Trace;
+
+const N: usize = 32;
+const M: usize = 1500;
+
+fn pts_ref<T: Real>(p: &Points<T>) -> PtsRef<'_, T> {
+    PtsRef {
+        coords: [&p.coords[0], &p.coords[1], &p.coords[2]],
+        dim: p.dim,
+    }
+}
+
+/// Build a checked plan, run a type-1 (spread) and a type-2 (interp)
+/// transform, and return the accumulated hazard findings.
+fn checked_lifecycle<T: Real>(
+    modes: &[usize],
+    method: Method,
+    dist: PointDist,
+    m: usize,
+    trace: Option<&Trace>,
+) -> HazardReport {
+    let dev = Device::v100();
+    for (ttype, seed) in [(TransformType::Type1, 11), (TransformType::Type2, 12)] {
+        let mut b = Plan::<T>::builder(ttype, modes)
+            .eps(1e-5)
+            .method(method)
+            .hazard(HazardMode::Check);
+        if let Some(t) = trace {
+            b = b.tracing(t);
+        }
+        let mut plan = b.build(&dev).expect("plan build");
+        let dim = modes.len();
+        let pts = gen_points::<T>(dist, dim, m, plan.fine_grid_shape(), seed);
+        plan.set_pts(&pts).expect("set_pts");
+        let nmodes: usize = modes.iter().product();
+        match ttype {
+            TransformType::Type1 => {
+                let c = gen_strengths::<T>(m, seed + 1);
+                let mut f = vec![Complex::<T>::ZERO; nmodes];
+                plan.execute(&c, &mut f).expect("type1 execute");
+            }
+            _ => {
+                let f = gen_strengths::<T>(nmodes, seed + 1);
+                let mut c = vec![Complex::<T>::ZERO; m];
+                plan.execute(&f, &mut c).expect("type2 execute");
+            }
+        }
+    }
+    dev.hazard_findings()
+}
+
+fn assert_clean(report: &HazardReport, what: &str) {
+    assert!(
+        !report.kernels.is_empty(),
+        "{what}: hazard mode checked no kernels — the detector never ran"
+    );
+    for k in &report.kernels {
+        assert!(
+            k.is_clean(),
+            "{what}: kernel '{}' not clean: {} hazards {:?}, violations {:?}",
+            k.kernel,
+            k.hazards_total,
+            k.hazards.first(),
+            k.violations
+        );
+        assert!(k.blocks > 0 || k.accesses == 0, "{what}: empty launch");
+    }
+}
+
+// ---------------------------------------------------------------------
+// positive half: the shipped kernels are clean across the paper matrix
+// ---------------------------------------------------------------------
+
+#[test]
+fn gm_spreading_is_clean_uniform_and_clustered() {
+    for dist in [PointDist::Rand, PointDist::Cluster] {
+        let r = checked_lifecycle::<f32>(&[N, N], Method::Gm, dist, M, None);
+        assert_clean(&r, &format!("GM/{dist:?}"));
+        assert!(
+            r.kernels.iter().any(|k| k.kernel == "spread_GM"),
+            "GM lifecycle never checked the GM spread kernel"
+        );
+    }
+}
+
+#[test]
+fn gm_sort_spreading_and_bin_kernels_are_clean() {
+    for dist in [PointDist::Rand, PointDist::Cluster] {
+        let r = checked_lifecycle::<f32>(&[N, N], Method::GmSort, dist, M, None);
+        assert_clean(&r, &format!("GM-sort/{dist:?}"));
+        for name in [
+            "spread_GM-sort",
+            "calc_binidx",
+            "bin_histogram",
+            "bin_scan",
+            "bin_scatter",
+        ] {
+            assert!(
+                r.kernels.iter().any(|k| k.kernel == name),
+                "GM-sort lifecycle never checked '{name}'"
+            );
+        }
+    }
+}
+
+#[test]
+fn sm_spreading_is_clean_uniform_and_clustered() {
+    for dist in [PointDist::Rand, PointDist::Cluster] {
+        let r = checked_lifecycle::<f32>(&[N, N], Method::Sm, dist, M, None);
+        assert_clean(&r, &format!("SM/{dist:?}"));
+        assert!(
+            r.kernels.iter().any(|k| k.kernel == "spread_SM"),
+            "SM lifecycle never checked the SM spread kernel"
+        );
+    }
+}
+
+#[test]
+fn interp_kernels_are_clean_and_write_each_output_once() {
+    // type 2 runs inside checked_lifecycle; here verify the interp
+    // launches specifically got traced and came out clean
+    let r = checked_lifecycle::<f32>(&[N, N], Method::GmSort, PointDist::Rand, M, None);
+    let interp: Vec<_> = r
+        .kernels
+        .iter()
+        .filter(|k| k.kernel.starts_with("interp"))
+        .collect();
+    assert!(!interp.is_empty(), "no interp launch was checked");
+    for k in interp {
+        assert!(k.is_clean(), "interp '{}' not clean", k.kernel);
+        assert!(k.accesses > 0, "interp '{}' traced no accesses", k.kernel);
+    }
+}
+
+#[test]
+fn hazard_counters_flow_through_the_trace() {
+    let t = Trace::new();
+    let r = checked_lifecycle::<f32>(&[N, N], Method::Sm, PointDist::Rand, M, Some(&t));
+    assert_clean(&r, "SM traced");
+    let rep = t.report();
+    let checked = rep.counters.get("hazard.kernels_checked").copied();
+    assert!(
+        checked.unwrap_or(0) > 0,
+        "hazard.kernels_checked missing from trace: {:?}",
+        rep.counters.keys().collect::<Vec<_>>()
+    );
+    assert_eq!(rep.counters.get("hazard.races").copied().unwrap_or(0), 0);
+    assert_eq!(
+        rep.counters
+            .get("hazard.contract_violations")
+            .copied()
+            .unwrap_or(0),
+        0
+    );
+    assert!(rep.counters.get("hazard.accesses").copied().unwrap_or(0) > 0);
+}
+
+#[test]
+fn hazard_mode_off_checks_nothing_and_costs_nothing() {
+    let dev = Device::v100();
+    let mut plan = Plan::<f32>::builder(TransformType::Type1, &[N, N])
+        .eps(1e-5)
+        .build(&dev)
+        .unwrap();
+    let pts = gen_points::<f32>(PointDist::Rand, 2, M, plan.fine_grid_shape(), 17);
+    plan.set_pts(&pts).unwrap();
+    let c = gen_strengths::<f32>(M, 18);
+    let mut f = vec![Complex::<f32>::ZERO; N * N];
+    plan.execute(&c, &mut f).unwrap();
+    let findings = plan.hazard_findings();
+    assert!(findings.kernels.is_empty());
+    assert!(findings.is_clean());
+}
+
+/// Full sweep (opt-in: `HAZARD=full cargo test --test hazard`): 3D and
+/// double precision, both distributions, every method that is feasible
+/// for the configuration.
+#[test]
+fn full_sweep_3d_and_double_precision() {
+    if std::env::var("HAZARD").as_deref() != Ok("full") {
+        return; // reduced default run; scripts/check.sh opts in
+    }
+    for dist in [PointDist::Rand, PointDist::Cluster] {
+        // 3D f32: SM feasible at this accuracy (paper Remark 2)
+        for method in [Method::Gm, Method::GmSort, Method::Sm] {
+            let r = checked_lifecycle::<f32>(&[16, 16, 16], method, dist, 2000, None);
+            assert_clean(&r, &format!("3D f32 {method:?}/{dist:?}"));
+        }
+        // 3D f64: SM infeasible -> GM-sort (the paper's choice there)
+        for method in [Method::Gm, Method::GmSort] {
+            let r = checked_lifecycle::<f64>(&[16, 16, 16], method, dist, 2000, None);
+            assert_clean(&r, &format!("3D f64 {method:?}/{dist:?}"));
+        }
+        // 2D f64 high-accuracy SM
+        let r = checked_lifecycle::<f64>(&[N, N], Method::Sm, dist, M, None);
+        assert_clean(&r, &format!("2D f64 SM/{dist:?}"));
+    }
+}
+
+// ---------------------------------------------------------------------
+// negative half: the deliberately racy spread variant must be flagged
+// ---------------------------------------------------------------------
+
+#[test]
+fn racy_spread_is_flagged_on_the_grid_buffer_with_a_real_access_pair() {
+    let dev = Device::v100();
+    dev.set_hazard_mode(HazardMode::Check);
+    let fine = nufft_common::shape::Shape::d2(64, 64);
+    let kernel = EsKernel::with_width(6);
+    // clustered points guarantee overlapping footprints, i.e. the race
+    // is not hypothetical: distinct threads really hit the same word
+    let m = 800;
+    let pts = gen_points::<f32>(PointDist::Cluster, 2, m, fine, 23);
+    let cs = gen_strengths::<f32>(m, 24);
+    let order: Vec<u32> = (0..m as u32).collect();
+    let mut grid = vec![Complex::<f32>::ZERO; fine.total()];
+    spread_gm_racy(
+        &dev,
+        "spread_GM_racy",
+        &kernel,
+        fine,
+        &pts_ref(&pts),
+        &cs,
+        &order,
+        &mut grid,
+        128,
+    )
+    .unwrap();
+    let findings = dev.hazard_findings();
+    let k = findings
+        .for_kernel("spread_GM_racy")
+        .next()
+        .expect("racy launch was checked");
+    assert!(
+        k.hazards_total > 0,
+        "the detector passed a kernel that races by construction"
+    );
+    assert!(!k.hazards.is_empty());
+    for h in &k.hazards {
+        assert_eq!(h.buffer, "fine_grid", "race attributed to the wrong buffer");
+        assert_eq!(h.first.kind, AccessKind::Write);
+        assert_eq!(h.second.kind, AccessKind::Write);
+        // a real conflict needs two different executors: different
+        // threads in one block epoch, or different blocks entirely
+        if h.intra_block {
+            assert_eq!(h.first.block, h.second.block);
+            assert_eq!(h.first.epoch, h.second.epoch);
+            assert_ne!(h.first.thread, h.second.thread);
+        } else {
+            assert_ne!(h.first.block, h.second.block);
+        }
+    }
+    // the racy kernel skips atomics entirely, so its *contract* is
+    // consistent — only the race analysis catches it, which pins the
+    // failure on the right subsystem
+    assert!(
+        k.violations.is_empty(),
+        "contract noise would blur the race attribution: {:?}",
+        k.violations
+    );
+    // and the correct variant on identical inputs stays clean
+    dev.clear_hazard_findings();
+    let mut grid2 = vec![Complex::<f32>::ZERO; fine.total()];
+    cufinufft::spread::spread_gm(
+        &dev,
+        "spread_GM_fixed",
+        &kernel,
+        fine,
+        &pts_ref(&pts),
+        &cs,
+        &order,
+        &mut grid2,
+        128,
+        1.0,
+    )
+    .unwrap();
+    let clean = dev.hazard_findings();
+    let k = clean.for_kernel("spread_GM_fixed").next().expect("checked");
+    assert!(
+        k.is_clean(),
+        "atomic spread flagged: {:?}",
+        k.hazards.first()
+    );
+    // the race is performance-invisible in a serial simulator: both
+    // variants produce identical sums, which is why the checker exists
+    for (a, b) in grid.iter().zip(grid2.iter()) {
+        assert_eq!(a.re, b.re);
+        assert_eq!(a.im, b.im);
+    }
+}

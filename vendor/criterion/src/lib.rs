@@ -7,6 +7,8 @@
 //! workspace's micro-benchmarks runnable and their call sites
 //! compiling without network access.
 
+#![forbid(unsafe_code)]
+
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;

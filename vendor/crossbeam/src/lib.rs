@@ -10,6 +10,8 @@
 //! in this workspace immediately `.expect()`s the result, so the
 //! observable behaviour — a panic with a message — is the same.
 
+#![forbid(unsafe_code)]
+
 pub mod channel {
     pub use std::sync::mpsc::{Receiver, SendError};
 

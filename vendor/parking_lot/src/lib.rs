@@ -6,6 +6,8 @@
 //! Poisoned locks are recovered transparently, matching parking_lot's
 //! no-poisoning semantics.
 
+#![forbid(unsafe_code)]
+
 use std::sync::{Mutex as StdMutex, MutexGuard, TryLockError};
 
 pub struct Mutex<T: ?Sized> {

@@ -13,6 +13,8 @@
 //!   values are NOT shrunk (the failure message carries the assertion's
 //!   own diagnostics instead).
 
+#![forbid(unsafe_code)]
+
 pub mod strategy;
 pub mod test_runner;
 

@@ -7,6 +7,8 @@
 //! stream, which is fine: every call site seeds explicitly and only
 //! relies on reproducibility within this workspace).
 
+#![forbid(unsafe_code)]
+
 pub mod rngs;
 
 /// Low-level source of random 64-bit words.
