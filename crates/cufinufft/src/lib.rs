@@ -57,7 +57,34 @@ pub mod spread;
 pub mod type3;
 
 pub use nufft_common::TransformType;
-pub use opts::{default_bin_size, sm_feasible, sm_shared_bytes, GpuOpts, Method, ModeOrder};
+pub use opts::{
+    default_bin_size, sm_feasible, sm_shared_bytes, GpuOpts, Method, ModeOrder, Tuning,
+};
 pub use plan::{BatchTimings, ChunkTiming, GpuStageTimings, Plan, PlanBuilder};
 pub use recovery::{RecoveryPolicy, RecoveryReport};
 pub use type3::GpuType3Plan;
+
+/// Everything a typical user needs in one import: the plan lifecycle
+/// ([`Plan`], [`PlanBuilder`]), the canonical request/spec vocabulary
+/// ([`TransformSpec`](nufft_common::TransformSpec),
+/// [`Precision`](nufft_common::Precision), [`Method`], [`ModeOrder`],
+/// [`Tuning`]), the cross-backend [`NufftPlan`](nufft_common::NufftPlan)
+/// trait, and the error types.
+///
+/// ```
+/// use cufinufft::prelude::*;
+/// use gpu_sim::Device;
+///
+/// let spec = TransformSpec::type1(&[32, 32]).eps(1e-5).precision(Precision::F32);
+/// let plan = Plan::<f32>::from_spec(&spec, &Device::v100()).unwrap();
+/// assert_eq!(plan.modes().total(), 1024);
+/// ```
+pub mod prelude {
+    pub use crate::{
+        GpuOpts, GpuStageTimings, GpuType3Plan, Method, ModeOrder, Plan, PlanBuilder,
+        RecoveryPolicy, Tuning,
+    };
+    pub use nufft_common::{
+        Complex, NufftError, NufftPlan, Points, Precision, Result, TransformSpec, TransformType,
+    };
+}

@@ -1,35 +1,82 @@
 //! Options and spreading-method selection, mirroring `cufinufft_opts`.
+//!
+//! The option surface is split along the semantic/performance line:
+//! what a transform *is* lives in
+//! [`TransformSpec`](nufft_common::TransformSpec) (type, dims,
+//! tolerance, precision, method, mode order, fine sizing), while how
+//! fast it runs lives in [`Tuning`] (bin sizes, `M_sub`, thread count,
+//! shared-memory budget, upsampling factor). [`GpuOpts`] carries both
+//! plus the operational knobs (tracing, recovery, hazard checking).
 
 use crate::recovery::RecoveryPolicy;
 use gpu_sim::{HazardMode, Trace};
 use nufft_common::error::{NufftError, Result};
 use nufft_common::smooth::FineSizing;
+// Method and ModeOrder are part of a transform's semantic identity and
+// live in nufft-common (`TransformSpec` references them); re-exported
+// here so existing `cufinufft::opts::Method` imports keep working.
+pub use nufft_common::spec::{Method, ModeOrder};
 
-/// Spreading / interpolation method (paper Sec. III).
-#[derive(Copy, Clone, Debug, PartialEq, Eq)]
-pub enum Method {
-    /// Choose automatically: SM for type 1 when feasible, GM-sort
-    /// otherwise (and always for type 2 interpolation).
-    Auto,
-    /// Input-driven global-memory spreading in user point order (the
-    /// CUNFFT-style baseline).
-    Gm,
-    /// GM plus bin-sorting of the points for coalesced access.
-    GmSort,
-    /// Shared-memory subproblems with the `M_sub` load-balancing cap
-    /// (type 1 only; falls back to GM-sort for interpolation).
-    Sm,
+/// Performance-tuning knobs, separated from the semantic
+/// [`TransformSpec`](nufft_common::TransformSpec) fields: two plans
+/// whose specs match compute the same transform regardless of tuning;
+/// tuning only moves the wall clock. `Default` reproduces the paper's
+/// settings (sigma = 2, M_sub = 1024, Remark-1 bin sizes, 128 threads
+/// per block, 49 kB shared memory).
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct Tuning {
+    /// Bin size in fine-grid cells; `None` = paper defaults per dim
+    /// (Remark 1: 32x32 in 2D, 16x16x2 in 3D).
+    pub bin_size: Option<[usize; 3]>,
+    /// Maximum nonuniform points per SM subproblem.
+    pub msub: usize,
+    /// Upsampling factor sigma.
+    pub upsampfac: f64,
+    /// Threads per block for the GM kernels.
+    pub threads_per_block: usize,
+    /// Shared-memory budget per block used in the SM feasibility check.
+    /// The paper quotes 49 kB (Remark 2 uses 49000).
+    pub shared_mem_budget: usize,
 }
 
-/// Ordering of the Fourier-mode arrays exchanged with the caller,
-/// mirroring the C API's `modeord` option.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
-pub enum ModeOrder {
-    /// Ascending frequency `-N/2 .. N/2-1` (CMCL order; `modeord = 0`).
-    #[default]
-    Centered,
-    /// FFT-style order `0 .. N/2-1, -N/2 .. -1` (`modeord = 1`).
-    Fft,
+impl Default for Tuning {
+    fn default() -> Self {
+        Tuning {
+            bin_size: None,
+            msub: 1024,
+            upsampfac: 2.0,
+            threads_per_block: 128,
+            shared_mem_budget: 49_000,
+        }
+    }
+}
+
+impl Tuning {
+    /// Reject values that cannot produce a working plan.
+    pub fn validate(&self) -> Result<()> {
+        if self.msub == 0 {
+            return Err(NufftError::BadMsub(self.msub));
+        }
+        if self.upsampfac <= 1.0 || self.upsampfac.is_nan() {
+            return Err(NufftError::BadUpsampfac(self.upsampfac));
+        }
+        if let Some(b) = self.bin_size {
+            if b.contains(&0) {
+                return Err(NufftError::BadBinSize(b));
+            }
+        }
+        if self.threads_per_block == 0 {
+            return Err(NufftError::BadOptions(
+                "threads_per_block must be positive".into(),
+            ));
+        }
+        if self.shared_mem_budget == 0 {
+            return Err(NufftError::BadOptions(
+                "shared_mem_budget must be positive".into(),
+            ));
+        }
+        Ok(())
+    }
 }
 
 /// Plan options (defaults follow the paper: sigma = 2, M_sub = 1024,
@@ -39,21 +86,13 @@ pub struct GpuOpts {
     pub method: Method,
     /// Mode ordering of the coefficient arrays.
     pub modeord: ModeOrder,
-    /// Bin size in fine-grid cells; `None` = paper defaults per dim.
-    pub bin_size: Option<[usize; 3]>,
-    /// Maximum nonuniform points per SM subproblem.
-    pub msub: usize,
-    /// Upsampling factor sigma.
-    pub upsampfac: f64,
+    /// Performance-tuning knobs (bin size, `M_sub`, sigma, thread
+    /// count, shared-memory budget); see [`Tuning`].
+    pub tuning: Tuning,
     /// Fine-grid sizing policy: round up to a 5-smooth FFT size (paper
     /// rule, the default) or keep `max(ceil(sigma*n), 2w)` exactly so
     /// prime sizes exercise the Bluestein FFT path (conformance use).
     pub fine_sizing: FineSizing,
-    /// Threads per block for the GM kernels.
-    pub threads_per_block: usize,
-    /// Shared-memory budget per block used in the SM feasibility check.
-    /// The paper quotes 49 kB (Remark 2 uses 49000).
-    pub shared_mem_budget: usize,
     /// Maximum transforms per pipelined chunk in `execute_many`
     /// (the C API's `maxbatchsize`); 0 picks a heuristic that yields
     /// several chunks so transfers can hide under compute.
@@ -84,12 +123,8 @@ impl Default for GpuOpts {
         GpuOpts {
             method: Method::Auto,
             modeord: ModeOrder::default(),
-            bin_size: None,
-            msub: 1024,
-            upsampfac: 2.0,
+            tuning: Tuning::default(),
             fine_sizing: FineSizing::default(),
-            threads_per_block: 128,
-            shared_mem_budget: 49_000,
             max_batch: 0,
             trace: None,
             recovery: RecoveryPolicy::default(),
@@ -116,27 +151,7 @@ impl GpuOpts {
     /// options surface as typed errors instead of downstream panics or
     /// silent misbehaviour.
     pub fn validate(&self) -> Result<()> {
-        if self.msub == 0 {
-            return Err(NufftError::BadMsub(self.msub));
-        }
-        if self.upsampfac <= 1.0 || self.upsampfac.is_nan() {
-            return Err(NufftError::BadUpsampfac(self.upsampfac));
-        }
-        if let Some(b) = self.bin_size {
-            if b.contains(&0) {
-                return Err(NufftError::BadBinSize(b));
-            }
-        }
-        if self.threads_per_block == 0 {
-            return Err(NufftError::BadOptions(
-                "threads_per_block must be positive".into(),
-            ));
-        }
-        if self.shared_mem_budget == 0 {
-            return Err(NufftError::BadOptions(
-                "shared_mem_budget must be positive".into(),
-            ));
-        }
+        self.tuning.validate()?;
         self.recovery.validate()?;
         Ok(())
     }
@@ -267,7 +282,10 @@ mod tests {
     #[test]
     fn validate_rejects_zero_msub() {
         let opts = GpuOpts {
-            msub: 0,
+            tuning: Tuning {
+                msub: 0,
+                ..Tuning::default()
+            },
             ..GpuOpts::default()
         };
         assert_eq!(opts.validate(), Err(NufftError::BadMsub(0)));
@@ -277,7 +295,10 @@ mod tests {
     fn validate_rejects_non_upsampling_sigma() {
         for bad in [1.0, 0.5, 0.0, -2.0, f64::NAN] {
             let opts = GpuOpts {
-                upsampfac: bad,
+                tuning: Tuning {
+                    upsampfac: bad,
+                    ..Tuning::default()
+                },
                 ..GpuOpts::default()
             };
             match opts.validate() {
@@ -292,7 +313,10 @@ mod tests {
     #[test]
     fn validate_rejects_zero_bin_entry() {
         let opts = GpuOpts {
-            bin_size: Some([32, 0, 1]),
+            tuning: Tuning {
+                bin_size: Some([32, 0, 1]),
+                ..Tuning::default()
+            },
             ..GpuOpts::default()
         };
         assert_eq!(opts.validate(), Err(NufftError::BadBinSize([32, 0, 1])));
@@ -301,7 +325,10 @@ mod tests {
     #[test]
     fn validate_rejects_zero_threads() {
         let opts = GpuOpts {
-            threads_per_block: 0,
+            tuning: Tuning {
+                threads_per_block: 0,
+                ..Tuning::default()
+            },
             ..GpuOpts::default()
         };
         assert!(matches!(opts.validate(), Err(NufftError::BadOptions(_))));
@@ -310,10 +337,24 @@ mod tests {
     #[test]
     fn validate_rejects_zero_shared_mem_budget() {
         let opts = GpuOpts {
-            shared_mem_budget: 0,
+            tuning: Tuning {
+                shared_mem_budget: 0,
+                ..Tuning::default()
+            },
             ..GpuOpts::default()
         };
         assert!(matches!(opts.validate(), Err(NufftError::BadOptions(_))));
+    }
+
+    #[test]
+    fn default_tuning_matches_paper_values() {
+        let t = Tuning::default();
+        assert_eq!(t.msub, 1024);
+        assert_eq!(t.upsampfac, 2.0);
+        assert_eq!(t.threads_per_block, 128);
+        assert_eq!(t.shared_mem_budget, 49_000);
+        assert_eq!(t.bin_size, None);
+        assert!(t.validate().is_ok());
     }
 
     #[test]

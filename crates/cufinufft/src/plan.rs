@@ -4,7 +4,7 @@
 
 use crate::bins::{build_subproblems, gpu_bin_sort, GpuBinSort, Subproblem};
 use crate::interp::interp_batch;
-use crate::opts::{default_bin_size, resolve_spread_method, GpuOpts, Method, ModeOrder};
+use crate::opts::{default_bin_size, resolve_spread_method, GpuOpts, Method, ModeOrder, Tuning};
 use crate::recovery::{with_retry, RecoveryReport};
 use crate::spread::{spread_batch, PtsRef, SpreadInputs};
 use gpu_sim::{Device, GpuBuffer, HazardMode, HazardReport, Lane, Precision, Trace, TraceReport};
@@ -13,6 +13,7 @@ use nufft_common::error::{NufftError, Result};
 use nufft_common::real::Real;
 use nufft_common::shape::{freq_to_bin, freqs, Shape};
 use nufft_common::smooth::{fine_grid_size_with, FineSizing};
+use nufft_common::spec::{Precision as SpecPrecision, TransformSpec};
 use nufft_common::workload::Points;
 use nufft_common::TransformType;
 use nufft_fft::Direction;
@@ -211,6 +212,34 @@ pub struct PlanBuilder<T: Real> {
 }
 
 impl<T: Real> PlanBuilder<T> {
+    /// Build a plan from a canonical [`TransformSpec`] — the same value
+    /// the serving layer uses as its request API and plan-cache key, so
+    /// "what was requested" and "what the plan computes" cannot drift
+    /// apart. The spec is validated here and its precision must match
+    /// `T`; tuning and operational knobs (tracing, recovery, ...) stay
+    /// at their defaults and can still be set fluently afterwards.
+    ///
+    /// ```ignore
+    /// let spec = TransformSpec::type1(&[64, 64]).eps(1e-5).precision(Precision::F32);
+    /// let plan = PlanBuilder::<f32>::from_spec(&spec)?.tuning(tuning).build(&dev)?;
+    /// ```
+    pub fn from_spec(spec: &TransformSpec) -> Result<Self> {
+        spec.validate()?;
+        if !spec.matches_precision::<T>() {
+            return Err(NufftError::BadSpec(format!(
+                "spec requests {} but the plan is being built for {}",
+                spec.precision,
+                SpecPrecision::of::<T>(),
+            )));
+        }
+        Ok(Self::new(spec.ttype, &spec.modes)
+            .eps(spec.eps)
+            .iflag(spec.iflag)
+            .method(spec.method)
+            .modeord(spec.modeord)
+            .fine_sizing(spec.fine_sizing))
+    }
+
     fn new(ttype: TransformType, modes: &[usize]) -> Self {
         PlanBuilder {
             ttype,
@@ -258,21 +287,28 @@ impl<T: Real> PlanBuilder<T> {
         self
     }
 
+    /// Replace the whole tuning block at once (see [`Tuning`]); the
+    /// per-knob setters below are thin shims over its fields.
+    pub fn tuning(mut self, tuning: Tuning) -> Self {
+        self.opts.tuning = tuning;
+        self
+    }
+
     /// Override the bin size used for sorting and SM subproblems.
     pub fn bin_size(mut self, bin_size: [usize; 3]) -> Self {
-        self.opts.bin_size = Some(bin_size);
+        self.opts.tuning.bin_size = Some(bin_size);
         self
     }
 
     /// Maximum points per SM subproblem.
     pub fn msub(mut self, msub: usize) -> Self {
-        self.opts.msub = msub;
+        self.opts.tuning.msub = msub;
         self
     }
 
     /// Upsampling factor sigma (default 2.0).
     pub fn upsampfac(mut self, upsampfac: f64) -> Self {
-        self.opts.upsampfac = upsampfac;
+        self.opts.tuning.upsampfac = upsampfac;
         self
     }
 
@@ -287,13 +323,13 @@ impl<T: Real> PlanBuilder<T> {
 
     /// Threads per block for GM kernels.
     pub fn threads_per_block(mut self, threads: usize) -> Self {
-        self.opts.threads_per_block = threads;
+        self.opts.tuning.threads_per_block = threads;
         self
     }
 
     /// Shared-memory budget per block (bytes).
     pub fn shared_mem_budget(mut self, bytes: usize) -> Self {
-        self.opts.shared_mem_budget = bytes;
+        self.opts.tuning.shared_mem_budget = bytes;
         self
     }
 
@@ -389,22 +425,11 @@ impl<T: Real> Plan<T> {
         PlanBuilder::new(ttype, modes)
     }
 
-    /// Create a plan from positional arguments. A thin shim over
-    /// [`Plan::builder`] — both constructors share one build path.
-    #[deprecated(note = "use `Plan::builder(ttype, modes)...build(dev)` instead")]
-    pub fn new(
-        ttype: TransformType,
-        modes: &[usize],
-        iflag: i32,
-        eps: f64,
-        opts: GpuOpts,
-        dev: &Device,
-    ) -> Result<Self> {
-        Self::builder(ttype, modes)
-            .iflag(iflag)
-            .eps(eps)
-            .opts(opts)
-            .build(dev)
+    /// Build a plan directly from a canonical [`TransformSpec`] with
+    /// default tuning; shorthand for
+    /// [`PlanBuilder::from_spec`]`(spec)?.build(dev)`.
+    pub fn from_spec(spec: &TransformSpec, dev: &Device) -> Result<Self> {
+        PlanBuilder::from_spec(spec)?.build(dev)
     }
 
     /// Create a plan (cufinufft_makeplan). Fine-grid sizing, kernel
@@ -440,15 +465,18 @@ impl<T: Real> Plan<T> {
         if modes.contains(&0) {
             return Err(NufftError::BadModes("zero-size mode dimension".into()));
         }
-        let kernel = if (opts.upsampfac - 2.0).abs() < 1e-12 {
+        let kernel = if (opts.tuning.upsampfac - 2.0).abs() < 1e-12 {
             EsKernel::for_tolerance(eps, T::IS_DOUBLE)?
         } else {
-            EsKernel::for_tolerance_sigma(eps, opts.upsampfac, T::IS_DOUBLE)?
+            EsKernel::for_tolerance_sigma(eps, opts.tuning.upsampfac, T::IS_DOUBLE)?
         };
         let modes = Shape::from_slice(modes);
-        let fine =
-            modes.map(|_, n| fine_grid_size_with(n, opts.upsampfac, kernel.w, opts.fine_sizing));
-        let bin_size = opts.bin_size.unwrap_or_else(|| default_bin_size(modes.dim));
+        let fine = modes
+            .map(|_, n| fine_grid_size_with(n, opts.tuning.upsampfac, kernel.w, opts.fine_sizing));
+        let bin_size = opts
+            .tuning
+            .bin_size
+            .unwrap_or_else(|| default_bin_size(modes.dim));
         let cb = std::mem::size_of::<Complex<T>>();
         let mut recovery = RecoveryReport::default();
         let spread_method = match resolve_spread_method(
@@ -457,7 +485,9 @@ impl<T: Real> Plan<T> {
             modes.dim,
             kernel.w,
             cb,
-            opts.shared_mem_budget.min(dev.props().shared_mem_per_block),
+            opts.tuning
+                .shared_mem_budget
+                .min(dev.props().shared_mem_per_block),
         ) {
             Ok(m) => m,
             Err(e @ NufftError::MethodUnavailable(_)) if opts.recovery.allow_method_fallback => {
@@ -703,7 +733,7 @@ impl<T: Real> Plan<T> {
             build_subproblems(
                 &self.dev,
                 sort.as_ref().expect("SM requires sorting"),
-                self.opts.msub,
+                self.opts.tuning.msub,
             )
         } else {
             Vec::new()
@@ -1012,34 +1042,6 @@ impl<T: Real> Plan<T> {
         Ok(())
     }
 
-    /// Batched execution with copy/compute overlap; superseded by
-    /// [`Plan::execute_many`], which pipelines by default and reports
-    /// its schedule in [`Plan::batch_timings`].
-    #[deprecated(note = "use `execute_many`; batching now pipelines by default")]
-    pub fn execute_batch_pipelined(
-        &mut self,
-        input: &[Complex<T>],
-        output: &mut [Complex<T>],
-        n_transf: usize,
-    ) -> Result<f64> {
-        if n_transf == 0 {
-            return Err(NufftError::BadOptions("n_transf must be positive".into()));
-        }
-        let state = self.pts.as_ref().ok_or(NufftError::PointsNotSet)?;
-        let in_per = match self.ttype {
-            TransformType::Type1 => state.m,
-            TransformType::Type2 => self.modes.total(),
-        };
-        if input.len() != in_per * n_transf {
-            return Err(NufftError::LengthMismatch {
-                expected: in_per * n_transf,
-                got: input.len(),
-            });
-        }
-        self.execute_many(input, output)?;
-        Ok(self.timings.pipe_wall)
-    }
-
     /// Execute `B` stacked transforms sharing the plan's points, with
     /// `B` inferred from `input.len()` (the vectors are concatenated:
     /// `input = [c_0, .., c_{B-1}]`, `output = [f_0, .., f_{B-1}]`).
@@ -1324,7 +1326,7 @@ impl<T: Real> Plan<T> {
             &self.kernel,
             self.fine,
             self.spread_method,
-            self.opts.threads_per_block,
+            self.opts.tuning.threads_per_block,
             &state.inputs(),
             bc,
             &d_in.as_slice()[..bc * m],
@@ -1411,7 +1413,7 @@ impl<T: Real> Plan<T> {
             &self.kernel,
             self.fine,
             self.spread_method,
-            self.opts.threads_per_block,
+            self.opts.tuning.threads_per_block,
             &state.inputs(),
             bc,
             &d_grid.as_slice()[..bc * nf],
@@ -1431,7 +1433,7 @@ impl<T: Real> Plan<T> {
             &self.kernel,
             self.fine,
             self.spread_method,
-            self.opts.threads_per_block,
+            self.opts.tuning.threads_per_block,
             &state.inputs(),
             1,
             self.d_in.as_slice(),
@@ -1545,7 +1547,7 @@ impl<T: Real> Plan<T> {
             &self.kernel,
             self.fine,
             self.spread_method,
-            self.opts.threads_per_block,
+            self.opts.tuning.threads_per_block,
             &state.inputs(),
             1,
             self.d_grid.as_slice(),

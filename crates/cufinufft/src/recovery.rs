@@ -68,7 +68,10 @@ impl RecoveryPolicy {
         }
     }
 
-    pub(crate) fn validate(&self) -> Result<()> {
+    /// Check the policy's fields are usable (finite, non-negative
+    /// backoff). Run implicitly at plan build; callers holding a policy
+    /// long before building (e.g. a server config) can check eagerly.
+    pub fn validate(&self) -> Result<()> {
         if !(self.backoff.is_finite() && self.backoff >= 0.0) {
             return Err(NufftError::BadOptions(format!(
                 "recovery backoff must be finite and non-negative, got {}",

@@ -139,6 +139,7 @@ impl<T: Real> GpuType3Plan<T> {
         let cb = std::mem::size_of::<Complex<T>>();
         let bin_size = self
             .opts
+            .tuning
             .bin_size
             .unwrap_or_else(|| default_bin_size(self.dim));
         let spread_method = match resolve_spread_method(
@@ -148,6 +149,7 @@ impl<T: Real> GpuType3Plan<T> {
             w,
             cb,
             self.opts
+                .tuning
                 .shared_mem_budget
                 .min(self.dev.props().shared_mem_per_block),
         ) {
@@ -312,12 +314,13 @@ impl<T: Real> GpuType3Plan<T> {
         };
         let bin_size = self
             .opts
+            .tuning
             .bin_size
             .unwrap_or_else(|| default_bin_size(self.dim));
         match self.spread_method {
             Method::Sm => {
                 let sort = gpu_bin_sort(&self.dev, xp, nf, bin_size);
-                let subs = build_subproblems(&self.dev, &sort, self.opts.msub);
+                let subs = build_subproblems(&self.dev, &sort, self.opts.tuning.msub);
                 with_retry(
                     &dev,
                     &policy,
@@ -357,7 +360,7 @@ impl<T: Real> GpuType3Plan<T> {
                             d_c.as_slice(),
                             &sort.perm,
                             d_grid.as_mut_slice(),
-                            self.opts.threads_per_block,
+                            self.opts.tuning.threads_per_block,
                             1.0,
                         )
                     },
@@ -381,7 +384,7 @@ impl<T: Real> GpuType3Plan<T> {
                             d_c.as_slice(),
                             &natural,
                             d_grid.as_mut_slice(),
-                            self.opts.threads_per_block,
+                            self.opts.tuning.threads_per_block,
                             1.0,
                         )
                     },

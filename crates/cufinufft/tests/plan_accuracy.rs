@@ -7,7 +7,7 @@ use gpu_sim::Device;
 use nufft_common::metrics::rel_l2;
 use nufft_common::reference::{type1_direct, type2_direct};
 use nufft_common::workload::{gen_coeffs, gen_points, gen_strengths, PointDist};
-use nufft_common::{Complex, Points, Real, Shape};
+use nufft_common::{Complex, NufftError, Points, Real, Shape};
 
 fn run_t1<T: Real>(
     modes: &[usize],
@@ -611,19 +611,24 @@ fn builder_validates_options() {
 }
 
 #[test]
-#[allow(deprecated)]
-fn deprecated_positional_constructor_still_works() {
+fn spec_constructor_builds_plans() {
+    use nufft_common::spec::{Precision, TransformSpec};
     let dev = Device::v100();
-    let plan = Plan::<f32>::new(
-        TransformType::Type1,
-        &[16, 16],
-        -1,
-        1e-4,
-        GpuOpts::default(),
-        &dev,
-    )
-    .unwrap();
+    let spec = TransformSpec::type1(&[16, 16])
+        .eps(1e-4)
+        .precision(Precision::F32);
+    let plan = Plan::<f32>::from_spec(&spec, &dev).unwrap();
     assert_eq!(plan.modes().total(), 256);
+    // precision mismatch is a typed error, not a silent cast
+    assert!(matches!(
+        Plan::<f64>::from_spec(&spec, &dev),
+        Err(NufftError::BadSpec(_))
+    ));
+    // invalid specs are rejected before any device work
+    assert!(matches!(
+        Plan::<f32>::from_spec(&TransformSpec::type1(&[]).precision(Precision::F32), &dev),
+        Err(NufftError::BadSpec(_))
+    ));
 }
 
 #[test]
@@ -667,19 +672,28 @@ fn spread_and_interp_only_modes() {
 }
 
 #[test]
-#[allow(deprecated)]
-fn deprecated_plan_new_matches_builder_exactly() {
-    // Plan::new is a shim over the builder; the two construction paths
-    // must produce bitwise-identical transforms for identical inputs.
+fn spec_built_plan_matches_builder_exactly() {
+    // PlanBuilder::from_spec routes through the same build path as the
+    // fluent builder; the two construction paths must produce
+    // bitwise-identical transforms for identical inputs.
+    use nufft_common::spec::{Precision, TransformSpec};
     let modes = [18usize, 14];
     let opts = GpuOpts {
         method: Method::GmSort,
         ..Default::default()
     };
-    let run = |via_new: bool| -> (Vec<Complex<f64>>, Shape) {
+    let run = |via_spec: bool| -> (Vec<Complex<f64>>, Shape) {
         let dev = Device::v100();
-        let mut plan = if via_new {
-            Plan::<f64>::new(TransformType::Type1, &modes, 1, 1e-7, opts.clone(), &dev).unwrap()
+        let mut plan = if via_spec {
+            let spec = TransformSpec::type1(&modes)
+                .iflag(1)
+                .eps(1e-7)
+                .precision(Precision::F64)
+                .method(Method::GmSort);
+            cufinufft::PlanBuilder::<f64>::from_spec(&spec)
+                .unwrap()
+                .build(&dev)
+                .unwrap()
         } else {
             Plan::<f64>::builder(TransformType::Type1, &modes)
                 .iflag(1)

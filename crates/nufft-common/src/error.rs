@@ -1,10 +1,17 @@
 //! Error type shared by the NUFFT libraries in this workspace, mirroring
 //! the integer error codes of the FINUFFT/cuFINUFFT C API with typed
 //! variants.
+//!
+//! [`NufftError`] is the single top-level error every layer returns:
+//! plan construction and execution (`cufinufft`, `finufft-cpu`, the
+//! baselines), the type-3 pipeline, and the serving front end
+//! (`nufft-serve`). Serve-side failures wrap their cause in
+//! [`NufftError::Request`], whose [`std::error::Error::source`] exposes
+//! the underlying plan/device error for `anyhow`-style chains.
 
 use std::fmt;
 
-/// Errors reported by plan construction and execution.
+/// Errors reported by plan construction, execution, and serving.
 #[derive(Debug, Clone, PartialEq)]
 pub enum NufftError {
     /// Requested tolerance is too small for the working precision
@@ -36,6 +43,42 @@ pub enum NufftError {
     BadUpsampfac(f64),
     /// A bin-size entry was zero.
     BadBinSize([usize; 3]),
+    /// A `TransformSpec` failed validation (empty/oversized dims,
+    /// non-positive tolerance, ...) or did not match the request data.
+    BadSpec(String),
+    /// The serving queue is at capacity; the request was not admitted.
+    /// Back off and resubmit, or use a blocking submit.
+    QueueFull { depth: usize, capacity: usize },
+    /// The server is shutting down (or shut down before this request
+    /// was picked up); the request was not executed.
+    Shutdown,
+    /// A served request failed at the named stage (`plan.build`,
+    /// `plan.setpts`, `plan.execute`, ...); the wrapped cause is also
+    /// available through [`std::error::Error::source`].
+    Request {
+        stage: String,
+        source: Box<NufftError>,
+    },
+}
+
+impl NufftError {
+    /// Wrap `self` as the cause of a failed serve-stage, preserving the
+    /// chain for [`std::error::Error::source`].
+    pub fn at_stage(self, stage: &str) -> NufftError {
+        NufftError::Request {
+            stage: stage.to_string(),
+            source: Box::new(self),
+        }
+    }
+
+    /// The root cause of a (possibly nested) [`NufftError::Request`]
+    /// chain; `self` for plain errors.
+    pub fn root_cause(&self) -> &NufftError {
+        match self {
+            NufftError::Request { source, .. } => source.root_cause(),
+            other => other,
+        }
+    }
 }
 
 impl fmt::Display for NufftError {
@@ -75,11 +118,27 @@ impl fmt::Display for NufftError {
             NufftError::BadBinSize(b) => {
                 write!(f, "invalid bin size {b:?}: entries must be positive")
             }
+            NufftError::BadSpec(msg) => write!(f, "invalid transform spec: {msg}"),
+            NufftError::QueueFull { depth, capacity } => write!(
+                f,
+                "serve queue full: {depth} request(s) queued, capacity {capacity}"
+            ),
+            NufftError::Shutdown => write!(f, "server shut down before the request completed"),
+            NufftError::Request { stage, source } => {
+                write!(f, "request failed at {stage}: {source}")
+            }
         }
     }
 }
 
-impl std::error::Error for NufftError {}
+impl std::error::Error for NufftError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NufftError::Request { source, .. } => Some(source.as_ref()),
+            _ => None,
+        }
+    }
+}
 
 /// Convenience alias.
 pub type Result<T> = std::result::Result<T, NufftError>;
@@ -109,5 +168,39 @@ mod tests {
     fn error_trait_object() {
         let e: Box<dyn std::error::Error> = Box::new(NufftError::PointsNotSet);
         assert!(!e.to_string().is_empty());
+    }
+
+    #[test]
+    fn request_wrapping_exposes_source_and_root_cause() {
+        use std::error::Error;
+        let cause = NufftError::DeviceFault {
+            op: "h2d:chunk".into(),
+            attempts: 4,
+        };
+        let wrapped = cause.clone().at_stage("plan.execute");
+        let s = wrapped.to_string();
+        assert!(s.contains("plan.execute") && s.contains("h2d:chunk"), "{s}");
+        let src = wrapped.source().expect("request errors carry a source");
+        assert!(src.to_string().contains("h2d:chunk"));
+        assert_eq!(wrapped.root_cause(), &cause);
+        // nested wrapping still resolves to the innermost cause
+        let nested = wrapped.at_stage("serve.dispatch");
+        assert_eq!(nested.root_cause(), &cause);
+        // plain errors have no source and are their own root cause
+        assert!(cause.source().is_none());
+        assert_eq!(cause.root_cause(), &cause);
+    }
+
+    #[test]
+    fn serve_variants_display() {
+        let q = NufftError::QueueFull {
+            depth: 64,
+            capacity: 64,
+        };
+        assert!(q.to_string().contains("64"));
+        assert!(NufftError::Shutdown.to_string().contains("shut down"));
+        assert!(NufftError::BadSpec("no dims".into())
+            .to_string()
+            .contains("no dims"));
     }
 }

@@ -19,11 +19,12 @@ pub mod real;
 pub mod reference;
 pub mod shape;
 pub mod smooth;
+pub mod spec;
 pub mod workload;
 
 /// Transform type (paper Sec. I). Shared vocabulary across the CPU and
 /// GPU libraries.
-#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
 pub enum TransformType {
     /// Nonuniform to uniform (paper eq. 1).
     Type1,
@@ -39,4 +40,5 @@ pub use hazard::{
 pub use plan::NufftPlan;
 pub use real::Real;
 pub use shape::{freq_start, freq_to_bin, freqs, Shape};
+pub use spec::{Method, ModeOrder, Precision, TransformSpec};
 pub use workload::{gen_coeffs, gen_points, gen_strengths, points_for_density, PointDist, Points};

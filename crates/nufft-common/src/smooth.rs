@@ -39,7 +39,7 @@ pub fn next_smooth(n: usize) -> usize {
 /// therefore routes the FFT through the Bluestein chirp-z fallback. The
 /// conformance harness uses this to exercise Bluestein through the full
 /// plan pipeline; production plans should keep the default.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Default)]
 pub enum FineSizing {
     /// Round the target up to the next 5-smooth integer (paper rule).
     #[default]

@@ -1,0 +1,172 @@
+//! The response half of a submitted request.
+//!
+//! [`Response`] is both a blocking handle ([`Response::wait`]) and a
+//! `std::future::Future`, so callers can `.await` it on any executor —
+//! including this crate's own std-only [`block_on`](crate::block_on).
+//! The server fulfills the shared cell exactly once from its worker
+//! thread; fulfillment wakes both styles of waiter (condvar for
+//! blockers, stored [`Waker`] for pollers).
+
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::{Arc, Condvar, Mutex};
+use std::task::{Context, Poll, Waker};
+
+use nufft_common::{Complex, NufftError, Real, Result};
+
+/// Shared completion slot between the server worker and one `Response`.
+pub(crate) struct ResponseCell<T: Real> {
+    state: Mutex<CellState<T>>,
+    done: Condvar,
+}
+
+struct CellState<T: Real> {
+    result: Option<Result<Vec<Complex<T>>>>,
+    waker: Option<Waker>,
+}
+
+impl<T: Real> Default for ResponseCell<T> {
+    fn default() -> Self {
+        ResponseCell {
+            state: Mutex::new(CellState {
+                result: None,
+                waker: None,
+            }),
+            done: Condvar::new(),
+        }
+    }
+}
+
+impl<T: Real> ResponseCell<T> {
+    /// Deliver the outcome; wakes a blocking waiter and/or a polled
+    /// future. Later calls are ignored (first writer wins), so a
+    /// shutdown sweep can safely re-fail an already-failed request.
+    pub(crate) fn fulfill(&self, result: Result<Vec<Complex<T>>>) {
+        let waker = {
+            let mut st = self.state.lock().unwrap();
+            if st.result.is_some() {
+                return;
+            }
+            st.result = Some(result);
+            st.waker.take()
+        };
+        self.done.notify_all();
+        if let Some(w) = waker {
+            w.wake();
+        }
+    }
+}
+
+/// Handle to one in-flight transform request.
+///
+/// Await it (`response.await`) or block on it ([`Response::wait`]); both
+/// yield the transform output or the typed [`NufftError`] the request
+/// failed with.
+pub struct Response<T: Real> {
+    cell: Arc<ResponseCell<T>>,
+    taken: bool,
+}
+
+impl<T: Real> Response<T> {
+    pub(crate) fn new(cell: Arc<ResponseCell<T>>) -> Self {
+        Response { cell, taken: false }
+    }
+
+    /// Block the calling thread until the request completes.
+    pub fn wait(mut self) -> Result<Vec<Complex<T>>> {
+        self.taken = true;
+        let mut st = self.cell.state.lock().unwrap();
+        loop {
+            if let Some(result) = st.result.take() {
+                return result;
+            }
+            st = self.cell.done.wait(st).unwrap();
+        }
+    }
+
+    /// The outcome if already available, without blocking; `None` while
+    /// the request is still in flight.
+    pub fn try_take(&mut self) -> Option<Result<Vec<Complex<T>>>> {
+        let taken = self.cell.state.lock().unwrap().result.take();
+        if taken.is_some() {
+            self.taken = true;
+        }
+        taken
+    }
+}
+
+impl<T: Real> std::fmt::Debug for Response<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let ready = self.cell.state.lock().unwrap().result.is_some();
+        f.debug_struct("Response").field("ready", &ready).finish()
+    }
+}
+
+impl<T: Real> Future for Response<T> {
+    type Output = Result<Vec<Complex<T>>>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = self.get_mut();
+        let mut st = this.cell.state.lock().unwrap();
+        if let Some(result) = st.result.take() {
+            this.taken = true;
+            return Poll::Ready(result);
+        }
+        if this.taken {
+            // polled again after Ready: surface a typed error rather
+            // than hanging a waker that will never fire again
+            return Poll::Ready(Err(NufftError::Shutdown));
+        }
+        st.waker = Some(cx.waker().clone());
+        Poll::Pending
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+    use std::time::Duration;
+
+    #[test]
+    fn wait_blocks_until_fulfilled() {
+        let cell = Arc::new(ResponseCell::<f32>::default());
+        let resp = Response::new(Arc::clone(&cell));
+        let h = thread::spawn(move || resp.wait());
+        thread::sleep(Duration::from_millis(10));
+        cell.fulfill(Ok(vec![Complex::new(1.0, 2.0)]));
+        let out = h.join().unwrap().unwrap();
+        assert_eq!(out, vec![Complex::new(1.0, 2.0)]);
+    }
+
+    #[test]
+    fn first_fulfillment_wins() {
+        let cell = Arc::new(ResponseCell::<f64>::default());
+        let mut resp = Response::new(Arc::clone(&cell));
+        cell.fulfill(Err(NufftError::PointsNotSet));
+        cell.fulfill(Ok(vec![]));
+        assert_eq!(resp.try_take(), Some(Err(NufftError::PointsNotSet)));
+    }
+
+    #[test]
+    fn try_take_is_none_while_pending() {
+        let cell = Arc::new(ResponseCell::<f32>::default());
+        let mut resp = Response::new(Arc::clone(&cell));
+        assert!(resp.try_take().is_none());
+        cell.fulfill(Ok(vec![]));
+        assert_eq!(resp.try_take(), Some(Ok(vec![])));
+    }
+
+    #[test]
+    fn future_resolves_via_block_on() {
+        let cell = Arc::new(ResponseCell::<f32>::default());
+        let resp = Response::new(Arc::clone(&cell));
+        let fulfiller = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(10));
+            cell.fulfill(Ok(vec![Complex::new(3.0, 4.0)]));
+        });
+        let out = crate::block_on(resp).unwrap();
+        assert_eq!(out, vec![Complex::new(3.0, 4.0)]);
+        fulfiller.join().unwrap();
+    }
+}

@@ -1,0 +1,140 @@
+//! Minimal LRU map used for the plan cache.
+//!
+//! `HashMap` plus a monotone access tick: `get_mut` stamps the entry,
+//! `insert` evicts the smallest stamp once over capacity. Eviction is an
+//! O(n) scan, which is the right trade for a cache whose capacity is
+//! "number of distinct transform geometries a service holds warm" —
+//! single digits to low tens — and whose values (GPU plans with fine
+//! grids attached) are far more expensive than the scan.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Least-recently-used map with a fixed capacity (minimum 1).
+#[derive(Debug)]
+pub struct LruCache<K, V> {
+    capacity: usize,
+    tick: u64,
+    map: HashMap<K, Entry<V>>,
+}
+
+#[derive(Debug)]
+struct Entry<V> {
+    stamp: u64,
+    value: V,
+}
+
+impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
+    /// A cache holding at most `capacity` entries; 0 is clamped to 1 so
+    /// the cache can always hold the entry being worked on.
+    pub fn new(capacity: usize) -> Self {
+        LruCache {
+            capacity: capacity.max(1),
+            tick: 0,
+            map: HashMap::new(),
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    pub fn contains(&self, key: &K) -> bool {
+        self.map.contains_key(key)
+    }
+
+    /// Look up `key`, marking it most recently used on a hit.
+    pub fn get_mut(&mut self, key: &K) -> Option<&mut V> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.get_mut(key).map(|e| {
+            e.stamp = tick;
+            &mut e.value
+        })
+    }
+
+    /// Insert `key`, marking it most recently used. If this pushes the
+    /// cache over capacity the least-recently-used entry is removed and
+    /// returned so the caller can count (or drain) the eviction.
+    pub fn insert(&mut self, key: K, value: V) -> Option<(K, V)> {
+        self.tick += 1;
+        self.map.insert(
+            key,
+            Entry {
+                stamp: self.tick,
+                value,
+            },
+        );
+        if self.map.len() <= self.capacity {
+            return None;
+        }
+        let lru = self
+            .map
+            .iter()
+            .min_by_key(|(_, e)| e.stamp)
+            .map(|(k, _)| k.clone())
+            .expect("cache is over capacity, so non-empty");
+        self.map.remove(&lru).map(|e| (lru, e.value))
+    }
+
+    /// Keys currently resident, in no particular order.
+    pub fn keys(&self) -> impl Iterator<Item = &K> {
+        self.map.keys()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_and_miss() {
+        let mut c = LruCache::new(2);
+        assert!(c.get_mut(&"a").is_none());
+        assert!(c.insert("a", 1).is_none());
+        assert_eq!(c.get_mut(&"a"), Some(&mut 1));
+        assert!(c.get_mut(&"b").is_none());
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn evicts_least_recently_used_at_capacity() {
+        let mut c = LruCache::new(2);
+        c.insert("a", 1);
+        c.insert("b", 2);
+        // touch "a" so "b" becomes the LRU entry
+        c.get_mut(&"a");
+        let evicted = c.insert("c", 3);
+        assert_eq!(evicted, Some(("b", 2)));
+        assert_eq!(c.len(), 2);
+        assert!(c.contains(&"a") && c.contains(&"c"));
+    }
+
+    #[test]
+    fn reinserting_same_key_never_evicts_others() {
+        let mut c = LruCache::new(2);
+        c.insert("a", 1);
+        c.insert("b", 2);
+        assert!(c.insert("a", 10).is_none());
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get_mut(&"a"), Some(&mut 10));
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let mut c = LruCache::new(0);
+        assert_eq!(c.capacity(), 1);
+        c.insert("a", 1);
+        let evicted = c.insert("b", 2);
+        assert_eq!(evicted, Some(("a", 1)));
+        assert_eq!(c.len(), 1);
+    }
+}

@@ -1,0 +1,219 @@
+//! Bounded submission queue with pause/resume, the server's admission
+//! control point.
+//!
+//! * `try_push` is the non-blocking admission path: over capacity it
+//!   hands the item back so the caller can return
+//!   [`NufftError::QueueFull`](nufft_common::NufftError::QueueFull)
+//!   without ever blocking a client.
+//! * `push_wait` is the backpressure path: it parks the caller until a
+//!   slot frees up (or the queue shuts down).
+//! * The worker drains with `pop_all`, taking *everything* queued in one
+//!   swap — that batch is the coalescing window.
+//! * `pause` holds the worker off without blocking producers, which is
+//!   how tests (and drain-style maintenance) deterministically build up
+//!   a coalescable backlog.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    paused: bool,
+    shutdown: bool,
+}
+
+pub struct Queue<T> {
+    inner: Mutex<Inner<T>>,
+    /// Signalled when items arrive, the queue unpauses, or shuts down.
+    ready: Condvar,
+    /// Signalled when slots free up or the queue shuts down.
+    space: Condvar,
+    capacity: usize,
+}
+
+/// Why a push was refused (the item is dropped; the serve layer keeps
+/// the response handle, not the queue).
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushError {
+    /// Queue at capacity, holding `depth` items.
+    Full { depth: usize },
+    /// Queue shut down.
+    Shutdown,
+}
+
+impl<T> Queue<T> {
+    pub fn new(capacity: usize) -> Self {
+        Queue {
+            inner: Mutex::new(Inner {
+                items: VecDeque::new(),
+                paused: false,
+                shutdown: false,
+            }),
+            ready: Condvar::new(),
+            space: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().items.len()
+    }
+
+    /// Admit `item` if there is room; returns the depth after the push.
+    pub fn try_push(&self, item: T) -> Result<usize, PushError> {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.shutdown {
+            return Err(PushError::Shutdown);
+        }
+        if inner.items.len() >= self.capacity {
+            return Err(PushError::Full {
+                depth: inner.items.len(),
+            });
+        }
+        inner.items.push_back(item);
+        let depth = inner.items.len();
+        drop(inner);
+        self.ready.notify_one();
+        Ok(depth)
+    }
+
+    /// Admit `item`, blocking until a slot frees up. Returns the depth
+    /// after the push, or the item back if the queue shuts down first.
+    pub fn push_wait(&self, item: T) -> Result<usize, T> {
+        let mut inner = self.inner.lock().unwrap();
+        while !inner.shutdown && inner.items.len() >= self.capacity {
+            inner = self.space.wait(inner).unwrap();
+        }
+        if inner.shutdown {
+            return Err(item);
+        }
+        inner.items.push_back(item);
+        let depth = inner.items.len();
+        drop(inner);
+        self.ready.notify_one();
+        Ok(depth)
+    }
+
+    /// Take everything queued, blocking while the queue is empty or
+    /// paused. Returns `None` once the queue is shut down (leftovers are
+    /// then claimed with [`Queue::drain`]).
+    pub fn pop_all(&self) -> Option<Vec<T>> {
+        let mut inner = self.inner.lock().unwrap();
+        while !inner.shutdown && (inner.paused || inner.items.is_empty()) {
+            inner = self.ready.wait(inner).unwrap();
+        }
+        if inner.shutdown {
+            return None;
+        }
+        let batch: Vec<T> = inner.items.drain(..).collect();
+        drop(inner);
+        self.space.notify_all();
+        Some(batch)
+    }
+
+    /// Hold the consumer off; producers keep enqueueing up to capacity.
+    pub fn pause(&self) {
+        self.inner.lock().unwrap().paused = true;
+    }
+
+    /// Release a paused consumer.
+    pub fn resume(&self) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.paused = false;
+        drop(inner);
+        self.ready.notify_all();
+    }
+
+    /// Mark the queue closed and wake every waiter. Subsequent pushes
+    /// fail; `pop_all` returns `None`.
+    pub fn shutdown(&self) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.shutdown = true;
+        drop(inner);
+        self.ready.notify_all();
+        self.space.notify_all();
+    }
+
+    /// Claim whatever is still queued (used after `shutdown` to fail
+    /// unstarted requests instead of leaking their waiters).
+    pub fn drain(&self) -> Vec<T> {
+        let mut inner = self.inner.lock().unwrap();
+        let batch: Vec<T> = inner.items.drain(..).collect();
+        drop(inner);
+        self.space.notify_all();
+        batch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+    use std::time::Duration;
+
+    #[test]
+    fn try_push_refuses_over_capacity() {
+        let q = Queue::new(2);
+        assert!(q.try_push(1).is_ok());
+        assert!(q.try_push(2).is_ok());
+        assert_eq!(q.try_push(3), Err(PushError::Full { depth: 2 }));
+    }
+
+    #[test]
+    fn pop_all_takes_everything_queued() {
+        let q = Queue::new(8);
+        for i in 0..5 {
+            q.try_push(i).map_err(|_| ()).unwrap();
+        }
+        assert_eq!(q.pop_all().unwrap(), vec![0, 1, 2, 3, 4]);
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn pause_blocks_consumer_until_resume() {
+        let q = Arc::new(Queue::new(8));
+        q.pause();
+        q.try_push(7).map_err(|_| ()).unwrap();
+        let qc = Arc::clone(&q);
+        let h = thread::spawn(move || qc.pop_all());
+        // consumer must stay parked while paused
+        thread::sleep(Duration::from_millis(30));
+        assert!(!h.is_finished(), "pop_all ran while paused");
+        q.resume();
+        assert_eq!(h.join().unwrap(), Some(vec![7]));
+    }
+
+    #[test]
+    fn shutdown_wakes_consumer_and_refuses_pushes() {
+        let q = Arc::new(Queue::new(2));
+        let qc = Arc::clone(&q);
+        let h = thread::spawn(move || qc.pop_all());
+        thread::sleep(Duration::from_millis(10));
+        q.shutdown();
+        assert_eq!(h.join().unwrap(), None);
+        assert_eq!(q.try_push(1), Err(PushError::Shutdown));
+    }
+
+    #[test]
+    fn push_wait_unblocks_when_consumer_drains() {
+        let q = Arc::new(Queue::new(1));
+        q.try_push(1).map_err(|_| ()).unwrap();
+        let qc = Arc::clone(&q);
+        let h = thread::spawn(move || qc.push_wait(2));
+        thread::sleep(Duration::from_millis(10));
+        assert_eq!(q.pop_all().unwrap(), vec![1]);
+        assert_eq!(h.join().unwrap(), Ok(1));
+        assert_eq!(q.pop_all().unwrap(), vec![2]);
+    }
+
+    #[test]
+    fn shutdown_leftovers_are_drainable() {
+        let q = Queue::new(4);
+        q.try_push(1).map_err(|_| ()).unwrap();
+        q.try_push(2).map_err(|_| ()).unwrap();
+        q.shutdown();
+        assert_eq!(q.pop_all(), None);
+        assert_eq!(q.drain(), vec![1, 2]);
+    }
+}

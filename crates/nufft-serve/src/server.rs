@@ -1,0 +1,644 @@
+//! The plan server: one worker thread owning a device and an LRU plan
+//! cache, fed by a bounded submission queue.
+//!
+//! Request flow:
+//!
+//! 1. [`NufftServer::submit`] validates the [`TransformSpec`] against
+//!    the request data, admission-controls against the queue capacity
+//!    (non-blocking; [`NufftError::QueueFull`] on overflow — use
+//!    [`NufftServer::submit_wait`] for blocking backpressure), and
+//!    returns a [`Response`] future.
+//! 2. The worker drains the queue in one sweep and **coalesces** the
+//!    sweep: requests with the same spec *and* the same nonuniform
+//!    points (fingerprint-grouped, then verified bit-exactly) form one
+//!    group, executed as stacked [`Plan::execute_many`] batches of at
+//!    most `max_batch` vectors — riding the plan's two-stream pipeline,
+//!    with results bitwise identical to sequential execution.
+//! 3. The plan for each group comes from an LRU cache keyed by the
+//!    `TransformSpec` itself: a cache hit skips plan construction
+//!    entirely (no `plan.build` span is emitted), and if the group's
+//!    points fingerprint matches the plan's current points, `set_pts`
+//!    is skipped too.
+//! 4. Device faults surface through each plan's recovery layer; a fault
+//!    that survives bounded retry fails *only the requests in that
+//!    chunk* with a typed [`NufftError::Request`] chain (stage +
+//!    root cause) — the worker and queue keep serving.
+
+use std::any::Any;
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+
+use cufinufft::{Plan, PlanBuilder, RecoveryPolicy, Tuning};
+use gpu_sim::Device;
+use nufft_common::{Complex, NufftError, Points, Precision, Real, Result, TransformSpec};
+use nufft_trace::Trace;
+
+use crate::future::{Response, ResponseCell};
+use crate::lru::LruCache;
+use crate::queue::{PushError, Queue};
+
+/// Server construction knobs.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Admission-control bound on queued (not yet running) requests.
+    pub queue_capacity: usize,
+    /// Distinct [`TransformSpec`]s whose plans stay warm (LRU beyond).
+    pub cache_capacity: usize,
+    /// Most transforms coalesced into one `execute_many` launch.
+    pub max_batch: usize,
+    /// Performance tuning applied to every plan the server builds.
+    pub tuning: Tuning,
+    /// Fault-recovery policy applied to every plan the server builds.
+    pub recovery: RecoveryPolicy,
+    /// Optional trace session: plans record their lifecycle spans here
+    /// and the server exports `serve.*` counters and queue gauges
+    /// (Prometheus text via `TraceReport::prometheus`).
+    pub trace: Option<Trace>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            queue_capacity: 64,
+            cache_capacity: 8,
+            max_batch: 8,
+            tuning: Tuning::default(),
+            recovery: RecoveryPolicy::default(),
+            trace: None,
+        }
+    }
+}
+
+impl ServeConfig {
+    pub fn validate(&self) -> Result<()> {
+        if self.queue_capacity == 0 {
+            return Err(NufftError::BadOptions("queue_capacity must be > 0".into()));
+        }
+        if self.cache_capacity == 0 {
+            return Err(NufftError::BadOptions("cache_capacity must be > 0".into()));
+        }
+        if self.max_batch == 0 {
+            return Err(NufftError::BadOptions("max_batch must be > 0".into()));
+        }
+        self.tuning.validate()?;
+        self.recovery.validate()
+    }
+
+    /// Attach a trace session (see [`ServeConfig::trace`]).
+    pub fn with_trace(mut self, trace: &Trace) -> Self {
+        self.trace = Some(trace.clone());
+        self
+    }
+}
+
+/// Cumulative serving statistics, also mirrored as `serve.*` trace
+/// counters when a trace is attached.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Requests admitted to the queue.
+    pub accepted: u64,
+    /// Requests refused with [`NufftError::QueueFull`].
+    pub rejected: u64,
+    /// Requests completed successfully.
+    pub completed: u64,
+    /// Requests failed with a typed error (including shutdown sweeps).
+    pub failed: u64,
+    /// Group plan lookups served from the cache (no plan built).
+    pub cache_hits: u64,
+    /// Group plan lookups that had to build a plan.
+    pub cache_misses: u64,
+    /// Plans evicted to stay within `cache_capacity`.
+    pub cache_evictions: u64,
+    /// Groups that reused the plan's already-set points (no re-sort).
+    pub setpts_reuses: u64,
+    /// `execute_many` launches issued.
+    pub batches: u64,
+    /// Requests that shared a launch with at least one other request.
+    pub coalesced: u64,
+    /// Deepest the queue has been.
+    pub peak_queue_depth: usize,
+}
+
+/// One precision-typed request payload; the cell is fulfilled exactly
+/// once when the request completes or fails.
+struct Payload<T: Real> {
+    points: Arc<Points<T>>,
+    input: Vec<Complex<T>>,
+    cell: Arc<ResponseCell<T>>,
+}
+
+/// Precision-erased payload so one queue and one worker serve both
+/// `f32` and `f64` requests; the spec's [`Precision`] tag picks the
+/// variant back out (enforced at submit time).
+enum AnyPayload {
+    F32(Payload<f32>),
+    F64(Payload<f64>),
+}
+
+impl AnyPayload {
+    fn points_match(&self, other: &AnyPayload) -> bool {
+        match (self, other) {
+            (AnyPayload::F32(a), AnyPayload::F32(b)) => points_eq(&a.points, &b.points),
+            (AnyPayload::F64(a), AnyPayload::F64(b)) => points_eq(&a.points, &b.points),
+            _ => false,
+        }
+    }
+
+    fn fail(self, err: NufftError) {
+        match self {
+            AnyPayload::F32(p) => p.cell.fulfill(Err(err)),
+            AnyPayload::F64(p) => p.cell.fulfill(Err(err)),
+        }
+    }
+
+    fn into_typed<T: Real>(self) -> Payload<T> {
+        match self {
+            AnyPayload::F32(p) => cast_exact(p),
+            AnyPayload::F64(p) => cast_exact(p),
+        }
+    }
+}
+
+/// Precision-erased cached plan; resolved back by the group's spec.
+enum AnyPlan {
+    F32(Plan<f32>),
+    F64(Plan<f64>),
+}
+
+fn plan_mut<T: Real>(plan: &mut AnyPlan) -> &mut Plan<T> {
+    let any: &mut dyn Any = match plan {
+        AnyPlan::F32(p) => p,
+        AnyPlan::F64(p) => p,
+    };
+    any.downcast_mut::<Plan<T>>()
+        .expect("cache entry precision matches its spec key")
+}
+
+/// Move a value between two types the caller knows are identical (the
+/// submit path matches `spec.precision` against `T` before erasing).
+fn cast_exact<A: Any, B: Any>(value: A) -> B {
+    let boxed: Box<dyn Any> = Box::new(value);
+    *boxed
+        .downcast::<B>()
+        .expect("serve precision dispatch is exact")
+}
+
+struct CacheEntry {
+    plan: AnyPlan,
+    /// Fingerprint of the points currently set on the plan, if any.
+    pts_fp: Option<u64>,
+}
+
+struct QueuedRequest {
+    spec: TransformSpec,
+    /// FNV-1a over the coordinate bits: cheap group key; exact equality
+    /// is re-verified before requests actually coalesce.
+    fp: u64,
+    payload: AnyPayload,
+}
+
+/// State shared between the client-facing handle and the worker.
+struct Shared {
+    queue: Queue<QueuedRequest>,
+    stats: Mutex<ServeStats>,
+    trace: Option<Trace>,
+}
+
+impl Shared {
+    fn count(&self, name: &str, delta: i64) {
+        if let Some(t) = &self.trace {
+            t.counter(name).add(delta);
+        }
+    }
+
+    fn depth_gauges(&self, depth: usize) {
+        {
+            let mut s = self.stats.lock().unwrap();
+            s.peak_queue_depth = s.peak_queue_depth.max(depth);
+        }
+        if let Some(t) = &self.trace {
+            t.gauge("serve.queue_depth").set(depth as f64);
+            t.gauge("serve.queue_peak").max(depth as f64);
+        }
+    }
+
+    fn note_accept(&self, depth: usize) {
+        self.stats.lock().unwrap().accepted += 1;
+        self.count("serve.accepted", 1);
+        self.depth_gauges(depth);
+    }
+
+    fn note_reject(&self) {
+        self.stats.lock().unwrap().rejected += 1;
+        self.count("serve.rejected", 1);
+    }
+
+    fn note_completed(&self, n: usize) {
+        self.stats.lock().unwrap().completed += n as u64;
+        self.count("serve.completed", n as i64);
+    }
+
+    fn note_failed(&self, n: usize) {
+        self.stats.lock().unwrap().failed += n as u64;
+        self.count("serve.failed", n as i64);
+    }
+
+    fn note_cache_hit(&self) {
+        self.stats.lock().unwrap().cache_hits += 1;
+        self.count("serve.cache_hit", 1);
+    }
+
+    fn note_cache_miss(&self) {
+        self.stats.lock().unwrap().cache_misses += 1;
+        self.count("serve.cache_miss", 1);
+    }
+
+    fn note_cache_evict(&self) {
+        self.stats.lock().unwrap().cache_evictions += 1;
+        self.count("serve.cache_evict", 1);
+    }
+
+    fn note_setpts_reuse(&self) {
+        self.stats.lock().unwrap().setpts_reuses += 1;
+        self.count("serve.setpts_reuse", 1);
+    }
+
+    fn note_batch(&self, b: usize) {
+        let mut s = self.stats.lock().unwrap();
+        s.batches += 1;
+        if b > 1 {
+            s.coalesced += b as u64;
+        }
+        drop(s);
+        self.count("serve.batches", 1);
+        if b > 1 {
+            self.count("serve.coalesced", b as i64);
+        }
+    }
+}
+
+/// An async NUFFT service over one simulated device.
+///
+/// See the crate docs for the full request lifecycle; in short:
+/// [`submit`](NufftServer::submit) a [`TransformSpec`] + points +
+/// strengths, get back a [`Response`] to `.await` or
+/// [`wait`](Response::wait) on.
+pub struct NufftServer {
+    shared: Arc<Shared>,
+    config: ServeConfig,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl NufftServer {
+    /// Spawn the worker thread and start serving on `dev`.
+    pub fn start(dev: &Device, config: ServeConfig) -> Result<NufftServer> {
+        config.validate()?;
+        let shared = Arc::new(Shared {
+            queue: Queue::new(config.queue_capacity),
+            stats: Mutex::new(ServeStats::default()),
+            trace: config.trace.clone(),
+        });
+        let worker = {
+            let shared = Arc::clone(&shared);
+            let dev = dev.clone();
+            let cfg = config.clone();
+            thread::Builder::new()
+                .name("nufft-serve".into())
+                .spawn(move || worker_loop(&shared, &dev, &cfg))
+                .map_err(|e| NufftError::BadOptions(format!("cannot spawn serve worker: {e}")))?
+        };
+        Ok(NufftServer {
+            shared,
+            config,
+            worker: Some(worker),
+        })
+    }
+
+    /// Submit a transform request without blocking.
+    ///
+    /// Validates `spec` against the data (precision tag vs `T`,
+    /// dimension vs `points`, strengths length vs the spec's input
+    /// length for `points.len()` sources) and admission-controls
+    /// against the queue: a full queue returns
+    /// [`NufftError::QueueFull`] immediately.
+    pub fn submit<T: Real>(
+        &self,
+        spec: &TransformSpec,
+        points: &Arc<Points<T>>,
+        input: Vec<Complex<T>>,
+    ) -> Result<Response<T>> {
+        let (req, response) = self.make_request(spec, points, input)?;
+        match self.shared.queue.try_push(req) {
+            Ok(depth) => {
+                self.shared.note_accept(depth);
+                Ok(response)
+            }
+            Err(PushError::Full { depth }) => {
+                self.shared.note_reject();
+                Err(NufftError::QueueFull {
+                    depth,
+                    capacity: self.config.queue_capacity,
+                })
+            }
+            Err(PushError::Shutdown) => Err(NufftError::Shutdown),
+        }
+    }
+
+    /// [`submit`](NufftServer::submit), but park the caller until a
+    /// queue slot frees up (blocking backpressure instead of
+    /// [`NufftError::QueueFull`]).
+    pub fn submit_wait<T: Real>(
+        &self,
+        spec: &TransformSpec,
+        points: &Arc<Points<T>>,
+        input: Vec<Complex<T>>,
+    ) -> Result<Response<T>> {
+        let (req, response) = self.make_request(spec, points, input)?;
+        match self.shared.queue.push_wait(req) {
+            Ok(depth) => {
+                self.shared.note_accept(depth);
+                Ok(response)
+            }
+            Err(_) => Err(NufftError::Shutdown),
+        }
+    }
+
+    fn make_request<T: Real>(
+        &self,
+        spec: &TransformSpec,
+        points: &Arc<Points<T>>,
+        input: Vec<Complex<T>>,
+    ) -> Result<(QueuedRequest, Response<T>)> {
+        spec.validate()?;
+        if !spec.matches_precision::<T>() {
+            return Err(NufftError::BadSpec(format!(
+                "spec requests {} but the request data is {}",
+                spec.precision,
+                Precision::of::<T>(),
+            )));
+        }
+        if points.dim != spec.dim() {
+            return Err(NufftError::BadSpec(format!(
+                "spec is {}D but the points are {}D",
+                spec.dim(),
+                points.dim,
+            )));
+        }
+        let expected = spec.input_len(points.len());
+        if input.len() != expected {
+            return Err(NufftError::LengthMismatch {
+                expected,
+                got: input.len(),
+            });
+        }
+        let cell = Arc::new(ResponseCell::<T>::default());
+        let payload = Payload {
+            points: Arc::clone(points),
+            input,
+            cell: Arc::clone(&cell),
+        };
+        let payload = match spec.precision {
+            Precision::F32 => AnyPayload::F32(cast_exact(payload)),
+            Precision::F64 => AnyPayload::F64(cast_exact(payload)),
+        };
+        Ok((
+            QueuedRequest {
+                spec: spec.clone(),
+                fp: points_fingerprint(points),
+                payload,
+            },
+            Response::new(cell),
+        ))
+    }
+
+    /// Hold the worker off; submissions keep queueing up to capacity.
+    /// Lets callers build a coalescable backlog deterministically.
+    pub fn pause(&self) {
+        self.shared.queue.pause();
+    }
+
+    /// Release a paused worker.
+    pub fn resume(&self) {
+        self.shared.queue.resume();
+    }
+
+    /// Requests queued but not yet picked up by the worker.
+    pub fn queue_depth(&self) -> usize {
+        self.shared.queue.len()
+    }
+
+    /// Snapshot of the cumulative serving statistics.
+    pub fn stats(&self) -> ServeStats {
+        self.shared.stats.lock().unwrap().clone()
+    }
+
+    /// Stop accepting requests, fail everything still queued with
+    /// [`NufftError::Shutdown`], and join the worker. Also runs on drop.
+    pub fn shutdown(mut self) {
+        self.shutdown_impl();
+    }
+
+    fn shutdown_impl(&mut self) {
+        self.shared.queue.shutdown();
+        if let Some(handle) = self.worker.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for NufftServer {
+    fn drop(&mut self) {
+        self.shutdown_impl();
+    }
+}
+
+/// FNV-1a over the dimension, length, and coordinate bits: a cheap,
+/// deterministic group key for "same nonuniform points".
+fn points_fingerprint<T: Real>(points: &Points<T>) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |v: u64| {
+        for byte in v.to_le_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    mix(points.dim as u64);
+    mix(points.len() as u64);
+    for d in 0..points.dim {
+        for &x in &points.coords[d] {
+            mix(x.to_f64().to_bits());
+        }
+    }
+    h
+}
+
+/// Bit-exact point-set equality (fingerprint collisions must never
+/// coalesce two genuinely different requests).
+fn points_eq<T: Real>(a: &Arc<Points<T>>, b: &Arc<Points<T>>) -> bool {
+    if Arc::ptr_eq(a, b) {
+        return true;
+    }
+    if a.dim != b.dim || a.len() != b.len() {
+        return false;
+    }
+    (0..a.dim).all(|d| {
+        a.coords[d]
+            .iter()
+            .zip(&b.coords[d])
+            .all(|(x, y)| x.to_f64().to_bits() == y.to_f64().to_bits())
+    })
+}
+
+struct Group {
+    spec: TransformSpec,
+    fp: u64,
+    payloads: Vec<AnyPayload>,
+}
+
+/// Partition one queue sweep into coalescable groups: same spec, same
+/// points fingerprint, and bit-exact same points as the group's first
+/// member. First-arrival order of groups is preserved.
+fn coalesce(batch: Vec<QueuedRequest>) -> Vec<Group> {
+    let mut groups: Vec<Group> = Vec::new();
+    'next: for req in batch {
+        for g in groups.iter_mut() {
+            if g.spec == req.spec && g.fp == req.fp && g.payloads[0].points_match(&req.payload) {
+                g.payloads.push(req.payload);
+                continue 'next;
+            }
+        }
+        groups.push(Group {
+            spec: req.spec,
+            fp: req.fp,
+            payloads: vec![req.payload],
+        });
+    }
+    groups
+}
+
+fn worker_loop(shared: &Arc<Shared>, dev: &Device, cfg: &ServeConfig) {
+    let mut cache: LruCache<TransformSpec, CacheEntry> = LruCache::new(cfg.cache_capacity);
+    while let Some(batch) = shared.queue.pop_all() {
+        shared.depth_gauges(shared.queue.len());
+        for group in coalesce(batch) {
+            match group.spec.precision {
+                Precision::F32 => run_group::<f32>(shared, dev, cfg, &mut cache, group),
+                Precision::F64 => run_group::<f64>(shared, dev, cfg, &mut cache, group),
+            }
+        }
+    }
+    // shutdown: fail everything that never started, so no Response
+    // waiter is left hanging
+    for req in shared.queue.drain() {
+        shared.note_failed(1);
+        req.payload.fail(NufftError::Shutdown);
+    }
+}
+
+/// Serve one coalesced group at its concrete precision: resolve the
+/// plan (cache hit or build), set points if they changed, then execute
+/// in `max_batch`-sized stacked launches.
+fn run_group<T: Real>(
+    shared: &Shared,
+    dev: &Device,
+    cfg: &ServeConfig,
+    cache: &mut LruCache<TransformSpec, CacheEntry>,
+    group: Group,
+) {
+    let Group { spec, fp, payloads } = group;
+    let mut payloads: Vec<Payload<T>> = payloads
+        .into_iter()
+        .map(AnyPayload::into_typed::<T>)
+        .collect();
+
+    if cache.contains(&spec) {
+        shared.note_cache_hit();
+    } else {
+        shared.note_cache_miss();
+        let built = PlanBuilder::<T>::from_spec(&spec).and_then(|builder| {
+            let mut builder = builder
+                .tuning(cfg.tuning)
+                .recovery(cfg.recovery)
+                .max_batch(cfg.max_batch);
+            if let Some(t) = &shared.trace {
+                builder = builder.tracing(t);
+            }
+            builder.build(dev)
+        });
+        match built {
+            Ok(plan) => {
+                let plan = match spec.precision {
+                    Precision::F32 => AnyPlan::F32(cast_exact(plan)),
+                    Precision::F64 => AnyPlan::F64(cast_exact(plan)),
+                };
+                if cache
+                    .insert(spec.clone(), CacheEntry { plan, pts_fp: None })
+                    .is_some()
+                {
+                    shared.note_cache_evict();
+                }
+            }
+            Err(e) => {
+                fail_all(shared, payloads, e.at_stage("plan.build"));
+                return;
+            }
+        }
+    }
+
+    let entry = cache
+        .get_mut(&spec)
+        .expect("plan was just resolved or inserted");
+
+    let rep_points = Arc::clone(&payloads[0].points);
+    if entry.pts_fp == Some(fp) {
+        shared.note_setpts_reuse();
+    } else {
+        entry.pts_fp = None;
+        if let Err(e) = plan_mut::<T>(&mut entry.plan).set_pts(&rep_points) {
+            fail_all(shared, payloads, e.at_stage("plan.setpts"));
+            return;
+        }
+        entry.pts_fp = Some(fp);
+    }
+    let plan = plan_mut::<T>(&mut entry.plan);
+
+    let m = rep_points.len();
+    let in_per = spec.input_len(m);
+    let out_per = spec.output_len(m);
+    while !payloads.is_empty() {
+        let take = payloads.len().min(cfg.max_batch);
+        let chunk: Vec<Payload<T>> = payloads.drain(..take).collect();
+        let b = chunk.len();
+        let mut input = Vec::with_capacity(in_per * b);
+        for p in &chunk {
+            input.extend_from_slice(&p.input);
+        }
+        let mut output = vec![Complex::<T>::ZERO; out_per * b];
+        match plan.execute_many(&input, &mut output) {
+            Ok(()) => {
+                // stats before fulfill: a waiter woken by the fulfill
+                // must already see this chunk counted
+                shared.note_batch(b);
+                shared.note_completed(b);
+                for (i, p) in chunk.into_iter().enumerate() {
+                    p.cell
+                        .fulfill(Ok(output[i * out_per..(i + 1) * out_per].to_vec()));
+                }
+            }
+            Err(e) => {
+                // fail only this chunk; the plan (and its recovery
+                // state) stays cached and the worker keeps serving
+                fail_all(shared, chunk, e.at_stage("plan.execute"));
+            }
+        }
+    }
+}
+
+fn fail_all<T: Real>(shared: &Shared, payloads: Vec<Payload<T>>, err: NufftError) {
+    // stats before fulfill, for the same wake-ordering reason as the
+    // success path
+    shared.note_failed(payloads.len());
+    for p in payloads {
+        p.cell.fulfill(Err(err.clone()));
+    }
+}

@@ -486,6 +486,13 @@ impl TraceReport {
         out
     }
 
+    /// Events (host or device, spans or instants) with exactly this
+    /// name, in record order. Useful for asserting a code path ran — or
+    /// didn't: a served cache hit shows zero `"plan.build"` spans.
+    pub fn spans_named(&self, name: &str) -> Vec<&TraceEvent> {
+        self.events.iter().filter(|ev| ev.name == name).collect()
+    }
+
     /// Total duration (seconds) of device-lane spans whose name matches
     /// `name` exactly (e.g. the plan's `"stage.spread"` stage spans).
     pub fn device_span_total(&self, name: &str) -> f64 {
@@ -593,6 +600,19 @@ mod tests {
         }
         // the threshold drain must have moved at least one batch already
         assert!(trace.inner.sink.lock().unwrap().events.len() >= BUF_FLUSH_LEN);
+    }
+
+    #[test]
+    fn spans_named_filters_exactly() {
+        let trace = Trace::new();
+        let _on = trace.activate();
+        drop(trace.span("plan.build"));
+        drop(trace.span("plan.execute"));
+        drop(trace.span("plan.build"));
+        let report = trace.report();
+        assert_eq!(report.spans_named("plan.build").len(), 2);
+        assert_eq!(report.spans_named("plan.execute").len(), 1);
+        assert!(report.spans_named("plan.setpts").is_empty());
     }
 
     #[test]

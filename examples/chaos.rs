@@ -9,7 +9,7 @@
 //! trace in which the injected faults and recovery counters are
 //! visible. Run with: `cargo run --release --example chaos`
 
-use cufinufft::{GpuOpts, Method, Plan, RecoveryPolicy};
+use cufinufft::{GpuOpts, Method, Plan, RecoveryPolicy, Tuning};
 use gpu_sim::{Device, FaultMode, FaultPlan};
 use nufft_common::workload::{gen_points, gen_strengths, PointDist};
 use nufft_common::{Complex, TransformType};
@@ -121,7 +121,10 @@ fn main() {
         &dev,
         GpuOpts {
             method: Method::Sm,
-            shared_mem_budget: 64,
+            tuning: Tuning {
+                shared_mem_budget: 64,
+                ..Tuning::default()
+            },
             recovery: RecoveryPolicy {
                 allow_method_fallback: true,
                 ..RecoveryPolicy::default()
@@ -136,7 +139,10 @@ fn main() {
         &dev,
         GpuOpts {
             method: Method::Sm,
-            shared_mem_budget: 64,
+            tuning: Tuning {
+                shared_mem_budget: 64,
+                ..Tuning::default()
+            },
             recovery: RecoveryPolicy::none(),
             ..GpuOpts::default()
         },

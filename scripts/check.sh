@@ -19,6 +19,18 @@ cargo test -q
 echo "== cargo test -q --test fault_injection (chaos suite)"
 cargo test -q --test fault_injection
 
+# Serving layer (DESIGN.md §5i): cache/coalescing/backpressure suite
+# runs in the workspace pass above; SERVE=full adds the randomized
+# multi-client stress sweep (every result verified against a direct
+# single-plan execution).
+if [[ "${SERVE:-quick}" == "full" ]]; then
+  echo "== SERVE=full randomized multi-client serve sweep"
+  SERVE=full cargo test -q -p nufft-serve --test serve \
+    randomized_multi_client_sweep -- --nocapture
+else
+  echo "== serve suite ran in the workspace pass (SERVE=full for the stress sweep)"
+fi
+
 # Race / access-contract checking (DESIGN.md §5h): every shipped
 # spread/interp/bin kernel must trace clean, the deliberately racy
 # variant must be flagged. HAZARD=full widens to 3D and f64.

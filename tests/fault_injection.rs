@@ -6,7 +6,7 @@
 //! panic. Recovery actions must be visible in both the
 //! `recovery_report()` and the Chrome trace export.
 
-use cufinufft::{GpuOpts, Method, Plan, RecoveryPolicy};
+use cufinufft::{GpuOpts, Method, Plan, RecoveryPolicy, Tuning};
 use gpu_sim::{Device, FaultMode, FaultPlan, OpKind};
 use nufft_common::metrics::rel_l2;
 use nufft_common::workload::{gen_points, gen_strengths, PointDist};
@@ -255,7 +255,11 @@ fn infeasible_sm_falls_back_to_gm_sort_when_allowed() {
     let dev = Device::v100();
     let opts = GpuOpts {
         method: Method::Sm,
-        shared_mem_budget: 64, // far below any subproblem footprint
+        // far below any subproblem footprint
+        tuning: Tuning {
+            shared_mem_budget: 64,
+            ..Tuning::default()
+        },
         recovery: RecoveryPolicy {
             allow_method_fallback: true,
             ..RecoveryPolicy::default()
@@ -292,7 +296,10 @@ fn infeasible_sm_still_fails_loudly_without_fallback() {
     let dev = Device::v100();
     let opts = GpuOpts {
         method: Method::Sm,
-        shared_mem_budget: 64,
+        tuning: Tuning {
+            shared_mem_budget: 64,
+            ..Tuning::default()
+        },
         ..GpuOpts::default()
     };
     match Plan::<f32>::builder(TransformType::Type1, &[N, N])
