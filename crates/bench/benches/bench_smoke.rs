@@ -1,0 +1,200 @@
+//! The wall-clock trajectory point: a fast, fixed set of end-to-end
+//! workloads timed on the *host* clock and written as a
+//! schema-versioned `BENCH_<date>.json` at the workspace root, so PRs
+//! accumulate a measured performance history (ROADMAP item 3; schema in
+//! `nufft_trace::bench`, DESIGN.md §5j).
+//!
+//! Each row is best-of-`BENCH_SMOKE_REPS` (default 3) seconds. After
+//! writing, the file is re-read through the schema validator and
+//! compared against the latest prior `BENCH_*.json`: rows slower by
+//! more than 15% print as regressions. `BENCH_STRICT=1` turns
+//! regressions into a non-zero exit (the default tolerates them —
+//! shared-CI hosts are noisy).
+
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+use bench::{latest_prior_bench, utc_yyyymmdd, workload, workspace_root, write_bench_report};
+use gpu_sim::Device;
+use nufft_common::workload::PointDist;
+use nufft_common::{Complex, Method, Precision, Shape, TransformSpec, TransformType};
+use nufft_serve::{NufftServer, ServeConfig};
+use nufft_trace::bench::{compare, BenchReport};
+use nufft_trace::Trace;
+
+fn reps() -> u64 {
+    std::env::var("BENCH_SMOKE_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&r| r >= 1)
+        .unwrap_or(3)
+}
+
+/// Best-of-`reps` wall seconds of `f`.
+fn time_best(reps: u64, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn plan_row<T: nufft_common::Real>(
+    ttype: TransformType,
+    modes: &[usize],
+    method: Method,
+    seed: u64,
+) -> f64 {
+    let dev = Device::v100();
+    dev.set_record_timeline(false);
+    let dim = modes.len();
+    let fine = match dim {
+        1 => Shape::d1(2 * modes[0]),
+        2 => Shape::d2(2 * modes[0], 2 * modes[1]),
+        _ => Shape::d3(2 * modes[0], 2 * modes[1], 2 * modes[2]),
+    };
+    let (pts, cs) = workload::<T>(PointDist::Rand, dim, fine, 0.5, seed);
+    let n: usize = modes.iter().product();
+    // type 1 consumes strengths at the M points and fills the N modes;
+    // type 2 goes the other way
+    let (input, out_len) = match ttype {
+        TransformType::Type1 => (cs, n),
+        TransformType::Type2 => (
+            nufft_common::workload::gen_strengths::<T>(n, seed + 2),
+            pts.len(),
+        ),
+    };
+    let mut out = vec![Complex::<T>::ZERO; out_len];
+    time_best(reps(), || {
+        let mut plan = cufinufft::Plan::<T>::builder(ttype, modes)
+            .eps(1e-4)
+            .method(method)
+            .build(&dev)
+            .expect("plan");
+        plan.set_pts(&pts).expect("set_pts");
+        plan.execute(&input, &mut out).expect("execute");
+    })
+}
+
+/// A 50-request mixed-spec burst through the serve layer; fills the
+/// `serve.*` histograms on the returned trace.
+fn serve_burst(trace: &Trace) -> f64 {
+    let dev = Device::v100();
+    dev.set_record_timeline(false);
+    let config = ServeConfig {
+        queue_capacity: 128,
+        ..ServeConfig::default()
+    }
+    .with_trace(trace);
+    let server = NufftServer::start(&dev, config).expect("server");
+    let pts = Arc::new(nufft_common::workload::gen_points::<f32>(
+        PointDist::Rand,
+        2,
+        600,
+        Shape::d2(64, 64),
+        9,
+    ));
+    let specs = [
+        TransformSpec::type1(&[24, 24])
+            .eps(1e-4)
+            .precision(Precision::F32),
+        TransformSpec::type1(&[32, 32])
+            .eps(1e-5)
+            .precision(Precision::F32),
+        TransformSpec::type2(&[24, 24])
+            .eps(1e-4)
+            .precision(Precision::F32),
+    ];
+    let t = Instant::now();
+    let mut pending = Vec::new();
+    for i in 0..50u64 {
+        let spec = &specs[(i % specs.len() as u64) as usize];
+        let input = nufft_common::workload::gen_strengths::<f32>(spec.input_len(pts.len()), i + 1);
+        pending.push(server.submit_wait(spec, &pts, input).expect("submit"));
+    }
+    for r in pending {
+        r.wait().expect("response");
+    }
+    let wall = t.elapsed().as_secs_f64();
+    server.shutdown();
+    wall
+}
+
+fn main() -> ExitCode {
+    let created_unix = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .expect("clock after 1970")
+        .as_secs();
+    let mut report = BenchReport::new("bench-smoke", created_unix);
+
+    println!("bench-smoke: {} reps per row", reps());
+    report.push_row(
+        "type1_2d_sm_f32",
+        plan_row::<f32>(TransformType::Type1, &[32, 32], Method::Sm, 3),
+        reps(),
+    );
+    report.push_row(
+        "type2_2d_gmsort_f32",
+        plan_row::<f32>(TransformType::Type2, &[32, 32], Method::GmSort, 5),
+        reps(),
+    );
+    report.push_row(
+        "type1_3d_gmsort_f64",
+        plan_row::<f64>(TransformType::Type1, &[16, 16, 16], Method::GmSort, 7),
+        reps(),
+    );
+    let trace = Trace::new();
+    report.push_row("serve_burst_50", serve_burst(&trace), 1);
+    report.add_histograms(&trace.report(), |n| n.starts_with("serve."));
+
+    for r in &report.rows {
+        println!("  {:24} {:>10.6} s (best of {})", r.name, r.wall_s, r.reps);
+    }
+
+    let root = workspace_root();
+    let path = write_bench_report(&root, &report);
+    println!("wrote {}", path.display());
+
+    // the file must round-trip through its own schema validator
+    let text = std::fs::read_to_string(&path).expect("re-read");
+    let back = BenchReport::from_json(&text).expect("schema-valid trajectory point");
+    assert_eq!(utc_yyyymmdd(back.created_unix), utc_yyyymmdd(created_unix));
+
+    match latest_prior_bench(&root, Some(path.as_path())) {
+        None => {
+            println!("no prior BENCH_*.json — trajectory starts here");
+            ExitCode::SUCCESS
+        }
+        Some((prev_path, prev)) => {
+            let regs = compare(&prev, &back, 0.15);
+            if regs.is_empty() {
+                println!(
+                    "no regressions > 15% vs {}",
+                    prev_path.file_name().unwrap().to_string_lossy()
+                );
+                return ExitCode::SUCCESS;
+            }
+            for r in &regs {
+                println!(
+                    "REGRESSION {}: {:.6}s -> {:.6}s ({:.1}% slower)",
+                    r.name,
+                    r.prev_s,
+                    r.cur_s,
+                    (r.ratio - 1.0) * 100.0
+                );
+            }
+            if std::env::var("BENCH_STRICT")
+                .map(|v| v == "1")
+                .unwrap_or(false)
+            {
+                ExitCode::FAILURE
+            } else {
+                println!("(advisory: set BENCH_STRICT=1 to fail on regressions)");
+                ExitCode::SUCCESS
+            }
+        }
+    }
+}

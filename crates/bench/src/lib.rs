@@ -10,6 +10,7 @@
 use gpu_sim::Device;
 use nufft_common::workload::{gen_points, gen_strengths, PointDist, Points};
 use nufft_common::{Complex, NufftPlan, Real, Shape, TransformType};
+use nufft_trace::bench::BenchReport;
 use nufft_trace::Trace;
 use std::fs::File;
 use std::io::Write;
@@ -51,14 +52,73 @@ pub fn finish_trace(trace: Option<Trace>, tag: &str) -> Option<PathBuf> {
     Some(path)
 }
 
-/// Locate the workspace-root `results/` directory.
-pub fn results_dir() -> PathBuf {
+/// Locate the workspace root (where `BENCH_<date>.json` trajectory
+/// files are committed).
+pub fn workspace_root() -> PathBuf {
     let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
     p.pop();
     p.pop();
+    p
+}
+
+/// Locate the workspace-root `results/` directory.
+pub fn results_dir() -> PathBuf {
+    let mut p = workspace_root();
     p.push("results");
     std::fs::create_dir_all(&p).expect("create results dir");
     p
+}
+
+/// UTC `YYYYMMDD` for a unix timestamp (civil-from-days arithmetic —
+/// no date crates in this workspace).
+pub fn utc_yyyymmdd(unix_secs: u64) -> String {
+    let days = (unix_secs / 86_400) as i64;
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = yoe + era * 400 + i64::from(m <= 2);
+    format!("{y:04}{m:02}{d:02}")
+}
+
+/// Write a trajectory point as `BENCH_<date>.json` under `dir` (date
+/// from the report's own `created_unix`); returns the written path.
+pub fn write_bench_report(dir: &std::path::Path, report: &BenchReport) -> PathBuf {
+    let path = dir.join(format!("BENCH_{}.json", utc_yyyymmdd(report.created_unix)));
+    std::fs::write(&path, report.to_json()).expect("write bench report");
+    path
+}
+
+/// The latest *valid* `BENCH_*.json` under `dir` other than `exclude`
+/// (lexicographic filename order == chronological for the
+/// `BENCH_YYYYMMDD` naming). Unparseable files are skipped, not fatal:
+/// a corrupt old trajectory point must not wedge the bench tier.
+pub fn latest_prior_bench(
+    dir: &std::path::Path,
+    exclude: Option<&std::path::Path>,
+) -> Option<(PathBuf, BenchReport)> {
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(dir)
+        .ok()?
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| {
+            let name = p.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            name.starts_with("BENCH_") && name.ends_with(".json") && Some(p.as_path()) != exclude
+        })
+        .collect();
+    paths.sort();
+    while let Some(path) = paths.pop() {
+        if let Ok(text) = std::fs::read_to_string(&path) {
+            if let Ok(report) = BenchReport::from_json(&text) {
+                return Some((path, report));
+            }
+        }
+    }
+    None
 }
 
 /// A CSV sink under `results/`.
@@ -265,6 +325,45 @@ pub fn ground_truth<T: Real>(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn utc_dates_match_known_timestamps() {
+        assert_eq!(utc_yyyymmdd(0), "19700101");
+        assert_eq!(utc_yyyymmdd(86_399), "19700101");
+        assert_eq!(utc_yyyymmdd(86_400), "19700102");
+        assert_eq!(utc_yyyymmdd(951_868_800), "20000301"); // leap-year boundary
+        assert_eq!(utc_yyyymmdd(1_754_611_200), "20250808");
+    }
+
+    #[test]
+    fn bench_trajectory_write_find_compare() {
+        let dir = std::env::temp_dir().join(format!("bench-traj-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        assert!(latest_prior_bench(&dir, None).is_none());
+
+        let mut old = BenchReport::new("bench-smoke", 86_400); // 19700102
+        old.push_row("row", 0.100, 3);
+        let old_path = write_bench_report(&dir, &old);
+        assert!(old_path.ends_with("BENCH_19700102.json"));
+
+        let mut cur = BenchReport::new("bench-smoke", 31_536_000); // 19710101
+        cur.push_row("row", 0.200, 3);
+        let cur_path = write_bench_report(&dir, &cur);
+
+        // prior = the latest file that isn't the one just written
+        let (found_path, found) =
+            latest_prior_bench(&dir, Some(cur_path.as_path())).expect("prior exists");
+        assert_eq!(found_path, old_path);
+        let regs = nufft_trace::bench::compare(&found, &cur, 0.15);
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].name, "row");
+
+        // a corrupt trajectory point is skipped, not fatal
+        std::fs::write(dir.join("BENCH_19720101.json"), "not json").unwrap();
+        let (p, _) = latest_prior_bench(&dir, Some(cur_path.as_path())).expect("prior");
+        assert_eq!(p, old_path);
+        std::fs::remove_dir_all(&dir).ok();
+    }
 
     #[test]
     fn workload_density_sizing() {

@@ -20,6 +20,17 @@ use nufft_fft::Direction;
 use nufft_kernels::deconv::correction_rows;
 use nufft_kernels::EsKernel;
 
+/// Lowercase metric tag for a (resolved) spread method, used to key the
+/// per-stage duration histograms (`stage.<stage>.<method>`).
+fn method_tag(m: Method) -> &'static str {
+    match m {
+        Method::Auto => "auto",
+        Method::Gm => "gm",
+        Method::GmSort => "gm_sort",
+        Method::Sm => "sm",
+    }
+}
+
 /// Simulated-device time spent in each stage (seconds). The aggregates
 /// match the paper's reporting:
 /// * "exec" = spread/interp + FFT + deconvolution (re-usable transform);
@@ -643,17 +654,22 @@ impl<T: Real> Plan<T> {
     }
 
     /// Record a stage-level span (simulated clock, plan lane) covering
-    /// `start`..now.
+    /// `start`..now, and feed the stage's duration into a per-method
+    /// histogram (`stage.spread.sm`, `stage.fft.gm_sort`, …) so the
+    /// trace report exposes per-stage quantiles split by spread method.
     fn stage_span(&self, name: &str, start: f64) {
         if let Some(t) = &self.opts.trace {
+            let method = method_tag(self.spread_method);
+            let dur = self.dev.clock() - start;
             t.device_span(
                 Lane::Plan,
                 name,
                 "stage",
                 start,
-                self.dev.clock() - start,
-                &[],
+                dur,
+                &[("method", method.to_string())],
             );
+            t.histogram(&format!("{name}.{method}")).observe(dur);
         }
     }
 

@@ -14,6 +14,8 @@ use std::task::{Context, Poll, Waker};
 
 use nufft_common::{Complex, NufftError, Real, Result};
 
+use crate::server::RequestId;
+
 /// Shared completion slot between the server worker and one `Response`.
 pub(crate) struct ResponseCell<T: Real> {
     state: Mutex<CellState<T>>,
@@ -64,12 +66,24 @@ impl<T: Real> ResponseCell<T> {
 /// failed with.
 pub struct Response<T: Real> {
     cell: Arc<ResponseCell<T>>,
+    id: RequestId,
     taken: bool,
 }
 
 impl<T: Real> Response<T> {
-    pub(crate) fn new(cell: Arc<ResponseCell<T>>) -> Self {
-        Response { cell, taken: false }
+    pub(crate) fn new(cell: Arc<ResponseCell<T>>, id: RequestId) -> Self {
+        Response {
+            cell,
+            id,
+            taken: false,
+        }
+    }
+
+    /// The server-assigned identity of this request; pass its `.0` to
+    /// `TraceReport::request_timeline` to reconstruct the request's
+    /// admission → queue → execute lifecycle from an attached trace.
+    pub fn request_id(&self) -> RequestId {
+        self.id
     }
 
     /// Block the calling thread until the request completes.
@@ -98,7 +112,10 @@ impl<T: Real> Response<T> {
 impl<T: Real> std::fmt::Debug for Response<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let ready = self.cell.state.lock().unwrap().result.is_some();
-        f.debug_struct("Response").field("ready", &ready).finish()
+        f.debug_struct("Response")
+            .field("id", &self.id)
+            .field("ready", &ready)
+            .finish()
     }
 }
 
@@ -131,7 +148,7 @@ mod tests {
     #[test]
     fn wait_blocks_until_fulfilled() {
         let cell = Arc::new(ResponseCell::<f32>::default());
-        let resp = Response::new(Arc::clone(&cell));
+        let resp = Response::new(Arc::clone(&cell), RequestId(1));
         let h = thread::spawn(move || resp.wait());
         thread::sleep(Duration::from_millis(10));
         cell.fulfill(Ok(vec![Complex::new(1.0, 2.0)]));
@@ -142,7 +159,7 @@ mod tests {
     #[test]
     fn first_fulfillment_wins() {
         let cell = Arc::new(ResponseCell::<f64>::default());
-        let mut resp = Response::new(Arc::clone(&cell));
+        let mut resp = Response::new(Arc::clone(&cell), RequestId(2));
         cell.fulfill(Err(NufftError::PointsNotSet));
         cell.fulfill(Ok(vec![]));
         assert_eq!(resp.try_take(), Some(Err(NufftError::PointsNotSet)));
@@ -151,8 +168,9 @@ mod tests {
     #[test]
     fn try_take_is_none_while_pending() {
         let cell = Arc::new(ResponseCell::<f32>::default());
-        let mut resp = Response::new(Arc::clone(&cell));
+        let mut resp = Response::new(Arc::clone(&cell), RequestId(3));
         assert!(resp.try_take().is_none());
+        assert_eq!(resp.request_id(), RequestId(3));
         cell.fulfill(Ok(vec![]));
         assert_eq!(resp.try_take(), Some(Ok(vec![])));
     }
@@ -160,7 +178,7 @@ mod tests {
     #[test]
     fn future_resolves_via_block_on() {
         let cell = Arc::new(ResponseCell::<f32>::default());
-        let resp = Response::new(Arc::clone(&cell));
+        let resp = Response::new(Arc::clone(&cell), RequestId(4));
         let fulfiller = thread::spawn(move || {
             thread::sleep(Duration::from_millis(10));
             cell.fulfill(Ok(vec![Complex::new(3.0, 4.0)]));

@@ -60,12 +60,14 @@ mod exec;
 mod future;
 mod lru;
 mod queue;
+mod report;
 mod server;
 
 pub use exec::{block_on, join_all};
 pub use future::Response;
 pub use lru::LruCache;
-pub use server::{NufftServer, ServeConfig, ServeStats};
+pub use report::{Health, ServeReport, SloThresholds};
+pub use server::{NufftServer, RequestId, ServeConfig, ServeStats};
 
 // The request vocabulary is nufft-common's; re-export it so a serve
 // client needs only this crate.

@@ -1,0 +1,360 @@
+//! SLO summary and health verdict over a running [`NufftServer`].
+//!
+//! [`ServeReport`] condenses the server's cumulative [`ServeStats`] and
+//! (when a trace is attached) the `serve.*` histograms into the four
+//! signals an operator watches: **availability** (fraction of finished
+//! requests that succeeded), **latency** (end-to-end submit→fulfill
+//! quantiles), **saturation** (queue-depth quantiles against capacity),
+//! and **efficiency** (plan-cache hit ratio, device-fault recovery
+//! rate). The configured [`SloThresholds`] turn those signals into a
+//! [`Health`] verdict plus a human-readable list of breaches.
+//!
+//! [`NufftServer`]: crate::NufftServer
+//! [`ServeStats`]: crate::ServeStats
+
+use std::fmt;
+
+use nufft_trace::TraceReport;
+
+use crate::server::ServeStats;
+
+/// Three-state operator verdict.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Health {
+    /// All SLOs met.
+    Healthy,
+    /// Serving correctly but an operational SLO (latency or
+    /// saturation) is breached.
+    Degraded,
+    /// The availability SLO is breached: requests are failing.
+    Unhealthy,
+}
+
+impl fmt::Display for Health {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Health::Healthy => "healthy",
+            Health::Degraded => "degraded",
+            Health::Unhealthy => "unhealthy",
+        })
+    }
+}
+
+/// Service-level objectives the report judges against.
+#[derive(Copy, Clone, Debug)]
+pub struct SloThresholds {
+    /// Minimum fraction of finished requests that must have succeeded.
+    pub min_availability: f64,
+    /// Upper bound on the p99 end-to-end request latency, in seconds.
+    pub max_p99_latency_s: f64,
+    /// Upper bound on the p90 queue depth as a fraction of the queue
+    /// capacity.
+    pub max_saturation: f64,
+}
+
+impl Default for SloThresholds {
+    fn default() -> Self {
+        SloThresholds {
+            min_availability: 0.99,
+            max_p99_latency_s: 0.5,
+            max_saturation: 0.8,
+        }
+    }
+}
+
+impl SloThresholds {
+    pub fn validate_range(&self) -> bool {
+        (0.0..=1.0).contains(&self.min_availability)
+            && self.max_p99_latency_s > 0.0
+            && self.max_saturation > 0.0
+    }
+}
+
+/// Latency quantile summary in seconds; `None` when the corresponding
+/// histogram recorded no samples (e.g. no trace attached).
+#[derive(Copy, Clone, Debug, Default, PartialEq)]
+pub struct LatencySummary {
+    pub p50: Option<f64>,
+    pub p90: Option<f64>,
+    pub p99: Option<f64>,
+    pub p999: Option<f64>,
+}
+
+impl LatencySummary {
+    fn from_hist(report: Option<&TraceReport>, name: &str) -> LatencySummary {
+        let Some(h) = report.and_then(|r| r.histograms.get(name)) else {
+            return LatencySummary::default();
+        };
+        LatencySummary {
+            p50: h.p50(),
+            p90: h.p90(),
+            p99: h.p99(),
+            p999: h.p999(),
+        }
+    }
+}
+
+/// Point-in-time SLO/health summary of a server. Build via
+/// [`NufftServer::report`](crate::NufftServer::report) or
+/// [`ServeReport::build`] from parts.
+#[derive(Clone, Debug)]
+pub struct ServeReport {
+    /// Snapshot of the cumulative serving counters.
+    pub stats: ServeStats,
+    /// Completed / (completed + failed); `1.0` before anything finishes.
+    pub availability: f64,
+    /// Accepted / (accepted + rejected); `1.0` before anything arrives.
+    pub admission_ratio: f64,
+    /// Cache hits / (hits + misses); `1.0` before any lookup.
+    pub cache_hit_ratio: f64,
+    /// Recovered / (recovered + unrecovered) device faults from the
+    /// `recovery.*` counters; `1.0` when no faults occurred.
+    pub recovery_rate: f64,
+    /// Device-fault retries observed (`recovery.retries`).
+    pub fault_retries: u64,
+    /// End-to-end submit→fulfill latency quantiles (`serve.latency`).
+    pub latency: LatencySummary,
+    /// Queue-wait quantiles (`serve.queue_wait`).
+    pub queue_wait: LatencySummary,
+    /// Queue-depth quantiles at accept/sweep points
+    /// (`serve.queue_depth_hist`); units are requests, not seconds.
+    pub queue_depth: LatencySummary,
+    /// p90 queue depth / queue capacity; `0.0` with no samples.
+    pub saturation: f64,
+    /// The thresholds this report was judged against.
+    pub slo: SloThresholds,
+    /// Human-readable description of each breached SLO.
+    pub breaches: Vec<String>,
+    /// The verdict: availability breach ⇒ [`Health::Unhealthy`];
+    /// latency or saturation breach ⇒ [`Health::Degraded`].
+    pub health: Health,
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        1.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+fn counter(report: Option<&TraceReport>, name: &str) -> u64 {
+    report
+        .and_then(|r| r.counters.get(name))
+        .copied()
+        .map(|v| v.max(0) as u64)
+        .unwrap_or(0)
+}
+
+impl ServeReport {
+    /// Assemble a report from a stats snapshot, the server's queue
+    /// capacity, and (optionally) the attached trace's report.
+    pub fn build(
+        stats: ServeStats,
+        queue_capacity: usize,
+        trace: Option<&TraceReport>,
+        slo: SloThresholds,
+    ) -> ServeReport {
+        let availability = ratio(stats.completed, stats.completed + stats.failed);
+        let admission_ratio = ratio(stats.accepted, stats.accepted + stats.rejected);
+        let cache_hit_ratio = ratio(stats.cache_hits, stats.cache_hits + stats.cache_misses);
+        let recovered = counter(trace, "recovery.recovered");
+        let unrecovered = counter(trace, "recovery.unrecovered");
+        let recovery_rate = ratio(recovered, recovered + unrecovered);
+        let fault_retries = counter(trace, "recovery.retries");
+
+        let latency = LatencySummary::from_hist(trace, "serve.latency");
+        let queue_wait = LatencySummary::from_hist(trace, "serve.queue_wait");
+        let queue_depth = LatencySummary::from_hist(trace, "serve.queue_depth_hist");
+        let saturation = match queue_depth.p90 {
+            Some(d) if queue_capacity > 0 => d / queue_capacity as f64,
+            _ => 0.0,
+        };
+
+        let mut breaches = Vec::new();
+        let mut health = Health::Healthy;
+        if availability < slo.min_availability {
+            breaches.push(format!(
+                "availability {:.4} < {:.4}",
+                availability, slo.min_availability
+            ));
+            health = Health::Unhealthy;
+        }
+        if let Some(p99) = latency.p99 {
+            if p99 > slo.max_p99_latency_s {
+                breaches.push(format!(
+                    "p99 latency {:.4}s > {:.4}s",
+                    p99, slo.max_p99_latency_s
+                ));
+                if health == Health::Healthy {
+                    health = Health::Degraded;
+                }
+            }
+        }
+        if saturation > slo.max_saturation {
+            breaches.push(format!(
+                "saturation {:.3} > {:.3} (p90 queue depth / capacity)",
+                saturation, slo.max_saturation
+            ));
+            if health == Health::Healthy {
+                health = Health::Degraded;
+            }
+        }
+
+        ServeReport {
+            stats,
+            availability,
+            admission_ratio,
+            cache_hit_ratio,
+            recovery_rate,
+            fault_retries,
+            latency,
+            queue_wait,
+            queue_depth,
+            saturation,
+            slo,
+            breaches,
+            health,
+        }
+    }
+}
+
+fn fmt_q(v: Option<f64>) -> String {
+    match v {
+        Some(v) => format!("{:.6}", v),
+        None => "-".to_string(),
+    }
+}
+
+impl fmt::Display for ServeReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "serve health: {}", self.health)?;
+        writeln!(
+            f,
+            "  availability {:.4} (completed {} / failed {} / rejected {})",
+            self.availability, self.stats.completed, self.stats.failed, self.stats.rejected
+        )?;
+        writeln!(
+            f,
+            "  latency s    p50 {} p90 {} p99 {} p999 {}",
+            fmt_q(self.latency.p50),
+            fmt_q(self.latency.p90),
+            fmt_q(self.latency.p99),
+            fmt_q(self.latency.p999),
+        )?;
+        writeln!(
+            f,
+            "  queue wait s p50 {} p99 {}",
+            fmt_q(self.queue_wait.p50),
+            fmt_q(self.queue_wait.p99),
+        )?;
+        writeln!(
+            f,
+            "  saturation   {:.3} (queue depth p50 {} p90 {}, peak {})",
+            self.saturation,
+            fmt_q(self.queue_depth.p50),
+            fmt_q(self.queue_depth.p90),
+            self.stats.peak_queue_depth,
+        )?;
+        writeln!(
+            f,
+            "  cache        hit ratio {:.3} ({} hits / {} misses / {} evictions)",
+            self.cache_hit_ratio,
+            self.stats.cache_hits,
+            self.stats.cache_misses,
+            self.stats.cache_evictions,
+        )?;
+        writeln!(
+            f,
+            "  recovery     rate {:.3} ({} retries)",
+            self.recovery_rate, self.fault_retries,
+        )?;
+        for b in &self.breaches {
+            writeln!(f, "  breach: {b}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nufft_trace::Trace;
+
+    fn stats(completed: u64, failed: u64) -> ServeStats {
+        ServeStats {
+            accepted: completed + failed,
+            completed,
+            failed,
+            ..ServeStats::default()
+        }
+    }
+
+    #[test]
+    fn empty_server_is_healthy() {
+        let r = ServeReport::build(ServeStats::default(), 64, None, SloThresholds::default());
+        assert_eq!(r.health, Health::Healthy);
+        assert_eq!(r.availability, 1.0);
+        assert_eq!(r.latency.p99, None);
+        assert!(r.breaches.is_empty());
+    }
+
+    #[test]
+    fn failures_breach_availability_and_mark_unhealthy() {
+        let r = ServeReport::build(stats(90, 10), 64, None, SloThresholds::default());
+        assert_eq!(r.health, Health::Unhealthy);
+        assert!((r.availability - 0.9).abs() < 1e-12);
+        assert_eq!(r.breaches.len(), 1);
+        assert!(r.breaches[0].contains("availability"));
+    }
+
+    #[test]
+    fn slow_p99_marks_degraded_not_unhealthy() {
+        let trace = Trace::new();
+        let h = trace.histogram("serve.latency");
+        for _ in 0..95 {
+            h.observe(0.001);
+        }
+        for _ in 0..5 {
+            h.observe(10.0);
+        }
+        let report = trace.report();
+        let r = ServeReport::build(stats(100, 0), 64, Some(&report), SloThresholds::default());
+        assert_eq!(r.health, Health::Degraded);
+        assert!(r.breaches[0].contains("p99 latency"));
+    }
+
+    #[test]
+    fn deep_queue_breaches_saturation() {
+        let trace = Trace::new();
+        let h = trace.histogram("serve.queue_depth_hist");
+        for _ in 0..20 {
+            h.observe(60.0);
+        }
+        let report = trace.report();
+        let r = ServeReport::build(stats(20, 0), 64, Some(&report), SloThresholds::default());
+        assert!(r.saturation > 0.8, "saturation = {}", r.saturation);
+        assert_eq!(r.health, Health::Degraded);
+    }
+
+    #[test]
+    fn recovery_counters_feed_the_rate() {
+        let trace = Trace::new();
+        trace.counter("recovery.recovered").add(3);
+        trace.counter("recovery.unrecovered").add(1);
+        trace.counter("recovery.retries").add(5);
+        let report = trace.report();
+        let r = ServeReport::build(stats(4, 0), 64, Some(&report), SloThresholds::default());
+        assert!((r.recovery_rate - 0.75).abs() < 1e-12);
+        assert_eq!(r.fault_retries, 5);
+    }
+
+    #[test]
+    fn display_renders_the_dashboard_lines() {
+        let r = ServeReport::build(stats(0, 1), 64, None, SloThresholds::default());
+        let text = r.to_string();
+        assert!(text.contains("serve health: unhealthy"));
+        assert!(text.contains("availability 0.0000"));
+        assert!(text.contains("breach: availability"));
+    }
+}

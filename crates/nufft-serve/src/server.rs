@@ -25,17 +25,36 @@
 //!    root cause) — the worker and queue keep serving.
 
 use std::any::Any;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
+use std::time::Instant;
 
 use cufinufft::{Plan, PlanBuilder, RecoveryPolicy, Tuning};
 use gpu_sim::Device;
 use nufft_common::{Complex, NufftError, Points, Precision, Real, Result, TransformSpec};
-use nufft_trace::Trace;
+use nufft_trace::{Trace, REQUEST_ID_ARG};
 
 use crate::future::{Response, ResponseCell};
 use crate::lru::LruCache;
 use crate::queue::{PushError, Queue};
+use crate::report::{ServeReport, SloThresholds};
+
+/// Identity of one submitted request, unique within a server's
+/// lifetime. Propagated into every span the request touches (as a
+/// [`REQUEST_ID_ARG`] annotation), so
+/// `TraceReport::request_timeline(id.0)` reconstructs the request's
+/// full lifecycle — admission, queue wait, execution, and (for the
+/// group's representative request) the plan stages and device kernel
+/// lanes underneath.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RequestId(pub u64);
+
+impl std::fmt::Display for RequestId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
 
 /// Server construction knobs.
 #[derive(Clone, Debug)]
@@ -119,9 +138,19 @@ pub struct ServeStats {
     pub peak_queue_depth: usize,
 }
 
+/// Request metadata that rides beside the payload through the queue:
+/// identity for trace correlation, submit time for latency/queue-wait
+/// histograms.
+#[derive(Copy, Clone)]
+struct ReqMeta {
+    id: RequestId,
+    submitted: Instant,
+}
+
 /// One precision-typed request payload; the cell is fulfilled exactly
 /// once when the request completes or fails.
 struct Payload<T: Real> {
+    meta: ReqMeta,
     points: Arc<Points<T>>,
     input: Vec<Complex<T>>,
     cell: Arc<ResponseCell<T>>,
@@ -148,6 +177,13 @@ impl AnyPayload {
         match self {
             AnyPayload::F32(p) => p.cell.fulfill(Err(err)),
             AnyPayload::F64(p) => p.cell.fulfill(Err(err)),
+        }
+    }
+
+    fn meta(&self) -> ReqMeta {
+        match self {
+            AnyPayload::F32(p) => p.meta,
+            AnyPayload::F64(p) => p.meta,
         }
     }
 
@@ -202,12 +238,33 @@ struct Shared {
     queue: Queue<QueuedRequest>,
     stats: Mutex<ServeStats>,
     trace: Option<Trace>,
+    next_id: AtomicU64,
 }
 
 impl Shared {
     fn count(&self, name: &str, delta: i64) {
         if let Some(t) = &self.trace {
             t.counter(name).add(delta);
+        }
+    }
+
+    fn observe(&self, name: &str, v: f64) {
+        if let Some(t) = &self.trace {
+            t.histogram(name).observe(v);
+        }
+    }
+
+    /// Record a completed request-lifecycle interval (admission, queue
+    /// wait, execution) carrying the request's correlation id.
+    fn request_span(&self, name: &str, id: RequestId, start: Instant, end: Instant) {
+        if let Some(t) = &self.trace {
+            t.record_span_at(
+                name,
+                "serve",
+                start,
+                end,
+                &[(REQUEST_ID_ARG, id.to_string())],
+            );
         }
     }
 
@@ -219,6 +276,7 @@ impl Shared {
         if let Some(t) = &self.trace {
             t.gauge("serve.queue_depth").set(depth as f64);
             t.gauge("serve.queue_peak").max(depth as f64);
+            t.histogram("serve.queue_depth_hist").observe(depth as f64);
         }
     }
 
@@ -297,6 +355,7 @@ impl NufftServer {
             queue: Queue::new(config.queue_capacity),
             stats: Mutex::new(ServeStats::default()),
             trace: config.trace.clone(),
+            next_id: AtomicU64::new(1),
         });
         let worker = {
             let shared = Arc::clone(&shared);
@@ -328,9 +387,12 @@ impl NufftServer {
         input: Vec<Complex<T>>,
     ) -> Result<Response<T>> {
         let (req, response) = self.make_request(spec, points, input)?;
+        let meta = req.payload.meta();
         match self.shared.queue.try_push(req) {
             Ok(depth) => {
                 self.shared.note_accept(depth);
+                self.shared
+                    .request_span("serve.admit", meta.id, meta.submitted, Instant::now());
                 Ok(response)
             }
             Err(PushError::Full { depth }) => {
@@ -354,9 +416,12 @@ impl NufftServer {
         input: Vec<Complex<T>>,
     ) -> Result<Response<T>> {
         let (req, response) = self.make_request(spec, points, input)?;
+        let meta = req.payload.meta();
         match self.shared.queue.push_wait(req) {
             Ok(depth) => {
                 self.shared.note_accept(depth);
+                self.shared
+                    .request_span("serve.admit", meta.id, meta.submitted, Instant::now());
                 Ok(response)
             }
             Err(_) => Err(NufftError::Shutdown),
@@ -392,7 +457,12 @@ impl NufftServer {
             });
         }
         let cell = Arc::new(ResponseCell::<T>::default());
+        let meta = ReqMeta {
+            id: RequestId(self.shared.next_id.fetch_add(1, Ordering::Relaxed)),
+            submitted: Instant::now(),
+        };
         let payload = Payload {
+            meta,
             points: Arc::clone(points),
             input,
             cell: Arc::clone(&cell),
@@ -407,7 +477,7 @@ impl NufftServer {
                 fp: points_fingerprint(points),
                 payload,
             },
-            Response::new(cell),
+            Response::new(cell, meta.id),
         ))
     }
 
@@ -430,6 +500,24 @@ impl NufftServer {
     /// Snapshot of the cumulative serving statistics.
     pub fn stats(&self) -> ServeStats {
         self.shared.stats.lock().unwrap().clone()
+    }
+
+    /// SLO/health summary judged against [`SloThresholds::default`].
+    /// Latency/saturation quantiles are populated only when the server
+    /// was started with a trace attached ([`ServeConfig::with_trace`]).
+    pub fn report(&self) -> ServeReport {
+        self.report_with(SloThresholds::default())
+    }
+
+    /// [`report`](NufftServer::report) with custom thresholds.
+    pub fn report_with(&self, slo: SloThresholds) -> ServeReport {
+        let trace_report = self.shared.trace.as_ref().map(|t| t.report());
+        ServeReport::build(
+            self.stats(),
+            self.config.queue_capacity,
+            trace_report.as_ref(),
+            slo,
+        )
     }
 
     /// Stop accepting requests, fail everything still queued with
@@ -517,9 +605,24 @@ fn coalesce(batch: Vec<QueuedRequest>) -> Vec<Group> {
 }
 
 fn worker_loop(shared: &Arc<Shared>, dev: &Device, cfg: &ServeConfig) {
+    if let Some(t) = &shared.trace {
+        // names the worker's row in the Chrome export ("nufft-serve")
+        t.register_thread();
+    }
     let mut cache: LruCache<TransformSpec, CacheEntry> = LruCache::new(cfg.cache_capacity);
     while let Some(batch) = shared.queue.pop_all() {
         shared.depth_gauges(shared.queue.len());
+        let picked = Instant::now();
+        for req in &batch {
+            let meta = req.payload.meta();
+            shared.request_span("serve.queue", meta.id, meta.submitted, picked);
+            shared.observe(
+                "serve.queue_wait",
+                picked
+                    .saturating_duration_since(meta.submitted)
+                    .as_secs_f64(),
+            );
+        }
         for group in coalesce(batch) {
             match group.spec.precision {
                 Precision::F32 => run_group::<f32>(shared, dev, cfg, &mut cache, group),
@@ -550,6 +653,16 @@ fn run_group<T: Real>(
         .into_iter()
         .map(AnyPayload::into_typed::<T>)
         .collect();
+
+    // One open span per group, tagged with the representative (first)
+    // request's id: every plan.* host span and device-lane kernel the
+    // group triggers parents under it, so request_timeline reaches all
+    // the way down to the device.
+    let rep_id = payloads[0].meta.id;
+    let _group_span = shared
+        .trace
+        .as_ref()
+        .map(|t| t.span_with("serve.group", &[(REQUEST_ID_ARG, rep_id.to_string())]));
 
     if cache.contains(&spec) {
         shared.note_cache_hit();
@@ -614,13 +727,22 @@ fn run_group<T: Real>(
             input.extend_from_slice(&p.input);
         }
         let mut output = vec![Complex::<T>::ZERO; out_per * b];
+        shared.observe("serve.batch_size", b as f64);
+        let chunk_start = Instant::now();
         match plan.execute_many(&input, &mut output) {
             Ok(()) => {
+                let done = Instant::now();
                 // stats before fulfill: a waiter woken by the fulfill
                 // must already see this chunk counted
                 shared.note_batch(b);
                 shared.note_completed(b);
                 for (i, p) in chunk.into_iter().enumerate() {
+                    shared.request_span("serve.execute", p.meta.id, chunk_start, done);
+                    shared.observe(
+                        "serve.latency",
+                        done.saturating_duration_since(p.meta.submitted)
+                            .as_secs_f64(),
+                    );
                     p.cell
                         .fulfill(Ok(output[i * out_per..(i + 1) * out_per].to_vec()));
                 }

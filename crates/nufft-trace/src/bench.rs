@@ -1,0 +1,361 @@
+//! The wall-clock bench trajectory: `BENCH_<date>.json` schema,
+//! validator, and regression comparator.
+//!
+//! Simulated-time benches prove the cost *model*; the trajectory file
+//! records what the host actually spent, so a future "make it faster"
+//! PR can show a measured win (ROADMAP item 3). Each run of the
+//! `bench_smoke` harness writes one schema-versioned JSON file:
+//!
+//! ```json
+//! {
+//!   "schema": "nufft-bench/v1",
+//!   "created_unix": 1754611200,
+//!   "label": "bench-smoke",
+//!   "rows": [ {"name": "type1_2d_sm_f32", "wall_s": 0.0123, "reps": 3} ],
+//!   "histograms": {
+//!     "serve.latency": {"count": 60, "sum": 0.9,
+//!                        "p50": 0.01, "p90": 0.02, "p99": 0.05, "p999": 0.05}
+//!   }
+//! }
+//! ```
+//!
+//! `rows` are named wall-clock measurements (best-of-`reps`, seconds);
+//! `histograms` are quantile summaries lifted from a
+//! [`crate::TraceReport`]. [`BenchReport::from_json`] validates the
+//! whole shape (schema tag, field types, finite non-negative times,
+//! unique row names), and [`compare`] flags rows slower than the prior
+//! file by more than a tolerance — the regression gate in
+//! `scripts/check.sh`'s bench-smoke tier.
+
+use crate::chrome::escape;
+use crate::json::Json;
+use crate::HistogramSnapshot;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Schema tag every trajectory file must carry.
+pub const SCHEMA: &str = "nufft-bench/v1";
+
+/// One named wall-clock measurement.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchRow {
+    pub name: String,
+    /// Best-of-`reps` wall time, seconds.
+    pub wall_s: f64,
+    pub reps: u64,
+}
+
+/// Quantile summary of one histogram, as persisted in the trajectory.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HistSummary {
+    pub count: u64,
+    pub sum: f64,
+    pub p50: f64,
+    pub p90: f64,
+    pub p99: f64,
+    pub p999: f64,
+}
+
+impl HistSummary {
+    /// Summarise a live snapshot; `None` when it holds no samples.
+    pub fn from_snapshot(s: &HistogramSnapshot) -> Option<HistSummary> {
+        Some(HistSummary {
+            count: s.count,
+            sum: s.sum,
+            p50: s.p50()?,
+            p90: s.p90()?,
+            p99: s.p99()?,
+            p999: s.p999()?,
+        })
+    }
+}
+
+/// One `BENCH_<date>.json` document.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchReport {
+    /// Unix seconds the report was created (whole file is a snapshot).
+    pub created_unix: u64,
+    /// Free-form provenance tag (e.g. `bench-smoke`).
+    pub label: String,
+    pub rows: Vec<BenchRow>,
+    pub histograms: BTreeMap<String, HistSummary>,
+}
+
+impl BenchReport {
+    pub fn new(label: &str, created_unix: u64) -> Self {
+        BenchReport {
+            created_unix,
+            label: label.to_string(),
+            rows: Vec::new(),
+            histograms: BTreeMap::new(),
+        }
+    }
+
+    /// Append one measurement row.
+    pub fn push_row(&mut self, name: &str, wall_s: f64, reps: u64) {
+        self.rows.push(BenchRow {
+            name: name.to_string(),
+            wall_s,
+            reps,
+        });
+    }
+
+    /// Lift every non-empty histogram of a trace report whose name
+    /// passes `keep` into the summary table.
+    pub fn add_histograms(&mut self, report: &crate::TraceReport, keep: impl Fn(&str) -> bool) {
+        for (name, snap) in &report.histograms {
+            if !keep(name) {
+                continue;
+            }
+            if let Some(sum) = HistSummary::from_snapshot(snap) {
+                self.histograms.insert(name.clone(), sum);
+            }
+        }
+    }
+
+    /// Serialise to the schema's JSON text.
+    pub fn to_json(&self) -> String {
+        let mut rows = String::new();
+        for (i, r) in self.rows.iter().enumerate() {
+            if i > 0 {
+                rows.push(',');
+            }
+            let _ = write!(
+                rows,
+                "{{\"name\":\"{}\",\"wall_s\":{},\"reps\":{}}}",
+                escape(&r.name),
+                r.wall_s,
+                r.reps
+            );
+        }
+        let mut hists = String::new();
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                hists.push(',');
+            }
+            let _ = write!(
+                hists,
+                "\"{}\":{{\"count\":{},\"sum\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"p999\":{}}}",
+                escape(name),
+                h.count,
+                h.sum,
+                h.p50,
+                h.p90,
+                h.p99,
+                h.p999
+            );
+        }
+        format!(
+            "{{\"schema\":\"{SCHEMA}\",\"created_unix\":{},\"label\":\"{}\",\
+             \"rows\":[{rows}],\"histograms\":{{{hists}}}}}",
+            self.created_unix,
+            escape(&self.label),
+        )
+    }
+
+    /// Parse and validate a trajectory file. Every structural or type
+    /// defect is an `Err` with a human-readable reason — the schema
+    /// validator the bench-smoke tier runs on its own output.
+    pub fn from_json(text: &str) -> Result<BenchReport, String> {
+        let doc = Json::parse(text).map_err(|e| format!("not JSON: {e}"))?;
+        let schema = doc
+            .get("schema")
+            .and_then(Json::as_str)
+            .ok_or("missing string field 'schema'")?;
+        if schema != SCHEMA {
+            return Err(format!("schema '{schema}' != '{SCHEMA}'"));
+        }
+        let created = doc
+            .get("created_unix")
+            .and_then(Json::as_f64)
+            .ok_or("missing numeric field 'created_unix'")?;
+        if created < 0.0 || created.fract() != 0.0 {
+            return Err(format!("created_unix {created} is not a whole count"));
+        }
+        let label = doc
+            .get("label")
+            .and_then(Json::as_str)
+            .ok_or("missing string field 'label'")?
+            .to_string();
+        let rows_json = doc
+            .get("rows")
+            .and_then(Json::as_array)
+            .ok_or("missing array field 'rows'")?;
+        let mut rows = Vec::with_capacity(rows_json.len());
+        for (i, r) in rows_json.iter().enumerate() {
+            let name = r
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or(format!("row {i}: missing string 'name'"))?;
+            let wall_s = r
+                .get("wall_s")
+                .and_then(Json::as_f64)
+                .ok_or(format!("row {i} ({name}): missing numeric 'wall_s'"))?;
+            if !wall_s.is_finite() || wall_s < 0.0 {
+                return Err(format!("row {i} ({name}): wall_s {wall_s} invalid"));
+            }
+            let reps = r
+                .get("reps")
+                .and_then(Json::as_f64)
+                .ok_or(format!("row {i} ({name}): missing numeric 'reps'"))?;
+            if reps < 1.0 || reps.fract() != 0.0 {
+                return Err(format!("row {i} ({name}): reps {reps} invalid"));
+            }
+            if rows.iter().any(|r: &BenchRow| r.name == name) {
+                return Err(format!("duplicate row name '{name}'"));
+            }
+            rows.push(BenchRow {
+                name: name.to_string(),
+                wall_s,
+                reps: reps as u64,
+            });
+        }
+        let hists_json = doc
+            .get("histograms")
+            .and_then(Json::as_object)
+            .ok_or("missing object field 'histograms'")?;
+        let mut histograms = BTreeMap::new();
+        for (name, h) in hists_json {
+            let field = |key: &str| -> Result<f64, String> {
+                h.get(key)
+                    .and_then(Json::as_f64)
+                    .filter(|v| v.is_finite())
+                    .ok_or(format!("histogram '{name}': missing finite '{key}'"))
+            };
+            let count = field("count")?;
+            if count < 0.0 || count.fract() != 0.0 {
+                return Err(format!("histogram '{name}': count {count} invalid"));
+            }
+            let summary = HistSummary {
+                count: count as u64,
+                sum: field("sum")?,
+                p50: field("p50")?,
+                p90: field("p90")?,
+                p99: field("p99")?,
+                p999: field("p999")?,
+            };
+            if summary.p50 > summary.p99 {
+                return Err(format!("histogram '{name}': p50 > p99"));
+            }
+            histograms.insert(name.clone(), summary);
+        }
+        Ok(BenchReport {
+            created_unix: created as u64,
+            label,
+            rows,
+            histograms,
+        })
+    }
+}
+
+/// One row that got slower than the tolerance allows.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Regression {
+    pub name: String,
+    pub prev_s: f64,
+    pub cur_s: f64,
+    /// `cur / prev` (always > 1 + tolerance).
+    pub ratio: f64,
+}
+
+/// Compare a current report against the prior trajectory point: every
+/// row present in both whose wall time grew by more than `tolerance`
+/// (e.g. `0.15` = +15%) is returned as a [`Regression`], sorted worst
+/// first. Rows only one side has are ignored — renames and new benches
+/// are not regressions. Sub-millisecond rows are skipped as noise.
+pub fn compare(prev: &BenchReport, cur: &BenchReport, tolerance: f64) -> Vec<Regression> {
+    let mut out = Vec::new();
+    for c in &cur.rows {
+        let Some(p) = prev.rows.iter().find(|p| p.name == c.name) else {
+            continue;
+        };
+        if p.wall_s < 1e-3 || p.wall_s <= 0.0 {
+            continue;
+        }
+        let ratio = c.wall_s / p.wall_s;
+        if ratio > 1.0 + tolerance {
+            out.push(Regression {
+                name: c.name.clone(),
+                prev_s: p.wall_s,
+                cur_s: c.wall_s,
+                ratio,
+            });
+        }
+    }
+    out.sort_by(|a, b| b.ratio.total_cmp(&a.ratio));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Trace;
+
+    fn sample() -> BenchReport {
+        let mut r = BenchReport::new("bench-smoke", 1_754_611_200);
+        r.push_row("type1_2d_sm_f32", 0.0123, 3);
+        r.push_row("serve_burst", 0.44, 1);
+        let trace = Trace::new();
+        for i in 1..=20 {
+            trace
+                .histogram("serve.latency")
+                .observe(1e-4 * f64::from(i));
+        }
+        r.add_histograms(&trace.report(), |n| n.starts_with("serve."));
+        r
+    }
+
+    #[test]
+    fn round_trips_through_json() {
+        let r = sample();
+        let text = r.to_json();
+        let back = BenchReport::from_json(&text).expect("round trip");
+        assert_eq!(back, r);
+        assert!(back.histograms.contains_key("serve.latency"));
+        assert_eq!(back.histograms["serve.latency"].count, 20);
+    }
+
+    #[test]
+    fn validator_rejects_defects() {
+        let good = sample().to_json();
+        assert!(BenchReport::from_json(&good).is_ok());
+        for (mutation, why) in [
+            (good.replace("nufft-bench/v1", "nufft-bench/v0"), "schema"),
+            (good.replace("\"wall_s\":0.0123", "\"wall_s\":-1"), "wall_s"),
+            (
+                good.replace("\"wall_s\":0.0123", "\"wall_s\":\"fast\""),
+                "type",
+            ),
+            (good.replace("\"reps\":3", "\"reps\":0"), "reps"),
+            (
+                good.replace("serve_burst", "type1_2d_sm_f32"),
+                "duplicate name",
+            ),
+            (good.replace("\"rows\"", "\"rowz\""), "rows key"),
+            ("{}".to_string(), "empty"),
+            ("not json".to_string(), "not json"),
+        ] {
+            assert!(BenchReport::from_json(&mutation).is_err(), "{why}");
+        }
+    }
+
+    #[test]
+    fn comparator_flags_only_real_regressions() {
+        let mut prev = BenchReport::new("a", 1);
+        prev.push_row("stable", 0.100, 3);
+        prev.push_row("regressed", 0.100, 3);
+        prev.push_row("improved", 0.100, 3);
+        prev.push_row("removed", 0.100, 3);
+        prev.push_row("tiny", 1e-5, 3);
+        let mut cur = BenchReport::new("b", 2);
+        cur.push_row("stable", 0.110, 3); // +10% < tolerance
+        cur.push_row("regressed", 0.130, 3); // +30%
+        cur.push_row("improved", 0.050, 3);
+        cur.push_row("added", 9.0, 3);
+        cur.push_row("tiny", 1e-3, 3); // 100x but sub-ms: noise
+        let regs = compare(&prev, &cur, 0.15);
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].name, "regressed");
+        assert!((regs[0].ratio - 1.3).abs() < 1e-12);
+    }
+}

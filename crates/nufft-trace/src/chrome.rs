@@ -6,27 +6,45 @@
 //! (`"ph": "M"`) events naming the processes and lanes. Two process
 //! groups are emitted:
 //!
-//! * pid 1 — **host**: wall-clock spans from the [`crate::span!`] macro;
+//! * pid 1 — **host**: wall-clock spans from the [`crate::span!`] macro,
+//!   one timeline row per recording OS thread, named from the thread's
+//!   `std::thread::Builder` name (so the serve worker reads as
+//!   `nufft-serve`, not a bare tid);
 //! * pid 2 — **sim-gpu**: simulated-device time, one thread row per
 //!   [`crate::Lane`] (plan stages, compute, H2D, D2H, alloc).
+//!
+//! Events correlated with a served request (a
+//! [`crate::REQUEST_ID_ARG`] annotation, inherited down parent links)
+//! additionally emit Chrome *flow* events (`"ph": "s"/"t"/"f"`, one
+//! flow id per request), so Perfetto draws arrows from the serve span
+//! through the plan stages down to the device kernel lanes.
 //!
 //! Counter and gauge snapshots ride along under the non-standard
 //! `counters` / `gauges` keys, which trace viewers ignore but tests and
 //! scripts can read back with [`crate::json`].
 
 use crate::{Lane, TraceEvent, TraceReport, Track};
+use std::collections::BTreeMap;
 use std::fmt::Write;
 
 const HOST_PID: u32 = 1;
 const GPU_PID: u32 = 2;
 
-fn lane_tid(lane: Lane) -> u32 {
+fn lane_tid(lane: Lane) -> u64 {
     match lane {
         Lane::Plan => 1,
         Lane::Compute => 2,
         Lane::H2d => 3,
         Lane::D2h => 4,
         Lane::Alloc => 5,
+    }
+}
+
+/// (pid, tid) a recorded event renders under.
+fn placement(ev: &TraceEvent) -> (u32, u64) {
+    match ev.track {
+        Track::Host => (HOST_PID, ev.tid),
+        Track::Device(lane) => (GPU_PID, lane_tid(lane)),
     }
 }
 
@@ -58,7 +76,7 @@ fn num(v: f64) -> String {
     }
 }
 
-fn meta_event(pid: u32, tid: u32, name: &str, kind: &str) -> String {
+fn meta_event(pid: u32, tid: u64, name: &str, kind: &str) -> String {
     format!(
         "{{\"name\":\"{kind}\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\
          \"args\":{{\"name\":\"{}\"}}}}",
@@ -67,10 +85,7 @@ fn meta_event(pid: u32, tid: u32, name: &str, kind: &str) -> String {
 }
 
 fn complete_event(ev: &TraceEvent) -> String {
-    let (pid, tid) = match ev.track {
-        Track::Host => (HOST_PID, 1),
-        Track::Device(lane) => (GPU_PID, lane_tid(lane)),
-    };
+    let (pid, tid) = placement(ev);
     let mut args = format!("\"id\":{},\"parent\":{}", ev.id, ev.parent);
     for (k, v) in &ev.args {
         let _ = write!(args, ",\"{}\":\"{}\"", escape(k), escape(v));
@@ -85,11 +100,76 @@ fn complete_event(ev: &TraceEvent) -> String {
     )
 }
 
+/// One flow event (`ph` ∈ s/t/f) tying request-correlated events
+/// together under flow id `rid`.
+fn flow_event(ev: &TraceEvent, rid: u64, ph: &str) -> String {
+    let (pid, tid) = placement(ev);
+    let bind = if ph == "f" { ",\"bp\":\"e\"" } else { "" };
+    format!(
+        "{{\"name\":\"request\",\"cat\":\"request\",\"ph\":\"{ph}\",\"id\":{rid},\
+         \"pid\":{pid},\"tid\":{tid},\"ts\":{}{bind}}}",
+        num(ev.ts_us),
+    )
+}
+
+/// Flow events for every request: start at the first correlated event,
+/// step through the rest, finish at the last (in lifecycle order, host
+/// before device — the same order [`TraceReport::request_timeline`]
+/// returns).
+fn flow_events(report: &TraceReport) -> Vec<String> {
+    let corr = report.request_correlation();
+    let mut by_request: BTreeMap<u64, Vec<&TraceEvent>> = BTreeMap::new();
+    for ev in &report.events {
+        if let Some(&rid) = corr.get(&ev.id) {
+            by_request.entry(rid).or_default().push(ev);
+        }
+    }
+    let mut out = Vec::new();
+    for (rid, mut evs) in by_request {
+        evs.sort_by(|a, b| {
+            let ka = matches!(a.track, Track::Device(_));
+            let kb = matches!(b.track, Track::Device(_));
+            ka.cmp(&kb)
+                .then(a.ts_us.total_cmp(&b.ts_us))
+                .then(a.id.cmp(&b.id))
+        });
+        let last = evs.len() - 1;
+        for (i, ev) in evs.iter().enumerate() {
+            let ph = if i == 0 {
+                "s"
+            } else if i == last {
+                "f"
+            } else {
+                "t"
+            };
+            out.push(flow_event(ev, rid, ph));
+            if evs.len() == 1 {
+                // a lone event still needs a finish to render
+                out.push(flow_event(ev, rid, "f"));
+            }
+        }
+    }
+    out
+}
+
 /// Render a report as Chrome trace-event JSON.
 pub fn chrome_json(report: &TraceReport) -> String {
-    let mut parts: Vec<String> = Vec::with_capacity(report.events.len() + 8);
+    let mut parts: Vec<String> = Vec::with_capacity(report.events.len() + 16);
     parts.push(meta_event(HOST_PID, 0, "host", "process_name"));
-    parts.push(meta_event(HOST_PID, 1, "host spans", "thread_name"));
+    // one named row per OS thread that recorded host events
+    let mut host_tids: Vec<u64> = report
+        .events
+        .iter()
+        .filter(|ev| ev.track == Track::Host)
+        .map(|ev| ev.tid)
+        .collect();
+    host_tids.sort_unstable();
+    host_tids.dedup();
+    for tid in host_tids {
+        let fallback = format!("thread-{tid}");
+        let name = report.threads.get(&tid).unwrap_or(&fallback);
+        parts.push(meta_event(HOST_PID, tid, name, "thread_name"));
+    }
     parts.push(meta_event(GPU_PID, 0, "sim-gpu", "process_name"));
     for lane in [Lane::Plan, Lane::Compute, Lane::H2d, Lane::D2h, Lane::Alloc] {
         parts.push(meta_event(
@@ -100,6 +180,7 @@ pub fn chrome_json(report: &TraceReport) -> String {
         ));
     }
     parts.extend(report.events.iter().map(complete_event));
+    parts.extend(flow_events(report));
 
     let mut counters = String::new();
     for (i, (k, v)) in report.counters.iter().enumerate() {
@@ -127,7 +208,7 @@ pub fn chrome_json(report: &TraceReport) -> String {
 mod tests {
     use super::*;
     use crate::json::Json;
-    use crate::Trace;
+    use crate::{Trace, REQUEST_ID_ARG};
 
     fn sample_report() -> TraceReport {
         let trace = Trace::new();
@@ -147,7 +228,8 @@ mod tests {
         let json = chrome_json(&sample_report());
         let doc = Json::parse(&json).expect("valid JSON");
         let events = doc.get("traceEvents").unwrap().as_array().unwrap();
-        // 8 metadata events + 3 recorded
+        // 8 metadata events (2 process names, 1 host thread, 5 lanes)
+        // + 3 recorded
         assert_eq!(events.len(), 11);
         for ev in events {
             let ph = ev.get("ph").unwrap().as_str().unwrap();
@@ -197,9 +279,78 @@ mod tests {
     #[test]
     fn lanes_map_to_distinct_tids() {
         let lanes = [Lane::Plan, Lane::Compute, Lane::H2d, Lane::D2h, Lane::Alloc];
-        let mut tids: Vec<u32> = lanes.iter().map(|&l| lane_tid(l)).collect();
+        let mut tids: Vec<u64> = lanes.iter().map(|&l| lane_tid(l)).collect();
         tids.sort_unstable();
         tids.dedup();
         assert_eq!(tids.len(), lanes.len());
+    }
+
+    #[test]
+    fn host_threads_get_named_rows() {
+        let trace = Trace::new();
+        drop(trace.span("outer"));
+        let t2 = trace.clone();
+        std::thread::Builder::new()
+            .name("serve-w0".into())
+            .spawn(move || drop(t2.span("inner")))
+            .unwrap()
+            .join()
+            .unwrap();
+        let json = chrome_json(&trace.report());
+        let doc = Json::parse(&json).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        let thread_names: Vec<&str> = events
+            .iter()
+            .filter(|e| {
+                e.get("ph").unwrap().as_str() == Some("M")
+                    && e.get("name").unwrap().as_str() == Some("thread_name")
+                    && e.get("pid").unwrap().as_f64() == Some(1.0)
+            })
+            .map(|e| {
+                e.get("args")
+                    .unwrap()
+                    .get("name")
+                    .unwrap()
+                    .as_str()
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(thread_names.len(), 2, "one named row per host thread");
+        assert!(thread_names.contains(&"serve-w0"));
+        // the two host spans landed on different tids
+        let span_tids: Vec<f64> = events
+            .iter()
+            .filter(|e| e.get("ph").unwrap().as_str() == Some("X"))
+            .map(|e| e.get("tid").unwrap().as_f64().unwrap())
+            .collect();
+        assert_eq!(span_tids.len(), 2);
+        assert_ne!(span_tids[0], span_tids[1]);
+    }
+
+    #[test]
+    fn request_events_emit_flows_down_to_device_lanes() {
+        let trace = Trace::new();
+        let _on = trace.activate();
+        {
+            let _req = trace.span_with("serve.execute", &[(REQUEST_ID_ARG, "7".to_string())]);
+            trace.device_span(Lane::Compute, "spread_SM", "kernel", 0.0, 1e-3, &[]);
+        }
+        let json = chrome_json(&trace.report());
+        let doc = Json::parse(&json).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        let flows: Vec<&Json> = events
+            .iter()
+            .filter(|e| e.get("cat").map(|c| c.as_str()) == Some(Some("request")))
+            .collect();
+        assert_eq!(flows.len(), 2);
+        // start on the host serve span, finish on the device lane
+        assert_eq!(flows[0].get("ph").unwrap().as_str(), Some("s"));
+        assert_eq!(flows[0].get("pid").unwrap().as_f64(), Some(1.0));
+        assert_eq!(flows[1].get("ph").unwrap().as_str(), Some("f"));
+        assert_eq!(flows[1].get("pid").unwrap().as_f64(), Some(2.0));
+        assert_eq!(flows[1].get("bp").unwrap().as_str(), Some("e"));
+        for f in &flows {
+            assert_eq!(f.get("id").unwrap().as_f64(), Some(7.0));
+        }
     }
 }

@@ -1,0 +1,442 @@
+//! Log-bucketed latency/size histograms.
+//!
+//! Counters and gauges answer "how much, in total"; the paper's
+//! load-balance claim (and any SLO on the serving layer) is a claim
+//! about *distributions* — a p99 that holds up under adversarial point
+//! clustering. [`Histogram`] is the primitive for that: a fixed
+//! geometric bucket grid shared by every instance, so per-thread and
+//! per-session observations merge by plain element-wise addition, with
+//! quantile estimation (p50/p90/p99/p999) by rank-walk over the
+//! cumulative counts and geometric interpolation inside a bucket.
+//!
+//! Design points:
+//!
+//! * **Fixed global bucketing.** All histograms use the same `√2`-spaced
+//!   upper bounds starting at [`BUCKET_MIN`] (64 finite buckets spanning
+//!   ~9½ decades, 1 µs → ~50 min when observing seconds). Fixing the
+//!   grid is what makes [`HistogramSnapshot::merge`] exact and
+//!   deterministic: no rebinning, no per-instance configuration to
+//!   disagree about.
+//! * **Lock-free recording.** A histogram cell is an array of relaxed
+//!   atomics (buckets, count) plus CAS loops for the float accumulators
+//!   (sum, min, max). `observe` never takes a lock and never allocates,
+//!   so it is safe on the serve worker's hot path.
+//! * **Monotone quantiles.** For a fixed snapshot, `quantile(q)` is
+//!   non-decreasing in `q` (ranks are monotone, bucket bounds are
+//!   monotone, in-bucket interpolation is monotone), and estimates are
+//!   clamped to the observed `[min, max]` envelope — so `p50 <= p99`
+//!   always, and a single-sample histogram reports that sample exactly
+//!   at every quantile.
+//!
+//! Non-finite observations are dropped (a NaN duration is an upstream
+//! bug, not a data point); negative values clamp to the first bucket.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Number of finite buckets (one more overflow bucket rides along).
+pub const BUCKETS: usize = 64;
+
+/// Upper bound of the first bucket. Chosen for seconds-valued
+/// observations: bucket 0 is "at or under a microsecond".
+pub const BUCKET_MIN: f64 = 1e-6;
+
+/// Geometric growth factor between consecutive bucket bounds (√2, i.e.
+/// two buckets per octave — ~±19% relative quantile error worst case).
+pub const BUCKET_GROWTH: f64 = std::f64::consts::SQRT_2;
+
+/// Upper bound of finite bucket `i`: `BUCKET_MIN * BUCKET_GROWTH^i`.
+pub fn bucket_upper_bound(i: usize) -> f64 {
+    BUCKET_MIN * BUCKET_GROWTH.powi(i as i32)
+}
+
+/// Index of the bucket a value lands in (`BUCKETS` = overflow).
+fn bucket_of(v: f64) -> usize {
+    if v.is_nan() || v <= BUCKET_MIN {
+        return 0;
+    }
+    // log_G(v / MIN) = 2 * log2(v / MIN) for G = √2; ceil picks the
+    // first bound >= v. The tiny epsilon keeps exact bounds in their
+    // own bucket despite log/pow round-trip error.
+    let idx = (2.0 * (v / BUCKET_MIN).log2() - 1e-9).ceil();
+    if idx >= BUCKETS as f64 {
+        BUCKETS
+    } else {
+        idx.max(0.0) as usize
+    }
+}
+
+/// Shared storage behind a [`Histogram`] handle (one per metric name).
+pub(crate) struct HistCell {
+    /// Finite buckets plus one overflow slot at index [`BUCKETS`].
+    buckets: [AtomicU64; BUCKETS + 1],
+    count: AtomicU64,
+    /// f64 accumulators stored as bits, updated by CAS loops.
+    sum_bits: AtomicU64,
+    min_bits: AtomicU64,
+    max_bits: AtomicU64,
+}
+
+impl Default for HistCell {
+    fn default() -> Self {
+        HistCell {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+            min_bits: AtomicU64::new(f64::INFINITY.to_bits()),
+            max_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+        }
+    }
+}
+
+fn cas_f64(cell: &AtomicU64, fold: impl Fn(f64) -> f64) {
+    let mut cur = cell.load(Ordering::Relaxed);
+    loop {
+        let next = fold(f64::from_bits(cur));
+        if next.to_bits() == cur {
+            return;
+        }
+        match cell.compare_exchange_weak(cur, next.to_bits(), Ordering::Relaxed, Ordering::Relaxed)
+        {
+            Ok(_) => return,
+            Err(seen) => cur = seen,
+        }
+    }
+}
+
+impl HistCell {
+    pub(crate) fn observe(&self, v: f64) {
+        if !v.is_finite() {
+            return;
+        }
+        let v = v.max(0.0);
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        cas_f64(&self.sum_bits, |s| s + v);
+        cas_f64(&self.min_bits, |m| m.min(v));
+        cas_f64(&self.max_bits, |m| m.max(v));
+    }
+
+    pub(crate) fn snapshot(&self) -> HistogramSnapshot {
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let count = self.count.load(Ordering::Relaxed);
+        HistogramSnapshot {
+            buckets,
+            count,
+            sum: f64::from_bits(self.sum_bits.load(Ordering::Relaxed)),
+            min: f64::from_bits(self.min_bits.load(Ordering::Relaxed)),
+            max: f64::from_bits(self.max_bits.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// Handle to a named histogram in a [`crate::Trace`] session; cheap to
+/// clone, records with [`Histogram::observe`].
+#[derive(Clone)]
+pub struct Histogram {
+    pub(crate) cell: Arc<HistCell>,
+}
+
+impl Histogram {
+    /// Record one observation. Non-finite values are dropped; negative
+    /// values clamp into the first bucket.
+    pub fn observe(&self, v: f64) {
+        self.cell.observe(v);
+    }
+
+    /// Record a duration in seconds (convenience for span-shaped code).
+    pub fn observe_duration(&self, d: std::time::Duration) {
+        self.observe(d.as_secs_f64());
+    }
+
+    /// Point-in-time snapshot of this histogram alone.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        self.cell.snapshot()
+    }
+}
+
+/// Immutable histogram state: per-bucket counts (last entry = overflow),
+/// total count/sum, and the exact observed min/max envelope.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HistogramSnapshot {
+    /// `BUCKETS + 1` entries; `buckets[BUCKETS]` is the overflow bucket.
+    pub buckets: Vec<u64>,
+    pub count: u64,
+    pub sum: f64,
+    /// Smallest observation (`+inf` when empty).
+    pub min: f64,
+    /// Largest observation (`-inf` when empty).
+    pub max: f64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            buckets: vec![0; BUCKETS + 1],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Mean observation; `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+
+    /// Estimate the `q`-quantile (`q` clamped to `[0, 1]`); `None` when
+    /// empty. Exact for a single sample; otherwise bucket-resolution
+    /// (±one √2 bucket), clamped to the observed `[min, max]`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // the envelope ends are tracked exactly — no need to estimate
+        if q == 0.0 {
+            return Some(self.min);
+        }
+        if q == 1.0 {
+            return Some(self.max);
+        }
+        // 1-based rank of the sample the quantile falls on.
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if cum + n >= target {
+                // geometric interpolation between the bucket's bounds
+                // at the in-bucket rank fraction
+                let lo = if i == 0 {
+                    self.min.min(bucket_upper_bound(0))
+                } else {
+                    bucket_upper_bound(i - 1)
+                };
+                let hi = if i >= BUCKETS {
+                    self.max.max(bucket_upper_bound(BUCKETS - 1))
+                } else {
+                    bucket_upper_bound(i)
+                };
+                let frac = (target - cum) as f64 / n as f64;
+                let lo = lo.max(1e-12);
+                let hi = hi.max(lo);
+                let est = lo * (hi / lo).powf(frac);
+                return Some(est.clamp(self.min, self.max));
+            }
+            cum += n;
+        }
+        // counts changed between loads in a racy snapshot; fall back to
+        // the largest observation
+        Some(self.max)
+    }
+
+    pub fn p50(&self) -> Option<f64> {
+        self.quantile(0.50)
+    }
+
+    pub fn p90(&self) -> Option<f64> {
+        self.quantile(0.90)
+    }
+
+    pub fn p99(&self) -> Option<f64> {
+        self.quantile(0.99)
+    }
+
+    pub fn p999(&self) -> Option<f64> {
+        self.quantile(0.999)
+    }
+
+    /// Fold `other` into `self`. Exact (element-wise) because every
+    /// histogram shares the same bucket grid; the result is independent
+    /// of merge order for buckets/count/min/max (sums are f64 additions
+    /// and commute up to rounding).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += *b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Cumulative count at or under each finite bucket bound, then the
+    /// grand total — the Prometheus `le` series shape.
+    pub fn cumulative(&self) -> Vec<u64> {
+        let mut out = Vec::with_capacity(self.buckets.len());
+        let mut cum = 0u64;
+        for &n in &self.buckets {
+            cum += n;
+            out.push(cum);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hist() -> Histogram {
+        Histogram {
+            cell: Arc::new(HistCell::default()),
+        }
+    }
+
+    #[test]
+    fn empty_histogram_has_no_quantiles() {
+        let h = hist();
+        let s = h.snapshot();
+        assert!(s.is_empty());
+        assert_eq!(s.quantile(0.5), None);
+        assert_eq!(s.p999(), None);
+        assert_eq!(s.mean(), None);
+        assert_eq!(s.cumulative().last(), Some(&0));
+    }
+
+    #[test]
+    fn single_sample_is_exact_at_every_quantile() {
+        let h = hist();
+        h.observe(3.7e-3);
+        let s = h.snapshot();
+        assert_eq!(s.count, 1);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(s.quantile(q), Some(3.7e-3), "q={q}");
+        }
+        assert_eq!(s.min, 3.7e-3);
+        assert_eq!(s.max, 3.7e-3);
+    }
+
+    #[test]
+    fn bucket_bounds_contain_their_values() {
+        // a value exactly on a bound stays in that bucket; epsilon above
+        // goes to the next
+        for i in 0..BUCKETS {
+            let b = bucket_upper_bound(i);
+            assert_eq!(bucket_of(b), i, "bound {i}");
+            assert_eq!(bucket_of(b * 1.0001), i + 1, "just above bound {i}");
+        }
+    }
+
+    #[test]
+    fn extremes_saturate_into_edge_buckets() {
+        let h = hist();
+        h.observe(0.0); // clamp into bucket 0
+        h.observe(-5.0); // negative clamps too
+        h.observe(1e-12); // tiny
+        h.observe(1e9); // way past the last bound: overflow bucket
+        h.observe(f64::MAX);
+        h.observe(f64::NAN); // dropped
+        h.observe(f64::INFINITY); // dropped
+        let s = h.snapshot();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.buckets[0], 3);
+        assert_eq!(s.buckets[BUCKETS], 2);
+        // quantiles stay inside the observed envelope
+        assert_eq!(s.quantile(0.0).unwrap(), 0.0);
+        assert_eq!(s.quantile(1.0).unwrap(), f64::MAX);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_ordered() {
+        let h = hist();
+        // three decades of spread
+        for i in 1..=1000u32 {
+            h.observe(1e-5 * f64::from(i));
+        }
+        let s = h.snapshot();
+        let mut last = 0.0;
+        for q in [0.01, 0.1, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            let v = s.quantile(q).unwrap();
+            assert!(v >= last, "quantile({q})={v} < {last}");
+            last = v;
+        }
+        let p50 = s.p50().unwrap();
+        let p99 = s.p99().unwrap();
+        assert!(p50 < p99);
+        // √2 buckets: estimates within ~±50% of the true order stats
+        assert!((p50 / 5e-3 - 1.0).abs() < 0.5, "p50={p50}");
+        assert!((p99 / 9.9e-3 - 1.0).abs() < 0.5, "p99={p99}");
+    }
+
+    #[test]
+    fn merge_across_threads_is_deterministic() {
+        // the same observations, split across 4 threads in two different
+        // interleavings, must produce identical bucket state
+        let run = |rotate: usize| {
+            let h = hist();
+            let vals: Vec<f64> = (1..=400u32).map(|i| 1e-6 * f64::from(i) * 7.3).collect();
+            std::thread::scope(|scope| {
+                for t in 0..4 {
+                    let h = h.clone();
+                    let chunk: Vec<f64> = vals[((t + rotate) % 4) * 100..]
+                        .iter()
+                        .take(100)
+                        .copied()
+                        .collect();
+                    scope.spawn(move || {
+                        for v in chunk {
+                            h.observe(v);
+                        }
+                    });
+                }
+            });
+            h.snapshot()
+        };
+        let a = run(0);
+        let b = run(2);
+        assert_eq!(a.buckets, b.buckets);
+        assert_eq!(a.count, b.count);
+        assert_eq!(a.min, b.min);
+        assert_eq!(a.max, b.max);
+        assert_eq!(a.quantile(0.99), b.quantile(0.99));
+    }
+
+    #[test]
+    fn merge_equals_single_histogram() {
+        let all = hist();
+        let ha = hist();
+        let hb = hist();
+        for i in 1..=50u32 {
+            let v = 3e-6 * f64::from(i) * f64::from(i);
+            all.observe(v);
+            if i % 2 == 0 {
+                ha.observe(v);
+            } else {
+                hb.observe(v);
+            }
+        }
+        let mut merged = ha.snapshot();
+        merged.merge(&hb.snapshot());
+        let want = all.snapshot();
+        assert_eq!(merged.buckets, want.buckets);
+        assert_eq!(merged.count, want.count);
+        assert_eq!(merged.min, want.min);
+        assert_eq!(merged.max, want.max);
+        assert!((merged.sum - want.sum).abs() < 1e-12 * want.sum.abs());
+    }
+
+    #[test]
+    fn cumulative_is_monotone_and_totals() {
+        let h = hist();
+        for v in [1e-6, 5e-4, 5e-4, 2e-2, 7e3] {
+            h.observe(v);
+        }
+        let cum = h.snapshot().cumulative();
+        assert!(cum.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(*cum.last().unwrap(), 5);
+    }
+}

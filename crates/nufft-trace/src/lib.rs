@@ -33,10 +33,15 @@
 
 #![forbid(unsafe_code)]
 
+pub mod bench;
 pub mod chrome;
+mod hist;
 pub mod json;
 pub mod prom;
 
+pub use hist::{bucket_upper_bound, Histogram, HistogramSnapshot, BUCKETS};
+
+use std::cell::Cell;
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
@@ -86,6 +91,10 @@ pub struct TraceEvent {
     pub id: u64,
     /// Id of the enclosing span at record time (0 for roots).
     pub parent: u64,
+    /// Ordinal of the OS thread that recorded the event (process-wide,
+    /// 1-based); keys into [`TraceReport::threads`] for the thread's
+    /// name. Host events render one Chrome timeline row per tid.
+    pub tid: u64,
     pub name: String,
     /// Category string (e.g. "kernel", "memcpy", "stage", "host").
     pub cat: String,
@@ -110,6 +119,9 @@ struct Inner {
     sink: Mutex<Sink>,
     counters: Mutex<BTreeMap<String, Arc<AtomicI64>>>,
     gauges: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    hists: Mutex<BTreeMap<String, Arc<hist::HistCell>>>,
+    /// Thread ordinal → thread name, filled in as threads record.
+    threads: Mutex<BTreeMap<u64, String>>,
 }
 
 /// A tracing session. Clones share the same sink.
@@ -152,6 +164,25 @@ thread_local! {
 /// Buffered events per thread before a forced drain into the sink.
 const BUF_FLUSH_LEN: usize = 128;
 
+/// Process-wide OS-thread ordinals (1-based; 0 = unassigned).
+static NEXT_THREAD_ORD: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static THREAD_ORD: Cell<u64> = const { Cell::new(0) };
+}
+
+/// This thread's stable ordinal, assigned on first use.
+fn thread_ord() -> u64 {
+    THREAD_ORD.with(|c| {
+        let mut ord = c.get();
+        if ord == 0 {
+            ord = NEXT_THREAD_ORD.fetch_add(1, Ordering::Relaxed);
+            c.set(ord);
+        }
+        ord
+    })
+}
+
 fn flush_thread_buffer() {
     TLS.with(|tls| {
         let mut tls = tls.borrow_mut();
@@ -172,8 +203,25 @@ impl Trace {
                 sink: Mutex::new(Sink::default()),
                 counters: Mutex::new(BTreeMap::new()),
                 gauges: Mutex::new(BTreeMap::new()),
+                hists: Mutex::new(BTreeMap::new()),
+                threads: Mutex::new(BTreeMap::new()),
             }),
         }
+    }
+
+    /// Note the calling thread in the session's thread table and return
+    /// its ordinal (names come from `std::thread::Builder`, so e.g. the
+    /// serve worker shows up as `nufft-serve` in the Chrome export).
+    pub fn register_thread(&self) -> u64 {
+        let tid = thread_ord();
+        let mut threads = self.inner.threads.lock().unwrap();
+        threads.entry(tid).or_insert_with(|| {
+            std::thread::current()
+                .name()
+                .map(str::to_string)
+                .unwrap_or_else(|| format!("thread-{tid}"))
+        });
+        tid
     }
 
     /// The innermost trace activated on this thread, if any.
@@ -223,11 +271,13 @@ impl Trace {
     pub fn span_with(&self, name: &str, args: &[(&str, String)]) -> Span {
         let id = self.next_id();
         let parent = Self::parent_of_new_event();
+        let tid = self.register_thread();
         TLS.with(|tls| tls.borrow_mut().open_spans.push(id));
         Span {
             trace: self.clone(),
             id,
             parent,
+            tid,
             name: name.to_string(),
             args: args
                 .iter()
@@ -252,11 +302,47 @@ impl Trace {
         let ev = TraceEvent {
             id: self.next_id(),
             parent: Self::parent_of_new_event(),
+            tid: self.register_thread(),
             name: name.to_string(),
             cat: cat.to_string(),
             track: Track::Device(lane),
             ts_us: start_s * 1e6,
             dur_us: dur_s * 1e6,
+            args: args
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.clone()))
+                .collect(),
+        };
+        self.push_event(ev);
+    }
+
+    /// Record a completed host span retroactively, from explicit
+    /// [`Instant`]s. Unlike [`Trace::span`], the interval is over by the
+    /// time it is recorded, so nothing nests *under* it — it parents to
+    /// the thread's innermost open span like any other event. This is
+    /// how the serve layer records a request's queue-wait interval: the
+    /// admission time is only known to be interesting once the worker
+    /// picks the request up.
+    pub fn record_span_at(
+        &self,
+        name: &str,
+        cat: &str,
+        start: Instant,
+        end: Instant,
+        args: &[(&str, String)],
+    ) {
+        let t0 = self.inner.t0;
+        let ts_us = start.saturating_duration_since(t0).as_secs_f64() * 1e6;
+        let dur_us = end.saturating_duration_since(start).as_secs_f64() * 1e6;
+        let ev = TraceEvent {
+            id: self.next_id(),
+            parent: Self::parent_of_new_event(),
+            tid: self.register_thread(),
+            name: name.to_string(),
+            cat: cat.to_string(),
+            track: Track::Host,
+            ts_us,
+            dur_us,
             args: args
                 .iter()
                 .map(|(k, v)| (k.to_string(), v.clone()))
@@ -272,6 +358,17 @@ impl Trace {
             Arc::clone(map.entry(name.to_string()).or_default())
         };
         Counter { cell }
+    }
+
+    /// Log-bucketed histogram, created on first use. All histograms
+    /// share one fixed √2 bucket grid (see [`HistogramSnapshot`]), so snapshots merge
+    /// exactly across threads and sessions.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let cell = {
+            let mut map = self.inner.hists.lock().unwrap();
+            Arc::clone(map.entry(name.to_string()).or_default())
+        };
+        Histogram { cell }
     }
 
     /// Last-value / max gauge, created on first use (f64-valued).
@@ -306,10 +403,21 @@ impl Trace {
             .iter()
             .map(|(k, v)| (k.clone(), f64::from_bits(v.load(Ordering::Relaxed))))
             .collect();
+        let histograms = self
+            .inner
+            .hists
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.snapshot()))
+            .collect();
+        let threads = self.inner.threads.lock().unwrap().clone();
         TraceReport {
             events,
             counters,
             gauges,
+            histograms,
+            threads,
         }
     }
 }
@@ -333,6 +441,7 @@ pub struct Span {
     trace: Trace,
     id: u64,
     parent: u64,
+    tid: u64,
     name: String,
     args: Vec<(String, String)>,
     start: Instant,
@@ -358,6 +467,7 @@ impl Drop for Span {
         let ev = TraceEvent {
             id: self.id,
             parent: self.parent,
+            tid: self.tid,
             name: std::mem::take(&mut self.name),
             cat: "host".to_string(),
             track: Track::Host,
@@ -448,12 +558,16 @@ impl Gauge {
     }
 }
 
-/// Immutable snapshot of a [`Trace`]: events plus counter/gauge values.
+/// Immutable snapshot of a [`Trace`]: events plus counter, gauge, and
+/// histogram values and the thread-name table.
 #[derive(Clone, Debug)]
 pub struct TraceReport {
     pub events: Vec<TraceEvent>,
     pub counters: BTreeMap<String, i64>,
     pub gauges: BTreeMap<String, f64>,
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Thread ordinal → name for every thread that recorded an event.
+    pub threads: BTreeMap<u64, String>,
 }
 
 impl TraceReport {
@@ -502,6 +616,75 @@ impl TraceReport {
             .map(|ev| ev.dur_us * 1e-6)
             .sum()
     }
+
+    /// Map every event correlated with a request to that request's id.
+    ///
+    /// An event is correlated when it carries a
+    /// [`REQUEST_ID_ARG`]`= <id>` annotation directly, or when any
+    /// ancestor (via `parent` links) does — so the plan lifecycle spans
+    /// and the device-lane kernels recorded *inside* a serve span
+    /// inherit the request id without every layer knowing about
+    /// requests. Returns event-id → request-id.
+    pub fn request_correlation(&self) -> BTreeMap<u64, u64> {
+        let mut map: BTreeMap<u64, u64> = BTreeMap::new();
+        for ev in &self.events {
+            if let Some(rid) = request_id_of(ev) {
+                map.insert(ev.id, rid);
+            }
+        }
+        // propagate down parent links to a fixpoint (events are recorded
+        // child-before-parent, so one pass is not enough)
+        loop {
+            let mut changed = false;
+            for ev in &self.events {
+                if !map.contains_key(&ev.id) {
+                    if let Some(&rid) = map.get(&ev.parent) {
+                        map.insert(ev.id, rid);
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                return map;
+            }
+        }
+    }
+
+    /// Reconstruct one request's full lifecycle: every event correlated
+    /// with request `id` (see [`TraceReport::request_correlation`]),
+    /// host events first in timestamp order, then device-lane events in
+    /// simulated-time order — admission → queue-wait → execution down to
+    /// the kernel lanes. Empty when the id was never traced.
+    pub fn request_timeline(&self, id: u64) -> Vec<&TraceEvent> {
+        let corr = self.request_correlation();
+        let mut out: Vec<&TraceEvent> = self
+            .events
+            .iter()
+            .filter(|ev| corr.get(&ev.id) == Some(&id))
+            .collect();
+        out.sort_by(|a, b| {
+            let ka = matches!(a.track, Track::Device(_));
+            let kb = matches!(b.track, Track::Device(_));
+            ka.cmp(&kb)
+                .then(a.ts_us.total_cmp(&b.ts_us))
+                .then(a.id.cmp(&b.id))
+        });
+        out
+    }
+}
+
+/// Annotation key marking an event as belonging to one served request;
+/// the value is the decimal request id. Written by `nufft-serve`, read
+/// by [`TraceReport::request_timeline`] and the Chrome exporter's flow
+/// events.
+pub const REQUEST_ID_ARG: &str = "request_id";
+
+/// The request id an event carries directly, if any.
+pub fn request_id_of(ev: &TraceEvent) -> Option<u64> {
+    ev.args
+        .iter()
+        .find(|(k, _)| k == REQUEST_ID_ARG)
+        .and_then(|(_, v)| v.parse().ok())
 }
 
 #[cfg(test)]
@@ -613,6 +796,71 @@ mod tests {
         assert_eq!(report.spans_named("plan.build").len(), 2);
         assert_eq!(report.spans_named("plan.execute").len(), 1);
         assert!(report.spans_named("plan.setpts").is_empty());
+    }
+
+    #[test]
+    fn histograms_record_and_snapshot() {
+        let trace = Trace::new();
+        trace.histogram("serve.latency").observe(2e-3);
+        trace.histogram("serve.latency").observe(8e-3);
+        let r = trace.report();
+        let h = &r.histograms["serve.latency"];
+        assert_eq!(h.count, 2);
+        assert_eq!(h.min, 2e-3);
+        assert_eq!(h.max, 8e-3);
+        assert!(h.p50().unwrap() <= h.p99().unwrap());
+    }
+
+    #[test]
+    fn events_carry_thread_ids_and_names() {
+        let trace = Trace::new();
+        drop(trace.span("main-side"));
+        let t2 = trace.clone();
+        std::thread::Builder::new()
+            .name("obs-worker".into())
+            .spawn(move || drop(t2.span("worker-side")))
+            .unwrap()
+            .join()
+            .unwrap();
+        let r = trace.report();
+        let main_ev = r.spans_named("main-side")[0];
+        let worker_ev = r.spans_named("worker-side")[0];
+        assert_ne!(main_ev.tid, 0);
+        assert_ne!(main_ev.tid, worker_ev.tid);
+        assert_eq!(r.threads[&worker_ev.tid], "obs-worker");
+    }
+
+    #[test]
+    fn record_span_at_uses_explicit_interval() {
+        let trace = Trace::new();
+        let start = Instant::now();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let end = Instant::now();
+        trace.record_span_at("serve.queue", "serve", start, end, &[]);
+        let r = trace.report();
+        let ev = r.spans_named("serve.queue")[0];
+        assert_eq!(ev.track, Track::Host);
+        assert!(ev.dur_us >= 1_000.0, "dur={}", ev.dur_us);
+    }
+
+    #[test]
+    fn request_timeline_follows_parent_links() {
+        let trace = Trace::new();
+        let _on = trace.activate();
+        {
+            let _req = trace.span_with("serve.execute", &[(REQUEST_ID_ARG, "42".to_string())]);
+            let _inner = trace.span("plan.execute");
+            trace.device_span(Lane::Compute, "spread_SM", "kernel", 0.0, 1e-3, &[]);
+        }
+        drop(trace.span("unrelated"));
+        let r = trace.report();
+        let tl = r.request_timeline(42);
+        let names: Vec<&str> = tl.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, vec!["serve.execute", "plan.execute", "spread_SM"]);
+        assert!(r.request_timeline(43).is_empty());
+        let corr = r.request_correlation();
+        assert_eq!(corr.len(), 3);
+        assert!(corr.values().all(|&rid| rid == 42));
     }
 
     #[test]

@@ -1,12 +1,21 @@
-//! Prometheus-style text exporter.
+//! Prometheus text-exposition exporter.
 //!
-//! Renders the counter and gauge snapshots of a [`TraceReport`] in the
-//! Prometheus exposition text format (`# TYPE` lines followed by
-//! `name value` samples). Metric names are sanitised to the
+//! Renders the counter, gauge, and histogram snapshots of a
+//! [`TraceReport`] in the Prometheus exposition text format: a
+//! `# HELP` and `# TYPE` header per metric family followed by its
+//! samples. Metric names are sanitised to the
 //! `[a-zA-Z_][a-zA-Z0-9_]*` charset — dots and dashes become
-//! underscores — so `bins.nonempty` exports as `bins_nonempty`.
+//! underscores — so `bins.nonempty` exports as `bins_nonempty`; label
+//! *values* keep their full charset via backslash escaping
+//! ([`escape_label`]).
+//!
+//! Histograms follow the native Prometheus histogram convention:
+//! cumulative `name_bucket{le="<bound>"}` samples (monotone
+//! non-decreasing, terminated by `le="+Inf"` equal to `name_count`)
+//! plus `name_sum` and `name_count`. Bucket bounds are the fixed √2
+//! grid of [`crate::Histogram`].
 
-use crate::TraceReport;
+use crate::{HistogramSnapshot, TraceReport};
 use std::fmt::Write;
 
 /// Sanitise a metric name for the Prometheus text format.
@@ -22,22 +31,81 @@ pub fn sanitize(name: &str) -> String {
     out
 }
 
-/// Render counters and gauges as Prometheus exposition text.
+/// Escape a label value per the exposition format: backslash, double
+/// quote, and newline must be backslash-escaped inside the quotes.
+pub fn escape_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Format a float sample value (Prometheus accepts `NaN`/`+Inf`/`-Inf`
+/// spellings).
+fn fmt_value(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+fn help_line(out: &mut String, name: &str, kind: &str, help: &str) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} {kind}");
+}
+
+/// Render one histogram family (already-sanitised `name`).
+fn render_histogram(out: &mut String, name: &str, h: &HistogramSnapshot) {
+    help_line(
+        out,
+        name,
+        "histogram",
+        "log-bucketed distribution (nufft-trace, \u{221a}2 bucket grid)",
+    );
+    let cum = h.cumulative();
+    let mut last = 0u64;
+    for (i, &c) in cum.iter().enumerate().take(crate::BUCKETS) {
+        // skip interior buckets that add nothing, but keep the first,
+        // any count-changing bound, and always close with +Inf below —
+        // cumulative values stay monotone by construction
+        if c != last || i == 0 {
+            let le = escape_label(&fmt_value(crate::bucket_upper_bound(i)));
+            let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {c}");
+            last = c;
+        }
+    }
+    let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count);
+    let _ = writeln!(out, "{name}_sum {}", fmt_value(h.sum));
+    let _ = writeln!(out, "{name}_count {}", h.count);
+}
+
+/// Render counters, gauges, and histograms as exposition text.
 pub fn prometheus(report: &TraceReport) -> String {
     let mut out = String::new();
     for (name, value) in &report.counters {
         let name = sanitize(name);
-        let _ = writeln!(out, "# TYPE {name} counter");
+        help_line(&mut out, &name, "counter", "cumulative count (nufft-trace)");
         let _ = writeln!(out, "{name} {value}");
     }
     for (name, value) in &report.gauges {
         let name = sanitize(name);
-        let _ = writeln!(out, "# TYPE {name} gauge");
-        if value.is_finite() {
-            let _ = writeln!(out, "{name} {value}");
-        } else {
-            let _ = writeln!(out, "{name} NaN");
-        }
+        help_line(&mut out, &name, "gauge", "last-value gauge (nufft-trace)");
+        let _ = writeln!(out, "{name} {}", fmt_value(*value));
+    }
+    for (name, h) in &report.histograms {
+        let name = sanitize(name);
+        render_histogram(&mut out, &name, h);
     }
     out
 }
@@ -56,18 +124,95 @@ mod tests {
     }
 
     #[test]
-    fn renders_counters_and_gauges() {
+    fn escapes_label_values() {
+        assert_eq!(escape_label("plain"), "plain");
+        assert_eq!(escape_label("a\"b"), "a\\\"b");
+        assert_eq!(escape_label("a\\b"), "a\\\\b");
+        assert_eq!(escape_label("a\nb"), "a\\nb");
+    }
+
+    #[test]
+    fn renders_counters_and_gauges_with_help_and_type() {
         let trace = Trace::new();
         trace.counter("bins.total").add(64);
         trace.gauge("bins.imbalance").set(2.5);
         let text = prometheus(&trace.report());
+        assert!(text.contains("# HELP bins_total "));
         assert!(text.contains("# TYPE bins_total counter\nbins_total 64\n"));
+        assert!(text.contains("# HELP bins_imbalance "));
         assert!(text.contains("# TYPE bins_imbalance gauge\nbins_imbalance 2.5\n"));
+    }
+
+    #[test]
+    fn non_finite_gauges_use_prometheus_spellings() {
+        let trace = Trace::new();
+        trace.gauge("g.nan").set(f64::NAN);
+        trace.gauge("g.inf").set(f64::INFINITY);
+        let text = prometheus(&trace.report());
+        assert!(text.contains("g_nan NaN\n"));
+        assert!(text.contains("g_inf +Inf\n"));
     }
 
     #[test]
     fn empty_report_renders_empty() {
         let trace = Trace::new();
         assert_eq!(prometheus(&trace.report()), "");
+    }
+
+    /// Parse every `name_bucket{le="..."} v` line of one family back out
+    /// as `(le, cumulative)` pairs, in emission order.
+    fn parse_buckets(text: &str, family: &str) -> Vec<(String, u64)> {
+        let prefix = format!("{family}_bucket{{le=\"");
+        text.lines()
+            .filter_map(|l| {
+                let rest = l.strip_prefix(&prefix)?;
+                let (le, v) = rest.split_once("\"} ")?;
+                Some((le.to_string(), v.parse().ok()?))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_monotone_and_closed_by_inf() {
+        let trace = Trace::new();
+        let h = trace.histogram("serve.latency");
+        for v in [1e-5, 2e-4, 2e-4, 3e-3, 0.5, 1e9] {
+            h.observe(v);
+        }
+        let text = prometheus(&trace.report());
+        assert!(text.contains("# TYPE serve_latency histogram"));
+        let buckets = parse_buckets(&text, "serve_latency");
+        assert!(buckets.len() >= 5, "buckets: {buckets:?}");
+        // monotone non-decreasing cumulative counts
+        assert!(buckets.windows(2).all(|w| w[0].1 <= w[1].1));
+        // bounds strictly increase (ignoring the final +Inf)
+        let bounds: Vec<f64> = buckets
+            .iter()
+            .filter(|(le, _)| le != "+Inf")
+            .map(|(le, _)| le.parse().unwrap())
+            .collect();
+        assert!(bounds.windows(2).all(|w| w[0] < w[1]));
+        // +Inf closes the series at the total count
+        let (last_le, last_c) = buckets.last().unwrap();
+        assert_eq!(last_le, "+Inf");
+        assert_eq!(*last_c, 6);
+        assert!(text.contains("serve_latency_count 6\n"));
+        let sum_line = text
+            .lines()
+            .find(|l| l.starts_with("serve_latency_sum "))
+            .unwrap();
+        let sum: f64 = sum_line.split_whitespace().nth(1).unwrap().parse().unwrap();
+        assert!((sum - 1e9 - 0.503_41).abs() / 1e9 < 1e-12);
+    }
+
+    #[test]
+    fn empty_histogram_renders_zeroed_family() {
+        let trace = Trace::new();
+        let _ = trace.histogram("h.empty");
+        let text = prometheus(&trace.report());
+        assert!(text.contains("# TYPE h_empty histogram"));
+        assert!(text.contains("h_empty_bucket{le=\"+Inf\"} 0\n"));
+        assert!(text.contains("h_empty_count 0\n"));
+        assert!(text.contains("h_empty_sum 0\n"));
     }
 }

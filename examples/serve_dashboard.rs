@@ -1,0 +1,117 @@
+//! A one-file operator's view of the serve layer: run a mixed-spec
+//! traffic burst, then print everything observability gives you —
+//! latency/queue/batch histograms with quantiles, the SLO health
+//! verdict, one request's correlated timeline, and the Prometheus
+//! text a scraper would see.
+//!
+//! ```bash
+//! cargo run --release --example serve_dashboard
+//! ```
+
+use std::sync::Arc;
+
+use cufinufft::prelude::*;
+use gpu_sim::Device;
+use nufft_common::{gen_points, gen_strengths, PointDist, Shape};
+use nufft_serve::{NufftServer, ServeConfig, SloThresholds};
+use nufft_trace::Trace;
+
+const M: usize = 20_000;
+const REQUESTS: u64 = 60;
+
+fn quantile_line(report: &nufft_trace::TraceReport, name: &str) -> String {
+    match report.histograms.get(name) {
+        Some(h) if h.count > 0 => format!(
+            "{name:24} n={:<4} p50={:.6} p90={:.6} p99={:.6} max={:.6}",
+            h.count,
+            h.p50().unwrap_or(0.0),
+            h.p90().unwrap_or(0.0),
+            h.p99().unwrap_or(0.0),
+            h.max,
+        ),
+        _ => format!("{name:24} (no samples)"),
+    }
+}
+
+fn main() -> Result<()> {
+    let trace = Trace::new();
+    let config = ServeConfig {
+        queue_capacity: 128,
+        max_batch: 8,
+        ..ServeConfig::default()
+    }
+    .with_trace(&trace);
+    let server = NufftServer::start(&Device::v100(), config)?;
+
+    // a burst of three interleaved specs over shared geometry: the
+    // cache and coalescer split the traffic into a handful of launches
+    let pts = Arc::new(gen_points::<f32>(
+        PointDist::Rand,
+        2,
+        M,
+        Shape::d2(128, 128),
+        7,
+    ));
+    let specs = [
+        TransformSpec::type1(&[48, 48])
+            .eps(1e-5)
+            .precision(Precision::F32),
+        TransformSpec::type1(&[64, 64])
+            .eps(1e-4)
+            .precision(Precision::F32),
+        TransformSpec::type2(&[48, 48])
+            .eps(1e-5)
+            .precision(Precision::F32),
+    ];
+    let mut responses = Vec::new();
+    for i in 0..REQUESTS {
+        let spec = &specs[(i % specs.len() as u64) as usize];
+        let input = gen_strengths::<f32>(spec.input_len(pts.len()), i + 1);
+        responses.push(server.submit_wait(spec, &pts, input)?);
+    }
+    let sample_id = responses[0].request_id();
+    for r in responses {
+        r.wait().expect("request failed");
+    }
+
+    // --- live metrics snapshot -----------------------------------
+    let report = trace.report();
+    println!("--- histograms (seconds; batch/depth in counts) ---");
+    for name in [
+        "serve.latency",
+        "serve.queue_wait",
+        "serve.batch_size",
+        "serve.queue_depth_hist",
+    ] {
+        println!("{}", quantile_line(&report, name));
+    }
+
+    // --- SLO verdict ---------------------------------------------
+    let slo = SloThresholds {
+        max_p99_latency_s: 2.0,
+        ..SloThresholds::default()
+    };
+    println!("\n--- SLO report ---");
+    print!("{}", server.report_with(slo));
+
+    // --- one request's correlated lifecycle ----------------------
+    println!("--- timeline of request {sample_id} ---");
+    for ev in report.request_timeline(sample_id.0) {
+        println!(
+            "  {:>10.1} us  {:>10.1} us  {}",
+            ev.ts_us, ev.dur_us, ev.name
+        );
+    }
+
+    // --- what a scraper sees -------------------------------------
+    println!("\n--- prometheus (serve_latency family) ---");
+    for line in report.prometheus().lines() {
+        if line.contains("serve_latency") {
+            println!("{line}");
+        }
+    }
+
+    server.shutdown();
+    println!("\nOK");
+    Ok(())
+}

@@ -61,4 +61,19 @@ if [[ "${CHAOS:-0}" != "0" ]]; then
   CHAOS=1 cargo test -q --test fault_injection chaos_randomized -- --nocapture
 fi
 
+# Wall-clock bench trajectory (DESIGN.md §5j, ROADMAP item 3): produce a
+# BENCH_<date>.json, validate it against the nufft-bench/v1 schema, and
+# compare against the latest prior trajectory point (no-op when none
+# exists). Advisory by default; BENCH=strict fails on >15% regressions.
+if [[ "${BENCH:-0}" != "0" ]]; then
+  echo "== BENCH=${BENCH} bench-smoke trajectory point"
+  if [[ "${BENCH}" == "strict" ]]; then
+    BENCH_STRICT=1 cargo bench -q -p bench --bench bench_smoke
+  else
+    cargo bench -q -p bench --bench bench_smoke
+  fi
+else
+  echo "== bench-smoke skipped (BENCH=1 to record a trajectory point, BENCH=strict to gate)"
+fi
+
 echo "All checks passed."

@@ -100,6 +100,31 @@ fn chrome_export_parses_and_spread_dominates_gpu_time() {
 }
 
 #[test]
+fn stage_durations_feed_per_method_histograms() {
+    let report = traced_type1_3d(N, PointDist::Rand, 31);
+    // SM type-1: spread/fft/deconv run under the sm method tag, the
+    // bin-sort too (it rides setpts of the same plan)
+    for key in [
+        "stage.sort.sm",
+        "stage.spread.sm",
+        "stage.fft.sm",
+        "stage.deconv.sm",
+    ] {
+        let h = report.histograms.get(key).unwrap_or_else(|| {
+            panic!(
+                "missing stage histogram {key}: {:?}",
+                report.histograms.keys()
+            )
+        });
+        assert!(h.count >= 1, "{key} recorded no samples");
+        assert!(h.sum > 0.0, "{key} durations should be positive");
+        assert!(h.quantile(0.5).is_some());
+    }
+    // no gm-tagged histograms from an sm-only run
+    assert!(report.histograms.keys().all(|k| !k.ends_with(".gm")));
+}
+
+#[test]
 fn histogram_differs_but_sm_exec_is_distribution_insensitive() {
     let uniform = traced_type1_3d(N, PointDist::Rand, 21);
     let clustered = traced_type1_3d(N, PointDist::Cluster, 21);
