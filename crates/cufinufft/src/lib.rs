@@ -58,7 +58,8 @@ pub mod type3;
 
 pub use nufft_common::TransformType;
 pub use opts::{
-    default_bin_size, sm_feasible, sm_shared_bytes, GpuOpts, Method, ModeOrder, Tuning,
+    default_bin_size, degraded_method_for, sm_feasible, sm_shared_bytes, GpuOpts, Method,
+    ModeOrder, Tuning,
 };
 pub use plan::{BatchTimings, ChunkTiming, GpuStageTimings, Plan, PlanBuilder};
 pub use recovery::{RecoveryPolicy, RecoveryReport};

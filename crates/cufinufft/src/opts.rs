@@ -177,6 +177,20 @@ pub fn sm_shared_bytes(bin: [usize; 3], dim: usize, w: usize, complex_bytes: usi
     cells * complex_bytes
 }
 
+/// The brownout downgrade for a spec's spreading method: SM (and
+/// Auto, which may resolve to SM) degrade to the globally-ordered
+/// GM-sort path, which exercises different kernels and shared-memory
+/// behaviour and so can dodge an SM-specific fault streak. GM and
+/// GM-sort have no cheaper GPU sibling — `None` tells the serve layer
+/// to fall through to its next degradation tier (CPU backend or
+/// fast-fail).
+pub fn degraded_method_for(spec: &nufft_common::TransformSpec) -> Option<Method> {
+    match spec.method {
+        Method::Sm | Method::Auto => Some(Method::GmSort),
+        Method::Gm | Method::GmSort => None,
+    }
+}
+
 /// Check whether SM spreading is feasible for this configuration
 /// (paper Remark 2: fails for 3D double precision once w > 8).
 pub fn sm_feasible(

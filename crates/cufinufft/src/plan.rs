@@ -251,6 +251,14 @@ impl<T: Real> PlanBuilder<T> {
             .fine_sizing(spec.fine_sizing))
     }
 
+    /// [`from_spec`](Self::from_spec) with the spreading method
+    /// overridden — the replan hook the serve layer's brownout mode
+    /// uses to degrade a faulting spec (e.g. SM → GM-sort) without
+    /// mutating the caller's spec or the cache key it hashes to.
+    pub fn from_spec_with_method(spec: &TransformSpec, method: Method) -> Result<Self> {
+        Ok(Self::from_spec(spec)?.method(method))
+    }
+
     fn new(ttype: TransformType, modes: &[usize]) -> Self {
         PlanBuilder {
             ttype,

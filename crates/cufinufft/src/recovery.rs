@@ -126,6 +126,7 @@ pub(crate) fn fault_error(f: &DeviceFault, attempts: u32) -> NufftError {
         _ => NufftError::DeviceFault {
             op: f.op.clone(),
             attempts,
+            persistent: !f.transient,
         },
     }
 }

@@ -69,6 +69,7 @@ pub(crate) fn dev_err(f: gpu_sim::DeviceFault) -> NufftError {
         _ => NufftError::DeviceFault {
             op: f.op,
             attempts: 1,
+            persistent: !f.transient,
         },
     }
 }

@@ -31,8 +31,16 @@ pub enum NufftError {
     /// Simulated device out of memory.
     DeviceOom { requested: usize, available: usize },
     /// A device operation (transfer or kernel launch) faulted and
-    /// bounded retry did not recover it.
-    DeviceFault { op: String, attempts: u32 },
+    /// bounded retry did not recover it. `persistent` is true when the
+    /// injected fault mode repeats on every attempt (as opposed to a
+    /// transient glitch that simply exhausted the retry budget); the
+    /// serve layer uses it to quarantine cached plans and trip
+    /// per-spec circuit breakers.
+    DeviceFault {
+        op: String,
+        attempts: u32,
+        persistent: bool,
+    },
     /// execute() called before set_pts().
     PointsNotSet,
     /// Invalid option combination.
@@ -49,6 +57,29 @@ pub enum NufftError {
     /// The serving queue is at capacity; the request was not admitted.
     /// Back off and resubmit, or use a blocking submit.
     QueueFull { depth: usize, capacity: usize },
+    /// The shed controller rejected the request before it could queue:
+    /// recent queue waits indicate the effective depth limit (which may
+    /// be below the physical capacity) is already saturated.
+    Overloaded {
+        depth: usize,
+        limit: usize,
+        capacity: usize,
+    },
+    /// The request's deadline (simulated-time seconds, the
+    /// `Device::clock()` domain) had already passed when it was checked
+    /// at admission, dequeue, or a coalesced-chunk boundary.
+    DeadlineExceeded { deadline: f64, now: f64 },
+    /// The caller cancelled the request via `Response::cancel()` before
+    /// it was executed.
+    Cancelled,
+    /// The per-spec circuit breaker is open after a streak of
+    /// persistent device faults; the request was fast-failed without
+    /// touching a device. `retry_after` is the remaining cooldown in
+    /// simulated seconds.
+    BreakerOpen { spec: String, retry_after: f64 },
+    /// The serve worker panicked while this request was in flight; the
+    /// supervisor failed the batch and respawned the worker.
+    WorkerPanic(String),
     /// The server is shutting down (or shut down before this request
     /// was picked up); the request was not executed.
     Shutdown,
@@ -104,8 +135,20 @@ impl fmt::Display for NufftError {
                 f,
                 "device out of memory: requested {requested} B, {available} B free"
             ),
-            NufftError::DeviceFault { op, attempts } => {
-                write!(f, "device fault in '{op}' after {attempts} attempt(s)")
+            NufftError::DeviceFault {
+                op,
+                attempts,
+                persistent,
+            } => {
+                let kind = if *persistent {
+                    "persistent"
+                } else {
+                    "transient"
+                };
+                write!(
+                    f,
+                    "{kind} device fault in '{op}' after {attempts} attempt(s)"
+                )
             }
             NufftError::PointsNotSet => write!(f, "execute() called before set_pts()"),
             NufftError::BadOptions(msg) => write!(f, "invalid options: {msg}"),
@@ -123,6 +166,30 @@ impl fmt::Display for NufftError {
                 f,
                 "serve queue full: {depth} request(s) queued, capacity {capacity}"
             ),
+            NufftError::Overloaded {
+                depth,
+                limit,
+                capacity,
+            } => write!(
+                f,
+                "server overloaded: {depth} request(s) queued against shed limit \
+                 {limit} (capacity {capacity})"
+            ),
+            NufftError::DeadlineExceeded { deadline, now } => write!(
+                f,
+                "deadline exceeded: due at t={deadline:.6}s, checked at t={now:.6}s"
+            ),
+            NufftError::Cancelled => write!(f, "request cancelled by the caller"),
+            NufftError::BreakerOpen { spec, retry_after } => write!(
+                f,
+                "circuit breaker open for {spec}: retry after {retry_after:.6}s"
+            ),
+            NufftError::WorkerPanic(msg) => {
+                write!(
+                    f,
+                    "serve worker panicked while this request was in flight: {msg}"
+                )
+            }
             NufftError::Shutdown => write!(f, "server shut down before the request completed"),
             NufftError::Request { stage, source } => {
                 write!(f, "request failed at {stage}: {source}")
@@ -176,6 +243,7 @@ mod tests {
         let cause = NufftError::DeviceFault {
             op: "h2d:chunk".into(),
             attempts: 4,
+            persistent: false,
         };
         let wrapped = cause.clone().at_stage("plan.execute");
         let s = wrapped.to_string();
@@ -202,5 +270,46 @@ mod tests {
         assert!(NufftError::BadSpec("no dims".into())
             .to_string()
             .contains("no dims"));
+    }
+
+    #[test]
+    fn overload_variants_display() {
+        let o = NufftError::Overloaded {
+            depth: 7,
+            limit: 4,
+            capacity: 8,
+        };
+        let s = o.to_string();
+        assert!(s.contains('7') && s.contains('4') && s.contains('8'), "{s}");
+        let d = NufftError::DeadlineExceeded {
+            deadline: 1.5,
+            now: 2.0,
+        };
+        assert!(d.to_string().contains("deadline exceeded"));
+        assert!(NufftError::Cancelled.to_string().contains("cancelled"));
+        let b = NufftError::BreakerOpen {
+            spec: "t1 [24,24] f32".into(),
+            retry_after: 0.05,
+        };
+        assert!(b.to_string().contains("breaker open"), "{b}");
+        assert!(NufftError::WorkerPanic("boom".into())
+            .to_string()
+            .contains("boom"));
+    }
+
+    #[test]
+    fn device_fault_display_names_persistence() {
+        let t = NufftError::DeviceFault {
+            op: "spread_SM".into(),
+            attempts: 3,
+            persistent: false,
+        };
+        assert!(t.to_string().contains("transient"));
+        let p = NufftError::DeviceFault {
+            op: "spread_SM".into(),
+            attempts: 3,
+            persistent: true,
+        };
+        assert!(p.to_string().contains("persistent"));
     }
 }

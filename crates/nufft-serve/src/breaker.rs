@@ -1,0 +1,324 @@
+//! Per-spec circuit breakers with optional brownout degradation.
+//!
+//! A breaker is keyed by [`TransformSpec`] — the same value the plan
+//! cache keys on — because a persistent device fault is almost always
+//! tied to a *plan shape* (a kernel variant, an allocation size), not
+//! to the service as a whole. A streak of persistent
+//! `DeviceFault`/`DeviceOom` failures opens the breaker; while open,
+//! matching requests are fast-failed (or degraded, see [`Brownout`])
+//! without touching a device, bounding the blast radius and the queue
+//! time wasted on a doomed spec.
+//!
+//! All breaker time lives in the **simulated clock domain**
+//! (`Device::clock()` seconds), like deadlines: cooldowns elapse as
+//! simulated work advances the device clock, which keeps chaos tests
+//! fully deterministic. A fast-fail itself performs no device work, so
+//! an idle server's cooldown only elapses when *other* traffic (or a
+//! test's explicit `Device::advance`) moves the clock.
+//!
+//! State machine (see DESIGN.md §5k):
+//!
+//! ```text
+//!             persistent failure × streak
+//!   Closed ────────────────────────────────▶ Open(until = now + cooldown)
+//!     ▲  ▲                                     │
+//!     │  └──── success (streak reset) ◀─┐      │ clock reaches `until`
+//!     │                                 │      ▼
+//!     └──── trial succeeds ────────── HalfOpen ──── trial fails ──▶ Open
+//! ```
+
+use std::collections::HashMap;
+use std::fmt;
+
+use nufft_common::TransformSpec;
+
+/// What to do with requests whose breaker is open.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
+pub enum Brownout {
+    /// Reject immediately with `NufftError::BreakerOpen`.
+    #[default]
+    FailFast,
+    /// Re-plan with a degraded spreading method (SM/Auto → GM-sort via
+    /// `cufinufft::degraded_method_for`); specs with no cheaper GPU
+    /// sibling fall back to fast-fail.
+    MethodOverride,
+    /// Serve the request on the `finufft-cpu` backend. Only available
+    /// for centered mode ordering (the CPU backend has no `modeord`
+    /// support); other specs fall back to fast-fail.
+    Cpu,
+}
+
+/// Tunables for the per-spec breaker set.
+#[derive(Copy, Clone, Debug)]
+pub struct BreakerPolicy {
+    /// Master switch; `false` keeps behaviour identical to PR 7.
+    pub enabled: bool,
+    /// Consecutive persistent failures that open the breaker.
+    pub failure_streak: u32,
+    /// How long an opened breaker fast-fails, in simulated seconds.
+    pub cooldown: f64,
+    /// Degradation mode for requests hitting an open breaker.
+    pub brownout: Brownout,
+}
+
+impl Default for BreakerPolicy {
+    fn default() -> Self {
+        BreakerPolicy {
+            enabled: true,
+            failure_streak: 3,
+            // a few times the simulated cost of a mid-size transform:
+            // long enough to shed a burst, short enough that ongoing
+            // traffic naturally advances the clock past it
+            cooldown: 0.05,
+            brownout: Brownout::FailFast,
+        }
+    }
+}
+
+/// One spec's breaker state.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub enum BreakerState {
+    /// Healthy; counts the current persistent-failure streak.
+    Closed { streak: u32 },
+    /// Fast-failing until the simulated clock reaches `until`.
+    Open { until: f64 },
+    /// Cooldown elapsed; exactly one trial request is let through.
+    HalfOpen,
+}
+
+impl fmt::Display for BreakerState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BreakerState::Closed { streak } => write!(f, "closed (streak {streak})"),
+            BreakerState::Open { until } => write!(f, "open (until t={until:.6}s)"),
+            BreakerState::HalfOpen => write!(f, "half-open"),
+        }
+    }
+}
+
+/// Admission decision for one request against its spec's breaker.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub enum BreakerDecision {
+    /// Closed: execute normally.
+    Execute,
+    /// Half-open: execute as the probe; outcome decides re-open vs close.
+    Trial,
+    /// Open: do not execute; `retry_after` simulated seconds remain.
+    FastFail { retry_after: f64 },
+}
+
+/// The full breaker map, one entry per spec that has ever failed
+/// persistently (specs never seen or never failed carry no entry and
+/// admit for free).
+#[derive(Debug, Default)]
+pub struct BreakerSet {
+    states: HashMap<TransformSpec, BreakerState>,
+    policy: BreakerPolicy,
+}
+
+impl BreakerSet {
+    pub fn new(policy: BreakerPolicy) -> Self {
+        BreakerSet {
+            states: HashMap::new(),
+            policy,
+        }
+    }
+
+    pub fn policy(&self) -> &BreakerPolicy {
+        &self.policy
+    }
+
+    /// Decide whether a request for `spec` may execute at simulated
+    /// time `now`. Transitions Open → HalfOpen when the cooldown has
+    /// elapsed; the caller must report the trial's outcome via
+    /// [`on_success`](Self::on_success) / [`on_failure`](Self::on_failure).
+    pub fn admit(&mut self, spec: &TransformSpec, now: f64) -> BreakerDecision {
+        if !self.policy.enabled {
+            return BreakerDecision::Execute;
+        }
+        match self.states.get(spec).copied() {
+            None | Some(BreakerState::Closed { .. }) => BreakerDecision::Execute,
+            Some(BreakerState::Open { until }) => {
+                if now >= until {
+                    self.states.insert(spec.clone(), BreakerState::HalfOpen);
+                    BreakerDecision::Trial
+                } else {
+                    BreakerDecision::FastFail {
+                        retry_after: until - now,
+                    }
+                }
+            }
+            Some(BreakerState::HalfOpen) => {
+                // one probe is already in flight this cooldown cycle;
+                // hold others off briefly rather than stampeding
+                BreakerDecision::FastFail { retry_after: 0.0 }
+            }
+        }
+    }
+
+    /// Record a successful execution: resets the streak and closes a
+    /// half-open breaker.
+    pub fn on_success(&mut self, spec: &TransformSpec) {
+        if self.states.contains_key(spec) {
+            self.states
+                .insert(spec.clone(), BreakerState::Closed { streak: 0 });
+        }
+    }
+
+    /// Record a failed execution at simulated time `now`. Only
+    /// `persistent` failures advance the streak (a transient fault that
+    /// exhausted its retry budget is bad luck, not a poisoned spec);
+    /// either way a half-open trial failure re-opens immediately.
+    /// Returns `true` when this call opened the breaker.
+    pub fn on_failure(&mut self, spec: &TransformSpec, persistent: bool, now: f64) -> bool {
+        if !self.policy.enabled {
+            return false;
+        }
+        let state = self
+            .states
+            .entry(spec.clone())
+            .or_insert(BreakerState::Closed { streak: 0 });
+        match *state {
+            BreakerState::HalfOpen => {
+                *state = BreakerState::Open {
+                    until: now + self.policy.cooldown,
+                };
+                true
+            }
+            BreakerState::Closed { streak } if persistent => {
+                let streak = streak + 1;
+                if streak >= self.policy.failure_streak {
+                    *state = BreakerState::Open {
+                        until: now + self.policy.cooldown,
+                    };
+                    true
+                } else {
+                    *state = BreakerState::Closed { streak };
+                    false
+                }
+            }
+            BreakerState::Closed { .. } | BreakerState::Open { .. } => false,
+        }
+    }
+
+    /// Number of breakers currently open or half-open (the gauge the
+    /// report and Prometheus export surface).
+    pub fn open_count(&self) -> usize {
+        self.states
+            .values()
+            .filter(|s| !matches!(s, BreakerState::Closed { .. }))
+            .count()
+    }
+
+    /// The state recorded for `spec`, if any.
+    pub fn state(&self, spec: &TransformSpec) -> Option<BreakerState> {
+        self.states.get(spec).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nufft_common::Precision;
+
+    fn spec() -> TransformSpec {
+        TransformSpec::type1(&[16, 16])
+            .eps(1e-4)
+            .precision(Precision::F32)
+    }
+
+    fn policy(streak: u32, cooldown: f64) -> BreakerPolicy {
+        BreakerPolicy {
+            enabled: true,
+            failure_streak: streak,
+            cooldown,
+            brownout: Brownout::FailFast,
+        }
+    }
+
+    #[test]
+    fn opens_after_streak_of_persistent_failures() {
+        let mut b = BreakerSet::new(policy(3, 1.0));
+        let s = spec();
+        assert!(!b.on_failure(&s, true, 0.0));
+        assert!(!b.on_failure(&s, true, 0.0));
+        assert_eq!(b.admit(&s, 0.0), BreakerDecision::Execute);
+        assert!(b.on_failure(&s, true, 0.5), "third strike opens");
+        match b.admit(&s, 0.6) {
+            BreakerDecision::FastFail { retry_after } => {
+                assert!((retry_after - 0.9).abs() < 1e-12, "{retry_after}");
+            }
+            other => panic!("expected fast-fail, got {other:?}"),
+        }
+        assert_eq!(b.open_count(), 1);
+    }
+
+    #[test]
+    fn transient_failures_never_advance_the_streak() {
+        let mut b = BreakerSet::new(policy(2, 1.0));
+        let s = spec();
+        for _ in 0..10 {
+            assert!(!b.on_failure(&s, false, 0.0));
+        }
+        assert_eq!(b.admit(&s, 0.0), BreakerDecision::Execute);
+        assert_eq!(b.open_count(), 0);
+    }
+
+    #[test]
+    fn success_resets_the_streak() {
+        let mut b = BreakerSet::new(policy(2, 1.0));
+        let s = spec();
+        b.on_failure(&s, true, 0.0);
+        b.on_success(&s);
+        assert!(!b.on_failure(&s, true, 0.0), "streak restarted from 0");
+        assert!(b.on_failure(&s, true, 0.0));
+    }
+
+    #[test]
+    fn half_open_trial_closes_on_success_and_reopens_on_failure() {
+        let mut b = BreakerSet::new(policy(1, 1.0));
+        let s = spec();
+        assert!(b.on_failure(&s, true, 0.0));
+        // cooldown not elapsed: fast-fail
+        assert!(matches!(b.admit(&s, 0.5), BreakerDecision::FastFail { .. }));
+        // cooldown elapsed: exactly one trial, concurrent admits held off
+        assert_eq!(b.admit(&s, 1.0), BreakerDecision::Trial);
+        assert!(matches!(b.admit(&s, 1.0), BreakerDecision::FastFail { .. }));
+        // trial failure re-opens for a fresh cooldown
+        assert!(b.on_failure(&s, true, 1.0));
+        assert!(matches!(b.admit(&s, 1.5), BreakerDecision::FastFail { .. }));
+        // next trial succeeds and fully closes
+        assert_eq!(b.admit(&s, 2.1), BreakerDecision::Trial);
+        b.on_success(&s);
+        assert_eq!(b.admit(&s, 2.1), BreakerDecision::Execute);
+        assert_eq!(b.open_count(), 0);
+    }
+
+    #[test]
+    fn breakers_are_independent_per_spec() {
+        let mut b = BreakerSet::new(policy(1, 1.0));
+        let bad = spec();
+        let good = TransformSpec::type1(&[32, 32])
+            .eps(1e-4)
+            .precision(Precision::F32);
+        assert!(b.on_failure(&bad, true, 0.0));
+        assert!(matches!(
+            b.admit(&bad, 0.0),
+            BreakerDecision::FastFail { .. }
+        ));
+        assert_eq!(b.admit(&good, 0.0), BreakerDecision::Execute);
+    }
+
+    #[test]
+    fn disabled_policy_is_a_no_op() {
+        let mut b = BreakerSet::new(BreakerPolicy {
+            enabled: false,
+            ..BreakerPolicy::default()
+        });
+        let s = spec();
+        for _ in 0..10 {
+            assert!(!b.on_failure(&s, true, 0.0));
+        }
+        assert_eq!(b.admit(&s, 0.0), BreakerDecision::Execute);
+    }
+}

@@ -9,6 +9,7 @@
 
 use std::future::Future;
 use std::pin::Pin;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::task::{Context, Poll, Waker};
 
@@ -20,6 +21,10 @@ use crate::server::RequestId;
 pub(crate) struct ResponseCell<T: Real> {
     state: Mutex<CellState<T>>,
     done: Condvar,
+    /// Set by [`Response::cancel`]; the worker checks it at dequeue and
+    /// at chunk boundaries and resolves the cell with
+    /// [`NufftError::Cancelled`] instead of executing.
+    cancelled: AtomicBool,
 }
 
 struct CellState<T: Real> {
@@ -35,6 +40,7 @@ impl<T: Real> Default for ResponseCell<T> {
                 waker: None,
             }),
             done: Condvar::new(),
+            cancelled: AtomicBool::new(false),
         }
     }
 }
@@ -56,6 +62,17 @@ impl<T: Real> ResponseCell<T> {
         if let Some(w) = waker {
             w.wake();
         }
+    }
+
+    /// True once a cancellation was requested (the request may still
+    /// complete if execution had already begun).
+    pub(crate) fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Acquire)
+    }
+
+    /// True once the cell holds an outcome (taken or not).
+    pub(crate) fn is_settled(&self) -> bool {
+        self.state.lock().unwrap().result.is_some()
     }
 }
 
@@ -106,6 +123,21 @@ impl<T: Real> Response<T> {
             self.taken = true;
         }
         taken
+    }
+
+    /// Ask the server to drop this request. Best-effort: if the worker
+    /// has not started it, the response resolves to
+    /// [`NufftError::Cancelled`] without touching a device; if execution
+    /// already began, the transform completes normally. The handle stays
+    /// usable — `wait()`/`.await` after `cancel()` observes whichever
+    /// outcome won.
+    pub fn cancel(&self) {
+        self.cell.cancelled.store(true, Ordering::Release);
+    }
+
+    /// True once [`Response::cancel`] has been called.
+    pub fn is_cancelled(&self) -> bool {
+        self.cell.is_cancelled()
     }
 }
 
@@ -173,6 +205,22 @@ mod tests {
         assert_eq!(resp.request_id(), RequestId(3));
         cell.fulfill(Ok(vec![]));
         assert_eq!(resp.try_take(), Some(Ok(vec![])));
+    }
+
+    #[test]
+    fn cancel_flag_is_visible_and_does_not_settle() {
+        let cell = Arc::new(ResponseCell::<f32>::default());
+        let resp = Response::new(Arc::clone(&cell), RequestId(9));
+        assert!(!resp.is_cancelled());
+        assert!(!cell.is_settled());
+        resp.cancel();
+        assert!(resp.is_cancelled());
+        assert!(cell.is_cancelled());
+        // cancel only raises the flag; the worker resolves the cell
+        assert!(!cell.is_settled());
+        cell.fulfill(Err(NufftError::Cancelled));
+        assert!(cell.is_settled());
+        assert_eq!(resp.wait(), Err(NufftError::Cancelled));
     }
 
     #[test]

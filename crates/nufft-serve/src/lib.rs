@@ -29,7 +29,19 @@
 //! * **Fault isolation**: device faults ride each plan's recovery
 //!   layer; an unrecovered fault fails only the affected requests with
 //!   a typed [`NufftError::Request`](nufft_common::NufftError) chain
-//!   (stage + root cause) — the queue keeps serving.
+//!   (stage + root cause) — the queue keeps serving. A *persistent*
+//!   fault quarantines the cached plan (the next same-spec request
+//!   rebuilds) and feeds the spec's circuit breaker.
+//! * **Overload and fault containment** (see `DESIGN.md` §5k): a shed
+//!   controller ([`ShedPolicy`]) rejects excess demand early once
+//!   recent queue waits blow past target; per-request deadlines
+//!   ([`SubmitOptions`]) and [`Response::cancel`] resolve doomed work
+//!   without device time; per-spec circuit breakers
+//!   ([`BreakerPolicy`]) fast-fail or degrade ([`Brownout`]) specs
+//!   with persistent fault streaks; and a supervisor
+//!   ([`SupervisorPolicy`]) catches worker panics, fails the poisoned
+//!   batch typed, and respawns within a restart budget. Graceful
+//!   shutdown ([`NufftServer::drain`]) finishes the backlog first.
 //!
 //! The async runtime is std-only: [`Response`] implements
 //! `std::future::Future`, and [`block_on`] / [`join_all`] drive it
@@ -56,18 +68,24 @@
 
 #![forbid(unsafe_code)]
 
+mod breaker;
 mod exec;
 mod future;
 mod lru;
 mod queue;
 mod report;
 mod server;
+mod supervisor;
 
+pub use breaker::{BreakerDecision, BreakerPolicy, BreakerSet, BreakerState, Brownout};
 pub use exec::{block_on, join_all};
 pub use future::Response;
 pub use lru::LruCache;
 pub use report::{Health, ServeReport, SloThresholds};
-pub use server::{NufftServer, RequestId, ServeConfig, ServeStats};
+pub use server::{
+    ChaosHook, NufftServer, RequestId, ServeConfig, ServeStats, ShedPolicy, SubmitOptions,
+};
+pub use supervisor::SupervisorPolicy;
 
 // The request vocabulary is nufft-common's; re-export it so a serve
 // client needs only this crate.

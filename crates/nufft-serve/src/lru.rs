@@ -85,6 +85,14 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
         self.map.remove(&lru).map(|e| (lru, e.value))
     }
 
+    /// Evict `key` unconditionally, returning its value if resident.
+    /// The serve layer uses this to quarantine a plan that failed with
+    /// a persistent device fault so the next same-spec request rebuilds
+    /// instead of re-failing.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        self.map.remove(key).map(|e| e.value)
+    }
+
     /// Keys currently resident, in no particular order.
     pub fn keys(&self) -> impl Iterator<Item = &K> {
         self.map.keys()
@@ -126,6 +134,15 @@ mod tests {
         assert!(c.insert("a", 10).is_none());
         assert_eq!(c.len(), 2);
         assert_eq!(c.get_mut(&"a"), Some(&mut 10));
+    }
+
+    #[test]
+    fn remove_evicts_unconditionally() {
+        let mut c = LruCache::new(2);
+        c.insert("a", 1);
+        assert_eq!(c.remove(&"a"), Some(1));
+        assert!(!c.contains(&"a"));
+        assert_eq!(c.remove(&"a"), None);
     }
 
     #[test]

@@ -19,6 +19,9 @@ use std::sync::{Condvar, Mutex};
 struct Inner<T> {
     items: VecDeque<T>,
     paused: bool,
+    /// Drain mode: admission refused, but the consumer keeps popping
+    /// until the queue is empty (then `pop_all` returns `None`).
+    closed: bool,
     shutdown: bool,
 }
 
@@ -47,6 +50,7 @@ impl<T> Queue<T> {
             inner: Mutex::new(Inner {
                 items: VecDeque::new(),
                 paused: false,
+                closed: false,
                 shutdown: false,
             }),
             ready: Condvar::new(),
@@ -62,7 +66,7 @@ impl<T> Queue<T> {
     /// Admit `item` if there is room; returns the depth after the push.
     pub fn try_push(&self, item: T) -> Result<usize, PushError> {
         let mut inner = self.inner.lock().unwrap();
-        if inner.shutdown {
+        if inner.shutdown || inner.closed {
             return Err(PushError::Shutdown);
         }
         if inner.items.len() >= self.capacity {
@@ -81,10 +85,10 @@ impl<T> Queue<T> {
     /// after the push, or the item back if the queue shuts down first.
     pub fn push_wait(&self, item: T) -> Result<usize, T> {
         let mut inner = self.inner.lock().unwrap();
-        while !inner.shutdown && inner.items.len() >= self.capacity {
+        while !inner.shutdown && !inner.closed && inner.items.len() >= self.capacity {
             inner = self.space.wait(inner).unwrap();
         }
-        if inner.shutdown {
+        if inner.shutdown || inner.closed {
             return Err(item);
         }
         inner.items.push_back(item);
@@ -96,14 +100,26 @@ impl<T> Queue<T> {
 
     /// Take everything queued, blocking while the queue is empty or
     /// paused. Returns `None` once the queue is shut down (leftovers are
-    /// then claimed with [`Queue::drain`]).
+    /// then claimed with [`Queue::drain`]) or once it is closed *and*
+    /// empty — so a draining worker exits only after finishing queued
+    /// work.
     pub fn pop_all(&self) -> Option<Vec<T>> {
         let mut inner = self.inner.lock().unwrap();
-        while !inner.shutdown && (inner.paused || inner.items.is_empty()) {
+        loop {
+            if inner.shutdown {
+                return None;
+            }
+            if inner.closed {
+                if inner.items.is_empty() {
+                    return None;
+                }
+                // drain mode overrides pause: finish the backlog
+                break;
+            }
+            if !inner.paused && !inner.items.is_empty() {
+                break;
+            }
             inner = self.ready.wait(inner).unwrap();
-        }
-        if inner.shutdown {
-            return None;
         }
         let batch: Vec<T> = inner.items.drain(..).collect();
         drop(inner);
@@ -122,6 +138,18 @@ impl<T> Queue<T> {
         inner.paused = false;
         drop(inner);
         self.ready.notify_all();
+    }
+
+    /// Enter drain mode: refuse new pushes (and unblock `push_wait`
+    /// callers, handing their items back) but let the consumer keep
+    /// popping until the backlog is empty, after which `pop_all`
+    /// returns `None`.
+    pub fn close(&self) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.closed = true;
+        drop(inner);
+        self.ready.notify_all();
+        self.space.notify_all();
     }
 
     /// Mark the queue closed and wake every waiter. Subsequent pushes
@@ -205,6 +233,35 @@ mod tests {
         assert_eq!(q.pop_all().unwrap(), vec![1]);
         assert_eq!(h.join().unwrap(), Ok(1));
         assert_eq!(q.pop_all().unwrap(), vec![2]);
+    }
+
+    #[test]
+    fn close_drains_backlog_then_ends_consumer() {
+        let q = Queue::new(4);
+        q.try_push(1).map_err(|_| ()).unwrap();
+        q.try_push(2).map_err(|_| ()).unwrap();
+        q.close();
+        assert_eq!(q.try_push(3), Err(PushError::Shutdown));
+        // backlog is still served...
+        assert_eq!(q.pop_all().unwrap(), vec![1, 2]);
+        // ...and once empty the consumer is released
+        assert_eq!(q.pop_all(), None);
+    }
+
+    #[test]
+    fn close_overrides_pause_and_unblocks_push_wait() {
+        let q = Arc::new(Queue::new(1));
+        q.pause();
+        q.try_push(1).map_err(|_| ()).unwrap();
+        let qc = Arc::clone(&q);
+        let blocked = thread::spawn(move || qc.push_wait(2));
+        thread::sleep(Duration::from_millis(10));
+        q.close();
+        // the parked producer gets its item back instead of hanging
+        assert_eq!(blocked.join().unwrap(), Err(2));
+        // the paused consumer still drains the backlog
+        assert_eq!(q.pop_all().unwrap(), vec![1]);
+        assert_eq!(q.pop_all(), None);
     }
 
     #[test]

@@ -50,6 +50,9 @@ pub struct SloThresholds {
     /// Upper bound on the p90 queue depth as a fraction of the queue
     /// capacity.
     pub max_saturation: f64,
+    /// Upper bound on the fraction of arrivals refused by the shed
+    /// controller (`shed / (accepted + rejected + shed)`).
+    pub max_shed_rate: f64,
 }
 
 impl Default for SloThresholds {
@@ -58,6 +61,7 @@ impl Default for SloThresholds {
             min_availability: 0.99,
             max_p99_latency_s: 0.5,
             max_saturation: 0.8,
+            max_shed_rate: 0.05,
         }
     }
 }
@@ -67,6 +71,7 @@ impl SloThresholds {
         (0.0..=1.0).contains(&self.min_availability)
             && self.max_p99_latency_s > 0.0
             && self.max_saturation > 0.0
+            && (0.0..=1.0).contains(&self.max_shed_rate)
     }
 }
 
@@ -121,6 +126,10 @@ pub struct ServeReport {
     pub queue_depth: LatencySummary,
     /// p90 queue depth / queue capacity; `0.0` with no samples.
     pub saturation: f64,
+    /// Shed / (accepted + rejected + shed); `0.0` before any arrival.
+    pub shed_rate: f64,
+    /// Circuit breakers open or half-open at snapshot time.
+    pub open_breakers: usize,
     /// The thresholds this report was judged against.
     pub slo: SloThresholds,
     /// Human-readable description of each breached SLO.
@@ -170,6 +179,13 @@ impl ServeReport {
             Some(d) if queue_capacity > 0 => d / queue_capacity as f64,
             _ => 0.0,
         };
+        let arrivals = stats.accepted + stats.rejected + stats.shed;
+        let shed_rate = if arrivals == 0 {
+            0.0
+        } else {
+            stats.shed as f64 / arrivals as f64
+        };
+        let open_breakers = stats.open_breakers;
 
         let mut breaches = Vec::new();
         let mut health = Health::Healthy;
@@ -200,6 +216,23 @@ impl ServeReport {
                 health = Health::Degraded;
             }
         }
+        if shed_rate > slo.max_shed_rate {
+            breaches.push(format!(
+                "shed rate {:.4} > {:.4} ({} shed of {} arrivals)",
+                shed_rate, slo.max_shed_rate, stats.shed, arrivals
+            ));
+            if health == Health::Healthy {
+                health = Health::Degraded;
+            }
+        }
+        if open_breakers > 0 {
+            breaches.push(format!(
+                "{open_breakers} circuit breaker(s) open: some specs are fast-failing or degraded"
+            ));
+            if health == Health::Healthy {
+                health = Health::Degraded;
+            }
+        }
 
         ServeReport {
             stats,
@@ -212,10 +245,94 @@ impl ServeReport {
             queue_wait,
             queue_depth,
             saturation,
+            shed_rate,
+            open_breakers,
             slo,
             breaches,
             health,
         }
+    }
+
+    /// Machine-readable JSON rendering of the report (schema
+    /// `nufft-serve-report/v1`), parseable with
+    /// `nufft_trace::json::Json::parse`. Missing quantiles render as
+    /// `null`.
+    pub fn to_json(&self) -> String {
+        fn q(v: Option<f64>) -> String {
+            match v {
+                Some(v) => format!("{v}"),
+                None => "null".to_string(),
+            }
+        }
+        fn quants(l: &LatencySummary) -> String {
+            format!(
+                "{{\"p50\":{},\"p90\":{},\"p99\":{},\"p999\":{}}}",
+                q(l.p50),
+                q(l.p90),
+                q(l.p99),
+                q(l.p999)
+            )
+        }
+        let s = &self.stats;
+        let breaches: Vec<String> = self
+            .breaches
+            .iter()
+            .map(|b| format!("\"{}\"", b.replace('\\', "\\\\").replace('"', "\\\"")))
+            .collect();
+        format!(
+            concat!(
+                "{{\"schema\":\"nufft-serve-report/v1\",",
+                "\"health\":\"{health}\",",
+                "\"availability\":{availability},",
+                "\"shed_rate\":{shed_rate},",
+                "\"open_breakers\":{open_breakers},",
+                "\"saturation\":{saturation},",
+                "\"admission_ratio\":{admission_ratio},",
+                "\"cache_hit_ratio\":{cache_hit_ratio},",
+                "\"recovery_rate\":{recovery_rate},",
+                "\"fault_retries\":{fault_retries},",
+                "\"latency_s\":{latency},",
+                "\"queue_wait_s\":{queue_wait},",
+                "\"stats\":{{",
+                "\"accepted\":{accepted},\"rejected\":{rejected},\"shed\":{shed},",
+                "\"deadline_exceeded\":{deadline_exceeded},\"cancelled\":{cancelled},",
+                "\"completed\":{completed},\"failed\":{failed},",
+                "\"quarantined\":{quarantined},\"breaker_opens\":{breaker_opens},",
+                "\"breaker_fastfails\":{breaker_fastfails},\"brownouts\":{brownouts},",
+                "\"worker_panics\":{worker_panics},\"worker_respawns\":{worker_respawns},",
+                "\"batches\":{batches},\"coalesced\":{coalesced},",
+                "\"peak_queue_depth\":{peak_queue_depth}}},",
+                "\"breaches\":[{breaches}]}}"
+            ),
+            health = self.health,
+            availability = self.availability,
+            shed_rate = self.shed_rate,
+            open_breakers = self.open_breakers,
+            saturation = self.saturation,
+            admission_ratio = self.admission_ratio,
+            cache_hit_ratio = self.cache_hit_ratio,
+            recovery_rate = self.recovery_rate,
+            fault_retries = self.fault_retries,
+            latency = quants(&self.latency),
+            queue_wait = quants(&self.queue_wait),
+            accepted = s.accepted,
+            rejected = s.rejected,
+            shed = s.shed,
+            deadline_exceeded = s.deadline_exceeded,
+            cancelled = s.cancelled,
+            completed = s.completed,
+            failed = s.failed,
+            quarantined = s.quarantined,
+            breaker_opens = s.breaker_opens,
+            breaker_fastfails = s.breaker_fastfails,
+            brownouts = s.brownouts,
+            worker_panics = s.worker_panics,
+            worker_respawns = s.worker_respawns,
+            batches = s.batches,
+            coalesced = s.coalesced,
+            peak_queue_depth = s.peak_queue_depth,
+            breaches = breaches.join(","),
+        )
     }
 }
 
@@ -269,6 +386,18 @@ impl fmt::Display for ServeReport {
             "  recovery     rate {:.3} ({} retries)",
             self.recovery_rate, self.fault_retries,
         )?;
+        writeln!(
+            f,
+            "  overload     shed rate {:.4} ({} shed), {} breaker(s) open, {} brownout(s)",
+            self.shed_rate, self.stats.shed, self.open_breakers, self.stats.brownouts,
+        )?;
+        if self.stats.worker_panics > 0 {
+            writeln!(
+                f,
+                "  supervision  {} worker panic(s), {} respawn(s)",
+                self.stats.worker_panics, self.stats.worker_respawns,
+            )?;
+        }
         for b in &self.breaches {
             writeln!(f, "  breach: {b}")?;
         }
@@ -356,5 +485,85 @@ mod tests {
         assert!(text.contains("serve health: unhealthy"));
         assert!(text.contains("availability 0.0000"));
         assert!(text.contains("breach: availability"));
+        assert!(text.contains("shed rate 0.0000"));
+    }
+
+    #[test]
+    fn shed_rate_breach_marks_degraded() {
+        let s = ServeStats {
+            accepted: 80,
+            shed: 20,
+            completed: 80,
+            ..ServeStats::default()
+        };
+        let r = ServeReport::build(s, 64, None, SloThresholds::default());
+        assert!((r.shed_rate - 0.2).abs() < 1e-12);
+        assert_eq!(r.health, Health::Degraded);
+        assert!(r.breaches.iter().any(|b| b.contains("shed rate")));
+    }
+
+    #[test]
+    fn open_breakers_mark_degraded() {
+        let s = ServeStats {
+            accepted: 10,
+            completed: 10,
+            open_breakers: 2,
+            ..ServeStats::default()
+        };
+        let r = ServeReport::build(s, 64, None, SloThresholds::default());
+        assert_eq!(r.health, Health::Degraded);
+        assert!(r.breaches.iter().any(|b| b.contains("circuit breaker")));
+    }
+
+    #[test]
+    fn availability_breach_outranks_overload_breaches() {
+        let s = ServeStats {
+            accepted: 50,
+            shed: 50,
+            completed: 10,
+            failed: 40,
+            open_breakers: 1,
+            ..ServeStats::default()
+        };
+        let r = ServeReport::build(s, 64, None, SloThresholds::default());
+        assert_eq!(r.health, Health::Unhealthy);
+        assert!(r.breaches.len() >= 3);
+    }
+
+    #[test]
+    fn json_round_trips_through_the_trace_parser() {
+        let s = ServeStats {
+            accepted: 9,
+            shed: 1,
+            completed: 8,
+            failed: 1,
+            breaker_opens: 1,
+            open_breakers: 1,
+            ..ServeStats::default()
+        };
+        let r = ServeReport::build(s, 8, None, SloThresholds::default());
+        let json = r.to_json();
+        let parsed = nufft_trace::json::Json::parse(&json).expect("report JSON parses");
+        assert_eq!(
+            parsed.get("schema").and_then(|v| v.as_str()),
+            Some("nufft-serve-report/v1")
+        );
+        assert_eq!(
+            parsed.get("health").and_then(|v| v.as_str()),
+            Some(r.health.to_string()).as_deref()
+        );
+        let shed_rate = parsed
+            .get("shed_rate")
+            .and_then(|v| v.as_f64())
+            .expect("shed_rate present");
+        assert!((shed_rate - 0.1).abs() < 1e-12);
+        let stats = parsed.get("stats").expect("stats object");
+        assert_eq!(stats.get("shed").and_then(|v| v.as_f64()), Some(1.0));
+        assert_eq!(
+            parsed.get("open_breakers").and_then(|v| v.as_f64()),
+            Some(1.0)
+        );
+        // missing quantiles render as null, not a parse error
+        assert!(parsed.get("latency_s").unwrap().get("p99").is_some());
     }
 }

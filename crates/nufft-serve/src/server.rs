@@ -1,44 +1,64 @@
-//! The plan server: one worker thread owning a device and an LRU plan
-//! cache, fed by a bounded submission queue.
+//! The plan server: one supervised worker thread owning a device and
+//! an LRU plan cache, fed by a bounded submission queue with load
+//! shedding, deadlines, and per-spec circuit breakers.
 //!
 //! Request flow:
 //!
 //! 1. [`NufftServer::submit`] validates the [`TransformSpec`] against
-//!    the request data, admission-controls against the queue capacity
-//!    (non-blocking; [`NufftError::QueueFull`] on overflow — use
+//!    the request data, checks the request's optional deadline, and
+//!    admission-controls against the **shed controller**: the
+//!    effective depth limit shrinks below the physical queue capacity
+//!    when recent queue waits exceed the configured p90 target, so
+//!    latency stays bounded under overload
+//!    ([`NufftError::Overloaded`] / [`NufftError::QueueFull`] — use
 //!    [`NufftServer::submit_wait`] for blocking backpressure), and
-//!    returns a [`Response`] future.
-//! 2. The worker drains the queue in one sweep and **coalesces** the
-//!    sweep: requests with the same spec *and* the same nonuniform
-//!    points (fingerprint-grouped, then verified bit-exactly) form one
-//!    group, executed as stacked [`Plan::execute_many`] batches of at
-//!    most `max_batch` vectors — riding the plan's two-stream pipeline,
-//!    with results bitwise identical to sequential execution.
+//!    returns a [`Response`] future (which can be
+//!    [`cancel`](Response::cancel)led).
+//! 2. The worker drains the queue in one sweep, drops expired or
+//!    cancelled requests (typed `DeadlineExceeded`/`Cancelled`, no
+//!    device work), and **coalesces** the rest: requests with the same
+//!    spec *and* the same nonuniform points (fingerprint-grouped, then
+//!    verified bit-exactly) form one group, executed as stacked
+//!    [`Plan::execute_many`] batches of at most `max_batch` vectors —
+//!    riding the plan's two-stream pipeline, with results bitwise
+//!    identical to sequential execution.
 //! 3. The plan for each group comes from an LRU cache keyed by the
 //!    `TransformSpec` itself: a cache hit skips plan construction
 //!    entirely (no `plan.build` span is emitted), and if the group's
 //!    points fingerprint matches the plan's current points, `set_pts`
 //!    is skipped too.
-//! 4. Device faults surface through each plan's recovery layer; a fault
-//!    that survives bounded retry fails *only the requests in that
-//!    chunk* with a typed [`NufftError::Request`] chain (stage +
-//!    root cause) — the worker and queue keep serving.
+//! 4. Device faults surface through each plan's recovery layer; a
+//!    fault that survives bounded retry fails *only the requests in
+//!    that chunk* with a typed [`NufftError::Request`] chain (stage +
+//!    root cause). A **persistent** fault additionally quarantines the
+//!    cached plan (the next same-spec request rebuilds) and advances
+//!    the spec's **circuit breaker** ([`BreakerPolicy`]): after a
+//!    streak, matching requests are fast-failed — or degraded, per
+//!    [`Brownout`] — for a cooldown in simulated time.
+//! 5. The worker runs under a supervisor: a panic fails the poisoned
+//!    in-flight batch with [`NufftError::WorkerPanic`] and respawns
+//!    the worker (fresh plan cache and breakers) within a restart
+//!    budget ([`SupervisorPolicy`](crate::SupervisorPolicy)).
 
 use std::any::Any;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use cufinufft::{Plan, PlanBuilder, RecoveryPolicy, Tuning};
+use cufinufft::{degraded_method_for, Plan, PlanBuilder, RecoveryPolicy, Tuning};
 use gpu_sim::Device;
-use nufft_common::{Complex, NufftError, Points, Precision, Real, Result, TransformSpec};
+use nufft_common::{
+    Complex, ModeOrder, NufftError, NufftPlan, Points, Precision, Real, Result, TransformSpec,
+};
 use nufft_trace::{Trace, REQUEST_ID_ARG};
 
+use crate::breaker::{BreakerDecision, BreakerPolicy, BreakerSet, Brownout};
 use crate::future::{Response, ResponseCell};
 use crate::lru::LruCache;
 use crate::queue::{PushError, Queue};
 use crate::report::{ServeReport, SloThresholds};
+use crate::supervisor::SupervisorPolicy;
 
 /// Identity of one submitted request, unique within a server's
 /// lifetime. Propagated into every span the request touches (as a
@@ -56,6 +76,90 @@ impl std::fmt::Display for RequestId {
     }
 }
 
+/// Load-shedding policy for the non-blocking admission path.
+///
+/// The controller computes an *effective* queue-depth limit from the
+/// recent queue-wait history (a sliding window of wall-clock
+/// `serve.queue_wait` samples): while the window's p90 stays at or
+/// under `target_queue_wait_p90`, the limit is the full queue
+/// capacity and behaviour matches plain [`NufftError::QueueFull`]
+/// admission. Once waits blow past the target, the limit scales down
+/// proportionally (`capacity × target / p90`, floored at
+/// `min_limit`), so excess demand is rejected *early* with
+/// [`NufftError::Overloaded`] instead of queueing behind work that
+/// cannot meet its latency goal anyway.
+#[derive(Copy, Clone, Debug)]
+pub struct ShedPolicy {
+    /// Master switch; `false` restores pure capacity-bounded admission.
+    pub enabled: bool,
+    /// Target p90 queue wait in wall-clock seconds.
+    pub target_queue_wait_p90: f64,
+    /// The effective depth limit never sheds below this.
+    pub min_limit: usize,
+}
+
+impl Default for ShedPolicy {
+    fn default() -> Self {
+        ShedPolicy {
+            enabled: true,
+            target_queue_wait_p90: 0.25,
+            min_limit: 1,
+        }
+    }
+}
+
+impl ShedPolicy {
+    pub fn validate(&self) -> Result<()> {
+        if self.enabled && self.target_queue_wait_p90 <= 0.0 {
+            return Err(NufftError::BadOptions(
+                "shed target_queue_wait_p90 must be > 0".into(),
+            ));
+        }
+        if self.enabled && self.min_limit == 0 {
+            return Err(NufftError::BadOptions("shed min_limit must be > 0".into()));
+        }
+        Ok(())
+    }
+}
+
+/// Per-request submission options; everything defaults to "no limit".
+#[derive(Copy, Clone, Debug, Default)]
+pub struct SubmitOptions {
+    /// Absolute deadline in **simulated seconds** (the
+    /// `Device::clock()` domain). Checked at admission, at dequeue,
+    /// and between coalesced chunks; once passed, the request resolves
+    /// to [`NufftError::DeadlineExceeded`] without touching a device.
+    pub deadline: Option<f64>,
+}
+
+impl SubmitOptions {
+    /// Options carrying an absolute simulated-time deadline.
+    pub fn with_deadline(deadline: f64) -> Self {
+        SubmitOptions {
+            deadline: Some(deadline),
+        }
+    }
+}
+
+/// A test/chaos hook invoked on the worker thread immediately before
+/// each `execute_many` launch (after breaker admission, with the spec
+/// about to run). Panics thrown here exercise the supervisor path
+/// exactly like a kernel bug would.
+#[derive(Clone)]
+pub struct ChaosHook(pub Arc<dyn Fn(&TransformSpec) + Send + Sync>);
+
+impl ChaosHook {
+    pub fn new(f: impl Fn(&TransformSpec) + Send + Sync + 'static) -> Self {
+        ChaosHook(Arc::new(f))
+    }
+}
+
+impl std::fmt::Debug for ChaosHook {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("ChaosHook(..)")
+    }
+}
+
 /// Server construction knobs.
 #[derive(Clone, Debug)]
 pub struct ServeConfig {
@@ -69,10 +173,18 @@ pub struct ServeConfig {
     pub tuning: Tuning,
     /// Fault-recovery policy applied to every plan the server builds.
     pub recovery: RecoveryPolicy,
+    /// Load-shedding policy for the non-blocking admission path.
+    pub shed: ShedPolicy,
+    /// Per-spec circuit-breaker policy (see [`BreakerPolicy`]).
+    pub breaker: BreakerPolicy,
+    /// Worker restart budget (see [`SupervisorPolicy`](crate::SupervisorPolicy)).
+    pub supervisor: SupervisorPolicy,
     /// Optional trace session: plans record their lifecycle spans here
     /// and the server exports `serve.*` counters and queue gauges
     /// (Prometheus text via `TraceReport::prometheus`).
     pub trace: Option<Trace>,
+    /// Optional fault-injection hook run before every chunk launch.
+    pub chaos_hook: Option<ChaosHook>,
 }
 
 impl Default for ServeConfig {
@@ -83,7 +195,11 @@ impl Default for ServeConfig {
             max_batch: 8,
             tuning: Tuning::default(),
             recovery: RecoveryPolicy::default(),
+            shed: ShedPolicy::default(),
+            breaker: BreakerPolicy::default(),
+            supervisor: SupervisorPolicy::default(),
             trace: None,
+            chaos_hook: None,
         }
     }
 }
@@ -99,6 +215,17 @@ impl ServeConfig {
         if self.max_batch == 0 {
             return Err(NufftError::BadOptions("max_batch must be > 0".into()));
         }
+        if self.breaker.enabled && self.breaker.failure_streak == 0 {
+            return Err(NufftError::BadOptions(
+                "breaker failure_streak must be > 0".into(),
+            ));
+        }
+        if self.breaker.enabled && self.breaker.cooldown < 0.0 {
+            return Err(NufftError::BadOptions(
+                "breaker cooldown must be >= 0".into(),
+            ));
+        }
+        self.shed.validate()?;
         self.tuning.validate()?;
         self.recovery.validate()
     }
@@ -118,6 +245,15 @@ pub struct ServeStats {
     pub accepted: u64,
     /// Requests refused with [`NufftError::QueueFull`].
     pub rejected: u64,
+    /// Requests refused early by the shed controller
+    /// ([`NufftError::Overloaded`]).
+    pub shed: u64,
+    /// Requests resolved with [`NufftError::DeadlineExceeded`]
+    /// (at admission, dequeue, or a chunk boundary).
+    pub deadline_exceeded: u64,
+    /// Requests resolved with [`NufftError::Cancelled`] before
+    /// execution started.
+    pub cancelled: u64,
     /// Requests completed successfully.
     pub completed: u64,
     /// Requests failed with a typed error (including shutdown sweeps).
@@ -128,6 +264,22 @@ pub struct ServeStats {
     pub cache_misses: u64,
     /// Plans evicted to stay within `cache_capacity`.
     pub cache_evictions: u64,
+    /// Plans evicted because a request failed with a persistent device
+    /// fault (the next same-spec request rebuilds).
+    pub quarantined: u64,
+    /// Circuit-breaker open transitions.
+    pub breaker_opens: u64,
+    /// Requests fast-failed by an open breaker without device work.
+    pub breaker_fastfails: u64,
+    /// Requests served degraded (method override or CPU fallback)
+    /// while their breaker was open.
+    pub brownouts: u64,
+    /// Worker panics caught by the supervisor.
+    pub worker_panics: u64,
+    /// Worker respawns performed by the supervisor.
+    pub worker_respawns: u64,
+    /// Breakers currently open or half-open (a gauge, not cumulative).
+    pub open_breakers: usize,
     /// Groups that reused the plan's already-set points (no re-sort).
     pub setpts_reuses: u64,
     /// `execute_many` launches issued.
@@ -140,11 +292,12 @@ pub struct ServeStats {
 
 /// Request metadata that rides beside the payload through the queue:
 /// identity for trace correlation, submit time for latency/queue-wait
-/// histograms.
+/// histograms, optional deadline in simulated seconds.
 #[derive(Copy, Clone)]
 struct ReqMeta {
     id: RequestId,
     submitted: Instant,
+    deadline: Option<f64>,
 }
 
 /// One precision-typed request payload; the cell is fulfilled exactly
@@ -187,10 +340,70 @@ impl AnyPayload {
         }
     }
 
+    fn is_cancelled(&self) -> bool {
+        match self {
+            AnyPayload::F32(p) => p.cell.is_cancelled(),
+            AnyPayload::F64(p) => p.cell.is_cancelled(),
+        }
+    }
+
+    fn is_settled(&self) -> bool {
+        match self {
+            AnyPayload::F32(p) => p.cell.is_settled(),
+            AnyPayload::F64(p) => p.cell.is_settled(),
+        }
+    }
+
+    fn cell_handle(&self) -> AnyCell {
+        match self {
+            AnyPayload::F32(p) => AnyCell::F32(Arc::clone(&p.cell)),
+            AnyPayload::F64(p) => AnyCell::F64(Arc::clone(&p.cell)),
+        }
+    }
+
     fn into_typed<T: Real>(self) -> Payload<T> {
         match self {
             AnyPayload::F32(p) => cast_exact(p),
             AnyPayload::F64(p) => cast_exact(p),
+        }
+    }
+}
+
+/// Precision-erased handle to one response cell, kept in the
+/// in-flight registry so the supervisor can fail a poisoned batch
+/// after the worker (which owned the payloads) has died.
+pub(crate) enum AnyCell {
+    F32(Arc<ResponseCell<f32>>),
+    F64(Arc<ResponseCell<f64>>),
+}
+
+impl AnyCell {
+    /// Whether the cell already holds an outcome.
+    pub(crate) fn is_settled(&self) -> bool {
+        match self {
+            AnyCell::F32(c) => c.is_settled(),
+            AnyCell::F64(c) => c.is_settled(),
+        }
+    }
+
+    /// Fulfill with `err` unless the cell already settled; returns
+    /// whether this call delivered the failure (for stats accuracy).
+    pub(crate) fn fail_if_unsettled(&self, err: NufftError) -> bool {
+        match self {
+            AnyCell::F32(c) => {
+                if c.is_settled() {
+                    return false;
+                }
+                c.fulfill(Err(err));
+                true
+            }
+            AnyCell::F64(c) => {
+                if c.is_settled() {
+                    return false;
+                }
+                c.fulfill(Err(err));
+                true
+            }
         }
     }
 }
@@ -225,7 +438,7 @@ struct CacheEntry {
     pts_fp: Option<u64>,
 }
 
-struct QueuedRequest {
+pub(crate) struct QueuedRequest {
     spec: TransformSpec,
     /// FNV-1a over the coordinate bits: cheap group key; exact equality
     /// is re-verified before requests actually coalesce.
@@ -233,12 +446,72 @@ struct QueuedRequest {
     payload: AnyPayload,
 }
 
+impl QueuedRequest {
+    /// Whether this request's response cell already holds an outcome.
+    pub(crate) fn is_settled(&self) -> bool {
+        self.payload.is_settled()
+    }
+
+    /// Fail this never-started request with [`NufftError::Shutdown`]
+    /// (the supervisor's final sweep when the restart budget is spent).
+    /// Returns whether this call delivered the failure.
+    pub(crate) fn fail_shutdown(self) -> bool {
+        if self.payload.is_settled() {
+            return false;
+        }
+        self.payload.fail(NufftError::Shutdown);
+        true
+    }
+}
+
+/// Sliding window of recent queue-wait samples (wall-clock seconds)
+/// feeding the shed controller's p90 estimate.
+struct ShedWindow {
+    samples: Vec<f64>,
+    next: usize,
+}
+
+const SHED_WINDOW: usize = 64;
+
+impl ShedWindow {
+    fn new() -> Self {
+        ShedWindow {
+            samples: Vec::with_capacity(SHED_WINDOW),
+            next: 0,
+        }
+    }
+
+    fn push(&mut self, v: f64) {
+        if self.samples.len() < SHED_WINDOW {
+            self.samples.push(v);
+        } else {
+            self.samples[self.next] = v;
+        }
+        self.next = (self.next + 1) % SHED_WINDOW;
+    }
+
+    fn p90(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let idx = ((sorted.len() as f64) * 0.9).ceil() as usize;
+        Some(sorted[idx.min(sorted.len()) - 1])
+    }
+}
+
 /// State shared between the client-facing handle and the worker.
-struct Shared {
-    queue: Queue<QueuedRequest>,
+pub(crate) struct Shared {
+    pub(crate) queue: Queue<QueuedRequest>,
     stats: Mutex<ServeStats>,
     trace: Option<Trace>,
     next_id: AtomicU64,
+    shed_window: Mutex<ShedWindow>,
+    /// Response cells of the batch the worker currently holds; the
+    /// supervisor blanket-fails these after a panic (first writer
+    /// wins, so cells the worker already fulfilled are unaffected).
+    pub(crate) in_flight: Mutex<Vec<AnyCell>>,
 }
 
 impl Shared {
@@ -291,12 +564,27 @@ impl Shared {
         self.count("serve.rejected", 1);
     }
 
+    fn note_shed(&self) {
+        self.stats.lock().unwrap().shed += 1;
+        self.count("serve.shed", 1);
+    }
+
+    fn note_deadline(&self, n: usize) {
+        self.stats.lock().unwrap().deadline_exceeded += n as u64;
+        self.count("serve.deadline_exceeded", n as i64);
+    }
+
+    fn note_cancelled(&self, n: usize) {
+        self.stats.lock().unwrap().cancelled += n as u64;
+        self.count("serve.cancelled", n as i64);
+    }
+
     fn note_completed(&self, n: usize) {
         self.stats.lock().unwrap().completed += n as u64;
         self.count("serve.completed", n as i64);
     }
 
-    fn note_failed(&self, n: usize) {
+    pub(crate) fn note_failed(&self, n: usize) {
         self.stats.lock().unwrap().failed += n as u64;
         self.count("serve.failed", n as i64);
     }
@@ -316,6 +604,43 @@ impl Shared {
         self.count("serve.cache_evict", 1);
     }
 
+    fn note_quarantine(&self) {
+        self.stats.lock().unwrap().quarantined += 1;
+        self.count("serve.quarantine", 1);
+    }
+
+    fn note_breaker_open(&self) {
+        self.stats.lock().unwrap().breaker_opens += 1;
+        self.count("serve.breaker_open", 1);
+    }
+
+    fn note_breaker_fastfail(&self, n: usize) {
+        self.stats.lock().unwrap().breaker_fastfails += n as u64;
+        self.count("serve.breaker_fastfail", n as i64);
+    }
+
+    fn note_brownout(&self, n: usize) {
+        self.stats.lock().unwrap().brownouts += n as u64;
+        self.count("serve.brownout", n as i64);
+    }
+
+    pub(crate) fn note_worker_panic(&self) {
+        self.stats.lock().unwrap().worker_panics += 1;
+        self.count("serve.worker_panic", 1);
+    }
+
+    pub(crate) fn note_worker_respawn(&self) {
+        self.stats.lock().unwrap().worker_respawns += 1;
+        self.count("serve.worker_respawn", 1);
+    }
+
+    fn set_breaker_gauge(&self, open: usize) {
+        self.stats.lock().unwrap().open_breakers = open;
+        if let Some(t) = &self.trace {
+            t.gauge("serve.breaker_state").set(open as f64);
+        }
+    }
+
     fn note_setpts_reuse(&self) {
         self.stats.lock().unwrap().setpts_reuses += 1;
         self.count("serve.setpts_reuse", 1);
@@ -333,6 +658,27 @@ impl Shared {
             self.count("serve.coalesced", b as i64);
         }
     }
+
+    /// Record a queue-wait sample in both the trace histogram and the
+    /// shed controller's window.
+    fn observe_queue_wait(&self, v: f64) {
+        self.observe("serve.queue_wait", v);
+        self.shed_window.lock().unwrap().push(v);
+    }
+
+    /// The shed controller's current effective depth limit.
+    fn shed_limit(&self, policy: &ShedPolicy, capacity: usize) -> usize {
+        if !policy.enabled {
+            return capacity;
+        }
+        match self.shed_window.lock().unwrap().p90() {
+            Some(p90) if p90 > policy.target_queue_wait_p90 => {
+                let scaled = (capacity as f64 * policy.target_queue_wait_p90 / p90) as usize;
+                scaled.max(policy.min_limit).min(capacity)
+            }
+            _ => capacity,
+        }
+    }
 }
 
 /// An async NUFFT service over one simulated device.
@@ -344,11 +690,12 @@ impl Shared {
 pub struct NufftServer {
     shared: Arc<Shared>,
     config: ServeConfig,
+    dev: Device,
     worker: Option<JoinHandle<()>>,
 }
 
 impl NufftServer {
-    /// Spawn the worker thread and start serving on `dev`.
+    /// Spawn the supervised worker thread and start serving on `dev`.
     pub fn start(dev: &Device, config: ServeConfig) -> Result<NufftServer> {
         config.validate()?;
         let shared = Arc::new(Shared {
@@ -356,6 +703,8 @@ impl NufftServer {
             stats: Mutex::new(ServeStats::default()),
             trace: config.trace.clone(),
             next_id: AtomicU64::new(1),
+            shed_window: Mutex::new(ShedWindow::new()),
+            in_flight: Mutex::new(Vec::new()),
         });
         let worker = {
             let shared = Arc::clone(&shared);
@@ -363,12 +712,13 @@ impl NufftServer {
             let cfg = config.clone();
             thread::Builder::new()
                 .name("nufft-serve".into())
-                .spawn(move || worker_loop(&shared, &dev, &cfg))
+                .spawn(move || crate::supervisor::supervise(&shared, &dev, &cfg))
                 .map_err(|e| NufftError::BadOptions(format!("cannot spawn serve worker: {e}")))?
         };
         Ok(NufftServer {
             shared,
             config,
+            dev: dev.clone(),
             worker: Some(worker),
         })
     }
@@ -378,15 +728,41 @@ impl NufftServer {
     /// Validates `spec` against the data (precision tag vs `T`,
     /// dimension vs `points`, strengths length vs the spec's input
     /// length for `points.len()` sources) and admission-controls
-    /// against the queue: a full queue returns
-    /// [`NufftError::QueueFull`] immediately.
+    /// against the shed controller and queue: overload returns
+    /// [`NufftError::Overloaded`] or [`NufftError::QueueFull`]
+    /// immediately.
     pub fn submit<T: Real>(
         &self,
         spec: &TransformSpec,
         points: &Arc<Points<T>>,
         input: Vec<Complex<T>>,
     ) -> Result<Response<T>> {
-        let (req, response) = self.make_request(spec, points, input)?;
+        self.submit_opts(spec, points, input, SubmitOptions::default())
+    }
+
+    /// [`submit`](NufftServer::submit) with per-request options
+    /// (deadline).
+    pub fn submit_opts<T: Real>(
+        &self,
+        spec: &TransformSpec,
+        points: &Arc<Points<T>>,
+        input: Vec<Complex<T>>,
+        opts: SubmitOptions,
+    ) -> Result<Response<T>> {
+        self.check_deadline(opts)?;
+        let limit = self
+            .shared
+            .shed_limit(&self.config.shed, self.config.queue_capacity);
+        let depth = self.shared.queue.len();
+        if depth >= limit && limit < self.config.queue_capacity {
+            self.shared.note_shed();
+            return Err(NufftError::Overloaded {
+                depth,
+                limit,
+                capacity: self.config.queue_capacity,
+            });
+        }
+        let (req, response) = self.make_request(spec, points, input, opts)?;
         let meta = req.payload.meta();
         match self.shared.queue.try_push(req) {
             Ok(depth) => {
@@ -408,14 +784,29 @@ impl NufftServer {
 
     /// [`submit`](NufftServer::submit), but park the caller until a
     /// queue slot frees up (blocking backpressure instead of
-    /// [`NufftError::QueueFull`]).
+    /// [`NufftError::QueueFull`]). The shed controller does not apply
+    /// here: a caller who opted into blocking has already accepted the
+    /// wait.
     pub fn submit_wait<T: Real>(
         &self,
         spec: &TransformSpec,
         points: &Arc<Points<T>>,
         input: Vec<Complex<T>>,
     ) -> Result<Response<T>> {
-        let (req, response) = self.make_request(spec, points, input)?;
+        self.submit_wait_opts(spec, points, input, SubmitOptions::default())
+    }
+
+    /// [`submit_wait`](NufftServer::submit_wait) with per-request
+    /// options (deadline).
+    pub fn submit_wait_opts<T: Real>(
+        &self,
+        spec: &TransformSpec,
+        points: &Arc<Points<T>>,
+        input: Vec<Complex<T>>,
+        opts: SubmitOptions,
+    ) -> Result<Response<T>> {
+        self.check_deadline(opts)?;
+        let (req, response) = self.make_request(spec, points, input, opts)?;
         let meta = req.payload.meta();
         match self.shared.queue.push_wait(req) {
             Ok(depth) => {
@@ -428,11 +819,26 @@ impl NufftServer {
         }
     }
 
+    /// Admission-time deadline check: an already-expired request never
+    /// allocates a response or touches the queue.
+    fn check_deadline(&self, opts: SubmitOptions) -> Result<()> {
+        if let Some(deadline) = opts.deadline {
+            let now = self.dev.clock();
+            if now >= deadline {
+                self.shared.note_deadline(1);
+                return Err(NufftError::DeadlineExceeded { deadline, now });
+            }
+            self.shared.observe("serve.deadline_slack", deadline - now);
+        }
+        Ok(())
+    }
+
     fn make_request<T: Real>(
         &self,
         spec: &TransformSpec,
         points: &Arc<Points<T>>,
         input: Vec<Complex<T>>,
+        opts: SubmitOptions,
     ) -> Result<(QueuedRequest, Response<T>)> {
         spec.validate()?;
         if !spec.matches_precision::<T>() {
@@ -460,6 +866,7 @@ impl NufftServer {
         let meta = ReqMeta {
             id: RequestId(self.shared.next_id.fetch_add(1, Ordering::Relaxed)),
             submitted: Instant::now(),
+            deadline: opts.deadline,
         };
         let payload = Payload {
             meta,
@@ -524,6 +931,29 @@ impl NufftServer {
     /// [`NufftError::Shutdown`], and join the worker. Also runs on drop.
     pub fn shutdown(mut self) {
         self.shutdown_impl();
+    }
+
+    /// Graceful variant of [`shutdown`](NufftServer::shutdown): stop
+    /// admission immediately, let the worker finish everything already
+    /// queued, and hard-stop after `timeout` wall-clock time. Returns
+    /// `true` when the backlog drained fully within the timeout;
+    /// `false` when the timeout hit and leftovers were failed with
+    /// [`NufftError::Shutdown`]. Either way, every outstanding
+    /// [`Response`] resolves.
+    pub fn drain(mut self, timeout: Duration) -> bool {
+        self.shared.queue.close();
+        let deadline = Instant::now() + timeout;
+        let drained = loop {
+            match &self.worker {
+                None => break true,
+                Some(h) if h.is_finished() => break true,
+                Some(_) if Instant::now() >= deadline => break false,
+                Some(_) => thread::sleep(Duration::from_millis(1)),
+            }
+        };
+        // hard-stop: a no-op when the worker already exited cleanly
+        self.shutdown_impl();
+        drained
     }
 
     fn shutdown_impl(&mut self) {
@@ -604,37 +1034,201 @@ fn coalesce(batch: Vec<QueuedRequest>) -> Vec<Group> {
     groups
 }
 
-fn worker_loop(shared: &Arc<Shared>, dev: &Device, cfg: &ServeConfig) {
+/// Whether `err`'s root cause should advance a circuit breaker, and if
+/// so whether it counts as persistent. Validation errors and the like
+/// return `None`: they indicate a bad request, not a poisoned device
+/// path.
+fn breaker_class(err: &NufftError) -> Option<bool> {
+    match err.root_cause() {
+        NufftError::DeviceFault { persistent, .. } => Some(*persistent),
+        // an OOM streak poisons the spec just as surely: the same
+        // allocation sizes will fail again
+        NufftError::DeviceOom { .. } => Some(true),
+        _ => None,
+    }
+}
+
+/// Record `failed` requests going down with `err` against `spec`'s
+/// breaker. The streak advances once per failed *request*, not per
+/// group — otherwise coalescing would make opening depend on how
+/// traffic happened to batch. Must run *before* the failing cells are
+/// fulfilled, so a waiter the failure wakes already sees the breaker
+/// counters and gauge it caused.
+fn breaker_note_failure(
+    shared: &Shared,
+    breakers: &mut BreakerSet,
+    spec: &TransformSpec,
+    err: &NufftError,
+    now: f64,
+    failed: usize,
+) {
+    if let Some(persistent) = breaker_class(err) {
+        for _ in 0..failed.max(1) {
+            if breakers.on_failure(spec, persistent, now) {
+                shared.note_breaker_open();
+            }
+        }
+    } else {
+        // a non-device failure still proves the path works; don't
+        // leave a half-open breaker stuck
+        breakers.on_success(spec);
+    }
+    shared.set_breaker_gauge(breakers.open_count());
+}
+
+/// Record a successful execution against `spec`'s breaker. Must run
+/// *before* the successful cells are fulfilled, for the same
+/// visibility reason as [`breaker_note_failure`].
+fn breaker_note_success(shared: &Shared, breakers: &mut BreakerSet, spec: &TransformSpec) {
+    breakers.on_success(spec);
+    shared.set_breaker_gauge(breakers.open_count());
+}
+
+pub(crate) fn worker_loop(shared: &Arc<Shared>, dev: &Device, cfg: &ServeConfig) {
     if let Some(t) = &shared.trace {
         // names the worker's row in the Chrome export ("nufft-serve")
         t.register_thread();
     }
     let mut cache: LruCache<TransformSpec, CacheEntry> = LruCache::new(cfg.cache_capacity);
+    let mut breakers = BreakerSet::new(cfg.breaker);
     while let Some(batch) = shared.queue.pop_all() {
         shared.depth_gauges(shared.queue.len());
+        // register the batch before any work: if the worker dies
+        // mid-batch the supervisor fails exactly these cells
+        {
+            let mut inf = shared.in_flight.lock().unwrap();
+            inf.clear();
+            inf.extend(batch.iter().map(|r| r.payload.cell_handle()));
+        }
         let picked = Instant::now();
-        for req in &batch {
+        let now = dev.clock();
+        let mut live = Vec::with_capacity(batch.len());
+        for req in batch {
             let meta = req.payload.meta();
             shared.request_span("serve.queue", meta.id, meta.submitted, picked);
-            shared.observe(
-                "serve.queue_wait",
+            shared.observe_queue_wait(
                 picked
                     .saturating_duration_since(meta.submitted)
                     .as_secs_f64(),
             );
-        }
-        for group in coalesce(batch) {
-            match group.spec.precision {
-                Precision::F32 => run_group::<f32>(shared, dev, cfg, &mut cache, group),
-                Precision::F64 => run_group::<f64>(shared, dev, cfg, &mut cache, group),
+            // dequeue-time checks: cancelled or expired requests
+            // resolve right here, without any device work
+            if req.payload.is_cancelled() {
+                shared.note_cancelled(1);
+                req.payload.fail(NufftError::Cancelled);
+                continue;
             }
+            if let Some(deadline) = meta.deadline {
+                if now >= deadline {
+                    shared.note_deadline(1);
+                    shared.note_failed(1);
+                    req.payload
+                        .fail(NufftError::DeadlineExceeded { deadline, now });
+                    continue;
+                }
+            }
+            live.push(req);
         }
+        for group in coalesce(live) {
+            serve_group(shared, dev, cfg, &mut cache, &mut breakers, group);
+        }
+        shared.in_flight.lock().unwrap().clear();
     }
     // shutdown: fail everything that never started, so no Response
-    // waiter is left hanging
+    // waiter is left hanging (cancelled requests resolve as cancelled,
+    // already-settled ones are skipped so stats stay accurate)
     for req in shared.queue.drain() {
-        shared.note_failed(1);
-        req.payload.fail(NufftError::Shutdown);
+        if req.payload.is_settled() {
+            continue;
+        }
+        if req.payload.is_cancelled() {
+            shared.note_cancelled(1);
+            req.payload.fail(NufftError::Cancelled);
+        } else {
+            shared.note_failed(1);
+            req.payload.fail(NufftError::Shutdown);
+        }
+    }
+}
+
+/// Route one coalesced group through its spec's circuit breaker, then
+/// record the outcome and refresh the breaker gauge.
+fn serve_group(
+    shared: &Shared,
+    dev: &Device,
+    cfg: &ServeConfig,
+    cache: &mut LruCache<TransformSpec, CacheEntry>,
+    breakers: &mut BreakerSet,
+    group: Group,
+) {
+    let spec = group.spec.clone();
+    match breakers.admit(&spec, dev.clock()) {
+        BreakerDecision::Execute | BreakerDecision::Trial => match spec.precision {
+            Precision::F32 => run_group::<f32>(shared, dev, cfg, cache, breakers, group),
+            Precision::F64 => run_group::<f64>(shared, dev, cfg, cache, breakers, group),
+        },
+        BreakerDecision::FastFail { retry_after } => {
+            brownout_group(shared, dev, cfg, cache, breakers, group, retry_after);
+        }
+    }
+}
+
+/// Serve a group whose breaker is open: degrade per the configured
+/// [`Brownout`] mode, falling back to a typed fast-fail.
+fn brownout_group(
+    shared: &Shared,
+    dev: &Device,
+    cfg: &ServeConfig,
+    cache: &mut LruCache<TransformSpec, CacheEntry>,
+    breakers: &mut BreakerSet,
+    group: Group,
+    retry_after: f64,
+) {
+    let spec = group.spec.clone();
+    let n = group.payloads.len();
+    match cfg.breaker.brownout {
+        Brownout::MethodOverride => {
+            if let Some(method) = degraded_method_for(&spec) {
+                // key the degraded plan under the degraded spec: the
+                // original spec's cache slot stays empty/quarantined,
+                // so post-cooldown requests rebuild the real plan and
+                // stay bit-exact with a direct build
+                let degraded = spec.clone().method(method);
+                shared.note_brownout(n);
+                let group = Group {
+                    spec: degraded.clone(),
+                    fp: group.fp,
+                    payloads: group.payloads,
+                };
+                match degraded.precision {
+                    Precision::F32 => run_group::<f32>(shared, dev, cfg, cache, breakers, group),
+                    Precision::F64 => run_group::<f64>(shared, dev, cfg, cache, breakers, group),
+                }
+                return;
+            }
+        }
+        Brownout::Cpu => {
+            // the CPU backend has no modeord support; other orderings
+            // fall through to fast-fail
+            if spec.modeord == ModeOrder::Centered {
+                shared.note_brownout(n);
+                match spec.precision {
+                    Precision::F32 => run_cpu_group::<f32>(shared, dev, &spec, group.payloads),
+                    Precision::F64 => run_cpu_group::<f64>(shared, dev, &spec, group.payloads),
+                }
+                return;
+            }
+        }
+        Brownout::FailFast => {}
+    }
+    shared.note_breaker_fastfail(n);
+    shared.note_failed(n);
+    let err = NufftError::BreakerOpen {
+        spec: spec.label(),
+        retry_after,
+    };
+    for p in group.payloads {
+        p.fail(err.clone());
     }
 }
 
@@ -646,6 +1240,7 @@ fn run_group<T: Real>(
     dev: &Device,
     cfg: &ServeConfig,
     cache: &mut LruCache<TransformSpec, CacheEntry>,
+    breakers: &mut BreakerSet,
     group: Group,
 ) {
     let Group { spec, fp, payloads } = group;
@@ -692,6 +1287,7 @@ fn run_group<T: Real>(
                 }
             }
             Err(e) => {
+                breaker_note_failure(shared, breakers, &spec, &e, dev.clock(), payloads.len());
                 fail_all(shared, payloads, e.at_stage("plan.build"));
                 return;
             }
@@ -708,19 +1304,43 @@ fn run_group<T: Real>(
     } else {
         entry.pts_fp = None;
         if let Err(e) = plan_mut::<T>(&mut entry.plan).set_pts(&rep_points) {
+            quarantine_if_poisoned(shared, cache, &spec, &e);
+            breaker_note_failure(shared, breakers, &spec, &e, dev.clock(), payloads.len());
             fail_all(shared, payloads, e.at_stage("plan.setpts"));
             return;
         }
         entry.pts_fp = Some(fp);
     }
-    let plan = plan_mut::<T>(&mut entry.plan);
 
     let m = rep_points.len();
     let in_per = spec.input_len(m);
     let out_per = spec.output_len(m);
     while !payloads.is_empty() {
         let take = payloads.len().min(cfg.max_batch);
-        let chunk: Vec<Payload<T>> = payloads.drain(..take).collect();
+        let mut chunk: Vec<Payload<T>> = payloads.drain(..take).collect();
+        // chunk-boundary checks: drop members that were cancelled or
+        // expired while earlier chunks ran
+        let now = dev.clock();
+        chunk.retain(|p| {
+            if p.cell.is_cancelled() {
+                shared.note_cancelled(1);
+                p.cell.fulfill(Err(NufftError::Cancelled));
+                return false;
+            }
+            if let Some(deadline) = p.meta.deadline {
+                if now >= deadline {
+                    shared.note_deadline(1);
+                    shared.note_failed(1);
+                    p.cell
+                        .fulfill(Err(NufftError::DeadlineExceeded { deadline, now }));
+                    return false;
+                }
+            }
+            true
+        });
+        if chunk.is_empty() {
+            continue;
+        }
         let b = chunk.len();
         let mut input = Vec::with_capacity(in_per * b);
         for p in &chunk {
@@ -728,7 +1348,11 @@ fn run_group<T: Real>(
         }
         let mut output = vec![Complex::<T>::ZERO; out_per * b];
         shared.observe("serve.batch_size", b as f64);
+        if let Some(hook) = &cfg.chaos_hook {
+            (hook.0)(&spec);
+        }
         let chunk_start = Instant::now();
+        let plan = plan_mut::<T>(&mut cache.get_mut(&spec).expect("plan stays resident").plan);
         match plan.execute_many(&input, &mut output) {
             Ok(()) => {
                 let done = Instant::now();
@@ -736,6 +1360,7 @@ fn run_group<T: Real>(
                 // must already see this chunk counted
                 shared.note_batch(b);
                 shared.note_completed(b);
+                breaker_note_success(shared, breakers, &spec);
                 for (i, p) in chunk.into_iter().enumerate() {
                     shared.request_span("serve.execute", p.meta.id, chunk_start, done);
                     shared.observe(
@@ -748,10 +1373,136 @@ fn run_group<T: Real>(
                 }
             }
             Err(e) => {
-                // fail only this chunk; the plan (and its recovery
-                // state) stays cached and the worker keeps serving
-                fail_all(shared, chunk, e.at_stage("plan.execute"));
+                // fail only this chunk; a transient fault leaves the
+                // plan (and its recovery state) cached, a persistent
+                // one quarantines it so the next request rebuilds
+                quarantine_if_poisoned(shared, cache, &spec, &e);
+                // if the plan was quarantined, remaining chunks would
+                // re-fail identically off a rebuilt plan: take them
+                // down now with the same cause
+                let rest: Vec<Payload<T>> = if cache.contains(&spec) {
+                    Vec::new()
+                } else {
+                    std::mem::take(&mut payloads)
+                };
+                breaker_note_failure(shared, breakers, &spec, &e, dev.clock(), b + rest.len());
+                fail_all(shared, chunk, e.clone().at_stage("plan.execute"));
+                if !rest.is_empty() {
+                    fail_all(shared, rest, e.at_stage("plan.execute"));
+                }
             }
+        }
+    }
+}
+
+/// Evict the cached plan when `err` proves it is poisoned (a
+/// persistent device fault): the next same-spec request rebuilds from
+/// scratch instead of re-failing off the cache.
+fn quarantine_if_poisoned(
+    shared: &Shared,
+    cache: &mut LruCache<TransformSpec, CacheEntry>,
+    spec: &TransformSpec,
+    err: &NufftError,
+) {
+    if matches!(
+        err.root_cause(),
+        NufftError::DeviceFault {
+            persistent: true,
+            ..
+        }
+    ) && cache.remove(spec).is_some()
+    {
+        shared.note_quarantine();
+    }
+}
+
+/// CPU-brownout execution: serve the group on the `finufft-cpu`
+/// backend via the cross-backend [`NufftPlan`] trait. Plans are built
+/// per group (never cached — the GPU plan cache must keep serving
+/// bit-exact GPU results once the breaker closes).
+fn run_cpu_group<T: Real>(
+    shared: &Shared,
+    dev: &Device,
+    spec: &TransformSpec,
+    payloads: Vec<AnyPayload>,
+) {
+    let mut payloads: Vec<Payload<T>> = payloads
+        .into_iter()
+        .map(AnyPayload::into_typed::<T>)
+        .collect();
+    let rep_id = payloads[0].meta.id;
+    let _group_span = shared
+        .trace
+        .as_ref()
+        .map(|t| t.span_with("serve.group_cpu", &[(REQUEST_ID_ARG, rep_id.to_string())]));
+
+    let opts = finufft_cpu::Opts {
+        fine_sizing: spec.fine_sizing,
+        ..finufft_cpu::Opts::default()
+    };
+    let mut plan =
+        match finufft_cpu::Plan::<T>::new(spec.ttype, &spec.modes, spec.iflag, spec.eps, opts) {
+            Ok(p) => p,
+            Err(e) => {
+                fail_all(shared, payloads, e.at_stage("plan.build"));
+                return;
+            }
+        };
+    let rep_points = Arc::clone(&payloads[0].points);
+    if let Err(e) = plan.set_points(&rep_points) {
+        fail_all(shared, payloads, e.at_stage("plan.setpts"));
+        return;
+    }
+    let m = rep_points.len();
+    let in_per = spec.input_len(m);
+    let out_per = spec.output_len(m);
+    let now = dev.clock();
+    payloads.retain(|p| {
+        if p.cell.is_cancelled() {
+            shared.note_cancelled(1);
+            p.cell.fulfill(Err(NufftError::Cancelled));
+            return false;
+        }
+        if let Some(deadline) = p.meta.deadline {
+            if now >= deadline {
+                shared.note_deadline(1);
+                shared.note_failed(1);
+                p.cell
+                    .fulfill(Err(NufftError::DeadlineExceeded { deadline, now }));
+                return false;
+            }
+        }
+        true
+    });
+    if payloads.is_empty() {
+        return;
+    }
+    let b = payloads.len();
+    let mut input = Vec::with_capacity(in_per * b);
+    for p in &payloads {
+        input.extend_from_slice(&p.input);
+    }
+    let mut output = vec![Complex::<T>::ZERO; out_per * b];
+    shared.observe("serve.batch_size", b as f64);
+    let chunk_start = Instant::now();
+    match plan.execute_many(&input, &mut output) {
+        Ok(()) => {
+            let done = Instant::now();
+            shared.note_batch(b);
+            shared.note_completed(b);
+            for (i, p) in payloads.into_iter().enumerate() {
+                shared.request_span("serve.execute", p.meta.id, chunk_start, done);
+                shared.observe(
+                    "serve.latency",
+                    done.saturating_duration_since(p.meta.submitted)
+                        .as_secs_f64(),
+                );
+                p.cell
+                    .fulfill(Ok(output[i * out_per..(i + 1) * out_per].to_vec()));
+            }
+        }
+        Err(e) => {
+            fail_all(shared, payloads, e.at_stage("plan.execute"));
         }
     }
 }

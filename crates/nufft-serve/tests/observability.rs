@@ -218,6 +218,120 @@ fn burst_observability_acceptance() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Overload events must reach every observability surface: the
+/// Prometheus export carries the shed/deadline counters and the
+/// breaker-state gauge with HELP/TYPE headers, and the ServeReport
+/// JSON round-trips through the crate's own parser with the shed rate
+/// and open-breaker gauge intact.
+#[test]
+fn overload_counters_export_and_report_json_round_trips() {
+    use cufinufft::RecoveryPolicy;
+    use gpu_sim::{FaultMode, FaultPlan};
+    use nufft_serve::{BreakerPolicy, ShedPolicy, SubmitOptions};
+
+    let dev = Device::v100();
+    let trace = Trace::new();
+    let config = ServeConfig {
+        recovery: RecoveryPolicy::none(),
+        breaker: BreakerPolicy {
+            failure_streak: 1,
+            ..BreakerPolicy::default()
+        },
+        shed: ShedPolicy {
+            target_queue_wait_p90: 1e-9,
+            min_limit: 1,
+            ..ShedPolicy::default()
+        },
+        ..ServeConfig::default()
+    }
+    .with_trace(&trace);
+    let server = NufftServer::start(&dev, config).expect("server");
+    let spec = TransformSpec::type1(&[24, 24])
+        .eps(1e-5)
+        .precision(Precision::F32);
+    let pts = points32(3);
+
+    // deadline already expired at admission
+    let expired = SubmitOptions::with_deadline(dev.clock());
+    let err = server
+        .submit_opts(&spec, &pts, gen_strengths::<f32>(M, 1), expired)
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        nufft_common::NufftError::DeadlineExceeded { .. }
+    ));
+
+    // one persistent failure opens the streak-1 breaker
+    dev.inject_faults(FaultPlan::new(5).fail_kernel("spread", FaultMode::Always));
+    server
+        .submit(&spec, &pts, gen_strengths::<f32>(M, 2))
+        .unwrap()
+        .wait()
+        .unwrap_err();
+
+    // seed the shed window with a measurable queue wait, then trip the
+    // collapsed limit with a queued backlog
+    server.pause();
+    let seed_resp = server
+        .submit(&spec, &pts, gen_strengths::<f32>(M, 3))
+        .unwrap();
+    std::thread::sleep(std::time::Duration::from_millis(5));
+    server.resume();
+    let _ = seed_resp.wait();
+    server.pause();
+    let filler = server
+        .submit(&spec, &pts, gen_strengths::<f32>(M, 4))
+        .unwrap();
+    let err = server
+        .submit(&spec, &pts, gen_strengths::<f32>(M, 5))
+        .unwrap_err();
+    assert!(matches!(err, nufft_common::NufftError::Overloaded { .. }));
+    server.resume();
+    let _ = filler.wait();
+
+    let stats = server.stats();
+    assert!(stats.shed >= 1 && stats.deadline_exceeded >= 1 && stats.breaker_opens >= 1);
+
+    // --- Prometheus export ----------------------------------------
+    let text = trace.report().prometheus();
+    for family in ["serve_shed", "serve_deadline_exceeded"] {
+        assert!(
+            text.contains(&format!("# HELP {family} ")),
+            "missing HELP for {family}"
+        );
+        assert!(
+            text.contains(&format!("# TYPE {family} counter")),
+            "missing TYPE for {family}"
+        );
+    }
+    assert!(text.contains("# TYPE serve_breaker_state gauge"));
+    assert!(text.contains("serve_breaker_state 1"));
+
+    // --- ServeReport JSON round-trip ------------------------------
+    let report = server.report();
+    let doc = nufft_trace::json::Json::parse(&report.to_json()).expect("report json parses");
+    assert_eq!(
+        doc.get("schema").and_then(|v| v.as_str()),
+        Some("nufft-serve-report/v1")
+    );
+    assert_eq!(
+        doc.get("shed_rate").and_then(|v| v.as_f64()),
+        Some(report.shed_rate)
+    );
+    assert_eq!(
+        doc.get("open_breakers").and_then(|v| v.as_f64()),
+        Some(report.open_breakers as f64)
+    );
+    assert!(report.shed_rate > 0.0);
+    let stats_obj = doc.get("stats").expect("stats object");
+    assert_eq!(
+        stats_obj.get("shed").and_then(|v| v.as_f64()),
+        Some(report.stats.shed as f64)
+    );
+    assert_ne!(doc.get("health").and_then(|v| v.as_str()), Some("healthy"));
+    server.shutdown();
+}
+
 #[test]
 fn chrome_export_carries_flows_and_thread_names() {
     let trace = Trace::new();

@@ -10,7 +10,9 @@ use cufinufft::{Plan, RecoveryPolicy};
 use gpu_sim::{Device, FaultMode, FaultPlan};
 use nufft_common::workload::{gen_points, gen_strengths, PointDist};
 use nufft_common::{Complex, NufftError, Points, Precision, Shape, TransformSpec};
-use nufft_serve::{block_on, join_all, NufftServer, ServeConfig};
+use nufft_serve::{
+    block_on, join_all, ChaosHook, NufftServer, ServeConfig, ShedPolicy, SubmitOptions,
+};
 use nufft_trace::Trace;
 
 const N: usize = 24;
@@ -372,7 +374,8 @@ fn device_fault_mid_request_fails_typed_without_wedging_the_queue() {
         other => panic!("expected a staged Request error, got {other}"),
     }
 
-    // fault cleared: the same cached plan serves again, bit-exactly
+    // the persistent fault quarantined the cached plan; once the fault
+    // clears, the same spec rebuilds from scratch and serves bit-exactly
     dev.clear_faults();
     let after = server.submit(&spec, &pts, input).unwrap().wait().unwrap();
     assert_eq!(after, warm);
@@ -380,7 +383,11 @@ fn device_fault_mid_request_fails_typed_without_wedging_the_queue() {
     let stats = server.stats();
     assert_eq!(stats.failed, 1);
     assert_eq!(stats.completed, 2);
-    assert_eq!(stats.cache_misses, 1, "the fault must not evict the plan");
+    assert_eq!(
+        stats.quarantined, 1,
+        "a persistent fault must evict the poisoned plan"
+    );
+    assert_eq!(stats.cache_misses, 2, "the next request rebuilds the plan");
 }
 
 #[test]
@@ -442,6 +449,287 @@ fn mixed_precision_requests_share_one_server() {
     assert_eq!(r32.wait().unwrap().len(), N * N);
     assert_eq!(r64.wait().unwrap().len(), N * N);
     assert_eq!(server.stats().cache_misses, 2);
+}
+
+// ---------------------------------------------------------------------
+// deadlines and cancellation
+// ---------------------------------------------------------------------
+
+#[test]
+fn expired_deadline_is_refused_at_admission() {
+    let dev = Device::v100();
+    let server = NufftServer::start(&dev, ServeConfig::default()).unwrap();
+    let spec = spec_2d();
+    let pts = points_for(&spec, 7);
+
+    // the simulated clock starts at 0, so a deadline of 0 has passed
+    let err = server
+        .submit_opts(
+            &spec,
+            &pts,
+            gen_strengths::<f32>(M, 1),
+            SubmitOptions::with_deadline(0.0),
+        )
+        .unwrap_err();
+    assert!(
+        matches!(err, NufftError::DeadlineExceeded { deadline, now } if deadline == 0.0 && now >= 0.0),
+        "got {err}"
+    );
+    let stats = server.stats();
+    assert_eq!(stats.deadline_exceeded, 1);
+    assert_eq!(stats.accepted, 0, "an expired request never queues");
+}
+
+#[test]
+fn deadline_expiring_in_queue_resolves_typed_without_device_work() {
+    let trace = Trace::new();
+    let dev = Device::v100();
+    let server = NufftServer::start(&dev, ServeConfig::default().with_trace(&trace)).unwrap();
+    let spec = spec_2d();
+    let pts = points_for(&spec, 7);
+
+    server.pause();
+    let doomed = server
+        .submit_opts(
+            &spec,
+            &pts,
+            gen_strengths::<f32>(M, 1),
+            SubmitOptions::with_deadline(dev.clock() + 1e-6),
+        )
+        .unwrap();
+    // simulated time passes the deadline while the request sits queued
+    dev.advance("test.idle", 1.0);
+    server.resume();
+
+    let err = doomed.wait().unwrap_err();
+    assert!(
+        matches!(err, NufftError::DeadlineExceeded { .. }),
+        "got {err}"
+    );
+    let report = trace.report();
+    assert!(
+        report.spans_named("plan.build").is_empty(),
+        "an expired request must not build a plan"
+    );
+    let stats = server.stats();
+    assert_eq!(stats.deadline_exceeded, 1);
+    assert_eq!(stats.completed, 0);
+}
+
+#[test]
+fn cancelled_request_resolves_cancelled_without_device_work() {
+    let trace = Trace::new();
+    let server =
+        NufftServer::start(&Device::v100(), ServeConfig::default().with_trace(&trace)).unwrap();
+    let spec = spec_2d();
+    let pts = points_for(&spec, 7);
+
+    server.pause();
+    let keep = server
+        .submit(&spec, &pts, gen_strengths::<f32>(M, 1))
+        .unwrap();
+    let dropped = server
+        .submit(&spec, &pts, gen_strengths::<f32>(M, 2))
+        .unwrap();
+    dropped.cancel();
+    assert!(dropped.is_cancelled());
+    server.resume();
+
+    assert_eq!(dropped.wait().unwrap_err(), NufftError::Cancelled);
+    assert_eq!(keep.wait().unwrap().len(), N * N, "siblings are unaffected");
+    let stats = server.stats();
+    assert_eq!(stats.cancelled, 1);
+    assert_eq!(stats.completed, 1);
+    assert_eq!(stats.failed, 0, "a cancel is not a failure");
+    assert_eq!(
+        trace.report().spans_named("plan.build").len(),
+        1,
+        "only the surviving request planned"
+    );
+}
+
+// ---------------------------------------------------------------------
+// load shedding
+// ---------------------------------------------------------------------
+
+#[test]
+fn shed_controller_rejects_early_once_queue_waits_blow_past_target() {
+    let config = ServeConfig {
+        shed: ShedPolicy {
+            enabled: true,
+            // any real queue wait breaches this, shrinking the limit to
+            // min_limit deterministically
+            target_queue_wait_p90: 1e-9,
+            min_limit: 1,
+        },
+        ..ServeConfig::default()
+    };
+    let server = NufftServer::start(&Device::v100(), config).unwrap();
+    let spec = spec_2d();
+    let pts = points_for(&spec, 7);
+
+    // seed the wait window: one request queued while paused
+    server.pause();
+    let seeded = server
+        .submit(&spec, &pts, gen_strengths::<f32>(M, 1))
+        .unwrap();
+    std::thread::sleep(std::time::Duration::from_millis(5));
+    server.resume();
+    seeded.wait().unwrap();
+
+    // p90 wait now far exceeds target → effective limit is min_limit=1:
+    // one queued request is tolerated, the second is shed
+    server.pause();
+    let tolerated = server
+        .submit(&spec, &pts, gen_strengths::<f32>(M, 2))
+        .unwrap();
+    let err = server
+        .submit(&spec, &pts, gen_strengths::<f32>(M, 3))
+        .unwrap_err();
+    match err {
+        NufftError::Overloaded {
+            depth,
+            limit,
+            capacity,
+        } => {
+            assert_eq!(limit, 1);
+            assert!(depth >= limit);
+            assert_eq!(capacity, 64);
+        }
+        other => panic!("expected Overloaded, got {other}"),
+    }
+    server.resume();
+    tolerated.wait().unwrap();
+
+    let stats = server.stats();
+    assert_eq!(stats.shed, 1);
+    assert_eq!(stats.rejected, 0, "shed is typed distinctly from QueueFull");
+    let report = server.report();
+    assert!(report.shed_rate > 0.0);
+}
+
+#[test]
+fn disabled_shed_policy_restores_queuefull_admission() {
+    let config = ServeConfig {
+        queue_capacity: 1,
+        shed: ShedPolicy {
+            enabled: false,
+            ..ShedPolicy::default()
+        },
+        ..ServeConfig::default()
+    };
+    let server = NufftServer::start(&Device::v100(), config).unwrap();
+    let spec = spec_2d();
+    let pts = points_for(&spec, 7);
+
+    server.pause();
+    let queued = server
+        .submit(&spec, &pts, gen_strengths::<f32>(M, 1))
+        .unwrap();
+    let err = server
+        .submit(&spec, &pts, gen_strengths::<f32>(M, 2))
+        .unwrap_err();
+    assert!(matches!(err, NufftError::QueueFull { .. }), "got {err}");
+    server.resume();
+    queued.wait().unwrap();
+    assert_eq!(server.stats().shed, 0);
+}
+
+// ---------------------------------------------------------------------
+// graceful drain and shutdown with in-flight work
+// ---------------------------------------------------------------------
+
+#[test]
+fn drain_finishes_the_backlog_before_stopping() {
+    let server = NufftServer::start(&Device::v100(), ServeConfig::default()).unwrap();
+    let spec = spec_2d();
+    let pts = points_for(&spec, 7);
+
+    server.pause();
+    let backlog: Vec<_> = (0..3)
+        .map(|i| {
+            server
+                .submit(&spec, &pts, gen_strengths::<f32>(M, i))
+                .unwrap()
+        })
+        .collect();
+    // drain overrides the pause: the worker finishes queued work first
+    let drained = server.drain(std::time::Duration::from_secs(10));
+    assert!(drained, "backlog of 3 must drain well within 10s");
+    for resp in backlog {
+        assert_eq!(resp.wait().unwrap().len(), N * N);
+    }
+}
+
+#[test]
+fn drain_timeout_falls_back_to_hard_shutdown_with_no_hangs() {
+    let config = ServeConfig {
+        // stall every chunk launch so the backlog cannot drain in time
+        chaos_hook: Some(ChaosHook::new(|_| {
+            std::thread::sleep(std::time::Duration::from_millis(100));
+        })),
+        ..ServeConfig::default()
+    };
+    let server = NufftServer::start(&Device::v100(), config).unwrap();
+    let spec = spec_2d();
+    let pts = points_for(&spec, 7);
+
+    server.pause();
+    let a = server
+        .submit(&spec, &pts, gen_strengths::<f32>(M, 1))
+        .unwrap();
+    let b = server
+        .submit(&spec, &pts, gen_strengths::<f32>(M, 2))
+        .unwrap();
+    let drained = server.drain(std::time::Duration::from_millis(1));
+    assert!(!drained, "a stalled worker cannot drain in 1ms");
+    // hard-stop still resolves every response: in-flight work completes,
+    // nothing hangs
+    assert!(a.wait().is_ok());
+    assert!(b.wait().is_ok());
+}
+
+#[test]
+fn shutdown_mid_coalesced_batch_resolves_every_response() {
+    use std::sync::mpsc;
+
+    let (started_tx, started_rx) = mpsc::channel::<()>();
+    let (release_tx, release_rx) = mpsc::channel::<()>();
+    let release_rx = std::sync::Mutex::new(release_rx);
+    let config = ServeConfig {
+        chaos_hook: Some(ChaosHook::new(move |_| {
+            // announce the chunk, then hold the worker mid-batch until
+            // the test has initiated shutdown
+            let _ = started_tx.send(());
+            let _ = release_rx.lock().unwrap().recv();
+        })),
+        ..ServeConfig::default()
+    };
+    let server = NufftServer::start(&Device::v100(), config).unwrap();
+    let spec = spec_2d();
+    let pts = points_for(&spec, 7);
+
+    server.pause();
+    let batch: Vec<_> = (0..3)
+        .map(|i| {
+            server
+                .submit(&spec, &pts, gen_strengths::<f32>(M, i))
+                .unwrap()
+        })
+        .collect();
+    server.resume();
+    // the worker is now inside the coalesced chunk, pre-launch
+    started_rx.recv().expect("worker reached the chunk");
+
+    let shutdown = std::thread::spawn(move || server.shutdown());
+    // shutdown is blocked joining the worker; release the chunk
+    release_tx.send(()).unwrap();
+    shutdown.join().expect("shutdown thread");
+
+    // the in-flight coalesced batch completed; nothing hangs or leaks
+    for resp in batch {
+        assert_eq!(resp.wait().unwrap().len(), N * N);
+    }
 }
 
 // ---------------------------------------------------------------------

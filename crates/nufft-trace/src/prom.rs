@@ -65,6 +65,52 @@ fn help_line(out: &mut String, name: &str, kind: &str, help: &str) {
     let _ = writeln!(out, "# TYPE {name} {kind}");
 }
 
+/// Specific HELP text for the workspace's well-known metric families,
+/// keyed by the *raw* (pre-sanitisation) metric name. Families not
+/// listed here fall back to a generic kind-based description, so the
+/// export never fails on a new metric — but operator-facing families
+/// (overload, breaker, and supervision signals especially) should be
+/// registered here as they are added.
+pub fn help_for(name: &str) -> Option<&'static str> {
+    Some(match name {
+        // serving throughput
+        "serve.accepted" => "requests admitted to the serve queue",
+        "serve.rejected" => "requests refused with QueueFull at admission",
+        "serve.completed" => "requests completed successfully",
+        "serve.failed" => "requests resolved with a typed error",
+        "serve.batches" => "execute_many launches issued by the serve worker",
+        "serve.coalesced" => "requests that shared a launch with at least one other request",
+        // plan cache
+        "serve.cache_hit" => "plan-cache lookups served without building a plan",
+        "serve.cache_miss" => "plan-cache lookups that built a plan",
+        "serve.cache_evict" => "plans evicted by LRU capacity pressure",
+        "serve.setpts_reuse" => "groups that reused the plan's already-set points",
+        // overload containment
+        "serve.shed" => "requests refused early by the load-shed controller (Overloaded)",
+        "serve.deadline_exceeded" => {
+            "requests resolved DeadlineExceeded at admission, dequeue, or a chunk boundary"
+        }
+        "serve.cancelled" => "requests resolved Cancelled before execution started",
+        // fault containment
+        "serve.quarantine" => "cached plans evicted after a persistent device fault",
+        "serve.breaker_open" => "circuit-breaker open transitions (closed/half-open to open)",
+        "serve.breaker_fastfail" => "requests fast-failed by an open circuit breaker",
+        "serve.brownout" => "requests served degraded (method override or CPU fallback)",
+        "serve.breaker_state" => "circuit breakers currently open or half-open",
+        // supervision
+        "serve.worker_panic" => "serve worker panics caught by the supervisor",
+        "serve.worker_respawn" => "serve worker respawns performed by the supervisor",
+        // queue gauges
+        "serve.queue_depth" => "requests queued at the last accept or sweep",
+        "serve.queue_peak" => "deepest the serve queue has been",
+        // device-fault recovery (plan layer)
+        "recovery.retries" => "device-fault retries attempted by the recovery layer",
+        "recovery.recovered" => "device faults absorbed by bounded retry",
+        "recovery.unrecovered" => "device faults that exhausted the retry budget",
+        _ => return None,
+    })
+}
+
 /// Render one histogram family (already-sanitised `name`).
 fn render_histogram(out: &mut String, name: &str, h: &HistogramSnapshot) {
     help_line(
@@ -94,13 +140,15 @@ fn render_histogram(out: &mut String, name: &str, h: &HistogramSnapshot) {
 pub fn prometheus(report: &TraceReport) -> String {
     let mut out = String::new();
     for (name, value) in &report.counters {
+        let help = help_for(name).unwrap_or("cumulative count (nufft-trace)");
         let name = sanitize(name);
-        help_line(&mut out, &name, "counter", "cumulative count (nufft-trace)");
+        help_line(&mut out, &name, "counter", help);
         let _ = writeln!(out, "{name} {value}");
     }
     for (name, value) in &report.gauges {
+        let help = help_for(name).unwrap_or("last-value gauge (nufft-trace)");
         let name = sanitize(name);
-        help_line(&mut out, &name, "gauge", "last-value gauge (nufft-trace)");
+        help_line(&mut out, &name, "gauge", help);
         let _ = writeln!(out, "{name} {}", fmt_value(*value));
     }
     for (name, h) in &report.histograms {
@@ -157,6 +205,87 @@ mod tests {
     fn empty_report_renders_empty() {
         let trace = Trace::new();
         assert_eq!(prometheus(&trace.report()), "");
+    }
+
+    #[test]
+    fn overload_families_export_specific_help_text() {
+        let trace = Trace::new();
+        trace.counter("serve.shed").add(3);
+        trace.counter("serve.deadline_exceeded").add(1);
+        trace.counter("serve.breaker_fastfail").add(2);
+        trace.counter("serve.worker_respawn").add(1);
+        trace.gauge("serve.breaker_state").set(1.0);
+        let text = prometheus(&trace.report());
+        // every family: a non-generic HELP line, the right TYPE, a sample
+        assert!(text.contains("# HELP serve_shed requests refused early by the load-shed"));
+        assert!(text.contains("# TYPE serve_shed counter\nserve_shed 3\n"));
+        assert!(text.contains("# HELP serve_deadline_exceeded requests resolved DeadlineExceeded"));
+        assert!(
+            text.contains("# TYPE serve_deadline_exceeded counter\nserve_deadline_exceeded 1\n")
+        );
+        assert!(text.contains("# HELP serve_breaker_fastfail "));
+        assert!(text.contains("serve_breaker_fastfail 2\n"));
+        assert!(text.contains("# HELP serve_worker_respawn serve worker respawns"));
+        assert!(text.contains("# HELP serve_breaker_state circuit breakers currently open"));
+        assert!(text.contains("# TYPE serve_breaker_state gauge\nserve_breaker_state 1\n"));
+    }
+
+    #[test]
+    fn unknown_families_fall_back_to_generic_help() {
+        assert!(help_for("serve.some_future_metric").is_none());
+        assert_eq!(
+            help_for("serve.shed"),
+            Some("requests refused early by the load-shed controller (Overloaded)")
+        );
+        let trace = Trace::new();
+        trace.counter("custom.thing").add(1);
+        let text = prometheus(&trace.report());
+        assert!(text.contains("# HELP custom_thing cumulative count (nufft-trace)"));
+    }
+
+    /// Exposition-format conformance over the full serve vocabulary:
+    /// every emitted family must carry exactly one HELP and one TYPE
+    /// line, in that order, with the sample lines following.
+    #[test]
+    fn every_family_has_exactly_one_help_and_type_header() {
+        let trace = Trace::new();
+        for c in [
+            "serve.accepted",
+            "serve.shed",
+            "serve.deadline_exceeded",
+            "serve.cancelled",
+            "serve.quarantine",
+            "serve.breaker_open",
+            "serve.breaker_fastfail",
+            "serve.brownout",
+            "serve.worker_panic",
+            "serve.worker_respawn",
+            "recovery.retries",
+        ] {
+            trace.counter(c).add(1);
+        }
+        trace.gauge("serve.breaker_state").set(0.0);
+        trace.histogram("serve.latency").observe(0.01);
+        let text = prometheus(&trace.report());
+        let mut families: std::collections::BTreeMap<&str, (u32, u32)> = Default::default();
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("# HELP ") {
+                families
+                    .entry(rest.split(' ').next().unwrap())
+                    .or_default()
+                    .0 += 1;
+            } else if let Some(rest) = line.strip_prefix("# TYPE ") {
+                families
+                    .entry(rest.split(' ').next().unwrap())
+                    .or_default()
+                    .1 += 1;
+            }
+        }
+        assert!(families.len() >= 13, "families: {}", families.len());
+        for (name, (helps, types)) in families {
+            assert_eq!(helps, 1, "{name} HELP lines");
+            assert_eq!(types, 1, "{name} TYPE lines");
+        }
     }
 
     /// Parse every `name_bucket{le="..."} v` line of one family back out

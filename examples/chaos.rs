@@ -164,7 +164,8 @@ fn main() {
         GpuOpts::default().with_tracing(&trace),
     );
     let report = trace.report();
-    let path = "chaos.trace.json";
+    std::fs::create_dir_all("results").expect("create results dir");
+    let path = "results/chaos.trace.json";
     std::fs::write(path, report.chrome_json()).expect("write trace");
     println!("\nwrote {path}; fault/recovery counters:");
     for (name, v) in report

@@ -3,7 +3,7 @@
 //! Runs the same workload as `device_profile`, but with the
 //! `nufft-trace` session attached: host-side plan spans, per-stage
 //! device spans, simulated-GPU kernel/memcpy lanes, and the
-//! load-balance counters all land in `device_trace.trace.json`, which
+//! load-balance counters all land in `results/device_trace.trace.json`, which
 //! loads directly into `chrome://tracing` or https://ui.perfetto.dev.
 //! Run with: `cargo run --release --example device_trace`
 
@@ -13,7 +13,8 @@ use nufft_common::workload::PointDist;
 fn main() {
     let report = traced_type1_3d(64, PointDist::Rand, 11);
 
-    let path = "device_trace.trace.json";
+    std::fs::create_dir_all("results").expect("create results dir");
+    let path = "results/device_trace.trace.json";
     std::fs::write(path, report.chrome_json()).expect("write trace");
     println!("wrote {path} ({} events)", report.events.len());
 

@@ -2,7 +2,11 @@
 //! traffic burst, then print everything observability gives you —
 //! latency/queue/batch histograms with quantiles, the SLO health
 //! verdict, one request's correlated timeline, and the Prometheus
-//! text a scraper would see.
+//! text a scraper would see. A second act walks through an overload
+//! episode: a persistent device fault opens a circuit breaker, open
+//! requests fast-fail typed, and — once the fault clears and the
+//! cooldown elapses in simulated time — the half-open trial recovers
+//! the spec and the health verdict returns to `healthy`.
 //!
 //! ```bash
 //! cargo run --release --example serve_dashboard
@@ -12,8 +16,9 @@ use std::sync::Arc;
 
 use cufinufft::prelude::*;
 use gpu_sim::Device;
+use gpu_sim::{FaultMode, FaultPlan};
 use nufft_common::{gen_points, gen_strengths, PointDist, Shape};
-use nufft_serve::{NufftServer, ServeConfig, SloThresholds};
+use nufft_serve::{BreakerPolicy, NufftServer, ServeConfig, SloThresholds};
 use nufft_trace::Trace;
 
 const M: usize = 20_000;
@@ -107,6 +112,71 @@ fn main() -> Result<()> {
     println!("\n--- prometheus (serve_latency family) ---");
     for line in report.prometheus().lines() {
         if line.contains("serve_latency") {
+            println!("{line}");
+        }
+    }
+
+    server.shutdown();
+
+    // --- act two: an overload episode, start to finish -----------
+    // A persistent launch fault poisons one spec. Watch the breaker
+    // open after the failure streak, fast-fail while open, and recover
+    // bit-exact once the fault clears and the cooldown elapses.
+    println!("\n--- overload episode (persistent fault -> breaker -> recovery) ---");
+    let dev = Device::v100();
+    let chaos_trace = Trace::new();
+    let config = ServeConfig {
+        recovery: RecoveryPolicy::none(),
+        breaker: BreakerPolicy {
+            failure_streak: 2,
+            ..BreakerPolicy::default()
+        },
+        ..ServeConfig::default()
+    }
+    .with_trace(&chaos_trace);
+    let server = NufftServer::start(&dev, config)?;
+    let spec = TransformSpec::type1(&[48, 48])
+        .eps(1e-5)
+        .precision(Precision::F32)
+        .method(Method::Sm);
+    let input = gen_strengths::<f32>(spec.input_len(pts.len()), 1);
+
+    dev.inject_faults(FaultPlan::new(3).fail_kernel("spread_SM", FaultMode::Always));
+    for i in 1..=2 {
+        let err = server
+            .submit_wait(&spec, &pts, input.clone())?
+            .wait()
+            .unwrap_err();
+        println!("  request {i}: {err}");
+    }
+    let err = server
+        .submit_wait(&spec, &pts, input.clone())?
+        .wait()
+        .unwrap_err();
+    println!("  request 3 fast-fails: {err}");
+    let mid = server.report();
+    println!(
+        "  while open: health={} open_breakers={} quarantined={} shed_rate={:.4}",
+        mid.health, mid.open_breakers, mid.stats.quarantined, mid.shed_rate
+    );
+
+    dev.clear_faults();
+    dev.advance("dashboard.cooldown", 1.0);
+    let recovered = server.submit_wait(&spec, &pts, input.clone())?.wait();
+    let after = server.report();
+    println!(
+        "  after cooldown: {} (open_breakers={})",
+        if recovered.is_ok() {
+            "half-open trial served the spec again"
+        } else {
+            "still failing"
+        },
+        after.open_breakers
+    );
+
+    println!("\n--- prometheus (overload families) ---");
+    for line in chaos_trace.report().prometheus().lines() {
+        if line.contains("serve_breaker") || line.contains("serve_quarantine") {
             println!("{line}");
         }
     }

@@ -61,6 +61,17 @@ if [[ "${CHAOS:-0}" != "0" ]]; then
   CHAOS=1 cargo test -q --test fault_injection chaos_randomized -- --nocapture
 fi
 
+# Serve-layer chaos acceptance (DESIGN.md §5k): overload + persistent
+# faults against the breaker/shed/supervision stack. The single-seed
+# smoke runs in the workspace pass above; SERVE_CHAOS=1 widens the
+# acceptance scenario to a multi-seed sweep.
+if [[ "${SERVE_CHAOS:-0}" != "0" ]]; then
+  echo "== SERVE_CHAOS=1 multi-seed serve chaos sweep"
+  SERVE_CHAOS=1 cargo test -q -p nufft-serve --test chaos_serve -- --nocapture
+else
+  echo "== serve chaos smoke ran in the workspace pass (SERVE_CHAOS=1 for the multi-seed sweep)"
+fi
+
 # Wall-clock bench trajectory (DESIGN.md §5j, ROADMAP item 3): produce a
 # BENCH_<date>.json, validate it against the nufft-bench/v1 schema, and
 # compare against the latest prior trajectory point (no-op when none

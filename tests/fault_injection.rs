@@ -96,9 +96,14 @@ fn fail_fast_policy_surfaces_transient_fault_as_typed_error() {
     let dev = Device::v100();
     dev.inject_faults(FaultPlan::new(4).fail_memcpy("htod", FaultMode::Once));
     match lifecycle(&dev, RecoveryPolicy::none(), None) {
-        Err(NufftError::DeviceFault { op, attempts }) => {
+        Err(NufftError::DeviceFault {
+            op,
+            attempts,
+            persistent,
+        }) => {
             assert!(op.contains("h2d") || op.contains("htod"), "op was {op}");
             assert_eq!(attempts, 1);
+            assert!(!persistent, "a Once fault must surface as transient");
         }
         other => panic!("expected DeviceFault, got {other:?}"),
     }
@@ -113,8 +118,9 @@ fn persistent_kernel_fault_exhausts_retries_into_typed_error() {
     let dev = Device::v100();
     dev.inject_faults(FaultPlan::new(5).fail_kernel("spread", FaultMode::Always));
     match lifecycle(&dev, RecoveryPolicy::default(), None) {
-        Err(NufftError::DeviceFault { op, .. }) => {
+        Err(NufftError::DeviceFault { op, persistent, .. }) => {
             assert!(op.contains("spread") || op.contains("exec"), "op was {op}");
+            assert!(persistent, "an Always fault must surface as persistent");
         }
         other => panic!("expected DeviceFault, got {other:?}"),
     }
