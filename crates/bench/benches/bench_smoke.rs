@@ -1,21 +1,25 @@
 //! The wall-clock trajectory point: a fast, fixed set of end-to-end
 //! workloads timed on the *host* clock and written as a
-//! schema-versioned `BENCH_<date>.json` at the workspace root, so PRs
-//! accumulate a measured performance history (ROADMAP item 3; schema in
-//! `nufft_trace::bench`, DESIGN.md §5j).
+//! schema-versioned `BENCH_<date>.json` under the tracked
+//! `results/bench/` directory, so PRs accumulate a measured performance
+//! history (ROADMAP item 3; schema in `nufft_trace::bench`, DESIGN.md
+//! §5j).
 //!
 //! Each row is best-of-`BENCH_SMOKE_REPS` (default 3) seconds. After
 //! writing, the file is re-read through the schema validator and
 //! compared against the latest prior `BENCH_*.json`: rows slower by
 //! more than 15% print as regressions. `BENCH_STRICT=1` turns
 //! regressions into a non-zero exit (the default tolerates them —
-//! shared-CI hosts are noisy).
+//! shared-CI hosts are noisy) and also fails when no prior report is
+//! found at all: a missing trajectory means the history is broken (the
+//! exact failure mode a root-level `.gitignore` glob once caused), not
+//! that it is legitimately starting over.
 
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
-use bench::{latest_prior_bench, utc_yyyymmdd, workload, workspace_root, write_bench_report};
+use bench::{bench_dir, latest_prior_bench, utc_yyyymmdd, workload, write_bench_report};
 use gpu_sim::Device;
 use nufft_common::workload::PointDist;
 use nufft_common::{Complex, Method, Precision, Shape, TransformSpec, TransformType};
@@ -154,8 +158,8 @@ fn main() -> ExitCode {
         println!("  {:24} {:>10.6} s (best of {})", r.name, r.wall_s, r.reps);
     }
 
-    let root = workspace_root();
-    let path = write_bench_report(&root, &report);
+    let dir = bench_dir();
+    let path = write_bench_report(&dir, &report);
     println!("wrote {}", path.display());
 
     // the file must round-trip through its own schema validator
@@ -163,7 +167,14 @@ fn main() -> ExitCode {
     let back = BenchReport::from_json(&text).expect("schema-valid trajectory point");
     assert_eq!(utc_yyyymmdd(back.created_unix), utc_yyyymmdd(created_unix));
 
-    match latest_prior_bench(&root, Some(path.as_path())) {
+    let strict = std::env::var("BENCH_STRICT")
+        .map(|v| v == "1")
+        .unwrap_or(false);
+    match latest_prior_bench(&dir, Some(path.as_path())) {
+        None if strict => {
+            println!("BENCH_STRICT=1 and no prior BENCH_*.json in {}: the trajectory is broken, not starting over", dir.display());
+            ExitCode::FAILURE
+        }
         None => {
             println!("no prior BENCH_*.json — trajectory starts here");
             ExitCode::SUCCESS
@@ -186,10 +197,7 @@ fn main() -> ExitCode {
                     (r.ratio - 1.0) * 100.0
                 );
             }
-            if std::env::var("BENCH_STRICT")
-                .map(|v| v == "1")
-                .unwrap_or(false)
-            {
+            if strict {
                 ExitCode::FAILURE
             } else {
                 println!("(advisory: set BENCH_STRICT=1 to fail on regressions)");

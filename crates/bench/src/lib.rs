@@ -52,8 +52,7 @@ pub fn finish_trace(trace: Option<Trace>, tag: &str) -> Option<PathBuf> {
     Some(path)
 }
 
-/// Locate the workspace root (where `BENCH_<date>.json` trajectory
-/// files are committed).
+/// Locate the workspace root.
 pub fn workspace_root() -> PathBuf {
     let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
     p.pop();
@@ -66,6 +65,18 @@ pub fn results_dir() -> PathBuf {
     let mut p = workspace_root();
     p.push("results");
     std::fs::create_dir_all(&p).expect("create results dir");
+    p
+}
+
+/// Locate `results/bench/`, the *tracked* home of the `BENCH_*.json`
+/// trajectory. Reports must live here, not at the workspace root: the
+/// root-level `BENCH_*.json` glob is git-ignored (it used to require a
+/// per-file whitelist entry, which silently broke the prior-report
+/// lookup), while this directory is explicitly un-ignored.
+pub fn bench_dir() -> PathBuf {
+    let mut p = results_dir();
+    p.push("bench");
+    std::fs::create_dir_all(&p).expect("create bench dir");
     p
 }
 
@@ -87,8 +98,22 @@ pub fn utc_yyyymmdd(unix_secs: u64) -> String {
 
 /// Write a trajectory point as `BENCH_<date>.json` under `dir` (date
 /// from the report's own `created_unix`); returns the written path.
+///
+/// Never clobbers an existing same-day point: a second run on the same
+/// date gets a `a`/`b`/… suffix (`BENCH_<date>a.json`). Since `'.'`
+/// sorts before letters, suffixed names still sort *after* the bare
+/// date and *before* the next day — lexicographic filename order stays
+/// chronological, so `latest_prior_bench` keeps seeing the most recent
+/// earlier point instead of losing the trajectory to an overwrite.
 pub fn write_bench_report(dir: &std::path::Path, report: &BenchReport) -> PathBuf {
-    let path = dir.join(format!("BENCH_{}.json", utc_yyyymmdd(report.created_unix)));
+    let date = utc_yyyymmdd(report.created_unix);
+    let mut path = dir.join(format!("BENCH_{date}.json"));
+    let mut suffix = b'a';
+    while path.exists() {
+        assert!(suffix <= b'z', "more than 27 bench reports on {date}");
+        path = dir.join(format!("BENCH_{date}{}.json", suffix as char));
+        suffix += 1;
+    }
     std::fs::write(&path, report.to_json()).expect("write bench report");
     path
 }
@@ -363,6 +388,60 @@ mod tests {
         let (p, _) = latest_prior_bench(&dir, Some(cur_path.as_path())).expect("prior");
         assert_eq!(p, old_path);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bench_reports_round_trip_from_the_tracked_bench_dir() {
+        // Regression test for the PR-8 trajectory break: reports were
+        // written to the workspace root, where `.gitignore`'s
+        // `BENCH_*.json` glob swallowed them, so `latest_prior_bench`
+        // never saw a prior on a fresh checkout. The tracked home is
+        // `results/bench/`; a report written there must be found again.
+        let dir = bench_dir();
+        assert!(
+            dir.ends_with("results/bench"),
+            "bench reports must live under results/bench, got {}",
+            dir.display()
+        );
+
+        // The committed trajectory must already be visible here (the
+        // root-level BENCH_20260808.json was migrated into this dir).
+        assert!(
+            latest_prior_bench(&dir, None).is_some(),
+            "no committed BENCH_*.json under {} — the trajectory is broken again",
+            dir.display()
+        );
+
+        // Round-trip a synthetic far-future point and clean it up.
+        let mut fut = BenchReport::new("bench-smoke", 4_102_444_800); // 21000101
+        fut.push_row("row", 0.125, 1);
+        let fut_path = write_bench_report(&dir, &fut);
+        assert!(fut_path.ends_with("BENCH_21000101.json"));
+        let (found_path, found) = latest_prior_bench(&dir, None).expect("just wrote one");
+        assert_eq!(found_path, fut_path);
+        assert_eq!(found.rows.len(), 1);
+        // Excluding the new point falls back to the committed prior.
+        let (prior_path, _) =
+            latest_prior_bench(&dir, Some(fut_path.as_path())).expect("committed prior");
+        assert_ne!(prior_path, fut_path);
+
+        // A second same-day run must NOT clobber the first (that is how
+        // the trajectory was lost once): it gets a letter suffix that
+        // still sorts after the bare date, so the new point is latest
+        // and the first one is its visible prior.
+        let mut fut2 = BenchReport::new("bench-smoke", 4_102_444_800);
+        fut2.push_row("row", 0.0625, 1);
+        let fut2_path = write_bench_report(&dir, &fut2);
+        assert!(fut2_path.ends_with("BENCH_21000101a.json"));
+        let (latest_path, _) = latest_prior_bench(&dir, None).expect("two written");
+        assert_eq!(latest_path, fut2_path);
+        let (prev_path, prev) =
+            latest_prior_bench(&dir, Some(fut2_path.as_path())).expect("same-day prior");
+        assert_eq!(prev_path, fut_path);
+        assert_eq!(prev.rows[0].wall_s, 0.125);
+
+        std::fs::remove_file(fut_path).ok();
+        std::fs::remove_file(fut2_path).ok();
     }
 
     #[test]

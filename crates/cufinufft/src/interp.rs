@@ -5,12 +5,12 @@
 //! only effect of sorting is read coalescing; there is no SM variant
 //! (the paper argues its benefit would be limited).
 
-use crate::spread::{footprint, PtsRef, SpreadInputs, MAX_W};
+use crate::spread::{footprint, Footprint, PtsRef, SpreadInputs, MAX_W};
 use gpu_sim::{Device, DeviceFault, LaunchConfig, LaunchReport, Precision, Scope};
 use nufft_common::complex::Complex;
 use nufft_common::real::Real;
 use nufft_common::shape::Shape;
-use nufft_kernels::{EsKernel, Kernel1d};
+use nufft_kernels::Kernel1d;
 
 const FLOPS_PER_EVAL: u64 = 30;
 const FLOPS_PER_CELL: u64 = 8;
@@ -46,13 +46,21 @@ pub fn interp_gm<T: Real, K: Kernel1d>(
     let tb_out = k.trace_buffer("out", Scope::Global, cb / 2);
     let w = kernel.width();
     let dim = pts.dim;
-    let [n1, n2, n3] = fine.n;
-    let mut addrs = [0usize; 32];
-    let mut idx = [[0usize; MAX_W]; 3];
-    let mut warp_sectors: Vec<usize> = Vec::new();
+    let [n1, n2, _] = fine.n;
     let sector_bytes = dev.props().sector_bytes;
-    for block in order.chunks(threads_per_block) {
-        let mut b = k.block();
+    let m = order.len();
+    let n_blocks = m.div_ceil(threads_per_block);
+    let pts = *pts;
+    // One task per thread block on the host pool (bit-identical to
+    // serial; see `Kernel::run_blocks`). Each point's value is written by
+    // exactly one thread, so the per-block result is a disjoint list of
+    // (j, value) writes applied in block-id order.
+    let body = |bid: usize, b: &mut gpu_sim::BlockAcc<'_>| {
+        let block = &order[bid * threads_per_block..m.min((bid + 1) * threads_per_block)];
+        let mut addrs = [0usize; 32];
+        let mut fps: Vec<Footprint> = Vec::with_capacity(32);
+        let mut warp_sectors: Vec<usize> = Vec::new();
+        let mut writes: Vec<(usize, Complex<T>)> = Vec::with_capacity(block.len());
         for (wi, warp) in block.chunks(32).enumerate() {
             let lane0 = (wi * 32) as u32;
             // point coordinate loads
@@ -64,44 +72,36 @@ pub fn interp_gm<T: Real, K: Kernel1d>(
                 b.warp_access(&addrs[..warp.len()]);
             }
             b.flops(warp.len() as u64 * (dim * w) as u64 * FLOPS_PER_EVAL);
-            let fps: Vec<_> = warp
-                .iter()
-                .map(|&j| footprint(kernel, fine, pts, j as usize))
-                .collect();
-            let steps = fps[0].wd[0] * fps[0].wd[1] * fps[0].wd[2];
+            fps.clear();
+            fps.extend(
+                warp.iter()
+                    .map(|&j| footprint(kernel, fine, &pts, j as usize)),
+            );
+            let [wd1, wd2, wd3] = fps[0].wd;
+            let steps = (wd1 * wd2 * wd3) as u64;
             // loads are L1-cached within the warp's footprint (unlike
             // atomics, which bypass L1): count each sector once per warp
             warp_sectors.clear();
-            for s in 0..steps {
-                let t1 = s % fps[0].wd[0];
-                let r = s / fps[0].wd[0];
-                let (t2, t3) = (r % fps[0].wd[1], r / fps[0].wd[1]);
-                for fp in fps.iter() {
-                    let c1 = (fp.l0[0] + t1 as i64).rem_euclid(n1 as i64) as usize;
-                    let c2 = (fp.l0[1] + t2 as i64).rem_euclid(n2 as i64) as usize;
-                    let c3 = (fp.l0[2] + t3 as i64).rem_euclid(n3 as i64) as usize;
-                    warp_sectors.push((c1 + n1 * (c2 + n2 * c3)) * cb / sector_bytes);
+            for t3 in 0..wd3 {
+                for t2 in 0..wd2 {
+                    for t1 in 0..wd1 {
+                        for fp in fps.iter() {
+                            let cell = fp.idx[0][t1] + n1 * (fp.idx[1][t2] + n2 * fp.idx[2][t3]);
+                            warp_sectors.push(cell * cb / sector_bytes);
+                        }
+                    }
                 }
-                b.flops(fps.len() as u64 * FLOPS_PER_CELL);
             }
+            b.flops(steps * fps.len() as u64 * FLOPS_PER_CELL);
             warp_sectors.sort_unstable();
             warp_sectors.dedup();
             b.l2_sector_count(warp_sectors.len() as u64);
             // DRAM-side grid reads, row-wise through the line model
             for fp in fps.iter() {
                 for t3 in 0..fp.wd[2] {
-                    let c3 = (fp.l0[2] + t3 as i64).rem_euclid(n3 as i64) as usize;
                     for t2 in 0..fp.wd[1] {
-                        let c2 = (fp.l0[1] + t2 as i64).rem_euclid(n2 as i64) as usize;
-                        crate::spread::account_row(
-                            &mut b,
-                            n1 * (c2 + n2 * c3),
-                            fp.l0[0],
-                            fp.wd[0],
-                            n1,
-                            cb,
-                            false,
-                        );
+                        let row = n1 * (fp.idx[1][t2] + n2 * fp.idx[2][t3]);
+                        crate::spread::account_row(b, row, fp.l0[0], fp.wd[0], n1, cb, false);
                     }
                 }
             }
@@ -113,22 +113,16 @@ pub fn interp_gm<T: Real, K: Kernel1d>(
             // functional interpolation
             for (l, (&j, fp)) in warp.iter().zip(fps.iter()).enumerate() {
                 let lane = lane0 + l as u32;
-                for i in 0..3 {
-                    let n = [n1, n2, n3][i] as i64;
-                    for (t, slot) in idx[i][..fp.wd[i]].iter_mut().enumerate() {
-                        *slot = (fp.l0[i] + t as i64).rem_euclid(n) as usize;
-                    }
-                }
                 let mut acc = Complex::<T>::ZERO;
                 for t3 in 0..fp.wd[2] {
                     for t2 in 0..fp.wd[1] {
                         let k23 = fp.ker[1][t2] * fp.ker[2][t3];
-                        let base = idx[2][t3] * n1 * n2 + idx[1][t2] * n1;
+                        let base = fp.idx[2][t3] * n1 * n2 + fp.idx[1][t2] * n1;
                         let mut row = Complex::<T>::ZERO;
                         for t1 in 0..fp.wd[0] {
-                            row += grid[base + idx[0][t1]].scale(T::from_f64(fp.ker[0][t1]));
+                            row += grid[base + fp.idx[0][t1]].scale(T::from_f64(fp.ker[0][t1]));
                             if traced {
-                                let cell = (base + idx[0][t1]) as u64;
+                                let cell = (base + fp.idx[0][t1]) as u64;
                                 b.trace_read(tb_grid, lane, 2 * cell);
                                 b.trace_read(tb_grid, lane, 2 * cell + 1);
                             }
@@ -136,13 +130,18 @@ pub fn interp_gm<T: Real, K: Kernel1d>(
                         acc += row.scale(T::from_f64(k23));
                     }
                 }
-                out[j as usize] = acc;
+                writes.push((j as usize, acc));
                 b.trace_write(tb_out, lane, 2 * j as u64);
                 b.trace_write(tb_out, lane, 2 * j as u64 + 1);
             }
         }
-        b.finish();
-    }
+        writes
+    };
+    k.run_blocks(n_blocks, body, |_bid, writes| {
+        for (j, v) in writes {
+            out[j] = v;
+        }
+    });
     Ok(dev.launch_end(k))
 }
 
@@ -154,9 +153,9 @@ pub fn interp_gm<T: Real, K: Kernel1d>(
 /// [`interp_gm`] with a bin-sorted order to reproduce the paper's
 /// design-decision evidence.
 #[allow(clippy::too_many_arguments)]
-pub fn interp_sm<T: Real>(
+pub fn interp_sm<T: Real, K: Kernel1d>(
     dev: &Device,
-    kernel: &EsKernel,
+    kernel: &K,
     fine: Shape,
     pts: &PtsRef<'_, T>,
     grid: &[Complex<T>],
@@ -173,7 +172,7 @@ pub fn interp_sm<T: Real>(
     } else {
         Precision::Single
     };
-    let w = kernel.w;
+    let w = kernel.width();
     let pad = 2 * w.div_ceil(2);
     let dim = pts.dim;
     let mut p = [1usize; 3];
@@ -261,9 +260,9 @@ pub fn interp_sm<T: Real>(
 /// when a sort is available and the method wants it, user order
 /// otherwise.
 #[allow(clippy::too_many_arguments)]
-pub fn interp_batch<T: Real>(
+pub fn interp_batch<T: Real, K: Kernel1d>(
     dev: &Device,
-    kernel: &EsKernel,
+    kernel: &K,
     fine: Shape,
     method: crate::opts::Method,
     threads_per_block: usize,
@@ -309,6 +308,7 @@ mod tests {
     use super::*;
     use crate::bins::gpu_bin_sort;
     use nufft_common::workload::{gen_points, gen_strengths, PointDist, Points};
+    use nufft_kernels::EsKernel;
 
     fn pts_ref<T: Real>(p: &Points<T>) -> PtsRef<'_, T> {
         PtsRef {

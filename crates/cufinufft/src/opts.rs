@@ -16,6 +16,9 @@ use nufft_common::smooth::FineSizing;
 // live in nufft-common (`TransformSpec` references them); re-exported
 // here so existing `cufinufft::opts::Method` imports keep working.
 pub use nufft_common::spec::{Method, ModeOrder};
+// Kernel-evaluation choice (exact vs Horner fast path) lives with the
+// kernels; re-exported here because it is set through `Tuning`.
+pub use nufft_kernels::KernelEval;
 
 /// Performance-tuning knobs, separated from the semantic
 /// [`TransformSpec`](nufft_common::TransformSpec) fields: two plans
@@ -37,6 +40,12 @@ pub struct Tuning {
     /// Shared-memory budget per block used in the SM feasibility check.
     /// The paper quotes 49 kB (Remark 2 uses 49000).
     pub shared_mem_budget: usize,
+    /// How `eval_row` is computed in the spread/interp hot paths: the
+    /// fitted Horner/Chebyshev fast path, the exact exponential, or
+    /// (default) an automatic plan-time choice gated on the measured fit
+    /// error meeting the plan tolerance. Tuning-only: any setting
+    /// computes the same transform to within the plan tolerance.
+    pub kernel_eval: KernelEval,
 }
 
 impl Default for Tuning {
@@ -47,6 +56,7 @@ impl Default for Tuning {
             upsampfac: 2.0,
             threads_per_block: 128,
             shared_mem_budget: 49_000,
+            kernel_eval: KernelEval::Auto,
         }
     }
 }
@@ -368,6 +378,7 @@ mod tests {
         assert_eq!(t.threads_per_block, 128);
         assert_eq!(t.shared_mem_budget, 49_000);
         assert_eq!(t.bin_size, None);
+        assert_eq!(t.kernel_eval, KernelEval::Auto);
         assert!(t.validate().is_ok());
     }
 

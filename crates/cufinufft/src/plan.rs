@@ -18,7 +18,7 @@ use nufft_common::workload::Points;
 use nufft_common::TransformType;
 use nufft_fft::Direction;
 use nufft_kernels::deconv::correction_rows;
-use nufft_kernels::EsKernel;
+use nufft_kernels::{EsKernel, EvalKernel};
 
 /// Lowercase metric tag for a (resolved) spread method, used to key the
 /// per-stage duration histograms (`stage.<stage>.<method>`).
@@ -174,6 +174,10 @@ pub struct Plan<T: Real> {
     fine: Shape,
     iflag: i32,
     kernel: EsKernel,
+    /// Kernel evaluator the spread/interp hot paths run with: the exact
+    /// ES kernel or its Horner/Chebyshev fast path, resolved once at
+    /// plan time from `Tuning::kernel_eval` (see DESIGN.md §5l).
+    eval_kernel: EvalKernel,
     opts: GpuOpts,
     bin_size: [usize; 3],
     /// Resolved spreading method for type 1.
@@ -322,6 +326,13 @@ impl<T: Real> PlanBuilder<T> {
     /// Maximum points per SM subproblem.
     pub fn msub(mut self, msub: usize) -> Self {
         self.opts.tuning.msub = msub;
+        self
+    }
+
+    /// Kernel-evaluation choice for the spread/interp hot paths (exact
+    /// exponential vs the fitted Horner fast path; default Auto).
+    pub fn kernel_eval(mut self, ke: crate::opts::KernelEval) -> Self {
+        self.opts.tuning.kernel_eval = ke;
         self
     }
 
@@ -496,6 +507,10 @@ impl<T: Real> Plan<T> {
             .tuning
             .bin_size
             .unwrap_or_else(|| default_bin_size(modes.dim));
+        // Resolve the kernel evaluator once: under Auto, fit the Horner
+        // table and keep it iff the measured fit error spends at most 10%
+        // of the plan's error budget (exact-exp fallback otherwise).
+        let eval_kernel = EvalKernel::select(kernel, eps, opts.tuning.kernel_eval);
         let cb = std::mem::size_of::<Complex<T>>();
         let mut recovery = RecoveryReport::default();
         let spread_method = match resolve_spread_method(
@@ -561,6 +576,7 @@ impl<T: Real> Plan<T> {
             fine,
             iflag: if iflag >= 0 { 1 } else { -1 },
             kernel,
+            eval_kernel,
             opts,
             bin_size,
             spread_method,
@@ -608,6 +624,12 @@ impl<T: Real> Plan<T> {
 
     pub fn kernel(&self) -> &EsKernel {
         &self.kernel
+    }
+
+    /// The kernel evaluator the hot paths run with (exact vs the fitted
+    /// Horner fast path; resolved at plan time from `Tuning::kernel_eval`).
+    pub fn eval_kernel(&self) -> &EvalKernel {
+        &self.eval_kernel
     }
 
     /// The spreading method actually in use for type-1 transforms.
@@ -1347,7 +1369,7 @@ impl<T: Real> Plan<T> {
             .bulk_op("memset_grid_batch", 0, bc * nf * cb, 0.0, Self::precision());
         spread_batch(
             &self.dev,
-            &self.kernel,
+            &self.eval_kernel,
             self.fine,
             self.spread_method,
             self.opts.tuning.threads_per_block,
@@ -1434,7 +1456,7 @@ impl<T: Real> Plan<T> {
         let t2 = self.dev.clock();
         interp_batch(
             &self.dev,
-            &self.kernel,
+            &self.eval_kernel,
             self.fine,
             self.spread_method,
             self.opts.tuning.threads_per_block,
@@ -1454,7 +1476,7 @@ impl<T: Real> Plan<T> {
         let state = self.pts.as_ref().expect("points checked");
         spread_batch(
             &self.dev,
-            &self.kernel,
+            &self.eval_kernel,
             self.fine,
             self.spread_method,
             self.opts.tuning.threads_per_block,
@@ -1568,7 +1590,7 @@ impl<T: Real> Plan<T> {
         let state = self.pts.as_ref().expect("points checked");
         interp_batch(
             &self.dev,
-            &self.kernel,
+            &self.eval_kernel,
             self.fine,
             self.spread_method,
             self.opts.tuning.threads_per_block,

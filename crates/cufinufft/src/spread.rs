@@ -19,7 +19,7 @@ use gpu_sim::{Device, DeviceFault, LaunchConfig, LaunchReport, Precision, Scope}
 use nufft_common::complex::Complex;
 use nufft_common::real::Real;
 use nufft_common::shape::Shape;
-use nufft_kernels::{grid_coord, spread_footprint, EsKernel, Kernel1d};
+use nufft_kernels::{grid_coord, spread_footprint, Kernel1d};
 
 /// Maximum kernel width across all supported kernels (the Gaussian
 /// baseline needs up to 26).
@@ -55,6 +55,11 @@ pub(crate) struct Footprint {
     pub l0: [i64; 3],
     pub wd: [usize; 3],
     pub ker: [[f64; MAX_W]; 3],
+    /// Wrapped grid indices `(l0 + t).rem_euclid(n)` per dimension,
+    /// precomputed once per point so the w^d lockstep/update loops do
+    /// table lookups instead of one i64 division per cell visit (the
+    /// dominant host cost of a simulated spread launch).
+    pub idx: [[usize; MAX_W]; 3],
 }
 
 #[inline]
@@ -69,12 +74,17 @@ pub(crate) fn footprint<T: Real, K: Kernel1d>(
         l0: [0; 3],
         wd: [1; 3],
         ker: [[1.0; MAX_W]; 3],
+        idx: [[0; MAX_W]; 3],
     };
     for i in 0..pts.dim {
         let g = grid_coord(pts.coord(i, j).to_f64(), fine.n[i]);
         let (l0, z0) = spread_footprint(g, w);
         fp.l0[i] = l0;
         fp.wd[i] = w;
+        let n = fine.n[i] as i64;
+        for (t, slot) in fp.idx[i][..w].iter_mut().enumerate() {
+            *slot = (l0 + t as i64).rem_euclid(n) as usize;
+        }
         kernel.eval_row(z0, &mut fp.ker[i][..w]);
     }
     fp
@@ -84,7 +94,7 @@ pub(crate) fn footprint<T: Real, K: Kernel1d>(
 /// the block's DRAM line model. `write` for atomic read-modify-write.
 #[inline]
 pub(crate) fn account_row(
-    b: &mut gpu_sim::BlockCtx<'_>,
+    b: &mut gpu_sim::BlockAcc<'_>,
     row_base_cell: usize, // cell index of (0, c2, c3) in the grid
     l0: i64,
     w: usize,
@@ -206,16 +216,26 @@ fn spread_gm_impl<T: Real, K: Kernel1d>(
     // named buffers for the shadow-memory access trace (no-ops when the
     // device is not in hazard mode); the grid is traced per real word so
     // counts line up with the two-atomics-per-complex-add accounting
+    let traced = k.access_traced();
     let tb_pts = k.trace_buffer("points", Scope::Global, T::BYTES);
     let tb_str = k.trace_buffer("strengths", Scope::Global, cb);
     let tb_grid = k.trace_buffer("fine_grid", Scope::Global, cb / 2);
     let w = kernel.width();
     let dim = pts.dim;
-    let [n1, n2, n3] = fine.n;
-    let mut addrs = [0usize; 32];
-    let mut idx = [[0usize; MAX_W]; 3];
-    for block in order.chunks(threads_per_block) {
-        let mut b = k.block();
+    let [n1, n2, _] = fine.n;
+    let n_blocks = m.div_ceil(threads_per_block);
+    // One task per thread block, run on the host pool (bit-identical to
+    // serial; see `Kernel::run_blocks`). The block body reports costs to
+    // its private accumulator and returns the grid updates as an ordered
+    // delta list; `apply` folds them in block-id order so the
+    // floating-point accumulation order matches a serial sweep exactly.
+    let pts = *pts;
+    let body = |bid: usize, b: &mut gpu_sim::BlockAcc<'_>| {
+        let block = &order[bid * threads_per_block..m.min((bid + 1) * threads_per_block)];
+        let mut addrs = [0usize; 32];
+        let mut fps: Vec<Footprint> = Vec::with_capacity(32);
+        let mut deltas: Vec<(usize, Complex<T>)> =
+            Vec::with_capacity(block.len() * w.pow(dim as u32));
         for (wi, warp) in block.chunks(32).enumerate() {
             let lane0 = (wi * 32) as u32; // thread id of this warp's lane 0
                                           // point-data loads: one access per array (x, y, z, c)
@@ -233,83 +253,93 @@ fn spread_gm_impl<T: Real, K: Kernel1d>(
             b.warp_access(&addrs[..warp.len()]);
             b.flops(warp.len() as u64 * (dim * w) as u64 * FLOPS_PER_EVAL);
 
-            // footprints for the warp
-            let fps: Vec<Footprint> = warp
-                .iter()
-                .map(|&j| footprint(kernel, fine, pts, j as usize))
-                .collect();
-            let steps = fps[0].wd[0] * fps[0].wd[1] * fps[0].wd[2];
-            // lockstep loop over the w^d cells: lanes touch their own
-            // cell; L2 coalescing per step, DRAM reuse per footprint row
-            for s in 0..steps {
-                let t1 = s % fps[0].wd[0];
-                let r = s / fps[0].wd[0];
-                let (t2, t3) = (r % fps[0].wd[1], r / fps[0].wd[1]);
-                for (l, fp) in fps.iter().enumerate() {
-                    let c1 = (fp.l0[0] + t1 as i64).rem_euclid(n1 as i64) as usize;
-                    let c2 = (fp.l0[1] + t2 as i64).rem_euclid(n2 as i64) as usize;
-                    let c3 = (fp.l0[2] + t3 as i64).rem_euclid(n3 as i64) as usize;
-                    let cell = c1 + n1 * (c2 + n2 * c3);
-                    addrs[l] = cell * cb;
-                    let lane = lane0 + l as u32;
-                    if racy {
-                        // the bug under test: plain read-modify-write of
-                        // a grid word other threads also update
-                        b.trace_write(tb_grid, lane, 2 * cell as u64);
-                        b.trace_write(tb_grid, lane, 2 * cell as u64 + 1);
-                    } else {
-                        b.global_atomic(cell); // op cost + contention
-                        b.global_atomic(cell); // two words per complex add
-                        b.trace_atomic(tb_grid, lane, 2 * cell as u64);
-                        b.trace_atomic(tb_grid, lane, 2 * cell as u64 + 1);
+            // footprints for the warp (wrapped indices precomputed)
+            fps.clear();
+            fps.extend(
+                warp.iter()
+                    .map(|&j| footprint(kernel, fine, &pts, j as usize)),
+            );
+            let [wd1, wd2, wd3] = fps[0].wd;
+            // lockstep loop over the w^d cells (x fastest, matching the
+            // serial step order): lanes touch their own cell; L2
+            // coalescing per step, DRAM reuse per footprint row
+            let mut rowb = [0usize; 32];
+            for t3 in 0..wd3 {
+                for t2 in 0..wd2 {
+                    for (l, fp) in fps.iter().enumerate() {
+                        rowb[l] = n1 * (fp.idx[1][t2] + n2 * fp.idx[2][t3]);
+                    }
+                    for t1 in 0..wd1 {
+                        for (l, fp) in fps.iter().enumerate() {
+                            let cell = fp.idx[0][t1] + rowb[l];
+                            addrs[l] = cell * cb;
+                            if traced {
+                                let lane = lane0 + l as u32;
+                                if racy {
+                                    // the bug under test: plain
+                                    // read-modify-write of a grid word
+                                    // other threads also update
+                                    b.trace_write(tb_grid, lane, 2 * cell as u64);
+                                    b.trace_write(tb_grid, lane, 2 * cell as u64 + 1);
+                                } else {
+                                    b.trace_atomic(tb_grid, lane, 2 * cell as u64);
+                                    b.trace_atomic(tb_grid, lane, 2 * cell as u64 + 1);
+                                }
+                            }
+                        }
+                        b.l2_access(&addrs[..fps.len()]);
                     }
                 }
-                b.l2_access(&addrs[..fps.len()]);
-                b.flops(fps.len() as u64 * FLOPS_PER_CELL);
             }
+            // per-cell update flops, summed once (u64→f64 sums of this
+            // size are exact, so the total matches per-step reporting)
+            b.flops((wd1 * wd2 * wd3) as u64 * fps.len() as u64 * FLOPS_PER_CELL);
             // DRAM-side traffic: each footprint row filtered through the
-            // L2 line model (this is where sorting pays off)
+            // L2 line model (this is where sorting pays off); atomic op
+            // cost + contention ride along, batched per contiguous row
+            // segment — two atomic words per complex add, totals
+            // identical to per-cell `global_atomic_n`
             for fp in fps.iter() {
                 for t3 in 0..fp.wd[2] {
-                    let c3 = (fp.l0[2] + t3 as i64).rem_euclid(n3 as i64) as usize;
                     for t2 in 0..fp.wd[1] {
-                        let c2 = (fp.l0[1] + t2 as i64).rem_euclid(n2 as i64) as usize;
-                        account_row(
-                            &mut b,
-                            n1 * (c2 + n2 * c3),
-                            fp.l0[0],
-                            fp.wd[0],
-                            n1,
-                            cb,
-                            true,
-                        );
+                        let row = n1 * (fp.idx[1][t2] + n2 * fp.idx[2][t3]);
+                        account_row(b, row, fp.l0[0], fp.wd[0], n1, cb, true);
+                        if !racy {
+                            let start = fp.idx[0][0];
+                            let w1 = fp.wd[0];
+                            if start + w1 <= n1 {
+                                b.global_atomic_run(row + start, w1, 2);
+                            } else {
+                                let first = n1 - start;
+                                b.global_atomic_run(row + start, first, 2);
+                                b.global_atomic_run(row, w1 - first, 2);
+                            }
+                        }
                     }
                 }
             }
-            // functional update
+            // functional update, emitted as an ordered delta list
             for (&j, fp) in warp.iter().zip(fps.iter()) {
                 let c = strengths[j as usize];
-                for i in 0..3 {
-                    let n = [n1, n2, n3][i] as i64;
-                    for (t, slot) in idx[i][..fp.wd[i]].iter_mut().enumerate() {
-                        *slot = (fp.l0[i] + t as i64).rem_euclid(n) as usize;
-                    }
-                }
                 for t3 in 0..fp.wd[2] {
-                    let off3 = idx[2][t3] * n1 * n2;
+                    let off3 = fp.idx[2][t3] * n1 * n2;
                     for t2 in 0..fp.wd[1] {
                         let c23 = c.scale(T::from_f64(fp.ker[1][t2] * fp.ker[2][t3]));
-                        let base = off3 + idx[1][t2] * n1;
-                        for t1 in 0..fp.wd[0] {
-                            grid[base + idx[0][t1]] += c23.scale(T::from_f64(fp.ker[0][t1]));
+                        let base = off3 + fp.idx[1][t2] * n1;
+                        for (&i1, &k1) in fp.idx[0][..fp.wd[0]].iter().zip(fp.ker[0].iter()) {
+                            deltas.push((base + i1, c23.scale(T::from_f64(k1))));
                         }
                     }
                 }
             }
         }
-        b.finish();
-    }
-    let _ = m;
+        deltas
+    };
+    k.run_blocks(n_blocks, body, |_bid, deltas| {
+        for (cell, v) in deltas {
+            grid[cell] += v;
+        }
+    });
     Ok(dev.launch_end(k))
 }
 
@@ -317,9 +347,9 @@ fn spread_gm_impl<T: Real, K: Kernel1d>(
 /// accumulation in a shared-memory padded bin, then one global atomic add
 /// per padded-bin cell.
 #[allow(clippy::too_many_arguments)]
-pub fn spread_sm<T: Real>(
+pub fn spread_sm<T: Real, K: Kernel1d>(
     dev: &Device,
-    kernel: &EsKernel,
+    kernel: &K,
     fine: Shape,
     pts: &PtsRef<'_, T>,
     strengths: &[Complex<T>],
@@ -331,7 +361,7 @@ pub fn spread_sm<T: Real>(
     assert_eq!(grid.len(), fine.total());
     let cb = std::mem::size_of::<Complex<T>>();
     let prec = precision::<T>();
-    let w = kernel.w;
+    let w = kernel.width();
     let pad = 2 * w.div_ceil(2);
     let dim = pts.dim;
     // padded bin extents (eq. 13)
@@ -357,15 +387,18 @@ pub fn spread_sm<T: Real>(
     let tpb = 256u32; // threads per block, for trace thread ids
     let [n1, n2, n3] = fine.n;
     let half = (pad / 2) as i64;
-    let mut local = vec![Complex::<T>::ZERO; padded_cells];
-    let mut addrs = [0usize; 32];
-    for sp in subproblems {
-        let mut b = k.block();
+    let pts = *pts;
+    // One subproblem per thread block, run on the host pool; grid updates
+    // come back as an ordered delta list per block (see `spread_gm_impl`).
+    let body = |bid: usize, b: &mut gpu_sim::BlockAcc<'_>| {
+        let sp = &subproblems[bid];
+        let mut local = vec![Complex::<T>::ZERO; padded_cells];
+        let mut addrs = [0usize; 32];
+        let mut deltas: Vec<(usize, Complex<T>)> = Vec::with_capacity(padded_cells);
         let o = layout.origin(sp.bin as usize);
         // shared-memory zero fill (grid-stride over the padded bin), then
         // a __syncthreads before any thread accumulates into the bin
         b.shared_ops(padded_cells as u64);
-        local.iter_mut().for_each(|z| *z = Complex::ZERO);
         if traced {
             for word in 0..2 * padded_cells as u64 {
                 b.trace_write(tb_bin, (word % tpb as u64) as u32, word);
@@ -401,7 +434,7 @@ pub fn spread_sm<T: Real>(
             b.flops(warp.len() as u64 * (dim * w) as u64 * FLOPS_PER_EVAL);
             for (l, &j) in warp.iter().enumerate() {
                 let thread = (lane0 + l as u32) % tpb;
-                let fp = footprint(kernel, fine, pts, j as usize);
+                let fp = footprint(kernel, fine, &pts, j as usize);
                 let c = strengths[j as usize];
                 let b1 = (fp.l0[0] - delta[0]) as usize;
                 let b2 = if dim >= 2 {
@@ -478,16 +511,21 @@ pub fn spread_sm<T: Real>(
                             b.trace_atomic(tb_grid, thread, 2 * cell as u64);
                             b.trace_atomic(tb_grid, thread, 2 * cell as u64 + 1);
                         }
-                        grid[cell] += local[lrow + l + s];
+                        deltas.push((cell, local[lrow + l + s]));
                     }
                     l += lanes;
                 }
-                account_row(&mut b, row_base, delta[0], p[0], n1, cb, true);
+                account_row(b, row_base, delta[0], p[0], n1, cb, true);
             }
         }
         b.flops(padded_cells as u64 * 2);
-        b.finish();
-    }
+        deltas
+    };
+    k.run_blocks(subproblems.len(), body, |_bid, deltas| {
+        for (cell, v) in deltas {
+            grid[cell] += v;
+        }
+    });
     Ok(dev.launch_end(k))
 }
 
@@ -513,9 +551,9 @@ pub struct SpreadInputs<'a, T> {
 /// single-transform path, so results are bitwise identical to `bc`
 /// separate dispatches.
 #[allow(clippy::too_many_arguments)]
-pub fn spread_batch<T: Real>(
+pub fn spread_batch<T: Real, K: Kernel1d>(
     dev: &Device,
-    kernel: &EsKernel,
+    kernel: &K,
     fine: Shape,
     method: Method,
     threads_per_block: usize,
@@ -598,6 +636,7 @@ mod tests {
     use crate::bins::{build_subproblems, gpu_bin_sort};
     use nufft_common::metrics::rel_l2;
     use nufft_common::workload::{gen_points, gen_strengths, PointDist, Points};
+    use nufft_kernels::EsKernel;
 
     fn pts_ref<T: Real>(p: &Points<T>) -> PtsRef<'_, T> {
         PtsRef {

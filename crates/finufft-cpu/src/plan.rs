@@ -12,7 +12,7 @@ use nufft_common::shape::{freq_to_bin, freqs, Shape};
 use nufft_common::smooth::{fine_grid_size_with, FineSizing};
 use nufft_common::workload::Points;
 use nufft_fft::{Direction, FftNd};
-use nufft_kernels::{EsKernel, Kernel1d};
+use nufft_kernels::{EsKernel, EvalKernel, Kernel1d, KernelEval};
 use std::time::Instant;
 
 pub use nufft_common::TransformType;
@@ -32,6 +32,12 @@ pub struct Opts {
     /// `max(ceil(sigma*n), 2w)`, which lets prime sizes reach the
     /// Bluestein FFT path (used by the conformance harness).
     pub fine_sizing: FineSizing,
+    /// Kernel-evaluation choice honored by [`Plan::new`] on the
+    /// `EvalKernel`-backed plan type: exact exponential, the fitted
+    /// Horner fast path, or a plan-time Auto pick gated on the measured
+    /// fit error. `Plan::<T>::new` (the `EsKernel` default) always
+    /// evaluates exactly and ignores this knob.
+    pub kernel_eval: KernelEval,
 }
 
 impl Default for Opts {
@@ -42,6 +48,7 @@ impl Default for Opts {
             bin_size: [16, 16, 4],
             sort: true,
             fine_sizing: FineSizing::default(),
+            kernel_eval: KernelEval::Auto,
         }
     }
 }
@@ -87,6 +94,28 @@ impl<T: Real> Plan<T, EsKernel> {
         } else {
             EsKernel::for_tolerance_sigma(eps, opts.upsampfac, T::IS_DOUBLE)?
         };
+        Self::with_kernel(ttype, modes, iflag, kernel, opts)
+    }
+}
+
+impl<T: Real> Plan<T, EvalKernel> {
+    /// Create a plan that honors `opts.kernel_eval`: the ES kernel is
+    /// selected from `eps` exactly as [`Plan::new`] does, then the
+    /// evaluation strategy (exact exponential vs fitted Horner fast
+    /// path) is resolved at plan time via [`EvalKernel::select`].
+    pub fn new(
+        ttype: TransformType,
+        modes: &[usize],
+        iflag: i32,
+        eps: f64,
+        opts: Opts,
+    ) -> Result<Self> {
+        let es = if (opts.upsampfac - 2.0).abs() < 1e-12 {
+            EsKernel::for_tolerance(eps, T::IS_DOUBLE)?
+        } else {
+            EsKernel::for_tolerance_sigma(eps, opts.upsampfac, T::IS_DOUBLE)?
+        };
+        let kernel = EvalKernel::select(es, eps, opts.kernel_eval);
         Self::with_kernel(ttype, modes, iflag, kernel, opts)
     }
 }

@@ -313,3 +313,49 @@ fn horner_kernel_plan_matches_direct_eval_plan() {
         rel_l2(&horner, &direct)
     );
 }
+
+#[test]
+fn eval_kernel_plan_honors_opts_and_matches_exact_plan() {
+    use nufft_kernels::{EvalKernel, KernelEval};
+    let modes = [20usize, 18];
+    let shape = Shape::from_slice(&modes);
+    let eps = 1e-6;
+    let run = |choice: KernelEval| {
+        let opts = Opts {
+            kernel_eval: choice,
+            ..Opts::default()
+        };
+        let mut plan =
+            Plan::<f64, EvalKernel>::new(TransformType::Type1, &modes, -1, eps, opts).unwrap();
+        let horner = plan.kernel().is_horner();
+        let pts: Points<f64> = gen_points(PointDist::Rand, 2, 300, plan.fine_grid_shape(), 91);
+        plan.set_pts(pts).unwrap();
+        let cs = gen_strengths::<f64>(300, 92);
+        let mut out = vec![Complex::<f64>::ZERO; shape.total()];
+        plan.execute(&cs, &mut out).unwrap();
+        (horner, out)
+    };
+    // At a moderate tolerance Auto resolves to the Horner fast path; the
+    // forced variants are honored verbatim.
+    let (auto_horner, auto_out) = run(KernelEval::Auto);
+    let (exact_horner, exact_out) = run(KernelEval::Exact);
+    let (forced_horner, _) = run(KernelEval::Horner);
+    assert!(auto_horner, "Auto should pick Horner at eps=1e-6");
+    assert!(!exact_horner);
+    assert!(forced_horner);
+    // Both evaluations compute the same transform well within eps.
+    assert!(rel_l2(&auto_out, &exact_out) < eps);
+    // The default-kernel plan (always exact) agrees bitwise with the
+    // Exact-forced EvalKernel plan: same kernel, same evaluation.
+    let mut plan =
+        Plan::<f64>::new(TransformType::Type1, &modes, -1, eps, Opts::default()).unwrap();
+    let pts: Points<f64> = gen_points(PointDist::Rand, 2, 300, plan.fine_grid_shape(), 91);
+    plan.set_pts(pts).unwrap();
+    let cs = gen_strengths::<f64>(300, 92);
+    let mut out = vec![Complex::<f64>::ZERO; shape.total()];
+    plan.execute(&cs, &mut out).unwrap();
+    for (a, b) in out.iter().zip(exact_out.iter()) {
+        assert_eq!(a.re.to_bits(), b.re.to_bits());
+        assert_eq!(a.im.to_bits(), b.im.to_bits());
+    }
+}

@@ -46,6 +46,25 @@ struct State {
     faults: Option<FaultState>,
     hazard_mode: HazardMode,
     hazard: Vec<KernelHazardReport>,
+    /// Host worker threads available to `Kernel::run_blocks`. Results are
+    /// bit-identical at any value; this only changes host wall-clock.
+    host_parallelism: usize,
+}
+
+/// Default host thread-pool width for parallel block execution: the
+/// `GPU_SIM_HOST_THREADS` env var when set, else the host's available
+/// parallelism capped at 8 (block bodies are short; wider pools mostly
+/// add merge latency).
+fn default_host_parallelism() -> usize {
+    if let Ok(v) = std::env::var("GPU_SIM_HOST_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8)
 }
 
 /// Which trace lane a priced operation lands on. Transfers are split by
@@ -91,6 +110,7 @@ impl Device {
                 props,
                 state: Mutex::new(State {
                     record_timeline: true,
+                    host_parallelism: default_host_parallelism(),
                     ..State::default()
                 }),
             }),
@@ -130,6 +150,20 @@ impl Device {
     /// Toggle timeline recording (benchmarks disable it to avoid growth).
     pub fn set_record_timeline(&self, on: bool) {
         self.inner.state.lock().record_timeline = on;
+    }
+
+    /// Host worker threads `Kernel::run_blocks` may use for this device's
+    /// launches (default: `GPU_SIM_HOST_THREADS` or the host's available
+    /// parallelism, capped at 8). Simulated results are bit-identical at
+    /// any setting; hazard checking and fault injection force 1.
+    pub fn set_host_parallelism(&self, n: usize) {
+        self.inner.state.lock().host_parallelism = n.max(1);
+    }
+
+    /// Current host-parallelism setting (see
+    /// [`Device::set_host_parallelism`]).
+    pub fn host_parallelism(&self) -> usize {
+        self.inner.state.lock().host_parallelism
     }
 
     /// Snapshot of all recorded operations.
@@ -500,6 +534,14 @@ impl Device {
             if self.hazard_checking() {
                 k.enable_access_trace();
             }
+            // Hazard checking and fault injection stay strictly serial;
+            // otherwise hand the launch the device's host-pool width.
+            let s = self.inner.state.lock();
+            k.host_threads = if s.faults.is_some() || k.access_traced() {
+                1
+            } else {
+                s.host_parallelism
+            };
             k
         };
         match self.consult_faults(FaultSite::Kernel, name) {

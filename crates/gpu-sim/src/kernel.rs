@@ -144,6 +144,10 @@ pub struct Kernel {
     cur_epoch: u32,
     // shadow-memory access trace, present under HazardMode::Check
     access: Option<KernelTrace>,
+    /// Host-side worker threads [`Kernel::run_blocks`] may use. Set by
+    /// `Device::kernel` from the device knob; forced to 1 under hazard
+    /// checking or fault injection so those paths stay strictly serial.
+    pub(crate) host_threads: usize,
 }
 
 impl std::fmt::Debug for Kernel {
@@ -176,6 +180,7 @@ impl Kernel {
             shared_count: vec![0; shared_words],
             cur_epoch: 0,
             access: None,
+            host_threads: 1,
         }
     }
 
@@ -207,7 +212,7 @@ impl Kernel {
     /// logical element (e.g. 8 for a complex f32).
     pub fn atomic_region(&mut self, n_elems: usize, elem_bytes: usize) {
         self.elems_per_sector = (self.props.sector_bytes / elem_bytes).max(1);
-        let sectors = n_elems / self.elems_per_sector + 1;
+        let sectors = n_elems.div_ceil(self.elems_per_sector).max(1);
         self.atomic_hist = vec![0u64; sectors];
     }
 
@@ -284,6 +289,544 @@ impl Kernel {
         };
         (report, traced)
     }
+
+    /// Execute `n_blocks` independent thread blocks, possibly on a bounded
+    /// host thread pool, with results bit-for-bit identical to running
+    /// them serially in block-id order.
+    ///
+    /// `body(block_id, acc)` does the block's functional work and reports
+    /// its memory behaviour through the [`BlockAcc`] — a per-block private
+    /// accumulator that *logs* cache-order-sensitive events (DRAM line
+    /// touches, traced accesses) instead of applying them. The log is
+    /// replayed through the shared L2 line-cache model strictly in
+    /// block-id order at merge time, so per-block DRAM charges (and hence
+    /// block timings and the launch price) are independent of host
+    /// scheduling. `apply(block_id, r)` receives each block's return value
+    /// in block-id order — use it to fold grid deltas so floating-point
+    /// accumulation order matches the serial path exactly.
+    ///
+    /// Call after [`Kernel::atomic_region`] / [`Kernel::trace_buffer`];
+    /// the accumulator snapshots those declarations. Runs serially when
+    /// `host_threads <= 1` or when an access trace is attached (hazard
+    /// checking), via the same accumulate-then-merge code path.
+    pub fn run_blocks<R, F, G>(&mut self, n_blocks: usize, body: F, mut apply: G)
+    where
+        R: Send,
+        F: Fn(usize, &mut BlockAcc<'_>) -> R + Sync,
+        G: FnMut(usize, R),
+    {
+        let params = AccParams {
+            sector_bytes: self.props.sector_bytes,
+            line_bytes: self.props.line_bytes,
+            elems_per_sector: self.elems_per_sector,
+            hist_len: self.atomic_hist.len(),
+            shared_words: self.shared_epoch.len(),
+            traced: self.access.is_some(),
+        };
+        let threads = if params.traced {
+            1
+        } else {
+            self.host_threads.max(1).min(n_blocks.max(1))
+        };
+        if threads <= 1 {
+            let mut scratch = WorkerScratch::new(&params);
+            for bid in 0..n_blocks {
+                let mut acc = BlockAcc::begin(params, &mut scratch);
+                let r = body(bid, &mut acc);
+                let out = acc.into_out();
+                self.merge_block(out);
+                apply(bid, r);
+            }
+            for (dst, src) in self.atomic_hist.iter_mut().zip(scratch.hist.iter()) {
+                *dst += src;
+            }
+            return;
+        }
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let next = AtomicUsize::new(0);
+        let (tx, rx) = std::sync::mpsc::channel::<(usize, BlockOut, R)>();
+        let next_ref = &next;
+        let body_ref = &body;
+        std::thread::scope(|s| {
+            let mut handles = Vec::with_capacity(threads);
+            for _ in 0..threads {
+                let tx = tx.clone();
+                handles.push(s.spawn(move || {
+                    let mut scratch = WorkerScratch::new(&params);
+                    loop {
+                        let bid = next_ref.fetch_add(1, Ordering::Relaxed);
+                        if bid >= n_blocks {
+                            break;
+                        }
+                        let mut acc = BlockAcc::begin(params, &mut scratch);
+                        let r = body_ref(bid, &mut acc);
+                        let out = acc.into_out();
+                        if tx.send((bid, out, r)).is_err() {
+                            break;
+                        }
+                    }
+                    scratch.hist
+                }));
+            }
+            drop(tx);
+            // Merge strictly in block-id order through a reorder buffer.
+            let mut pending: std::collections::HashMap<usize, (BlockOut, R)> =
+                std::collections::HashMap::new();
+            let mut want = 0usize;
+            while want < n_blocks {
+                let Ok((bid, out, r)) = rx.recv() else { break };
+                pending.insert(bid, (out, r));
+                while let Some((out, r)) = pending.remove(&want) {
+                    self.merge_block(out);
+                    apply(want, r);
+                    want += 1;
+                }
+            }
+            for h in handles {
+                match h.join() {
+                    // Per-worker histograms are merged additively after the
+                    // ordered pass: u64 adds commute, so the result matches
+                    // the serial tally exactly.
+                    Ok(hist) => {
+                        for (dst, src) in self.atomic_hist.iter_mut().zip(hist.iter()) {
+                            *dst += src;
+                        }
+                    }
+                    Err(e) => std::panic::resume_unwind(e),
+                }
+            }
+            assert_eq!(want, n_blocks, "parallel block execution lost blocks");
+        });
+    }
+
+    /// Fold one block's private accumulator into the launch: replay its
+    /// DRAM log through the shared line cache, replay traced accesses,
+    /// price the block with the same formulas as [`BlockCtx::finish`],
+    /// and accumulate launch-wide counters.
+    fn merge_block(&mut self, out: BlockOut) {
+        let lb = self.props.line_bytes as f64;
+        let mut dram_bytes = 0.0f64;
+        for op in &out.dram_log {
+            match *op {
+                DramOp::Line(line) => {
+                    if self.cache.touch(line) {
+                        dram_bytes += lb;
+                    }
+                }
+                DramOp::Span { first, last, write } => {
+                    let factor = if write { 2.0 } else { 1.0 };
+                    for line in first..=last {
+                        if self.cache.touch(line) {
+                            dram_bytes += lb * factor;
+                        }
+                    }
+                }
+                DramOp::Flat(bytes) => dram_bytes += bytes,
+            }
+        }
+        let block_id = self.block_times.len() as u32;
+        if let Some(t) = &mut self.access {
+            for op in &out.trace_log {
+                match *op {
+                    TraceOp::Read(buf, thread, elem) => t.read(buf, block_id, thread, elem),
+                    TraceOp::Write(buf, thread, elem) => t.write(buf, block_id, thread, elem),
+                    TraceOp::Atomic(buf, thread, elem) => t.atomic(buf, block_id, thread, elem),
+                    TraceOp::Barrier => t.barrier(block_id),
+                }
+            }
+        }
+        let p = &self.props;
+        let prec = self.cfg.precision;
+        let sm = p.sm_count as f64;
+        let t_compute = out.flops / p.sm_flops(prec);
+        let t_l2 = (out.l2_sectors * p.sector_bytes as u64) as f64 / (p.l2_bw / sm);
+        let t_dram = dram_bytes / (p.dram_bw / sm);
+        let t_atomic = out.atomics as f64 / (p.l2_atomic_rate / sm);
+        let t_shared = out.shared_ops as f64 / p.shared_ops_rate_per_sm
+            + out.shared_hotspot as f64 * p.t_shared_atomic_same;
+        let t_block = t_compute.max(t_l2).max(t_dram).max(t_atomic).max(t_shared);
+        self.flops += out.flops;
+        self.l2_sectors += out.l2_sectors;
+        self.dram_bytes += dram_bytes;
+        self.atomics += out.atomics;
+        self.shared_atomics += out.shared_atomics;
+        self.block_times.push(t_block);
+    }
+}
+
+/// Truncating division that strength-reduces to a shift when the
+/// divisor is a power of two (the sector/line/element sizes always
+/// are in practice, and a 64-bit `idiv` in the per-warp accounting
+/// loops is a measurable fraction of simulated-launch wall time).
+#[inline(always)]
+fn div_fast(a: usize, d: usize) -> usize {
+    if d.is_power_of_two() {
+        a >> d.trailing_zeros()
+    } else {
+        a / d
+    }
+}
+
+/// Count distinct 32-byte sectors among up to 32 lane addresses
+/// (hardware coalescing within one warp instruction).
+fn dedup_sectors(sector_bytes: usize, byte_addrs: &[usize]) -> u64 {
+    debug_assert!(byte_addrs.len() <= 32, "a warp has at most 32 lanes");
+    let mut ids = [usize::MAX; 32];
+    let n = byte_addrs.len().min(32);
+    if sector_bytes.is_power_of_two() {
+        let sh = sector_bytes.trailing_zeros();
+        for (slot, &a) in ids.iter_mut().zip(byte_addrs.iter()) {
+            *slot = a >> sh;
+        }
+    } else {
+        for (slot, &a) in ids.iter_mut().zip(byte_addrs.iter()) {
+            *slot = a / sector_bytes;
+        }
+    }
+    let ids = &mut ids[..n];
+    ids.sort_unstable();
+    let mut distinct = 0u64;
+    let mut prev = usize::MAX;
+    for &id in ids.iter() {
+        if id != prev {
+            distinct += 1;
+            prev = id;
+        }
+    }
+    distinct
+}
+
+/// One DRAM-side event logged by a [`BlockAcc`], replayed through the
+/// shared L2 line cache in block-id order at merge time.
+enum DramOp {
+    /// One lane's line touch from [`BlockAcc::warp_access`] (read).
+    Line(u64),
+    /// Contiguous line range from [`BlockAcc::dram_span`] /
+    /// [`BlockAcc::stream_span`]; writes pay read+writeback on miss.
+    Span { first: u64, last: u64, write: bool },
+    /// Unconditional DRAM bytes from [`BlockAcc::stream_bytes`]
+    /// (compulsory misses; the line cache is not consulted).
+    Flat(f64),
+}
+
+/// One shadow-memory access logged by a [`BlockAcc`], replayed into the
+/// launch's [`KernelTrace`] in block-id order at merge time.
+enum TraceOp {
+    Read(BufId, u32, u64),
+    Write(BufId, u32, u64),
+    Atomic(BufId, u32, u64),
+    Barrier,
+}
+
+/// Snapshot of the per-launch declarations a [`BlockAcc`] needs, taken
+/// when [`Kernel::run_blocks`] starts (so it must be called after
+/// `atomic_region`).
+#[derive(Copy, Clone)]
+struct AccParams {
+    sector_bytes: usize,
+    line_bytes: usize,
+    elems_per_sector: usize,
+    hist_len: usize,
+    shared_words: usize,
+    traced: bool,
+}
+
+/// Per-worker reusable scratch: a private copy of the atomic-sector
+/// histogram (zeroed once per worker, not per block — merged additively
+/// at the end) and the shared-memory hotspot epoch arrays.
+struct WorkerScratch {
+    hist: Vec<u64>,
+    shared_epoch: Vec<u32>,
+    shared_count: Vec<u64>,
+    cur_epoch: u32,
+    /// Open-addressing probe table for [`Self::count_distinct`]: 64
+    /// slots for at most 32 warp-lane sector ids, epoch-stamped so it
+    /// never needs clearing between calls.
+    dedup_ids: [usize; 64],
+    dedup_epoch: [u64; 64],
+    dedup_clock: u64,
+}
+
+impl WorkerScratch {
+    fn new(p: &AccParams) -> Self {
+        WorkerScratch {
+            hist: vec![0u64; p.hist_len],
+            shared_epoch: vec![0u32; p.shared_words],
+            shared_count: vec![0u64; p.shared_words],
+            cur_epoch: 0,
+            dedup_ids: [0; 64],
+            dedup_epoch: [0; 64],
+            dedup_clock: 0,
+        }
+    }
+
+    /// Exact count of distinct ids (≤ 32 of them) via the epoch-stamped
+    /// probe table — same result as sort+dedup ([`dedup_sectors`]), but
+    /// without the per-warp-instruction sort that dominated simulated
+    /// spread launches on the host profile. Linear probing in a table
+    /// twice the maximum input size always terminates.
+    #[inline]
+    fn count_distinct(&mut self, ids: impl Iterator<Item = usize>) -> u64 {
+        self.dedup_clock += 1;
+        let ep = self.dedup_clock;
+        let mut distinct = 0u64;
+        for id in ids {
+            let mut slot = id & 63;
+            loop {
+                if self.dedup_epoch[slot] != ep {
+                    self.dedup_epoch[slot] = ep;
+                    self.dedup_ids[slot] = id;
+                    distinct += 1;
+                    break;
+                }
+                if self.dedup_ids[slot] == id {
+                    break;
+                }
+                slot = (slot + 1) & 63;
+            }
+        }
+        distinct
+    }
+}
+
+/// Per-block private accumulator used by [`Kernel::run_blocks`]. Mirrors
+/// the [`BlockCtx`] reporting API, but instead of mutating launch-wide
+/// state it counts locally and logs order-sensitive events (DRAM line
+/// touches, traced accesses) for deterministic replay at merge time.
+pub struct BlockAcc<'w> {
+    params: AccParams,
+    flops: f64,
+    l2_sectors: u64,
+    atomics: u64,
+    shared_atomics: u64,
+    shared_ops: u64,
+    shared_hotspot: u64,
+    dram_log: Vec<DramOp>,
+    trace_log: Vec<TraceOp>,
+    scratch: &'w mut WorkerScratch,
+}
+
+/// A finished block's counters and logs, sent from the worker that ran
+/// it to the merging thread.
+struct BlockOut {
+    flops: f64,
+    l2_sectors: u64,
+    atomics: u64,
+    shared_atomics: u64,
+    shared_ops: u64,
+    shared_hotspot: u64,
+    dram_log: Vec<DramOp>,
+    trace_log: Vec<TraceOp>,
+}
+
+impl<'w> BlockAcc<'w> {
+    fn begin(params: AccParams, scratch: &'w mut WorkerScratch) -> Self {
+        scratch.cur_epoch = scratch.cur_epoch.wrapping_add(1);
+        if scratch.cur_epoch == 0 {
+            scratch.shared_epoch.iter_mut().for_each(|e| *e = 0);
+            scratch.cur_epoch = 1;
+        }
+        BlockAcc {
+            params,
+            flops: 0.0,
+            l2_sectors: 0,
+            atomics: 0,
+            shared_atomics: 0,
+            shared_ops: 0,
+            shared_hotspot: 0,
+            dram_log: Vec::new(),
+            trace_log: Vec::new(),
+            scratch,
+        }
+    }
+
+    fn into_out(self) -> BlockOut {
+        BlockOut {
+            flops: self.flops,
+            l2_sectors: self.l2_sectors,
+            atomics: self.atomics,
+            shared_atomics: self.shared_atomics,
+            shared_ops: self.shared_ops,
+            shared_hotspot: self.shared_hotspot,
+            dram_log: self.dram_log,
+            trace_log: self.trace_log,
+        }
+    }
+
+    /// Report `n` floating-point operations (in the working precision).
+    #[inline]
+    pub fn flops(&mut self, n: u64) {
+        self.flops += n as f64;
+    }
+
+    /// See [`BlockCtx::l2_access`].
+    pub fn l2_access(&mut self, byte_addrs: &[usize]) {
+        self.l2_sectors += self.distinct_sectors(byte_addrs);
+    }
+
+    /// [`dedup_sectors`] semantics through the worker's probe table
+    /// (identical count, no per-call sort).
+    #[inline]
+    fn distinct_sectors(&mut self, byte_addrs: &[usize]) -> u64 {
+        debug_assert!(byte_addrs.len() <= 32, "a warp has at most 32 lanes");
+        let sb = self.params.sector_bytes;
+        if sb.is_power_of_two() {
+            let sh = sb.trailing_zeros();
+            self.scratch
+                .count_distinct(byte_addrs.iter().map(|&a| a >> sh))
+        } else {
+            self.scratch
+                .count_distinct(byte_addrs.iter().map(|&a| a / sb))
+        }
+    }
+
+    /// See [`BlockCtx::l2_sector_count`].
+    #[inline]
+    pub fn l2_sector_count(&mut self, n: u64) {
+        self.l2_sectors += n;
+    }
+
+    /// See [`BlockCtx::warp_access`]. Lane line touches are logged for
+    /// replay through the shared line cache at merge time.
+    pub fn warp_access(&mut self, byte_addrs: &[usize]) {
+        self.l2_sectors += self.distinct_sectors(byte_addrs);
+        let lb = self.params.line_bytes;
+        for &a in byte_addrs {
+            self.dram_log.push(DramOp::Line((a / lb) as u64));
+        }
+    }
+
+    /// See [`BlockCtx::stream_span`].
+    pub fn stream_span(&mut self, start_byte: usize, len_bytes: usize, write: bool) {
+        let sb = self.params.sector_bytes;
+        self.l2_sectors += len_bytes.div_ceil(sb) as u64;
+        self.dram_span(start_byte, len_bytes, write);
+    }
+
+    /// See [`BlockCtx::dram_span`].
+    pub fn dram_span(&mut self, start_byte: usize, len_bytes: usize, write: bool) {
+        if len_bytes == 0 {
+            return;
+        }
+        let lb = self.params.line_bytes;
+        let first = div_fast(start_byte, lb) as u64;
+        let last = div_fast(start_byte + len_bytes - 1, lb) as u64;
+        self.dram_log.push(DramOp::Span { first, last, write });
+    }
+
+    /// See [`BlockCtx::stream_bytes`].
+    #[inline]
+    pub fn stream_bytes(&mut self, bytes: usize) {
+        let sb = self.params.sector_bytes;
+        self.l2_sectors += bytes.div_ceil(sb) as u64;
+        self.dram_log.push(DramOp::Flat(bytes as f64));
+    }
+
+    /// See [`BlockCtx::global_atomic`].
+    #[inline]
+    pub fn global_atomic(&mut self, elem_idx: usize) {
+        self.global_atomic_n(elem_idx, 1);
+    }
+
+    /// See [`BlockCtx::global_atomic_n`]. Tallies land in the worker's
+    /// private histogram, merged additively when the launch completes.
+    #[inline]
+    pub fn global_atomic_n(&mut self, elem_idx: usize, n: u64) {
+        self.atomics += n;
+        if !self.scratch.hist.is_empty() {
+            let s = div_fast(elem_idx, self.params.elems_per_sector);
+            if let Some(c) = self.scratch.hist.get_mut(s) {
+                *c += n;
+            }
+        }
+    }
+
+    /// See [`BlockCtx::global_atomic_run`].
+    pub fn global_atomic_run(&mut self, start_elem: usize, len: usize, n_per_elem: u64) {
+        if len == 0 {
+            return;
+        }
+        self.atomics += len as u64 * n_per_elem;
+        if !self.scratch.hist.is_empty() {
+            let eps = self.params.elems_per_sector;
+            let first = div_fast(start_elem, eps);
+            let last = div_fast(start_elem + len - 1, eps);
+            for s in first..=last {
+                let lo = start_elem.max(s * eps);
+                let hi = (start_elem + len).min(s * eps + eps);
+                if let Some(c) = self.scratch.hist.get_mut(s) {
+                    *c += (hi - lo) as u64 * n_per_elem;
+                }
+            }
+        }
+    }
+
+    /// See [`BlockCtx::shared_atomic`].
+    #[inline]
+    pub fn shared_atomic(&mut self, word_idx: usize) {
+        self.shared_ops += 1;
+        self.shared_atomics += 1;
+        let sc = &mut *self.scratch;
+        if word_idx < sc.shared_epoch.len() {
+            if sc.shared_epoch[word_idx] != sc.cur_epoch {
+                sc.shared_epoch[word_idx] = sc.cur_epoch;
+                sc.shared_count[word_idx] = 1;
+            } else {
+                sc.shared_count[word_idx] += 1;
+            }
+            self.shared_hotspot = self.shared_hotspot.max(sc.shared_count[word_idx]);
+        }
+    }
+
+    /// See [`BlockCtx::shared_ops`].
+    #[inline]
+    pub fn shared_ops(&mut self, n: u64) {
+        self.shared_ops += n;
+    }
+
+    /// See [`BlockCtx::shared_reads`].
+    #[inline]
+    pub fn shared_reads(&mut self, n: u64) {
+        self.shared_ops += n / 4;
+    }
+
+    /// See [`BlockCtx::trace_read`]. Logged for ordered replay.
+    #[inline]
+    pub fn trace_read(&mut self, buf: BufId, thread: u32, elem: u64) {
+        if self.params.traced {
+            self.trace_log.push(TraceOp::Read(buf, thread, elem));
+        }
+    }
+
+    /// See [`BlockCtx::trace_write`].
+    #[inline]
+    pub fn trace_write(&mut self, buf: BufId, thread: u32, elem: u64) {
+        if self.params.traced {
+            self.trace_log.push(TraceOp::Write(buf, thread, elem));
+        }
+    }
+
+    /// See [`BlockCtx::trace_atomic`].
+    #[inline]
+    pub fn trace_atomic(&mut self, buf: BufId, thread: u32, elem: u64) {
+        if self.params.traced {
+            self.trace_log.push(TraceOp::Atomic(buf, thread, elem));
+        }
+    }
+
+    /// See [`BlockCtx::barrier`].
+    #[inline]
+    pub fn barrier(&mut self) {
+        if self.params.traced {
+            self.trace_log.push(TraceOp::Barrier);
+        }
+    }
+
+    /// Whether this launch carries an access trace.
+    #[inline]
+    pub fn access_traced(&self) -> bool {
+        self.params.traced
+    }
 }
 
 /// Accounting context for one thread block. Obtain via [`Kernel::block`],
@@ -312,24 +855,7 @@ impl BlockCtx<'_> {
     /// Count distinct 32-byte sectors among up to 32 lane addresses
     /// (hardware coalescing within one warp instruction).
     fn dedup_sectors(&self, byte_addrs: &[usize]) -> u64 {
-        debug_assert!(byte_addrs.len() <= 32, "a warp has at most 32 lanes");
-        let sb = self.k.props.sector_bytes;
-        let mut ids = [usize::MAX; 32];
-        let n = byte_addrs.len().min(32);
-        for (slot, &a) in ids.iter_mut().zip(byte_addrs.iter()) {
-            *slot = a / sb;
-        }
-        let ids = &mut ids[..n];
-        ids.sort_unstable();
-        let mut distinct = 0u64;
-        let mut prev = usize::MAX;
-        for &id in ids.iter() {
-            if id != prev {
-                distinct += 1;
-                prev = id;
-            }
-        }
-        distinct
+        dedup_sectors(self.k.props.sector_bytes, byte_addrs)
     }
 
     /// One warp-wide access whose traffic stays at L2 level; cache reuse
@@ -379,8 +905,8 @@ impl BlockCtx<'_> {
             return;
         }
         let lb = self.k.props.line_bytes;
-        let first = (start_byte / lb) as u64;
-        let last = ((start_byte + len_bytes - 1) / lb) as u64;
+        let first = div_fast(start_byte, lb) as u64;
+        let last = div_fast(start_byte + len_bytes - 1, lb) as u64;
         let factor = if write { 2.0 } else { 1.0 };
         for line in first..=last {
             if self.k.cache.touch(line) {
@@ -415,9 +941,34 @@ impl BlockCtx<'_> {
     pub fn global_atomic_n(&mut self, elem_idx: usize, n: u64) {
         self.atomics += n;
         if !self.k.atomic_hist.is_empty() {
-            let s = elem_idx / self.k.elems_per_sector;
+            let s = div_fast(elem_idx, self.k.elems_per_sector);
             if let Some(c) = self.k.atomic_hist.get_mut(s) {
                 *c += n;
+            }
+        }
+    }
+
+    /// `n_per_elem` atomic ops on each of `len` consecutive elements —
+    /// one call per contiguous footprint row instead of one per cell.
+    /// Totals (op count and per-sector histogram) are exactly what
+    /// per-element [`Self::global_atomic_n`] calls would produce; the
+    /// batching only removes per-cell call overhead from the simulated
+    /// spread hot loop.
+    pub fn global_atomic_run(&mut self, start_elem: usize, len: usize, n_per_elem: u64) {
+        if len == 0 {
+            return;
+        }
+        self.atomics += len as u64 * n_per_elem;
+        if !self.k.atomic_hist.is_empty() {
+            let eps = self.k.elems_per_sector;
+            let first = div_fast(start_elem, eps);
+            let last = div_fast(start_elem + len - 1, eps);
+            for s in first..=last {
+                let lo = start_elem.max(s * eps);
+                let hi = (start_elem + len).min(s * eps + eps);
+                if let Some(c) = self.k.atomic_hist.get_mut(s) {
+                    *c += (hi - lo) as u64 * n_per_elem;
+                }
             }
         }
     }
@@ -578,6 +1129,62 @@ mod tests {
         b.dram_span(0, 128, true);
         b.finish();
         assert_eq!(k.dram_bytes, 256.0);
+    }
+
+    #[test]
+    fn batched_atomic_run_matches_per_element_accounting() {
+        // `global_atomic_run` must be pure call-overhead batching: the
+        // op count and per-sector histogram have to land exactly where
+        // per-element `global_atomic_n` calls would put them, including
+        // runs that straddle sector boundaries.
+        let runs: [(usize, usize); 4] = [(3, 5), (100, 2), (1021, 3), (7, 0)];
+        let mut ka = mk(LaunchConfig::new(Precision::Double, 128));
+        ka.atomic_region(1024, 16);
+        ka.run_blocks(
+            1,
+            |_, b| {
+                for &(start, len) in &runs {
+                    for e in start..start + len {
+                        b.global_atomic_n(e, 2);
+                    }
+                }
+            },
+            |_, ()| {},
+        );
+        let mut kb = mk(LaunchConfig::new(Precision::Double, 128));
+        kb.atomic_region(1024, 16);
+        kb.run_blocks(
+            1,
+            |_, b| {
+                for &(start, len) in &runs {
+                    b.global_atomic_run(start, len, 2);
+                }
+            },
+            |_, ()| {},
+        );
+        assert_eq!(ka.atomics, kb.atomics);
+        assert_eq!(ka.atomic_hist, kb.atomic_hist);
+    }
+
+    #[test]
+    fn probe_table_dedup_matches_sort_dedup() {
+        // The epoch-stamped probe table behind `BlockAcc::l2_access`
+        // must count exactly what sort+dedup counts, including inputs
+        // engineered to collide in its 64-slot table.
+        let cases: Vec<Vec<usize>> = vec![
+            vec![0; 32],                                 // one sector, 32 dups
+            (0..32).map(|i| i * 64).collect(),           // all hash to slot 0
+            (0..32).map(|i| i * 64 + (i & 1)).collect(), // collide + neighbours
+            vec![63, 127, 191, 63, 127, 5, 5, 64, 0],    // mixed dups
+            (0..32).rev().collect(),                     // descending
+        ];
+        for ids in cases {
+            let addrs: Vec<usize> = ids.iter().map(|&i| i * 32).collect();
+            let reference = dedup_sectors(32, &addrs);
+            let mut k = mk(LaunchConfig::new(Precision::Single, 128));
+            k.run_blocks(1, |_, b| b.l2_access(&addrs), |_, ()| {});
+            assert_eq!(k.l2_sectors, reference, "ids {ids:?}");
+        }
     }
 
     #[test]
@@ -772,6 +1379,157 @@ mod tests {
         b.finish();
         let (_, traced) = k.price();
         assert!(traced.is_none());
+    }
+
+    #[test]
+    fn atomic_region_exact_boundary_has_no_spurious_sector() {
+        // 1024 elems of 8 bytes, 32-byte sectors → 4 elems/sector →
+        // exactly 256 sectors. The old `n / eps + 1` sizing allocated a
+        // 257th sector that nothing could ever land in, diluting
+        // hotspot-fraction style statistics.
+        let mut k = mk(LaunchConfig::new(Precision::Single, 128));
+        k.atomic_region(1024, 8);
+        assert_eq!(k.atomic_hist.len(), 256);
+        // Last element maps to the last sector, in range.
+        let mut b = k.block();
+        b.global_atomic(1023);
+        b.finish();
+        let r = k.price().0;
+        assert_eq!(r.atomic_hotspot_count, 1);
+        // Non-dividing case still rounds up.
+        let mut k2 = mk(LaunchConfig::new(Precision::Single, 128));
+        k2.atomic_region(1025, 8);
+        assert_eq!(k2.atomic_hist.len(), 257);
+    }
+
+    /// Synthetic per-block workload exercising every accounting channel,
+    /// with cross-block line reuse so the DRAM replay order matters.
+    fn workload_acc(bid: usize, b: &mut BlockAcc<'_>) -> Vec<(usize, f64)> {
+        b.flops(1000 + bid as u64);
+        let addrs: Vec<usize> = (0..32).map(|i| (bid / 2) * 256 + i * 8).collect();
+        b.warp_access(&addrs);
+        b.dram_span(bid * 100, 512, bid.is_multiple_of(3));
+        b.stream_bytes(96);
+        for j in 0..(bid % 7 + 1) {
+            b.global_atomic((bid * 13 + j) % 64);
+        }
+        b.shared_atomic(bid % 16);
+        b.shared_atomic(bid % 16);
+        b.shared_ops(5);
+        b.shared_reads(8);
+        vec![(bid, bid as f64 * 0.5), (bid + 1, 1.0)]
+    }
+
+    fn workload_ctx(bid: usize, b: &mut BlockCtx<'_>) -> Vec<(usize, f64)> {
+        b.flops(1000 + bid as u64);
+        let addrs: Vec<usize> = (0..32).map(|i| (bid / 2) * 256 + i * 8).collect();
+        b.warp_access(&addrs);
+        b.dram_span(bid * 100, 512, bid.is_multiple_of(3));
+        b.stream_bytes(96);
+        for j in 0..(bid % 7 + 1) {
+            b.global_atomic((bid * 13 + j) % 64);
+        }
+        b.shared_atomic(bid % 16);
+        b.shared_atomic(bid % 16);
+        b.shared_ops(5);
+        b.shared_reads(8);
+        vec![(bid, bid as f64 * 0.5), (bid + 1, 1.0)]
+    }
+
+    fn run_workload(threads: usize, n_blocks: usize) -> (LaunchReport, Vec<f64>) {
+        let cfg = LaunchConfig::new(Precision::Single, 128).with_shared(1024);
+        let mut k = mk(cfg);
+        k.atomic_region(256, 8);
+        k.host_threads = threads;
+        let mut sink = vec![0.0f64; n_blocks + 1];
+        k.run_blocks(n_blocks, workload_acc, |_bid, deltas| {
+            for (i, v) in deltas {
+                sink[i] += v;
+            }
+        });
+        (k.price().0, sink)
+    }
+
+    fn assert_reports_identical(a: &LaunchReport, b: &LaunchReport) {
+        assert_eq!(a.duration.to_bits(), b.duration.to_bits());
+        assert_eq!(a.dram_bytes.to_bits(), b.dram_bytes.to_bits());
+        assert_eq!(a.flops.to_bits(), b.flops.to_bits());
+        assert_eq!(a.l2_bytes.to_bits(), b.l2_bytes.to_bits());
+        assert_eq!(a.global_atomics, b.global_atomics);
+        assert_eq!(a.atomic_hotspot_count, b.atomic_hotspot_count);
+        assert_eq!(a.blocks, b.blocks);
+        assert_eq!(
+            a.breakdown.makespan.to_bits(),
+            b.breakdown.makespan.to_bits()
+        );
+        assert_eq!(a.breakdown.dram.to_bits(), b.breakdown.dram.to_bits());
+        assert_eq!(
+            a.breakdown.atomic_hotspot.to_bits(),
+            b.breakdown.atomic_hotspot.to_bits()
+        );
+    }
+
+    #[test]
+    fn run_blocks_serial_matches_legacy_block_api_bitwise() {
+        let n_blocks = 64;
+        let (par_report, par_sink) = run_workload(1, n_blocks);
+        // Same workload through the legacy serial block()/finish() API.
+        let cfg = LaunchConfig::new(Precision::Single, 128).with_shared(1024);
+        let mut k = mk(cfg);
+        k.atomic_region(256, 8);
+        let mut sink = vec![0.0f64; n_blocks + 1];
+        for bid in 0..n_blocks {
+            let mut b = k.block();
+            let deltas = workload_ctx(bid, &mut b);
+            b.finish();
+            for (i, v) in deltas {
+                sink[i] += v;
+            }
+        }
+        let legacy = k.price().0;
+        assert_reports_identical(&legacy, &par_report);
+        assert_eq!(legacy.blocks, n_blocks);
+        for (a, b) in sink.iter().zip(par_sink.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn run_blocks_parallel_is_bitwise_identical_to_serial() {
+        let n_blocks = 97; // odd count: uneven work distribution
+        let (serial, s_sink) = run_workload(1, n_blocks);
+        for threads in [2, 3, 8] {
+            let (par, p_sink) = run_workload(threads, n_blocks);
+            assert_reports_identical(&serial, &par);
+            for (a, b) in s_sink.iter().zip(p_sink.iter()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn run_blocks_forces_serial_and_replays_trace_when_hazard_checked() {
+        use crate::access::Scope;
+        let mut k = mk(LaunchConfig::new(Precision::Single, 128).with_shared(1024));
+        k.enable_access_trace();
+        k.atomic_region(64, 8);
+        let grid = k.trace_buffer("grid", Scope::Global, 4);
+        k.host_threads = 8; // must be ignored: trace attached → serial
+        k.run_blocks(
+            3,
+            |bid, b| {
+                b.global_atomic(bid);
+                b.trace_atomic(grid, 0, bid as u64);
+                b.barrier();
+                b.trace_read(grid, 1, bid as u64);
+            },
+            |_, _| {},
+        );
+        let (report, traced) = k.price();
+        assert_eq!(report.blocks, 3);
+        let (trace, contract) = traced.expect("trace attached");
+        assert_eq!(trace.len(), 6);
+        assert_eq!(contract.global_atomics, Some(3));
     }
 
     #[test]

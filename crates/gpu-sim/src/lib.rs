@@ -38,7 +38,7 @@ pub mod stream;
 pub use access::{BufId, Contract, HazardMode, KernelTrace, Scope};
 pub use device::{Device, GpuBuffer, OpKind, TimelineRecord};
 pub use faults::{DeviceFault, FaultKind, FaultMode, FaultPlan, FaultSite};
-pub use kernel::{BlockCtx, Breakdown, Kernel, LaunchConfig, LaunchReport};
+pub use kernel::{BlockAcc, BlockCtx, Breakdown, Kernel, LaunchConfig, LaunchReport};
 pub use props::{DeviceProps, Precision};
 pub use report::{overlap_stats, profile_table, summarize, OpSummary, OverlapStats};
 pub use stream::{sync_streams, EngineState, Stream, StreamOp};

@@ -198,3 +198,84 @@ fn emit_conformance_json() {
         }
     }
 }
+
+/// Spot-check that plans forced onto the Horner kernel fast path stay
+/// inside the same calibrated envelopes as the exact-exponential path
+/// (DESIGN.md §5l): the fitted evaluation is a tuning choice, not an
+/// accuracy trade.
+#[test]
+fn horner_forced_plans_stay_inside_calibrated_envelopes() {
+    use cufinufft::opts::KernelEval;
+    use nufft_common::metrics::rel_l2;
+    use nufft_common::reference::{type1_direct, type2_direct};
+    use nufft_common::workload::{gen_coeffs, gen_points, gen_strengths, PointDist};
+    use nufft_common::{Complex, Shape};
+    use nufft_conformance::{envelope, GridFamily, POINTS_PER_CELL};
+
+    let dev = Device::v100();
+    let m = POINTS_PER_CELL;
+
+    // GPU plans across dims, methods, grid families, and tolerances.
+    for (dim, method, family, eps, seed) in [
+        (2usize, Method::GmSort, GridFamily::PowTwo, 1e-5, 61u64),
+        (2, Method::Sm, GridFamily::Prime, 1e-8, 62),
+        (3, Method::GmSort, GridFamily::PowTwo, 1e-6, 63),
+    ] {
+        let modes_v = family.modes(dim);
+        let modes = Shape::from_slice(&modes_v);
+        let env = envelope(eps, true);
+        let mut plan = cufinufft::Plan::<f64>::builder(TransformType::Type1, &modes_v)
+            .eps(eps)
+            .iflag(-1)
+            .method(method)
+            .fine_sizing(family.fine_sizing())
+            .kernel_eval(KernelEval::Horner)
+            .build(&dev)
+            .unwrap();
+        let pts = gen_points::<f64>(PointDist::Rand, dim, m, modes, seed);
+        let cs = gen_strengths::<f64>(m, seed ^ 0x5f5f);
+        plan.set_pts(&pts).unwrap();
+        let mut out = vec![Complex::<f64>::ZERO; modes.total()];
+        plan.execute(&cs, &mut out).unwrap();
+        let want = type1_direct(&pts, &cs, modes, -1);
+        let err = rel_l2(&out, &want);
+        assert!(
+            err <= env,
+            "gpu horner {method:?} dim={dim} eps={eps}: rel_l2 {err:.3e} > envelope {env:.3e}"
+        );
+    }
+
+    // CPU EvalKernel plan, type 2, forced Horner.
+    {
+        use nufft_kernels::EvalKernel;
+        let modes_v = GridFamily::PowTwo.modes(2);
+        let modes = Shape::from_slice(&modes_v);
+        let eps = 1e-7;
+        let env = envelope(eps, true);
+        let opts = finufft_cpu::plan::Opts {
+            nthreads: 1,
+            kernel_eval: KernelEval::Horner,
+            ..Default::default()
+        };
+        let mut plan = finufft_cpu::plan::Plan::<f64, EvalKernel>::new(
+            TransformType::Type2,
+            &modes_v,
+            1,
+            eps,
+            opts,
+        )
+        .unwrap();
+        assert!(plan.kernel().is_horner());
+        let pts = gen_points::<f64>(PointDist::Rand, 2, m, modes, 64);
+        let fk = gen_coeffs::<f64>(modes.total(), 64 ^ 0xa5a5);
+        plan.set_pts(pts.clone()).unwrap();
+        let mut out = vec![Complex::<f64>::ZERO; m];
+        plan.execute(&fk, &mut out).unwrap();
+        let want = type2_direct(&pts, &fk, modes, 1);
+        let err = rel_l2(&out, &want);
+        assert!(
+            err <= env,
+            "cpu horner type2: rel_l2 {err:.3e} > envelope {env:.3e}"
+        );
+    }
+}

@@ -15,27 +15,77 @@ use std::sync::{Arc, Mutex, OnceLock};
 
 /// Global 1D-plan cache keyed by (scalar type, size): planning a 4096^2
 /// transform after a 4096^3 one reuses the same twiddle tables, the way
-/// FFT libraries cache wisdom. Entries are `Arc`s, so the cache only
-/// costs memory while plans are alive plus one table per distinct size.
-type PlanCache = Mutex<HashMap<(TypeId, usize), Arc<dyn Any + Send + Sync>>>;
+/// FFT libraries cache wisdom. Entries are `Arc`s, so evicting one never
+/// invalidates a live plan — holders keep their tables; only the shared
+/// handle is dropped. The cache is bounded ([`PLAN_CACHE_CAP`] entries,
+/// least-recently-used evicted first): a long-lived process planning
+/// many distinct sizes (the serve layer's plan-cache churn) must not
+/// pin every twiddle table it has ever built.
+const PLAN_CACHE_CAP: usize = 32;
+
+struct PlanSlot {
+    plan: Arc<dyn Any + Send + Sync>,
+    /// Monotone use stamp; the minimum across slots is the LRU victim.
+    stamp: u64,
+}
+
+struct PlanCacheInner {
+    slots: HashMap<(TypeId, usize), PlanSlot>,
+    clock: u64,
+}
+
+type PlanCache = Mutex<PlanCacheInner>;
 
 fn plan_cache() -> &'static PlanCache {
     static CACHE: OnceLock<PlanCache> = OnceLock::new();
-    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+    CACHE.get_or_init(|| {
+        Mutex::new(PlanCacheInner {
+            slots: HashMap::new(),
+            clock: 0,
+        })
+    })
 }
 
 /// Fetch or build the cached 1D plan for size `n`.
 pub fn cached_plan<T: Real>(n: usize) -> Arc<Fft1d<T>> {
     let key = (TypeId::of::<T>(), n);
     let mut cache = plan_cache().lock().expect("plan cache poisoned");
-    if let Some(p) = cache.get(&key) {
-        if let Ok(typed) = Arc::downcast::<Fft1d<T>>(Arc::clone(p)) {
+    cache.clock += 1;
+    let now = cache.clock;
+    if let Some(slot) = cache.slots.get_mut(&key) {
+        slot.stamp = now;
+        if let Ok(typed) = Arc::downcast::<Fft1d<T>>(Arc::clone(&slot.plan)) {
             return typed;
         }
     }
     let plan = Arc::new(Fft1d::<T>::new(n));
-    cache.insert(key, plan.clone() as Arc<dyn Any + Send + Sync>);
+    if cache.slots.len() >= PLAN_CACHE_CAP {
+        if let Some(victim) = cache
+            .slots
+            .iter()
+            .min_by_key(|(_, s)| s.stamp)
+            .map(|(k, _)| *k)
+        {
+            cache.slots.remove(&victim);
+        }
+    }
+    cache.slots.insert(
+        key,
+        PlanSlot {
+            plan: plan.clone() as Arc<dyn Any + Send + Sync>,
+            stamp: now,
+        },
+    );
     plan
+}
+
+/// Number of live entries in the global plan cache (test introspection).
+pub fn plan_cache_len() -> usize {
+    plan_cache()
+        .lock()
+        .expect("plan cache poisoned")
+        .slots
+        .len()
 }
 
 /// Reusable N-dimensional (1-3) complex FFT plan.

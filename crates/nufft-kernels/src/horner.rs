@@ -75,6 +75,29 @@ impl HornerKernel {
     pub fn inner(&self) -> &EsKernel {
         &self.inner
     }
+
+    /// Measured maximum absolute error of the fitted `eval_row` against
+    /// the exact kernel, sampled over the fractional positions spreading
+    /// can produce (`z0` spanning one grid cell, including both support
+    /// edges). Plan construction uses this to decide whether the fast
+    /// path meets the requested tolerance.
+    pub fn max_fit_error(&self) -> f64 {
+        let w = self.inner.w;
+        let mut exact = [0.0f64; crate::es::MAX_WIDTH];
+        let mut fitted = [0.0f64; crate::es::MAX_WIDTH];
+        let mut worst = 0.0f64;
+        const SAMPLES: usize = 128;
+        for i in 0..=SAMPLES {
+            let g = 5.0 + i as f64 / SAMPLES as f64; // one full cell, both edges
+            let (_, z0) = crate::spread_footprint(g, w);
+            self.inner.eval_row(z0, &mut exact[..w]);
+            self.eval_row(z0, &mut fitted[..w]);
+            for t in 0..w {
+                worst = worst.max((exact[t] - fitted[t]).abs());
+            }
+        }
+        worst
+    }
 }
 
 impl Kernel1d for HornerKernel {
@@ -131,6 +154,64 @@ mod tests {
                         "w={w} i={i} t={t}: {} vs {} (tol {tol:.2e})",
                         exact[t],
                         fitted[t]
+                    );
+                }
+            }
+        }
+    }
+
+    proptest::proptest! {
+        /// Property: for every supported width and any fractional
+        /// position (including the +/- support edges, where the ES kernel
+        /// has its square-root branch point), the fitted row matches the
+        /// exact row within the kernel's design tolerance.
+        #[test]
+        fn fit_matches_exact_for_any_width_and_fraction(
+            w in 2usize..=crate::es::MAX_WIDTH,
+            frac in 0.0f64..1.0,
+        ) {
+            let es = EsKernel::with_width(w);
+            let hk = HornerKernel::fit(es);
+            let tol = (-es.beta).exp().max(1e-13) * 10.0;
+            let (_, z0) = spread_footprint(7.0 + frac, w);
+            let mut exact = vec![0.0; w];
+            let mut fitted = vec![0.0; w];
+            es.eval_row(z0, &mut exact);
+            hk.eval_row(z0, &mut fitted);
+            for t in 0..w {
+                proptest::prop_assert!(
+                    (exact[t] - fitted[t]).abs() < tol,
+                    "w={} frac={} t={}: {} vs {} (tol {:.2e})",
+                    w, frac, t, exact[t], fitted[t], tol
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fit_holds_at_exact_support_edges_for_all_widths() {
+        // frac = 0 pins the first node to the -1 support edge (even w) and
+        // frac -> 1 pins the last node to +1; check both exactly, plus the
+        // aggregate fit-error measurement used by plan-time Auto selection.
+        for w in 2..=crate::es::MAX_WIDTH {
+            let es = EsKernel::with_width(w);
+            let hk = HornerKernel::fit(es);
+            let tol = (-es.beta).exp().max(1e-13) * 10.0;
+            assert!(
+                hk.max_fit_error() < tol,
+                "w={w}: measured fit error {:.2e} exceeds design tol {tol:.2e}",
+                hk.max_fit_error()
+            );
+            for frac in [0.0, 1.0 - f64::EPSILON, 1.0] {
+                let (_, z0) = spread_footprint(7.0 + frac, w);
+                let mut exact = vec![0.0; w];
+                let mut fitted = vec![0.0; w];
+                es.eval_row(z0, &mut exact);
+                hk.eval_row(z0, &mut fitted);
+                for t in 0..w {
+                    assert!(
+                        (exact[t] - fitted[t]).abs() < tol,
+                        "edge w={w} frac={frac} t={t}"
                     );
                 }
             }

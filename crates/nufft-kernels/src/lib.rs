@@ -11,12 +11,14 @@
 
 pub mod deconv;
 pub mod es;
+pub mod eval;
 pub mod gauss_legendre;
 pub mod gaussian;
 pub mod horner;
 pub mod kaiser_bessel;
 
 pub use es::EsKernel;
+pub use eval::{EvalKernel, KernelEval};
 pub use gaussian::GaussianKernel;
 pub use horner::HornerKernel;
 pub use kaiser_bessel::KaiserBesselKernel;

@@ -42,6 +42,19 @@ else
   cargo test -q --test hazard
 fi
 
+# Parallel block execution (DESIGN.md §5l): the simulator's host thread
+# pool must be bitwise-invisible. The fixed serial-vs-parallel matrix
+# (gpu-sim unit tests + full-plan par_equiv) runs in the workspace pass
+# above and again here explicitly; PAR=full widens par_equiv to the
+# multi-seed, all-methods sweep.
+if [[ "${PAR:-quick}" == "full" ]]; then
+  echo "== PAR=full multi-seed parallel-equivalence sweep"
+  PAR=full cargo test -q -p cufinufft --test par_equiv
+else
+  echo "== parallel-equivalence matrix (quick tier; PAR=full for the sweep)"
+  cargo test -q -p cufinufft --test par_equiv
+fi
+
 # Accuracy conformance matrix vs the direct-NUDFT oracle (DESIGN.md §5g).
 # Quick tier (288 cells) by default; CONFORMANCE=full runs the whole
 # 3040-cell sweep (clustered points, odd-composite/non-square/prime
@@ -73,9 +86,11 @@ else
 fi
 
 # Wall-clock bench trajectory (DESIGN.md §5j, ROADMAP item 3): produce a
-# BENCH_<date>.json, validate it against the nufft-bench/v1 schema, and
-# compare against the latest prior trajectory point (no-op when none
-# exists). Advisory by default; BENCH=strict fails on >15% regressions.
+# results/bench/BENCH_<date>.json, validate it against the nufft-bench/v1
+# schema, and compare against the latest prior trajectory point.
+# Advisory by default; BENCH=strict fails on >15% regressions AND when
+# no prior report exists (a missing prior means the tracked trajectory
+# is broken, not legitimately starting over).
 if [[ "${BENCH:-0}" != "0" ]]; then
   echo "== BENCH=${BENCH} bench-smoke trajectory point"
   if [[ "${BENCH}" == "strict" ]]; then
