@@ -48,6 +48,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod access_plan;
 pub mod bins;
 pub mod interp;
 pub mod opts;

@@ -50,7 +50,7 @@ pub struct BufId(pub(crate) u16);
 /// A buffer declaration: name for reporting, scope for the conflict
 /// rules, element size for footprint accounting.
 #[derive(Clone, Debug)]
-pub(crate) struct BufferDecl {
+pub struct BufferDecl {
     pub name: String,
     pub scope: Scope,
     pub elem_bytes: usize,
@@ -58,7 +58,7 @@ pub(crate) struct BufferDecl {
 
 /// One logged access.
 #[derive(Copy, Clone, Debug)]
-pub(crate) struct AccessRecord {
+pub struct AccessRecord {
     pub buf: u16,
     pub kind: AccessKind,
     pub block: u32,
@@ -146,6 +146,18 @@ impl KernelTrace {
     pub fn barrier(&mut self, block: u32) {
         let e = self.epoch_of(block);
         self.epochs[block as usize] = e + 1;
+    }
+
+    /// Buffer declarations, indexed by [`AccessRecord::buf`]. Exposed so
+    /// static analyzers ([`crate::access_plan`]) can replay a trace
+    /// against a symbolic plan.
+    pub fn buffers(&self) -> &[BufferDecl] {
+        &self.buffers
+    }
+
+    /// The raw access log, in logging order.
+    pub fn records(&self) -> &[AccessRecord] {
+        &self.records
     }
 
     /// Number of logged accesses.

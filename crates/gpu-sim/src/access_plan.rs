@@ -1,0 +1,761 @@
+//! Symbolic kernel access plans — the *static* counterpart of the
+//! dynamic shadow-memory trace in [`crate::access`].
+//!
+//! A [`KernelTrace`] records what one concrete launch actually did; an
+//! [`AccessPlan`] declares, next to the kernel, what *every* launch of
+//! that kernel may do, as interval/stride index expressions per buffer,
+//! sync epoch, and access kind. Three execution-free passes run over a
+//! plan (FINUFFT's closed-form kernel footprints — width `w`, halo wrap
+//! windows, bin ranges — make the access sets of every spread/interp
+//! kernel expressible this way):
+//!
+//! * **bounds** ([`AccessPlan::check_bounds`]) — interval arithmetic
+//!   proves every term lands inside its declared buffer;
+//! * **race classes** ([`AccessPlan::check_races`]) — same-epoch
+//!   distinct-thread (and any-epoch distinct-block) write-overlap
+//!   detection on the symbolic index sets, statically re-deriving what
+//!   [`crate::hazard`] finds dynamically;
+//! * **launch feasibility** ([`AccessPlan::check_launch`]) — shared
+//!   memory vs. the device budget (paper Remark 2), thread-count
+//!   limits, warp-alignment occupancy checks, and contract atomic-count
+//!   cross-validation ([`AccessPlan::check_contract`]).
+//!
+//! The static and dynamic layers are tied together by
+//! [`AccessPlan::contains_trace`]: every access a hazard-mode launch
+//! records must be contained in the plan's predicted set (*static
+//! refines dynamic*), so a plan cannot silently drift from the kernel
+//! it describes.
+
+use crate::access::{Contract, KernelTrace, Scope};
+use crate::props::DeviceProps;
+use nufft_common::hazard::AccessKind;
+use nufft_common::lint::{LintFinding, LintKind, LintLevel};
+
+/// Hardware ceiling on threads per block (CUDA architectural limit).
+pub const MAX_THREADS_PER_BLOCK: u32 = 1024;
+
+/// At most this many containment mismatches are materialized by
+/// [`AccessPlan::contains_trace`]; the rest are summarized.
+pub const MAX_REPORTED_MISMATCHES: usize = 8;
+
+/// A buffer the plan's terms index into. Unlike the dynamic
+/// [`crate::access::BufferDecl`], the plan also declares the buffer's
+/// *length* in trace elements so the bounds pass has something to prove
+/// against.
+#[derive(Clone, Debug)]
+pub struct PlanBuffer {
+    pub name: String,
+    pub scope: Scope,
+    pub elem_bytes: usize,
+    /// Length in trace elements (same granularity the dynamic trace
+    /// uses, e.g. one real word for complex grids).
+    pub len: u64,
+}
+
+/// One symbolic dimension of an index expression: `stride * v` where
+/// the free variable `v` ranges over `[lo, hi]` (inclusive), optionally
+/// wrapped as `v.rem_euclid(modulus)` first — the model of a periodic
+/// fine-grid halo window.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct DimTerm {
+    pub stride: i64,
+    pub lo: i64,
+    pub hi: i64,
+    pub modulus: Option<i64>,
+}
+
+impl DimTerm {
+    /// Unwrapped variable: `stride * v`, `v` in `[lo, hi]`.
+    pub fn var(stride: i64, lo: i64, hi: i64) -> Self {
+        debug_assert!(lo <= hi, "empty dim range [{lo}, {hi}]");
+        DimTerm {
+            stride,
+            lo,
+            hi,
+            modulus: None,
+        }
+    }
+
+    /// Wrapped variable: `stride * v.rem_euclid(modulus)`, `v` in
+    /// `[lo, hi]` before the wrap. The wrap confines the value to
+    /// `[0, modulus)` however far the raw range strays — exactly the
+    /// `rem_euclid` a periodic footprint applies per dimension.
+    pub fn wrapped(stride: i64, lo: i64, hi: i64, modulus: i64) -> Self {
+        debug_assert!(modulus > 0, "modulus must be positive");
+        DimTerm {
+            stride,
+            lo,
+            hi,
+            modulus: Some(modulus),
+        }
+    }
+
+    /// Inclusive interval of `stride * value` contributions.
+    fn interval(&self) -> (i64, i64) {
+        let (lo, hi) = match self.modulus {
+            // If the raw range already sits inside one period keep it
+            // (tighter); otherwise the wrap reaches the whole period.
+            Some(m) if self.lo < 0 || self.hi >= m => (0, m - 1),
+            _ => (self.lo, self.hi),
+        };
+        if self.stride >= 0 {
+            (self.stride * lo, self.stride * hi)
+        } else {
+            (self.stride * hi, self.stride * lo)
+        }
+    }
+
+    /// Number of distinct variable values (used for access counting).
+    fn cardinality(&self) -> u64 {
+        (self.hi - self.lo + 1).max(0) as u64
+    }
+}
+
+/// A symbolic element index: `offset + sum(dim terms)`. Interval
+/// arithmetic composes the per-dimension contributions; the predicted
+/// element set of the expression is the (conservative) interval hull.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct IndexExpr {
+    pub offset: i64,
+    pub dims: Vec<DimTerm>,
+}
+
+impl IndexExpr {
+    pub fn new(offset: i64) -> Self {
+        IndexExpr {
+            offset,
+            dims: Vec::new(),
+        }
+    }
+
+    /// Builder-style: append a dimension term.
+    pub fn dim(mut self, term: DimTerm) -> Self {
+        self.dims.push(term);
+        self
+    }
+
+    /// Inclusive interval hull `[lo, hi]` of the expression's values.
+    pub fn interval(&self) -> (i64, i64) {
+        let mut lo = self.offset;
+        let mut hi = self.offset;
+        for d in &self.dims {
+            let (dlo, dhi) = d.interval();
+            lo += dlo;
+            hi += dhi;
+        }
+        (lo, hi)
+    }
+
+    /// Whether a concrete element is inside the predicted hull.
+    pub fn contains(&self, elem: u64) -> bool {
+        let (lo, hi) = self.interval();
+        elem as i64 >= lo && elem as i64 <= hi
+    }
+
+    /// Number of (variable-tuple) instantiations — the exact access
+    /// count when each tuple is visited once, as in every shipped
+    /// kernel's per-thread loops.
+    pub fn instances(&self) -> u64 {
+        self.dims.iter().map(|d| d.cardinality()).product()
+    }
+}
+
+/// How distinct executors (threads of a block, or blocks of a launch)
+/// map onto the elements of one access term — the symbolic fact that
+/// lets the race pass prove write terms safe without enumerating
+/// threads.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ThreadMap {
+    /// Element-to-executor is functional: no element is touched by two
+    /// distinct threads (resp. blocks) through this term.
+    Exclusive,
+    /// Every access of this term is performed by one fixed executor
+    /// (thread 0 / block 0) — the single-threaded reference shape.
+    Single,
+    /// Distinct executors may touch the same element (e.g. overlapping
+    /// spreading footprints). Safe only for reads and atomics.
+    Overlapping,
+}
+
+/// One symbolic access set: every access the kernel performs against
+/// `buf` with this kind in this sync epoch.
+#[derive(Clone, Debug)]
+pub struct AccessTerm {
+    /// Index into [`AccessPlan::buffers`].
+    pub buf: usize,
+    pub kind: AccessKind,
+    /// Block-local sync epoch (barrier count) the accesses execute in.
+    pub epoch: u32,
+    pub expr: IndexExpr,
+    /// Element-to-thread mapping within a block.
+    pub threads: ThreadMap,
+    /// Element-to-block mapping across the launch.
+    pub blocks: ThreadMap,
+    /// Total accesses over the whole launch, as a `[lo, hi]` range
+    /// (distribution-dependent kernels like SM have a range; map-style
+    /// kernels have `lo == hi`).
+    pub count: (u64, u64),
+}
+
+/// The symbolic access plan of one kernel, declared next to the kernel
+/// it describes. Mirrors the dynamic [`Contract`] so the static checker
+/// can cross-validate the cost model's declared atomic counts too.
+#[derive(Clone, Debug)]
+pub struct AccessPlan {
+    pub kernel: String,
+    pub buffers: Vec<PlanBuffer>,
+    pub terms: Vec<AccessTerm>,
+    pub threads_per_block: u32,
+    /// Upper bound on blocks the launch can use.
+    pub blocks: u64,
+    /// Shared bytes per block the launch declares.
+    pub shared_bytes: usize,
+    /// What the kernel's pricing declares to the hazard checker.
+    pub contract: Contract,
+}
+
+impl AccessPlan {
+    pub fn new(kernel: &str, threads_per_block: u32, blocks: u64) -> Self {
+        AccessPlan {
+            kernel: kernel.to_string(),
+            buffers: Vec::new(),
+            terms: Vec::new(),
+            threads_per_block,
+            blocks,
+            shared_bytes: 0,
+            contract: Contract::default(),
+        }
+    }
+
+    /// Register a buffer; returns its index for use in terms.
+    pub fn buffer(&mut self, name: &str, scope: Scope, elem_bytes: usize, len: u64) -> usize {
+        self.buffers.push(PlanBuffer {
+            name: name.to_string(),
+            scope,
+            elem_bytes: elem_bytes.max(1),
+            len,
+        });
+        self.buffers.len() - 1
+    }
+
+    /// Append an access term.
+    #[allow(clippy::too_many_arguments)]
+    pub fn term(
+        &mut self,
+        buf: usize,
+        kind: AccessKind,
+        epoch: u32,
+        expr: IndexExpr,
+        threads: ThreadMap,
+        blocks: ThreadMap,
+        count: (u64, u64),
+    ) {
+        debug_assert!(buf < self.buffers.len());
+        debug_assert!(count.0 <= count.1);
+        self.terms.push(AccessTerm {
+            buf,
+            kind,
+            epoch,
+            expr,
+            threads,
+            blocks,
+            count,
+        });
+    }
+
+    /// Minimum atomics the plan proves the launch performs in a scope.
+    pub fn predicted_atomics_min(&self, scope: Scope) -> u64 {
+        self.terms
+            .iter()
+            .filter(|t| t.kind == AccessKind::Atomic && self.buffers[t.buf].scope == scope)
+            .map(|t| t.count.0)
+            .sum()
+    }
+
+    /// **Bounds pass**: every term's interval hull must sit inside its
+    /// declared buffer for every instantiation of the free variables.
+    pub fn check_bounds(&self) -> Vec<LintFinding> {
+        let mut out = Vec::new();
+        for t in &self.terms {
+            let b = &self.buffers[t.buf];
+            let (lo, hi) = t.expr.interval();
+            if lo < 0 || hi as i128 >= b.len as i128 {
+                out.push(LintFinding::new(
+                    "AP001",
+                    LintLevel::Error,
+                    LintKind::OutOfBounds {
+                        kernel: self.kernel.clone(),
+                        buffer: b.name.clone(),
+                        lo,
+                        hi,
+                        len: b.len,
+                    },
+                ));
+            }
+        }
+        out
+    }
+
+    /// **Race-class pass**: for each buffer, find term pairs (including
+    /// a term against itself) whose kinds conflict under the classic
+    /// matrix (read/read and atomic/atomic commute, everything else
+    /// conflicts), whose interval hulls overlap, and whose executor
+    /// maps cannot rule the overlap out — the static analogue of
+    /// [`crate::hazard::check`]'s intra-/inter-block analysis.
+    pub fn check_races(&self) -> Vec<LintFinding> {
+        #[inline]
+        fn conflicts(a: AccessKind, b: AccessKind) -> bool {
+            !((a == AccessKind::Read && b == AccessKind::Read)
+                || (a == AccessKind::Atomic && b == AccessKind::Atomic))
+        }
+        let overlap = |a: &AccessTerm, b: &AccessTerm| {
+            let (alo, ahi) = a.expr.interval();
+            let (blo, bhi) = b.expr.interval();
+            alo <= bhi && blo <= ahi
+        };
+        let mut out = Vec::new();
+        let mut push = |buf: usize, epoch: u32, a: AccessKind, b: AccessKind, intra: bool| {
+            out.push(LintFinding::new(
+                "AP002",
+                LintLevel::Error,
+                LintKind::StaticRace {
+                    kernel: self.kernel.clone(),
+                    buffer: self.buffers[buf].name.clone(),
+                    epoch,
+                    first: a,
+                    second: b,
+                    intra_block: intra,
+                },
+            ));
+        };
+        for (i, a) in self.terms.iter().enumerate() {
+            // A term against itself: safe iff its executor map proves
+            // no element is reachable from two distinct executors.
+            if conflicts(a.kind, a.kind) && a.count.1 > 1 {
+                if a.threads == ThreadMap::Overlapping {
+                    push(a.buf, a.epoch, a.kind, a.kind, true);
+                }
+                if self.buffers[a.buf].scope == Scope::Global && a.blocks == ThreadMap::Overlapping
+                {
+                    push(a.buf, a.epoch, a.kind, a.kind, false);
+                }
+            }
+            for b in self.terms.iter().skip(i + 1) {
+                if a.buf != b.buf || !conflicts(a.kind, b.kind) || !overlap(a, b) {
+                    continue;
+                }
+                // Distinct terms: the only static proof that the same
+                // element is reached by the same executor on both sides
+                // is that both terms run on the fixed single executor.
+                if a.epoch == b.epoch
+                    && !(a.threads == ThreadMap::Single && b.threads == ThreadMap::Single)
+                {
+                    push(a.buf, a.epoch, a.kind, b.kind, true);
+                }
+                if self.buffers[a.buf].scope == Scope::Global
+                    && !(a.blocks == ThreadMap::Single && b.blocks == ThreadMap::Single)
+                {
+                    push(a.buf, a.epoch, a.kind, b.kind, false);
+                }
+            }
+        }
+        out
+    }
+
+    /// **Launch-feasibility pass**: shared-memory footprint vs. the
+    /// device (and the caller's Remark-2 `budget`, typically the
+    /// paper's 49 kB), thread-count limits, warp alignment.
+    pub fn check_launch(&self, props: &DeviceProps, budget: usize) -> Vec<LintFinding> {
+        let mut out = Vec::new();
+        let cap = budget.min(props.shared_mem_per_block);
+        // The plan's shared buffers must fit the declared allocation,
+        // and the allocation must fit the budget.
+        let footprint: usize = self
+            .buffers
+            .iter()
+            .filter(|b| b.scope == Scope::Shared)
+            .map(|b| b.len as usize * b.elem_bytes)
+            .sum();
+        let needed = footprint.max(self.shared_bytes);
+        if footprint > self.shared_bytes || needed > cap {
+            out.push(LintFinding::new(
+                "AP004",
+                LintLevel::Error,
+                LintKind::SharedOverBudget {
+                    kernel: self.kernel.clone(),
+                    needed_bytes: needed,
+                    budget_bytes: self.shared_bytes.min(cap),
+                },
+            ));
+        }
+        if self.threads_per_block == 0 || self.threads_per_block > MAX_THREADS_PER_BLOCK {
+            out.push(LintFinding::new(
+                "AP005",
+                LintLevel::Error,
+                LintKind::LaunchInfeasible {
+                    kernel: self.kernel.clone(),
+                    message: format!(
+                        "threads per block {} outside (0, {MAX_THREADS_PER_BLOCK}]",
+                        self.threads_per_block
+                    ),
+                },
+            ));
+        } else if !(self.threads_per_block as usize).is_multiple_of(props.warp_size) {
+            out.push(LintFinding::new(
+                "AP006",
+                LintLevel::Warn,
+                LintKind::OccupancyWaste {
+                    kernel: self.kernel.clone(),
+                    message: format!(
+                        "threads per block {} is not a multiple of the warp size {}",
+                        self.threads_per_block, props.warp_size
+                    ),
+                },
+            ));
+        }
+        out
+    }
+
+    /// **Contract cross-check**: the declared cost-model atomic counts
+    /// must not fall below what the plan proves the launch performs (an
+    /// under-declared contract means the performance model undercharges
+    /// atomics — the drift the dynamic checker catches one launch at a
+    /// time, proven here for all of them).
+    pub fn check_contract(&self) -> Vec<LintFinding> {
+        let mut out = Vec::new();
+        for (scope, name, declared) in [
+            (Scope::Global, "global", self.contract.global_atomics),
+            (Scope::Shared, "shared", self.contract.shared_atomics),
+        ] {
+            if let Some(declared) = declared {
+                let predicted = self.predicted_atomics_min(scope);
+                if declared < predicted {
+                    out.push(LintFinding::new(
+                        "AP003",
+                        LintLevel::Error,
+                        LintKind::UnderDeclaredAtomics {
+                            kernel: self.kernel.clone(),
+                            scope: name,
+                            declared,
+                            predicted_min: predicted,
+                        },
+                    ));
+                }
+            }
+        }
+        out
+    }
+
+    /// All four static passes.
+    pub fn check_all(&self, props: &DeviceProps, budget: usize) -> Vec<LintFinding> {
+        let mut out = self.check_bounds();
+        out.extend(self.check_races());
+        out.extend(self.check_launch(props, budget));
+        out.extend(self.check_contract());
+        out
+    }
+
+    /// **Static-refines-dynamic**: every access a hazard-mode launch
+    /// recorded must be predicted by some term of this plan (same
+    /// buffer name, kind, and epoch; element inside the term's hull;
+    /// thread and block ids inside the launch shape). Returns the list
+    /// of mismatches (capped at [`MAX_REPORTED_MISMATCHES`], with a
+    /// summary line when more exist) — empty means containment holds.
+    pub fn contains_trace(&self, trace: &KernelTrace) -> Vec<String> {
+        let mut mismatches = Vec::new();
+        let mut total = 0usize;
+        let buf_names: Vec<&str> = trace.buffers().iter().map(|b| b.name.as_str()).collect();
+        for r in trace.records() {
+            let name = buf_names[r.buf as usize];
+            let predicted = self.terms.iter().any(|t| {
+                self.buffers[t.buf].name == name
+                    && t.kind == r.kind
+                    && t.epoch == r.epoch
+                    && t.expr.contains(r.elem)
+            });
+            let in_shape =
+                (r.thread as u64) < self.threads_per_block as u64 && (r.block as u64) < self.blocks;
+            if !predicted || !in_shape {
+                total += 1;
+                if mismatches.len() < MAX_REPORTED_MISMATCHES {
+                    mismatches.push(format!(
+                        "{}: {} of '{}'[{}] by block {} thread {} (epoch {}) not in static plan",
+                        trace.name(),
+                        r.kind,
+                        name,
+                        r.elem,
+                        r.block,
+                        r.thread,
+                        r.epoch
+                    ));
+                }
+            }
+        }
+        if total > mismatches.len() {
+            mismatches.push(format!(
+                "... and {} more uncontained access(es)",
+                total - mismatches.len()
+            ));
+        }
+        mismatches
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nufft_common::hazard::AccessKind::*;
+
+    fn props() -> DeviceProps {
+        DeviceProps::v100()
+    }
+
+    fn simple_plan() -> AccessPlan {
+        // one block of 128 threads writing out[j], j in [0, 100)
+        let mut p = AccessPlan::new("k", 128, 1);
+        let out = p.buffer("out", Scope::Global, 8, 100);
+        p.term(
+            out,
+            Write,
+            0,
+            IndexExpr::new(0).dim(DimTerm::var(1, 0, 99)),
+            ThreadMap::Exclusive,
+            ThreadMap::Exclusive,
+            (100, 100),
+        );
+        p
+    }
+
+    #[test]
+    fn in_bounds_exclusive_writes_are_clean() {
+        let p = simple_plan();
+        assert!(p.check_all(&props(), 49_000).is_empty());
+    }
+
+    #[test]
+    fn interval_escape_is_out_of_bounds() {
+        let mut p = simple_plan();
+        p.terms[0].expr.offset = 1; // hull becomes [1, 100] vs len 100
+        let f = p.check_bounds();
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].id, "AP001");
+        assert!(matches!(
+            &f[0].kind,
+            LintKind::OutOfBounds {
+                hi: 100,
+                len: 100,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn negative_reach_is_out_of_bounds() {
+        let mut p = simple_plan();
+        p.terms[0].expr.dims[0] = DimTerm::var(1, -3, 99);
+        assert_eq!(p.check_bounds().len(), 1);
+    }
+
+    #[test]
+    fn wrap_confines_a_straying_range() {
+        // raw range [-6, 105] wrapped mod 100 stays in [0, 99]
+        let d = DimTerm::wrapped(1, -6, 105, 100);
+        assert_eq!(d.interval(), (0, 99));
+        // an already-confined range keeps its tighter bounds
+        let d = DimTerm::wrapped(1, 3, 7, 100);
+        assert_eq!(d.interval(), (3, 7));
+    }
+
+    #[test]
+    fn overlapping_writes_are_a_static_race() {
+        let mut p = simple_plan();
+        p.terms[0].threads = ThreadMap::Overlapping;
+        p.terms[0].blocks = ThreadMap::Overlapping;
+        let f = p.check_races();
+        assert_eq!(f.len(), 2); // intra and inter
+        assert!(f.iter().all(|x| x.id == "AP002"));
+    }
+
+    #[test]
+    fn overlapping_atomics_are_not_a_race() {
+        let mut p = simple_plan();
+        p.terms[0].kind = Atomic;
+        p.terms[0].threads = ThreadMap::Overlapping;
+        p.terms[0].blocks = ThreadMap::Overlapping;
+        assert!(p.check_races().is_empty());
+    }
+
+    #[test]
+    fn cross_term_read_write_same_epoch_races_unless_single() {
+        let mut p = AccessPlan::new("k", 32, 1);
+        let b = p.buffer("s", Scope::Shared, 4, 64);
+        let expr = || IndexExpr::new(0).dim(DimTerm::var(1, 0, 63));
+        p.term(
+            b,
+            Read,
+            0,
+            expr(),
+            ThreadMap::Single,
+            ThreadMap::Single,
+            (64, 64),
+        );
+        p.term(
+            b,
+            Write,
+            0,
+            expr(),
+            ThreadMap::Single,
+            ThreadMap::Single,
+            (64, 64),
+        );
+        assert!(p.check_races().is_empty(), "single-thread scan is safe");
+        p.terms[1].threads = ThreadMap::Exclusive;
+        let f = p.check_races();
+        assert_eq!(f.len(), 1);
+        assert!(matches!(
+            &f[0].kind,
+            LintKind::StaticRace {
+                intra_block: true,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn barrier_separated_epochs_do_not_race_intra_block() {
+        let mut p = AccessPlan::new("k", 32, 1);
+        let b = p.buffer("s", Scope::Shared, 4, 64);
+        let expr = || IndexExpr::new(0).dim(DimTerm::var(1, 0, 63));
+        p.term(
+            b,
+            Write,
+            0,
+            expr(),
+            ThreadMap::Exclusive,
+            ThreadMap::Overlapping,
+            (64, 64),
+        );
+        p.term(
+            b,
+            Read,
+            1,
+            expr(),
+            ThreadMap::Exclusive,
+            ThreadMap::Overlapping,
+            (64, 64),
+        );
+        // shared scope: no inter-block analysis; epochs differ: no intra
+        assert!(p.check_races().is_empty());
+    }
+
+    #[test]
+    fn shared_footprint_over_declared_bytes_is_flagged() {
+        let mut p = AccessPlan::new("k", 128, 4);
+        p.shared_bytes = 64;
+        let s = p.buffer("sm", Scope::Shared, 4, 32); // 128 B > 64 B
+        p.term(
+            s,
+            Atomic,
+            0,
+            IndexExpr::new(0).dim(DimTerm::var(1, 0, 31)),
+            ThreadMap::Overlapping,
+            ThreadMap::Overlapping,
+            (32, 32),
+        );
+        let f = p.check_launch(&props(), 49_000);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].id, "AP004");
+    }
+
+    #[test]
+    fn shared_over_device_budget_is_flagged() {
+        let mut p = AccessPlan::new("k", 128, 4);
+        p.shared_bytes = 100_000;
+        p.buffer("sm", Scope::Shared, 1, 100_000);
+        let f = p.check_launch(&props(), 49_000);
+        assert_eq!(f.len(), 1);
+        assert!(matches!(
+            &f[0].kind,
+            LintKind::SharedOverBudget {
+                needed_bytes: 100_000,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn thread_limits_and_warp_alignment() {
+        let mut p = simple_plan();
+        p.threads_per_block = 2048;
+        assert_eq!(p.check_launch(&props(), 49_000)[0].id, "AP005");
+        p.threads_per_block = 96; // legal, warp-aligned
+        assert!(p.check_launch(&props(), 49_000).is_empty());
+        p.threads_per_block = 100; // legal but wasteful
+        let f = p.check_launch(&props(), 49_000);
+        assert_eq!(f[0].id, "AP006");
+        assert!(!f[0].is_error());
+    }
+
+    #[test]
+    fn under_declared_atomics_is_flagged() {
+        let mut p = AccessPlan::new("k", 128, 1);
+        let g = p.buffer("g", Scope::Global, 4, 1000);
+        p.term(
+            g,
+            Atomic,
+            0,
+            IndexExpr::new(0).dim(DimTerm::var(1, 0, 999)),
+            ThreadMap::Overlapping,
+            ThreadMap::Overlapping,
+            (1000, 1000),
+        );
+        p.contract.global_atomics = Some(10);
+        let f = p.check_contract();
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].id, "AP003");
+        p.contract.global_atomics = Some(1000);
+        assert!(p.check_contract().is_empty());
+    }
+
+    #[test]
+    fn contains_trace_accepts_predicted_accesses() {
+        let p = simple_plan();
+        let mut t = KernelTrace::new("k");
+        let b = t.buffer("out", Scope::Global, 8);
+        t.write(b, 0, 3, 42);
+        assert!(p.contains_trace(&t).is_empty());
+    }
+
+    #[test]
+    fn contains_trace_rejects_strays() {
+        let p = simple_plan();
+        let mut t = KernelTrace::new("k");
+        let b = t.buffer("out", Scope::Global, 8);
+        t.write(b, 0, 3, 100); // outside [0, 99]
+        t.read(b, 0, 3, 42); // kind not in plan
+        t.write(b, 9, 3, 42); // block outside launch shape
+        let mm = p.contains_trace(&t);
+        assert_eq!(mm.len(), 3, "{mm:?}");
+    }
+
+    #[test]
+    fn contains_trace_caps_reporting() {
+        let p = simple_plan();
+        let mut t = KernelTrace::new("k");
+        let b = t.buffer("out", Scope::Global, 8);
+        for e in 0..50u64 {
+            t.write(b, 0, 0, 1000 + e);
+        }
+        let mm = p.contains_trace(&t);
+        assert_eq!(mm.len(), MAX_REPORTED_MISMATCHES + 1);
+        assert!(mm.last().unwrap().contains("more uncontained"));
+    }
+
+    #[test]
+    fn instances_counts_tuple_combinations() {
+        let e = IndexExpr::new(0)
+            .dim(DimTerm::var(4, 0, 9))
+            .dim(DimTerm::var(1, 0, 2));
+        assert_eq!(e.instances(), 30);
+    }
+}

@@ -46,6 +46,11 @@ struct State {
     faults: Option<FaultState>,
     hazard_mode: HazardMode,
     hazard: Vec<KernelHazardReport>,
+    /// When set, checked launches also archive their raw trace +
+    /// contract for static/dynamic cross-validation (see
+    /// [`Device::retain_access_traces`]).
+    retain_traces: bool,
+    retained_traces: Vec<(KernelTrace, Contract)>,
     /// Host worker threads available to `Kernel::run_blocks`. Results are
     /// bit-identical at any value; this only changes host wall-clock.
     host_parallelism: usize,
@@ -224,6 +229,25 @@ impl Device {
         self.inner.state.lock().hazard.clear();
     }
 
+    /// Also archive the raw [`KernelTrace`] + [`Contract`] of every
+    /// checked launch, so a static analyzer can replay them against the
+    /// kernels' symbolic [`AccessPlan`](crate::access_plan::AccessPlan)s
+    /// ("static refines dynamic" cross-validation). Costs memory
+    /// proportional to the access count — debugging/CI mode only.
+    pub fn retain_access_traces(&self, on: bool) {
+        let mut s = self.inner.state.lock();
+        s.retain_traces = on;
+        if !on {
+            s.retained_traces.clear();
+        }
+    }
+
+    /// Drain the archived traces (launch order). Empty unless
+    /// [`Device::retain_access_traces`] was enabled.
+    pub fn take_access_traces(&self) -> Vec<(KernelTrace, Contract)> {
+        std::mem::take(&mut self.inner.state.lock().retained_traces)
+    }
+
     /// Run the checker on a completed trace and accumulate the findings,
     /// mirroring hazard counters into an attached trace session. Used by
     /// `launch_end` for instrumented kernels and directly by bulk-pass
@@ -237,7 +261,11 @@ impl Device {
             t.counter("hazard.contract_violations")
                 .add(report.violations.len() as i64);
         }
-        self.inner.state.lock().hazard.push(report);
+        let mut s = self.inner.state.lock();
+        if s.retain_traces {
+            s.retained_traces.push((trace, contract));
+        }
+        s.hazard.push(report);
     }
 
     /// Attach a [`FaultPlan`]: subsequent allocations, transfers, and

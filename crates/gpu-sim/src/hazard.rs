@@ -215,7 +215,12 @@ pub fn check(trace: &KernelTrace, contract: &Contract) -> KernelHazardReport {
                 (max_elem as usize + 1) * trace.buffers[buf as usize].elem_bytes
             })
             .sum();
-        if observed_bytes > declared_bytes {
+        // A declaration of *zero* shared bytes with any traced
+        // shared-buffer touch is a violation in its own right, not just
+        // when the footprint arithmetic happens to exceed zero — the
+        // kernel claimed it uses no shared memory at all.
+        let zero_declared_but_touched = declared_bytes == 0 && !shared_max_elem.is_empty();
+        if observed_bytes > declared_bytes || zero_declared_but_touched {
             report.violations.push(ContractViolation::SharedFootprint {
                 declared_bytes,
                 observed_bytes,
@@ -406,6 +411,130 @@ mod tests {
             ..Default::default()
         };
         assert!(check(&t, &c).is_clean());
+    }
+
+    #[test]
+    fn zero_declared_shared_bytes_with_shared_touch_is_a_violation() {
+        // Regression: `shared_bytes: Some(0)` is a positive claim ("this
+        // kernel uses no shared memory"), so any traced shared-buffer
+        // touch must be a ContractViolation — even a read of element 0.
+        let mut t = trace();
+        let s = t.buffer("s", Scope::Shared, 8);
+        t.read(s, 0, 0, 0);
+        let c = Contract {
+            shared_bytes: Some(0),
+            ..Default::default()
+        };
+        let r = check(&t, &c);
+        assert_eq!(
+            r.violations,
+            vec![ContractViolation::SharedFootprint {
+                declared_bytes: 0,
+                observed_bytes: 8
+            }]
+        );
+        // ...but Some(0) with no shared touch at all stays clean (a
+        // global-only kernel correctly declaring zero shared bytes).
+        let mut t = trace();
+        let g = t.buffer("g", Scope::Global, 8);
+        t.write(g, 0, 0, 0);
+        assert!(check(&t, &c).is_clean());
+    }
+
+    #[test]
+    fn exactly_two_conflicting_sites_are_both_reported() {
+        // Boundary of the 2-representatives rule from below: with
+        // exactly two distinct conflicting threads, the stored pair IS
+        // the conflict, and the report names both actual sites.
+        let mut t = trace();
+        let b = t.buffer("g", Scope::Global, 4);
+        t.write(b, 0, 5, 7);
+        t.write(b, 0, 9, 7);
+        let r = check(&t, &Contract::default());
+        assert_eq!(r.hazards_total, 1);
+        let h = &r.hazards[0];
+        let pair = [h.first.thread, h.second.thread];
+        assert!(pair.contains(&5) && pair.contains(&9), "{h:?}");
+    }
+
+    #[test]
+    fn exactly_three_conflicting_sites_still_one_hazard_per_element() {
+        // Boundary from above: a third distinct writer adds no new
+        // information (any pair already proves the race), so the checker
+        // still reports one hazard for the element, assembled from the
+        // two stored representatives.
+        let mut t = trace();
+        let b = t.buffer("g", Scope::Global, 4);
+        for thread in [5, 9, 13] {
+            t.write(b, 0, thread, 7);
+        }
+        let r = check(&t, &Contract::default());
+        assert_eq!(r.hazards_total, 1);
+        let h = &r.hazards[0];
+        assert_ne!(h.first.thread, h.second.thread);
+        assert!([5, 9, 13].contains(&h.first.thread));
+        assert!([5, 9, 13].contains(&h.second.thread));
+    }
+
+    #[test]
+    fn duplicate_first_id_does_not_mask_the_second_representative() {
+        // Representative dedup is by id: a repeat of the first thread
+        // must not occupy the second slot, or the later genuinely
+        // distinct thread would be dropped and the race missed.
+        let mut t = trace();
+        let b = t.buffer("g", Scope::Global, 4);
+        t.write(b, 0, 5, 7);
+        t.write(b, 0, 5, 7); // same thread again
+        t.write(b, 0, 9, 7); // the distinct second writer
+        let r = check(&t, &Contract::default());
+        assert_eq!(r.hazards_total, 1, "{r}");
+        // ...and with only one distinct thread (however many records),
+        // no pair with distinct ids exists: clean.
+        let mut t = trace();
+        let b = t.buffer("g", Scope::Global, 4);
+        for _ in 0..10 {
+            t.write(b, 0, 5, 7);
+        }
+        assert!(check(&t, &Contract::default()).is_clean());
+    }
+
+    #[test]
+    fn inter_block_representatives_hit_the_same_boundaries() {
+        // The same 2-representatives rule discriminates on block ids for
+        // the inter-block analysis: [2, 2, 4] must find the 2/4 pair.
+        let mut t = trace();
+        let b = t.buffer("g", Scope::Global, 4);
+        t.write(b, 2, 0, 7);
+        t.write(b, 2, 0, 7);
+        t.write(b, 4, 0, 7);
+        let r = check(&t, &Contract::default());
+        // one inter-block hazard; no intra-block one (same thread id
+        // within each block)
+        assert_eq!(r.hazards_total, 1);
+        let h = &r.hazards[0];
+        assert!(!h.intra_block);
+        let pair = [h.first.block, h.second.block];
+        assert!(pair.contains(&2) && pair.contains(&4), "{h:?}");
+    }
+
+    #[test]
+    fn cross_kind_conflict_found_from_representatives_at_three_sites() {
+        // Mixed kinds at exactly three distinct threads: two readers and
+        // one writer. The read/write pair must be assembled across the
+        // per-kind representative slots.
+        let mut t = trace();
+        let b = t.buffer("g", Scope::Global, 4);
+        t.read(b, 0, 1, 7);
+        t.read(b, 0, 2, 7);
+        t.write(b, 0, 3, 7);
+        let r = check(&t, &Contract::default());
+        assert_eq!(r.hazards_total, 1);
+        let h = &r.hazards[0];
+        assert!(
+            (h.first.kind == AccessKind::Read && h.second.kind == AccessKind::Write)
+                || (h.first.kind == AccessKind::Write && h.second.kind == AccessKind::Read),
+            "{h:?}"
+        );
     }
 
     #[test]

@@ -26,6 +26,7 @@
 #![forbid(unsafe_code)]
 
 pub mod access;
+pub mod access_plan;
 pub mod device;
 pub mod faults;
 pub mod hazard;
@@ -35,7 +36,10 @@ pub mod report;
 pub mod sched;
 pub mod stream;
 
-pub use access::{BufId, Contract, HazardMode, KernelTrace, Scope};
+pub use access::{AccessRecord, BufId, BufferDecl, Contract, HazardMode, KernelTrace, Scope};
+pub use access_plan::{
+    AccessPlan, AccessTerm, DimTerm, IndexExpr, PlanBuffer, ThreadMap, MAX_THREADS_PER_BLOCK,
+};
 pub use device::{Device, GpuBuffer, OpKind, TimelineRecord};
 pub use faults::{DeviceFault, FaultKind, FaultMode, FaultPlan, FaultSite};
 pub use kernel::{BlockAcc, BlockCtx, Breakdown, Kernel, LaunchConfig, LaunchReport};

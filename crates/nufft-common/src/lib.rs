@@ -13,6 +13,7 @@
 pub mod complex;
 pub mod error;
 pub mod hazard;
+pub mod lint;
 pub mod metrics;
 pub mod plan;
 pub mod real;
@@ -37,6 +38,7 @@ pub use error::{NufftError, Result};
 pub use hazard::{
     AccessKind, AccessSite, ContractViolation, Hazard, HazardReport, KernelHazardReport,
 };
+pub use lint::{LintFinding, LintKind, LintLevel, LintReport};
 pub use plan::NufftPlan;
 pub use real::Real;
 pub use shape::{freq_start, freq_to_bin, freqs, Shape};

@@ -1,0 +1,342 @@
+//! Typed findings produced by the static kernel verifier (`nufft-lint`).
+//!
+//! The vocabulary lives here, below both `gpu-sim` (whose symbolic
+//! [`AccessPlan`](https://docs.rs/) analysis emits access-plan findings)
+//! and the `nufft-lint` driver (which adds source-policy findings), for
+//! the same reason the hazard-report types do (see [`crate::hazard`]):
+//! every layer that produces, filters, or gates on findings shares one
+//! set of types without depending on the analyzer internals.
+//!
+//! Every finding carries a **stable identifier** (`AP0xx` for
+//! access-plan findings, `SRC0xx` for source-policy findings) so
+//! allowlists and CI logs survive message rewording.
+
+use crate::hazard::AccessKind;
+use std::fmt;
+
+/// Severity of a finding. `Error` findings fail the lint gate;
+/// `Warn` findings are reported but do not affect the exit status.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LintLevel {
+    Warn,
+    Error,
+}
+
+impl fmt::Display for LintLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LintLevel::Warn => write!(f, "warn"),
+            LintLevel::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// What a finding is about, with the evidence the check derived.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LintKind {
+    /// `AP001` — a symbolic access term's element interval escapes the
+    /// declared buffer extent for some reachable launch configuration.
+    OutOfBounds {
+        kernel: String,
+        buffer: String,
+        /// Interval (inclusive) the index expression can reach.
+        lo: i64,
+        hi: i64,
+        /// Declared buffer length in trace elements.
+        len: u64,
+    },
+    /// `AP002` — two conflicting symbolic accesses can land on the same
+    /// element from distinct threads (intra-block, same sync epoch) or
+    /// distinct blocks (inter-block, global buffers) with no ordering.
+    StaticRace {
+        kernel: String,
+        buffer: String,
+        epoch: u32,
+        first: AccessKind,
+        second: AccessKind,
+        intra_block: bool,
+    },
+    /// `AP003` — the kernel's declared [`Contract`](crate::hazard)
+    /// atomic count is below what the symbolic plan proves the launch
+    /// must perform (the cost model undercharges).
+    UnderDeclaredAtomics {
+        kernel: String,
+        /// `"global"` or `"shared"`.
+        scope: &'static str,
+        declared: u64,
+        /// Minimum atomic count the plan predicts.
+        predicted_min: u64,
+    },
+    /// `AP004` — the plan's shared-memory requirement exceeds the
+    /// device (or Remark-2) budget, or the declared launch shared bytes
+    /// cannot hold the plan's shared buffers.
+    SharedOverBudget {
+        kernel: String,
+        needed_bytes: usize,
+        budget_bytes: usize,
+    },
+    /// `AP005` — the launch shape itself is infeasible on the device
+    /// (threads per block above the hardware maximum, zero threads).
+    LaunchInfeasible { kernel: String, message: String },
+    /// `AP006` — launch shape is legal but wasteful (threads per block
+    /// not a multiple of the warp size). Warning level.
+    OccupancyWaste { kernel: String, message: String },
+    /// `SRC0xx` — a repo source-policy violation found by the textual
+    /// scanner (`nufft-lint --src`).
+    SrcPolicy {
+        rule: String,
+        path: String,
+        line: usize,
+        excerpt: String,
+    },
+}
+
+/// One finding: a stable id, a severity, the typed evidence, and an
+/// optional context label (the `TransformSpec` / launch-config cell the
+/// access-plan checker was exploring when it fired).
+#[derive(Clone, Debug, PartialEq)]
+pub struct LintFinding {
+    pub id: &'static str,
+    pub level: LintLevel,
+    pub kind: LintKind,
+    pub context: Option<String>,
+}
+
+impl LintFinding {
+    pub fn new(id: &'static str, level: LintLevel, kind: LintKind) -> Self {
+        LintFinding {
+            id,
+            level,
+            kind,
+            context: None,
+        }
+    }
+
+    pub fn with_context(mut self, ctx: &str) -> Self {
+        self.context = Some(ctx.to_string());
+        self
+    }
+
+    pub fn is_error(&self) -> bool {
+        self.level == LintLevel::Error
+    }
+}
+
+impl fmt::Display for LintFinding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}: ", self.id, self.level)?;
+        match &self.kind {
+            LintKind::OutOfBounds {
+                kernel,
+                buffer,
+                lo,
+                hi,
+                len,
+            } => write!(
+                f,
+                "{kernel}: access to '{buffer}' can reach [{lo}, {hi}] but the buffer holds {len} element(s)"
+            )?,
+            LintKind::StaticRace {
+                kernel,
+                buffer,
+                epoch,
+                first,
+                second,
+                intra_block,
+            } => {
+                let scope = if *intra_block {
+                    "intra-block"
+                } else {
+                    "inter-block"
+                };
+                write!(
+                    f,
+                    "{kernel}: {scope} {first}/{second} overlap on '{buffer}' (epoch {epoch}) with no ordering"
+                )?;
+            }
+            LintKind::UnderDeclaredAtomics {
+                kernel,
+                scope,
+                declared,
+                predicted_min,
+            } => write!(
+                f,
+                "{kernel}: contract declares {declared} {scope} atomic(s) but the plan proves at least {predicted_min}"
+            )?,
+            LintKind::SharedOverBudget {
+                kernel,
+                needed_bytes,
+                budget_bytes,
+            } => write!(
+                f,
+                "{kernel}: needs {needed_bytes} B shared memory, budget is {budget_bytes} B (Remark 2)"
+            )?,
+            LintKind::LaunchInfeasible { kernel, message } => {
+                write!(f, "{kernel}: {message}")?;
+            }
+            LintKind::OccupancyWaste { kernel, message } => {
+                write!(f, "{kernel}: {message}")?;
+            }
+            LintKind::SrcPolicy {
+                rule,
+                path,
+                line,
+                excerpt,
+            } => write!(f, "{path}:{line}: {rule}: {excerpt}")?,
+        }
+        if let Some(ctx) = &self.context {
+            write!(f, " [{ctx}]")?;
+        }
+        Ok(())
+    }
+}
+
+/// Aggregate result of a lint run: findings plus coverage counters so a
+/// green report can state *what* it proved, not just that nothing fired.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct LintReport {
+    pub findings: Vec<LintFinding>,
+    /// Launch configurations (spec x geometry cells) explored.
+    pub configs_checked: usize,
+    /// Kernel access plans analyzed across those configurations.
+    pub plans_checked: usize,
+    /// Cells skipped because the library itself would refuse the
+    /// configuration (e.g. Remark-2 infeasible explicit SM).
+    pub configs_skipped: usize,
+    /// Source files scanned by the policy pass.
+    pub files_scanned: usize,
+}
+
+impl LintReport {
+    /// No error-level findings (warnings do not fail the gate).
+    pub fn is_clean(&self) -> bool {
+        !self.findings.iter().any(|f| f.is_error())
+    }
+
+    pub fn error_count(&self) -> usize {
+        self.findings.iter().filter(|f| f.is_error()).count()
+    }
+
+    pub fn warn_count(&self) -> usize {
+        self.findings.iter().filter(|f| !f.is_error()).count()
+    }
+
+    /// Fold another report into this one, summing coverage counters.
+    pub fn merge(&mut self, other: LintReport) {
+        self.findings.extend(other.findings);
+        self.configs_checked += other.configs_checked;
+        self.plans_checked += other.plans_checked;
+        self.configs_skipped += other.configs_skipped;
+        self.files_scanned += other.files_scanned;
+    }
+
+    /// Findings with the given stable id.
+    pub fn with_id<'a>(&'a self, id: &'a str) -> impl Iterator<Item = &'a LintFinding> {
+        self.findings.iter().filter(move |f| f.id == id)
+    }
+}
+
+impl fmt::Display for LintReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "lint report: {} config(s), {} plan(s), {} file(s) scanned, {} skipped; {} error(s), {} warning(s)",
+            self.configs_checked,
+            self.plans_checked,
+            self.files_scanned,
+            self.configs_skipped,
+            self.error_count(),
+            self.warn_count()
+        )?;
+        for finding in &self.findings {
+            writeln!(f, "  {finding}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finding_display_is_self_describing() {
+        let f = LintFinding::new(
+            "AP001",
+            LintLevel::Error,
+            LintKind::OutOfBounds {
+                kernel: "spread_GM".into(),
+                buffer: "fine_grid".into(),
+                lo: -12,
+                hi: 8200,
+                len: 8192,
+            },
+        )
+        .with_context("2d/f32/eps=1e-5");
+        let s = f.to_string();
+        assert!(s.contains("AP001"), "{s}");
+        assert!(s.contains("fine_grid"), "{s}");
+        assert!(s.contains("-12"), "{s}");
+        assert!(s.contains("2d/f32"), "{s}");
+    }
+
+    #[test]
+    fn report_gate_ignores_warnings() {
+        let mut r = LintReport::default();
+        r.findings.push(LintFinding::new(
+            "AP006",
+            LintLevel::Warn,
+            LintKind::OccupancyWaste {
+                kernel: "k".into(),
+                message: "odd block".into(),
+            },
+        ));
+        assert!(r.is_clean());
+        assert_eq!(r.warn_count(), 1);
+        r.findings.push(LintFinding::new(
+            "AP002",
+            LintLevel::Error,
+            LintKind::StaticRace {
+                kernel: "k".into(),
+                buffer: "g".into(),
+                epoch: 0,
+                first: AccessKind::Write,
+                second: AccessKind::Write,
+                intra_block: true,
+            },
+        ));
+        assert!(!r.is_clean());
+        assert_eq!(r.error_count(), 1);
+    }
+
+    #[test]
+    fn merge_sums_counters_and_findings() {
+        let mut a = LintReport {
+            configs_checked: 2,
+            plans_checked: 5,
+            ..Default::default()
+        };
+        let b = LintReport {
+            configs_checked: 3,
+            plans_checked: 7,
+            files_scanned: 11,
+            findings: vec![LintFinding::new(
+                "SRC001",
+                LintLevel::Error,
+                LintKind::SrcPolicy {
+                    rule: "no-unwrap".into(),
+                    path: "x.rs".into(),
+                    line: 3,
+                    excerpt: "foo.unwrap()".into(),
+                },
+            )],
+            ..Default::default()
+        };
+        a.merge(b);
+        assert_eq!(a.configs_checked, 5);
+        assert_eq!(a.plans_checked, 12);
+        assert_eq!(a.files_scanned, 11);
+        assert_eq!(a.findings.len(), 1);
+        assert_eq!(a.with_id("SRC001").count(), 1);
+    }
+}

@@ -1,0 +1,92 @@
+//! `nufft-lint` — static kernel verifier and workspace source lint.
+//!
+//! With no flags, runs both fronts at the quick tier (what
+//! `scripts/check.sh` does on every build): the symbolic access-plan
+//! checker over the quick spec matrix, then the source-policy scanner
+//! against the committed baseline. Exit status 1 on any error-level
+//! finding.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use nufft_common::LintReport;
+use nufft_lint::src_lint;
+
+const USAGE: &str = "\
+nufft-lint: static kernel verifier for the cuFINUFFT reproduction
+
+USAGE: nufft-lint [--plans] [--src] [--full] [--update-allowlist]
+
+  --plans              only the access-plan checker (bounds, races,
+                       contracts, launch feasibility over the spec matrix)
+  --src                only the source-policy scanner (SRC001-SRC003)
+  --full               widen the access-plan matrix (1D, full eps ladder,
+                       M_sub and bin-size sweeps, large point counts)
+  --update-allowlist   regenerate scripts/lint-allow.txt from the tree
+  -h, --help           this text
+
+With neither --plans nor --src, both fronts run.";
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn main() -> ExitCode {
+    let mut do_plans = false;
+    let mut do_src = false;
+    let mut full = false;
+    let mut update_allowlist = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--plans" => do_plans = true,
+            "--src" => do_src = true,
+            "--full" => full = true,
+            "--update-allowlist" => update_allowlist = true,
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("nufft-lint: unknown flag `{other}`\n\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = workspace_root();
+    if update_allowlist {
+        return match src_lint::write_baseline(&root) {
+            Ok(groups) => {
+                println!(
+                    "wrote {} ({groups} rule/file groups)",
+                    src_lint::baseline_path(&root).display()
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("nufft-lint: failed to write baseline: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if !do_plans && !do_src {
+        do_plans = true;
+        do_src = true;
+    }
+    let mut report = LintReport::default();
+    if do_plans {
+        let tier = if full { "full" } else { "quick" };
+        println!("access-plan checker ({tier} matrix)...");
+        report.merge(nufft_lint::lint_access_plans(full, None));
+    }
+    if do_src {
+        println!("source-policy scanner...");
+        let baseline = src_lint::Baseline::load(&root);
+        report.merge(src_lint::lint_sources(&root, &baseline));
+    }
+    print!("{report}");
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

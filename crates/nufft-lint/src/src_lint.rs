@@ -1,0 +1,430 @@
+//! Std-only source-policy scanner over the workspace.
+//!
+//! Three textual lints with stable ids, each scoped to the crates where
+//! the policy is load-bearing:
+//!
+//! * **SRC001** `unwrap-outside-tests` — `.unwrap()` / `.expect(` in
+//!   non-test code anywhere in the workspace. Library paths return
+//!   `Result`; panics belong in tests.
+//! * **SRC002** `wall-clock-in-deterministic-path` — `Instant::now` in
+//!   the deterministic crates (the simulator's clock is the only
+//!   timebase there; host wall-clock makes replays diverge).
+//! * **SRC003** `lossy-float-cast` — `as f32` narrowing casts in the
+//!   accuracy-critical crates, where silent precision loss corrupts the
+//!   eps ladder.
+//!
+//! Pre-existing debt is carried by a count-based baseline
+//! (`scripts/lint-allow.txt`, lines `RULE path max-count`): a file may
+//! keep up to its recorded number of findings per rule, but any *new*
+//! occurrence pushes the file over its budget and every site is then
+//! reported. `// lint:allow(SRCxxx)` on the offending line suppresses a
+//! single site. `nufft-lint --update-allowlist` regenerates the file.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use nufft_common::{LintFinding, LintKind, LintLevel, LintReport};
+
+/// `.unwrap()` / `.expect(` outside tests.
+pub const SRC_UNWRAP: &str = "SRC001";
+/// `Instant::now` on a deterministic path.
+pub const SRC_WALLCLOCK: &str = "SRC002";
+/// Lossy `as f32` cast in an accuracy-critical crate.
+pub const SRC_LOSSY_CAST: &str = "SRC003";
+
+/// Crates whose execution must be a pure function of the simulated
+/// clock — host wall-clock reads are policy violations there. `mtip`
+/// and the serve/bench layers time real host work, so they are exempt.
+const DETERMINISTIC_CRATES: &[&str] = &[
+    "gpu-sim",
+    "gpu-fft",
+    "nufft-fft",
+    "nufft-kernels",
+    "nufft-common",
+    "cufinufft",
+    "nufft-baselines",
+    "nufft-conformance",
+];
+
+/// Crates on the accuracy-critical path where a narrowing float cast
+/// can silently eat digits the eps ladder is supposed to guarantee.
+const ACCURACY_CRATES: &[&str] = &[
+    "nufft-kernels",
+    "nufft-common",
+    "cufinufft",
+    "finufft-cpu",
+    "gpu-fft",
+    "nufft-fft",
+];
+
+// The needles are spelled via concat! so this file does not flag
+// itself when the scanner walks its own crate.
+const PAT_UNWRAP: &str = concat!(".unw", "rap()");
+const PAT_EXPECT: &str = concat!(".exp", "ect(");
+const PAT_INSTANT: &str = concat!("Inst", "ant::now");
+const PAT_AS_F32: &str = concat!(" as ", "f32");
+const PAT_ALLOW: &str = concat!("lint:", "allow(");
+const PAT_CFG_TEST: &str = concat!("#[cfg(", "test)]");
+
+/// One raw occurrence before baseline filtering.
+#[derive(Clone, Debug)]
+pub struct RawFinding {
+    pub rule: &'static str,
+    pub rule_name: &'static str,
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    pub line: usize,
+    pub excerpt: String,
+}
+
+/// Count-based allowlist keyed by `(rule, path)`.
+#[derive(Default, Debug)]
+pub struct Baseline {
+    allowed: BTreeMap<(String, String), usize>,
+}
+
+impl Baseline {
+    /// Load from `scripts/lint-allow.txt` under `root`. A missing file
+    /// is an empty baseline, not an error; malformed lines are ignored.
+    pub fn load(root: &Path) -> Baseline {
+        let mut b = Baseline::default();
+        let text = match fs::read_to_string(baseline_path(root)) {
+            Ok(t) => t,
+            Err(_) => return b,
+        };
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            if let (Some(rule), Some(path), Some(count)) =
+                (parts.next(), parts.next(), parts.next())
+            {
+                if let Ok(n) = count.parse::<usize>() {
+                    b.allowed.insert((rule.to_string(), path.to_string()), n);
+                }
+            }
+        }
+        b
+    }
+
+    fn allowance(&self, rule: &str, path: &str) -> usize {
+        self.allowed
+            .get(&(rule.to_string(), path.to_string()))
+            .copied()
+            .unwrap_or(0)
+    }
+}
+
+pub fn baseline_path(root: &Path) -> PathBuf {
+    root.join("scripts").join("lint-allow.txt")
+}
+
+/// Scan the whole workspace (crate `src/` trees plus the root crate's
+/// `src/`; vendored shims are exempt) and return every raw occurrence
+/// not suppressed by an inline `lint:allow` marker, plus the number of
+/// files scanned.
+pub fn scan_workspace(root: &Path) -> io::Result<(Vec<RawFinding>, usize)> {
+    let mut findings = Vec::new();
+    let mut files = 0usize;
+    let crates_dir = root.join("crates");
+    let mut units: Vec<(String, PathBuf)> = Vec::new();
+    if crates_dir.is_dir() {
+        for entry in fs::read_dir(&crates_dir)? {
+            let entry = entry?;
+            let src = entry.path().join("src");
+            if src.is_dir() {
+                units.push((entry.file_name().to_string_lossy().into_owned(), src));
+            }
+        }
+    }
+    let root_src = root.join("src");
+    if root_src.is_dir() {
+        units.push(("cufinufft-repro".to_string(), root_src));
+    }
+    units.sort();
+    for (crate_name, src) in units {
+        let mut rs_files = Vec::new();
+        collect_rs(&src, &mut rs_files)?;
+        rs_files.sort();
+        for file in rs_files {
+            files += 1;
+            let text = fs::read_to_string(&file)?;
+            let rel = relative_path(root, &file);
+            scan_file(&crate_name, &rel, &text, &mut findings);
+        }
+    }
+    Ok((findings, files))
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn relative_path(root: &Path, file: &Path) -> String {
+    let rel = file.strip_prefix(root).unwrap_or(file);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Scan one file's text. Test code is excluded by tracking the brace
+/// depth of every `#[cfg(test)]`-attributed item; comments (line and
+/// block) are stripped before pattern matching so doc examples do not
+/// trip the lints. Public for the self-tests.
+pub fn scan_file(crate_name: &str, rel_path: &str, text: &str, out: &mut Vec<RawFinding>) {
+    let deterministic = DETERMINISTIC_CRATES.contains(&crate_name);
+    let accuracy = ACCURACY_CRATES.contains(&crate_name);
+    let mut in_block_comment = false;
+    // >0 while inside a #[cfg(test)] item's braces
+    let mut test_depth: i64 = 0;
+    let mut pending_cfg_test = false;
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let code = strip_comments(raw, &mut in_block_comment);
+        let opens = code.matches('{').count() as i64;
+        let closes = code.matches('}').count() as i64;
+        if test_depth > 0 {
+            test_depth += opens - closes;
+            if test_depth < 0 {
+                test_depth = 0;
+            }
+            continue;
+        }
+        if code.contains(PAT_CFG_TEST) {
+            pending_cfg_test = true;
+        }
+        if pending_cfg_test {
+            if opens > 0 {
+                let depth = opens - closes;
+                pending_cfg_test = false;
+                if depth > 0 {
+                    test_depth = depth;
+                }
+            } else if code.contains(';') {
+                // brace-less item (`#[cfg(test)] use ...;`) — done
+                pending_cfg_test = false;
+            }
+            // attribute may span `#[cfg(test)]` then `mod tests {` on a
+            // later line; stay pending until the item's brace opens
+            continue;
+        }
+        let allow = |rule: &str| raw.contains(&format!("{}{})", PAT_ALLOW, rule));
+        let mut hit = |rule: &'static str, rule_name: &'static str| {
+            if !allow(rule) {
+                out.push(RawFinding {
+                    rule,
+                    rule_name,
+                    path: rel_path.to_string(),
+                    line: line_no,
+                    excerpt: raw.trim().chars().take(96).collect(),
+                });
+            }
+        };
+        if code.contains(PAT_UNWRAP) || code.contains(PAT_EXPECT) {
+            hit(SRC_UNWRAP, "unwrap-outside-tests");
+        }
+        if deterministic && code.contains(PAT_INSTANT) {
+            hit(SRC_WALLCLOCK, "wall-clock-in-deterministic-path");
+        }
+        if accuracy && code.contains(PAT_AS_F32) {
+            hit(SRC_LOSSY_CAST, "lossy-float-cast");
+        }
+    }
+}
+
+/// Drop `// ...` tails and `/* ... */` spans (tracking multi-line block
+/// comments via `in_block`). String literals are not parsed — the
+/// baseline absorbs the rare false positive.
+fn strip_comments(line: &str, in_block: &mut bool) -> String {
+    let mut out = String::with_capacity(line.len());
+    let bytes = line.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if *in_block {
+            if bytes[i] == b'*' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+                *in_block = false;
+                i += 2;
+            } else {
+                i += 1;
+            }
+        } else if bytes[i] == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'*' {
+            *in_block = true;
+            i += 2;
+        } else if bytes[i] == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+            break;
+        } else {
+            out.push(bytes[i] as char);
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Apply the baseline: per `(rule, path)` group, a count within the
+/// recorded allowance is suppressed; a group over budget reports every
+/// site (so the offending new line is always among them).
+pub fn lint_sources(root: &Path, baseline: &Baseline) -> LintReport {
+    let mut report = LintReport::default();
+    let (raw, files) = match scan_workspace(root) {
+        Ok(r) => r,
+        Err(e) => {
+            report.findings.push(
+                LintFinding::new(
+                    "SRC000",
+                    LintLevel::Error,
+                    LintKind::SrcPolicy {
+                        rule: "scan-failed".into(),
+                        path: root.display().to_string(),
+                        line: 0,
+                        excerpt: e.to_string(),
+                    },
+                )
+                .with_context("workspace walk failed"),
+            );
+            return report;
+        }
+    };
+    report.files_scanned = files;
+    let mut groups: BTreeMap<(&'static str, String), Vec<&RawFinding>> = BTreeMap::new();
+    for f in &raw {
+        groups.entry((f.rule, f.path.clone())).or_default().push(f);
+    }
+    for ((rule, path), sites) in groups {
+        let allowed = baseline.allowance(rule, &path);
+        if sites.len() <= allowed {
+            continue;
+        }
+        for f in sites {
+            report.findings.push(
+                LintFinding::new(
+                    f.rule,
+                    LintLevel::Error,
+                    LintKind::SrcPolicy {
+                        rule: f.rule_name.to_string(),
+                        path: f.path.clone(),
+                        line: f.line,
+                        excerpt: f.excerpt.clone(),
+                    },
+                )
+                .with_context(&format!(
+                    "{} site(s) in file, baseline allows {allowed}",
+                    raw.iter()
+                        .filter(|r| r.rule == rule && r.path == path)
+                        .count()
+                )),
+            );
+        }
+    }
+    report
+}
+
+/// Regenerate `scripts/lint-allow.txt` from the current tree. Returns
+/// the number of `(rule, path)` groups written.
+pub fn write_baseline(root: &Path) -> io::Result<usize> {
+    let (raw, _) = scan_workspace(root)?;
+    let mut groups: BTreeMap<(&'static str, String), usize> = BTreeMap::new();
+    for f in &raw {
+        *groups.entry((f.rule, f.path.clone())).or_default() += 1;
+    }
+    let mut text = String::from(
+        "# Source-lint baseline: `RULE path max-count` per line.\n\
+         # Regenerate with `cargo run -p nufft-lint -- --update-allowlist`.\n\
+         # New findings beyond a file's count fail the lint; shrink\n\
+         # counts as debt is paid down, never grow them by hand.\n",
+    );
+    for ((rule, path), count) in &groups {
+        text.push_str(&format!("{rule} {path} {count}\n"));
+    }
+    fs::write(baseline_path(root), text)?;
+    Ok(groups.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unwrap_line() -> String {
+        format!("    let x = foo(){};", PAT_UNWRAP)
+    }
+
+    #[test]
+    fn flags_unwrap_outside_tests_but_not_inside() {
+        let src = format!(
+            "fn main() {{\n{}\n}}\n#[cfg(test)]\nmod tests {{\n    fn t() {{\n{}\n    }}\n}}\n",
+            unwrap_line(),
+            unwrap_line()
+        );
+        let mut out = Vec::new();
+        scan_file("cufinufft", "crates/cufinufft/src/x.rs", &src, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, SRC_UNWRAP);
+        assert_eq!(out[0].line, 2);
+    }
+
+    #[test]
+    fn comments_and_inline_allow_are_suppressed() {
+        let src = format!(
+            "fn f() {{\n    // {u}\n    /* {u}\n       {u} */\n    {l} // {m}{r})\n}}\n",
+            u = unwrap_line(),
+            l = unwrap_line(),
+            m = PAT_ALLOW,
+            r = SRC_UNWRAP,
+        );
+        let mut out = Vec::new();
+        scan_file("gpu-sim", "crates/gpu-sim/src/x.rs", &src, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn scoped_rules_respect_crate_lists() {
+        let src = format!(
+            "fn f() {{ let t = {}(); let y = x{}; }}\n",
+            PAT_INSTANT, PAT_AS_F32
+        );
+        let mut out = Vec::new();
+        // mtip is neither deterministic nor accuracy-critical
+        scan_file("mtip", "crates/mtip/src/x.rs", &src, &mut out);
+        assert!(out.is_empty());
+        scan_file("gpu-sim", "crates/gpu-sim/src/x.rs", &src, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, SRC_WALLCLOCK);
+        out.clear();
+        scan_file("finufft-cpu", "crates/finufft-cpu/src/x.rs", &src, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, SRC_LOSSY_CAST);
+    }
+
+    #[test]
+    fn baseline_counts_gate_whole_file_groups() {
+        let mut b = Baseline::default();
+        b.allowed
+            .insert((SRC_UNWRAP.to_string(), "crates/x/src/a.rs".to_string()), 2);
+        assert_eq!(b.allowance(SRC_UNWRAP, "crates/x/src/a.rs"), 2);
+        assert_eq!(b.allowance(SRC_UNWRAP, "crates/x/src/b.rs"), 0);
+        assert_eq!(b.allowance(SRC_WALLCLOCK, "crates/x/src/a.rs"), 0);
+    }
+
+    #[test]
+    fn workspace_scan_with_current_baseline_is_clean() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let baseline = Baseline::load(&root);
+        let report = lint_sources(&root, &baseline);
+        assert!(report.files_scanned > 10);
+        let errors: Vec<String> = report.findings.iter().map(|f| f.to_string()).collect();
+        assert!(report.is_clean(), "{}", errors.join("\n"));
+    }
+}

@@ -45,8 +45,16 @@ use std::cell::Cell;
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, Weak};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError, Weak};
 use std::time::Instant;
+
+/// Poison-tolerant lock: a panicking recorder thread must not take the
+/// whole tracing session down with it, so recover the inner data (the
+/// sink holds append-only events and monotonic atomics — every state is
+/// consistent mid-update).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Which simulated-device engine an event occupies; rendered as one
 /// timeline row ("lane") per variant in the Chrome export.
@@ -133,7 +141,7 @@ pub struct Trace {
 impl std::fmt::Debug for Trace {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Trace")
-            .field("events", &self.inner.sink.lock().unwrap().events.len())
+            .field("events", &lock(&self.inner.sink).events.len())
             .finish()
     }
 }
@@ -188,7 +196,7 @@ fn flush_thread_buffer() {
         let mut tls = tls.borrow_mut();
         for (weak, ev) in tls.buf.drain(..) {
             if let Some(inner) = weak.upgrade() {
-                inner.sink.lock().unwrap().events.push(ev);
+                lock(&inner.sink).events.push(ev);
             }
         }
     });
@@ -214,7 +222,7 @@ impl Trace {
     /// serve worker shows up as `nufft-serve` in the Chrome export).
     pub fn register_thread(&self) -> u64 {
         let tid = thread_ord();
-        let mut threads = self.inner.threads.lock().unwrap();
+        let mut threads = lock(&self.inner.threads);
         threads.entry(tid).or_insert_with(|| {
             std::thread::current()
                 .name()
@@ -354,7 +362,7 @@ impl Trace {
     /// Monotonically increasing counter, created on first use.
     pub fn counter(&self, name: &str) -> Counter {
         let cell = {
-            let mut map = self.inner.counters.lock().unwrap();
+            let mut map = lock(&self.inner.counters);
             Arc::clone(map.entry(name.to_string()).or_default())
         };
         Counter { cell }
@@ -365,7 +373,7 @@ impl Trace {
     /// exactly across threads and sessions.
     pub fn histogram(&self, name: &str) -> Histogram {
         let cell = {
-            let mut map = self.inner.hists.lock().unwrap();
+            let mut map = lock(&self.inner.hists);
             Arc::clone(map.entry(name.to_string()).or_default())
         };
         Histogram { cell }
@@ -374,7 +382,7 @@ impl Trace {
     /// Last-value / max gauge, created on first use (f64-valued).
     pub fn gauge(&self, name: &str) -> Gauge {
         let cell = {
-            let mut map = self.inner.gauges.lock().unwrap();
+            let mut map = lock(&self.inner.gauges);
             Arc::clone(
                 map.entry(name.to_string())
                     .or_insert_with(|| Arc::new(AtomicU64::new(0f64.to_bits()))),
@@ -386,32 +394,20 @@ impl Trace {
     /// Snapshot the session (drains this thread's buffer first).
     pub fn report(&self) -> TraceReport {
         flush_thread_buffer();
-        let events = self.inner.sink.lock().unwrap().events.clone();
-        let counters = self
-            .inner
-            .counters
-            .lock()
-            .unwrap()
+        let events = lock(&self.inner.sink).events.clone();
+        let counters = lock(&self.inner.counters)
             .iter()
             .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
             .collect();
-        let gauges = self
-            .inner
-            .gauges
-            .lock()
-            .unwrap()
+        let gauges = lock(&self.inner.gauges)
             .iter()
             .map(|(k, v)| (k.clone(), f64::from_bits(v.load(Ordering::Relaxed))))
             .collect();
-        let histograms = self
-            .inner
-            .hists
-            .lock()
-            .unwrap()
+        let histograms = lock(&self.inner.hists)
             .iter()
             .map(|(k, v)| (k.clone(), v.snapshot()))
             .collect();
-        let threads = self.inner.threads.lock().unwrap().clone();
+        let threads = lock(&self.inner.threads).clone();
         TraceReport {
             events,
             counters,

@@ -31,6 +31,20 @@ else
   echo "== serve suite ran in the workspace pass (SERVE=full for the stress sweep)"
 fi
 
+# Static kernel verification (DESIGN.md §5m): the symbolic access-plan
+# checker proves every shipped kernel bounds-safe, race-class-clean,
+# contract-consistent, and launch-feasible over the quick spec matrix,
+# then the source-policy scanner runs against scripts/lint-allow.txt.
+# Any error-level finding fails the build. LINT=full widens the plan
+# matrix (1D, full eps ladder, M_sub/bin sweeps, large M).
+if [[ "${LINT:-quick}" == "full" ]]; then
+  echo "== LINT=full static verifier (widened plan matrix + source lints)"
+  cargo run -q -p nufft-lint -- --full
+else
+  echo "== static verifier, quick tier (LINT=full for the widened matrix)"
+  cargo run -q -p nufft-lint
+fi
+
 # Race / access-contract checking (DESIGN.md §5h): every shipped
 # spread/interp/bin kernel must trace clean, the deliberately racy
 # variant must be flagged. HAZARD=full widens to 3D and f64.
